@@ -1,0 +1,24 @@
+//! # pclabel-baselines
+//!
+//! The two baseline estimators the paper compares pattern count-based
+//! labels against (§IV-B, Figures 4–5):
+//!
+//! * [`postgres`] — a PostgreSQL-planner analog: `ANALYZE`-style sampled
+//!   per-column statistics (MCV lists, Haas–Stokes distinct counts) with
+//!   attribute-independence conjunction selectivity;
+//! * [`sampling`] — uniform-sample scaling with the paper's
+//!   `bound + |VC|` size rule and multi-seed averaging.
+//!
+//! Both implement [`traits::CountEstimator`], as does
+//! [`pclabel_core::label::Label`], so the experiment harness can sweep all
+//! three over identical pattern sets.
+
+#![warn(missing_docs)]
+
+pub mod postgres;
+pub mod sampling;
+pub mod traits;
+
+pub use postgres::{AnalyzeOptions, ColumnStats, PgStatistics};
+pub use sampling::{average_over_seeds, SampleEstimator};
+pub use traits::{evaluate_estimator, CountEstimator};

@@ -1,0 +1,180 @@
+//! The uniform-sampling baseline (paper §IV-B "Sampling").
+//!
+//! A uniform random sample whose size matches the label budget: for a
+//! bound `x` the sample has `x + |VC|` rows (the label stores `|VC|` value
+//! counts in addition to its `PC`, so the sample gets the same total
+//! allowance). A pattern's count is estimated by scaling its in-sample
+//! count: `ĉ(p) = c_S(p) · |D| / |S|`.
+//!
+//! As the paper observes, small samples estimate 0 for every unsampled
+//! pattern and overshoot by `|D|/|S|`-sized steps for sampled ones, which
+//! is why their mean error and q-error are far worse than PCBL's at equal
+//! footprint.
+
+use pclabel_core::hash::FxHashMap;
+use pclabel_core::pattern::Pattern;
+use pclabel_data::dataset::Dataset;
+use pclabel_data::error::Result;
+use pclabel_data::sample::sample_dataset;
+
+use crate::traits::CountEstimator;
+
+/// A sampling-based count estimator.
+pub struct SampleEstimator {
+    sample: Dataset,
+    /// Scale factor `|D| / |S|`.
+    scale: f64,
+    /// Cache of full-row keys for the common all-tuples evaluation.
+    full_counts: FxHashMap<Vec<u32>, u64>,
+}
+
+impl SampleEstimator {
+    /// Draws a `k`-row uniform sample of `dataset` (without replacement).
+    pub fn new(dataset: &Dataset, k: usize, seed: u64) -> Result<Self> {
+        let sample = sample_dataset(dataset, k, seed)?;
+        let scale = if k == 0 {
+            0.0
+        } else {
+            dataset.n_rows() as f64 / k as f64
+        };
+        let mut full_counts: FxHashMap<Vec<u32>, u64> = FxHashMap::default();
+        let mut key = Vec::with_capacity(sample.n_attrs());
+        for r in 0..sample.n_rows() {
+            sample.read_row(r, &mut key);
+            *full_counts.entry(key.clone()).or_insert(0) += 1;
+        }
+        Ok(Self { sample, scale, full_counts })
+    }
+
+    /// The paper's sizing rule: sample `bound + |VC|` rows (capped at
+    /// `|D|`), where `|VC|` is the number of value-count entries a label
+    /// would store.
+    pub fn with_label_budget(dataset: &Dataset, bound: u64, seed: u64) -> Result<Self> {
+        let vc_size = pclabel_core::label::ValueCounts::compute(dataset, None).size();
+        let k = ((bound + vc_size) as usize).min(dataset.n_rows());
+        Self::new(dataset, k, seed)
+    }
+
+    /// Number of sampled rows.
+    pub fn sample_size(&self) -> usize {
+        self.sample.n_rows()
+    }
+
+    /// In-sample count `c_S(p)`.
+    pub fn sample_count(&self, p: &Pattern) -> u64 {
+        // Fast path: a full-width pattern is a single key lookup.
+        if p.len() == self.sample.n_attrs() {
+            let key: Vec<u32> = p.terms().map(|(_, v)| v).collect();
+            return self.full_counts.get(&key).copied().unwrap_or(0);
+        }
+        p.count_in(&self.sample)
+    }
+}
+
+impl CountEstimator for SampleEstimator {
+    fn estimate(&self, p: &Pattern) -> f64 {
+        self.sample_count(p) as f64 * self.scale
+    }
+
+    fn footprint(&self) -> u64 {
+        self.sample.n_rows() as u64
+    }
+
+    fn name(&self) -> &str {
+        "Sample"
+    }
+}
+
+/// Averages an estimator metric over several sample seeds, as the paper
+/// does ("we report the average over 5 executions").
+pub fn average_over_seeds<F>(
+    dataset: &Dataset,
+    bound: u64,
+    seeds: &[u64],
+    mut eval: F,
+) -> Result<f64>
+where
+    F: FnMut(&SampleEstimator) -> f64,
+{
+    let mut total = 0.0;
+    for &seed in seeds {
+        let est = SampleEstimator::with_label_budget(dataset, bound, seed)?;
+        total += eval(&est);
+    }
+    Ok(total / seeds.len().max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pclabel_core::patterns::PatternSet;
+    use pclabel_data::generate::{correlated_pair, figure2_sample};
+
+    #[test]
+    fn full_sample_is_exact() {
+        let d = figure2_sample();
+        let est = SampleEstimator::new(&d, d.n_rows(), 1).unwrap();
+        let m = PatternSet::AllTuples.materialize(&d);
+        for r in 0..m.len() {
+            let p = m.pattern(r);
+            assert_eq!(est.estimate(&p), m.counts[r] as f64, "{}", p.display_with(&d));
+        }
+    }
+
+    #[test]
+    fn scaling_factor_applied() {
+        let d = correlated_pair(2, 1000, 0.5, 7).unwrap();
+        let est = SampleEstimator::new(&d, 100, 3).unwrap();
+        assert_eq!(est.sample_size(), 100);
+        assert_eq!(est.footprint(), 100);
+        // Any estimate is a multiple of |D|/|S| = 10.
+        let p = Pattern::from_terms([(0, 0u32)]);
+        let e = est.estimate(&p);
+        assert!((e / 10.0).fract().abs() < 1e-9, "{e}");
+    }
+
+    #[test]
+    fn unsampled_patterns_estimate_zero() {
+        let d = correlated_pair(50, 2000, 1.0, 9).unwrap();
+        let est = SampleEstimator::new(&d, 10, 5).unwrap();
+        let m = PatternSet::AllTuples.materialize(&d);
+        let zeros = (0..m.len())
+            .filter(|&r| est.estimate(&m.pattern(r)) == 0.0)
+            .count();
+        // With 10 sampled rows and ~1900+ distinct tuples, almost all
+        // patterns are unsampled.
+        assert!(zeros as f64 / m.len() as f64 > 0.98);
+    }
+
+    #[test]
+    fn with_label_budget_matches_formula() {
+        let d = figure2_sample();
+        // |VC| = 10 for Figure 2; bound 5 → 15 rows.
+        let est = SampleEstimator::with_label_budget(&d, 5, 1).unwrap();
+        assert_eq!(est.sample_size(), 15);
+        // Capped at |D|.
+        let est = SampleEstimator::with_label_budget(&d, 1000, 1).unwrap();
+        assert_eq!(est.sample_size(), 18);
+    }
+
+    #[test]
+    fn estimates_are_unbiased_on_average() {
+        // Mean over many seeds of the estimate approaches the true count.
+        let d = correlated_pair(4, 4000, 0.5, 11).unwrap();
+        let p = Pattern::from_terms([(0, 1u32)]);
+        let actual = p.count_in(&d) as f64;
+        let seeds: Vec<u64> = (0..40).collect();
+        let avg = average_over_seeds(&d, 200, &seeds, |e| e.estimate(&p)).unwrap();
+        let rel = (avg - actual).abs() / actual;
+        assert!(rel < 0.1, "avg {avg} vs actual {actual}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = correlated_pair(4, 500, 0.5, 2).unwrap();
+        let a = SampleEstimator::new(&d, 50, 9).unwrap();
+        let b = SampleEstimator::new(&d, 50, 9).unwrap();
+        let p = Pattern::from_terms([(1, 2u32)]);
+        assert_eq!(a.estimate(&p), b.estimate(&p));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the baseline estimators.
+
+use proptest::prelude::*;
+
+use pclabel_baselines::{AnalyzeOptions, CountEstimator, PgStatistics, SampleEstimator};
+use pclabel_core::pattern::Pattern;
+use pclabel_data::dataset::{Dataset, DatasetBuilder};
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (2usize..=4, 5usize..=80, 1u32..=5).prop_flat_map(|(n_attrs, n_rows, dom)| {
+        proptest::collection::vec(
+            proptest::collection::vec(0..dom, n_attrs),
+            n_rows,
+        )
+        .prop_map(move |rows| {
+            let names: Vec<String> = (0..n_attrs).map(|i| format!("a{i}")).collect();
+            let mut b = DatasetBuilder::new(&names);
+            for row in rows {
+                let fields: Vec<String> = row.iter().map(|v| format!("v{v}")).collect();
+                b.push_row(&fields).unwrap();
+            }
+            b.finish()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Per-column selectivities lie in [0, 1] and the estimate of any
+    /// single-term pattern is within [0, |D|].
+    #[test]
+    fn pg_selectivities_are_probabilities(d in arb_dataset(), seed in any::<u64>()) {
+        let opts = AnalyzeOptions { statistics_target: 10, seed };
+        let stats = PgStatistics::analyze(&d, &opts).unwrap();
+        for a in 0..d.n_attrs() {
+            let card = d.schema().attr(a).unwrap().cardinality() as u32;
+            for v in 0..card {
+                let sel = stats.column(a).eq_selectivity(v);
+                prop_assert!((0.0..=1.0).contains(&sel), "sel {sel}");
+                let p = Pattern::from_terms([(a, v)]);
+                let est = stats.estimate_rows(&p);
+                prop_assert!(est >= 0.0);
+                prop_assert!(est <= d.n_rows() as f64 + 1e-9);
+            }
+        }
+    }
+
+    /// The ANALYZE sample covering the whole table gives exact marginals.
+    #[test]
+    fn pg_full_sample_is_exact_on_marginals(d in arb_dataset()) {
+        // statistics_target 100 → 30,000 sample rows ≥ any test table.
+        let stats = PgStatistics::analyze(&d, &AnalyzeOptions::default()).unwrap();
+        let vc = d.value_counts();
+        for a in 0..d.n_attrs() {
+            for (v, &count) in vc[a].iter().enumerate() {
+                let p = Pattern::from_terms([(a, v as u32)]);
+                prop_assert!((stats.estimate_rows(&p) - count as f64).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// Sample estimates are integer multiples of |D|/|S| and exact when
+    /// the sample is the whole table.
+    #[test]
+    fn sample_estimates_quantized(d in arb_dataset(), seed in any::<u64>(), frac in 0.2f64..=1.0) {
+        let k = ((d.n_rows() as f64 * frac) as usize).max(1);
+        let est = SampleEstimator::new(&d, k, seed).unwrap();
+        let scale = d.n_rows() as f64 / k as f64;
+        for a in 0..d.n_attrs().min(2) {
+            let p = Pattern::from_terms([(a, 0u32)]);
+            let e = est.estimate(&p);
+            let steps = e / scale;
+            prop_assert!((steps - steps.round()).abs() < 1e-9, "estimate {e} not on grid {scale}");
+        }
+        if k == d.n_rows() {
+            let p = Pattern::from_terms([(0, 0u32)]);
+            prop_assert!((est.estimate(&p) - p.count_in(&d) as f64).abs() < 1e-9);
+        }
+    }
+
+    /// Footprints follow the configured budgets.
+    #[test]
+    fn footprints_reflect_budgets(d in arb_dataset(), bound in 0u64..50) {
+        let est = SampleEstimator::with_label_budget(&d, bound, 7).unwrap();
+        let vc_size = pclabel_core::label::ValueCounts::compute(&d, None).size();
+        prop_assert_eq!(
+            est.footprint(),
+            (bound + vc_size).min(d.n_rows() as u64)
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion version of Figure 6: label-generation runtime as a function
+//! of the size bound, naive vs optimized, on reduced dataset
+//! configurations (same correlation structure, fewer rows) so the full
+//! suite stays fast. The `repro` binary runs the full-scale sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pclabel_bench::datasets::small;
+use pclabel_core::search::{
+    naive_search_limited, top_down_search, NaiveLimits, SearchOptions,
+};
+
+fn bench_bounds(c: &mut Criterion) {
+    let datasets = vec![
+        ("BlueNile", small::bluenile_small()),
+        ("COMPAS", small::compas_small()),
+        ("CreditCard", small::creditcard_small()),
+    ];
+    let limits = NaiveLimits { max_nodes: Some(30_000) };
+
+    let mut group = c.benchmark_group("fig6_bound_scaling");
+    group.sample_size(10);
+    for (name, d) in &datasets {
+        for bound in [10u64, 50, 100] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("optimized/{name}"), bound),
+                &bound,
+                |b, &bound| {
+                    b.iter(|| {
+                        top_down_search(d, &SearchOptions::with_bound(bound)).expect("valid")
+                    })
+                },
+            );
+            // Naive is only competitive on the small lattice; budget-cap
+            // it elsewhere so the bench terminates.
+            group.bench_with_input(
+                BenchmarkId::new(format!("naive/{name}"), bound),
+                &bound,
+                |b, &bound| {
+                    b.iter(|| {
+                        naive_search_limited(d, &SearchOptions::with_bound(bound), limits)
+                            .expect("valid")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion version of Figure 7: label-generation runtime as a function
+//! of the number of rows (random-tuple augmentation), bound 50.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pclabel_bench::datasets::small;
+use pclabel_core::search::{top_down_search, SearchOptions};
+use pclabel_data::generate::scale_dataset;
+
+fn bench_data_size(c: &mut Criterion) {
+    let base = small::compas_small();
+    let mut group = c.benchmark_group("fig7_data_scaling");
+    group.sample_size(10);
+    for factor in [1.0f64, 2.0, 4.0, 8.0] {
+        let scaled = scale_dataset(&base, factor, 0xF1_67).expect("non-empty domains");
+        group.throughput(Throughput::Elements(scaled.n_rows() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("optimized/COMPAS-small", scaled.n_rows()),
+            &scaled,
+            |b, d| b.iter(|| top_down_search(d, &SearchOptions::with_bound(50)).expect("valid")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_data_size);
+criterion_main!(benches);

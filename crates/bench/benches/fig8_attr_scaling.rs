@@ -1,0 +1,26 @@
+//! Criterion version of Figure 8: label-generation runtime as a function
+//! of the number of attributes (prefix projections), bound 50.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pclabel_bench::datasets::small;
+use pclabel_core::search::{top_down_search, SearchOptions};
+
+fn bench_attr_count(c: &mut Criterion) {
+    let base = small::creditcard_small();
+    let mut group = c.benchmark_group("fig8_attr_scaling");
+    group.sample_size(10);
+    for k in [4usize, 8, 12, 16, 20, 24] {
+        let proj = base
+            .project(&(0..k).collect::<Vec<_>>())
+            .expect("prefix in range");
+        group.bench_with_input(
+            BenchmarkId::new("optimized/CreditCard-small", k),
+            &proj,
+            |b, d| b.iter(|| top_down_search(d, &SearchOptions::with_bound(50)).expect("valid")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attr_count);
+criterion_main!(benches);

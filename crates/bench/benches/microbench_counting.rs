@@ -1,0 +1,45 @@
+//! Microbenchmarks of the counting engine: group-by throughput, partition
+//! refinement, label construction and single-pattern estimation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pclabel_bench::datasets::small;
+use pclabel_core::attrset::AttrSet;
+use pclabel_core::counting::{GroupCounts, GroupIndex};
+use pclabel_core::label::Label;
+use pclabel_core::pattern::Pattern;
+
+fn bench_group_by(c: &mut Criterion) {
+    let d = small::compas_small();
+    let mut group = c.benchmark_group("group_by");
+    group.throughput(Throughput::Elements(d.n_rows() as u64));
+    for width in [2usize, 4, 8] {
+        let attrs = AttrSet::from_indices(0..width);
+        group.bench_with_input(BenchmarkId::new("build", width), &attrs, |b, &attrs| {
+            b.iter(|| GroupCounts::build(&d, None, attrs))
+        });
+    }
+    group.finish();
+}
+
+fn bench_refine(c: &mut Criterion) {
+    let d = small::compas_small();
+    let base = GroupIndex::over(&d, AttrSet::from_indices([0, 1, 2]));
+    let mut group = c.benchmark_group("refine");
+    group.throughput(Throughput::Elements(d.n_rows() as u64));
+    group.bench_function("one_column", |b| b.iter(|| base.refine(d.column(3))));
+    group.finish();
+}
+
+fn bench_label_and_estimate(c: &mut Criterion) {
+    let d = small::compas_small();
+    let attrs = AttrSet::from_indices([4, 5, 6, 7]);
+    let label = Label::build(&d, attrs);
+    let p = Pattern::from_row(&d, 0);
+    let mut group = c.benchmark_group("label");
+    group.bench_function("build_4attr", |b| b.iter(|| Label::build(&d, attrs)));
+    group.bench_function("estimate_full_tuple", |b| b.iter(|| label.estimate(&p)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_group_by, bench_refine, bench_label_and_estimate);
+criterion_main!(benches);

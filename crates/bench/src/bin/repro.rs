@@ -1,0 +1,101 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p pclabel-bench --release --bin repro -- <experiment>…
+//!
+//! experiments:
+//!   fig1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 tab1 reduction
+//!   all          run everything above
+//!
+//! environment:
+//!   PCLABEL_SCALE=0.1       shrink dataset row counts (quick runs)
+//!   PCLABEL_NAIVE_LIMIT=N   naive-search node budget (default 700000)
+//!   PCLABEL_OUT=dir         additionally write each artifact to dir/<id>.txt
+//! ```
+
+use std::time::Instant;
+
+use pclabel_bench::figures;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        eprint!("{}", USAGE);
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+
+    let mut ids: Vec<&str> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "all" => {
+                ids = ALL.to_vec();
+                break;
+            }
+            id if ALL.contains(&id) => ids.push(id),
+            other => {
+                eprintln!("unknown experiment {other:?}\n");
+                eprint!("{}", USAGE);
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let out_dir = std::env::var("PCLABEL_OUT").ok();
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create PCLABEL_OUT directory");
+    }
+
+    for id in ids {
+        let started = Instant::now();
+        let body = run(id);
+        let elapsed = started.elapsed();
+        println!("{body}");
+        println!("[{id} regenerated in {:.1}s]\n", elapsed.as_secs_f64());
+        if let Some(dir) = &out_dir {
+            let path = std::path::Path::new(dir).join(format!("{id}.txt"));
+            std::fs::write(&path, &body).expect("write artifact");
+        }
+    }
+}
+
+const ALL: [&str; 10] = [
+    "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "tab1", "reduction",
+];
+
+const USAGE: &str = "\
+usage: repro <experiment>... | all
+
+experiments:
+  fig1       label card for simplified COMPAS (paper Figure 1)
+  fig4       absolute max error vs label size (Figure 4)
+  fig5       mean q-error vs label size (Figure 5)
+  fig6       generation runtime vs bound, naive vs optimized (Figure 6)
+  fig7       generation runtime vs data size (Figure 7)
+  fig8       generation runtime vs #attributes (Figure 8)
+  fig9       candidates examined, naive vs optimized (Figure 9)
+  fig10      optimal label vs leave-one-out sub-labels (Figure 10)
+  tab1       notation/implementation map (Table I)
+  reduction  Appendix A vertex-cover reduction check (Theorem 2.17)
+  all        everything above
+
+environment:
+  PCLABEL_SCALE=0.1       shrink dataset row counts (quick runs)
+  PCLABEL_NAIVE_LIMIT=N   naive-search node budget (default 700000)
+  PCLABEL_OUT=dir         write each artifact to dir/<id>.txt as well
+";
+
+fn run(id: &str) -> String {
+    match id {
+        "fig1" => figures::fig1(),
+        "fig4" => figures::fig4(),
+        "fig5" => figures::fig5(),
+        "fig6" => figures::fig6(),
+        "fig7" => figures::fig7(),
+        "fig8" => figures::fig8(),
+        "fig9" => figures::fig9(),
+        "fig10" => figures::fig10(),
+        "tab1" => figures::table1(),
+        "reduction" => figures::reduction_demo(),
+        _ => unreachable!("validated in main"),
+    }
+}

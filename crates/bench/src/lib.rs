@@ -1,0 +1,22 @@
+//! # pclabel-bench
+//!
+//! The experiment harness reproducing every table and figure of
+//! *"Patterns Count-Based Labels for Datasets"* (§IV), plus criterion
+//! micro/macro benchmarks and ablations.
+//!
+//! * `cargo run -p pclabel-bench --release --bin repro -- all` regenerates
+//!   every artifact (Figures 1, 4–10, Table I, the Appendix-A reduction
+//!   check) as text tables;
+//! * `cargo bench -p pclabel-bench` runs the criterion timing benchmarks
+//!   (Figures 6–8 shapes on reduced configurations, counting-engine
+//!   microbenchmarks, and the ablations listed in `DESIGN.md`).
+//!
+//! Environment knobs: `PCLABEL_SCALE` (shrink dataset rows for quick
+//! runs), `PCLABEL_NAIVE_LIMIT` (naive-search node budget standing in for
+//! the paper's 30-minute timeout).
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod figures;
+pub mod sweep;

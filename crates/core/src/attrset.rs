@@ -1,0 +1,273 @@
+//! Attribute subsets as 64-bit bitsets.
+//!
+//! Every node of the paper's label lattice (Def. 3.4) is a subset of the
+//! dataset's attributes. With a `u64` bitset, subset tests, parent/child
+//! generation and the `gen` operator's index bookkeeping are single
+//! instructions. The workspace therefore supports up to 64 attributes —
+//! far beyond the paper's largest dataset (24).
+
+use std::fmt;
+
+/// Maximum number of attributes supported by [`AttrSet`].
+pub const MAX_ATTRS: usize = 64;
+
+/// A set of attribute indices, stored as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AttrSet(u64);
+
+impl AttrSet {
+    /// The empty set.
+    pub const EMPTY: AttrSet = AttrSet(0);
+
+    /// Builds a set from raw bits.
+    pub const fn from_bits(bits: u64) -> Self {
+        AttrSet(bits)
+    }
+
+    /// Raw bitmask.
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// The singleton `{attr}`.
+    pub fn singleton(attr: usize) -> Self {
+        debug_assert!(attr < MAX_ATTRS);
+        AttrSet(1u64 << attr)
+    }
+
+    /// The full set `{0, …, n-1}`.
+    pub fn full(n: usize) -> Self {
+        debug_assert!(n <= MAX_ATTRS);
+        if n == MAX_ATTRS {
+            AttrSet(u64::MAX)
+        } else {
+            AttrSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Builds a set from attribute indices.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(indices: I) -> Self {
+        let mut s = AttrSet::EMPTY;
+        for i in indices {
+            s = s.insert(i);
+        }
+        s
+    }
+
+    /// Number of attributes in the set.
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether `attr` is a member.
+    pub const fn contains(self, attr: usize) -> bool {
+        (self.0 >> attr) & 1 == 1
+    }
+
+    /// Set with `attr` added.
+    #[must_use]
+    pub fn insert(self, attr: usize) -> Self {
+        debug_assert!(attr < MAX_ATTRS);
+        AttrSet(self.0 | (1u64 << attr))
+    }
+
+    /// Set with `attr` removed.
+    #[must_use]
+    pub fn remove(self, attr: usize) -> Self {
+        AttrSet(self.0 & !(1u64 << attr))
+    }
+
+    /// Set union.
+    #[must_use]
+    pub const fn union(self, other: AttrSet) -> Self {
+        AttrSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub const fn intersect(self, other: AttrSet) -> Self {
+        AttrSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[must_use]
+    pub const fn difference(self, other: AttrSet) -> Self {
+        AttrSet(self.0 & !other.0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub const fn is_subset_of(self, other: AttrSet) -> bool {
+        self.0 & other.0 == self.0
+    }
+
+    /// Whether `self ⊂ other` (strict).
+    pub const fn is_strict_subset_of(self, other: AttrSet) -> bool {
+        self.0 != other.0 && self.is_subset_of(other)
+    }
+
+    /// Largest attribute index in the set (the paper's `idx(S)`), or `None`
+    /// for the empty set.
+    pub fn max_index(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(63 - self.0.leading_zeros() as usize)
+        }
+    }
+
+    /// Iterates over member indices in increasing order.
+    pub fn iter(self) -> AttrIter {
+        AttrIter(self.0)
+    }
+
+    /// Member indices as a vector, in increasing order.
+    pub fn to_vec(self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    /// The direct lattice parents of this set: every subset obtained by
+    /// removing exactly one attribute.
+    pub fn parents(self) -> impl Iterator<Item = AttrSet> {
+        self.iter().map(move |i| self.remove(i))
+    }
+
+    /// Renders with attribute names from `names`.
+    pub fn display_with<'a>(self, names: &'a [&'a str]) -> String {
+        let mut out = String::from("{");
+        for (k, i) in self.iter().enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(names.get(i).copied().unwrap_or("?"));
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for AttrSet {
+    /// Prints as `{i, j, …}` with raw attribute indices.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, i) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over member indices of an [`AttrSet`].
+#[derive(Debug, Clone)]
+pub struct AttrIter(u64);
+
+impl Iterator for AttrIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let i = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(i)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for AttrIter {}
+
+impl FromIterator<usize> for AttrSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        AttrSet::from_indices(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_membership() {
+        let s = AttrSet::from_indices([0, 3, 5]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(0) && s.contains(3) && s.contains(5));
+        assert!(!s.contains(1));
+        assert_eq!(s.to_vec(), vec![0, 3, 5]);
+    }
+
+    #[test]
+    fn full_and_empty() {
+        assert_eq!(AttrSet::full(4).to_vec(), vec![0, 1, 2, 3]);
+        assert_eq!(AttrSet::full(64).len(), 64);
+        assert!(AttrSet::EMPTY.is_empty());
+        assert_eq!(AttrSet::EMPTY.max_index(), None);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = AttrSet::from_indices([0, 1, 2]);
+        let b = AttrSet::from_indices([2, 3]);
+        assert_eq!(a.union(b).to_vec(), vec![0, 1, 2, 3]);
+        assert_eq!(a.intersect(b).to_vec(), vec![2]);
+        assert_eq!(a.difference(b).to_vec(), vec![0, 1]);
+        assert!(AttrSet::from_indices([1]).is_subset_of(a));
+        assert!(a.is_subset_of(a));
+        assert!(!a.is_strict_subset_of(a));
+        assert!(AttrSet::from_indices([0, 1]).is_strict_subset_of(a));
+    }
+
+    #[test]
+    fn max_index_matches_paper_idx() {
+        // idx(S) from Def. 3.5: the maximal attribute index in S.
+        assert_eq!(AttrSet::from_indices([2, 5, 1]).max_index(), Some(5));
+        assert_eq!(AttrSet::singleton(0).max_index(), Some(0));
+        assert_eq!(AttrSet::singleton(63).max_index(), Some(63));
+    }
+
+    #[test]
+    fn parents_remove_one_attribute_each() {
+        let s = AttrSet::from_indices([1, 4, 6]);
+        let parents: Vec<Vec<usize>> = s.parents().map(AttrSet::to_vec).collect();
+        assert_eq!(parents.len(), 3);
+        assert!(parents.contains(&vec![4, 6]));
+        assert!(parents.contains(&vec![1, 6]));
+        assert!(parents.contains(&vec![1, 4]));
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let s = AttrSet::from_indices([0, 2]);
+        assert_eq!(s.display_with(&["gender", "age", "race"]), "{gender, race}");
+        assert_eq!(format!("{s}"), "{0, 2}");
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let s = AttrSet::EMPTY.insert(7).insert(9).remove(7);
+        assert_eq!(s.to_vec(), vec![9]);
+        assert_eq!(s.remove(9), AttrSet::EMPTY);
+        assert_eq!(s.remove(42), s); // removing a non-member is a no-op
+    }
+
+    #[test]
+    fn iterator_size_hint_is_exact() {
+        let s = AttrSet::from_indices([0, 10, 20, 30]);
+        let it = s.iter();
+        assert_eq!(it.size_hint(), (4, Some(4)));
+        assert_eq!(it.len(), 4);
+    }
+}

@@ -1,0 +1,542 @@
+//! Bulk pattern counting: group-by over attribute projections.
+//!
+//! A label's `PC` component is exactly a group-by of the dataset on the
+//! chosen attribute subset `S`; the label-size function `|P_S|` is the
+//! number of groups. This module provides the two engines the search
+//! algorithms are built on:
+//!
+//! * [`GroupCounts`] — a hash group-by with bit-packed `u64` keys whenever
+//!   the schema fits (fast path), falling back to boxed `u32` slices;
+//! * [`GroupIndex`] — partition refinement: the dense group ids of a parent
+//!   node of the label lattice are refined by one extra column to obtain a
+//!   child's grouping in O(rows), which is how the top-down search prices
+//!   all children of a dequeued node.
+//!
+//! Missing cells are first-class: a row's projection onto `S` keeps only
+//! its defined attributes (the partial-pattern semantics required by the
+//! NP-hardness reduction of Appendix A), with missing encoded as a reserved
+//! per-attribute code so that distinct partial patterns land in distinct
+//! groups. The all-missing group corresponds to the empty pattern and is
+//! excluded from the label size.
+
+use pclabel_data::dataset::{Dataset, MISSING};
+
+use crate::attrset::AttrSet;
+use crate::hash::{fx_map_with_capacity, FxHashMap, FxHashSet};
+
+/// Encodes per-row projections onto a fixed attribute subset as compact
+/// keys. Missing is encoded as `cardinality` (one past the last valid id).
+#[derive(Debug, Clone)]
+pub struct KeyCodec {
+    attrs: Vec<usize>,
+    cards: Vec<u32>,
+    shifts: Vec<u32>,
+    /// Total bits needed; packing applies when <= 64.
+    total_bits: u32,
+}
+
+impl KeyCodec {
+    /// Builds a codec for `attrs` against `dataset`'s schema.
+    pub fn new(dataset: &Dataset, attrs: AttrSet) -> Self {
+        let attrs_vec = attrs.to_vec();
+        let mut cards = Vec::with_capacity(attrs_vec.len());
+        let mut shifts = Vec::with_capacity(attrs_vec.len());
+        let mut total = 0u32;
+        for &a in &attrs_vec {
+            let card = dataset
+                .schema()
+                .attr(a)
+                .map(|at| at.cardinality() as u32)
+                .unwrap_or(0);
+            // `card + 1` codes: 0..card for values, `card` for missing.
+            let width = 32 - card.leading_zeros().min(31);
+            let width = width.max(1);
+            shifts.push(total);
+            cards.push(card);
+            total += width;
+        }
+        Self { attrs: attrs_vec, cards, shifts, total_bits: total }
+    }
+
+    /// Whether all keys fit in a single `u64`.
+    pub fn fits_u64(&self) -> bool {
+        self.total_bits <= 64
+    }
+
+    /// Attributes covered, in increasing order.
+    pub fn attrs(&self) -> &[usize] {
+        &self.attrs
+    }
+
+    /// Packs row `r` of `dataset` into a `u64` key. Only valid when
+    /// [`KeyCodec::fits_u64`] holds.
+    #[inline]
+    pub fn encode_row_u64(&self, dataset: &Dataset, r: usize) -> u64 {
+        debug_assert!(self.fits_u64());
+        let mut key = 0u64;
+        for (i, &a) in self.attrs.iter().enumerate() {
+            let v = dataset.value_raw(r, a);
+            let code = if v == MISSING { self.cards[i] } else { v };
+            key |= (code as u64) << self.shifts[i];
+        }
+        key
+    }
+
+    /// Packs an explicit values slice (aligned with [`KeyCodec::attrs`],
+    /// `MISSING` allowed) into a `u64` key.
+    #[inline]
+    pub fn encode_values_u64(&self, values: &[u32]) -> u64 {
+        debug_assert!(self.fits_u64());
+        debug_assert_eq!(values.len(), self.attrs.len());
+        let mut key = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            let code = if v == MISSING { self.cards[i] } else { v };
+            key |= (code as u64) << self.shifts[i];
+        }
+        key
+    }
+
+    /// Extracts the values (with `MISSING` restored) from a packed key.
+    pub fn decode_u64(&self, key: u64) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.attrs.len());
+        for i in 0..self.attrs.len() {
+            let width = if i + 1 < self.attrs.len() {
+                self.shifts[i + 1] - self.shifts[i]
+            } else {
+                self.total_bits - self.shifts[i]
+            };
+            let mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let code = ((key >> self.shifts[i]) & mask) as u32;
+            out.push(if code == self.cards[i] { MISSING } else { code });
+        }
+        out
+    }
+
+    /// Collects row `r`'s projection as a wide key (raw ids with the
+    /// missing sentinel), used when packing does not fit.
+    #[inline]
+    pub fn encode_row_wide(&self, dataset: &Dataset, r: usize) -> Box<[u32]> {
+        self.attrs
+            .iter()
+            .map(|&a| dataset.value_raw(r, a))
+            .collect()
+    }
+}
+
+enum GroupMap {
+    Packed(FxHashMap<u64, u64>),
+    Wide(FxHashMap<Box<[u32]>, u64>),
+}
+
+/// The group-by of a dataset on an attribute subset: one entry per distinct
+/// (partial) projection, valued by total row weight.
+pub struct GroupCounts {
+    attrs: AttrSet,
+    codec: KeyCodec,
+    map: GroupMap,
+    /// Weight of the all-missing group (empty pattern), if any.
+    empty_group_weight: u64,
+}
+
+impl GroupCounts {
+    /// Groups `dataset` by `attrs`; row `r` contributes `weights[r]` (or 1
+    /// when `weights` is `None`).
+    pub fn build(dataset: &Dataset, weights: Option<&[u64]>, attrs: AttrSet) -> Self {
+        let codec = KeyCodec::new(dataset, attrs);
+        let n = dataset.n_rows();
+        let mut empty_group_weight = 0u64;
+
+        // The empty projection of every row is the empty pattern; that
+        // degenerate case only arises for `attrs = {}` or all-missing rows.
+        let map = if codec.fits_u64() {
+            let mut m: FxHashMap<u64, u64> = fx_map_with_capacity(n.min(1 << 16));
+            let all_missing_key = codec.encode_values_u64(
+                &vec![MISSING; codec.attrs().len()],
+            );
+            let no_attrs = codec.attrs().is_empty();
+            for r in 0..n {
+                let w = weights.map_or(1, |w| w[r]);
+                let key = codec.encode_row_u64(dataset, r);
+                if no_attrs || key == all_missing_key {
+                    empty_group_weight += w;
+                } else {
+                    *m.entry(key).or_insert(0) += w;
+                }
+            }
+            GroupMap::Packed(m)
+        } else {
+            let mut m: FxHashMap<Box<[u32]>, u64> = fx_map_with_capacity(n.min(1 << 16));
+            for r in 0..n {
+                let w = weights.map_or(1, |w| w[r]);
+                let key = codec.encode_row_wide(dataset, r);
+                if key.iter().all(|&v| v == MISSING) {
+                    empty_group_weight += w;
+                } else {
+                    *m.entry(key).or_insert(0) += w;
+                }
+            }
+            GroupMap::Wide(m)
+        };
+        Self { attrs, codec, map, empty_group_weight }
+    }
+
+    /// The attribute subset this group-by is over.
+    pub fn attrs(&self) -> AttrSet {
+        self.attrs
+    }
+
+    /// `|P_S|`: the number of distinct non-empty (partial) patterns — the
+    /// paper's label size.
+    pub fn pattern_count_size(&self) -> u64 {
+        (match &self.map {
+            GroupMap::Packed(m) => m.len(),
+            GroupMap::Wide(m) => m.len(),
+        }) as u64
+    }
+
+    /// Total weight of rows whose projection is the empty pattern (only
+    /// non-zero when `attrs` is empty or rows are missing all of `attrs`).
+    pub fn empty_group_weight(&self) -> u64 {
+        self.empty_group_weight
+    }
+
+    /// The group weight of row `r`'s projection, reading the row from
+    /// `dataset` (which must share the schema used at build time).
+    #[inline]
+    pub fn weight_of_row(&self, dataset: &Dataset, r: usize) -> u64 {
+        match &self.map {
+            GroupMap::Packed(m) => {
+                let key = self.codec.encode_row_u64(dataset, r);
+                m.get(&key).copied().unwrap_or(0)
+            }
+            GroupMap::Wide(m) => {
+                let key = self.codec.encode_row_wide(dataset, r);
+                m.get(&key).copied().unwrap_or(0)
+            }
+        }
+    }
+
+    /// The group weight for an explicit values slice aligned with
+    /// [`GroupCounts::attr_order`] (`MISSING` marks an undefined cell).
+    pub fn weight_of_values(&self, values: &[u32]) -> u64 {
+        match &self.map {
+            GroupMap::Packed(m) => {
+                let key = self.codec.encode_values_u64(values);
+                m.get(&key).copied().unwrap_or(0)
+            }
+            GroupMap::Wide(m) => m.get(values).copied().unwrap_or(0),
+        }
+    }
+
+    /// Attribute indices in key order.
+    pub fn attr_order(&self) -> &[usize] {
+        self.codec.attrs()
+    }
+
+    /// Iterates over `(values, weight)` pairs; `values` is aligned with
+    /// [`GroupCounts::attr_order`] and may contain `MISSING`.
+    pub fn iter(&self) -> GroupIter<'_> {
+        match &self.map {
+            GroupMap::Packed(m) => Box::new(
+                m.iter().map(move |(&k, &w)| (self.codec.decode_u64(k), w)),
+            ),
+            GroupMap::Wide(m) => Box::new(m.iter().map(|(k, &w)| (k.to_vec(), w))),
+        }
+    }
+}
+
+/// Iterator over a group-by's `(values, weight)` entries.
+pub type GroupIter<'a> = Box<dyn Iterator<Item = (Vec<u32>, u64)> + 'a>;
+
+/// Dense row→group assignment supporting partition refinement.
+#[derive(Debug, Clone)]
+pub struct GroupIndex {
+    ids: Vec<u32>,
+    /// Per group: is this the all-missing (empty-pattern) group?
+    all_missing: Vec<bool>,
+}
+
+impl GroupIndex {
+    /// The trivial partition: every row in one group (the empty projection).
+    pub fn unit(n_rows: usize) -> Self {
+        Self { ids: vec![0; n_rows], all_missing: vec![true] }
+    }
+
+    /// Number of rows indexed.
+    pub fn n_rows(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of groups (including a possible all-missing group).
+    pub fn n_groups(&self) -> usize {
+        self.all_missing.len()
+    }
+
+    /// `|P_S|`: groups excluding the all-missing one.
+    pub fn pattern_count_size(&self) -> u64 {
+        let missing = self.all_missing.iter().filter(|&&b| b).count() as u64;
+        self.all_missing.len() as u64 - missing
+    }
+
+    /// Group id of row `r`.
+    #[inline]
+    pub fn group_of(&self, r: usize) -> u32 {
+        self.ids[r]
+    }
+
+    /// Refines the partition by `column`: rows agree in the result iff they
+    /// agreed before *and* share the same value (missing = its own code).
+    pub fn refine(&self, column: &[u32]) -> GroupIndex {
+        debug_assert_eq!(column.len(), self.ids.len());
+        let mut remap: FxHashMap<u64, u32> = fx_map_with_capacity(self.all_missing.len() * 2);
+        let mut ids = Vec::with_capacity(self.ids.len());
+        let mut all_missing = Vec::new();
+        for (r, &old) in self.ids.iter().enumerate() {
+            let v = column[r];
+            // Compose (old group, value) into one u64 key; MISSING folds to
+            // a reserved code that cannot collide with real ids.
+            let code = if v == MISSING { u32::MAX } else { v };
+            let key = ((old as u64) << 32) | code as u64;
+            let next = all_missing.len() as u32;
+            let id = *remap.entry(key).or_insert_with(|| {
+                all_missing.push(self.all_missing[old as usize] && v == MISSING);
+                next
+            });
+            ids.push(id);
+        }
+        GroupIndex { ids, all_missing }
+    }
+
+    /// Builds the partition for `attrs` by successive refinement.
+    pub fn over(dataset: &Dataset, attrs: AttrSet) -> GroupIndex {
+        let mut idx = GroupIndex::unit(dataset.n_rows());
+        for a in attrs.iter() {
+            idx = idx.refine(dataset.column(a));
+        }
+        idx
+    }
+}
+
+/// Convenience: the paper's `labelSize(S, D)` — the number of distinct
+/// non-empty patterns over `attrs` present in `dataset`.
+pub fn label_size(dataset: &Dataset, attrs: AttrSet) -> u64 {
+    GroupCounts::build(dataset, None, attrs).pattern_count_size()
+}
+
+/// Bound-aware label sizing: returns `Some(|P_S|)` when it is ≤ `bound`,
+/// or `None` as soon as the running distinct count exceeds it.
+///
+/// This is the work-horse of both search algorithms: with the paper's
+/// small bounds (≤ 100), an over-budget subset is usually detected within
+/// the first few hundred rows instead of scanning the whole table, which
+/// turns the lattice walk from O(nodes × rows) into O(nodes × rows-until-
+/// overflow) — the dominant cost of Figures 6–9.
+pub fn label_size_bounded(dataset: &Dataset, attrs: AttrSet, bound: u64) -> Option<u64> {
+    let codec = KeyCodec::new(dataset, attrs);
+    let n = dataset.n_rows();
+    if attrs.is_empty() {
+        return Some(0);
+    }
+    // Capacity bound+2: the scan aborts at bound+1 distinct keys (of which
+    // one may be the excluded all-missing key).
+    let cap = (bound as usize).saturating_add(2);
+    if codec.fits_u64() {
+        let all_missing_key = codec.encode_values_u64(&vec![MISSING; codec.attrs().len()]);
+        let mut seen: FxHashSet<u64> = crate::hash::fx_set_with_capacity(cap.min(1 << 12));
+        for r in 0..n {
+            let key = codec.encode_row_u64(dataset, r);
+            if key == all_missing_key {
+                continue;
+            }
+            if seen.insert(key) && seen.len() as u64 > bound {
+                return None;
+            }
+        }
+        Some(seen.len() as u64)
+    } else {
+        let mut seen: FxHashSet<Box<[u32]>> = crate::hash::fx_set_with_capacity(cap.min(1 << 12));
+        for r in 0..n {
+            let key = codec.encode_row_wide(dataset, r);
+            if key.iter().all(|&v| v == MISSING) {
+                continue;
+            }
+            if seen.insert(key) && seen.len() as u64 > bound {
+                return None;
+            }
+        }
+        Some(seen.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pclabel_data::dataset::DatasetBuilder;
+    use pclabel_data::generate::figure2_sample;
+    use crate::pattern::Pattern;
+
+    #[test]
+    fn example_2_10_group_counts() {
+        // L_{age group, marital status}: PC = {(under20,single):6,
+        // (20-39,married):6, (20-39,divorced):6}.
+        let d = figure2_sample();
+        let attrs = AttrSet::from_indices([1, 3]);
+        let g = GroupCounts::build(&d, None, attrs);
+        assert_eq!(g.pattern_count_size(), 3);
+        let mut entries: Vec<(Vec<u32>, u64)> = g.iter().collect();
+        entries.sort();
+        assert!(entries.iter().all(|&(_, w)| w == 6));
+    }
+
+    #[test]
+    fn example_2_10_second_label() {
+        // L_{gender, age group}: 4 patterns with counts 3,3,6,6.
+        let d = figure2_sample();
+        let g = GroupCounts::build(&d, None, AttrSet::from_indices([0, 1]));
+        assert_eq!(g.pattern_count_size(), 4);
+        let mut weights: Vec<u64> = g.iter().map(|(_, w)| w).collect();
+        weights.sort_unstable();
+        assert_eq!(weights, vec![3, 3, 6, 6]);
+    }
+
+    #[test]
+    fn group_weights_match_scan_counts() {
+        let d = figure2_sample();
+        for attrs in [
+            AttrSet::from_indices([0]),
+            AttrSet::from_indices([0, 2]),
+            AttrSet::from_indices([0, 1, 2, 3]),
+        ] {
+            let g = GroupCounts::build(&d, None, attrs);
+            for r in 0..d.n_rows() {
+                let p = Pattern::from_row(&d, r).restrict(attrs);
+                assert_eq!(g.weight_of_row(&d, r), p.count_in(&d), "row {r} attrs {attrs}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_attrs_is_one_empty_group() {
+        let d = figure2_sample();
+        let g = GroupCounts::build(&d, None, AttrSet::EMPTY);
+        assert_eq!(g.pattern_count_size(), 0);
+        assert_eq!(g.empty_group_weight(), 18);
+    }
+
+    #[test]
+    fn weights_flow_through() {
+        let d = figure2_sample();
+        let (distinct, w) = d.compress();
+        let attrs = AttrSet::from_indices([1, 3]);
+        let raw = GroupCounts::build(&d, None, attrs);
+        let compressed = GroupCounts::build(&distinct, Some(&w), attrs);
+        assert_eq!(raw.pattern_count_size(), compressed.pattern_count_size());
+        for r in 0..distinct.n_rows() {
+            assert_eq!(
+                raw.weight_of_row(&distinct, r),
+                compressed.weight_of_row(&distinct, r)
+            );
+        }
+    }
+
+    #[test]
+    fn missing_values_form_partial_patterns() {
+        // Rows: (x, 1), (x, ⊥), (⊥, ⊥).
+        let mut b = DatasetBuilder::new(["a", "b"]);
+        b.push_row_opt(&[Some("x"), Some("1")]).unwrap();
+        b.push_row_opt(&[Some("x"), None::<&str>]).unwrap();
+        b.push_row_opt(&[None::<&str>, None::<&str>]).unwrap();
+        let d = b.finish();
+        let g = GroupCounts::build(&d, None, AttrSet::from_indices([0, 1]));
+        // Distinct non-empty projections: {a=x, b=1} and {a=x}.
+        assert_eq!(g.pattern_count_size(), 2);
+        assert_eq!(g.empty_group_weight(), 1);
+        // Group weights are partition weights, not pattern counts.
+        assert_eq!(g.weight_of_row(&d, 0), 1);
+        assert_eq!(g.weight_of_row(&d, 1), 1);
+    }
+
+    #[test]
+    fn wide_keys_used_for_huge_schemas() {
+        // Force > 64 bits of key: 9 attributes with 300 values each
+        // (9 bits apiece = 81 bits).
+        let names: Vec<String> = (0..9).map(|i| format!("w{i}")).collect();
+        let mut b = DatasetBuilder::new(&names);
+        for r in 0..300 {
+            let row: Vec<String> = (0..9).map(|a| format!("{}", (r * (a + 1)) % 300)).collect();
+            b.push_row(&row).unwrap();
+        }
+        let d = b.finish();
+        let attrs = AttrSet::full(9);
+        let codec = KeyCodec::new(&d, attrs);
+        assert!(!codec.fits_u64());
+        let g = GroupCounts::build(&d, None, attrs);
+        assert_eq!(g.pattern_count_size(), 300);
+        for r in 0..d.n_rows() {
+            assert_eq!(g.weight_of_row(&d, r), 1);
+        }
+    }
+
+    #[test]
+    fn codec_roundtrip_decodes_values() {
+        let d = figure2_sample();
+        let attrs = AttrSet::from_indices([0, 2, 3]);
+        let codec = KeyCodec::new(&d, attrs);
+        assert!(codec.fits_u64());
+        for r in 0..d.n_rows() {
+            let key = codec.encode_row_u64(&d, r);
+            let vals = codec.decode_u64(key);
+            let expect: Vec<u32> =
+                codec.attrs().iter().map(|&a| d.value_raw(r, a)).collect();
+            assert_eq!(vals, expect);
+        }
+    }
+
+    #[test]
+    fn group_index_matches_group_counts() {
+        let d = figure2_sample();
+        for attrs in [
+            AttrSet::from_indices([0]),
+            AttrSet::from_indices([1, 3]),
+            AttrSet::full(4),
+        ] {
+            let idx = GroupIndex::over(&d, attrs);
+            let g = GroupCounts::build(&d, None, attrs);
+            assert_eq!(idx.pattern_count_size(), g.pattern_count_size());
+        }
+    }
+
+    #[test]
+    fn group_index_refinement_tracks_missing() {
+        let mut b = DatasetBuilder::new(["a", "b"]);
+        b.push_row_opt(&[Some("x"), Some("1")]).unwrap();
+        b.push_row_opt(&[None::<&str>, None::<&str>]).unwrap();
+        b.push_row_opt(&[None::<&str>, Some("1")]).unwrap();
+        let d = b.finish();
+        let idx = GroupIndex::over(&d, AttrSet::from_indices([0, 1]));
+        // Projections: {a=x,b=1}, {}, {b=1} → 3 groups, one all-missing.
+        assert_eq!(idx.n_groups(), 3);
+        assert_eq!(idx.pattern_count_size(), 2);
+    }
+
+    #[test]
+    fn group_index_unit_is_empty_pattern() {
+        let idx = GroupIndex::unit(5);
+        assert_eq!(idx.n_groups(), 1);
+        assert_eq!(idx.pattern_count_size(), 0);
+        assert_eq!(idx.n_rows(), 5);
+    }
+
+    #[test]
+    fn label_size_on_figure2_matches_example_3_7() {
+        // Example 3.7 with attribute indices g=0, a=1, r=2, m=3. Note the
+        // paper's prose swaps {a,r} and {a,m} mid-example (it says {a,r}
+        // has size 3 but then returns {a,m} as the winner); the actual
+        // Figure 2 data gives |P_{a,m}| = 3 (see Example 2.10's PC set) and
+        // |P_{a,r}| = 6, consistent with the example's conclusion.
+        let d = figure2_sample();
+        assert_eq!(label_size(&d, AttrSet::from_indices([0, 1])), 4);
+        assert_eq!(label_size(&d, AttrSet::from_indices([1, 2])), 6);
+        assert_eq!(label_size(&d, AttrSet::from_indices([1, 3])), 3);
+    }
+}

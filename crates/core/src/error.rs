@@ -1,0 +1,289 @@
+//! Estimation-error metrics (paper Definition 2.13 and §II-B "Error
+//! metric", §IV-B "Error Measures").
+//!
+//! The paper's primary objective is the **maximum absolute error** over a
+//! pattern set — "stiffer" than a mean, it bounds the error a user can
+//! encounter. The evaluation additionally reports mean absolute error, its
+//! standard deviation (Figure 1's footer), and the **q-error** standard in
+//! selectivity estimation: `max(c/est, est/c)` with `est` clamped to 1 when
+//! the estimate is 0.
+
+/// Absolute estimation error `|c_D(p) − Est(p, l)|` (Definition 2.13).
+#[inline]
+pub fn absolute_error(actual: u64, estimate: f64) -> f64 {
+    (actual as f64 - estimate).abs()
+}
+
+/// q-error `max(c/est, est/c)`, computed on the estimate **rounded to an
+/// integer count** and clamped to at least 1.
+///
+/// §IV-B says "we set est(p) = 1 whenever the actual estimation was 0".
+/// Taken literally on raw real-valued estimates, a pattern estimated at
+/// `10⁻²⁰` (a product of many independence fractions) would yield a
+/// q-error of `10²⁰` — yet the paper reports single-digit mean q-errors
+/// and max q-errors equal to pattern counts (47, 234, …). Those numbers
+/// are reproducible exactly when the estimate is first rounded to an
+/// integer count (so near-zero estimates become 0 and are then clamped to
+/// 1); this function therefore implements that reading. A zero actual
+/// (possible only for user-supplied pattern sets; the paper's `P_S`
+/// entries always have positive counts) is treated symmetrically.
+#[inline]
+pub fn q_error(actual: u64, estimate: f64) -> f64 {
+    let c = if actual == 0 { 1.0 } else { actual as f64 };
+    let e = estimate.round().max(1.0);
+    (c / e).max(e / c)
+}
+
+/// Which scalar a search optimizes (the paper optimizes `MaxAbsolute`;
+/// §II-B notes the problem and algorithms are unchanged under q-error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ErrorMetric {
+    /// Maximum absolute error (the paper's objective).
+    #[default]
+    MaxAbsolute,
+    /// Mean absolute error.
+    MeanAbsolute,
+    /// Maximum q-error.
+    MaxQ,
+    /// Mean q-error.
+    MeanQ,
+}
+
+impl ErrorMetric {
+    /// Extracts this metric's value from computed [`ErrorStats`].
+    pub fn of(self, stats: &ErrorStats) -> f64 {
+        match self {
+            ErrorMetric::MaxAbsolute => stats.max_abs,
+            ErrorMetric::MeanAbsolute => stats.mean_abs,
+            ErrorMetric::MaxQ => stats.max_q,
+            ErrorMetric::MeanQ => stats.mean_q,
+        }
+    }
+
+    /// Whether the sorted-by-count early-exit scan (§IV-C) is sound for
+    /// this metric. It only prunes the *maximum absolute* error search.
+    pub fn supports_early_exit(self) -> bool {
+        matches!(self, ErrorMetric::MaxAbsolute)
+    }
+}
+
+impl std::fmt::Display for ErrorMetric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorMetric::MaxAbsolute => "max-absolute",
+            ErrorMetric::MeanAbsolute => "mean-absolute",
+            ErrorMetric::MaxQ => "max-q",
+            ErrorMetric::MeanQ => "mean-q",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Streaming accumulator for error statistics over a pattern set.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorAccumulator {
+    n: u64,
+    sum_abs: f64,
+    sum_abs_sq: f64,
+    max_abs: f64,
+    sum_q: f64,
+    max_q: f64,
+}
+
+impl ErrorAccumulator {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one `(actual, estimate)` observation.
+    #[inline]
+    pub fn push(&mut self, actual: u64, estimate: f64) {
+        let abs = absolute_error(actual, estimate);
+        let q = q_error(actual, estimate);
+        self.n += 1;
+        self.sum_abs += abs;
+        self.sum_abs_sq += abs * abs;
+        if abs > self.max_abs {
+            self.max_abs = abs;
+        }
+        self.sum_q += q;
+        if q > self.max_q {
+            self.max_q = q;
+        }
+    }
+
+    /// Running maximum absolute error (used by the early-exit scan).
+    #[inline]
+    pub fn max_abs(&self) -> f64 {
+        self.max_abs
+    }
+
+    /// Number of observations so far.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Merges another accumulator (parallel evaluation).
+    pub fn merge(&mut self, other: &ErrorAccumulator) {
+        self.n += other.n;
+        self.sum_abs += other.sum_abs;
+        self.sum_abs_sq += other.sum_abs_sq;
+        self.max_abs = self.max_abs.max(other.max_abs);
+        self.sum_q += other.sum_q;
+        self.max_q = self.max_q.max(other.max_q);
+    }
+
+    /// Finalizes into summary statistics.
+    pub fn finish(&self, early_exited: bool) -> ErrorStats {
+        let n = self.n.max(1) as f64;
+        let mean_abs = self.sum_abs / n;
+        let var = (self.sum_abs_sq / n - mean_abs * mean_abs).max(0.0);
+        ErrorStats {
+            n: self.n,
+            max_abs: self.max_abs,
+            mean_abs,
+            std_abs: var.sqrt(),
+            max_q: self.max_q,
+            mean_q: self.sum_q / n,
+            early_exited,
+        }
+    }
+}
+
+/// Summary error statistics of a label against a pattern set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Number of patterns evaluated.
+    pub n: u64,
+    /// Maximum absolute error (the paper's `Err(l, P)`).
+    pub max_abs: f64,
+    /// Mean absolute error (Figure 1 footer / Figure 4 parentheses).
+    pub mean_abs: f64,
+    /// Standard deviation of the absolute error (Figure 1 footer).
+    pub std_abs: f64,
+    /// Maximum q-error.
+    pub max_q: f64,
+    /// Mean q-error (Figure 5).
+    pub mean_q: f64,
+    /// True when the §IV-C early-exit fired: `max_abs` is exact but the
+    /// mean/std/q fields cover only the scanned prefix.
+    pub early_exited: bool,
+}
+
+impl ErrorStats {
+    /// Stats of an empty evaluation.
+    pub fn empty() -> Self {
+        ErrorAccumulator::new().finish(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_error_is_symmetric_distance() {
+        assert_eq!(absolute_error(10, 7.0), 3.0);
+        assert_eq!(absolute_error(7, 10.0), 3.0);
+        assert_eq!(absolute_error(5, 5.0), 0.0);
+    }
+
+    #[test]
+    fn q_error_basics() {
+        assert_eq!(q_error(10, 5.0), 2.0);
+        assert_eq!(q_error(5, 10.0), 2.0);
+        assert_eq!(q_error(7, 7.0), 1.0);
+        // Zero estimate clamps to 1 (paper §IV-B).
+        assert_eq!(q_error(20, 0.0), 20.0);
+        // Zero actual treated symmetrically.
+        assert_eq!(q_error(0, 5.0), 5.0);
+        assert_eq!(q_error(0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn q_error_rounds_estimates_to_counts() {
+        // A vanishing-but-nonzero estimate behaves like 0 → clamped to 1,
+        // so the q-error is bounded by the pattern count (the paper's
+        // reported max q-errors equal pattern counts).
+        assert_eq!(q_error(234, 1e-20), 234.0);
+        assert_eq!(q_error(3, 0.4), 3.0);
+        assert_eq!(q_error(10, 4.7), 2.0); // rounds to 5
+        assert_eq!(q_error(1, 1.4), 1.0);
+    }
+
+    #[test]
+    fn q_error_at_least_one() {
+        for (a, e) in [(1u64, 0.5), (3, 3.3), (100, 250.0), (7, 0.0)] {
+            assert!(q_error(a, e) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn accumulator_summary() {
+        let mut acc = ErrorAccumulator::new();
+        acc.push(10, 10.0); // abs 0, q 1
+        acc.push(10, 5.0); // abs 5, q 2
+        acc.push(4, 8.0); // abs 4, q 2
+        let s = acc.finish(false);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.max_abs, 5.0);
+        assert!((s.mean_abs - 3.0).abs() < 1e-12);
+        assert_eq!(s.max_q, 2.0);
+        assert!((s.mean_q - 5.0 / 3.0).abs() < 1e-12);
+        // std of {0, 5, 4} around mean 3: sqrt((9+4+1)/3).
+        assert!((s.std_abs - (14.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!(!s.early_exited);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let obs = [(10u64, 3.0), (2, 2.0), (7, 9.5), (1, 0.0), (40, 44.0)];
+        let mut whole = ErrorAccumulator::new();
+        for &(a, e) in &obs {
+            whole.push(a, e);
+        }
+        let mut left = ErrorAccumulator::new();
+        let mut right = ErrorAccumulator::new();
+        for &(a, e) in &obs[..2] {
+            left.push(a, e);
+        }
+        for &(a, e) in &obs[2..] {
+            right.push(a, e);
+        }
+        left.merge(&right);
+        let a = whole.finish(false);
+        let b = left.finish(false);
+        assert_eq!(a.n, b.n);
+        assert!((a.mean_abs - b.mean_abs).abs() < 1e-12);
+        assert!((a.std_abs - b.std_abs).abs() < 1e-12);
+        assert_eq!(a.max_abs, b.max_abs);
+        assert_eq!(a.max_q, b.max_q);
+    }
+
+    #[test]
+    fn metric_selection() {
+        let mut acc = ErrorAccumulator::new();
+        acc.push(10, 5.0);
+        let s = acc.finish(false);
+        assert_eq!(ErrorMetric::MaxAbsolute.of(&s), 5.0);
+        assert_eq!(ErrorMetric::MeanAbsolute.of(&s), 5.0);
+        assert_eq!(ErrorMetric::MaxQ.of(&s), 2.0);
+        assert_eq!(ErrorMetric::MeanQ.of(&s), 2.0);
+        assert!(ErrorMetric::MaxAbsolute.supports_early_exit());
+        assert!(!ErrorMetric::MeanQ.supports_early_exit());
+    }
+
+    #[test]
+    fn empty_stats_are_zeroed() {
+        let s = ErrorStats::empty();
+        assert_eq!(s.n, 0);
+        assert_eq!(s.max_abs, 0.0);
+        assert_eq!(s.mean_abs, 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! The label lattice and the `gen` operator (paper Definitions 3.4–3.5).
+//!
+//! The lattice's nodes are all attribute subsets; `S1 → S2` is an edge when
+//! `S2 = S1 ∪ {A}` for a single attribute. A top-down scan visits each node
+//! exactly once by only extending a set with attributes of index greater
+//! than its current maximum (`gen`), i.e. the classic set-enumeration-tree
+//! ordering [Rymon '92] the paper builds on.
+
+use crate::attrset::AttrSet;
+
+/// The paper's `gen(S)`: all of `S ∪ {A_j}` for `idx(S) < j <= n`, where
+/// `idx(S)` is the maximal attribute index of `S` (and `-∞` for `∅`).
+pub fn gen(s: AttrSet, n_attrs: usize) -> impl Iterator<Item = AttrSet> {
+    let start = s.max_index().map_or(0, |m| m + 1);
+    (start..n_attrs).map(move |j| s.insert(j))
+}
+
+/// All direct children of `S` in the lattice (supersets by one attribute).
+/// `gen(S) ⊆ children(S)`; the difference is children extending *below*
+/// `idx(S)`, which the set-enumeration order deliberately skips.
+pub fn children(s: AttrSet, n_attrs: usize) -> impl Iterator<Item = AttrSet> {
+    (0..n_attrs)
+        .filter(move |&j| !s.contains(j))
+        .map(move |j| s.insert(j))
+}
+
+/// Iterator over all subsets of `{0, …, n−1}` of size exactly `k`, in
+/// lexicographic order of their index vectors (the naive algorithm's
+/// level-wise enumeration).
+pub struct Combinations {
+    n: usize,
+    k: usize,
+    indices: Vec<usize>,
+    done: bool,
+}
+
+impl Combinations {
+    /// Size-`k` subsets of `n` attributes.
+    pub fn new(n: usize, k: usize) -> Self {
+        let done = k > n;
+        Self { n, k, indices: (0..k).collect(), done }
+    }
+}
+
+impl Iterator for Combinations {
+    type Item = AttrSet;
+
+    fn next(&mut self) -> Option<AttrSet> {
+        if self.done {
+            return None;
+        }
+        let current = AttrSet::from_indices(self.indices.iter().copied());
+        // Advance to the next combination.
+        if self.k == 0 {
+            self.done = true;
+            return Some(current);
+        }
+        let mut i = self.k;
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            if self.indices[i] != i + self.n - self.k {
+                self.indices[i] += 1;
+                for j in i + 1..self.k {
+                    self.indices[j] = self.indices[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        Some(current)
+    }
+}
+
+/// All `2^n` subsets (small `n` only; used by tests and the naive search's
+/// exhaustiveness accounting).
+pub fn all_subsets(n_attrs: usize) -> impl Iterator<Item = AttrSet> {
+    assert!(n_attrs <= 24, "all_subsets is for small lattices");
+    (0u64..(1u64 << n_attrs)).map(AttrSet::from_bits)
+}
+
+/// Binomial coefficient `C(n, k)` saturating at `u64::MAX`.
+pub fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc * (n - i) as u128 / (i + 1) as u128;
+        if acc > u64::MAX as u128 {
+            return u64::MAX;
+        }
+    }
+    acc as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::FxHashSet;
+
+    #[test]
+    fn gen_matches_example_3_6() {
+        // S = {gender, race} = {0, 2} in Figure 2's order; gen(S) adds only
+        // attributes with index > 2, i.e. marital status (3) — not age (1).
+        let s = AttrSet::from_indices([0, 2]);
+        let out: Vec<AttrSet> = gen(s, 4).collect();
+        assert_eq!(out, vec![AttrSet::from_indices([0, 2, 3])]);
+    }
+
+    #[test]
+    fn gen_of_empty_yields_singletons() {
+        let out: Vec<Vec<usize>> = gen(AttrSet::EMPTY, 3).map(AttrSet::to_vec).collect();
+        assert_eq!(out, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn gen_is_subset_of_children() {
+        let s = AttrSet::from_indices([1, 3]);
+        let g: FxHashSet<AttrSet> = gen(s, 6).collect();
+        let c: FxHashSet<AttrSet> = children(s, 6).collect();
+        assert!(g.is_subset(&c));
+        assert_eq!(c.len(), 4);
+        assert_eq!(g.len(), 2); // only indices 4, 5
+    }
+
+    #[test]
+    fn top_down_bfs_reaches_every_node_exactly_once() {
+        // Proposition 3.8: a full BFS from ∅ using gen() enumerates each of
+        // the 2^n subsets exactly once.
+        for n in 1..=6usize {
+            let mut seen: FxHashSet<AttrSet> = FxHashSet::default();
+            let mut queue = std::collections::VecDeque::from([AttrSet::EMPTY]);
+            seen.insert(AttrSet::EMPTY);
+            while let Some(s) = queue.pop_front() {
+                for c in gen(s, n) {
+                    assert!(seen.insert(c), "node {c} generated twice (n={n})");
+                    queue.push_back(c);
+                }
+            }
+            assert_eq!(seen.len(), 1 << n);
+        }
+    }
+
+    #[test]
+    fn combinations_enumerate_all_k_subsets() {
+        for n in 0..=7usize {
+            for k in 0..=n {
+                let combos: Vec<AttrSet> = Combinations::new(n, k).collect();
+                assert_eq!(combos.len() as u64, binomial(n as u64, k as u64), "n={n} k={k}");
+                let distinct: FxHashSet<AttrSet> = combos.iter().copied().collect();
+                assert_eq!(distinct.len(), combos.len());
+                assert!(combos.iter().all(|s| s.len() == k));
+            }
+        }
+    }
+
+    #[test]
+    fn combinations_k_greater_than_n_is_empty() {
+        assert_eq!(Combinations::new(3, 4).count(), 0);
+    }
+
+    #[test]
+    fn combinations_zero_k() {
+        let combos: Vec<AttrSet> = Combinations::new(5, 0).collect();
+        assert_eq!(combos, vec![AttrSet::EMPTY]);
+    }
+
+    #[test]
+    fn all_subsets_counts() {
+        assert_eq!(all_subsets(0).count(), 1);
+        assert_eq!(all_subsets(5).count(), 32);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(17, 2), 136);
+        assert_eq!(binomial(17, 5), 6188);
+        // The paper's COMPAS naive count at bound 10: sizes 2..=5.
+        let total: u64 = (2..=5).map(|k| binomial(17, k)).sum();
+        assert_eq!(total, 9384);
+        assert_eq!(binomial(5, 9), 0);
+        assert_eq!(binomial(24, 12), 2_704_156);
+    }
+}

@@ -1,0 +1,183 @@
+//! Multi-label estimation (the paper's §II-C future work: "derive best
+//! estimates from multiple labels").
+//!
+//! A dataset publisher can ship several small labels instead of one large
+//! one. Each query pattern is then answered by combining the per-label
+//! estimates. Three strategies are provided:
+//!
+//! * [`CombineStrategy::MostSpecific`] — use the label whose subset
+//!   overlaps the pattern's attributes the most (the anchored count then
+//!   absorbs the most correlation structure; ties prefer the smaller
+//!   label);
+//! * [`CombineStrategy::MinEstimate`] — the minimum across labels, a
+//!   conservative choice for under-representation auditing, where missing
+//!   a sparse group is the costly failure mode;
+//! * [`CombineStrategy::GeometricMean`] — a symmetric compromise.
+
+use crate::label::Label;
+use crate::pattern::Pattern;
+
+/// How per-label estimates are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CombineStrategy {
+    /// Use the label with the largest `|S ∩ Attr(p)|`.
+    #[default]
+    MostSpecific,
+    /// Take the minimum estimate.
+    MinEstimate,
+    /// Take the geometric mean of all estimates.
+    GeometricMean,
+}
+
+/// A collection of labels over the same dataset acting as one estimator.
+pub struct MultiLabel {
+    labels: Vec<Label>,
+}
+
+impl MultiLabel {
+    /// Creates a multi-label from at least one label.
+    ///
+    /// # Panics
+    /// Panics if `labels` is empty.
+    pub fn new(labels: Vec<Label>) -> Self {
+        assert!(!labels.is_empty(), "MultiLabel needs at least one label");
+        Self { labels }
+    }
+
+    /// The member labels.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Combined `|PC|` footprint across member labels.
+    pub fn pattern_count_size(&self) -> u64 {
+        self.labels.iter().map(Label::pattern_count_size).sum()
+    }
+
+    /// Estimates `c_D(p)` under the chosen strategy.
+    pub fn estimate(&self, p: &Pattern, strategy: CombineStrategy) -> f64 {
+        match strategy {
+            CombineStrategy::MostSpecific => self.most_specific(p).estimate(p),
+            CombineStrategy::MinEstimate => self
+                .labels
+                .iter()
+                .map(|l| l.estimate(p))
+                .fold(f64::INFINITY, f64::min),
+            CombineStrategy::GeometricMean => {
+                let estimates: Vec<f64> = self.labels.iter().map(|l| l.estimate(p)).collect();
+                if estimates.contains(&0.0) {
+                    return 0.0;
+                }
+                let log_sum: f64 = estimates.iter().map(|e| e.ln()).sum();
+                (log_sum / estimates.len() as f64).exp()
+            }
+        }
+    }
+
+    /// The label whose attribute set overlaps `Attr(p)` the most
+    /// (ties: smaller `|PC|`, then declaration order).
+    pub fn most_specific(&self, p: &Pattern) -> &Label {
+        let pattrs = p.attrs();
+        self.labels
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, l)| {
+                let overlap = l.attrs().intersect(pattrs).len();
+                // max overlap → min of negated overlap.
+                (usize::MAX - overlap, l.pattern_count_size(), *i)
+            })
+            .map(|(_, l)| l)
+            .expect("non-empty by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrset::AttrSet;
+    use pclabel_data::generate::figure2_sample;
+
+    fn fig2_multilabel() -> (pclabel_data::dataset::Dataset, MultiLabel) {
+        let d = figure2_sample();
+        let l1 = Label::build(&d, AttrSet::from_indices([0, 1])); // gender, age
+        let l2 = Label::build(&d, AttrSet::from_indices([1, 3])); // age, marital
+        (d, MultiLabel::new(vec![l1, l2]))
+    }
+
+    #[test]
+    fn most_specific_picks_larger_overlap() {
+        let (d, ml) = fig2_multilabel();
+        // Pattern over {age, marital}: l2 overlaps 2, l1 overlaps 1.
+        let p = Pattern::parse(
+            &d,
+            &[("age group", "20-39"), ("marital status", "married")],
+        )
+        .unwrap();
+        assert_eq!(ml.most_specific(&p).attrs(), AttrSet::from_indices([1, 3]));
+        // It is exact there.
+        assert_eq!(ml.estimate(&p, CombineStrategy::MostSpecific), 6.0);
+    }
+
+    #[test]
+    fn most_specific_beats_either_single_label_on_mixed_workload() {
+        let (d, ml) = fig2_multilabel();
+        // Example 2.12's pattern: l1 estimates 2, l2 estimates 3 (exact).
+        let p = Pattern::parse(
+            &d,
+            &[("gender", "Female"), ("age group", "20-39"), ("marital status", "married")],
+        )
+        .unwrap();
+        // Both labels overlap 2 attributes; tie broken by smaller PC:
+        // l2 has |PC| = 3 < l1's 4, so the exact label wins.
+        assert_eq!(ml.estimate(&p, CombineStrategy::MostSpecific), 3.0);
+    }
+
+    #[test]
+    fn min_estimate_is_lower_envelope() {
+        let (d, ml) = fig2_multilabel();
+        let p = Pattern::parse(
+            &d,
+            &[("gender", "Female"), ("age group", "20-39"), ("marital status", "married")],
+        )
+        .unwrap();
+        let e = ml.estimate(&p, CombineStrategy::MinEstimate);
+        assert_eq!(e, 2.0); // min(2, 3)
+    }
+
+    #[test]
+    fn geometric_mean_between_extremes() {
+        let (d, ml) = fig2_multilabel();
+        let p = Pattern::parse(
+            &d,
+            &[("gender", "Female"), ("age group", "20-39"), ("marital status", "married")],
+        )
+        .unwrap();
+        let g = ml.estimate(&p, CombineStrategy::GeometricMean);
+        assert!((g - (2.0f64 * 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_zero_if_any_zero() {
+        let (d, ml) = fig2_multilabel();
+        // {age=under 20, marital=married} never occurs → l2 estimates 0.
+        let p = Pattern::parse(
+            &d,
+            &[("age group", "under 20"), ("marital status", "married")],
+        )
+        .unwrap();
+        assert_eq!(ml.estimate(&p, CombineStrategy::GeometricMean), 0.0);
+    }
+
+    #[test]
+    fn footprint_sums_members() {
+        let (_, ml) = fig2_multilabel();
+        assert_eq!(ml.pattern_count_size(), 4 + 3);
+        assert_eq!(ml.labels().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one label")]
+    fn empty_multilabel_panics() {
+        let _ = MultiLabel::new(vec![]);
+    }
+}

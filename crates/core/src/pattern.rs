@@ -1,0 +1,295 @@
+//! Patterns: attribute-value combinations (paper Definition 2.1).
+//!
+//! A pattern `p = {A_{i1} = a_1, …, A_{ik} = a_k}` assigns one dictionary
+//! id to each attribute in `Attr(p)`. Patterns are the unit of everything
+//! in the paper: labels store pattern counts, the estimation function maps
+//! patterns to estimated counts, and error is measured over pattern sets.
+
+use std::fmt;
+
+use pclabel_data::dataset::{Dataset, MISSING};
+
+use crate::attrset::AttrSet;
+
+/// An attribute-value combination.
+///
+/// Terms are kept sorted by attribute index, so two patterns over the same
+/// assignments always compare equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Pattern {
+    terms: Vec<(u16, u32)>,
+}
+
+impl Pattern {
+    /// The empty pattern, satisfied by every tuple (its count is `|D|`).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a pattern from `(attribute index, value id)` pairs.
+    ///
+    /// Duplicate attribute indices keep the last assignment.
+    pub fn from_terms<I: IntoIterator<Item = (usize, u32)>>(terms: I) -> Self {
+        let mut map = std::collections::BTreeMap::new();
+        for (a, val) in terms {
+            map.insert(u16::try_from(a).expect("attr index < 65536"), val);
+        }
+        Self { terms: map.into_iter().collect() }
+    }
+
+    /// Builds a pattern by resolving `(attribute name, value label)` pairs
+    /// against `dataset`'s schema, e.g.
+    /// `Pattern::parse(&d, &[("gender", "Female"), ("race", "Hispanic")])`.
+    pub fn parse(
+        dataset: &Dataset,
+        terms: &[(&str, &str)],
+    ) -> pclabel_data::error::Result<Self> {
+        let mut resolved = Vec::with_capacity(terms.len());
+        for &(name, value) in terms {
+            let attr = dataset.schema().index_of_checked(name)?;
+            let id = dataset
+                .schema()
+                .attr(attr)
+                .expect("index in range")
+                .dictionary()
+                .lookup(value)
+                .ok_or_else(|| pclabel_data::error::DataError::UnknownValue {
+                    attr: name.to_string(),
+                    value: value.to_string(),
+                })?;
+            resolved.push((attr, id));
+        }
+        Ok(Self::from_terms(resolved))
+    }
+
+    /// Builds the full-tuple pattern for row `r` of `dataset`, skipping
+    /// missing cells.
+    pub fn from_row(dataset: &Dataset, r: usize) -> Self {
+        let mut terms = Vec::with_capacity(dataset.n_attrs());
+        for attr in 0..dataset.n_attrs() {
+            let v = dataset.value_raw(r, attr);
+            if v != MISSING {
+                terms.push((attr as u16, v));
+            }
+        }
+        Self { terms }
+    }
+
+    /// Number of terms `k = |Attr(p)|`.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether this is the empty pattern.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The attribute set `Attr(p)`.
+    pub fn attrs(&self) -> AttrSet {
+        AttrSet::from_indices(self.terms.iter().map(|&(a, _)| a as usize))
+    }
+
+    /// Terms as `(attribute index, value id)` pairs, sorted by attribute.
+    pub fn terms(&self) -> impl Iterator<Item = (usize, u32)> + '_ {
+        self.terms.iter().map(|&(a, v)| (a as usize, v))
+    }
+
+    /// The value assigned to `attr`, if present (the paper's `p.A_i`).
+    pub fn value_of(&self, attr: usize) -> Option<u32> {
+        let a = u16::try_from(attr).ok()?;
+        self.terms
+            .binary_search_by_key(&a, |&(t, _)| t)
+            .ok()
+            .map(|i| self.terms[i].1)
+    }
+
+    /// The restriction `p|_S` (paper §II-B): keeps only terms whose
+    /// attribute belongs to `keep`.
+    #[must_use]
+    pub fn restrict(&self, keep: AttrSet) -> Pattern {
+        Pattern {
+            terms: self
+                .terms
+                .iter()
+                .copied()
+                .filter(|&(a, _)| keep.contains(a as usize))
+                .collect(),
+        }
+    }
+
+    /// Whether tuple `r` of `dataset` satisfies the pattern
+    /// (paper Definition 2.3). A missing cell never satisfies a term.
+    pub fn matches_row(&self, dataset: &Dataset, r: usize) -> bool {
+        self.terms
+            .iter()
+            .all(|&(a, v)| dataset.value_raw(r, a as usize) == v)
+    }
+
+    /// Scan-counts the tuples of `dataset` satisfying the pattern — the
+    /// paper's `c_D(p)` computed the slow, obviously-correct way. Use
+    /// [`crate::counting`] for bulk counting.
+    pub fn count_in(&self, dataset: &Dataset) -> u64 {
+        (0..dataset.n_rows())
+            .filter(|&r| self.matches_row(dataset, r))
+            .count() as u64
+    }
+
+    /// Like [`Pattern::count_in`], weighting row `r` by `weights[r]`.
+    pub fn count_in_weighted(&self, dataset: &Dataset, weights: &[u64]) -> u64 {
+        debug_assert_eq!(weights.len(), dataset.n_rows());
+        (0..dataset.n_rows())
+            .filter(|&r| self.matches_row(dataset, r))
+            .map(|r| weights[r])
+            .sum()
+    }
+
+    /// Renders with labels from `dataset`'s schema, e.g.
+    /// `{gender = Female, race = Hispanic}`.
+    pub fn display_with(&self, dataset: &Dataset) -> String {
+        let mut out = String::from("{");
+        for (k, &(a, v)) in self.terms.iter().enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            let name = dataset
+                .schema()
+                .attr(a as usize)
+                .map(|at| at.name())
+                .unwrap_or("?");
+            out.push_str(name);
+            out.push_str(" = ");
+            out.push_str(dataset.label_of(a as usize, v));
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for Pattern {
+    /// Prints as `{a0=v, a3=v}` with raw indices/ids.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, &(a, v)) in self.terms.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "a{a}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pclabel_data::generate::figure2_sample;
+
+    #[test]
+    fn example_2_2_attrs() {
+        // p = {age group = under 20, marital status = single}.
+        let d = figure2_sample();
+        let p = Pattern::parse(&d, &[("age group", "under 20"), ("marital status", "single")])
+            .unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.attrs().to_vec(), vec![1, 3]);
+    }
+
+    #[test]
+    fn example_2_4_count() {
+        // Tuples 1, 3, 8, 10, 12, 14 (1-based) satisfy p: count 6.
+        let d = figure2_sample();
+        let p = Pattern::parse(&d, &[("age group", "under 20"), ("marital status", "single")])
+            .unwrap();
+        assert_eq!(p.count_in(&d), 6);
+        let matching: Vec<usize> = (0..d.n_rows())
+            .filter(|&r| p.matches_row(&d, r))
+            .map(|r| r + 1)
+            .collect();
+        assert_eq!(matching, vec![1, 3, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn empty_pattern_counts_everything() {
+        let d = figure2_sample();
+        assert_eq!(Pattern::empty().count_in(&d), 18);
+        assert!(Pattern::empty().is_empty());
+        assert!(Pattern::empty().attrs().is_empty());
+    }
+
+    #[test]
+    fn terms_are_sorted_and_deduped() {
+        let p = Pattern::from_terms([(3, 1), (0, 2), (3, 9)]);
+        let terms: Vec<(usize, u32)> = p.terms().collect();
+        assert_eq!(terms, vec![(0, 2), (3, 9)]);
+        assert_eq!(p.value_of(3), Some(9));
+        assert_eq!(p.value_of(1), None);
+    }
+
+    #[test]
+    fn restriction_keeps_matching_terms() {
+        let p = Pattern::from_terms([(0, 1), (2, 3), (5, 7)]);
+        let r = p.restrict(AttrSet::from_indices([2, 5, 9]));
+        let terms: Vec<(usize, u32)> = r.terms().collect();
+        assert_eq!(terms, vec![(2, 3), (5, 7)]);
+        assert_eq!(p.restrict(AttrSet::EMPTY), Pattern::empty());
+        assert_eq!(p.restrict(p.attrs()), p);
+    }
+
+    #[test]
+    fn equality_ignores_construction_order() {
+        let a = Pattern::from_terms([(1, 5), (0, 2)]);
+        let b = Pattern::from_terms([(0, 2), (1, 5)]);
+        assert_eq!(a, b);
+        use std::collections::HashSet;
+        let set: HashSet<Pattern> = [a, b].into_iter().collect();
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn from_row_skips_missing() {
+        use pclabel_data::dataset::DatasetBuilder;
+        let mut b = DatasetBuilder::new(["x", "y", "z"]);
+        b.push_row_opt(&[Some("1"), None::<&str>, Some("2")]).unwrap();
+        let d = b.finish();
+        let p = Pattern::from_row(&d, 0);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.attrs().to_vec(), vec![0, 2]);
+    }
+
+    #[test]
+    fn matching_respects_missing_cells() {
+        use pclabel_data::dataset::DatasetBuilder;
+        let mut b = DatasetBuilder::new(["x"]);
+        b.push_row_opt(&[Some("v")]).unwrap();
+        b.push_row_opt(&[None::<&str>]).unwrap();
+        let d = b.finish();
+        let p = Pattern::parse(&d, &[("x", "v")]).unwrap();
+        assert!(p.matches_row(&d, 0));
+        assert!(!p.matches_row(&d, 1));
+        assert_eq!(p.count_in(&d), 1);
+    }
+
+    #[test]
+    fn parse_rejects_unknowns() {
+        let d = figure2_sample();
+        assert!(Pattern::parse(&d, &[("nope", "x")]).is_err());
+        assert!(Pattern::parse(&d, &[("gender", "Nonbinary")]).is_err());
+    }
+
+    #[test]
+    fn weighted_count() {
+        let d = figure2_sample();
+        let (distinct, weights) = d.compress();
+        let p = Pattern::parse(&d, &[("age group", "under 20"), ("marital status", "single")])
+            .unwrap();
+        assert_eq!(p.count_in_weighted(&distinct, &weights), 6);
+    }
+
+    #[test]
+    fn display_with_labels() {
+        let d = figure2_sample();
+        let p = Pattern::parse(&d, &[("gender", "Female"), ("race", "Hispanic")]).unwrap();
+        assert_eq!(p.display_with(&d), "{gender = Female, race = Hispanic}");
+    }
+}

@@ -1,0 +1,176 @@
+//! Pattern sets `P` — the universe a label's error is measured over
+//! (paper Definition 2.15 and §II-C).
+//!
+//! The paper's default is `P_A`: every full-attribute pattern occurring in
+//! the data (one per distinct tuple, so `|P| ≤ |D|`). The definition is
+//! deliberately more flexible — "the user (may) define a different pattern
+//! set, e.g., patterns that include only sensitive attributes" — which
+//! [`PatternSet::OverAttrs`] and [`PatternSet::Explicit`] provide.
+
+use pclabel_data::dataset::Dataset;
+
+use crate::attrset::AttrSet;
+use crate::pattern::Pattern;
+
+/// Declarative description of the evaluation pattern set.
+#[derive(Debug, Clone, Default)]
+pub enum PatternSet {
+    /// `P_A`: all full-tuple patterns with positive count (the paper's
+    /// default in every experiment).
+    #[default]
+    AllTuples,
+    /// All patterns over the given attribute subset with positive count
+    /// (e.g. only the sensitive attributes).
+    OverAttrs(AttrSet),
+    /// An explicit list of patterns.
+    Explicit(Vec<Pattern>),
+}
+
+/// A materialized pattern set: patterns stored as rows of a same-schema
+/// table (cells outside a pattern are missing), plus each pattern's true
+/// count in the source dataset.
+///
+/// Row `r` of [`MaterializedPatterns::table`] encodes the pattern
+/// `Pattern::from_row(&table, r)`, and `counts[r]` is `c_D(p_r) > 0` —
+/// except for [`PatternSet::Explicit`], where user-supplied patterns may
+/// have zero counts.
+pub struct MaterializedPatterns {
+    /// Patterns-as-rows, aligned with the source dataset's schema.
+    pub table: Dataset,
+    /// True count of each pattern in the source dataset.
+    pub counts: Vec<u64>,
+}
+
+impl MaterializedPatterns {
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Decodes pattern `r`.
+    pub fn pattern(&self, r: usize) -> Pattern {
+        Pattern::from_row(&self.table, r)
+    }
+}
+
+impl PatternSet {
+    /// Materializes the pattern set against `dataset`.
+    pub fn materialize(&self, dataset: &Dataset) -> MaterializedPatterns {
+        match self {
+            PatternSet::AllTuples => {
+                let (table, counts) = dataset.compress();
+                MaterializedPatterns { table, counts }
+            }
+            PatternSet::OverAttrs(attrs) => {
+                let keep: Vec<usize> = attrs.to_vec();
+                let masked = dataset
+                    .mask_attrs(&keep)
+                    .expect("attrs validated against schema");
+                let (table, counts) = masked.compress();
+                // Drop an all-missing row (the empty pattern) if the subset
+                // misses some tuples entirely.
+                let keep_rows: Vec<usize> = (0..table.n_rows())
+                    .filter(|&r| keep.iter().any(|&a| table.value(r, a).is_some()))
+                    .collect();
+                if keep_rows.len() == table.n_rows() {
+                    MaterializedPatterns { table, counts }
+                } else {
+                    let counts = keep_rows.iter().map(|&r| counts[r]).collect();
+                    MaterializedPatterns { table: table.take_rows(&keep_rows), counts }
+                }
+            }
+            PatternSet::Explicit(patterns) => {
+                use pclabel_data::dataset::MISSING;
+                let mut table = dataset.empty_like();
+                let mut counts = Vec::with_capacity(patterns.len());
+                let mut row = vec![MISSING; dataset.n_attrs()];
+                for p in patterns {
+                    row.iter_mut().for_each(|c| *c = MISSING);
+                    for (a, v) in p.terms() {
+                        row[a] = v;
+                    }
+                    table
+                        .push_row_ids(&row)
+                        .expect("pattern values come from the dictionary");
+                    counts.push(p.count_in(dataset));
+                }
+                MaterializedPatterns { table, counts }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pclabel_data::generate::figure2_sample;
+
+    #[test]
+    fn all_tuples_is_compressed_dataset() {
+        let d = figure2_sample();
+        let m = PatternSet::AllTuples.materialize(&d);
+        // All 18 Figure 2 rows are distinct.
+        assert_eq!(m.len(), 18);
+        assert!(m.counts.iter().all(|&c| c == 1));
+        for r in 0..m.len() {
+            let p = m.pattern(r);
+            assert_eq!(p.len(), 4);
+            assert_eq!(p.count_in(&d), m.counts[r]);
+        }
+    }
+
+    #[test]
+    fn over_attrs_restricts_patterns() {
+        let d = figure2_sample();
+        let attrs = AttrSet::from_indices([1, 3]); // age, marital
+        let m = PatternSet::OverAttrs(attrs).materialize(&d);
+        // Example 2.10: three patterns over {age, marital}.
+        assert_eq!(m.len(), 3);
+        let total: u64 = m.counts.iter().sum();
+        assert_eq!(total, 18);
+        for r in 0..m.len() {
+            let p = m.pattern(r);
+            assert_eq!(p.attrs(), attrs);
+            assert_eq!(p.count_in(&d), m.counts[r]);
+        }
+    }
+
+    #[test]
+    fn explicit_patterns_keep_order_and_count() {
+        let d = figure2_sample();
+        let p1 = Pattern::parse(&d, &[("gender", "Female")]).unwrap();
+        let p2 = Pattern::parse(
+            &d,
+            &[("age group", "under 20"), ("marital status", "married")],
+        )
+        .unwrap();
+        let m = PatternSet::Explicit(vec![p1.clone(), p2.clone()]).materialize(&d);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.pattern(0), p1);
+        assert_eq!(m.pattern(1), p2);
+        assert_eq!(m.counts, vec![9, 0]);
+    }
+
+    #[test]
+    fn default_is_all_tuples() {
+        assert!(matches!(PatternSet::default(), PatternSet::AllTuples));
+    }
+
+    #[test]
+    fn over_attrs_with_missing_cells() {
+        use pclabel_data::dataset::DatasetBuilder;
+        let mut b = DatasetBuilder::new(["a", "b"]);
+        b.push_row_opt(&[Some("x"), Some("1")]).unwrap();
+        b.push_row_opt(&[None::<&str>, Some("2")]).unwrap();
+        let d = b.finish();
+        // Patterns over {a}: only {a=x}; the second row has no value on a.
+        let m = PatternSet::OverAttrs(AttrSet::singleton(0)).materialize(&d);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.counts, vec![1]);
+    }
+}

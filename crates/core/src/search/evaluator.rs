@@ -1,0 +1,337 @@
+//! Candidate-label error evaluation.
+//!
+//! Both search algorithms end with (or interleave) the expensive step of
+//! computing `Err(L_S(D), P)` for many subsets `S`. The [`Evaluator`]
+//! amortizes everything that does not depend on `S`:
+//!
+//! * the dataset is compressed to distinct tuples with multiplicities;
+//! * the pattern set is materialized once, with true counts;
+//! * per-pattern independence factors (`VC` fractions) are precomputed;
+//! * patterns are sorted by count descending, enabling the paper's §IV-C
+//!   early-exit scan for the max-absolute-error objective: once the next
+//!   pattern's count falls below the running maximum error, no
+//!   underestimate can beat it — and overestimates of rare patterns are
+//!   bounded by their (already seen) projections in practice. The exact
+//!   full scan is available for verification and for mean/q metrics.
+
+use std::sync::Arc;
+
+use pclabel_data::dataset::{Dataset, MISSING};
+
+use crate::attrset::AttrSet;
+use crate::counting::GroupCounts;
+use crate::error::{ErrorAccumulator, ErrorMetric, ErrorStats};
+use crate::hash::FxHashMap;
+use crate::label::ValueCounts;
+use crate::patterns::{MaterializedPatterns, PatternSet};
+
+/// Reusable evaluation context for one `(dataset, pattern set)` pair.
+pub struct Evaluator {
+    n_attrs: usize,
+    n_rows: u64,
+    vc: Arc<ValueCounts>,
+    distinct: Dataset,
+    dweights: Vec<u64>,
+    eval: MaterializedPatterns,
+    /// Pattern indices sorted by true count, descending.
+    order: Vec<u32>,
+    /// Row-major `[pattern * n_attrs + attr]` VC fractions; 1.0 for cells a
+    /// pattern does not define.
+    fracs: Vec<f64>,
+    /// Bitmask of defined attributes per pattern.
+    defined: Vec<u64>,
+}
+
+impl Evaluator {
+    /// Builds an evaluator for `dataset` against `patterns`.
+    pub fn new(dataset: &Dataset, patterns: &PatternSet) -> Self {
+        let vc = Arc::new(ValueCounts::compute(dataset, None));
+        let (distinct, dweights) = dataset.compress();
+        let eval = patterns.materialize(dataset);
+        let n_attrs = dataset.n_attrs();
+        let n = eval.len();
+
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by(|&a, &b| eval.counts[b as usize].cmp(&eval.counts[a as usize]));
+
+        let mut fracs = vec![1.0f64; n * n_attrs];
+        let mut defined = vec![0u64; n];
+        for r in 0..n {
+            for a in 0..n_attrs {
+                let v = eval.table.value_raw(r, a);
+                if v != MISSING {
+                    defined[r] |= 1u64 << a;
+                    fracs[r * n_attrs + a] = vc.fraction(a, v);
+                }
+            }
+        }
+        Self {
+            n_attrs,
+            n_rows: dataset.n_rows() as u64,
+            vc,
+            distinct,
+            dweights,
+            eval,
+            order,
+            fracs,
+            defined,
+        }
+    }
+
+    /// Number of patterns under evaluation.
+    pub fn n_patterns(&self) -> usize {
+        self.eval.len()
+    }
+
+    /// `|D|`.
+    pub fn n_rows(&self) -> u64 {
+        self.n_rows
+    }
+
+    /// Number of attributes in the schema.
+    pub fn n_attrs(&self) -> usize {
+        self.n_attrs
+    }
+
+    /// The shared `VC` component (one per dataset).
+    pub fn value_counts(&self) -> Arc<ValueCounts> {
+        Arc::clone(&self.vc)
+    }
+
+    /// The compressed distinct-tuple table and its multiplicities.
+    pub fn compressed(&self) -> (&Dataset, &[u64]) {
+        (&self.distinct, &self.dweights)
+    }
+
+    /// Computes `Err(L_S(D), P)` statistics for the subset `attrs`.
+    ///
+    /// With `early_exit` (the paper's §IV-C optimization, sound for the
+    /// max-absolute objective) the scan stops as soon as the next pattern's
+    /// count is below the running maximum error; [`ErrorStats::early_exited`]
+    /// records whether that happened.
+    pub fn error_of(&self, attrs: AttrSet, early_exit: bool) -> ErrorStats {
+        let gc = GroupCounts::build(&self.distinct, Some(&self.dweights), attrs);
+        let mut marginals: FxHashMap<AttrSet, FxHashMap<Box<[u32]>, u64>> =
+            FxHashMap::default();
+        let mut acc = ErrorAccumulator::new();
+        let mut exited = false;
+        let sbits = attrs.bits();
+
+        for &r32 in &self.order {
+            let r = r32 as usize;
+            let actual = self.eval.counts[r];
+            if early_exit && (actual as f64) < acc.max_abs() {
+                exited = true;
+                break;
+            }
+            let est = self.estimate_row(&gc, &mut marginals, r, sbits);
+            acc.push(actual, est);
+        }
+        acc.finish(exited)
+    }
+
+    /// Estimates pattern `r` of the materialized set under the label whose
+    /// `PC` is `gc` (grouping over `attrs`).
+    fn estimate_row(
+        &self,
+        gc: &GroupCounts,
+        marginals: &mut FxHashMap<AttrSet, FxHashMap<Box<[u32]>, u64>>,
+        r: usize,
+        sbits: u64,
+    ) -> f64 {
+        let defined = self.defined[r];
+        let k_bits = sbits & defined;
+
+        let base = if k_bits == 0 {
+            // p|S is the empty pattern (including the S = ∅ label).
+            self.n_rows
+        } else if k_bits == sbits {
+            // p defines all of S: exact group lookup.
+            gc.weight_of_row(&self.eval.table, r)
+        } else {
+            // p defines only part of S: marginal over the stored partition.
+            let k = AttrSet::from_bits(k_bits);
+            let marginal = marginals
+                .entry(k)
+                .or_insert_with(|| build_marginal(gc, k));
+            let key: Box<[u32]> = k
+                .iter()
+                .map(|a| self.eval.table.value_raw(r, a))
+                .collect();
+            marginal.get(&key).copied().unwrap_or(0)
+        };
+        if base == 0 {
+            return 0.0;
+        }
+        let mut est = base as f64;
+        let outside = AttrSet::from_bits(defined & !sbits);
+        let row_base = r * self.n_attrs;
+        for a in outside.iter() {
+            est *= self.fracs[row_base + a];
+        }
+        est
+    }
+
+    /// Evaluates many candidate subsets, returning the chosen metric for
+    /// each. With `threads > 1` candidates are processed in parallel via
+    /// crossbeam scoped threads (results are identical to sequential).
+    pub fn evaluate_many(
+        &self,
+        cands: &[AttrSet],
+        metric: ErrorMetric,
+        early_exit: bool,
+        threads: usize,
+    ) -> Vec<f64> {
+        let early = early_exit && metric.supports_early_exit();
+        if threads <= 1 || cands.len() < 2 {
+            return cands
+                .iter()
+                .map(|&s| metric.of(&self.error_of(s, early)))
+                .collect();
+        }
+        let threads = threads.min(cands.len());
+        let mut out = vec![0.0f64; cands.len()];
+        let chunk = cands.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (slot, work) in out.chunks_mut(chunk).zip(cands.chunks(chunk)) {
+                scope.spawn(move |_| {
+                    for (o, &s) in slot.iter_mut().zip(work) {
+                        *o = metric.of(&self.error_of(s, early));
+                    }
+                });
+            }
+        })
+        .expect("evaluation threads do not panic");
+        out
+    }
+}
+
+fn build_marginal(gc: &GroupCounts, k: AttrSet) -> FxHashMap<Box<[u32]>, u64> {
+    let order = gc.attr_order();
+    let positions: Vec<usize> = order
+        .iter()
+        .enumerate()
+        .filter(|&(_, &a)| k.contains(a))
+        .map(|(i, _)| i)
+        .collect();
+    let mut map: FxHashMap<Box<[u32]>, u64> = FxHashMap::default();
+    for (values, weight) in gc.iter() {
+        if positions.iter().any(|&i| values[i] == MISSING) {
+            continue;
+        }
+        let key: Box<[u32]> = positions.iter().map(|&i| values[i]).collect();
+        *map.entry(key).or_insert(0) += weight;
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+    use crate::pattern::Pattern;
+    use pclabel_data::generate::{correlated_pair, figure2_sample};
+
+    /// Brute-force Err(L_S, P) by explicit Label::estimate per pattern.
+    fn brute_stats(d: &Dataset, attrs: AttrSet, ps: &PatternSet) -> ErrorStats {
+        let label = Label::build(d, attrs);
+        let m = ps.materialize(d);
+        let mut acc = ErrorAccumulator::new();
+        for r in 0..m.len() {
+            let p = m.pattern(r);
+            acc.push(m.counts[r], label.estimate(&p));
+        }
+        acc.finish(false)
+    }
+
+    #[test]
+    fn evaluator_matches_label_estimate_exactly() {
+        let d = figure2_sample();
+        let ev = Evaluator::new(&d, &PatternSet::AllTuples);
+        for attrs in [
+            AttrSet::EMPTY,
+            AttrSet::from_indices([0]),
+            AttrSet::from_indices([1, 3]),
+            AttrSet::from_indices([0, 1, 2]),
+            AttrSet::full(4),
+        ] {
+            let fast = ev.error_of(attrs, false);
+            let slow = brute_stats(&d, attrs, &PatternSet::AllTuples);
+            assert!(
+                (fast.max_abs - slow.max_abs).abs() < 1e-9,
+                "max {attrs}: {} vs {}",
+                fast.max_abs,
+                slow.max_abs
+            );
+            assert!((fast.mean_abs - slow.mean_abs).abs() < 1e-9, "mean {attrs}");
+            assert!((fast.max_q - slow.max_q).abs() < 1e-9, "q {attrs}");
+            assert_eq!(fast.n as usize, ev.n_patterns());
+        }
+    }
+
+    #[test]
+    fn full_attr_label_has_zero_error() {
+        let d = figure2_sample();
+        let ev = Evaluator::new(&d, &PatternSet::AllTuples);
+        let stats = ev.error_of(AttrSet::full(4), false);
+        assert_eq!(stats.max_abs, 0.0);
+        assert_eq!(stats.max_q, 1.0);
+    }
+
+    #[test]
+    fn early_exit_agrees_on_max_error() {
+        let d = correlated_pair(8, 5000, 0.4, 17).unwrap();
+        let ev = Evaluator::new(&d, &PatternSet::AllTuples);
+        for attrs in [AttrSet::EMPTY, AttrSet::from_indices([0]), AttrSet::from_indices([1])] {
+            let exact = ev.error_of(attrs, false);
+            let fast = ev.error_of(attrs, true);
+            assert_eq!(exact.max_abs, fast.max_abs, "attrs {attrs}");
+        }
+    }
+
+    #[test]
+    fn over_attrs_pattern_set_evaluation() {
+        // Patterns over {age, marital}; label over {gender, age}: the
+        // marginal path (K = {age} ⊊ S) is exercised.
+        let d = figure2_sample();
+        let ps = PatternSet::OverAttrs(AttrSet::from_indices([1, 3]));
+        let ev = Evaluator::new(&d, &ps);
+        let attrs = AttrSet::from_indices([0, 1]);
+        let fast = ev.error_of(attrs, false);
+        let slow = brute_stats(&d, attrs, &ps);
+        assert!((fast.max_abs - slow.max_abs).abs() < 1e-9);
+        assert!((fast.mean_abs - slow.mean_abs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explicit_pattern_set_evaluation() {
+        let d = figure2_sample();
+        let p1 = Pattern::parse(&d, &[("gender", "Female"), ("race", "Hispanic")]).unwrap();
+        let p2 = Pattern::parse(&d, &[("age group", "under 20")]).unwrap();
+        let ps = PatternSet::Explicit(vec![p1, p2]);
+        let ev = Evaluator::new(&d, &ps);
+        let attrs = AttrSet::from_indices([0, 2]);
+        let fast = ev.error_of(attrs, false);
+        let slow = brute_stats(&d, attrs, &ps);
+        assert!((fast.max_abs - slow.max_abs).abs() < 1e-9);
+        assert_eq!(fast.n, 2);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential() {
+        let d = correlated_pair(6, 3000, 0.5, 3).unwrap();
+        let ev = Evaluator::new(&d, &PatternSet::AllTuples);
+        let cands = vec![
+            AttrSet::EMPTY,
+            AttrSet::from_indices([0]),
+            AttrSet::from_indices([1]),
+            AttrSet::from_indices([0, 1]),
+        ];
+        let seq = ev.evaluate_many(&cands, ErrorMetric::MaxAbsolute, false, 1);
+        let par = ev.evaluate_many(&cands, ErrorMetric::MaxAbsolute, false, 4);
+        assert_eq!(seq, par);
+        // Full label has zero error; empty label the largest.
+        assert_eq!(seq[3], 0.0);
+        assert!(seq[0] >= seq[3]);
+    }
+}

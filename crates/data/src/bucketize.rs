@@ -1,0 +1,392 @@
+//! Bucketization of numeric attributes into categorical ranges.
+//!
+//! The paper renders continuous domains categorical "by bucketizing them
+//! into ranges" (§II): the Credit-Card evaluation bins every numeric
+//! attribute into 5 bins, and COMPAS gains a 4-range `age` attribute. This
+//! module rewrites a numeric column (labels parseable as `f64`) into a
+//! categorical column of interval labels.
+
+use crate::dataset::{Dataset, MISSING};
+use crate::error::{DataError, Result};
+use crate::schema::{Attribute, Schema};
+
+/// How bucket boundaries are chosen.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BucketStrategy {
+    /// `k` equal-width buckets spanning `[min, max]`.
+    EqualWidth(usize),
+    /// `k` buckets with (approximately) equal row counts, split on
+    /// quantiles of the observed values.
+    EqualFrequency(usize),
+    /// Explicit interior edges `e_1 < e_2 < … < e_m` producing `m + 1`
+    /// buckets `(-∞, e_1), [e_1, e_2), …, [e_m, ∞)`.
+    Edges(Vec<f64>),
+}
+
+/// How unparsable (non-numeric) labels are handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NonNumericPolicy {
+    /// Fail with [`DataError::NotNumeric`].
+    Error,
+    /// Convert the cell to a missing value.
+    TreatAsMissing,
+}
+
+/// Replaces attribute `attr` of `dataset` with a bucketized version.
+///
+/// Bucket labels are interval strings such as `"[10.0, 20.0)"`; the final
+/// bucket is closed on the right. Missing cells stay missing. Buckets that
+/// receive no rows do not appear in the resulting dictionary, matching the
+/// active-domain semantics of the paper.
+pub fn bucketize_attr(
+    dataset: &Dataset,
+    attr: usize,
+    strategy: &BucketStrategy,
+    policy: NonNumericPolicy,
+) -> Result<Dataset> {
+    let attribute = dataset.schema().attr_checked(attr)?;
+    let attr_name = attribute.name().to_string();
+
+    // Parse each dictionary label once.
+    let card = attribute.cardinality();
+    let mut parsed: Vec<Option<f64>> = Vec::with_capacity(card);
+    for id in 0..card as u32 {
+        let label = attribute.dictionary().label(id).expect("id in range");
+        match label.trim().parse::<f64>() {
+            Ok(v) if v.is_finite() => parsed.push(Some(v)),
+            _ => match policy {
+                NonNumericPolicy::Error => {
+                    return Err(DataError::NotNumeric {
+                        attr: attr_name,
+                        value: label.to_string(),
+                    })
+                }
+                NonNumericPolicy::TreatAsMissing => parsed.push(None),
+            },
+        }
+    }
+
+    // Gather the observed numeric values, one per row (for quantiles/min/max).
+    let col = dataset.column(attr);
+    let mut observed: Vec<f64> = Vec::with_capacity(col.len());
+    for &id in col {
+        if id != MISSING {
+            if let Some(v) = parsed[id as usize] {
+                observed.push(v);
+            }
+        }
+    }
+    if observed.is_empty() {
+        return Err(DataError::BadBuckets(format!(
+            "attribute {attr_name:?} has no numeric values to bucketize"
+        )));
+    }
+
+    let edges = match strategy {
+        BucketStrategy::EqualWidth(k) => equal_width_edges(&observed, *k)?,
+        BucketStrategy::EqualFrequency(k) => equal_frequency_edges(&mut observed.clone(), *k)?,
+        BucketStrategy::Edges(e) => {
+            if e.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(DataError::BadBuckets(
+                    "explicit edges must be strictly increasing".into(),
+                ));
+            }
+            e.clone()
+        }
+    };
+
+    let labels = bucket_labels(&edges, &observed);
+
+    // Map each old dictionary id to its bucket index.
+    let bucket_of: Vec<Option<usize>> = parsed
+        .iter()
+        .map(|v| v.map(|x| bucket_index(&edges, x)))
+        .collect();
+
+    // Build the replacement column, interning only buckets that occur.
+    let mut new_attr = Attribute::new(attr_name.as_str());
+    let mut bucket_id: Vec<Option<u32>> = vec![None; edges.len() + 1];
+    let mut new_col: Vec<u32> = Vec::with_capacity(col.len());
+    for &id in col {
+        if id == MISSING {
+            new_col.push(MISSING);
+            continue;
+        }
+        match bucket_of[id as usize] {
+            None => new_col.push(MISSING),
+            Some(b) => {
+                let vid = match bucket_id[b] {
+                    Some(v) => v,
+                    None => {
+                        let v = new_attr.dictionary_mut().intern(&labels[b]);
+                        bucket_id[b] = Some(v);
+                        v
+                    }
+                };
+                new_col.push(vid);
+            }
+        }
+    }
+
+    // Reassemble the dataset with the single column replaced.
+    let mut schema = Schema::new();
+    let mut columns = Vec::with_capacity(dataset.n_attrs());
+    for i in 0..dataset.n_attrs() {
+        if i == attr {
+            schema.push(new_attr.clone());
+            columns.push(std::mem::take(&mut new_col));
+        } else {
+            schema.push(dataset.schema().attr(i).expect("in range").clone());
+            columns.push(dataset.column(i).to_vec());
+        }
+    }
+    Ok(Dataset::from_parts(
+        dataset.name().into(),
+        schema,
+        columns,
+        dataset.n_rows(),
+    ))
+}
+
+/// Bucketizes several attributes in sequence with a shared strategy.
+pub fn bucketize_attrs(
+    dataset: &Dataset,
+    attrs: &[usize],
+    strategy: &BucketStrategy,
+    policy: NonNumericPolicy,
+) -> Result<Dataset> {
+    let mut current = dataset.clone();
+    for &a in attrs {
+        current = bucketize_attr(&current, a, strategy, policy)?;
+    }
+    Ok(current)
+}
+
+fn equal_width_edges(observed: &[f64], k: usize) -> Result<Vec<f64>> {
+    if k < 1 {
+        return Err(DataError::BadBuckets("need at least one bucket".into()));
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in observed {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if lo == hi {
+        // Degenerate domain: a single bucket, no interior edges.
+        return Ok(Vec::new());
+    }
+    let width = (hi - lo) / k as f64;
+    Ok((1..k).map(|i| lo + width * i as f64).collect())
+}
+
+fn equal_frequency_edges(observed: &mut [f64], k: usize) -> Result<Vec<f64>> {
+    if k < 1 {
+        return Err(DataError::BadBuckets("need at least one bucket".into()));
+    }
+    observed.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = observed.len();
+    let mut edges = Vec::with_capacity(k.saturating_sub(1));
+    for i in 1..k {
+        let idx = (i * n) / k;
+        let e = observed[idx.min(n - 1)];
+        // Skip duplicate edges caused by heavy ties.
+        if edges.last().is_none_or(|&last| e > last) {
+            edges.push(e);
+        }
+    }
+    Ok(edges)
+}
+
+fn bucket_index(edges: &[f64], x: f64) -> usize {
+    // Buckets: (-inf, e0), [e0, e1), ..., [e_last, inf).
+    edges.partition_point(|&e| e <= x)
+}
+
+fn bucket_labels(edges: &[f64], observed: &[f64]) -> Vec<String> {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in observed {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if edges.is_empty() {
+        return vec![format!("[{}, {}]", fmt_num(lo), fmt_num(hi))];
+    }
+    let mut labels = Vec::with_capacity(edges.len() + 1);
+    labels.push(format!("[{}, {})", fmt_num(lo), fmt_num(edges[0])));
+    for w in edges.windows(2) {
+        labels.push(format!("[{}, {})", fmt_num(w[0]), fmt_num(w[1])));
+    }
+    labels.push(format!(
+        "[{}, {}]",
+        fmt_num(edges[edges.len() - 1]),
+        fmt_num(hi.max(edges[edges.len() - 1]))
+    ));
+    labels
+}
+
+fn fmt_num(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    fn numeric_dataset(values: &[&str]) -> Dataset {
+        let mut b = DatasetBuilder::new(["v", "tag"]);
+        for (i, &v) in values.iter().enumerate() {
+            b.push_row(&[v, if i % 2 == 0 { "even" } else { "odd" }]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn equal_width_five_buckets() {
+        let vals: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let refs: Vec<&str> = vals.iter().map(AsRef::as_ref).collect();
+        let d = numeric_dataset(&refs);
+        let out =
+            bucketize_attr(&d, 0, &BucketStrategy::EqualWidth(5), NonNumericPolicy::Error).unwrap();
+        assert_eq!(out.schema().attr(0).unwrap().cardinality(), 5);
+        // Other attribute untouched.
+        assert_eq!(out.schema().attr(1).unwrap().cardinality(), 2);
+        // Each bucket holds about 20 of 100 uniform values.
+        let counts = &out.value_counts()[0];
+        assert_eq!(counts.iter().sum::<u64>(), 100);
+        assert!(counts.iter().all(|&c| (19..=21).contains(&c)), "{counts:?}");
+    }
+
+    #[test]
+    fn equal_frequency_balances_skewed_data() {
+        let mut vals: Vec<String> = vec!["0".into(); 90];
+        vals.extend((1..=10).map(|i| (i * 100).to_string()));
+        let refs: Vec<&str> = vals.iter().map(AsRef::as_ref).collect();
+        let d = numeric_dataset(&refs);
+        let out = bucketize_attr(
+            &d,
+            0,
+            &BucketStrategy::EqualFrequency(4),
+            NonNumericPolicy::Error,
+        )
+        .unwrap();
+        // With 90% ties at zero, duplicate quantile edges collapse; the
+        // first bucket absorbs the spike.
+        let counts = &out.value_counts()[0];
+        assert_eq!(counts.iter().sum::<u64>(), 100);
+        assert!(counts[0] >= 90);
+    }
+
+    #[test]
+    fn explicit_edges_and_interval_membership() {
+        let d = numeric_dataset(&["-5", "0", "5", "10", "15"]);
+        let out = bucketize_attr(
+            &d,
+            0,
+            &BucketStrategy::Edges(vec![0.0, 10.0]),
+            NonNumericPolicy::Error,
+        )
+        .unwrap();
+        let labels: Vec<&str> = (0..5)
+            .map(|r| out.label_of(0, out.value_raw(r, 0)))
+            .collect();
+        // -5 below first edge; 0 and 5 in [0,10); 10 and 15 in last bucket.
+        assert_eq!(labels[0], labels[0]);
+        assert_ne!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_ne!(labels[2], labels[3]);
+        assert_eq!(labels[3], labels[4]);
+    }
+
+    #[test]
+    fn unsorted_explicit_edges_rejected() {
+        let d = numeric_dataset(&["1", "2"]);
+        assert!(matches!(
+            bucketize_attr(
+                &d,
+                0,
+                &BucketStrategy::Edges(vec![5.0, 1.0]),
+                NonNumericPolicy::Error
+            ),
+            Err(DataError::BadBuckets(_))
+        ));
+    }
+
+    #[test]
+    fn non_numeric_policy() {
+        let d = numeric_dataset(&["1", "oops", "3"]);
+        assert!(matches!(
+            bucketize_attr(&d, 0, &BucketStrategy::EqualWidth(2), NonNumericPolicy::Error),
+            Err(DataError::NotNumeric { .. })
+        ));
+        let out = bucketize_attr(
+            &d,
+            0,
+            &BucketStrategy::EqualWidth(2),
+            NonNumericPolicy::TreatAsMissing,
+        )
+        .unwrap();
+        assert_eq!(out.value(1, 0), None);
+        assert!(out.value(0, 0).is_some());
+    }
+
+    #[test]
+    fn constant_column_becomes_single_bucket() {
+        let d = numeric_dataset(&["7", "7", "7"]);
+        let out =
+            bucketize_attr(&d, 0, &BucketStrategy::EqualWidth(5), NonNumericPolicy::Error).unwrap();
+        assert_eq!(out.schema().attr(0).unwrap().cardinality(), 1);
+        assert_eq!(out.label_of(0, 0), "[7, 7]");
+    }
+
+    #[test]
+    fn missing_cells_stay_missing() {
+        let mut b = DatasetBuilder::new(["v"]);
+        b.push_row_opt(&[Some("1")]).unwrap();
+        b.push_row_opt(&[None::<&str>]).unwrap();
+        b.push_row_opt(&[Some("9")]).unwrap();
+        let out = bucketize_attr(
+            &b.finish(),
+            0,
+            &BucketStrategy::EqualWidth(2),
+            NonNumericPolicy::Error,
+        )
+        .unwrap();
+        assert_eq!(out.value(1, 0), None);
+    }
+
+    #[test]
+    fn bucketize_attrs_applies_in_sequence() {
+        let mut b = DatasetBuilder::new(["x", "y"]);
+        for i in 0..50 {
+            b.push_row(&[i.to_string(), (i * 2).to_string()]).unwrap();
+        }
+        let out = bucketize_attrs(
+            &b.finish(),
+            &[0, 1],
+            &BucketStrategy::EqualWidth(5),
+            NonNumericPolicy::Error,
+        )
+        .unwrap();
+        assert_eq!(out.schema().attr(0).unwrap().cardinality(), 5);
+        assert_eq!(out.schema().attr(1).unwrap().cardinality(), 5);
+    }
+
+    #[test]
+    fn labels_are_interval_strings() {
+        let vals: Vec<String> = (0..10).map(|i| i.to_string()).collect();
+        let refs: Vec<&str> = vals.iter().map(AsRef::as_ref).collect();
+        let d = numeric_dataset(&refs);
+        let out =
+            bucketize_attr(&d, 0, &BucketStrategy::EqualWidth(3), NonNumericPolicy::Error).unwrap();
+        let dict = out.schema().attr(0).unwrap().dictionary();
+        for (_, label) in dict.iter() {
+            assert!(label.starts_with('['), "{label}");
+            assert!(label.ends_with(')') || label.ends_with(']'), "{label}");
+        }
+    }
+}

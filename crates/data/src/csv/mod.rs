@@ -1,0 +1,118 @@
+//! CSV input/output for datasets.
+//!
+//! The paper's evaluation datasets (BlueNile, COMPAS, Credit Card) ship as
+//! CSV files; this module provides a dependency-free RFC 4180 reader/writer
+//! so users can point the library at their own files.
+
+mod parse;
+mod write;
+
+pub use parse::{parse_csv, CsvOptions, ParseOutput};
+pub use write::{write_csv, CsvWriteOptions};
+
+use std::path::Path;
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::error::Result;
+
+/// Parses a CSV document into a [`Dataset`], treating every column as a
+/// categorical attribute.
+///
+/// Header names become attribute names (synthetic `col0..colN` names are
+/// generated in headerless mode); fields matching
+/// [`CsvOptions::missing_tokens`] become missing cells.
+pub fn read_dataset_from_str(input: &str, opts: &CsvOptions) -> Result<Dataset> {
+    let parsed = parse_csv(input, opts)?;
+    let names: Vec<String> = if opts.has_header {
+        parsed.header.clone()
+    } else {
+        let width = parsed.records.first().map_or(0, Vec::len);
+        (0..width).map(|i| format!("col{i}")).collect()
+    };
+    let mut builder = DatasetBuilder::new(&names);
+    builder.reserve(parsed.records.len());
+    let mut fields: Vec<Option<&str>> = Vec::new();
+    for record in &parsed.records {
+        fields.clear();
+        fields.extend(
+            record
+                .iter()
+                .map(|f| if opts.is_missing(f) { None } else { Some(f.as_str()) }),
+        );
+        builder.push_row_opt(&fields)?;
+    }
+    Ok(builder.finish())
+}
+
+/// Reads a [`Dataset`] from a CSV file on disk.
+pub fn read_dataset_from_path(path: impl AsRef<Path>, opts: &CsvOptions) -> Result<Dataset> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("dataset")
+        .to_string();
+    Ok(read_dataset_from_str(&text, opts)?.with_name(name))
+}
+
+/// Writes a [`Dataset`] to a CSV file on disk.
+pub fn write_dataset_to_path(
+    dataset: &Dataset,
+    path: impl AsRef<Path>,
+    opts: &CsvWriteOptions,
+) -> Result<()> {
+    std::fs::write(path, write_csv(dataset, opts))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_dataset_interns_and_handles_missing() {
+        let doc = "gender,race\nF,black\nM,\nF,white\n";
+        let d = read_dataset_from_str(doc, &CsvOptions::default()).unwrap();
+        assert_eq!(d.n_rows(), 3);
+        assert_eq!(d.n_attrs(), 2);
+        assert_eq!(d.schema().names(), vec!["gender", "race"]);
+        assert_eq!(d.value(1, 1), None);
+        assert_eq!(d.value_counts(), vec![vec![2, 1], vec![1, 1]]);
+    }
+
+    #[test]
+    fn headerless_generates_column_names() {
+        let opts = CsvOptions::default().with_header(false);
+        let d = read_dataset_from_str("1,2\n3,4\n", &opts).unwrap();
+        assert_eq!(d.schema().names(), vec!["col0", "col1"]);
+        assert_eq!(d.n_rows(), 2);
+    }
+
+    #[test]
+    fn custom_missing_tokens() {
+        let opts = CsvOptions::default().missing("NA");
+        let d = read_dataset_from_str("a\nNA\nx\n\n", &opts).unwrap();
+        // The blank line at the end is a record with one empty (missing) field.
+        assert_eq!(d.n_rows(), 3);
+        assert_eq!(d.value(0, 0), None);
+        assert_eq!(d.value(1, 0), Some(0));
+        assert_eq!(d.value(2, 0), None);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("pclabel_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.csv");
+
+        let doc = "a,b\nx,1\ny,2\n";
+        let d = read_dataset_from_str(doc, &CsvOptions::default()).unwrap();
+        write_dataset_to_path(&d, &path, &CsvWriteOptions::default()).unwrap();
+        let d2 = read_dataset_from_path(&path, &CsvOptions::default()).unwrap();
+        assert_eq!(d2.n_rows(), 2);
+        assert_eq!(d2.name(), "roundtrip");
+        assert_eq!(d2.schema().names(), vec!["a", "b"]);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,366 @@
+//! RFC 4180 CSV parsing.
+//!
+//! A small, dependency-free state-machine parser. It supports:
+//! configurable single-byte delimiters, `"`-quoted fields with `""` escape,
+//! embedded delimiters/newlines inside quotes, and both `\n` and `\r\n`
+//! record terminators. Input must be valid UTF-8 (we parse from `&str`).
+
+use crate::error::{DataError, Result};
+
+/// Parser configuration.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter (a single ASCII byte, `,` by default).
+    pub delimiter: char,
+    /// Whether the first record is a header row.
+    pub has_header: bool,
+    /// Field contents treated as missing values (e.g. `""`, `"NA"`).
+    pub missing_tokens: Vec<String>,
+    /// When `true`, records with the wrong arity are an error; when `false`
+    /// they are skipped (counted in [`ParseOutput::skipped_rows`]).
+    pub strict_arity: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        Self {
+            delimiter: ',',
+            has_header: true,
+            missing_tokens: vec![String::new()],
+            strict_arity: true,
+        }
+    }
+}
+
+impl CsvOptions {
+    /// Convenience: options with a given delimiter.
+    pub fn with_delimiter(mut self, d: char) -> Self {
+        self.delimiter = d;
+        self
+    }
+
+    /// Convenience: toggles the header flag.
+    pub fn with_header(mut self, has: bool) -> Self {
+        self.has_header = has;
+        self
+    }
+
+    /// Convenience: adds a token treated as a missing value.
+    pub fn missing(mut self, token: impl Into<String>) -> Self {
+        self.missing_tokens.push(token.into());
+        self
+    }
+
+    /// Whether `field` should be interpreted as missing.
+    pub fn is_missing(&self, field: &str) -> bool {
+        self.missing_tokens.iter().any(|t| t == field)
+    }
+}
+
+/// Result of parsing a CSV document into raw records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOutput {
+    /// Header fields (empty when `has_header` is false).
+    pub header: Vec<String>,
+    /// Data records, one `Vec<String>` per row.
+    pub records: Vec<Vec<String>>,
+    /// Rows dropped due to arity mismatch in lenient mode.
+    pub skipped_rows: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// At the start of a field.
+    FieldStart,
+    /// Inside an unquoted field.
+    Unquoted,
+    /// Inside a quoted field.
+    Quoted,
+    /// Just saw a quote inside a quoted field (could be escape or close).
+    QuoteInQuoted,
+}
+
+/// Parses an entire CSV document held in memory.
+pub fn parse_csv(input: &str, opts: &CsvOptions) -> Result<ParseOutput> {
+    if !opts.delimiter.is_ascii() {
+        return Err(DataError::Invalid(format!(
+            "delimiter {:?} must be ASCII",
+            opts.delimiter
+        )));
+    }
+    let delim = opts.delimiter;
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut state = State::FieldStart;
+    let mut line = 1usize;
+    // True once the current record has any content (field text, a completed
+    // field, or an opened quote); used to ignore a trailing newline.
+    let mut record_started = false;
+
+    let mut chars = input.chars().peekable();
+    while let Some(c) = chars.next() {
+        match state {
+            State::FieldStart => match c {
+                '"' => {
+                    state = State::Quoted;
+                    record_started = true;
+                }
+                c if c == delim => {
+                    record.push(std::mem::take(&mut field));
+                    record_started = true;
+                }
+                '\r' => {
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                    }
+                    end_record(&mut rows, &mut record, &mut field, &mut record_started);
+                    line += 1;
+                }
+                '\n' => {
+                    end_record(&mut rows, &mut record, &mut field, &mut record_started);
+                    line += 1;
+                }
+                _ => {
+                    field.push(c);
+                    state = State::Unquoted;
+                    record_started = true;
+                }
+            },
+            State::Unquoted => match c {
+                c if c == delim => {
+                    record.push(std::mem::take(&mut field));
+                    state = State::FieldStart;
+                }
+                '\r' => {
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                    }
+                    end_record(&mut rows, &mut record, &mut field, &mut record_started);
+                    state = State::FieldStart;
+                    line += 1;
+                }
+                '\n' => {
+                    end_record(&mut rows, &mut record, &mut field, &mut record_started);
+                    state = State::FieldStart;
+                    line += 1;
+                }
+                '"' => {
+                    return Err(DataError::Csv {
+                        line,
+                        message: "quote inside unquoted field".into(),
+                    })
+                }
+                _ => field.push(c),
+            },
+            State::Quoted => match c {
+                '"' => state = State::QuoteInQuoted,
+                '\n' => {
+                    field.push(c);
+                    line += 1;
+                }
+                _ => field.push(c),
+            },
+            State::QuoteInQuoted => match c {
+                '"' => {
+                    field.push('"');
+                    state = State::Quoted;
+                }
+                c if c == delim => {
+                    record.push(std::mem::take(&mut field));
+                    state = State::FieldStart;
+                }
+                '\r' => {
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                    }
+                    end_record(&mut rows, &mut record, &mut field, &mut record_started);
+                    state = State::FieldStart;
+                    line += 1;
+                }
+                '\n' => {
+                    end_record(&mut rows, &mut record, &mut field, &mut record_started);
+                    state = State::FieldStart;
+                    line += 1;
+                }
+                other => {
+                    return Err(DataError::Csv {
+                        line,
+                        message: format!("unexpected {other:?} after closing quote"),
+                    })
+                }
+            },
+        }
+    }
+    match state {
+        State::Quoted => {
+            return Err(DataError::Csv { line, message: "unterminated quoted field".into() })
+        }
+        State::Unquoted | State::QuoteInQuoted => {
+            end_record(&mut rows, &mut record, &mut field, &mut record_started);
+        }
+        State::FieldStart => {
+            if record_started {
+                end_record(&mut rows, &mut record, &mut field, &mut record_started);
+            }
+        }
+    }
+
+    let mut iter = rows.into_iter();
+    let header = if opts.has_header {
+        iter.next().ok_or(DataError::Csv {
+            line: 1,
+            message: "expected a header row in an empty document".into(),
+        })?
+    } else {
+        Vec::new()
+    };
+    let arity = if opts.has_header {
+        header.len()
+    } else {
+        // Lenient documents without headers take the first record's arity.
+        0
+    };
+    let mut records = Vec::new();
+    let mut skipped = 0usize;
+    let mut expected = arity;
+    for (i, rec) in iter.enumerate() {
+        if expected == 0 {
+            expected = rec.len();
+        }
+        if rec.len() != expected {
+            if opts.strict_arity {
+                return Err(DataError::ArityMismatch {
+                    expected,
+                    got: rec.len(),
+                    row: i,
+                });
+            }
+            skipped += 1;
+            continue;
+        }
+        records.push(rec);
+    }
+    Ok(ParseOutput { header, records, skipped_rows: skipped })
+}
+
+fn end_record(
+    rows: &mut Vec<Vec<String>>,
+    record: &mut Vec<String>,
+    field: &mut String,
+    record_started: &mut bool,
+) {
+    record.push(std::mem::take(field));
+    rows.push(std::mem::take(record));
+    *record_started = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> ParseOutput {
+        parse_csv(s, &CsvOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn basic_header_and_rows() {
+        let out = parse("a,b,c\n1,2,3\n4,5,6\n");
+        assert_eq!(out.header, vec!["a", "b", "c"]);
+        assert_eq!(out.records, vec![vec!["1", "2", "3"], vec!["4", "5", "6"]]);
+        assert_eq!(out.skipped_rows, 0);
+    }
+
+    #[test]
+    fn no_trailing_newline() {
+        let out = parse("a,b\n1,2");
+        assert_eq!(out.records, vec![vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn crlf_terminators() {
+        let out = parse("a,b\r\n1,2\r\n3,4\r\n");
+        assert_eq!(out.records, vec![vec!["1", "2"], vec!["3", "4"]]);
+    }
+
+    #[test]
+    fn quoted_fields_with_delimiters_newlines_escapes() {
+        let out = parse("a,b\n\"x,y\",\"line1\nline2\"\n\"he said \"\"hi\"\"\",plain\n");
+        assert_eq!(
+            out.records,
+            vec![
+                vec!["x,y".to_string(), "line1\nline2".to_string()],
+                vec!["he said \"hi\"".to_string(), "plain".to_string()],
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_fields_and_trailing_delimiter() {
+        let out = parse("a,b,c\n,,\n1,,3\n");
+        assert_eq!(out.records, vec![vec!["", "", ""], vec!["1", "", "3"]]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let err = parse_csv("a\n\"oops\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, DataError::Csv { .. }));
+    }
+
+    #[test]
+    fn garbage_after_closing_quote_is_error() {
+        let err = parse_csv("a\n\"x\"y\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, DataError::Csv { .. }));
+    }
+
+    #[test]
+    fn quote_in_unquoted_field_is_error() {
+        let err = parse_csv("a\nx\"y\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, DataError::Csv { .. }));
+    }
+
+    #[test]
+    fn arity_mismatch_strict_vs_lenient() {
+        let doc = "a,b\n1,2\nonly-one\n3,4\n";
+        assert!(parse_csv(doc, &CsvOptions::default()).is_err());
+        let opts = CsvOptions { strict_arity: false, ..CsvOptions::default() };
+        let out = parse_csv(doc, &opts).unwrap();
+        assert_eq!(out.records.len(), 2);
+        assert_eq!(out.skipped_rows, 1);
+    }
+
+    #[test]
+    fn custom_delimiter() {
+        let opts = CsvOptions::default().with_delimiter(';');
+        let out = parse_csv("a;b\n1;2\n", &opts).unwrap();
+        assert_eq!(out.records, vec![vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn headerless_mode() {
+        let opts = CsvOptions::default().with_header(false);
+        let out = parse_csv("1,2\n3,4\n", &opts).unwrap();
+        assert!(out.header.is_empty());
+        assert_eq!(out.records.len(), 2);
+    }
+
+    #[test]
+    fn empty_document() {
+        let opts = CsvOptions::default().with_header(false);
+        let out = parse_csv("", &opts).unwrap();
+        assert!(out.records.is_empty());
+        assert!(parse_csv("", &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn quoted_empty_field_counts_as_content() {
+        let out = parse("a\n\"\"\n");
+        assert_eq!(out.records, vec![vec![""]]);
+    }
+
+    #[test]
+    fn non_ascii_delimiter_rejected() {
+        let opts = CsvOptions::default().with_delimiter('☃');
+        assert!(parse_csv("a\n1\n", &opts).is_err());
+    }
+}

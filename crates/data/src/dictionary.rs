@@ -1,0 +1,150 @@
+//! Per-attribute dictionary encoding.
+//!
+//! Every categorical attribute maps its string labels to dense `u32` ids in
+//! first-seen order. All columnar storage and all counting work on ids; the
+//! dictionary is only consulted when rendering labels back to humans.
+
+use std::collections::HashMap;
+
+use crate::error::{DataError, Result};
+
+/// A bidirectional mapping between string labels and dense value ids.
+///
+/// Ids are assigned in first-insertion order starting at zero, so the id
+/// space is exactly `0..len()`. The active domain of an attribute (in the
+/// paper's sense, `Dom(A_i)`) is the set of ids that actually occur in the
+/// data; the dictionary itself only stores labels that were interned.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    labels: Vec<Box<str>>,
+    index: HashMap<Box<str>, u32>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a dictionary pre-populated with `labels` in order.
+    ///
+    /// Duplicate labels collapse to the first occurrence's id.
+    pub fn from_labels<I, S>(labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut dict = Self::new();
+        for label in labels {
+            dict.intern(label.as_ref());
+        }
+        dict
+    }
+
+    /// Returns the id for `label`, inserting it if previously unseen.
+    pub fn intern(&mut self, label: &str) -> u32 {
+        if let Some(&id) = self.index.get(label) {
+            return id;
+        }
+        let id = u32::try_from(self.labels.len()).expect("dictionary overflow: > u32::MAX labels");
+        let boxed: Box<str> = label.into();
+        self.labels.push(boxed.clone());
+        self.index.insert(boxed, id);
+        id
+    }
+
+    /// Returns the id for `label` without inserting, if present.
+    pub fn lookup(&self, label: &str) -> Option<u32> {
+        self.index.get(label).copied()
+    }
+
+    /// Returns the label for `id`, if in range.
+    pub fn label(&self, id: u32) -> Option<&str> {
+        self.labels.get(id as usize).map(AsRef::as_ref)
+    }
+
+    /// Returns the label for `id` or an error mentioning `attr` context.
+    pub fn label_checked(&self, attr: usize, id: u32) -> Result<&str> {
+        self.label(id).ok_or(DataError::ValueOutOfRange {
+            attr,
+            value: id,
+            len: self.labels.len(),
+        })
+    }
+
+    /// Number of distinct labels interned.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Iterates over `(id, label)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (i as u32, l.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_ids_in_first_seen_order() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern("red"), 0);
+        assert_eq!(d.intern("green"), 1);
+        assert_eq!(d.intern("red"), 0);
+        assert_eq!(d.intern("blue"), 2);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn lookup_and_label_roundtrip() {
+        let d = Dictionary::from_labels(["a", "b", "c", "b"]);
+        assert_eq!(d.len(), 3);
+        for (id, label) in d.iter() {
+            assert_eq!(d.lookup(label), Some(id));
+            assert_eq!(d.label(id), Some(label));
+        }
+        assert_eq!(d.lookup("zzz"), None);
+        assert_eq!(d.label(99), None);
+    }
+
+    #[test]
+    fn label_checked_reports_context() {
+        let d = Dictionary::from_labels(["x"]);
+        let err = d.label_checked(5, 3).unwrap_err();
+        assert_eq!(
+            err,
+            DataError::ValueOutOfRange { attr: 5, value: 3, len: 1 }
+        );
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d = Dictionary::new();
+        assert!(d.is_empty());
+        assert_eq!(d.iter().count(), 0);
+    }
+
+    #[test]
+    fn labels_with_unusual_characters() {
+        let mut d = Dictionary::new();
+        let weird = ["", " ", "a,b", "\"quoted\"", "multi\nline", "ünïcødé"];
+        for w in weird {
+            d.intern(w);
+        }
+        assert_eq!(d.len(), weird.len());
+        for w in weird {
+            let id = d.lookup(w).unwrap();
+            assert_eq!(d.label(id), Some(w));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Error types for the data substrate.
+
+use std::fmt;
+
+/// Errors produced while building, loading or transforming datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A row had a different number of fields than the schema expects.
+    ArityMismatch {
+        /// Number of attributes in the schema.
+        expected: usize,
+        /// Number of fields in the offending row.
+        got: usize,
+        /// Zero-based row index (in input order).
+        row: usize,
+    },
+    /// An attribute index was out of range for the schema.
+    AttrOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of attributes in the schema.
+        len: usize,
+    },
+    /// A value index was out of range for an attribute's dictionary.
+    ValueOutOfRange {
+        /// Attribute the lookup was performed on.
+        attr: usize,
+        /// The offending value id.
+        value: u32,
+        /// Dictionary size.
+        len: usize,
+    },
+    /// Attribute name not found in the schema.
+    UnknownAttr(String),
+    /// Value label not found in an attribute's dictionary.
+    UnknownValue {
+        /// Attribute the lookup was performed on.
+        attr: String,
+        /// The label that was not found.
+        value: String,
+    },
+    /// A CSV document was malformed.
+    Csv {
+        /// One-based line where the problem was detected.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A value could not be parsed as a number during bucketization.
+    NotNumeric {
+        /// Attribute being bucketized.
+        attr: String,
+        /// The offending label.
+        value: String,
+    },
+    /// Bucketization was requested with an invalid configuration.
+    BadBuckets(String),
+    /// An I/O error, stringified (keeps the error type `Clone + Eq`).
+    Io(String),
+    /// The dataset is empty where a non-empty one is required.
+    Empty,
+    /// Generic invalid-argument error.
+    Invalid(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ArityMismatch { expected, got, row } => write!(
+                f,
+                "row {row} has {got} fields but the schema has {expected} attributes"
+            ),
+            DataError::AttrOutOfRange { index, len } => {
+                write!(f, "attribute index {index} out of range (schema has {len})")
+            }
+            DataError::ValueOutOfRange { attr, value, len } => write!(
+                f,
+                "value id {value} out of range for attribute {attr} (dictionary has {len})"
+            ),
+            DataError::UnknownAttr(name) => write!(f, "unknown attribute {name:?}"),
+            DataError::UnknownValue { attr, value } => {
+                write!(f, "unknown value {value:?} for attribute {attr:?}")
+            }
+            DataError::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
+            DataError::NotNumeric { attr, value } => {
+                write!(f, "value {value:?} of attribute {attr:?} is not numeric")
+            }
+            DataError::BadBuckets(msg) => write!(f, "invalid bucketization: {msg}"),
+            DataError::Io(msg) => write!(f, "io error: {msg}"),
+            DataError::Empty => write!(f, "dataset is empty"),
+            DataError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e.to_string())
+    }
+}
+
+/// Convenient result alias for the data crate.
+pub type Result<T> = std::result::Result<T, DataError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(DataError, &str)> = vec![
+            (
+                DataError::ArityMismatch { expected: 3, got: 2, row: 7 },
+                "row 7 has 2 fields but the schema has 3 attributes",
+            ),
+            (
+                DataError::AttrOutOfRange { index: 9, len: 4 },
+                "attribute index 9 out of range (schema has 4)",
+            ),
+            (DataError::UnknownAttr("age".into()), "unknown attribute \"age\""),
+            (
+                DataError::Csv { line: 3, message: "unclosed quote".into() },
+                "csv error at line 3: unclosed quote",
+            ),
+            (DataError::Empty, "dataset is empty"),
+        ];
+        for (err, expect) in cases {
+            assert_eq!(err.to_string(), expect);
+        }
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let err: DataError = io.into();
+        assert!(matches!(err, DataError::Io(_)));
+        assert!(err.to_string().contains("nope"));
+    }
+}

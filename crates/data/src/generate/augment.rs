@@ -1,0 +1,119 @@
+//! Random-tuple augmentation (the paper's Figure 7 scaling protocol).
+//!
+//! §IV-C: "we gradually increased the data size by adding randomly
+//! generated tuples to the datasets … up to ×10 the original data size."
+//! Each appended tuple draws every attribute uniformly from that
+//! attribute's active domain, independently — which, as the paper observes,
+//! *reduces* correlation and can shrink the searched lattice.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::error::{DataError, Result};
+
+/// Returns a copy of `dataset` with `extra` uniformly random tuples
+/// appended.
+pub fn append_random_tuples(dataset: &Dataset, extra: usize, seed: u64) -> Result<Dataset> {
+    let cards: Vec<u32> = dataset
+        .schema()
+        .iter()
+        .map(|a| a.cardinality() as u32)
+        .collect();
+    if cards.contains(&0) {
+        return Err(DataError::Invalid(
+            "cannot synthesize tuples for an attribute with an empty domain".into(),
+        ));
+    }
+    let mut out = dataset.clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut row = vec![0u32; cards.len()];
+    for _ in 0..extra {
+        for (cell, &card) in row.iter_mut().zip(&cards) {
+            *cell = rng.gen_range(0..card);
+        }
+        out.push_row_ids(&row).expect("sampled ids are in range");
+    }
+    Ok(out)
+}
+
+/// Scales `dataset` to `factor`× its row count by appending random tuples
+/// (`factor >= 1.0`).
+pub fn scale_dataset(dataset: &Dataset, factor: f64, seed: u64) -> Result<Dataset> {
+    if factor.is_nan() || factor < 1.0 {
+        return Err(DataError::Invalid(format!(
+            "scale factor must be >= 1.0, got {factor}"
+        )));
+    }
+    let target = (dataset.n_rows() as f64 * factor).round() as usize;
+    append_random_tuples(dataset, target.saturating_sub(dataset.n_rows()), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    fn base() -> Dataset {
+        let mut b = DatasetBuilder::new(["a", "b"]);
+        b.push_row(&["x", "p"]).unwrap();
+        b.push_row(&["y", "q"]).unwrap();
+        b.push_row(&["z", "p"]).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn append_grows_row_count_only() {
+        let d = base();
+        let out = append_random_tuples(&d, 100, 7).unwrap();
+        assert_eq!(out.n_rows(), 103);
+        assert_eq!(out.n_attrs(), 2);
+        // Original rows are untouched.
+        for r in 0..3 {
+            assert_eq!(out.row_to_vec(r), d.row_to_vec(r));
+        }
+        // New rows use only existing value ids.
+        for r in 3..out.n_rows() {
+            assert!(out.value_raw(r, 0) < 3);
+            assert!(out.value_raw(r, 1) < 2);
+        }
+    }
+
+    #[test]
+    fn appended_tuples_are_roughly_uniform() {
+        let d = base();
+        let out = append_random_tuples(&d, 30_000, 11).unwrap();
+        let vc = out.value_counts();
+        for &c in &vc[0] {
+            let frac = (c as f64 - 1.0) / 30_000.0;
+            assert!((frac - 1.0 / 3.0).abs() < 0.02, "{frac}");
+        }
+    }
+
+    #[test]
+    fn scale_dataset_hits_target() {
+        let d = base();
+        let out = scale_dataset(&d, 4.0, 3).unwrap();
+        assert_eq!(out.n_rows(), 12);
+        let same = scale_dataset(&d, 1.0, 3).unwrap();
+        assert_eq!(same.n_rows(), 3);
+        assert!(scale_dataset(&d, 0.5, 3).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = base();
+        let a = append_random_tuples(&d, 50, 9).unwrap();
+        let b = append_random_tuples(&d, 50, 9).unwrap();
+        for r in 0..a.n_rows() {
+            assert_eq!(a.row_to_vec(r), b.row_to_vec(r));
+        }
+    }
+
+    #[test]
+    fn empty_domain_rejected() {
+        let b = DatasetBuilder::new(["empty"]);
+        let d = b.finish();
+        assert!(append_random_tuples(&d, 1, 0).is_err());
+    }
+}

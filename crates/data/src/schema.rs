@@ -1,0 +1,217 @@
+//! Dataset schemas: ordered attribute metadata with dictionaries.
+
+use std::fmt;
+
+use crate::dictionary::Dictionary;
+use crate::error::{DataError, Result};
+
+/// Metadata for one categorical attribute.
+#[derive(Debug, Clone)]
+pub struct Attribute {
+    name: Box<str>,
+    dictionary: Dictionary,
+}
+
+impl Attribute {
+    /// Creates an attribute with an empty dictionary.
+    pub fn new(name: impl Into<Box<str>>) -> Self {
+        Self { name: name.into(), dictionary: Dictionary::new() }
+    }
+
+    /// Creates an attribute whose dictionary is pre-populated with `values`.
+    pub fn with_values<I, S>(name: impl Into<Box<str>>, values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        Self { name: name.into(), dictionary: Dictionary::from_labels(values) }
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute's dictionary (label ↔ id mapping).
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dictionary
+    }
+
+    /// Mutable access to the dictionary (used by dataset builders).
+    pub(crate) fn dictionary_mut(&mut self) -> &mut Dictionary {
+        &mut self.dictionary
+    }
+
+    /// Number of distinct values interned for this attribute.
+    ///
+    /// This is an upper bound on the paper's `|Dom(A_i)|`; for datasets built
+    /// through [`crate::dataset::DatasetBuilder`] every interned value occurs
+    /// in the data, so it equals the active-domain size.
+    pub fn cardinality(&self) -> usize {
+        self.dictionary.len()
+    }
+}
+
+/// An ordered list of attributes.
+///
+/// Attribute order is significant: the paper's `gen` operator (Def. 3.5)
+/// relies on a fixed total order of attributes, and all columnar storage is
+/// indexed by position.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a schema from attribute names with empty dictionaries.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        Self {
+            attrs: names
+                .into_iter()
+                .map(|n| Attribute::new(n.as_ref()))
+                .collect(),
+        }
+    }
+
+    /// Appends an attribute, returning its index.
+    pub fn push(&mut self, attr: Attribute) -> usize {
+        self.attrs.push(attr);
+        self.attrs.len() - 1
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Whether the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Returns the attribute at `index`, if in range.
+    pub fn attr(&self, index: usize) -> Option<&Attribute> {
+        self.attrs.get(index)
+    }
+
+    /// Returns the attribute at `index` or an error.
+    pub fn attr_checked(&self, index: usize) -> Result<&Attribute> {
+        self.attrs.get(index).ok_or(DataError::AttrOutOfRange {
+            index,
+            len: self.attrs.len(),
+        })
+    }
+
+    /// Mutable access to the attribute at `index`.
+    pub(crate) fn attr_mut(&mut self, index: usize) -> &mut Attribute {
+        &mut self.attrs[index]
+    }
+
+    /// Finds an attribute index by name (exact match).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name() == name)
+    }
+
+    /// Finds an attribute index by name or returns an error.
+    pub fn index_of_checked(&self, name: &str) -> Result<usize> {
+        self.index_of(name)
+            .ok_or_else(|| DataError::UnknownAttr(name.to_string()))
+    }
+
+    /// Iterates over attributes in positional order.
+    pub fn iter(&self) -> impl Iterator<Item = &Attribute> {
+        self.attrs.iter()
+    }
+
+    /// Attribute names in positional order.
+    pub fn names(&self) -> Vec<&str> {
+        self.attrs.iter().map(|a| a.name()).collect()
+    }
+
+    /// Product of attribute cardinalities, saturating at `u64::MAX`.
+    ///
+    /// This is the paper's upper bound `Π |Dom(A_i)|` on the number of
+    /// patterns over the full attribute set.
+    pub fn domain_product(&self) -> u64 {
+        self.attrs
+            .iter()
+            .fold(1u64, |acc, a| acc.saturating_mul(a.cardinality() as u64))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}({})", a.name(), a.cardinality())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schema() -> Schema {
+        let mut s = Schema::new();
+        s.push(Attribute::with_values("gender", ["female", "male"]));
+        s.push(Attribute::with_values("age", ["under 20", "20-39", "40-59"]));
+        s.push(Attribute::with_values("race", ["a", "b", "c", "d"]));
+        s
+    }
+
+    #[test]
+    fn push_and_index_of() {
+        let s = sample_schema();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("age"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert!(matches!(
+            s.index_of_checked("missing"),
+            Err(DataError::UnknownAttr(_))
+        ));
+    }
+
+    #[test]
+    fn attr_checked_bounds() {
+        let s = sample_schema();
+        assert!(s.attr_checked(2).is_ok());
+        assert!(matches!(
+            s.attr_checked(3),
+            Err(DataError::AttrOutOfRange { index: 3, len: 3 })
+        ));
+    }
+
+    #[test]
+    fn domain_product_multiplies_cardinalities() {
+        let s = sample_schema();
+        assert_eq!(s.domain_product(), 2 * 3 * 4);
+        assert_eq!(Schema::new().domain_product(), 1);
+    }
+
+    #[test]
+    fn display_lists_attrs_with_cardinality() {
+        let s = sample_schema();
+        assert_eq!(s.to_string(), "gender(2), age(3), race(4)");
+    }
+
+    #[test]
+    fn from_names_builds_empty_dictionaries() {
+        let s = Schema::from_names(["a", "b"]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.attr(0).unwrap().cardinality(), 0);
+        assert_eq!(s.names(), vec!["a", "b"]);
+    }
+}

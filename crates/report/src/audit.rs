@@ -1,0 +1,316 @@
+//! Fitness-for-use audits on top of labels.
+//!
+//! The paper's motivation (§I): once count information is available it
+//! "can be used to develop usecase-specific metadata warnings such as
+//! 'dangerous intersected attribute combinations' or 'inadequate
+//! representation of a protected group'". This module implements those
+//! warnings over a label's estimates — the consumer only has the label,
+//! not the data.
+
+use pclabel_core::attrset::AttrSet;
+use pclabel_core::label::Label;
+use pclabel_core::pattern::Pattern;
+
+/// Thresholds for the audit.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Groups estimated below this fraction of `|D|` are flagged as
+    /// under-represented.
+    pub min_fraction: f64,
+    /// Absolute count floor: estimates below it are always flagged.
+    pub min_count: u64,
+    /// Groups estimated above this fraction of `|D|` are flagged as skew.
+    pub skew_fraction: f64,
+    /// Flag attribute pairs whose observed/independence ratio leaves
+    /// `[1/r, r]`.
+    pub correlation_ratio: f64,
+    /// Largest intersection width examined (2 = pairs, 3 = triples …).
+    pub max_arity: usize,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        Self {
+            min_fraction: 0.005,
+            min_count: 30,
+            skew_fraction: 0.5,
+            correlation_ratio: 2.0,
+            max_arity: 2,
+        }
+    }
+}
+
+/// Kinds of findings an audit can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarningKind {
+    /// Estimated group size is (proportionally or absolutely) too small
+    /// for reliable downstream modeling.
+    Underrepresented,
+    /// A single group dominates the data (skew).
+    Overrepresented,
+    /// Two attributes deviate strongly from independence.
+    CorrelatedAttributes,
+}
+
+/// One audit finding.
+#[derive(Debug, Clone)]
+pub struct Warning {
+    /// The kind of issue.
+    pub kind: WarningKind,
+    /// The offending pattern (for correlations: the extreme cell).
+    pub pattern: Pattern,
+    /// Estimated count of the pattern.
+    pub estimate: f64,
+    /// Reference value: the independence expectation (correlations) or
+    /// the threshold that was crossed (representation warnings).
+    pub reference: f64,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Audits the intersections of `attrs` (all value combinations of every
+/// subset of size 1..=`max_arity`) using only the label's estimates.
+pub fn audit_intersections(label: &Label, attrs: &[usize], cfg: &AuditConfig) -> Vec<Warning> {
+    let mut warnings = Vec::new();
+    let n = label.n_rows() as f64;
+    let schema = label.schema().clone();
+
+    let subsets = subsets_up_to(attrs, cfg.max_arity.max(1));
+    for subset in &subsets {
+        for combo in combos(label, subset) {
+            let pattern = Pattern::from_terms(
+                subset.iter().copied().zip(combo.iter().copied()),
+            );
+            let est = label.estimate(&pattern);
+            let frac = est / n;
+            let describe = |p: &Pattern| -> String {
+                p.terms()
+                    .map(|(a, v)| {
+                        format!(
+                            "{} = {}",
+                            schema.attr(a).map(|at| at.name()).unwrap_or("?"),
+                            schema
+                                .attr(a)
+                                .and_then(|at| at.dictionary().label(v))
+                                .unwrap_or("?")
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            if est < cfg.min_count as f64 || frac < cfg.min_fraction {
+                warnings.push(Warning {
+                    kind: WarningKind::Underrepresented,
+                    estimate: est,
+                    reference: (cfg.min_count as f64).max(cfg.min_fraction * n),
+                    message: format!(
+                        "group {{{}}} is estimated at {:.0} rows ({:.2}% of the data); \
+                         likely inadequate representation",
+                        describe(&pattern),
+                        est,
+                        frac * 100.0
+                    ),
+                    pattern,
+                });
+            } else if frac > cfg.skew_fraction {
+                warnings.push(Warning {
+                    kind: WarningKind::Overrepresented,
+                    estimate: est,
+                    reference: cfg.skew_fraction * n,
+                    message: format!(
+                        "group {{{}}} is estimated at {:.0} rows ({:.0}% of the data); \
+                         possible data skew",
+                        describe(&pattern),
+                        est,
+                        frac * 100.0
+                    ),
+                    pattern,
+                });
+            }
+        }
+    }
+    warnings
+}
+
+/// Detects attribute pairs (within the label's subset `S`, where the label
+/// actually stores joint information) that deviate from independence by
+/// more than `cfg.correlation_ratio`.
+pub fn detect_correlations(label: &Label, cfg: &AuditConfig) -> Vec<Warning> {
+    let mut warnings = Vec::new();
+    let n = label.n_rows() as f64;
+    if n == 0.0 {
+        return warnings;
+    }
+    let vc = label.value_counts();
+    let schema = label.schema().clone();
+    let attrs: Vec<usize> = label.attrs().iter().collect();
+    for (ai, &a) in attrs.iter().enumerate() {
+        for &b in &attrs[ai + 1..] {
+            let mut extreme: Option<(Pattern, f64, f64, f64)> = None;
+            for combo in combos(label, &[a, b]) {
+                let pattern = Pattern::from_terms([(a, combo[0]), (b, combo[1])]);
+                let joint =
+                    label.count_of_projection(&pattern.restrict(AttrSet::from_indices([a, b])));
+                let expected = n * vc.fraction(a, combo[0]) * vc.fraction(b, combo[1]);
+                if expected < 1.0 {
+                    continue; // too little mass for a meaningful ratio
+                }
+                // An empty cell against expectation e deviates by e× (the
+                // same convention as the q-error's clamp-to-one).
+                let severity = if joint == 0 {
+                    expected
+                } else {
+                    let ratio = joint as f64 / expected;
+                    ratio.max(1.0 / ratio)
+                };
+                if severity > cfg.correlation_ratio {
+                    let better = extreme
+                        .as_ref()
+                        .map(|&(_, _, _, s)| severity > s)
+                        .unwrap_or(true);
+                    if better {
+                        extreme = Some((pattern, joint as f64, expected, severity));
+                    }
+                }
+            }
+            if let Some((pattern, joint, expected, severity)) = extreme {
+                let an = schema.attr(a).map(|x| x.name()).unwrap_or("?");
+                let bn = schema.attr(b).map(|x| x.name()).unwrap_or("?");
+                warnings.push(Warning {
+                    kind: WarningKind::CorrelatedAttributes,
+                    estimate: joint,
+                    reference: expected,
+                    message: format!(
+                        "attributes {an:?} and {bn:?} deviate from independence by {severity:.1}× \
+                         (observed {joint:.0} vs expected {expected:.0} for one cell)"
+                    ),
+                    pattern,
+                });
+            }
+        }
+    }
+    warnings
+}
+
+/// All subsets of `attrs` with size in `1..=max_arity`, smallest first.
+fn subsets_up_to(attrs: &[usize], max_arity: usize) -> Vec<Vec<usize>> {
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    let n = attrs.len();
+    for mask in 1u32..(1 << n) {
+        let size = mask.count_ones() as usize;
+        if size <= max_arity {
+            out.push(
+                (0..n)
+                    .filter(|&i| (mask >> i) & 1 == 1)
+                    .map(|i| attrs[i])
+                    .collect(),
+            );
+        }
+    }
+    out.sort_by_key(Vec::len);
+    out
+}
+
+/// Cartesian product of active-domain value ids for `subset`.
+fn combos(label: &Label, subset: &[usize]) -> Vec<Vec<u32>> {
+    let cards: Vec<u32> = subset
+        .iter()
+        .map(|&a| {
+            label
+                .schema()
+                .attr(a)
+                .map(|at| at.cardinality() as u32)
+                .unwrap_or(0)
+        })
+        .collect();
+    if cards.contains(&0) {
+        return Vec::new();
+    }
+    let mut out = vec![vec![]];
+    for &card in &cards {
+        let mut next = Vec::with_capacity(out.len() * card as usize);
+        for prefix in &out {
+            for v in 0..card {
+                let mut p = prefix.clone();
+                p.push(v);
+                next.push(p);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pclabel_core::attrset::AttrSet;
+    use pclabel_data::generate::{compas_simplified, correlated_pair, CompasConfig};
+
+    #[test]
+    fn underrepresented_intersections_found() {
+        // COMPAS-like: Hispanic widows are a vanishing group — the paper's
+        // own Example 1.1 observation.
+        let d = compas_simplified(&CompasConfig { n_rows: 30_000, seed: 3 }).unwrap();
+        let race = d.schema().index_of("Race").unwrap();
+        let marital = d.schema().index_of("MaritalStatus").unwrap();
+        let label = Label::build(&d, AttrSet::from_indices([race, marital]));
+        let cfg = AuditConfig { min_fraction: 0.002, min_count: 30, ..Default::default() };
+        let warnings = audit_intersections(&label, &[race, marital], &cfg);
+        assert!(!warnings.is_empty());
+        let hispanic_widowed = warnings.iter().any(|w| {
+            w.kind == WarningKind::Underrepresented
+                && w.message.contains("Hispanic")
+                && w.message.contains("Widowed")
+        });
+        assert!(hispanic_widowed, "{warnings:?}");
+    }
+
+    #[test]
+    fn skew_detected() {
+        let d = compas_simplified(&CompasConfig { n_rows: 10_000, seed: 5 }).unwrap();
+        let gender = d.schema().index_of("Gender").unwrap();
+        let label = Label::build(&d, AttrSet::singleton(gender));
+        let cfg = AuditConfig {
+            skew_fraction: 0.7,
+            min_fraction: 0.0,
+            min_count: 0,
+            ..Default::default()
+        };
+        let warnings = audit_intersections(&label, &[gender], &cfg);
+        // Males are ~78% of COMPAS.
+        assert!(warnings
+            .iter()
+            .any(|w| w.kind == WarningKind::Overrepresented && w.message.contains("Male")));
+    }
+
+    #[test]
+    fn correlation_detected_within_label_attrs() {
+        let d = correlated_pair(4, 10_000, 0.1, 7).unwrap();
+        let label = Label::build(&d, AttrSet::from_indices([0, 1]));
+        let warnings = detect_correlations(&label, &AuditConfig::default());
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].kind, WarningKind::CorrelatedAttributes);
+        // The flagged cell deviates from independence by more than the
+        // configured ratio in either direction (here the off-diagonal
+        // cells are the most extreme: ~10× under-represented).
+        let ratio = warnings[0].estimate / warnings[0].reference;
+        assert!(!(0.5..=2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn independent_attrs_raise_no_correlation_warning() {
+        let d = correlated_pair(4, 10_000, 1.0, 9).unwrap();
+        let label = Label::build(&d, AttrSet::from_indices([0, 1]));
+        let warnings = detect_correlations(&label, &AuditConfig::default());
+        assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn max_arity_limits_subsets() {
+        let subs = subsets_up_to(&[0, 1, 2], 2);
+        assert_eq!(subs.len(), 3 + 3);
+        let subs3 = subsets_up_to(&[0, 1, 2], 3);
+        assert_eq!(subs3.len(), 7);
+    }
+}

@@ -1,0 +1,209 @@
+//! Label cards: the human-facing rendering of a label (paper Figure 1).
+//!
+//! A card shows the dataset's total size, the per-attribute value counts
+//! with percentages (`VC`), the stored pattern counts (`PC`), and the
+//! error summary footer (average error, maximal error, standard
+//! deviation) — the exact layout of the paper's Figure 1 for the
+//! simplified COMPAS dataset.
+
+use pclabel_core::error::ErrorStats;
+use pclabel_core::label::Label;
+
+use crate::table::{fmt_count, fmt_percent, Align, TextTable};
+
+/// Options controlling card rendering.
+#[derive(Debug, Clone)]
+pub struct CardOptions {
+    /// Attributes whose `VC` rows are shown (`None` = all). Lets a user
+    /// "filter out attributes to adjust the information to their
+    /// interest" (paper §II-B).
+    pub vc_attrs: Option<Vec<usize>>,
+    /// Maximum `PC` rows displayed (`None` = all).
+    pub max_pc_rows: Option<usize>,
+}
+
+impl Default for CardOptions {
+    fn default() -> Self {
+        Self { vc_attrs: None, max_pc_rows: Some(50) }
+    }
+}
+
+/// Renders a Figure-1 style label card.
+pub fn render_label_card(
+    label: &Label,
+    stats: Option<&ErrorStats>,
+    opts: &CardOptions,
+) -> String {
+    let schema = label.schema();
+    let n = label.n_rows();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Dataset: {}   Total size: {}\n\n",
+        label.dataset_name(),
+        fmt_count(n)
+    ));
+
+    // VC section.
+    let mut vc_table =
+        TextTable::new(["Attribute", "Value", "Count", ""]).aligns([
+            Align::Left,
+            Align::Left,
+            Align::Right,
+            Align::Right,
+        ]);
+    let vc = label.value_counts();
+    let show: Vec<usize> = match &opts.vc_attrs {
+        Some(list) => list.clone(),
+        None => (0..schema.len()).collect(),
+    };
+    for (k, &attr) in show.iter().enumerate() {
+        let Some(a) = schema.attr(attr) else { continue };
+        let mut first = true;
+        for (id, value) in a.dictionary().iter() {
+            let count = vc.count(attr, id);
+            if count == 0 {
+                continue;
+            }
+            vc_table.row([
+                if first { a.name() } else { "" }.to_string(),
+                value.to_string(),
+                fmt_count(count),
+                fmt_percent(count as f64 / n.max(1) as f64),
+            ]);
+            first = false;
+        }
+        if k + 1 < show.len() {
+            vc_table.separator();
+        }
+    }
+    out.push_str(&vc_table.render());
+
+    // PC section.
+    let sel_names: Vec<&str> = label
+        .attrs()
+        .iter()
+        .filter_map(|a| schema.attr(a).map(|at| at.name()))
+        .collect();
+    if !sel_names.is_empty() {
+        out.push('\n');
+        let mut header: Vec<String> = sel_names.iter().map(|s| s.to_string()).collect();
+        header.push("Count".into());
+        header.push(String::new());
+        let mut aligns = vec![Align::Left; sel_names.len()];
+        aligns.push(Align::Right);
+        aligns.push(Align::Right);
+        let mut pc_table = TextTable::new(header).aligns(aligns);
+
+        let mut entries = label.pc_entries();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let shown = opts.max_pc_rows.unwrap_or(entries.len()).min(entries.len());
+        for (pattern, count) in entries.iter().take(shown) {
+            let mut row: Vec<String> = Vec::with_capacity(sel_names.len() + 2);
+            for attr in label.attrs().iter() {
+                let cell = match pattern.value_of(attr) {
+                    Some(v) => schema
+                        .attr(attr)
+                        .and_then(|a| a.dictionary().label(v))
+                        .unwrap_or("?")
+                        .to_string(),
+                    None => "⊥".to_string(),
+                };
+                row.push(cell);
+            }
+            row.push(fmt_count(*count));
+            row.push(fmt_percent(*count as f64 / n.max(1) as f64));
+            pc_table.row(row);
+        }
+        out.push_str(&pc_table.render());
+        if shown < entries.len() {
+            out.push_str(&format!("… {} more pattern rows\n", entries.len() - shown));
+        }
+    }
+
+    // Error footer (Figure 1's bottom block).
+    if let Some(s) = stats {
+        out.push('\n');
+        let mut footer = TextTable::new(["", "", ""]).aligns([
+            Align::Left,
+            Align::Right,
+            Align::Right,
+        ]);
+        footer.row([
+            "Average Error".to_string(),
+            format!("{:.0}", s.mean_abs),
+            fmt_percent(s.mean_abs / n.max(1) as f64),
+        ]);
+        footer.row([
+            "Maximal Error".to_string(),
+            format!("{:.0}", s.max_abs),
+            fmt_percent(s.max_abs / n.max(1) as f64),
+        ]);
+        footer.row(["Standard deviation".to_string(), format!("{:.0}", s.std_abs), String::new()]);
+        out.push_str(&footer.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pclabel_core::attrset::AttrSet;
+    use pclabel_core::patterns::PatternSet;
+    use pclabel_core::search::Evaluator;
+    use pclabel_data::generate::figure2_sample;
+
+    fn card_for_fig2() -> String {
+        let d = figure2_sample();
+        let label = Label::build(&d, AttrSet::from_indices([1, 3]));
+        let ev = Evaluator::new(&d, &PatternSet::AllTuples);
+        let stats = ev.error_of(label.attrs(), false);
+        render_label_card(&label, Some(&stats), &CardOptions::default())
+    }
+
+    #[test]
+    fn card_contains_all_sections() {
+        let card = card_for_fig2();
+        assert!(card.contains("Total size: 18"));
+        // VC rows.
+        assert!(card.contains("gender"));
+        assert!(card.contains("Female"));
+        assert!(card.contains("50%"));
+        // PC rows over {age group, marital status}.
+        assert!(card.contains("under 20"));
+        assert!(card.contains("single"));
+        // Footer.
+        assert!(card.contains("Average Error"));
+        assert!(card.contains("Maximal Error"));
+        assert!(card.contains("Standard deviation"));
+    }
+
+    #[test]
+    fn vc_filter_hides_attributes() {
+        let d = figure2_sample();
+        let label = Label::build(&d, AttrSet::from_indices([1, 3]));
+        let opts = CardOptions { vc_attrs: Some(vec![0]), max_pc_rows: None };
+        let card = render_label_card(&label, None, &opts);
+        assert!(card.contains("gender"));
+        assert!(!card.contains("African-American"));
+        // No footer without stats.
+        assert!(!card.contains("Maximal Error"));
+    }
+
+    #[test]
+    fn pc_row_cap_applies() {
+        let d = figure2_sample();
+        let label = Label::build(&d, AttrSet::from_indices([0, 1, 2, 3]));
+        let opts = CardOptions { vc_attrs: None, max_pc_rows: Some(5) };
+        let card = render_label_card(&label, None, &opts);
+        assert!(card.contains("more pattern rows"));
+    }
+
+    #[test]
+    fn empty_label_card_renders_vc_only() {
+        let d = figure2_sample();
+        let label = Label::build(&d, AttrSet::EMPTY);
+        let card = render_label_card(&label, None, &CardOptions::default());
+        assert!(card.contains("Total size: 18"));
+        assert!(card.contains("gender"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Experiment series: the data behind a paper figure, renderable as an
+//! aligned table, markdown, or TSV (for external plotting).
+
+use crate::table::{Align, TextTable};
+
+/// A named family of y-values over a shared x-axis — one paper figure
+/// panel (e.g. "COMPAS: max error vs label size" with series PCBL,
+/// Postgres, Sample).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Panel title (e.g. `"COMPAS"`).
+    pub title: String,
+    /// X-axis label (e.g. `"Label Size"`).
+    pub x_label: String,
+    /// Series names, one per y-column.
+    pub columns: Vec<String>,
+    /// `(x, ys)` points; `None` marks a missing measurement (e.g. naive
+    /// search timed out).
+    pub points: Vec<(f64, Vec<Option<f64>>)>,
+}
+
+impl Series {
+    /// Creates an empty series collection.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            columns,
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a data point.
+    pub fn push(&mut self, x: f64, ys: Vec<Option<f64>>) {
+        debug_assert_eq!(ys.len(), self.columns.len());
+        self.points.push((x, ys));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    fn to_table(&self, precision: usize) -> TextTable {
+        let mut header = vec![self.x_label.clone()];
+        header.extend(self.columns.iter().cloned());
+        let mut t = TextTable::new(header)
+            .aligns(std::iter::repeat_n(Align::Right, self.columns.len() + 1));
+        for (x, ys) in &self.points {
+            let mut row = vec![trim_float(*x, precision)];
+            for y in ys {
+                row.push(match y {
+                    Some(v) => trim_float(*v, precision),
+                    None => "—".to_string(),
+                });
+            }
+            t.row(row);
+        }
+        t
+    }
+
+    /// Renders an aligned text table with the title above.
+    pub fn render(&self, precision: usize) -> String {
+        format!("## {}\n{}", self.title, self.to_table(precision).render())
+    }
+
+    /// Renders a markdown table with the title above.
+    pub fn render_markdown(&self, precision: usize) -> String {
+        format!(
+            "### {}\n\n{}",
+            self.title,
+            self.to_table(precision).render_markdown()
+        )
+    }
+
+    /// Renders TSV (no title) for external plotting tools.
+    pub fn render_tsv(&self, precision: usize) -> String {
+        self.to_table(precision).render_tsv()
+    }
+}
+
+fn trim_float(v: f64, precision: usize) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.precision$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_series() -> Series {
+        let mut s = Series::new(
+            "COMPAS",
+            "Label Size",
+            vec!["PCBL".into(), "Postgres".into(), "Sample".into()],
+        );
+        s.push(9.0, vec![Some(494.0), Some(532.0), Some(1070.0)]);
+        s.push(87.0, vec![Some(378.0), Some(532.0), None]);
+        s
+    }
+
+    #[test]
+    fn renders_all_formats() {
+        let s = sample_series();
+        assert_eq!(s.len(), 2);
+        let txt = s.render(2);
+        assert!(txt.starts_with("## COMPAS"));
+        assert!(txt.contains("Label Size"));
+        assert!(txt.contains("494"));
+        assert!(txt.contains("—"));
+        let md = s.render_markdown(2);
+        assert!(md.contains("| Label Size | PCBL | Postgres | Sample |"));
+        let tsv = s.render_tsv(2);
+        assert!(tsv.starts_with("Label Size\tPCBL\tPostgres\tSample\n"));
+        assert!(tsv.contains("9\t494\t532\t1070"));
+    }
+
+    #[test]
+    fn float_trimming() {
+        assert_eq!(trim_float(3.0, 2), "3");
+        assert_eq!(trim_float(1.23456, 2), "1.23");
+        assert_eq!(trim_float(0.5, 3), "0.500");
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = Series::new("t", "x", vec!["y".into()]);
+        assert!(s.is_empty());
+        assert!(s.render(1).contains("## t"));
+    }
+}

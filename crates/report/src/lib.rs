@@ -1,0 +1,27 @@
+//! # pclabel-report
+//!
+//! Human-facing output for pattern count-based labels:
+//!
+//! * [`card`] — Figure-1 style label cards (total size, `VC` percentages,
+//!   `PC` table, error footer);
+//! * [`audit`] — fitness-for-use warnings (under-representation, skew,
+//!   attribute correlation) computed from a label's *estimates*, the way a
+//!   data consumer without the raw data would;
+//! * [`portable`] — a self-contained text serialization of a label, the
+//!   artifact a publisher ships next to a dataset;
+//! * [`table`] / [`export`] — aligned text / markdown / TSV rendering used
+//!   by the experiment harness.
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod card;
+pub mod export;
+pub mod portable;
+pub mod table;
+
+pub use audit::{audit_intersections, detect_correlations, AuditConfig, Warning, WarningKind};
+pub use card::{render_label_card, CardOptions};
+pub use export::Series;
+pub use portable::{write_portable, PortableError, PortableLabel};
+pub use table::{fmt_count, fmt_percent, Align, TextTable};

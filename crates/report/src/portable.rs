@@ -1,0 +1,502 @@
+//! Portable labels: a self-contained text format for shipping a label
+//! *instead of* (or alongside) the data.
+//!
+//! The paper's deployment story is that the label travels as metadata with
+//! a published dataset; consumers estimate pattern counts without the
+//! data. [`write_portable`] serializes a [`Label`] — schema names, value
+//! labels, `VC`, the selected subset and its `PC` — into a line-oriented
+//! text document, and [`PortableLabel`] parses one back and answers the
+//! same estimation queries by value *names*, with no dependency on the
+//! original `Dataset` or dictionary ids.
+//!
+//! The format is deliberately boring: one record per line, fields
+//! separated by single spaces, names percent-encoded so that arbitrary
+//! labels (spaces, quotes, newlines, unicode) survive. No serde/JSON
+//! dependency is needed.
+
+use std::collections::HashMap;
+
+use pclabel_core::label::Label;
+
+/// Format version emitted by [`write_portable`].
+pub const PORTABLE_VERSION: u32 = 1;
+
+/// Errors from parsing a portable label document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PortableError {
+    /// The header line is missing or has an unsupported version.
+    BadHeader(String),
+    /// A line could not be parsed.
+    BadLine {
+        /// One-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The document ended before all declared sections were complete.
+    Incomplete(String),
+}
+
+impl std::fmt::Display for PortableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PortableError::BadHeader(h) => write!(f, "bad portable-label header: {h}"),
+            PortableError::BadLine { line, message } => {
+                write!(f, "portable-label parse error at line {line}: {message}")
+            }
+            PortableError::Incomplete(what) => write!(f, "portable label incomplete: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PortableError {}
+
+fn encode_token(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            ' ' => out.push_str("%20"),
+            '%' => out.push_str("%25"),
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            '\t' => out.push_str("%09"),
+            _ => out.push(c),
+        }
+    }
+    if out.is_empty() {
+        "%00".into() // empty labels must still occupy a field
+    } else {
+        out
+    }
+}
+
+fn decode_token(s: &str) -> Result<String, String> {
+    if s == "%00" {
+        return Ok(String::new());
+    }
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            if i + 2 > bytes.len() {
+                return Err("truncated escape".into());
+            }
+            let hex = s
+                .get(i + 1..i + 3)
+                .ok_or_else(|| "truncated escape".to_string())?;
+            let v = u8::from_str_radix(hex, 16).map_err(|_| format!("bad escape %{hex}"))?;
+            out.push(v as char);
+            i += 3;
+        } else {
+            // Advance over one UTF-8 scalar.
+            let ch_len = s[i..].chars().next().map(char::len_utf8).unwrap_or(1);
+            out.push_str(&s[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+    Ok(out)
+}
+
+/// Serializes a label into the portable text format.
+pub fn write_portable(label: &Label) -> String {
+    let schema = label.schema();
+    let mut out = String::new();
+    out.push_str(&format!("#PCLABEL {PORTABLE_VERSION}\n"));
+    out.push_str(&format!("name {}\n", encode_token(label.dataset_name())));
+    out.push_str(&format!("rows {}\n", label.n_rows()));
+
+    // Attribute declarations in schema order.
+    for (i, attr) in schema.iter().enumerate() {
+        out.push_str(&format!("attr {i} {}\n", encode_token(attr.name())));
+    }
+
+    // VC entries (only positive counts, like the paper's active domains).
+    let vc = label.value_counts();
+    for (i, attr) in schema.iter().enumerate() {
+        for (id, value) in attr.dictionary().iter() {
+            let count = vc.count(i, id);
+            if count > 0 {
+                out.push_str(&format!("vc {i} {} {count}\n", encode_token(value)));
+            }
+        }
+    }
+
+    // Selected subset and PC entries.
+    let sel: Vec<usize> = label.attrs().iter().collect();
+    out.push_str("sel");
+    for a in &sel {
+        out.push_str(&format!(" {a}"));
+    }
+    out.push('\n');
+    for (pattern, count) in label.pc_entries() {
+        out.push_str(&format!("pc {count}"));
+        for &a in &sel {
+            match pattern.value_of(a) {
+                Some(v) => {
+                    let value = schema
+                        .attr(a)
+                        .and_then(|at| at.dictionary().label(v))
+                        .unwrap_or("?");
+                    out.push_str(&format!(" {}", encode_token(value)));
+                }
+                None => out.push_str(" %E2%8A%A5"), // partial pattern: ⊥ marker
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A parsed portable label: answers estimation queries by attribute and
+/// value *names*, independent of the original dataset.
+pub struct PortableLabel {
+    name: String,
+    n_rows: u64,
+    attr_names: Vec<String>,
+    attr_index: HashMap<String, usize>,
+    /// `vc[attr][value-name] = count`.
+    vc: Vec<HashMap<String, u64>>,
+    /// `Σ` of counts per attribute (estimation denominators).
+    totals: Vec<u64>,
+    /// Selected subset, in increasing order.
+    sel: Vec<usize>,
+    /// `PC`: values (by name, aligned with `sel`, `None` = undefined) → count.
+    pc: Vec<(Vec<Option<String>>, u64)>,
+}
+
+impl PortableLabel {
+    /// Parses a portable label document.
+    pub fn parse(text: &str) -> Result<Self, PortableError> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| PortableError::BadHeader("empty document".into()))?;
+        if header.trim() != format!("#PCLABEL {PORTABLE_VERSION}") {
+            return Err(PortableError::BadHeader(header.to_string()));
+        }
+
+        let mut name = String::new();
+        let mut n_rows: Option<u64> = None;
+        let mut attr_names: Vec<String> = Vec::new();
+        let mut vc: Vec<HashMap<String, u64>> = Vec::new();
+        let mut sel: Option<Vec<usize>> = None;
+        let mut pc: Vec<(Vec<Option<String>>, u64)> = Vec::new();
+
+        let bad = |line: usize, message: &str| PortableError::BadLine {
+            line: line + 1,
+            message: message.to_string(),
+        };
+
+        for (ln, raw) in lines {
+            let line = raw.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split(' ');
+            match parts.next() {
+                Some("name") => {
+                    let tok = parts.next().ok_or_else(|| bad(ln, "missing name"))?;
+                    name = decode_token(tok).map_err(|e| bad(ln, &e))?;
+                }
+                Some("rows") => {
+                    let tok = parts.next().ok_or_else(|| bad(ln, "missing row count"))?;
+                    n_rows = Some(tok.parse().map_err(|_| bad(ln, "bad row count"))?);
+                }
+                Some("attr") => {
+                    let idx: usize = parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad(ln, "bad attr index"))?;
+                    let nm = decode_token(parts.next().ok_or_else(|| bad(ln, "missing attr name"))?)
+                        .map_err(|e| bad(ln, &e))?;
+                    if idx != attr_names.len() {
+                        return Err(bad(ln, "attr indices must be dense and ordered"));
+                    }
+                    attr_names.push(nm);
+                    vc.push(HashMap::new());
+                }
+                Some("vc") => {
+                    let idx: usize = parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad(ln, "bad vc attr index"))?;
+                    let value =
+                        decode_token(parts.next().ok_or_else(|| bad(ln, "missing vc value"))?)
+                            .map_err(|e| bad(ln, &e))?;
+                    let count: u64 = parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad(ln, "bad vc count"))?;
+                    let slot = vc.get_mut(idx).ok_or_else(|| bad(ln, "vc before attr"))?;
+                    slot.insert(value, count);
+                }
+                Some("sel") => {
+                    let mut s = Vec::new();
+                    for tok in parts {
+                        s.push(tok.parse().map_err(|_| bad(ln, "bad sel index"))?);
+                    }
+                    sel = Some(s);
+                }
+                Some("pc") => {
+                    let sel_ref = sel.as_ref().ok_or_else(|| bad(ln, "pc before sel"))?;
+                    let count: u64 = parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad(ln, "bad pc count"))?;
+                    let mut values = Vec::with_capacity(sel_ref.len());
+                    for tok in parts {
+                        if tok == "%E2%8A%A5" {
+                            values.push(None);
+                        } else {
+                            values.push(Some(decode_token(tok).map_err(|e| bad(ln, &e))?));
+                        }
+                    }
+                    if values.len() != sel_ref.len() {
+                        return Err(bad(ln, "pc arity does not match sel"));
+                    }
+                    pc.push((values, count));
+                }
+                Some(other) => return Err(bad(ln, &format!("unknown record {other:?}"))),
+                None => {}
+            }
+        }
+
+        let n_rows = n_rows.ok_or_else(|| PortableError::Incomplete("rows".into()))?;
+        let sel = sel.ok_or_else(|| PortableError::Incomplete("sel".into()))?;
+        let totals = vc.iter().map(|m| m.values().sum()).collect();
+        let attr_index = attr_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        Ok(Self { name, n_rows, attr_names, attr_index, vc, totals, sel, pc })
+    }
+
+    /// Dataset name recorded in the label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `|D|`.
+    pub fn n_rows(&self) -> u64 {
+        self.n_rows
+    }
+
+    /// Attribute names in schema order.
+    pub fn attr_names(&self) -> &[String] {
+        &self.attr_names
+    }
+
+    /// The selected subset (attribute indices).
+    pub fn selected(&self) -> &[usize] {
+        &self.sel
+    }
+
+    /// Number of stored `PC` entries.
+    pub fn pattern_count_size(&self) -> u64 {
+        self.pc.len() as u64
+    }
+
+    /// `c_D({attr = value})` from the shipped `VC`.
+    pub fn value_count(&self, attr: &str, value: &str) -> Option<u64> {
+        let &i = self.attr_index.get(attr)?;
+        Some(self.vc[i].get(value).copied().unwrap_or(0))
+    }
+
+    /// The estimation function (Def. 2.11) over `(attribute, value)` name
+    /// pairs. Returns `None` if any attribute name is unknown.
+    pub fn estimate(&self, terms: &[(&str, &str)]) -> Option<f64> {
+        // Resolve names to indices; unknown value names are legitimate
+        // (count 0), unknown attributes are not.
+        let mut resolved: Vec<(usize, &str)> = Vec::with_capacity(terms.len());
+        for &(a, v) in terms {
+            let &i = self.attr_index.get(a)?;
+            resolved.push((i, v));
+        }
+        resolved.sort_by_key(|&(i, _)| i);
+        resolved.dedup_by_key(|&mut (i, _)| i);
+
+        // Split into the projection onto sel and the rest.
+        let in_sel: Vec<(usize, &str)> = resolved
+            .iter()
+            .copied()
+            .filter(|(i, _)| self.sel.contains(i))
+            .collect();
+
+        // Anchor: marginal over PC entries matching the projection.
+        let base: u64 = if in_sel.is_empty() {
+            self.n_rows
+        } else {
+            self.pc
+                .iter()
+                .filter(|(values, _)| {
+                    in_sel.iter().all(|&(attr, val)| {
+                        let pos = self
+                            .sel
+                            .iter()
+                            .position(|&s| s == attr)
+                            .expect("attr is in sel");
+                        values[pos].as_deref() == Some(val)
+                    })
+                })
+                .map(|&(_, c)| c)
+                .sum()
+        };
+        if base == 0 {
+            return Some(0.0);
+        }
+        let mut est = base as f64;
+        for &(i, v) in &resolved {
+            if !self.sel.contains(&i) {
+                let total = self.totals[i];
+                if total == 0 {
+                    return Some(0.0);
+                }
+                let count = self.vc[i].get(v).copied().unwrap_or(0);
+                est *= count as f64 / total as f64;
+            }
+        }
+        Some(est)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pclabel_core::attrset::AttrSet;
+    use pclabel_core::pattern::Pattern;
+    use pclabel_data::generate::figure2_sample;
+
+    fn fig2_portable() -> (pclabel_data::dataset::Dataset, Label, PortableLabel) {
+        let d = figure2_sample();
+        let label = Label::build(&d, AttrSet::from_indices([1, 3]));
+        let text = write_portable(&label);
+        let portable = PortableLabel::parse(&text).unwrap();
+        (d, label, portable)
+    }
+
+    #[test]
+    fn roundtrip_preserves_metadata() {
+        let (_, label, portable) = fig2_portable();
+        assert_eq!(portable.name(), "figure2");
+        assert_eq!(portable.n_rows(), 18);
+        assert_eq!(portable.attr_names().len(), 4);
+        assert_eq!(portable.selected(), &[1, 3]);
+        assert_eq!(portable.pattern_count_size(), label.pattern_count_size());
+        assert_eq!(portable.value_count("gender", "Female"), Some(9));
+        assert_eq!(portable.value_count("gender", "Nonbinary"), Some(0));
+        assert_eq!(portable.value_count("nope", "x"), None);
+    }
+
+    #[test]
+    fn portable_estimates_match_label() {
+        let (d, label, portable) = fig2_portable();
+        // Full tuples.
+        for r in 0..d.n_rows() {
+            let p = Pattern::from_row(&d, r);
+            let terms: Vec<(String, String)> = p
+                .terms()
+                .map(|(a, v)| {
+                    (
+                        d.schema().attr(a).unwrap().name().to_string(),
+                        d.label_of(a, v).to_string(),
+                    )
+                })
+                .collect();
+            let term_refs: Vec<(&str, &str)> =
+                terms.iter().map(|(a, v)| (a.as_str(), v.as_str())).collect();
+            let portable_est = portable.estimate(&term_refs).unwrap();
+            assert!(
+                (portable_est - label.estimate(&p)).abs() < 1e-9,
+                "row {r}: {portable_est} vs {}",
+                label.estimate(&p)
+            );
+        }
+        // Example 2.12's pattern.
+        let est = portable
+            .estimate(&[
+                ("gender", "Female"),
+                ("age group", "20-39"),
+                ("marital status", "married"),
+            ])
+            .unwrap();
+        assert_eq!(est, 3.0);
+        // Partial projection (marginal path).
+        assert_eq!(portable.estimate(&[("age group", "20-39")]).unwrap(), 12.0);
+        // Unknown value → 0; unknown attribute → None.
+        assert_eq!(portable.estimate(&[("gender", "Nonbinary")]).unwrap(), 0.0);
+        assert!(portable.estimate(&[("salary", "high")]).is_none());
+    }
+
+    #[test]
+    fn special_characters_roundtrip() {
+        use pclabel_data::dataset::DatasetBuilder;
+        let mut b = DatasetBuilder::new(["weird attr", "b"]);
+        b.push_row(&["has space", "100%"]).unwrap();
+        b.push_row(&["", "new\nline"]).unwrap();
+        b.push_row(&["ünïcødé", "tab\there"]).unwrap();
+        let d = b.finish().with_name("strange dataset");
+        let label = Label::build(&d, AttrSet::from_indices([0, 1]));
+        let text = write_portable(&label);
+        let portable = PortableLabel::parse(&text).unwrap();
+        assert_eq!(portable.name(), "strange dataset");
+        assert_eq!(portable.value_count("weird attr", "has space"), Some(1));
+        assert_eq!(portable.value_count("weird attr", ""), Some(1));
+        assert_eq!(portable.value_count("b", "100%"), Some(1));
+        assert_eq!(portable.value_count("b", "new\nline"), Some(1));
+        assert_eq!(
+            portable.estimate(&[("weird attr", "ünïcødé"), ("b", "tab\there")]),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(matches!(
+            PortableLabel::parse(""),
+            Err(PortableError::BadHeader(_))
+        ));
+        assert!(matches!(
+            PortableLabel::parse("#PCLABEL 99\n"),
+            Err(PortableError::BadHeader(_))
+        ));
+        let base = "#PCLABEL 1\nname d\nrows 5\nattr 0 a\n";
+        // pc before sel.
+        assert!(PortableLabel::parse(&format!("{base}pc 3 x\n")).is_err());
+        // bad counts.
+        assert!(PortableLabel::parse(&format!("{base}vc 0 x notanumber\n")).is_err());
+        // unknown record type.
+        assert!(PortableLabel::parse(&format!("{base}zzz 1\n")).is_err());
+        // missing rows/sel.
+        assert!(matches!(
+            PortableLabel::parse("#PCLABEL 1\nname d\nattr 0 a\nsel 0\n"),
+            Err(PortableError::Incomplete(_))
+        ));
+        assert!(matches!(
+            PortableLabel::parse("#PCLABEL 1\nname d\nrows 5\nattr 0 a\n"),
+            Err(PortableError::Incomplete(_))
+        ));
+        // non-dense attr indices.
+        assert!(PortableLabel::parse("#PCLABEL 1\nname d\nrows 1\nattr 1 b\nsel 0\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let (_, label, _) = fig2_portable();
+        let mut text = write_portable(&label);
+        text.push_str("\n# trailing comment\n\n");
+        assert!(PortableLabel::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn empty_selection_label() {
+        let d = figure2_sample();
+        let label = Label::build(&d, AttrSet::EMPTY);
+        let portable = PortableLabel::parse(&write_portable(&label)).unwrap();
+        assert_eq!(portable.pattern_count_size(), 0);
+        // Pure independence estimation.
+        let est = portable.estimate(&[("gender", "Female")]).unwrap();
+        assert_eq!(est, 9.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Plain-text table rendering.
+//!
+//! All human-facing output in the workspace (label cards, experiment
+//! tables, audit reports) goes through this small column-aligned table
+//! builder — no external dependency needed.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Align {
+    /// Left-aligned (default).
+    #[default]
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple text table builder.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+    /// Indices of rows after which a separator line is drawn.
+    separators: Vec<usize>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        let header: Vec<String> = header.into_iter().map(Into::into).collect();
+        let aligns = vec![Align::Left; header.len()];
+        Self { header, aligns, rows: Vec::new(), separators: Vec::new() }
+    }
+
+    /// Sets per-column alignment (missing entries default to left).
+    pub fn aligns<I: IntoIterator<Item = Align>>(mut self, aligns: I) -> Self {
+        let given: Vec<Align> = aligns.into_iter().collect();
+        for (i, a) in given.into_iter().enumerate() {
+            if i < self.aligns.len() {
+                self.aligns[i] = a;
+            }
+        }
+        self
+    }
+
+    /// Appends a data row (padded/truncated to the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Draws a separator after the most recently added row.
+    pub fn separator(&mut self) -> &mut Self {
+        if !self.rows.is_empty() {
+            self.separators.push(self.rows.len() - 1);
+        }
+        self
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with box-drawing rules.
+    pub fn render(&self) -> String {
+        let n_cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let rule = |out: &mut String| {
+            for w in &widths {
+                out.push('+');
+                out.push_str(&"-".repeat(w + 2));
+            }
+            out.push_str("+\n");
+        };
+        let emit_row = |out: &mut String, cells: &[String], aligns: &[Align]| {
+            for (i, cell) in cells.iter().enumerate() {
+                out.push_str("| ");
+                let pad = widths[i] - cell.chars().count();
+                match aligns.get(i).copied().unwrap_or_default() {
+                    Align::Left => {
+                        out.push_str(cell);
+                        out.push_str(&" ".repeat(pad));
+                    }
+                    Align::Right => {
+                        out.push_str(&" ".repeat(pad));
+                        out.push_str(cell);
+                    }
+                }
+                out.push(' ');
+            }
+            out.push_str("|\n");
+        };
+        rule(&mut out);
+        if !self.header.is_empty() && self.header.iter().any(|h| !h.is_empty()) {
+            emit_row(&mut out, &self.header, &vec![Align::Left; n_cols]);
+            rule(&mut out);
+        }
+        for (r, row) in self.rows.iter().enumerate() {
+            emit_row(&mut out, row, &self.aligns);
+            if self.separators.contains(&r) && r + 1 != self.rows.len() {
+                rule(&mut out);
+            }
+        }
+        rule(&mut out);
+        out
+    }
+
+    /// Renders as a GitHub-flavored markdown table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push('|');
+        for h in &self.header {
+            out.push(' ');
+            out.push_str(h);
+            out.push_str(" |");
+        }
+        out.push('\n');
+        out.push('|');
+        for a in &self.aligns {
+            out.push_str(match a {
+                Align::Left => " --- |",
+                Align::Right => " ---: |",
+            });
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push('|');
+            for cell in row {
+                out.push(' ');
+                out.push_str(cell);
+                out.push_str(" |");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as tab-separated values (header included).
+    pub fn render_tsv(&self) -> String {
+        let mut out = self.header.join("\t");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a count with thousands separators (`60843 → "60,843"`).
+pub fn fmt_count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Formats a fraction as a percentage like the paper's Figure 1
+/// (`0.784 → "78%"`, values under 1% keep one decimal).
+pub fn fmt_percent(frac: f64) -> String {
+    let pct = frac * 100.0;
+    if pct > 0.0 && pct < 1.0 {
+        format!("{pct:.1}%")
+    } else {
+        format!("{}%", pct.round() as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["Attribute", "Count"]).aligns([Align::Left, Align::Right]);
+        t.row(["Gender", "47514"]);
+        t.row(["A-very-long-name", "9"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // Rule, header, rule, 2 rows, rule.
+        assert_eq!(lines.len(), 6);
+        assert!(lines[1].contains("Attribute"));
+        assert!(lines[3].contains("Gender"));
+        // Right-aligned count column: the digit ends right before " |".
+        assert!(lines[3].ends_with("47514 |"));
+        assert!(lines[4].ends_with("    9 |"));
+        // All lines equal width.
+        let w = lines[0].chars().count();
+        assert!(lines.iter().all(|l| l.chars().count() == w));
+    }
+
+    #[test]
+    fn separators_break_sections() {
+        let mut t = TextTable::new(["a"]);
+        t.row(["1"]);
+        t.separator();
+        t.row(["2"]);
+        let s = t.render();
+        assert_eq!(s.lines().filter(|l| l.starts_with('+')).count(), 4);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["only-one"]);
+        let s = t.render();
+        assert!(s.contains("only-one"));
+        assert_eq!(t.n_rows(), 1);
+    }
+
+    #[test]
+    fn markdown_and_tsv() {
+        let mut t = TextTable::new(["x", "y"]).aligns([Align::Left, Align::Right]);
+        t.row(["a", "1"]);
+        let md = t.render_markdown();
+        assert!(md.starts_with("| x | y |"));
+        assert!(md.contains("| --- | ---: |"));
+        assert!(md.contains("| a | 1 |"));
+        let tsv = t.render_tsv();
+        assert_eq!(tsv, "x\ty\na\t1\n");
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(60843), "60,843");
+        assert_eq!(fmt_count(1234567), "1,234,567");
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(fmt_percent(0.78), "78%");
+        assert_eq!(fmt_percent(0.006), "0.6%");
+        assert_eq!(fmt_percent(0.0), "0%");
+        assert_eq!(fmt_percent(1.0), "100%");
+    }
+
+    #[test]
+    fn unicode_cells_align() {
+        let mut t = TextTable::new(["v"]);
+        t.row(["ünïcødé"]);
+        t.row(["x"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        let w = lines[0].chars().count();
+        assert!(lines.iter().all(|l| l.chars().count() == w));
+    }
+}

@@ -1,0 +1,104 @@
+//! A small end-to-end CLI: load any CSV, search for an optimal label, and
+//! answer pattern-count queries — the "fully automated nutrition-label
+//! widget" workflow of the paper.
+//!
+//! ```text
+//! cargo run --release --example label_csv_tool -- <file.csv> [bound] [attr=value ...]
+//! ```
+//!
+//! Without arguments it demonstrates on a bundled in-memory CSV.
+
+use pclabel::core::prelude::*;
+use pclabel::data::prelude::*;
+use pclabel::report::{render_label_card, CardOptions};
+
+const DEMO_CSV: &str = "\
+city,tier,segment,churned
+berlin,gold,retail,no
+berlin,gold,retail,no
+berlin,silver,retail,yes
+munich,gold,corporate,no
+munich,silver,corporate,no
+munich,silver,retail,yes
+hamburg,bronze,retail,yes
+hamburg,bronze,retail,yes
+hamburg,silver,corporate,no
+berlin,bronze,corporate,yes
+berlin,gold,corporate,no
+munich,bronze,retail,yes
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    let dataset = match args.first() {
+        Some(path) => read_dataset_from_path(path, &CsvOptions::default())
+            .unwrap_or_else(|e| die(&format!("failed to read {path}: {e}"))),
+        None => {
+            println!("(no CSV given — using the bundled demo table)\n");
+            read_dataset_from_str(DEMO_CSV, &CsvOptions::default())
+                .expect("bundled CSV is well-formed")
+                .with_name("demo")
+        }
+    };
+    let bound: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+
+    println!(
+        "loaded {:?}: {} rows × {} attributes ({})",
+        dataset.name(),
+        dataset.n_rows(),
+        dataset.n_attrs(),
+        dataset.schema()
+    );
+
+    let outcome = top_down_search(&dataset, &SearchOptions::with_bound(bound))
+        .unwrap_or_else(|e| die(&format!("search failed: {e}")));
+    let label = outcome.best_label().expect("a label is always produced");
+    let stats = outcome.best_stats.expect("always set");
+    println!(
+        "\nbest label within bound {bound}: S = {}, |PC| = {}, max error {:.1}\n",
+        label.attrs().display_with(&dataset.schema().names()),
+        label.pattern_count_size(),
+        stats.max_abs
+    );
+    println!("{}", render_label_card(label, Some(&stats), &CardOptions::default()));
+
+    // Remaining args are attr=value query terms, combined into one pattern.
+    let terms: Vec<(&str, &str)> = args[2.min(args.len())..]
+        .iter()
+        .filter_map(|a| a.split_once('='))
+        .collect();
+    let queries: Vec<Vec<(&str, &str)>> = if terms.is_empty() {
+        // Demo queries when none are given.
+        vec![
+            vec![("city", "berlin"), ("tier", "gold")],
+            vec![("segment", "retail"), ("churned", "yes")],
+        ]
+        .into_iter()
+        .filter(|q| q.iter().all(|(a, _)| dataset.schema().index_of(a).is_some()))
+        .collect()
+    } else {
+        vec![terms]
+    };
+
+    for q in queries {
+        match Pattern::parse(&dataset, &q) {
+            Ok(p) => {
+                let est = label.estimate(&p);
+                let actual = p.count_in(&dataset);
+                println!(
+                    "query {:<50} estimate {:>8.1}   actual {:>6}",
+                    p.display_with(&dataset),
+                    est,
+                    actual
+                );
+            }
+            Err(e) => eprintln!("skipping query {q:?}: {e}"),
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1)
+}

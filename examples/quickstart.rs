@@ -1,0 +1,59 @@
+//! Quickstart: build a dataset, search for the best label under a size
+//! budget, estimate pattern counts, and render the label card.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pclabel::core::prelude::*;
+use pclabel::data::generate::figure2_sample;
+use pclabel::report::{render_label_card, CardOptions};
+
+fn main() {
+    // The paper's running example: the 18-row simplified COMPAS sample
+    // of Figure 2 (gender, age group, race, marital status).
+    let dataset = figure2_sample();
+    println!(
+        "dataset {:?}: {} rows × {} attributes\n",
+        dataset.name(),
+        dataset.n_rows(),
+        dataset.n_attrs()
+    );
+
+    // Find the best label whose pattern-count table has at most 5 entries
+    // (Example 3.7): the winner is S = {age group, marital status}.
+    let outcome = top_down_search(&dataset, &SearchOptions::with_bound(5))
+        .expect("dataset is non-empty");
+    let label = outcome.best_label().expect("a label is always produced");
+    println!(
+        "best label uses S = {} with |PC| = {} (examined {} lattice nodes)\n",
+        outcome
+            .best_attrs
+            .expect("always set")
+            .display_with(&dataset.schema().names()),
+        label.pattern_count_size(),
+        outcome.stats.nodes_examined,
+    );
+
+    // Estimate the count of a pattern that is NOT stored in the label
+    // (Example 2.12): married women aged 20-39.
+    let pattern = Pattern::parse(
+        &dataset,
+        &[
+            ("gender", "Female"),
+            ("age group", "20-39"),
+            ("marital status", "married"),
+        ],
+    )
+    .expect("attributes and values exist");
+    let estimate = label.estimate(&pattern);
+    let actual = pattern.count_in(&dataset);
+    println!(
+        "pattern {}\n  estimated count = {estimate}\n  actual count    = {actual}\n",
+        pattern.display_with(&dataset)
+    );
+
+    // Render the full label card (the paper's Figure 1 format).
+    let stats = outcome.best_stats.expect("always set");
+    println!("{}", render_label_card(label, Some(&stats), &CardOptions::default()));
+}

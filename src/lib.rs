@@ -1,0 +1,28 @@
+//! # pclabel — Patterns Count-Based Labels for Datasets
+//!
+//! Facade crate re-exporting the full `pclabel` workspace: a reproduction
+//! of *"Patterns Count-Based Labels for Datasets"* (Moskovitch & Jagadish,
+//! ICDE 2021).
+//!
+//! A *label* annotates a dataset with (a) the count of every individual
+//! attribute value and (b) the counts of all value combinations over one
+//! chosen attribute subset. From that limited information the library
+//! estimates the count of **any** attribute-value combination ("pattern"),
+//! which is the key profiling primitive for fitness-for-use and fairness
+//! auditing.
+//!
+//! ```
+//! use pclabel::data::generate::figure2_sample;
+//! use pclabel::core::prelude::*;
+//!
+//! let dataset = figure2_sample();
+//! // Search for the best label of size at most 5 (paper Example 3.7).
+//! let outcome = top_down_search(&dataset, &SearchOptions::with_bound(5)).unwrap();
+//! let label = outcome.best_label().unwrap();
+//! assert!(label.pattern_count_size() <= 5);
+//! ```
+
+pub use pclabel_baselines as baselines;
+pub use pclabel_core as core;
+pub use pclabel_data as data;
+pub use pclabel_report as report;

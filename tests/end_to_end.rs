@@ -1,0 +1,168 @@
+//! Cross-crate integration tests: the full publisher → consumer pipeline
+//! (generate data → search label → estimate → audit → render).
+
+use pclabel::baselines::{evaluate_estimator, CountEstimator};
+use pclabel::core::prelude::*;
+use pclabel::data::generate::{self, CompasConfig};
+use pclabel::report::{render_label_card, AuditConfig, CardOptions};
+
+#[test]
+fn figure2_pipeline_reproduces_paper_examples() {
+    let d = generate::figure2_sample();
+
+    // Example 3.7: bound 5 → S = {age group, marital status}.
+    let outcome = top_down_search(&d, &SearchOptions::with_bound(5)).unwrap();
+    let label = outcome.best_label().unwrap();
+    let names = d.schema().names();
+    assert_eq!(
+        outcome.best_attrs.unwrap().display_with(&names),
+        "{age group, marital status}"
+    );
+
+    // Example 2.12 on the winning label.
+    let p = Pattern::parse(
+        &d,
+        &[("gender", "Female"), ("age group", "20-39"), ("marital status", "married")],
+    )
+    .unwrap();
+    assert_eq!(label.estimate(&p), 3.0);
+
+    // The card renders with the paper's sections.
+    let card = render_label_card(
+        label,
+        outcome.best_stats.as_ref(),
+        &CardOptions::default(),
+    );
+    assert!(card.contains("Total size: 18"));
+    assert!(card.contains("Maximal Error"));
+}
+
+#[test]
+fn compas_label_supports_fairness_audit() {
+    let d = generate::compas(&CompasConfig { n_rows: 15_000, seed: 42 }).unwrap();
+    let outcome = top_down_search(&d, &SearchOptions::with_bound(60)).unwrap();
+    let label = outcome.best_label().unwrap();
+    assert!(label.pattern_count_size() <= 60);
+
+    let sensitive: Vec<usize> = ["Gender", "Race", "MaritalStatus"]
+        .iter()
+        .map(|n| d.schema().index_of(n).unwrap())
+        .collect();
+    let warnings = pclabel::report::audit_intersections(
+        label,
+        &sensitive,
+        &AuditConfig { min_fraction: 0.003, min_count: 50, ..Default::default() },
+    );
+    // A COMPAS-like dataset always has thin intersections (e.g. widowed
+    // minorities).
+    assert!(!warnings.is_empty());
+}
+
+#[test]
+fn estimators_rank_as_in_the_paper() {
+    // On correlated data at matched footprints: PCBL mean-q <= Postgres
+    // mean-q <= Sample mean-q (Figure 5's ordering).
+    let d = generate::compas(&CompasConfig { n_rows: 12_000, seed: 7 }).unwrap();
+    let patterns = PatternSet::AllTuples.materialize(&d);
+
+    let outcome = top_down_search(&d, &SearchOptions::with_bound(50)).unwrap();
+    let label = outcome.best_label().unwrap();
+    let pcbl = evaluate_estimator(label, &patterns);
+
+    let pg = pclabel::baselines::PgStatistics::analyze(
+        &d,
+        &pclabel::baselines::AnalyzeOptions::default(),
+    )
+    .unwrap();
+    let pg_stats = evaluate_estimator(&pg, &patterns);
+
+    let sample =
+        pclabel::baselines::SampleEstimator::with_label_budget(&d, 50, 99).unwrap();
+    let sample_stats = evaluate_estimator(&sample, &patterns);
+
+    assert!(
+        pcbl.mean_q <= pg_stats.mean_q + 0.05,
+        "PCBL {} vs Postgres {}",
+        pcbl.mean_q,
+        pg_stats.mean_q
+    );
+    assert!(
+        pg_stats.mean_q < sample_stats.mean_q,
+        "Postgres {} vs Sample {}",
+        pg_stats.mean_q,
+        sample_stats.mean_q
+    );
+}
+
+#[test]
+fn csv_roundtrip_preserves_search_result() {
+    // Dataset → CSV → dataset must yield the same optimal label.
+    let d = generate::compas_simplified(&CompasConfig { n_rows: 3_000, seed: 5 }).unwrap();
+    let csv = pclabel::data::csv::write_csv(&d, &Default::default());
+    let d2 = pclabel::data::csv::read_dataset_from_str(&csv, &Default::default()).unwrap();
+    assert_eq!(d.n_rows(), d2.n_rows());
+
+    let a = top_down_search(&d, &SearchOptions::with_bound(20)).unwrap();
+    let b = top_down_search(&d2, &SearchOptions::with_bound(20)).unwrap();
+    // Attribute order and interning order are identical, so the chosen
+    // subsets coincide.
+    assert_eq!(a.best_attrs, b.best_attrs);
+    assert_eq!(
+        a.best_stats.unwrap().max_abs,
+        b.best_stats.unwrap().max_abs
+    );
+}
+
+#[test]
+fn naive_and_topdown_agree_on_small_lattices() {
+    for seed in [3u64, 17, 31] {
+        let d = generate::correlated_pair(6, 2_000, 0.4, seed).unwrap();
+        let opts = SearchOptions::with_bound(20);
+        let naive = naive_search(&d, &opts).unwrap();
+        let td = top_down_search(&d, &opts).unwrap();
+        // On a 2-attribute lattice both must find the same optimum.
+        assert_eq!(naive.best_attrs, td.best_attrs, "seed {seed}");
+    }
+}
+
+#[test]
+fn label_is_self_contained() {
+    // A label keeps working after the dataset is dropped (it is metadata
+    // shipped with the data, not a view over it).
+    let label = {
+        let d = generate::compas_simplified(&CompasConfig { n_rows: 2_000, seed: 9 }).unwrap();
+        Label::build(&d, AttrSet::from_indices([0, 2]))
+    };
+    assert!(label.pattern_count_size() > 0);
+    let p = Pattern::from_terms([(0, 0u32), (1, 1u32), (2, 2u32)]);
+    let est = label.estimate(&p);
+    assert!(est.is_finite());
+    assert!(est >= 0.0);
+    assert_eq!(label.footprint(), label.pattern_count_size());
+}
+
+#[test]
+fn multilabel_most_specific_never_worse_than_worst_member() {
+    let d = generate::compas_simplified(&CompasConfig { n_rows: 8_000, seed: 21 }).unwrap();
+    let l1 = Label::build(&d, AttrSet::from_indices([0, 1]));
+    let l2 = Label::build(&d, AttrSet::from_indices([2, 3]));
+    let multi = MultiLabel::new(vec![
+        Label::build(&d, AttrSet::from_indices([0, 1])),
+        Label::build(&d, AttrSet::from_indices([2, 3])),
+    ]);
+
+    let patterns = PatternSet::AllTuples.materialize(&d);
+    let (mut e_multi, mut e1, mut e2) = (0.0f64, 0.0f64, 0.0f64);
+    for r in 0..patterns.len() {
+        let p = patterns.pattern(r);
+        let c = patterns.counts[r] as f64;
+        e_multi += (c - multi.estimate(&p, CombineStrategy::MostSpecific)).abs();
+        e1 += (c - l1.estimate(&p)).abs();
+        e2 += (c - l2.estimate(&p)).abs();
+    }
+    assert!(
+        e_multi <= e1.max(e2) + 1e-6,
+        "multi {e_multi} vs worst member {}",
+        e1.max(e2)
+    );
+}

@@ -1,0 +1,159 @@
+//! Cross-crate property-based tests (proptest) over the paper's
+//! invariants: estimation exactness, monotonicity, restriction algebra,
+//! and CSV round-trips on arbitrary datasets.
+
+use proptest::prelude::*;
+
+use pclabel::core::prelude::*;
+use pclabel::data::csv::{read_dataset_from_str, write_csv, CsvOptions, CsvWriteOptions};
+use pclabel::data::dataset::{Dataset, DatasetBuilder};
+
+/// Strategy: a small random categorical dataset (2–5 attrs, 1–60 rows,
+/// domains of 1–4 values).
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (2usize..=5, 1usize..=60, 1u32..=4).prop_flat_map(|(n_attrs, n_rows, dom)| {
+        proptest::collection::vec(
+            proptest::collection::vec(0..dom, n_attrs),
+            n_rows,
+        )
+        .prop_map(move |rows| {
+            let names: Vec<String> = (0..n_attrs).map(|i| format!("a{i}")).collect();
+            let mut b = DatasetBuilder::new(&names);
+            for row in rows {
+                let fields: Vec<String> = row.iter().map(|v| format!("v{v}")).collect();
+                b.push_row(&fields).unwrap();
+            }
+            b.finish()
+        })
+    })
+}
+
+/// Strategy: a dataset plus a random attribute subset.
+fn dataset_and_attrs() -> impl Strategy<Value = (Dataset, AttrSet)> {
+    arb_dataset().prop_flat_map(|d| {
+        let n = d.n_attrs();
+        (Just(d), proptest::bits::u64::masked((1u64 << n) - 1))
+            .prop_map(|(d, bits)| (d, AttrSet::from_bits(bits)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// §III-A: Attr(p) ⊆ S ⇒ the estimate is exact.
+    #[test]
+    fn estimate_exact_within_s((d, attrs) in dataset_and_attrs()) {
+        let label = Label::build(&d, attrs);
+        for r in 0..d.n_rows().min(10) {
+            let p = Pattern::from_row(&d, r).restrict(attrs);
+            prop_assert_eq!(label.estimate(&p), p.count_in(&d) as f64);
+        }
+    }
+
+    /// Estimates are finite, non-negative, and never exceed |D| when the
+    /// projection anchor exists.
+    #[test]
+    fn estimate_bounds((d, attrs) in dataset_and_attrs()) {
+        let label = Label::build(&d, attrs);
+        for r in 0..d.n_rows().min(10) {
+            let p = Pattern::from_row(&d, r);
+            let e = label.estimate(&p);
+            prop_assert!(e.is_finite());
+            prop_assert!(e >= 0.0);
+            prop_assert!(e <= d.n_rows() as f64 + 1e-9);
+        }
+    }
+
+    /// Label size is monotone in S (the property both algorithms prune by).
+    #[test]
+    fn label_size_monotone((d, attrs) in dataset_and_attrs()) {
+        let size = label_size(&d, attrs);
+        for parent in attrs.iter().map(|i| attrs.remove(i)) {
+            prop_assert!(label_size(&d, parent) <= size);
+        }
+    }
+
+    /// PC counts over S sum to |D| for fully-defined data.
+    #[test]
+    fn pc_counts_partition_the_data((d, attrs) in dataset_and_attrs()) {
+        prop_assume!(!attrs.is_empty());
+        let label = Label::build(&d, attrs);
+        let total: u64 = label.pc_entries().iter().map(|(_, c)| *c).sum();
+        prop_assert_eq!(total, d.n_rows() as u64);
+    }
+
+    /// Pattern restriction algebra: (p|S1)|S2 = p|(S1∩S2).
+    #[test]
+    fn restriction_composes((d, s1) in dataset_and_attrs(), bits2 in any::<u64>()) {
+        let s2 = AttrSet::from_bits(bits2 & ((1u64 << d.n_attrs()) - 1));
+        for r in 0..d.n_rows().min(5) {
+            let p = Pattern::from_row(&d, r);
+            prop_assert_eq!(
+                p.restrict(s1).restrict(s2),
+                p.restrict(s1.intersect(s2))
+            );
+        }
+    }
+
+    /// The evaluator agrees with Label::estimate on every tuple pattern.
+    #[test]
+    fn evaluator_consistency((d, attrs) in dataset_and_attrs()) {
+        let ev = Evaluator::new(&d, &PatternSet::AllTuples);
+        let fast = ev.error_of(attrs, false);
+        let label = Label::build(&d, attrs);
+        let m = PatternSet::AllTuples.materialize(&d);
+        let mut max_abs: f64 = 0.0;
+        for r in 0..m.len() {
+            let p = m.pattern(r);
+            max_abs = max_abs.max((m.counts[r] as f64 - label.estimate(&p)).abs());
+        }
+        prop_assert!((fast.max_abs - max_abs).abs() < 1e-9);
+    }
+
+    /// The top-down search respects its bound and returns a valid label.
+    #[test]
+    fn search_respects_bound(d in arb_dataset(), bound in 1u64..40) {
+        let out = top_down_search(&d, &SearchOptions::with_bound(bound)).unwrap();
+        let label = out.best_label().unwrap();
+        prop_assert!(label.pattern_count_size() <= bound);
+        // Every reported candidate fits the bound too.
+        for &s in &out.candidates {
+            prop_assert!(label_size(&d, s) <= bound);
+        }
+    }
+
+    /// Naive search (exhaustive) is never beaten by the heuristic.
+    #[test]
+    fn naive_lower_bounds_heuristic(d in arb_dataset(), bound in 2u64..30) {
+        let opts = SearchOptions::with_bound(bound);
+        let naive = naive_search(&d, &opts).unwrap();
+        let td = top_down_search(&d, &opts).unwrap();
+        prop_assert!(
+            naive.best_stats.unwrap().max_abs
+                <= td.best_stats.unwrap().max_abs + 1e-9
+        );
+    }
+
+    /// CSV round-trip: parse(write(d)) is cell-for-cell identical.
+    #[test]
+    fn csv_roundtrip(d in arb_dataset()) {
+        let csv = write_csv(&d, &CsvWriteOptions::default());
+        let d2 = read_dataset_from_str(&csv, &CsvOptions::default()).unwrap();
+        prop_assert_eq!(d.n_rows(), d2.n_rows());
+        prop_assert_eq!(d.n_attrs(), d2.n_attrs());
+        for r in 0..d.n_rows() {
+            for a in 0..d.n_attrs() {
+                prop_assert_eq!(
+                    d.label_of(a, d.value_raw(r, a)),
+                    d2.label_of(a, d2.value_raw(r, a))
+                );
+            }
+        }
+    }
+
+    /// q-error is ≥ 1 and symmetric under estimate/actual rounding.
+    #[test]
+    fn q_error_at_least_one(actual in 0u64..10_000, est in 0.0f64..10_000.0) {
+        prop_assert!(q_error(actual, est) >= 1.0);
+    }
+}
