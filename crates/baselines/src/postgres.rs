@@ -37,7 +37,10 @@ pub struct AnalyzeOptions {
 
 impl Default for AnalyzeOptions {
     fn default() -> Self {
-        Self { statistics_target: 100, seed: 0x0905_76e5 }
+        Self {
+            statistics_target: 100,
+            seed: 0x0905_76e5,
+        }
     }
 }
 
@@ -224,7 +227,10 @@ mod tests {
     #[test]
     fn mcv_respects_statistics_target() {
         let d = correlated_pair(64, 20_000, 1.0, 4).unwrap();
-        let opts = AnalyzeOptions { statistics_target: 10, seed: 1 };
+        let opts = AnalyzeOptions {
+            statistics_target: 10,
+            seed: 1,
+        };
         let stats = PgStatistics::analyze(&d, &opts).unwrap();
         assert!(stats.column(0).mcv.len() <= 10);
         // Non-MCV values share the residual mass.

@@ -43,7 +43,11 @@ impl SampleEstimator {
             sample.read_row(r, &mut key);
             *full_counts.entry(key.clone()).or_insert(0) += 1;
         }
-        Ok(Self { sample, scale, full_counts })
+        Ok(Self {
+            sample,
+            scale,
+            full_counts,
+        })
     }
 
     /// The paper's sizing rule: sample `bound + |VC|` rows (capped at
@@ -117,7 +121,12 @@ mod tests {
         let m = PatternSet::AllTuples.materialize(&d);
         for r in 0..m.len() {
             let p = m.pattern(r);
-            assert_eq!(est.estimate(&p), m.counts[r] as f64, "{}", p.display_with(&d));
+            assert_eq!(
+                est.estimate(&p),
+                m.counts[r] as f64,
+                "{}",
+                p.display_with(&d)
+            );
         }
     }
 

@@ -8,19 +8,17 @@ use pclabel_data::dataset::{Dataset, DatasetBuilder};
 
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
     (2usize..=4, 5usize..=80, 1u32..=5).prop_flat_map(|(n_attrs, n_rows, dom)| {
-        proptest::collection::vec(
-            proptest::collection::vec(0..dom, n_attrs),
-            n_rows,
+        proptest::collection::vec(proptest::collection::vec(0..dom, n_attrs), n_rows).prop_map(
+            move |rows| {
+                let names: Vec<String> = (0..n_attrs).map(|i| format!("a{i}")).collect();
+                let mut b = DatasetBuilder::new(&names);
+                for row in rows {
+                    let fields: Vec<String> = row.iter().map(|v| format!("v{v}")).collect();
+                    b.push_row(&fields).unwrap();
+                }
+                b.finish()
+            },
         )
-        .prop_map(move |rows| {
-            let names: Vec<String> = (0..n_attrs).map(|i| format!("a{i}")).collect();
-            let mut b = DatasetBuilder::new(&names);
-            for row in rows {
-                let fields: Vec<String> = row.iter().map(|v| format!("v{v}")).collect();
-                b.push_row(&fields).unwrap();
-            }
-            b.finish()
-        })
     })
 }
 
@@ -52,8 +50,8 @@ proptest! {
         // statistics_target 100 → 30,000 sample rows ≥ any test table.
         let stats = PgStatistics::analyze(&d, &AnalyzeOptions::default()).unwrap();
         let vc = d.value_counts();
-        for a in 0..d.n_attrs() {
-            for (v, &count) in vc[a].iter().enumerate() {
+        for (a, counts) in vc.iter().enumerate() {
+            for (v, &count) in counts.iter().enumerate() {
                 let p = Pattern::from_terms([(a, v as u32)]);
                 prop_assert!((stats.estimate_rows(&p) - count as f64).abs() < 1e-6);
             }

@@ -35,8 +35,9 @@ fn bench_group_keys(c: &mut Criterion) {
         let names: Vec<String> = (0..12).map(|i| format!("w{i}")).collect();
         let mut b = DatasetBuilder::new(&names);
         for r in 0..10_000usize {
-            let row: Vec<String> =
-                (0..12).map(|a| format!("{}", (r * (a + 3)) % 300)).collect();
+            let row: Vec<String> = (0..12)
+                .map(|a| format!("{}", (r * (a + 3)) % 300))
+                .collect();
             b.push_row(&row).unwrap();
         }
         b.finish()

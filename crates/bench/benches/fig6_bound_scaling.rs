@@ -5,9 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pclabel_bench::datasets::small;
-use pclabel_core::search::{
-    naive_search_limited, top_down_search, NaiveLimits, SearchOptions,
-};
+use pclabel_core::search::{naive_search_limited, top_down_search, NaiveLimits, SearchOptions};
 
 fn bench_bounds(c: &mut Criterion) {
     let datasets = vec![
@@ -15,7 +13,9 @@ fn bench_bounds(c: &mut Criterion) {
         ("COMPAS", small::compas_small()),
         ("CreditCard", small::creditcard_small()),
     ];
-    let limits = NaiveLimits { max_nodes: Some(30_000) };
+    let limits = NaiveLimits {
+        max_nodes: Some(30_000),
+    };
 
     let mut group = c.benchmark_group("fig6_bound_scaling");
     group.sample_size(10);
@@ -25,9 +25,7 @@ fn bench_bounds(c: &mut Criterion) {
                 BenchmarkId::new(format!("optimized/{name}"), bound),
                 &bound,
                 |b, &bound| {
-                    b.iter(|| {
-                        top_down_search(d, &SearchOptions::with_bound(bound)).expect("valid")
-                    })
+                    b.iter(|| top_down_search(d, &SearchOptions::with_bound(bound)).expect("valid"))
                 },
             );
             // Naive is only competitive on the small lattice; budget-cap

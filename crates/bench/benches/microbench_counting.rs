@@ -41,5 +41,10 @@ fn bench_label_and_estimate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_group_by, bench_refine, bench_label_and_estimate);
+criterion_group!(
+    benches,
+    bench_group_by,
+    bench_refine,
+    bench_label_and_estimate
+);
 criterion_main!(benches);

@@ -1,0 +1,180 @@
+//! `engine_bench` — throughput benchmark for the serving subsystem,
+//! emitting one JSON report to stdout.
+//!
+//! Measures, on a synthetic ≥1M-row dataset:
+//!
+//! * serial `GroupCounts::build` vs chunked `GroupCounts::build_parallel`
+//!   at 1/2/4/max-hardware threads (rows per second + speedup);
+//! * `LabelStore` batched query throughput via `Engine::execute` for a
+//!   10k-pattern batch, cold (cache misses) and hot (cache hits).
+//!
+//! ```text
+//! cargo run --release -p pclabel-bench --bin engine_bench
+//! ```
+//!
+//! Environment:
+//!   PCLABEL_BENCH_ROWS   dataset rows (default 1_000_000)
+//!   PCLABEL_BENCH_REPS   timing repetitions, best-of (default 3)
+
+use std::time::Instant;
+
+use pclabel_core::attrset::AttrSet;
+use pclabel_core::counting::GroupCounts;
+use pclabel_data::dataset::Dataset;
+use pclabel_data::generate::{independent, AttrSpec};
+use pclabel_engine::prelude::*;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Best-of-`reps` wall-clock seconds for `f`.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let out = f();
+        let secs = start.elapsed().as_secs_f64();
+        if secs < best {
+            best = secs;
+        }
+        result = Some(out);
+    }
+    (best, result.expect("at least one rep"))
+}
+
+fn synthetic(rows: usize) -> Dataset {
+    // 6 independent attributes with mixed domain sizes: the counting
+    // subset {0,1,2} yields 8×6×4 = 192 possible groups.
+    let specs: Vec<AttrSpec> = [8usize, 6, 4, 5, 3, 7]
+        .iter()
+        .enumerate()
+        .map(|(i, &domain)| {
+            AttrSpec::uniform(
+                format!("a{i}"),
+                (0..domain).map(|v| format!("v{v}")).collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    independent(&specs, rows, 0xC0FFEE).expect("valid generator config")
+}
+
+fn main() {
+    let rows = env_usize("PCLABEL_BENCH_ROWS", 1_000_000);
+    let reps = env_usize("PCLABEL_BENCH_REPS", 3);
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    eprintln!("engine_bench: generating {rows} rows…");
+    let dataset = synthetic(rows);
+    let attrs = AttrSet::from_indices([0, 1, 2]);
+
+    // --- counting: serial vs parallel ------------------------------------
+    let (serial_secs, serial_gc) = time_best(reps, || GroupCounts::build(&dataset, None, attrs));
+    let serial_size = serial_gc.pattern_count_size();
+
+    // Sweep fixed thread counts plus the hardware limit: on a multi-core
+    // machine the ≥2-thread rows demonstrate the speedup; on a 1-core
+    // box they still verify correctness (identical group counts).
+    let mut thread_counts = vec![1usize, 2, 4];
+    if !thread_counts.contains(&hw) {
+        thread_counts.push(hw);
+    }
+
+    let mut counting = Vec::new();
+    for &threads in &thread_counts {
+        let (secs, gc) = time_best(reps, || {
+            GroupCounts::build_parallel(&dataset, None, attrs, threads)
+        });
+        assert_eq!(
+            gc.pattern_count_size(),
+            serial_size,
+            "parallel counting diverged from serial"
+        );
+        counting.push(format!(
+            "{{\"threads\":{threads},\"seconds\":{secs:.6},\"rows_per_sec\":{:.0},\"speedup_vs_serial\":{:.3}}}",
+            rows as f64 / secs,
+            serial_secs / secs
+        ));
+    }
+
+    // --- serving: batched queries through the LabelStore ------------------
+    let engine = Engine::new(EngineConfig::default());
+    engine
+        .store()
+        .register("bench", dataset, LabelPolicy::Attrs(attrs))
+        .expect("register bench dataset");
+
+    let batch = 10_000usize;
+    let patterns: Vec<PatternSpec> = (0..batch)
+        .map(|i| match i % 3 {
+            // Exact path: within S = {a0, a1, a2}.
+            0 => PatternSpec {
+                terms: vec![
+                    ("a0".into(), format!("v{}", i % 8)),
+                    ("a1".into(), format!("v{}", i % 6)),
+                ],
+            },
+            // Straddling: estimation with one outside factor.
+            1 => PatternSpec {
+                terms: vec![
+                    ("a0".into(), format!("v{}", i % 8)),
+                    ("a3".into(), format!("v{}", i % 5)),
+                ],
+            },
+            // Outside S entirely.
+            _ => PatternSpec {
+                terms: vec![
+                    ("a4".into(), format!("v{}", i % 3)),
+                    ("a5".into(), format!("v{}", i % 7)),
+                ],
+            },
+        })
+        .collect();
+    let request = QueryRequest {
+        id: None,
+        dataset: "bench".into(),
+        patterns,
+    };
+
+    let cold_start = Instant::now();
+    let cold = engine.execute(&request).expect("cold batch");
+    let cold_secs = cold_start.elapsed().as_secs_f64();
+    assert_eq!(cold.stats.failed, 0);
+
+    let (hot_secs, hot) = time_best(reps, || engine.execute(&request).expect("hot batch"));
+    assert_eq!(hot.stats.failed, 0);
+
+    // --- report -----------------------------------------------------------
+    let report = format!(
+        concat!(
+            "{{\"benchmark\":\"engine_throughput\",\"rows\":{rows},\"reps\":{reps},",
+            "\"hardware_threads\":{hw},\"group_count\":{groups},",
+            "\"counting\":{{\"serial_seconds\":{serial:.6},\"parallel\":[{counting}]}},",
+            "\"serving\":{{\"batch_patterns\":{batch},",
+            "\"cold\":{{\"seconds\":{cold_secs:.6},\"patterns_per_sec\":{cold_rate:.0},",
+            "\"exact\":{cold_exact},\"estimated\":{cold_est},\"cache_hits\":{cold_hits}}},",
+            "\"hot\":{{\"seconds\":{hot_secs:.6},\"patterns_per_sec\":{hot_rate:.0},",
+            "\"cache_hits\":{hot_hits}}}}}}}"
+        ),
+        rows = rows,
+        reps = reps,
+        hw = hw,
+        groups = serial_size,
+        serial = serial_secs,
+        counting = counting.join(","),
+        batch = batch,
+        cold_secs = cold_secs,
+        cold_rate = batch as f64 / cold_secs,
+        cold_exact = cold.stats.exact,
+        cold_est = cold.stats.estimated,
+        cold_hits = cold.stats.cache_hits,
+        hot_secs = hot_secs,
+        hot_rate = batch as f64 / hot_secs,
+        hot_hits = hot.stats.cache_hits,
+    );
+    println!("{report}");
+}

@@ -59,7 +59,16 @@ fn main() {
 }
 
 const ALL: [&str; 10] = [
-    "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "tab1", "reduction",
+    "fig1",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "tab1",
+    "reduction",
 ];
 
 const USAGE: &str = "\

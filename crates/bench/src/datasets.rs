@@ -32,8 +32,11 @@ fn scaled(rows: usize) -> usize {
 pub fn bluenile_full() -> &'static Dataset {
     static D: OnceLock<Dataset> = OnceLock::new();
     D.get_or_init(|| {
-        bluenile(&BlueNileConfig { n_rows: scaled(116_300), ..Default::default() })
-            .expect("generator cannot fail with valid config")
+        bluenile(&BlueNileConfig {
+            n_rows: scaled(116_300),
+            ..Default::default()
+        })
+        .expect("generator cannot fail with valid config")
     })
 }
 
@@ -41,8 +44,11 @@ pub fn bluenile_full() -> &'static Dataset {
 pub fn compas_full() -> &'static Dataset {
     static D: OnceLock<Dataset> = OnceLock::new();
     D.get_or_init(|| {
-        compas(&CompasConfig { n_rows: scaled(60_843), ..Default::default() })
-            .expect("generator cannot fail with valid config")
+        compas(&CompasConfig {
+            n_rows: scaled(60_843),
+            ..Default::default()
+        })
+        .expect("generator cannot fail with valid config")
     })
 }
 
@@ -50,8 +56,11 @@ pub fn compas_full() -> &'static Dataset {
 pub fn creditcard_full() -> &'static Dataset {
     static D: OnceLock<Dataset> = OnceLock::new();
     D.get_or_init(|| {
-        creditcard(&CreditCardConfig { n_rows: scaled(30_000), ..Default::default() })
-            .expect("generator cannot fail with valid config")
+        creditcard(&CreditCardConfig {
+            n_rows: scaled(30_000),
+            ..Default::default()
+        })
+        .expect("generator cannot fail with valid config")
     })
 }
 
@@ -67,17 +76,29 @@ pub mod small {
 
     /// 10k-row BlueNile variant.
     pub fn bluenile_small() -> Dataset {
-        bluenile(&BlueNileConfig { n_rows: 10_000, seed: 7 }).expect("valid config")
+        bluenile(&BlueNileConfig {
+            n_rows: 10_000,
+            seed: 7,
+        })
+        .expect("valid config")
     }
 
     /// 10k-row COMPAS variant.
     pub fn compas_small() -> Dataset {
-        compas(&CompasConfig { n_rows: 10_000, seed: 7 }).expect("valid config")
+        compas(&CompasConfig {
+            n_rows: 10_000,
+            seed: 7,
+        })
+        .expect("valid config")
     }
 
     /// 6k-row Credit-Card variant.
     pub fn creditcard_small() -> Dataset {
-        creditcard(&CreditCardConfig { n_rows: 6_000, seed: 7 }).expect("valid config")
+        creditcard(&CreditCardConfig {
+            n_rows: 6_000,
+            seed: 7,
+        })
+        .expect("valid config")
     }
 }
 

@@ -35,22 +35,29 @@ pub fn naive_node_limit() -> u64 {
 }
 
 fn limits() -> NaiveLimits {
-    NaiveLimits { max_nodes: Some(naive_node_limit()) }
+    NaiveLimits {
+        max_nodes: Some(naive_node_limit()),
+    }
 }
 
 /// Figure 1: the label card for the simplified COMPAS dataset.
 pub fn fig1() -> String {
     let rows = ((60_843.0 * scale()).round() as usize).max(1000);
-    let d = compas_simplified(&CompasConfig { n_rows: rows, ..Default::default() })
-        .expect("valid config");
-    let outcome = top_down_search(&d, &SearchOptions::with_bound(10))
-        .expect("non-empty dataset");
+    let d = compas_simplified(&CompasConfig {
+        n_rows: rows,
+        ..Default::default()
+    })
+    .expect("valid config");
+    let outcome = top_down_search(&d, &SearchOptions::with_bound(10)).expect("non-empty dataset");
     let label = outcome.best_label().expect("search yields a label");
     let stats = outcome.best_stats.expect("always set");
-    let mut out = String::from(
-        "Figure 1 — label computed for the (simplified) COMPAS dataset, bound 10\n\n",
-    );
-    out.push_str(&render_label_card(label, Some(&stats), &CardOptions::default()));
+    let mut out =
+        String::from("Figure 1 — label computed for the (simplified) COMPAS dataset, bound 10\n\n");
+    out.push_str(&render_label_card(
+        label,
+        Some(&stats),
+        &CardOptions::default(),
+    ));
     out
 }
 
@@ -137,7 +144,11 @@ fn time_both(dataset: &Dataset, bound: u64) -> (Option<f64>, f64, u64, u64) {
     let t1 = Instant::now();
     let td = top_down_search(dataset, &opts).expect("valid dataset");
     let td_time = t1.elapsed().as_secs_f64();
-    let naive_reported = if naive.stats.truncated { None } else { Some(naive_time) };
+    let naive_reported = if naive.stats.truncated {
+        None
+    } else {
+        Some(naive_time)
+    };
     (
         naive_reported,
         td_time,
@@ -150,9 +161,8 @@ fn time_both(dataset: &Dataset, bound: u64) -> (Option<f64>, f64, u64, u64) {
 /// naive vs optimized (— marks a naive run that hit the node budget, the
 /// analog of the paper's 30-minute timeout).
 pub fn fig6() -> String {
-    let mut out = String::from(
-        "Figure 6 — label generation runtime [s] as a function of the bound\n\n",
-    );
+    let mut out =
+        String::from("Figure 6 — label generation runtime [s] as a function of the bound\n\n");
     for d in all_datasets() {
         let mut s = Series::new(
             d.name().to_string(),
@@ -183,8 +193,8 @@ pub fn fig7() -> String {
             vec!["Naive [s]".into(), "Optimized [s]".into()],
         );
         for factor in [2.0, 4.0, 6.0, 8.0, 10.0] {
-            let scaled = scale_dataset(d, factor, 0xF167 + factor as u64)
-                .expect("non-empty domains");
+            let scaled =
+                scale_dataset(d, factor, 0xF167 + factor as u64).expect("non-empty domains");
             let (naive, td, _, _) = time_both(&scaled, 50);
             s.push(scaled.n_rows() as f64, vec![naive, Some(td)]);
         }
@@ -212,7 +222,9 @@ pub fn fig8() -> String {
             counts.push(n);
         }
         for k in counts {
-            let proj = d.project(&(0..k).collect::<Vec<_>>()).expect("prefix in range");
+            let proj = d
+                .project(&(0..k).collect::<Vec<_>>())
+                .expect("prefix in range");
             let (naive, td, _, _) = time_both(&proj, 50);
             s.push(k as f64, vec![naive, Some(td)]);
         }
@@ -256,8 +268,7 @@ pub fn fig10() -> String {
          (max error as % of |D|)\n\n",
     );
     for d in all_datasets() {
-        let outcome = top_down_search(d, &SearchOptions::with_bound(100))
-            .expect("valid dataset");
+        let outcome = top_down_search(d, &SearchOptions::with_bound(100)).expect("valid dataset");
         let best = outcome.best_attrs.expect("always set");
         let evaluator = Evaluator::new(d, &PatternSet::AllTuples);
         let n = d.n_rows() as f64;
@@ -291,13 +302,30 @@ pub fn reduction_demo() -> String {
          construction and (b) the repaired construction?\n\n",
     );
     let graphs: Vec<(&str, Graph)> = vec![
-        ("path-3 (Fig. 11)", Graph::new(3, &[(0, 1), (1, 2)]).expect("valid")),
-        ("triangle", Graph::new(3, &[(0, 1), (1, 2), (0, 2)]).expect("valid")),
-        ("star-4", Graph::new(4, &[(0, 1), (0, 2), (0, 3)]).expect("valid")),
-        ("matching-4", Graph::new(4, &[(0, 1), (2, 3)]).expect("valid")),
+        (
+            "path-3 (Fig. 11)",
+            Graph::new(3, &[(0, 1), (1, 2)]).expect("valid"),
+        ),
+        (
+            "triangle",
+            Graph::new(3, &[(0, 1), (1, 2), (0, 2)]).expect("valid"),
+        ),
+        (
+            "star-4",
+            Graph::new(4, &[(0, 1), (0, 2), (0, 3)]).expect("valid"),
+        ),
+        (
+            "matching-4",
+            Graph::new(4, &[(0, 1), (2, 3)]).expect("valid"),
+        ),
     ];
     let mut t = pclabel_report::TextTable::new([
-        "graph", "k", "cover<=k", "verbatim label", "repaired label", "equiv (repaired)",
+        "graph",
+        "k",
+        "cover<=k",
+        "verbatim label",
+        "repaired label",
+        "equiv (repaired)",
     ]);
     for (name, g) in &graphs {
         for k in 1..g.n_vertices() {
@@ -311,7 +339,11 @@ pub fn reduction_demo() -> String {
                 cover.to_string(),
                 verbatim.to_string(),
                 repaired.to_string(),
-                if repaired == cover { "ok".into() } else { "MISMATCH".to_string() },
+                if repaired == cover {
+                    "ok".into()
+                } else {
+                    "MISMATCH".to_string()
+                },
             ]);
         }
     }
@@ -324,10 +356,7 @@ pub fn reduction_demo() -> String {
     out
 }
 
-fn zero_error_label_exists(
-    inst: &pclabel_core::reduction::ReductionInstance,
-    k: usize,
-) -> bool {
+fn zero_error_label_exists(inst: &pclabel_core::reduction::ReductionInstance, k: usize) -> bool {
     let n_attrs = inst.dataset.n_attrs();
     let bound = inst.size_bound(k);
     for sbits in 0u64..(1 << n_attrs) {
@@ -357,7 +386,11 @@ pub fn table1() -> String {
         ("Dom(Ai)", "active domain of Ai", "Attribute::dictionary()"),
         ("p", "pattern", "pclabel_core::pattern::Pattern"),
         ("Attr(p)", "attributes of p", "Pattern::attrs()"),
-        ("cD(p)", "count of tuples satisfying p", "Pattern::count_in()"),
+        (
+            "cD(p)",
+            "count of tuples satisfying p",
+            "Pattern::count_in()",
+        ),
         ("S", "attribute subset", "pclabel_core::attrset::AttrSet"),
         ("PS", "patterns over S with cD(p) > 0", "GroupCounts"),
         ("LS(D)", "label of D using S", "pclabel_core::label::Label"),
@@ -372,7 +405,10 @@ pub fn table1() -> String {
     for (n, m, i) in rows {
         t.row([n, m, i]);
     }
-    format!("Table I — notation and implementation map\n\n{}", t.render())
+    format!(
+        "Table I — notation and implementation map\n\n{}",
+        t.render()
+    )
 }
 
 /// COMPAS at full scale — convenience used by examples and docs.

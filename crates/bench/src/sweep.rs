@@ -137,11 +137,20 @@ mod tests {
 
     #[test]
     fn sweep_produces_monotone_label_sizes_and_sane_errors() {
-        let d = compas(&CompasConfig { n_rows: 4000, seed: 13 }).unwrap();
+        let d = compas(&CompasConfig {
+            n_rows: 4000,
+            seed: 13,
+        })
+        .unwrap();
         let sweep = accuracy_sweep(&d, &[10, 40]);
         assert_eq!(sweep.points.len(), 2);
         for p in &sweep.points {
-            assert!(p.label_size <= p.bound, "size {} > bound {}", p.label_size, p.bound);
+            assert!(
+                p.label_size <= p.bound,
+                "size {} > bound {}",
+                p.label_size,
+                p.bound
+            );
             assert!(p.pcbl.max_abs >= 0.0);
             assert!(p.sample.mean_q >= 1.0);
             assert!(p.sample_rows as usize <= d.n_rows());
@@ -155,7 +164,11 @@ mod tests {
 
     #[test]
     fn cached_sweep_reuses_results() {
-        let d = compas(&CompasConfig { n_rows: 2000, seed: 14 }).unwrap();
+        let d = compas(&CompasConfig {
+            n_rows: 2000,
+            seed: 14,
+        })
+        .unwrap();
         let a = cached_sweep(&d, &[10]);
         let b = cached_sweep(&d, &[10]);
         assert!(Arc::ptr_eq(&a, &b));

@@ -35,6 +35,21 @@ pub struct KeyCodec {
     total_bits: u32,
 }
 
+/// Bits needed for one attribute's codes `0..=card`: the values occupy
+/// `0..card` and `card` itself is the reserved missing code, so the widest
+/// code is `card` and the width is `ceil(log2(card + 1))` — equivalently
+/// the position of `card`'s highest set bit plus one. Minimum 1 so an
+/// empty domain (cardinality 0) still reserves a bit for its missing code.
+#[inline]
+const fn code_width(card: u32) -> u32 {
+    let bits = u32::BITS - card.leading_zeros();
+    if bits == 0 {
+        1
+    } else {
+        bits
+    }
+}
+
 impl KeyCodec {
     /// Builds a codec for `attrs` against `dataset`'s schema.
     pub fn new(dataset: &Dataset, attrs: AttrSet) -> Self {
@@ -48,19 +63,26 @@ impl KeyCodec {
                 .attr(a)
                 .map(|at| at.cardinality() as u32)
                 .unwrap_or(0);
-            // `card + 1` codes: 0..card for values, `card` for missing.
-            let width = 32 - card.leading_zeros().min(31);
-            let width = width.max(1);
             shifts.push(total);
             cards.push(card);
-            total += width;
+            total += code_width(card);
         }
-        Self { attrs: attrs_vec, cards, shifts, total_bits: total }
+        Self {
+            attrs: attrs_vec,
+            cards,
+            shifts,
+            total_bits: total,
+        }
     }
 
     /// Whether all keys fit in a single `u64`.
     pub fn fits_u64(&self) -> bool {
         self.total_bits <= 64
+    }
+
+    /// Total key width in bits (sum of per-attribute code widths).
+    pub fn total_bits(&self) -> u32 {
+        self.total_bits
     }
 
     /// Attributes covered, in increasing order.
@@ -105,7 +127,11 @@ impl KeyCodec {
             } else {
                 self.total_bits - self.shifts[i]
             };
-            let mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let mask = if width >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
             let code = ((key >> self.shifts[i]) & mask) as u32;
             out.push(if code == self.cards[i] { MISSING } else { code });
         }
@@ -138,46 +164,172 @@ pub struct GroupCounts {
     empty_group_weight: u64,
 }
 
+/// Below this many rows per worker, chunked counting's thread spawn and
+/// partial-map merge cost more than the scan itself. Callers that pick
+/// thread counts automatically (the search evaluator, the engine's
+/// [`auto_threads`](https://docs.rs/pclabel-engine) policy) divide row
+/// count by this before parallelizing; [`GroupCounts::build_parallel`]
+/// itself honors whatever it is given.
+pub const MIN_PARALLEL_ROWS_PER_THREAD: usize = 32_768;
+
+/// A chunk scan's partial result: its group map plus the chunk's
+/// empty-group weight.
+type Partial<K> = (FxHashMap<K, u64>, u64);
+
+/// Scans rows `range` of `dataset` into a packed partial group map,
+/// returning the map and the scanned rows' empty-group weight.
+fn scan_packed(
+    dataset: &Dataset,
+    weights: Option<&[u64]>,
+    codec: &KeyCodec,
+    range: std::ops::Range<usize>,
+) -> Partial<u64> {
+    let mut m: FxHashMap<u64, u64> = fx_map_with_capacity(range.len().min(1 << 16));
+    let mut empty_group_weight = 0u64;
+    let all_missing_key = codec.encode_values_u64(&vec![MISSING; codec.attrs().len()]);
+    let no_attrs = codec.attrs().is_empty();
+    for r in range {
+        let w = weights.map_or(1, |w| w[r]);
+        let key = codec.encode_row_u64(dataset, r);
+        // The empty projection of every row is the empty pattern; that
+        // degenerate case only arises for `attrs = {}` or all-missing rows.
+        if no_attrs || key == all_missing_key {
+            empty_group_weight += w;
+        } else {
+            *m.entry(key).or_insert(0) += w;
+        }
+    }
+    (m, empty_group_weight)
+}
+
+/// Wide-key variant of [`scan_packed`] for schemas beyond 64 key bits.
+fn scan_wide(
+    dataset: &Dataset,
+    weights: Option<&[u64]>,
+    codec: &KeyCodec,
+    range: std::ops::Range<usize>,
+) -> Partial<Box<[u32]>> {
+    let mut m: FxHashMap<Box<[u32]>, u64> = fx_map_with_capacity(range.len().min(1 << 16));
+    let mut empty_group_weight = 0u64;
+    for r in range {
+        let w = weights.map_or(1, |w| w[r]);
+        let key = codec.encode_row_wide(dataset, r);
+        if key.iter().all(|&v| v == MISSING) {
+            empty_group_weight += w;
+        } else {
+            *m.entry(key).or_insert(0) += w;
+        }
+    }
+    (m, empty_group_weight)
+}
+
+/// Merges partial maps produced by chunked scans. Addition is commutative
+/// and associative, so any merge order yields the same totals; merging
+/// into the largest partial minimizes rehashing.
+fn merge_partials<K: std::hash::Hash + Eq>(mut parts: Vec<FxHashMap<K, u64>>) -> FxHashMap<K, u64> {
+    let Some(biggest) = parts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, m)| m.len())
+        .map(|(i, _)| i)
+    else {
+        return FxHashMap::default();
+    };
+    let mut acc = parts.swap_remove(biggest);
+    for part in parts {
+        for (k, w) in part {
+            *acc.entry(k).or_insert(0) += w;
+        }
+    }
+    acc
+}
+
 impl GroupCounts {
     /// Groups `dataset` by `attrs`; row `r` contributes `weights[r]` (or 1
     /// when `weights` is `None`).
     pub fn build(dataset: &Dataset, weights: Option<&[u64]>, attrs: AttrSet) -> Self {
         let codec = KeyCodec::new(dataset, attrs);
         let n = dataset.n_rows();
-        let mut empty_group_weight = 0u64;
-
-        // The empty projection of every row is the empty pattern; that
-        // degenerate case only arises for `attrs = {}` or all-missing rows.
-        let map = if codec.fits_u64() {
-            let mut m: FxHashMap<u64, u64> = fx_map_with_capacity(n.min(1 << 16));
-            let all_missing_key = codec.encode_values_u64(
-                &vec![MISSING; codec.attrs().len()],
-            );
-            let no_attrs = codec.attrs().is_empty();
-            for r in 0..n {
-                let w = weights.map_or(1, |w| w[r]);
-                let key = codec.encode_row_u64(dataset, r);
-                if no_attrs || key == all_missing_key {
-                    empty_group_weight += w;
-                } else {
-                    *m.entry(key).or_insert(0) += w;
-                }
-            }
-            GroupMap::Packed(m)
+        let (map, empty_group_weight) = if codec.fits_u64() {
+            let (m, e) = scan_packed(dataset, weights, &codec, 0..n);
+            (GroupMap::Packed(m), e)
         } else {
-            let mut m: FxHashMap<Box<[u32]>, u64> = fx_map_with_capacity(n.min(1 << 16));
-            for r in 0..n {
-                let w = weights.map_or(1, |w| w[r]);
-                let key = codec.encode_row_wide(dataset, r);
-                if key.iter().all(|&v| v == MISSING) {
-                    empty_group_weight += w;
-                } else {
-                    *m.entry(key).or_insert(0) += w;
-                }
-            }
-            GroupMap::Wide(m)
+            let (m, e) = scan_wide(dataset, weights, &codec, 0..n);
+            (GroupMap::Wide(m), e)
         };
-        Self { attrs, codec, map, empty_group_weight }
+        Self {
+            attrs,
+            codec,
+            map,
+            empty_group_weight,
+        }
+    }
+
+    /// Parallel drop-in for [`GroupCounts::build`]: rows are chunked across
+    /// `threads` scoped workers, each building a thread-local partial group
+    /// map ([`FxHashMap`] over the same packed/wide keys), and the partials
+    /// are merged. The result is identical to the serial build — same
+    /// groups, same weights, same empty-group weight — because per-group
+    /// weight addition is commutative across chunks.
+    ///
+    /// `threads <= 1` and empty attribute sets fall back to the serial
+    /// scan. No row-count heuristic is applied here — callers that want
+    /// auto-sizing (threads chosen from rows and hardware) should go
+    /// through `pclabel_engine::parallel`.
+    pub fn build_parallel(
+        dataset: &Dataset,
+        weights: Option<&[u64]>,
+        attrs: AttrSet,
+        threads: usize,
+    ) -> Self {
+        let n = dataset.n_rows();
+        let threads = threads.max(1).min(n.max(1));
+        if threads <= 1 || attrs.is_empty() {
+            return Self::build(dataset, weights, attrs);
+        }
+        let codec = KeyCodec::new(dataset, attrs);
+        let chunk = n.div_ceil(threads);
+        let ranges = (0..threads).map(|t| (t * chunk)..((t + 1) * chunk).min(n));
+
+        let (map, empty_group_weight) = if codec.fits_u64() {
+            let parts: Vec<Partial<u64>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .map(|range| {
+                        let codec = &codec;
+                        scope.spawn(move || scan_packed(dataset, weights, codec, range))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("counting worker panicked"))
+                    .collect()
+            });
+            let empty: u64 = parts.iter().map(|(_, e)| e).sum();
+            let maps = parts.into_iter().map(|(m, _)| m).collect();
+            (GroupMap::Packed(merge_partials(maps)), empty)
+        } else {
+            let parts: Vec<Partial<Box<[u32]>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .map(|range| {
+                        let codec = &codec;
+                        scope.spawn(move || scan_wide(dataset, weights, codec, range))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("counting worker panicked"))
+                    .collect()
+            });
+            let empty: u64 = parts.iter().map(|(_, e)| e).sum();
+            let maps = parts.into_iter().map(|(m, _)| m).collect();
+            (GroupMap::Wide(merge_partials(maps)), empty)
+        };
+        Self {
+            attrs,
+            codec,
+            map,
+            empty_group_weight,
+        }
     }
 
     /// The attribute subset this group-by is over.
@@ -237,9 +389,9 @@ impl GroupCounts {
     /// [`GroupCounts::attr_order`] and may contain `MISSING`.
     pub fn iter(&self) -> GroupIter<'_> {
         match &self.map {
-            GroupMap::Packed(m) => Box::new(
-                m.iter().map(move |(&k, &w)| (self.codec.decode_u64(k), w)),
-            ),
+            GroupMap::Packed(m) => {
+                Box::new(m.iter().map(move |(&k, &w)| (self.codec.decode_u64(k), w)))
+            }
             GroupMap::Wide(m) => Box::new(m.iter().map(|(k, &w)| (k.to_vec(), w))),
         }
     }
@@ -259,7 +411,10 @@ pub struct GroupIndex {
 impl GroupIndex {
     /// The trivial partition: every row in one group (the empty projection).
     pub fn unit(n_rows: usize) -> Self {
-        Self { ids: vec![0; n_rows], all_missing: vec![true] }
+        Self {
+            ids: vec![0; n_rows],
+            all_missing: vec![true],
+        }
     }
 
     /// Number of rows indexed.
@@ -371,9 +526,9 @@ pub fn label_size_bounded(dataset: &Dataset, attrs: AttrSet, bound: u64) -> Opti
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pattern::Pattern;
     use pclabel_data::dataset::DatasetBuilder;
     use pclabel_data::generate::figure2_sample;
-    use crate::pattern::Pattern;
 
     #[test]
     fn example_2_10_group_counts() {
@@ -410,7 +565,11 @@ mod tests {
             let g = GroupCounts::build(&d, None, attrs);
             for r in 0..d.n_rows() {
                 let p = Pattern::from_row(&d, r).restrict(attrs);
-                assert_eq!(g.weight_of_row(&d, r), p.count_in(&d), "row {r} attrs {attrs}");
+                assert_eq!(
+                    g.weight_of_row(&d, r),
+                    p.count_in(&d),
+                    "row {r} attrs {attrs}"
+                );
             }
         }
     }
@@ -486,8 +645,7 @@ mod tests {
         for r in 0..d.n_rows() {
             let key = codec.encode_row_u64(&d, r);
             let vals = codec.decode_u64(key);
-            let expect: Vec<u32> =
-                codec.attrs().iter().map(|&a| d.value_raw(r, a)).collect();
+            let expect: Vec<u32> = codec.attrs().iter().map(|&a| d.value_raw(r, a)).collect();
             assert_eq!(vals, expect);
         }
     }
@@ -525,6 +683,165 @@ mod tests {
         assert_eq!(idx.n_groups(), 1);
         assert_eq!(idx.pattern_count_size(), 0);
         assert_eq!(idx.n_rows(), 5);
+    }
+
+    /// Two group-bys are identical iff they partition the rows into the
+    /// same groups with the same weights (and empty-group weight).
+    fn assert_same_groups(a: &GroupCounts, b: &GroupCounts) {
+        assert_eq!(a.attrs(), b.attrs());
+        assert_eq!(a.pattern_count_size(), b.pattern_count_size());
+        assert_eq!(a.empty_group_weight(), b.empty_group_weight());
+        let mut ea: Vec<(Vec<u32>, u64)> = a.iter().collect();
+        let mut eb: Vec<(Vec<u32>, u64)> = b.iter().collect();
+        ea.sort();
+        eb.sort();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let d = figure2_sample();
+        for attrs in [
+            AttrSet::EMPTY,
+            AttrSet::from_indices([0]),
+            AttrSet::from_indices([1, 3]),
+            AttrSet::full(4),
+        ] {
+            let serial = GroupCounts::build(&d, None, attrs);
+            for threads in [2, 3, 7, 64] {
+                let parallel = GroupCounts::build_parallel(&d, None, attrs, threads);
+                assert_same_groups(&serial, &parallel);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_with_missing_and_weights() {
+        let mut b = DatasetBuilder::new(["a", "b"]);
+        b.push_row_opt(&[Some("x"), Some("1")]).unwrap();
+        b.push_row_opt(&[Some("x"), None::<&str>]).unwrap();
+        b.push_row_opt(&[None::<&str>, None::<&str>]).unwrap();
+        b.push_row_opt(&[Some("y"), Some("1")]).unwrap();
+        b.push_row_opt(&[None::<&str>, None::<&str>]).unwrap();
+        let d = b.finish();
+        let weights = [3u64, 1, 5, 2, 7];
+        let attrs = AttrSet::from_indices([0, 1]);
+        let serial = GroupCounts::build(&d, Some(&weights), attrs);
+        let parallel = GroupCounts::build_parallel(&d, Some(&weights), attrs, 3);
+        assert_same_groups(&serial, &parallel);
+        // All-missing rows land in the empty group across chunks: 5 + 7.
+        assert_eq!(parallel.empty_group_weight(), 12);
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_on_wide_keys() {
+        let names: Vec<String> = (0..9).map(|i| format!("w{i}")).collect();
+        let mut b = DatasetBuilder::new(&names);
+        for r in 0..300 {
+            let row: Vec<String> = (0..9).map(|a| format!("{}", (r * (a + 1)) % 300)).collect();
+            b.push_row(&row).unwrap();
+        }
+        let d = b.finish();
+        let attrs = AttrSet::full(9);
+        assert!(!KeyCodec::new(&d, attrs).fits_u64());
+        let serial = GroupCounts::build(&d, None, attrs);
+        let parallel = GroupCounts::build_parallel(&d, None, attrs, 4);
+        assert_same_groups(&serial, &parallel);
+    }
+
+    #[test]
+    fn code_width_reserves_room_for_missing_code() {
+        // The width must hold the reserved missing code `card` itself:
+        // a power-of-two cardinality needs one bit more than log2(card).
+        assert_eq!(code_width(0), 1);
+        assert_eq!(code_width(1), 1); // codes {0, 1=missing}
+        assert_eq!(code_width(2), 2); // codes {0, 1, 2=missing}
+        assert_eq!(code_width(3), 2);
+        assert_eq!(code_width(4), 3); // 4=missing needs bit 2
+        assert_eq!(code_width(7), 3);
+        assert_eq!(code_width(8), 4);
+        assert_eq!(code_width(255), 8);
+        assert_eq!(code_width(256), 9);
+        for card in 1..2000u32 {
+            let naive = (0..).find(|&b| (1u64 << b) > card as u64).unwrap();
+            assert_eq!(code_width(card), naive, "card {card}");
+        }
+    }
+
+    #[test]
+    fn missing_codes_never_collide_with_values_at_powers_of_two() {
+        // Cardinality-4 attribute (worst case: missing code 4 = 0b100):
+        // a missing cell must land in a different group than every value.
+        let mut b = DatasetBuilder::new(["p", "q"]);
+        for v in ["a", "b", "c", "d"] {
+            b.push_row_opt(&[Some(v), Some("z")]).unwrap();
+        }
+        b.push_row_opt(&[None::<&str>, Some("z")]).unwrap();
+        let d = b.finish();
+        let attrs = AttrSet::from_indices([0, 1]);
+        let codec = KeyCodec::new(&d, attrs);
+        assert_eq!(codec.total_bits(), 3 + 1);
+        let g = GroupCounts::build(&d, None, attrs);
+        // 4 value groups + 1 partial ({q=z}) group, all weight 1.
+        assert_eq!(g.pattern_count_size(), 5);
+        for r in 0..d.n_rows() {
+            assert_eq!(g.weight_of_row(&d, r), 1, "row {r} collided");
+        }
+    }
+
+    #[test]
+    fn packing_boundary_at_exactly_64_bits() {
+        // 8 attributes × cardinality 255 = 8 bits each = exactly 64 bits:
+        // the packed path must still be used and decode losslessly.
+        let domains: Vec<Vec<String>> = (0..8)
+            .map(|_| (0..255).map(|v| format!("v{v}")).collect())
+            .collect();
+        let mut b = DatasetBuilder::with_domains(
+            ["a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7"]
+                .iter()
+                .zip(&domains)
+                .map(|(n, d)| (*n, d.iter().map(|s| s.as_str()))),
+        );
+        b.push_ids(&[0, 254, 7, 100, 254, 0, 31, 200]).unwrap();
+        b.push_ids(&[MISSING, 254, 7, 100, 254, 0, 31, 200])
+            .unwrap();
+        let d = b.finish();
+        let attrs = AttrSet::full(8);
+        let codec = KeyCodec::new(&d, attrs);
+        assert_eq!(codec.total_bits(), 64);
+        assert!(codec.fits_u64());
+        for r in 0..d.n_rows() {
+            let key = codec.encode_row_u64(&d, r);
+            let decoded = codec.decode_u64(key);
+            let expect: Vec<u32> = codec.attrs().iter().map(|&a| d.value_raw(r, a)).collect();
+            assert_eq!(decoded, expect, "row {r}");
+        }
+        let g = GroupCounts::build(&d, None, attrs);
+        assert_eq!(g.pattern_count_size(), 2);
+    }
+
+    #[test]
+    fn packing_boundary_at_65_bits_falls_back_to_wide() {
+        // Same schema plus one binary attribute: 65 bits, must go wide.
+        let mut domains: Vec<Vec<String>> = (0..8)
+            .map(|_| (0..255).map(|v| format!("v{v}")).collect())
+            .collect();
+        domains.push(vec!["y".into()]);
+        let names: Vec<String> = (0..9).map(|i| format!("a{i}")).collect();
+        let mut b = DatasetBuilder::with_domains(
+            names
+                .iter()
+                .zip(&domains)
+                .map(|(n, d)| (n.as_str(), d.iter().map(|s| s.as_str()))),
+        );
+        b.push_ids(&[0, 254, 7, 100, 254, 0, 31, 200, 0]).unwrap();
+        let d = b.finish();
+        let codec = KeyCodec::new(&d, AttrSet::full(9));
+        assert_eq!(codec.total_bits(), 65);
+        assert!(!codec.fits_u64());
+        let g = GroupCounts::build(&d, None, AttrSet::full(9));
+        assert_eq!(g.pattern_count_size(), 1);
+        assert_eq!(g.weight_of_row(&d, 0), 1);
     }
 
     #[test]

@@ -15,9 +15,8 @@
 //! Est(p, L_S) = c_D(p|S) · Π_{A_i ∈ Attr(p)\S}  c_D(A_i = p.A_i) / Σ_a c_D(A_i = a)
 //! ```
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use parking_lot::Mutex;
 use pclabel_data::dataset::{Dataset, MISSING};
 use pclabel_data::schema::Schema;
 
@@ -107,16 +106,14 @@ pub struct Label {
 type MarginalCache = FxHashMap<AttrSet, Arc<FxHashMap<Box<[u32]>, u64>>>;
 
 impl Label {
-    /// Builds `L_S(D)` directly from a dataset.
-    pub fn build(dataset: &Dataset, attrs: AttrSet) -> Self {
-        Self::build_weighted(dataset, None, attrs)
-    }
-
-    /// Builds `L_S(D)` from a (possibly compressed) dataset with optional
-    /// row weights.
-    pub fn build_weighted(dataset: &Dataset, weights: Option<&[u64]>, attrs: AttrSet) -> Self {
-        let pc = GroupCounts::build(dataset, weights, attrs);
-        let vc = Arc::new(ValueCounts::compute(dataset, weights));
+    /// Single construction path: every public builder only varies how the
+    /// `PC` group map and the `VC` are obtained.
+    fn assemble(
+        dataset: &Dataset,
+        weights: Option<&[u64]>,
+        pc: GroupCounts,
+        vc: Arc<ValueCounts>,
+    ) -> Self {
         let n_rows = match weights {
             Some(w) => w.iter().sum(),
             None => dataset.n_rows() as u64,
@@ -124,12 +121,34 @@ impl Label {
         Self {
             dataset_name: dataset.name().into(),
             schema: dataset.schema_arc(),
-            attrs,
+            attrs: pc.attrs(),
             pc,
             vc,
             n_rows,
             marginals: Mutex::new(FxHashMap::default()),
         }
+    }
+
+    /// Builds `L_S(D)` directly from a dataset.
+    pub fn build(dataset: &Dataset, attrs: AttrSet) -> Self {
+        Self::build_weighted(dataset, None, attrs)
+    }
+
+    /// Builds `L_S(D)` with the `PC` group-by chunked across `threads`
+    /// scoped workers (see [`GroupCounts::build_parallel`]); the label is
+    /// identical to the serial [`Label::build`].
+    pub fn build_parallel(dataset: &Dataset, attrs: AttrSet, threads: usize) -> Self {
+        let pc = GroupCounts::build_parallel(dataset, None, attrs, threads);
+        let vc = Arc::new(ValueCounts::compute(dataset, None));
+        Self::assemble(dataset, None, pc, vc)
+    }
+
+    /// Builds `L_S(D)` from a (possibly compressed) dataset with optional
+    /// row weights.
+    pub fn build_weighted(dataset: &Dataset, weights: Option<&[u64]>, attrs: AttrSet) -> Self {
+        let pc = GroupCounts::build(dataset, weights, attrs);
+        let vc = Arc::new(ValueCounts::compute(dataset, weights));
+        Self::assemble(dataset, weights, pc, vc)
     }
 
     /// Crate-internal: builds with a pre-computed `VC` (the search reuses
@@ -141,15 +160,14 @@ impl Label {
         vc: Arc<ValueCounts>,
         n_rows: u64,
     ) -> Self {
-        Self {
-            dataset_name: dataset.name().into(),
-            schema: dataset.schema_arc(),
-            attrs,
-            pc: GroupCounts::build(dataset, weights, attrs),
+        let mut label = Self::assemble(
+            dataset,
+            weights,
+            GroupCounts::build(dataset, weights, attrs),
             vc,
-            n_rows,
-            marginals: Mutex::new(FxHashMap::default()),
-        }
+        );
+        label.n_rows = n_rows;
+        label
     }
 
     /// Name of the dataset the label was built from.
@@ -252,7 +270,7 @@ impl Label {
     }
 
     fn marginal_for(&self, k: AttrSet) -> Arc<FxHashMap<Box<[u32]>, u64>> {
-        if let Some(m) = self.marginals.lock().get(&k) {
+        if let Some(m) = self.marginals.lock().expect("marginal cache lock").get(&k) {
             return Arc::clone(m);
         }
         let order = self.pc.attr_order();
@@ -273,7 +291,10 @@ impl Label {
             *map.entry(key).or_insert(0) += weight;
         }
         let arc = Arc::new(map);
-        self.marginals.lock().insert(k, Arc::clone(&arc));
+        self.marginals
+            .lock()
+            .expect("marginal cache lock")
+            .insert(k, Arc::clone(&arc));
         arc
     }
 
@@ -320,11 +341,8 @@ mod tests {
 
     fn fig2_label(attr_names: &[&str]) -> (Dataset, Label) {
         let d = figure2_sample();
-        let attrs = AttrSet::from_indices(
-            attr_names
-                .iter()
-                .map(|n| d.schema().index_of(n).unwrap()),
-        );
+        let attrs =
+            AttrSet::from_indices(attr_names.iter().map(|n| d.schema().index_of(n).unwrap()));
         let label = Label::build(&d, attrs);
         (d, label)
     }
@@ -336,7 +354,11 @@ mod tests {
         let (d, l) = fig2_label(&["age group", "marital status"]);
         let p = Pattern::parse(
             &d,
-            &[("gender", "Female"), ("age group", "20-39"), ("marital status", "married")],
+            &[
+                ("gender", "Female"),
+                ("age group", "20-39"),
+                ("marital status", "married"),
+            ],
         )
         .unwrap();
         assert_eq!(l.estimate(&p), 3.0);
@@ -348,7 +370,11 @@ mod tests {
         let (d, l) = fig2_label(&["gender", "age group"]);
         let p = Pattern::parse(
             &d,
-            &[("gender", "Female"), ("age group", "20-39"), ("marital status", "married")],
+            &[
+                ("gender", "Female"),
+                ("age group", "20-39"),
+                ("marital status", "married"),
+            ],
         )
         .unwrap();
         assert_eq!(l.estimate(&p), 2.0);
@@ -361,7 +387,11 @@ mod tests {
         let (_, l2) = fig2_label(&["gender", "age group"]);
         let p = Pattern::parse(
             &d,
-            &[("gender", "Female"), ("age group", "20-39"), ("marital status", "married")],
+            &[
+                ("gender", "Female"),
+                ("age group", "20-39"),
+                ("marital status", "married"),
+            ],
         )
         .unwrap();
         assert_eq!(p.count_in(&d), 3);

@@ -38,7 +38,12 @@ impl Combinations {
     /// Size-`k` subsets of `n` attributes.
     pub fn new(n: usize, k: usize) -> Self {
         let done = k > n;
-        Self { n, k, indices: (0..k).collect(), done }
+        Self {
+            n,
+            k,
+            indices: (0..k).collect(),
+            done,
+        }
     }
 }
 
@@ -150,7 +155,11 @@ mod tests {
         for n in 0..=7usize {
             for k in 0..=n {
                 let combos: Vec<AttrSet> = Combinations::new(n, k).collect();
-                assert_eq!(combos.len() as u64, binomial(n as u64, k as u64), "n={n} k={k}");
+                assert_eq!(
+                    combos.len() as u64,
+                    binomial(n as u64, k as u64),
+                    "n={n} k={k}"
+                );
                 let distinct: FxHashSet<AttrSet> = combos.iter().copied().collect();
                 assert_eq!(distinct.len(), combos.len());
                 assert!(combos.iter().all(|s| s.len() == k));

@@ -108,11 +108,8 @@ mod tests {
     fn most_specific_picks_larger_overlap() {
         let (d, ml) = fig2_multilabel();
         // Pattern over {age, marital}: l2 overlaps 2, l1 overlaps 1.
-        let p = Pattern::parse(
-            &d,
-            &[("age group", "20-39"), ("marital status", "married")],
-        )
-        .unwrap();
+        let p =
+            Pattern::parse(&d, &[("age group", "20-39"), ("marital status", "married")]).unwrap();
         assert_eq!(ml.most_specific(&p).attrs(), AttrSet::from_indices([1, 3]));
         // It is exact there.
         assert_eq!(ml.estimate(&p, CombineStrategy::MostSpecific), 6.0);
@@ -124,7 +121,11 @@ mod tests {
         // Example 2.12's pattern: l1 estimates 2, l2 estimates 3 (exact).
         let p = Pattern::parse(
             &d,
-            &[("gender", "Female"), ("age group", "20-39"), ("marital status", "married")],
+            &[
+                ("gender", "Female"),
+                ("age group", "20-39"),
+                ("marital status", "married"),
+            ],
         )
         .unwrap();
         // Both labels overlap 2 attributes; tie broken by smaller PC:
@@ -137,7 +138,11 @@ mod tests {
         let (d, ml) = fig2_multilabel();
         let p = Pattern::parse(
             &d,
-            &[("gender", "Female"), ("age group", "20-39"), ("marital status", "married")],
+            &[
+                ("gender", "Female"),
+                ("age group", "20-39"),
+                ("marital status", "married"),
+            ],
         )
         .unwrap();
         let e = ml.estimate(&p, CombineStrategy::MinEstimate);
@@ -149,7 +154,11 @@ mod tests {
         let (d, ml) = fig2_multilabel();
         let p = Pattern::parse(
             &d,
-            &[("gender", "Female"), ("age group", "20-39"), ("marital status", "married")],
+            &[
+                ("gender", "Female"),
+                ("age group", "20-39"),
+                ("marital status", "married"),
+            ],
         )
         .unwrap();
         let g = ml.estimate(&p, CombineStrategy::GeometricMean);

@@ -34,16 +34,15 @@ impl Pattern {
         for (a, val) in terms {
             map.insert(u16::try_from(a).expect("attr index < 65536"), val);
         }
-        Self { terms: map.into_iter().collect() }
+        Self {
+            terms: map.into_iter().collect(),
+        }
     }
 
     /// Builds a pattern by resolving `(attribute name, value label)` pairs
     /// against `dataset`'s schema, e.g.
     /// `Pattern::parse(&d, &[("gender", "Female"), ("race", "Hispanic")])`.
-    pub fn parse(
-        dataset: &Dataset,
-        terms: &[(&str, &str)],
-    ) -> pclabel_data::error::Result<Self> {
+    pub fn parse(dataset: &Dataset, terms: &[(&str, &str)]) -> pclabel_data::error::Result<Self> {
         let mut resolved = Vec::with_capacity(terms.len());
         for &(name, value) in terms {
             let attr = dataset.schema().index_of_checked(name)?;
@@ -189,8 +188,11 @@ mod tests {
     fn example_2_2_attrs() {
         // p = {age group = under 20, marital status = single}.
         let d = figure2_sample();
-        let p = Pattern::parse(&d, &[("age group", "under 20"), ("marital status", "single")])
-            .unwrap();
+        let p = Pattern::parse(
+            &d,
+            &[("age group", "under 20"), ("marital status", "single")],
+        )
+        .unwrap();
         assert_eq!(p.len(), 2);
         assert_eq!(p.attrs().to_vec(), vec![1, 3]);
     }
@@ -199,8 +201,11 @@ mod tests {
     fn example_2_4_count() {
         // Tuples 1, 3, 8, 10, 12, 14 (1-based) satisfy p: count 6.
         let d = figure2_sample();
-        let p = Pattern::parse(&d, &[("age group", "under 20"), ("marital status", "single")])
-            .unwrap();
+        let p = Pattern::parse(
+            &d,
+            &[("age group", "under 20"), ("marital status", "single")],
+        )
+        .unwrap();
         assert_eq!(p.count_in(&d), 6);
         let matching: Vec<usize> = (0..d.n_rows())
             .filter(|&r| p.matches_row(&d, r))
@@ -250,7 +255,8 @@ mod tests {
     fn from_row_skips_missing() {
         use pclabel_data::dataset::DatasetBuilder;
         let mut b = DatasetBuilder::new(["x", "y", "z"]);
-        b.push_row_opt(&[Some("1"), None::<&str>, Some("2")]).unwrap();
+        b.push_row_opt(&[Some("1"), None::<&str>, Some("2")])
+            .unwrap();
         let d = b.finish();
         let p = Pattern::from_row(&d, 0);
         assert_eq!(p.len(), 2);
@@ -281,8 +287,11 @@ mod tests {
     fn weighted_count() {
         let d = figure2_sample();
         let (distinct, weights) = d.compress();
-        let p = Pattern::parse(&d, &[("age group", "under 20"), ("marital status", "single")])
-            .unwrap();
+        let p = Pattern::parse(
+            &d,
+            &[("age group", "under 20"), ("marital status", "single")],
+        )
+        .unwrap();
         assert_eq!(p.count_in_weighted(&distinct, &weights), 6);
     }
 

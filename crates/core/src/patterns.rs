@@ -81,7 +81,10 @@ impl PatternSet {
                     MaterializedPatterns { table, counts }
                 } else {
                     let counts = keep_rows.iter().map(|&r| counts[r]).collect();
-                    MaterializedPatterns { table: table.take_rows(&keep_rows), counts }
+                    MaterializedPatterns {
+                        table: table.take_rows(&keep_rows),
+                        counts,
+                    }
                 }
             }
             PatternSet::Explicit(patterns) => {

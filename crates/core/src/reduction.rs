@@ -57,7 +57,9 @@ impl Graph {
     /// vertices, at least one edge, no self-loops (duplicates are merged).
     pub fn new(n: usize, edges: &[(usize, usize)]) -> Result<Self> {
         if n < 2 {
-            return Err(DataError::Invalid("graph needs at least two vertices".into()));
+            return Err(DataError::Invalid(
+                "graph needs at least two vertices".into(),
+            ));
         }
         let mut norm: Vec<(usize, usize)> = Vec::with_capacity(edges.len());
         for &(a, b) in edges {
@@ -234,7 +236,12 @@ fn build(graph: &Graph, w: &BlockWeights) -> Result<ReductionInstance> {
         .map(|(r, &(i, j))| Pattern::from_terms([(i, 0u32), (j, 0u32), (n, r as u32)]))
         .collect();
 
-    Ok(ReductionInstance { dataset, patterns, n_vertices: n, n_edges: m })
+    Ok(ReductionInstance {
+        dataset,
+        patterns,
+        n_vertices: n,
+        n_edges: m,
+    })
 }
 
 /// Builds the reduction database of Appendix A **verbatim**.
@@ -364,9 +371,7 @@ mod tests {
                 assert!((vc.fraction(inst.vertex_attr(v), 1) - 0.5).abs() < 1e-12);
             }
             for r in 0..g.edges().len() {
-                assert!(
-                    (vc.fraction(inst.edge_attr(), r as u32) - 1.0 / m).abs() < 1e-12
-                );
+                assert!((vc.fraction(inst.edge_attr(), r as u32) - 1.0 / m).abs() < 1e-12);
             }
         }
     }
@@ -453,8 +458,7 @@ mod tests {
             reduce_vertex_cover_repaired(&g).unwrap(),
         ] {
             for cover_bits in 0u32..(1 << 4) {
-                let cover: Vec<usize> =
-                    (0..4).filter(|&i| (cover_bits >> i) & 1 == 1).collect();
+                let cover: Vec<usize> = (0..4).filter(|&i| (cover_bits >> i) & 1 == 1).collect();
                 let k = cover.len();
                 let e_prime = g
                     .edges()

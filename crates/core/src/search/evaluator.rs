@@ -40,6 +40,8 @@ pub struct Evaluator {
     fracs: Vec<f64>,
     /// Bitmask of defined attributes per pattern.
     defined: Vec<u64>,
+    /// Threads for each candidate's group-by scan (1 = serial build).
+    count_threads: usize,
 }
 
 impl Evaluator {
@@ -75,7 +77,17 @@ impl Evaluator {
             order,
             fracs,
             defined,
+            count_threads: 1,
         }
+    }
+
+    /// Opts candidate error scans into parallel group counting
+    /// ([`GroupCounts::build_parallel`]) with the given worker count.
+    /// Counts are identical to the serial build; only wall-clock changes.
+    #[must_use]
+    pub fn with_count_threads(mut self, threads: usize) -> Self {
+        self.count_threads = threads.max(1);
+        self
     }
 
     /// Number of patterns under evaluation.
@@ -110,9 +122,21 @@ impl Evaluator {
     /// count is below the running maximum error; [`ErrorStats::early_exited`]
     /// records whether that happened.
     pub fn error_of(&self, attrs: AttrSet, early_exit: bool) -> ErrorStats {
-        let gc = GroupCounts::build(&self.distinct, Some(&self.dweights), attrs);
-        let mut marginals: FxHashMap<AttrSet, FxHashMap<Box<[u32]>, u64>> =
-            FxHashMap::default();
+        self.error_of_with(attrs, early_exit, self.count_threads)
+    }
+
+    /// [`Evaluator::error_of`] with an explicit counting thread count
+    /// (used by [`Evaluator::evaluate_many`] to avoid oversubscription
+    /// when candidate-level workers are already running).
+    fn error_of_with(&self, attrs: AttrSet, early_exit: bool, count_threads: usize) -> ErrorStats {
+        // Small distinct tables gain nothing from chunking — cap workers
+        // so each scans at least MIN_PARALLEL_ROWS_PER_THREAD rows, which
+        // degrades to the serial build for the common compressed sizes.
+        let count_threads = count_threads
+            .min((self.distinct.n_rows() / crate::counting::MIN_PARALLEL_ROWS_PER_THREAD).max(1));
+        let gc =
+            GroupCounts::build_parallel(&self.distinct, Some(&self.dweights), attrs, count_threads);
+        let mut marginals: FxHashMap<AttrSet, FxHashMap<Box<[u32]>, u64>> = FxHashMap::default();
         let mut acc = ErrorAccumulator::new();
         let mut exited = false;
         let sbits = attrs.bits();
@@ -151,13 +175,8 @@ impl Evaluator {
         } else {
             // p defines only part of S: marginal over the stored partition.
             let k = AttrSet::from_bits(k_bits);
-            let marginal = marginals
-                .entry(k)
-                .or_insert_with(|| build_marginal(gc, k));
-            let key: Box<[u32]> = k
-                .iter()
-                .map(|a| self.eval.table.value_raw(r, a))
-                .collect();
+            let marginal = marginals.entry(k).or_insert_with(|| build_marginal(gc, k));
+            let key: Box<[u32]> = k.iter().map(|a| self.eval.table.value_raw(r, a)).collect();
             marginal.get(&key).copied().unwrap_or(0)
         };
         if base == 0 {
@@ -174,7 +193,7 @@ impl Evaluator {
 
     /// Evaluates many candidate subsets, returning the chosen metric for
     /// each. With `threads > 1` candidates are processed in parallel via
-    /// crossbeam scoped threads (results are identical to sequential).
+    /// `std::thread::scope` (results are identical to sequential).
     pub fn evaluate_many(
         &self,
         cands: &[AttrSet],
@@ -190,18 +209,21 @@ impl Evaluator {
                 .collect();
         }
         let threads = threads.min(cands.len());
+        // Candidate workers and per-candidate counting threads multiply;
+        // divide the counting budget across the active workers so the
+        // total stays at roughly `threads × count_threads / threads`.
+        let count_threads = (self.count_threads / threads).max(1);
         let mut out = vec![0.0f64; cands.len()];
         let chunk = cands.len().div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (slot, work) in out.chunks_mut(chunk).zip(cands.chunks(chunk)) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (o, &s) in slot.iter_mut().zip(work) {
-                        *o = metric.of(&self.error_of(s, early));
+                        *o = metric.of(&self.error_of_with(s, early, count_threads));
                     }
                 });
             }
-        })
-        .expect("evaluation threads do not panic");
+        });
         out
     }
 }
@@ -282,7 +304,11 @@ mod tests {
     fn early_exit_agrees_on_max_error() {
         let d = correlated_pair(8, 5000, 0.4, 17).unwrap();
         let ev = Evaluator::new(&d, &PatternSet::AllTuples);
-        for attrs in [AttrSet::EMPTY, AttrSet::from_indices([0]), AttrSet::from_indices([1])] {
+        for attrs in [
+            AttrSet::EMPTY,
+            AttrSet::from_indices([0]),
+            AttrSet::from_indices([1]),
+        ] {
             let exact = ev.error_of(attrs, false);
             let fast = ev.error_of(attrs, true);
             assert_eq!(exact.max_abs, fast.max_abs, "attrs {attrs}");

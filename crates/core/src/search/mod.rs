@@ -49,6 +49,11 @@ pub struct SearchOptions {
     /// Worker threads for candidate evaluation (1 = sequential, the
     /// paper-faithful configuration).
     pub threads: usize,
+    /// Worker threads for the group-by scans behind each candidate's
+    /// error evaluation (1 = serial `GroupCounts::build`; >1 opts into
+    /// the chunked [`crate::counting::GroupCounts::build_parallel`],
+    /// which produces identical counts).
+    pub count_threads: usize,
     /// Ablation: when removing dominated candidates, drop *all* stored
     /// subsets of a new candidate instead of only its direct lattice
     /// parents (the paper removes direct parents).
@@ -64,6 +69,7 @@ impl SearchOptions {
             metric: ErrorMetric::MaxAbsolute,
             early_exit: true,
             threads: 1,
+            count_threads: 1,
             deep_prune: false,
         }
     }
@@ -89,6 +95,12 @@ impl SearchOptions {
     /// Sets the evaluation thread count.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the per-candidate counting thread count.
+    pub fn count_threads(mut self, threads: usize) -> Self {
+        self.count_threads = threads.max(1);
         self
     }
 
@@ -182,9 +194,7 @@ pub(crate) fn argmin_candidate(cands: &[AttrSet], errors: &[f64]) -> Option<(Att
     for (&s, &e) in cands.iter().zip(errors) {
         let better = match best {
             None => true,
-            Some((bs, be)) => {
-                e < be || (e == be && (s.len(), s.bits()) < (bs.len(), bs.bits()))
-            }
+            Some((bs, be)) => e < be || (e == be && (s.len(), s.bits()) < (bs.len(), bs.bits())),
         };
         if better {
             best = Some((s, e));

@@ -21,7 +21,6 @@ use crate::search::{
     argmin_candidate, check_dataset, Evaluator, SearchOptions, SearchOutcome, SearchStats,
 };
 
-
 /// Optional safety valve for the naive search, which is exponential: stop
 /// after examining this many subsets (`None` = run to completion, as the
 /// paper's 30-minute-budget runs effectively did).
@@ -45,7 +44,7 @@ pub fn naive_search_limited(
 ) -> Result<SearchOutcome> {
     check_dataset(dataset)?;
     let n = dataset.n_attrs();
-    let evaluator = Evaluator::new(dataset, &opts.patterns);
+    let evaluator = Evaluator::new(dataset, &opts.patterns).with_count_threads(opts.count_threads);
     let (distinct, dweights) = evaluator.compressed();
     let distinct = distinct.clone();
     let dweights: Vec<u64> = dweights.to_vec();
@@ -69,10 +68,9 @@ pub fn naive_search_limited(
             if label_size_bounded(&distinct, s, opts.bound).is_some() {
                 any_fit = true;
                 let eval_start = Instant::now();
-                let err = opts.metric.of(&evaluator.error_of(
-                    s,
-                    opts.early_exit && opts.metric.supports_early_exit(),
-                ));
+                let err =
+                    opts.metric.of(&evaluator
+                        .error_of(s, opts.early_exit && opts.metric.supports_early_exit()));
                 stats.eval_time += eval_start.elapsed();
                 stats.candidates_evaluated += 1;
                 in_bound.push(s);
@@ -151,9 +149,11 @@ mod tests {
             .map(|i| AttrSpec::uniform(format!("small{i}"), vec!["a".into(), "b".into()]))
             .collect();
         for i in 0..5 {
-            let values: Vec<(String, f64)> =
-                (0..20).map(|v| (format!("v{v}"), 1.0)).collect();
-            specs.push(AttrSpec { name: format!("big{i}"), values });
+            let values: Vec<(String, f64)> = (0..20).map(|v| (format!("v{v}"), 1.0)).collect();
+            specs.push(AttrSpec {
+                name: format!("big{i}"),
+                values,
+            });
         }
         let d = independent(&specs, 4000, 8).unwrap();
         let opts = SearchOptions::with_bound(10);
@@ -167,9 +167,7 @@ mod tests {
         );
         // The exhaustive naive search is at least as good as the heuristic
         // (it may beat it: top-down only evaluates maximal in-bound sets).
-        assert!(
-            naive.best_stats.unwrap().max_abs <= td.best_stats.unwrap().max_abs + 1e-9
-        );
+        assert!(naive.best_stats.unwrap().max_abs <= td.best_stats.unwrap().max_abs + 1e-9);
     }
 
     #[test]

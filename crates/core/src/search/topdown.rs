@@ -41,7 +41,7 @@ pub fn top_down_search(dataset: &Dataset, opts: &SearchOptions) -> Result<Search
     // Evaluator also holds the compressed distinct-tuple table used for
     // label sizing: group counts over distinct tuples equal those over raw
     // rows, but each refine pass touches fewer rows.
-    let evaluator = Evaluator::new(dataset, &opts.patterns);
+    let evaluator = Evaluator::new(dataset, &opts.patterns).with_count_threads(opts.count_threads);
     let (distinct, dweights) = evaluator.compressed();
     let distinct = distinct.clone();
     let dweights: Vec<u64> = dweights.to_vec();
@@ -232,8 +232,7 @@ mod tests {
         // one over {X} are both exact; the tie-break prefers smaller sets,
         // and every candidate containing X yields zero error.
         let d = correlated_pair(4, 500, 0.7, 2).unwrap();
-        let patterns =
-            PatternSet::OverAttrs(AttrSet::singleton(0));
+        let patterns = PatternSet::OverAttrs(AttrSet::singleton(0));
         let opts = SearchOptions::with_bound(100).patterns(patterns);
         let out = top_down_search(&d, &opts).unwrap();
         assert_eq!(out.best_stats.unwrap().max_abs, 0.0);

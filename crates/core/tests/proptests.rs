@@ -28,8 +28,15 @@ fn arb_dataset_missing() -> impl Strategy<Value = Dataset> {
             // Pre-intern the full domain so ids are stable even when some
             // values appear only as missing.
             let full: Vec<String> = (0..dom).map(|v| format!("v{v}")).collect();
-            b.push_row(&full[..1].iter().cycle().take(n_attrs).cloned().collect::<Vec<_>>())
-                .unwrap();
+            b.push_row(
+                &full[..1]
+                    .iter()
+                    .cycle()
+                    .take(n_attrs)
+                    .cloned()
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
             for row in rows {
                 let fields: Vec<Option<String>> =
                     row.iter().map(|c| c.map(|v| format!("v{v}"))).collect();
@@ -99,6 +106,33 @@ proptest! {
         if exact > 0 {
             prop_assert_eq!(label_size_bounded(&d, attrs, exact - 1), None);
         }
+    }
+
+    /// Parallel chunked counting is bit-identical to the serial build:
+    /// same group count, same per-group sizes, same label size and
+    /// empty-group weight — across random schemas, thread counts and
+    /// datasets with missing cells.
+    #[test]
+    fn parallel_counting_identical_to_serial(
+        d in arb_dataset_missing(),
+        bits in any::<u64>(),
+        threads in 2usize..=9,
+    ) {
+        let attrs = AttrSet::from_bits(bits & ((1u64 << d.n_attrs()) - 1));
+        let serial = GroupCounts::build(&d, None, attrs);
+        let parallel = GroupCounts::build_parallel(&d, None, attrs, threads);
+        prop_assert_eq!(serial.pattern_count_size(), parallel.pattern_count_size());
+        prop_assert_eq!(serial.empty_group_weight(), parallel.empty_group_weight());
+        prop_assert_eq!(
+            label_size(&d, attrs),
+            parallel.pattern_count_size(),
+            "label size diverged for attrs {}", attrs
+        );
+        let mut se: Vec<(Vec<u32>, u64)> = serial.iter().collect();
+        let mut pe: Vec<(Vec<u32>, u64)> = parallel.iter().collect();
+        se.sort();
+        pe.sort();
+        prop_assert_eq!(se, pe);
     }
 
     /// GroupIndex refinement and GroupCounts agree on |P_S| even with

@@ -5,9 +5,7 @@ use pclabel_core::attrset::AttrSet;
 use pclabel_core::error::ErrorMetric;
 use pclabel_core::pattern::Pattern;
 use pclabel_core::patterns::PatternSet;
-use pclabel_core::search::{
-    naive_search, top_down_search, Evaluator, SearchOptions, SearchStats,
-};
+use pclabel_core::search::{naive_search, top_down_search, Evaluator, SearchOptions, SearchStats};
 use pclabel_data::dataset::DatasetBuilder;
 use pclabel_data::generate::{correlated_pair, figure2_sample, independent, AttrSpec};
 
@@ -43,12 +41,16 @@ fn mean_metric_can_prefer_a_different_label() {
         3,
     )
     .unwrap();
-    let max_out =
-        top_down_search(&d, &SearchOptions::with_bound(8).metric(ErrorMetric::MaxAbsolute))
-            .unwrap();
-    let mean_out =
-        top_down_search(&d, &SearchOptions::with_bound(8).metric(ErrorMetric::MeanAbsolute))
-            .unwrap();
+    let max_out = top_down_search(
+        &d,
+        &SearchOptions::with_bound(8).metric(ErrorMetric::MaxAbsolute),
+    )
+    .unwrap();
+    let mean_out = top_down_search(
+        &d,
+        &SearchOptions::with_bound(8).metric(ErrorMetric::MeanAbsolute),
+    )
+    .unwrap();
     assert!(max_out.best_label().unwrap().pattern_count_size() <= 8);
     assert!(mean_out.best_label().unwrap().pattern_count_size() <= 8);
 }
@@ -148,8 +150,7 @@ fn deep_prune_never_worsens_the_result_on_these_inputs() {
     // deep-prune's candidate list is an antichain.
     let d = correlated_pair(6, 2500, 0.4, 13).unwrap();
     let base = top_down_search(&d, &SearchOptions::with_bound(25)).unwrap();
-    let deep =
-        top_down_search(&d, &SearchOptions::with_bound(25).deep_prune(true)).unwrap();
+    let deep = top_down_search(&d, &SearchOptions::with_bound(25).deep_prune(true)).unwrap();
     assert!(deep.candidates.len() <= base.candidates.len());
     for (i, &a) in deep.candidates.iter().enumerate() {
         for (j, &b) in deep.candidates.iter().enumerate() {

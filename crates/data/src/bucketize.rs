@@ -240,7 +240,8 @@ mod tests {
     fn numeric_dataset(values: &[&str]) -> Dataset {
         let mut b = DatasetBuilder::new(["v", "tag"]);
         for (i, &v) in values.iter().enumerate() {
-            b.push_row(&[v, if i % 2 == 0 { "even" } else { "odd" }]).unwrap();
+            b.push_row(&[v, if i % 2 == 0 { "even" } else { "odd" }])
+                .unwrap();
         }
         b.finish()
     }
@@ -250,8 +251,13 @@ mod tests {
         let vals: Vec<String> = (0..100).map(|i| i.to_string()).collect();
         let refs: Vec<&str> = vals.iter().map(AsRef::as_ref).collect();
         let d = numeric_dataset(&refs);
-        let out =
-            bucketize_attr(&d, 0, &BucketStrategy::EqualWidth(5), NonNumericPolicy::Error).unwrap();
+        let out = bucketize_attr(
+            &d,
+            0,
+            &BucketStrategy::EqualWidth(5),
+            NonNumericPolicy::Error,
+        )
+        .unwrap();
         assert_eq!(out.schema().attr(0).unwrap().cardinality(), 5);
         // Other attribute untouched.
         assert_eq!(out.schema().attr(1).unwrap().cardinality(), 2);
@@ -320,7 +326,12 @@ mod tests {
     fn non_numeric_policy() {
         let d = numeric_dataset(&["1", "oops", "3"]);
         assert!(matches!(
-            bucketize_attr(&d, 0, &BucketStrategy::EqualWidth(2), NonNumericPolicy::Error),
+            bucketize_attr(
+                &d,
+                0,
+                &BucketStrategy::EqualWidth(2),
+                NonNumericPolicy::Error
+            ),
             Err(DataError::NotNumeric { .. })
         ));
         let out = bucketize_attr(
@@ -337,8 +348,13 @@ mod tests {
     #[test]
     fn constant_column_becomes_single_bucket() {
         let d = numeric_dataset(&["7", "7", "7"]);
-        let out =
-            bucketize_attr(&d, 0, &BucketStrategy::EqualWidth(5), NonNumericPolicy::Error).unwrap();
+        let out = bucketize_attr(
+            &d,
+            0,
+            &BucketStrategy::EqualWidth(5),
+            NonNumericPolicy::Error,
+        )
+        .unwrap();
         assert_eq!(out.schema().attr(0).unwrap().cardinality(), 1);
         assert_eq!(out.label_of(0, 0), "[7, 7]");
     }
@@ -381,8 +397,13 @@ mod tests {
         let vals: Vec<String> = (0..10).map(|i| i.to_string()).collect();
         let refs: Vec<&str> = vals.iter().map(AsRef::as_ref).collect();
         let d = numeric_dataset(&refs);
-        let out =
-            bucketize_attr(&d, 0, &BucketStrategy::EqualWidth(3), NonNumericPolicy::Error).unwrap();
+        let out = bucketize_attr(
+            &d,
+            0,
+            &BucketStrategy::EqualWidth(3),
+            NonNumericPolicy::Error,
+        )
+        .unwrap();
         let dict = out.schema().attr(0).unwrap().dictionary();
         for (_, label) in dict.iter() {
             assert!(label.starts_with('['), "{label}");

@@ -34,11 +34,13 @@ pub fn read_dataset_from_str(input: &str, opts: &CsvOptions) -> Result<Dataset> 
     let mut fields: Vec<Option<&str>> = Vec::new();
     for record in &parsed.records {
         fields.clear();
-        fields.extend(
-            record
-                .iter()
-                .map(|f| if opts.is_missing(f) { None } else { Some(f.as_str()) }),
-        );
+        fields.extend(record.iter().map(|f| {
+            if opts.is_missing(f) {
+                None
+            } else {
+                Some(f.as_str())
+            }
+        }));
         builder.push_row_opt(&fields)?;
     }
     Ok(builder.finish())

@@ -194,7 +194,10 @@ pub fn parse_csv(input: &str, opts: &CsvOptions) -> Result<ParseOutput> {
     }
     match state {
         State::Quoted => {
-            return Err(DataError::Csv { line, message: "unterminated quoted field".into() })
+            return Err(DataError::Csv {
+                line,
+                message: "unterminated quoted field".into(),
+            })
         }
         State::Unquoted | State::QuoteInQuoted => {
             end_record(&mut rows, &mut record, &mut field, &mut record_started);
@@ -241,7 +244,11 @@ pub fn parse_csv(input: &str, opts: &CsvOptions) -> Result<ParseOutput> {
         }
         records.push(rec);
     }
-    Ok(ParseOutput { header, records, skipped_rows: skipped })
+    Ok(ParseOutput {
+        header,
+        records,
+        skipped_rows: skipped,
+    })
 }
 
 fn end_record(
@@ -323,7 +330,10 @@ mod tests {
     fn arity_mismatch_strict_vs_lenient() {
         let doc = "a,b\n1,2\nonly-one\n3,4\n";
         assert!(parse_csv(doc, &CsvOptions::default()).is_err());
-        let opts = CsvOptions { strict_arity: false, ..CsvOptions::default() };
+        let opts = CsvOptions {
+            strict_arity: false,
+            ..CsvOptions::default()
+        };
         let out = parse_csv(doc, &opts).unwrap();
         assert_eq!(out.records.len(), 2);
         assert_eq!(out.skipped_rows, 1);

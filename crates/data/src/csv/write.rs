@@ -17,7 +17,11 @@ pub struct CsvWriteOptions {
 
 impl Default for CsvWriteOptions {
     fn default() -> Self {
-        Self { delimiter: ',', write_header: true, missing_token: String::new() }
+        Self {
+            delimiter: ',',
+            write_header: true,
+            missing_token: String::new(),
+        }
     }
 }
 
@@ -56,8 +60,10 @@ pub fn write_csv(dataset: &Dataset, opts: &CsvWriteOptions) -> String {
 }
 
 fn push_field(out: &mut String, field: &str, delimiter: char) {
-    let needs_quoting =
-        field.contains(delimiter) || field.contains('"') || field.contains('\n') || field.contains('\r');
+    let needs_quoting = field.contains(delimiter)
+        || field.contains('"')
+        || field.contains('\n')
+        || field.contains('\r');
     if needs_quoting {
         out.push('"');
         for c in field.chars() {
@@ -95,14 +101,20 @@ mod tests {
         b.push_row(&["say \"hi\""]).unwrap();
         b.push_row(&["two\nlines"]).unwrap();
         let csv = write_csv(&b.finish(), &CsvWriteOptions::default());
-        assert_eq!(csv, "f\nplain\n\"a,b\"\n\"say \"\"hi\"\"\"\n\"two\nlines\"\n");
+        assert_eq!(
+            csv,
+            "f\nplain\n\"a,b\"\n\"say \"\"hi\"\"\"\n\"two\nlines\"\n"
+        );
     }
 
     #[test]
     fn missing_cells_use_token() {
         let mut b = DatasetBuilder::new(["f", "g"]);
         b.push_row_opt(&[Some("v"), None::<&str>]).unwrap();
-        let opts = CsvWriteOptions { missing_token: "NA".into(), ..Default::default() };
+        let opts = CsvWriteOptions {
+            missing_token: "NA".into(),
+            ..Default::default()
+        };
         let csv = write_csv(&b.finish(), &opts);
         assert_eq!(csv, "f,g\nv,NA\n");
     }

@@ -126,7 +126,11 @@ impl Dataset {
             if id != MISSING {
                 let card = self.schema.attr(attr).expect("attr in range").cardinality();
                 if id as usize >= card {
-                    return Err(DataError::ValueOutOfRange { attr, value: id, len: card });
+                    return Err(DataError::ValueOutOfRange {
+                        attr,
+                        value: id,
+                        len: card,
+                    });
                 }
             }
         }
@@ -163,7 +167,12 @@ impl Dataset {
                         .attr(attr)
                         .and_then(|a| a.dictionary().lookup(label))
                         .ok_or_else(|| DataError::UnknownValue {
-                            attr: self.schema.attr(attr).map(|a| a.name()).unwrap_or("?").into(),
+                            attr: self
+                                .schema
+                                .attr(attr)
+                                .map(|a| a.name())
+                                .unwrap_or("?")
+                                .into(),
                             value: label.into(),
                         })?
                 };
@@ -331,10 +340,7 @@ impl Dataset {
     ) -> Dataset {
         debug_assert_eq!(schema.len(), columns.len());
         debug_assert!(columns.iter().all(|c| c.len() == n_rows));
-        let has_missing = columns
-            .iter()
-            .map(|c| c.contains(&MISSING))
-            .collect();
+        let has_missing = columns.iter().map(|c| c.contains(&MISSING)).collect();
         Dataset {
             name,
             schema: Arc::new(schema),
@@ -363,7 +369,12 @@ impl DatasetBuilder {
     {
         let schema = Schema::from_names(names);
         let columns = (0..schema.len()).map(|_| Vec::new()).collect();
-        Self { name: "dataset".into(), schema, columns, n_rows: 0 }
+        Self {
+            name: "dataset".into(),
+            schema,
+            columns,
+            n_rows: 0,
+        }
     }
 
     /// Starts a dataset whose attribute domains are fixed up front, so rows
@@ -379,7 +390,12 @@ impl DatasetBuilder {
             schema.push(Attribute::with_values(name, values));
         }
         let columns = (0..schema.len()).map(|_| Vec::new()).collect();
-        Self { name: "dataset".into(), schema, columns, n_rows: 0 }
+        Self {
+            name: "dataset".into(),
+            schema,
+            columns,
+            n_rows: 0,
+        }
     }
 
     /// Sets the dataset name.
@@ -415,7 +431,11 @@ impl DatasetBuilder {
             });
         }
         for (attr, f) in fields.iter().enumerate() {
-            let id = self.schema.attr_mut(attr).dictionary_mut().intern(f.as_ref());
+            let id = self
+                .schema
+                .attr_mut(attr)
+                .dictionary_mut()
+                .intern(f.as_ref());
             self.columns[attr].push(id);
         }
         self.n_rows += 1;
@@ -433,7 +453,11 @@ impl DatasetBuilder {
         }
         for (attr, f) in fields.iter().enumerate() {
             let id = match f {
-                Some(s) => self.schema.attr_mut(attr).dictionary_mut().intern(s.as_ref()),
+                Some(s) => self
+                    .schema
+                    .attr_mut(attr)
+                    .dictionary_mut()
+                    .intern(s.as_ref()),
                 None => MISSING,
             };
             self.columns[attr].push(id);
@@ -455,7 +479,11 @@ impl DatasetBuilder {
             if id != MISSING {
                 let card = self.schema.attr(attr).expect("attr in range").cardinality();
                 if id as usize >= card {
-                    return Err(DataError::ValueOutOfRange { attr, value: id, len: card });
+                    return Err(DataError::ValueOutOfRange {
+                        attr,
+                        value: id,
+                        len: card,
+                    });
                 }
             }
         }
@@ -468,11 +496,7 @@ impl DatasetBuilder {
 
     /// Finalizes the builder into an immutable [`Dataset`].
     pub fn finish(self) -> Dataset {
-        let has_missing = self
-            .columns
-            .iter()
-            .map(|c| c.contains(&MISSING))
-            .collect();
+        let has_missing = self.columns.iter().map(|c| c.contains(&MISSING)).collect();
         Dataset {
             name: self.name,
             schema: Arc::new(self.schema),
@@ -513,7 +537,14 @@ mod tests {
     fn arity_mismatch_is_rejected() {
         let mut b = DatasetBuilder::new(["a", "b"]);
         let err = b.push_row(&["only one"]).unwrap_err();
-        assert!(matches!(err, DataError::ArityMismatch { expected: 2, got: 1, .. }));
+        assert!(matches!(
+            err,
+            DataError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -637,15 +668,16 @@ mod tests {
         let mut b = DatasetBuilder::new(["c"]);
         b.push_row(&["unknown"]).unwrap();
         let b = b.finish();
-        assert!(matches!(a.extend_from(&b), Err(DataError::UnknownValue { .. })));
+        assert!(matches!(
+            a.extend_from(&b),
+            Err(DataError::UnknownValue { .. })
+        ));
     }
 
     #[test]
     fn with_domains_and_push_ids() {
-        let mut b = DatasetBuilder::with_domains([
-            ("g", vec!["f", "m"]),
-            ("r", vec!["a", "b", "c"]),
-        ]);
+        let mut b =
+            DatasetBuilder::with_domains([("g", vec!["f", "m"]), ("r", vec!["a", "b", "c"])]);
         b.push_ids(&[0, 2]).unwrap();
         b.push_ids(&[1, 0]).unwrap();
         assert!(b.push_ids(&[2, 0]).is_err());

@@ -123,7 +123,11 @@ mod tests {
         let err = d.label_checked(5, 3).unwrap_err();
         assert_eq!(
             err,
-            DataError::ValueOutOfRange { attr: 5, value: 3, len: 1 }
+            DataError::ValueOutOfRange {
+                attr: 5,
+                value: 3,
+                len: 1
+            }
         );
     }
 

@@ -112,16 +112,26 @@ mod tests {
     fn display_messages_are_informative() {
         let cases: Vec<(DataError, &str)> = vec![
             (
-                DataError::ArityMismatch { expected: 3, got: 2, row: 7 },
+                DataError::ArityMismatch {
+                    expected: 3,
+                    got: 2,
+                    row: 7,
+                },
                 "row 7 has 2 fields but the schema has 3 attributes",
             ),
             (
                 DataError::AttrOutOfRange { index: 9, len: 4 },
                 "attribute index 9 out of range (schema has 4)",
             ),
-            (DataError::UnknownAttr("age".into()), "unknown attribute \"age\""),
             (
-                DataError::Csv { line: 3, message: "unclosed quote".into() },
+                DataError::UnknownAttr("age".into()),
+                "unknown attribute \"age\"",
+            ),
+            (
+                DataError::Csv {
+                    line: 3,
+                    message: "unclosed quote".into(),
+                },
                 "csv error at line 3: unclosed quote",
             ),
             (DataError::Empty, "dataset is empty"),

@@ -20,7 +20,9 @@ impl AliasTable {
     /// normalized). At least one weight must be positive.
     pub fn new(weights: &[f64]) -> Result<Self> {
         if weights.is_empty() {
-            return Err(DataError::Invalid("alias table needs at least one weight".into()));
+            return Err(DataError::Invalid(
+                "alias table needs at least one weight".into(),
+            ));
         }
         if weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
             return Err(DataError::Invalid(

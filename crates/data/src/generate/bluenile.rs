@@ -25,12 +25,14 @@ pub struct BlueNileConfig {
 
 impl Default for BlueNileConfig {
     fn default() -> Self {
-        Self { n_rows: 116_300, seed: 0xB1_0E_21 }
+        Self {
+            n_rows: 116_300,
+            seed: 0xB1_0E_21,
+        }
     }
 }
 
-const SHAPE_WEIGHTS: [f64; 10] =
-    [0.55, 0.10, 0.08, 0.06, 0.07, 0.04, 0.03, 0.03, 0.02, 0.02];
+const SHAPE_WEIGHTS: [f64; 10] = [0.55, 0.10, 0.08, 0.06, 0.07, 0.04, 0.03, 0.03, 0.02, 0.02];
 
 /// Latent quality tiers: Good, Very Good, Ideal, Astor Ideal.
 const TIER_WEIGHTS: [f64; 4] = [0.15, 0.40, 0.35, 0.10];
@@ -142,16 +144,32 @@ mod tests {
     use super::*;
 
     fn small() -> Dataset {
-        bluenile(&BlueNileConfig { n_rows: 30_000, seed: 13 }).unwrap()
+        bluenile(&BlueNileConfig {
+            n_rows: 30_000,
+            seed: 13,
+        })
+        .unwrap()
     }
 
     #[test]
     fn shape_matches_paper() {
-        let d = bluenile(&BlueNileConfig { n_rows: 500, seed: 1 }).unwrap();
+        let d = bluenile(&BlueNileConfig {
+            n_rows: 500,
+            seed: 1,
+        })
+        .unwrap();
         assert_eq!(d.n_attrs(), 7);
         assert_eq!(
             d.schema().names(),
-            vec!["shape", "cut", "color", "clarity", "polish", "symmetry", "fluorescence"]
+            vec![
+                "shape",
+                "cut",
+                "color",
+                "clarity",
+                "polish",
+                "symmetry",
+                "fluorescence"
+            ]
         );
         assert_eq!(BlueNileConfig::default().n_rows, 116_300);
     }
@@ -201,8 +219,16 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = bluenile(&BlueNileConfig { n_rows: 100, seed: 2 }).unwrap();
-        let b = bluenile(&BlueNileConfig { n_rows: 100, seed: 2 }).unwrap();
+        let a = bluenile(&BlueNileConfig {
+            n_rows: 100,
+            seed: 2,
+        })
+        .unwrap();
+        let b = bluenile(&BlueNileConfig {
+            n_rows: 100,
+            seed: 2,
+        })
+        .unwrap();
         for r in 0..100 {
             assert_eq!(a.row_to_vec(r), b.row_to_vec(r));
         }

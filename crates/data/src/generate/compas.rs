@@ -28,7 +28,10 @@ pub struct CompasConfig {
 
 impl Default for CompasConfig {
     fn default() -> Self {
-        Self { n_rows: 60_843, seed: 0xC0_57A5 }
+        Self {
+            n_rows: 60_843,
+            seed: 0xC0_57A5,
+        }
     }
 }
 
@@ -64,8 +67,7 @@ const DECILE_GIVEN_RACE: [[f64; 10]; 4] = [
 ];
 
 /// P(recidivism) by decile score (1..=10).
-const RECID_GIVEN_DECILE: [f64; 10] =
-    [0.15, 0.22, 0.28, 0.34, 0.42, 0.48, 0.55, 0.62, 0.70, 0.76];
+const RECID_GIVEN_DECILE: [f64; 10] = [0.15, 0.22, 0.28, 0.34, 0.42, 0.48, 0.55, 0.62, 0.70, 0.76];
 
 fn tables(rows: &[&[f64]]) -> Result<Vec<AliasTable>> {
     rows.iter().map(|w| AliasTable::new(w)).collect()
@@ -86,11 +88,20 @@ pub fn compas(cfg: &CompasConfig) -> Result<Dataset> {
         "Unknown",
     ];
     let scale_vals = ["7", "8", "18"];
-    let display_vals = ["Risk of Recidivism", "Risk of Violence", "Risk of Failure to Appear"];
+    let display_vals = [
+        "Risk of Recidivism",
+        "Risk of Violence",
+        "Risk of Failure to Appear",
+    ];
     let decile_vals = ["1", "2", "3", "4", "5", "6", "7", "8", "9", "10"];
     let score_text_vals = ["Low", "Medium", "High"];
     let level_vals = ["1", "2", "3", "4"];
-    let level_text_vals = ["Low", "Medium", "Medium with Override Consideration", "High"];
+    let level_text_vals = [
+        "Low",
+        "Medium",
+        "Medium with Override Consideration",
+        "High",
+    ];
     let reason_vals = ["Intake", "Pretrial", "Probation Violation"];
     let agency_vals = ["PRETRIAL", "Probation", "DRRD", "Broward County"];
     let language_vals = ["English", "Spanish"];
@@ -130,11 +141,19 @@ pub fn compas(cfg: &CompasConfig) -> Result<Dataset> {
     let joint_weights: Vec<f64> = GENDER_RACE_COUNTS.iter().flatten().copied().collect();
     let gender_race = AliasTable::new(&joint_weights)?;
     let age = AliasTable::new(&AGE_COUNTS)?;
-    let marital_given_age =
-        tables(&MARITAL_GIVEN_AGE.iter().map(|r| r.as_slice()).collect::<Vec<_>>())?;
+    let marital_given_age = tables(
+        &MARITAL_GIVEN_AGE
+            .iter()
+            .map(|r| r.as_slice())
+            .collect::<Vec<_>>(),
+    )?;
     let scale = AliasTable::new(&[0.55, 0.30, 0.15])?;
-    let decile_given_race =
-        tables(&DECILE_GIVEN_RACE.iter().map(|r| r.as_slice()).collect::<Vec<_>>())?;
+    let decile_given_race = tables(
+        &DECILE_GIVEN_RACE
+            .iter()
+            .map(|r| r.as_slice())
+            .collect::<Vec<_>>(),
+    )?;
     let reason = AliasTable::new(&[0.75, 0.17, 0.08])?;
     let agency_given_reason = tables(&[
         &[0.85, 0.10, 0.03, 0.02],
@@ -159,11 +178,7 @@ pub fn compas(cfg: &CompasConfig) -> Result<Dataset> {
         &[0.20, 0.20, 0.20, 0.20, 0.20],
     ])?;
     // Felony fraction grows with the decile tier (low/medium/high).
-    let charge_given_tier = tables(&[
-        &[0.62, 0.38],
-        &[0.70, 0.30],
-        &[0.78, 0.22],
-    ])?;
+    let charge_given_tier = tables(&[&[0.62, 0.38], &[0.70, 0.30], &[0.78, 0.22]])?;
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     for _ in 0..cfg.n_rows {
@@ -209,8 +224,8 @@ pub fn compas(cfg: &CompasConfig) -> Result<Dataset> {
         let is_recid = u32::from(rng.gen::<f64>() < RECID_GIVEN_DECILE[decile as usize]);
 
         let row = [
-            gender, age_v, race, marital, scale_v, display, decile, score_text, level,
-            level_text, reason_v, agency, language, legal, custody, charge, is_recid,
+            gender, age_v, race, marital, scale_v, display, decile, score_text, level, level_text,
+            reason_v, agency, language, legal, custody, charge, is_recid,
         ];
         builder.push_ids(&row).expect("ids within declared domains");
     }
@@ -231,12 +246,20 @@ mod tests {
     use super::*;
 
     fn small() -> Dataset {
-        compas(&CompasConfig { n_rows: 20_000, seed: 7 }).unwrap()
+        compas(&CompasConfig {
+            n_rows: 20_000,
+            seed: 7,
+        })
+        .unwrap()
     }
 
     #[test]
     fn shape_matches_paper() {
-        let d = compas(&CompasConfig { n_rows: 1000, seed: 1 }).unwrap();
+        let d = compas(&CompasConfig {
+            n_rows: 1000,
+            seed: 1,
+        })
+        .unwrap();
         assert_eq!(d.n_attrs(), 17);
         assert_eq!(d.n_rows(), 1000);
         let full = compas(&CompasConfig::default()).unwrap();
@@ -344,7 +367,11 @@ mod tests {
 
     #[test]
     fn simplified_view_has_four_attrs() {
-        let d = compas_simplified(&CompasConfig { n_rows: 500, seed: 3 }).unwrap();
+        let d = compas_simplified(&CompasConfig {
+            n_rows: 500,
+            seed: 3,
+        })
+        .unwrap();
         assert_eq!(d.n_attrs(), 4);
         assert_eq!(
             d.schema().names(),
@@ -354,8 +381,16 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = compas(&CompasConfig { n_rows: 200, seed: 5 }).unwrap();
-        let b = compas(&CompasConfig { n_rows: 200, seed: 5 }).unwrap();
+        let a = compas(&CompasConfig {
+            n_rows: 200,
+            seed: 5,
+        })
+        .unwrap();
+        let b = compas(&CompasConfig {
+            n_rows: 200,
+            seed: 5,
+        })
+        .unwrap();
         for r in 0..200 {
             assert_eq!(a.row_to_vec(r), b.row_to_vec(r));
         }

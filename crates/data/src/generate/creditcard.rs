@@ -26,7 +26,10 @@ pub struct CreditCardConfig {
 
 impl Default for CreditCardConfig {
     fn default() -> Self {
-        Self { n_rows: 30_000, seed: 0xC4_ED17 }
+        Self {
+            n_rows: 30_000,
+            seed: 0xC4_ED17,
+        }
     }
 }
 
@@ -75,8 +78,7 @@ const PAYAMT_GIVEN_TIER: [[f64; 5]; 3] = [
 ];
 
 /// P(default) as a function of the worst repayment status observed.
-const DEFAULT_GIVEN_WORST: [f64; 8] =
-    [0.08, 0.10, 0.15, 0.30, 0.55, 0.70, 0.78, 0.85];
+const DEFAULT_GIVEN_WORST: [f64; 8] = [0.08, 0.10, 0.15, 0.30, 0.55, 0.70, 0.78, 0.85];
 
 fn tier_of(status: u32) -> usize {
     match status {
@@ -181,12 +183,20 @@ mod tests {
     use super::*;
 
     fn small() -> Dataset {
-        creditcard(&CreditCardConfig { n_rows: 20_000, seed: 21 }).unwrap()
+        creditcard(&CreditCardConfig {
+            n_rows: 20_000,
+            seed: 21,
+        })
+        .unwrap()
     }
 
     #[test]
     fn shape_matches_paper() {
-        let d = creditcard(&CreditCardConfig { n_rows: 300, seed: 1 }).unwrap();
+        let d = creditcard(&CreditCardConfig {
+            n_rows: 300,
+            seed: 1,
+        })
+        .unwrap();
         assert_eq!(d.n_attrs(), 24);
         assert_eq!(d.n_rows(), 300);
         assert_eq!(CreditCardConfig::default().n_rows, 30_000);
@@ -197,7 +207,14 @@ mod tests {
     #[test]
     fn every_numeric_attribute_has_five_bins() {
         let d = small();
-        for name in ["LIMIT_BAL", "AGE", "BILL_AMT1", "BILL_AMT6", "PAY_AMT1", "PAY_AMT6"] {
+        for name in [
+            "LIMIT_BAL",
+            "AGE",
+            "BILL_AMT1",
+            "BILL_AMT6",
+            "PAY_AMT1",
+            "PAY_AMT6",
+        ] {
             let i = d.schema().index_of(name).unwrap();
             assert_eq!(d.schema().attr(i).unwrap().cardinality(), 5, "{name}");
         }
@@ -228,7 +245,11 @@ mod tests {
         for r in 0..d.n_rows() {
             let worst = (0..6).map(|m| d.value_raw(r, 5 + m)).max().unwrap();
             let defaulted = d.value_raw(r, 23) == 1;
-            let slot = if worst >= 4 { &mut delinquent } else { &mut current };
+            let slot = if worst >= 4 {
+                &mut delinquent
+            } else {
+                &mut current
+            };
             slot.0 += 1;
             slot.1 += u64::from(defaulted);
         }
@@ -262,8 +283,16 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = creditcard(&CreditCardConfig { n_rows: 150, seed: 4 }).unwrap();
-        let b = creditcard(&CreditCardConfig { n_rows: 150, seed: 4 }).unwrap();
+        let a = creditcard(&CreditCardConfig {
+            n_rows: 150,
+            seed: 4,
+        })
+        .unwrap();
+        let b = creditcard(&CreditCardConfig {
+            n_rows: 150,
+            seed: 4,
+        })
+        .unwrap();
         for r in 0..150 {
             assert_eq!(a.row_to_vec(r), b.row_to_vec(r));
         }

@@ -57,7 +57,13 @@ mod tests {
         let vc = d.value_counts();
         let get = |attr: &str, value: &str| -> u64 {
             let a = d.schema().index_of(attr).unwrap();
-            let v = d.schema().attr(a).unwrap().dictionary().lookup(value).unwrap();
+            let v = d
+                .schema()
+                .attr(a)
+                .unwrap()
+                .dictionary()
+                .lookup(value)
+                .unwrap();
             vc[a][v as usize]
         };
         assert_eq!(get("gender", "Female"), 9);
@@ -78,8 +84,20 @@ mod tests {
         let d = figure2_sample();
         let age = d.schema().index_of("age group").unwrap();
         let ms = d.schema().index_of("marital status").unwrap();
-        let under20 = d.schema().attr(age).unwrap().dictionary().lookup("under 20").unwrap();
-        let single = d.schema().attr(ms).unwrap().dictionary().lookup("single").unwrap();
+        let under20 = d
+            .schema()
+            .attr(age)
+            .unwrap()
+            .dictionary()
+            .lookup("under 20")
+            .unwrap();
+        let single = d
+            .schema()
+            .attr(ms)
+            .unwrap()
+            .dictionary()
+            .lookup("single")
+            .unwrap();
         let count = (0..d.n_rows())
             .filter(|&r| d.value_raw(r, age) == under20 && d.value_raw(r, ms) == single)
             .count();

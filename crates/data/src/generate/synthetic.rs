@@ -81,9 +81,8 @@ pub fn binary_cube(n_attrs: usize) -> Result<Dataset> {
         ));
     }
     let names: Vec<String> = (1..=n_attrs).map(|i| format!("A{i}")).collect();
-    let mut builder = DatasetBuilder::with_domains(
-        names.iter().map(|n| (n.as_str(), vec!["0", "1"])),
-    );
+    let mut builder =
+        DatasetBuilder::with_domains(names.iter().map(|n| (n.as_str(), vec!["0", "1"])));
     let total = 1usize << n_attrs;
     builder.reserve(total);
     let mut row = vec![0u32; n_attrs];
@@ -106,9 +105,8 @@ pub fn binary_cube_correlated(n_attrs: usize) -> Result<Dataset> {
     }
     let cube = binary_cube(n_attrs)?;
     let names: Vec<String> = (1..=n_attrs).map(|i| format!("A{i}")).collect();
-    let mut builder = DatasetBuilder::with_domains(
-        names.iter().map(|n| (n.as_str(), vec!["0", "1"])),
-    );
+    let mut builder =
+        DatasetBuilder::with_domains(names.iter().map(|n| (n.as_str(), vec!["0", "1"])));
     builder.reserve(cube.n_rows());
     let mut row = vec![0u32; n_attrs];
     for r in 0..cube.n_rows() {
@@ -135,18 +133,20 @@ pub fn functional_chain(
     seed: u64,
 ) -> Result<Dataset> {
     if n_attrs == 0 || domain == 0 {
-        return Err(DataError::Invalid("need attributes and a non-empty domain".into()));
+        return Err(DataError::Invalid(
+            "need attributes and a non-empty domain".into(),
+        ));
     }
     let names: Vec<String> = (1..=n_attrs).map(|i| format!("F{i}")).collect();
     let labels: Vec<Vec<String>> = (0..n_attrs)
         .map(|a| (0..domain).map(|v| format!("v{a}_{v}")).collect())
         .collect();
-    let mut builder = DatasetBuilder::with_domains(
-        names
-            .iter()
-            .zip(&labels)
-            .map(|(n, ls)| (n.as_str(), ls.iter().map(String::as_str).collect::<Vec<_>>())),
-    );
+    let mut builder = DatasetBuilder::with_domains(names.iter().zip(&labels).map(|(n, ls)| {
+        (
+            n.as_str(),
+            ls.iter().map(String::as_str).collect::<Vec<_>>(),
+        )
+    }));
     builder.reserve(n_rows);
     let mut rng = StdRng::seed_from_u64(seed);
     // Random permutations linking consecutive attributes.
@@ -178,12 +178,7 @@ pub fn functional_chain(
 /// the workhorse for property tests on estimation error: label quality
 /// should degrade smoothly as correlations strengthen while only `VC` is
 /// stored.
-pub fn correlated_pair(
-    domain: usize,
-    n_rows: usize,
-    mixing: f64,
-    seed: u64,
-) -> Result<Dataset> {
+pub fn correlated_pair(domain: usize, n_rows: usize, mixing: f64, seed: u64) -> Result<Dataset> {
     if domain == 0 {
         return Err(DataError::Invalid("domain must be non-empty".into()));
     }
@@ -192,10 +187,7 @@ pub fn correlated_pair(
     }
     let labels: Vec<String> = (0..domain).map(|v| format!("v{v}")).collect();
     let label_refs: Vec<&str> = labels.iter().map(AsRef::as_ref).collect();
-    let mut builder = DatasetBuilder::with_domains([
-        ("X", label_refs.clone()),
-        ("Y", label_refs),
-    ]);
+    let mut builder = DatasetBuilder::with_domains([("X", label_refs.clone()), ("Y", label_refs)]);
     builder.reserve(n_rows);
     let mut rng = StdRng::seed_from_u64(seed);
     for _ in 0..n_rows {
@@ -228,18 +220,21 @@ pub fn zipf_correlated(
     seed: u64,
 ) -> Result<Dataset> {
     if n_attrs == 0 || domain == 0 {
-        return Err(DataError::Invalid("need attributes and a non-empty domain".into()));
+        return Err(DataError::Invalid(
+            "need attributes and a non-empty domain".into(),
+        ));
     }
     if !(0.0..=1.0).contains(&mixing) {
         return Err(DataError::Invalid("mixing must lie in [0, 1]".into()));
     }
     let names: Vec<String> = (0..n_attrs).map(|i| format!("Z{i}")).collect();
     let labels: Vec<String> = (0..domain).map(|v| format!("z{v}")).collect();
-    let mut builder = DatasetBuilder::with_domains(
-        names
-            .iter()
-            .map(|n| (n.as_str(), labels.iter().map(String::as_str).collect::<Vec<_>>())),
-    );
+    let mut builder = DatasetBuilder::with_domains(names.iter().map(|n| {
+        (
+            n.as_str(),
+            labels.iter().map(String::as_str).collect::<Vec<_>>(),
+        )
+    }));
     builder.reserve(n_rows);
 
     let mut rng = StdRng::seed_from_u64(seed);
@@ -322,9 +317,7 @@ mod tests {
         }
         // Example 2.7: count of {A1=0, A2=0, A3=0} is 2^{n-2} = 2.
         let count = (0..d.n_rows())
-            .filter(|&r| {
-                d.value_raw(r, 0) == 0 && d.value_raw(r, 1) == 0 && d.value_raw(r, 2) == 0
-            })
+            .filter(|&r| d.value_raw(r, 0) == 0 && d.value_raw(r, 1) == 0 && d.value_raw(r, 2) == 0)
             .count();
         assert_eq!(count, 2);
     }

@@ -15,7 +15,10 @@ pub struct Attribute {
 impl Attribute {
     /// Creates an attribute with an empty dictionary.
     pub fn new(name: impl Into<Box<str>>) -> Self {
-        Self { name: name.into(), dictionary: Dictionary::new() }
+        Self {
+            name: name.into(),
+            dictionary: Dictionary::new(),
+        }
     }
 
     /// Creates an attribute whose dictionary is pre-populated with `values`.
@@ -24,7 +27,10 @@ impl Attribute {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        Self { name: name.into(), dictionary: Dictionary::from_labels(values) }
+        Self {
+            name: name.into(),
+            dictionary: Dictionary::from_labels(values),
+        }
     }
 
     /// The attribute's name.
@@ -167,7 +173,10 @@ mod tests {
     fn sample_schema() -> Schema {
         let mut s = Schema::new();
         s.push(Attribute::with_values("gender", ["female", "male"]));
-        s.push(Attribute::with_values("age", ["under 20", "20-39", "40-59"]));
+        s.push(Attribute::with_values(
+            "age",
+            ["under 20", "20-39", "40-59"],
+        ));
         s.push(Attribute::with_values("race", ["a", "b", "c", "d"]));
         s
     }

@@ -1,0 +1,78 @@
+//! # pclabel-engine
+//!
+//! The concurrent label-serving subsystem of the `pclabel` workspace:
+//! where `pclabel-core` *computes* pattern count-based labels, this crate
+//! *serves* them — a label is built once and then answers pattern-count
+//! queries many times, which is exactly the profiling primitive
+//! fitness-for-use and fairness audits need.
+//!
+//! ## Pieces
+//!
+//! * [`parallel`] — auto-sized chunked group counting: a drop-in front
+//!   end over [`pclabel_core::counting::GroupCounts::build_parallel`]
+//!   that picks worker counts from row count and available hardware;
+//! * [`store`] — [`store::LabelStore`]: a registry of named datasets and
+//!   their computed labels behind `Arc`/`RwLock`, supporting concurrent
+//!   registration, lookup and label refresh (with generation counters);
+//! * [`query`] — the batched query API: a [`query::QueryRequest`]
+//!   estimates many patterns in one call; the planner answers **exactly**
+//!   from the stored `PC` group map when the queried attributes are a
+//!   subset of the label's `S`, and falls back to `Label::estimate`
+//!   otherwise;
+//! * [`cache`] — a sharded pattern→estimate cache with hit/miss counters,
+//!   one per stored dataset, invalidated on label refresh;
+//! * [`json`] — a dependency-free JSON reader/writer for the wire format;
+//! * [`serve`] — the line-delimited JSON protocol behind the
+//!   `pclabel-serve` binary (stdin → stdout, no network dependencies).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pclabel_engine::prelude::*;
+//! use pclabel_data::generate::figure2_sample;
+//!
+//! let engine = Engine::new(EngineConfig::default());
+//! engine
+//!     .store()
+//!     .register("census", figure2_sample(), LabelPolicy::SearchBound(5))
+//!     .unwrap();
+//!
+//! let request = QueryRequest {
+//!     id: Some("audit-1".into()),
+//!     dataset: "census".into(),
+//!     patterns: vec![PatternSpec::new([
+//!         ("gender", "Female"),
+//!         ("age group", "20-39"),
+//!         ("marital status", "married"),
+//!     ])],
+//! };
+//! let response = engine.execute(&request).unwrap();
+//! assert_eq!(response.results[0].estimate, 3.0); // paper Example 2.12
+//! ```
+//!
+//! ## `pclabel-serve`
+//!
+//! ```text
+//! $ pclabel-serve < requests.jsonl > responses.jsonl
+//! {"op":"register","dataset":"census","generator":"figure2","bound":5}
+//! {"op":"query","dataset":"census","patterns":[{"gender":"Female","age group":"20-39","marital status":"married"}]}
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod json;
+pub mod parallel;
+pub mod query;
+pub mod serve;
+pub mod store;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::cache::{CacheStats, ShardedCache};
+    pub use crate::parallel::{auto_threads, group_counts, CountingOptions};
+    pub use crate::query::{
+        Engine, EngineConfig, PatternEstimate, PatternSpec, QueryRequest, QueryResponse, QueryStats,
+    };
+    pub use crate::store::{EngineError, LabelPolicy, LabelStore, StoreEntry};
+}

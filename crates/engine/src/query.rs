@@ -1,0 +1,412 @@
+//! The batched query API.
+//!
+//! A [`QueryRequest`] asks one stored dataset for the counts of many
+//! patterns at once. Per pattern the planner picks the cheapest sound
+//! answer:
+//!
+//! 1. **cache** — a previous answer for the identical pattern (per-entry
+//!    sharded cache, invalidated on label refresh);
+//! 2. **exact** — when `Attr(p) ⊆ S`, the stored `PC` group map answers
+//!    exactly (paper §III-A: estimation is exact within the label's
+//!    subset), via `Label::count_of_projection`;
+//! 3. **estimate** — otherwise the paper's estimation function
+//!    `Label::estimate` (Def. 2.11).
+//!
+//! Large batches are chunked across `std::thread::scope` workers; the
+//! whole batch answers against one label snapshot (`Arc<Label>`), so a
+//! concurrent refresh never mixes generations within a response.
+
+use std::sync::Arc;
+
+use pclabel_core::label::Label;
+use pclabel_core::pattern::Pattern;
+
+use crate::store::{EngineError, LabelStore, StoreEntry};
+
+/// One pattern, as resolvable `(attribute name, value label)` terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternSpec {
+    /// Attribute-name → value-label assignments.
+    pub terms: Vec<(String, String)>,
+}
+
+impl PatternSpec {
+    /// Builds a spec from string pairs.
+    pub fn new<const N: usize>(terms: [(&str, &str); N]) -> Self {
+        PatternSpec {
+            terms: terms
+                .iter()
+                .map(|&(a, v)| (a.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+}
+
+/// A batch of pattern-count queries against one stored dataset.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// Optional client correlation id, echoed in the response.
+    pub id: Option<String>,
+    /// Name the dataset was registered under.
+    pub dataset: String,
+    /// Patterns to estimate (one result each, same order).
+    pub patterns: Vec<PatternSpec>,
+}
+
+/// Per-pattern answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternEstimate {
+    /// The estimated (or exact) count; 0.0 when `error` is set.
+    pub estimate: f64,
+    /// Whether the answer is exact (`Attr(p) ⊆ S`).
+    pub exact: bool,
+    /// Whether the answer came from the cache.
+    pub cached: bool,
+    /// Per-pattern failure (unknown attribute/value), leaving the rest of
+    /// the batch unaffected.
+    pub error: Option<String>,
+}
+
+/// Batch-level counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Answers taken from the stored `PC` map (exact path).
+    pub exact: u64,
+    /// Answers computed by the estimation function.
+    pub estimated: u64,
+    /// Answers served from the pattern cache.
+    pub cache_hits: u64,
+    /// Patterns that missed the cache.
+    pub cache_misses: u64,
+    /// Patterns that failed to resolve.
+    pub failed: u64,
+}
+
+/// Response to a [`QueryRequest`].
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// Echo of [`QueryRequest::id`].
+    pub id: Option<String>,
+    /// Echo of the dataset name.
+    pub dataset: String,
+    /// `|D|` of the answering dataset.
+    pub n_rows: u64,
+    /// Attribute names of the answering label's subset `S`.
+    pub label_attrs: Vec<String>,
+    /// Label generation the batch was answered with.
+    pub generation: u64,
+    /// One answer per requested pattern, in request order.
+    pub results: Vec<PatternEstimate>,
+    /// Batch counters.
+    pub stats: QueryStats,
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads for large batches; `0` = available parallelism.
+    pub query_threads: usize,
+    /// Batches smaller than this stay on the calling thread.
+    pub parallel_batch_threshold: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            query_threads: 0,
+            parallel_batch_threshold: 256,
+        }
+    }
+}
+
+impl EngineConfig {
+    fn resolve_threads(&self, batch: usize) -> usize {
+        if batch < self.parallel_batch_threshold.max(2) {
+            return 1;
+        }
+        let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let configured = if self.query_threads == 0 {
+            hw
+        } else {
+            self.query_threads
+        };
+        configured.min(batch).max(1)
+    }
+}
+
+/// The serving engine: a [`LabelStore`] plus batch execution.
+#[derive(Debug, Default)]
+pub struct Engine {
+    store: LabelStore,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Creates an engine with the given tuning.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            store: LabelStore::new(),
+            config,
+        }
+    }
+
+    /// The underlying dataset/label registry.
+    pub fn store(&self) -> &LabelStore {
+        &self.store
+    }
+
+    /// Executes a batch. Fails only when the dataset itself is unknown;
+    /// individual bad patterns are reported per-result.
+    ///
+    /// The whole batch — estimation *and* cache writes — runs inside
+    /// [`StoreEntry::with_label`], so the response's results, generation
+    /// and `label_attrs` all describe the same label version, and a
+    /// concurrent refresh can never leave old-label estimates behind in
+    /// the cache.
+    pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, EngineError> {
+        let entry = self.store.get(&request.dataset)?;
+        let threads = self.config.resolve_threads(request.patterns.len());
+
+        let response = entry.with_label(|label, generation| {
+            let results: Vec<PatternEstimate> = if threads <= 1 {
+                request
+                    .patterns
+                    .iter()
+                    .map(|spec| answer_one(&entry, label, spec))
+                    .collect()
+            } else {
+                let chunk = request.patterns.len().div_ceil(threads);
+                let mut out: Vec<PatternEstimate> = Vec::with_capacity(request.patterns.len());
+                let parts: Vec<Vec<PatternEstimate>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = request
+                        .patterns
+                        .chunks(chunk)
+                        .map(|specs| {
+                            let entry = &entry;
+                            scope.spawn(move || {
+                                specs.iter().map(|s| answer_one(entry, label, s)).collect()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("query worker panicked"))
+                        .collect()
+                });
+                for part in parts {
+                    out.extend(part);
+                }
+                out
+            };
+
+            let mut stats = QueryStats::default();
+            for r in &results {
+                if r.error.is_some() {
+                    stats.failed += 1;
+                } else if r.cached {
+                    stats.cache_hits += 1;
+                } else {
+                    stats.cache_misses += 1;
+                    if r.exact {
+                        stats.exact += 1;
+                    } else {
+                        stats.estimated += 1;
+                    }
+                }
+            }
+
+            QueryResponse {
+                id: request.id.clone(),
+                dataset: request.dataset.clone(),
+                n_rows: label.n_rows(),
+                label_attrs: StoreEntry::attr_names(label),
+                generation,
+                results,
+                stats,
+            }
+        });
+        Ok(response)
+    }
+}
+
+/// Answers one pattern against a label snapshot (cache → exact →
+/// estimate). Must run inside [`StoreEntry::with_label`] — the cache
+/// insert below is only sound while the entry's read lock pins the label
+/// the estimate came from.
+fn answer_one(entry: &StoreEntry, label: &Arc<Label>, spec: &PatternSpec) -> PatternEstimate {
+    let terms: Vec<(&str, &str)> = spec
+        .terms
+        .iter()
+        .map(|(a, v)| (a.as_str(), v.as_str()))
+        .collect();
+    let pattern = match Pattern::parse(entry.dataset(), &terms) {
+        Ok(p) => p,
+        Err(e) => {
+            return PatternEstimate {
+                estimate: 0.0,
+                exact: false,
+                cached: false,
+                error: Some(e.to_string()),
+            }
+        }
+    };
+    let exact = pattern.attrs().is_subset_of(label.attrs());
+    if let Some(estimate) = entry.cache().get(&pattern) {
+        return PatternEstimate {
+            estimate,
+            exact,
+            cached: true,
+            error: None,
+        };
+    }
+    let estimate = if exact {
+        label.count_of_projection(&pattern) as f64
+    } else {
+        label.estimate(&pattern)
+    };
+    entry.cache().insert(pattern, estimate);
+    PatternEstimate {
+        estimate,
+        exact,
+        cached: false,
+        error: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::LabelPolicy;
+    use pclabel_data::generate::figure2_sample;
+
+    fn engine_with_census() -> Engine {
+        let engine = Engine::new(EngineConfig::default());
+        engine
+            .store()
+            .register("census", figure2_sample(), LabelPolicy::SearchBound(5))
+            .unwrap();
+        engine
+    }
+
+    #[test]
+    fn example_2_12_served_through_engine() {
+        let engine = engine_with_census();
+        let request = QueryRequest {
+            id: Some("q1".into()),
+            dataset: "census".into(),
+            patterns: vec![
+                // Outside S = {age group, marital status}: estimated, 3.0.
+                PatternSpec::new([
+                    ("gender", "Female"),
+                    ("age group", "20-39"),
+                    ("marital status", "married"),
+                ]),
+                // Within S: exact, 6.
+                PatternSpec::new([("age group", "20-39"), ("marital status", "married")]),
+                // Subset of S: exact marginal, 12.
+                PatternSpec::new([("age group", "20-39")]),
+            ],
+        };
+        let response = engine.execute(&request).unwrap();
+        assert_eq!(response.id.as_deref(), Some("q1"));
+        assert_eq!(response.n_rows, 18);
+        assert_eq!(response.label_attrs, vec!["age group", "marital status"]);
+        assert_eq!(response.results[0].estimate, 3.0);
+        assert!(!response.results[0].exact);
+        assert_eq!(response.results[1].estimate, 6.0);
+        assert!(response.results[1].exact);
+        assert_eq!(response.results[2].estimate, 12.0);
+        assert!(response.results[2].exact);
+        assert_eq!(response.stats.exact, 2);
+        assert_eq!(response.stats.estimated, 1);
+        assert_eq!(response.stats.failed, 0);
+    }
+
+    #[test]
+    fn repeat_batch_hits_cache() {
+        let engine = engine_with_census();
+        let request = QueryRequest {
+            id: None,
+            dataset: "census".into(),
+            patterns: vec![PatternSpec::new([("gender", "Female")])],
+        };
+        let first = engine.execute(&request).unwrap();
+        assert_eq!(first.stats.cache_misses, 1);
+        let second = engine.execute(&request).unwrap();
+        assert_eq!(second.stats.cache_hits, 1);
+        assert_eq!(first.results[0].estimate, second.results[0].estimate);
+        assert!(second.results[0].cached);
+    }
+
+    #[test]
+    fn bad_patterns_fail_individually() {
+        let engine = engine_with_census();
+        let request = QueryRequest {
+            id: None,
+            dataset: "census".into(),
+            patterns: vec![
+                PatternSpec::new([("no such attr", "x")]),
+                PatternSpec::new([("gender", "no such value")]),
+                PatternSpec::new([("gender", "Female")]),
+            ],
+        };
+        let response = engine.execute(&request).unwrap();
+        assert!(response.results[0].error.is_some());
+        assert!(response.results[1].error.is_some());
+        assert!(response.results[2].error.is_none());
+        assert_eq!(response.results[2].estimate, 9.0);
+        assert_eq!(response.stats.failed, 2);
+    }
+
+    #[test]
+    fn unknown_dataset_fails_whole_batch() {
+        let engine = Engine::new(EngineConfig::default());
+        let request = QueryRequest {
+            id: None,
+            dataset: "nope".into(),
+            patterns: vec![],
+        };
+        assert!(matches!(
+            engine.execute(&request),
+            Err(EngineError::UnknownDataset(_))
+        ));
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential() {
+        let sequential = engine_with_census();
+        let parallel = Engine::new(EngineConfig {
+            query_threads: 4,
+            parallel_batch_threshold: 2,
+        });
+        parallel
+            .store()
+            .register("census", figure2_sample(), LabelPolicy::SearchBound(5))
+            .unwrap();
+
+        let d = figure2_sample();
+        let mut patterns = Vec::new();
+        for r in 0..d.n_rows() {
+            let spec = PatternSpec {
+                terms: (0..d.n_attrs())
+                    .map(|a| {
+                        let name = d.schema().attr(a).unwrap().name().to_string();
+                        let value = d.label_of(a, d.value_raw(r, a)).to_string();
+                        (name, value)
+                    })
+                    .collect(),
+            };
+            patterns.push(spec);
+        }
+        let request = QueryRequest {
+            id: None,
+            dataset: "census".into(),
+            patterns,
+        };
+        let a = sequential.execute(&request).unwrap();
+        let b = parallel.execute(&request).unwrap();
+        let ea: Vec<f64> = a.results.iter().map(|r| r.estimate).collect();
+        let eb: Vec<f64> = b.results.iter().map(|r| r.estimate).collect();
+        assert_eq!(ea, eb);
+    }
+}

@@ -1,0 +1,510 @@
+//! The line-delimited JSON serve protocol (stdin → stdout).
+//!
+//! Each input line is one request object; each output line is one
+//! response object (always emitted, `"ok"` tells success from failure).
+//! Blank lines are skipped. The protocol is std-only — no network
+//! dependencies — so it composes with anything that can pipe:
+//! interactive profiling (`pclabel-serve` under a REPL), bulk audit
+//! replay (`pclabel-serve < audit.jsonl`), or a parent process speaking
+//! over pipes.
+//!
+//! ## Requests
+//!
+//! ```text
+//! {"op":"register","dataset":"d","csv":"a,b\n1,2\n","bound":50}
+//! {"op":"register","dataset":"d2","generator":"figure2","label_attrs":["age group","marital status"]}
+//! {"op":"query","dataset":"d","id":"q1","patterns":[{"a":"1"},{"a":"1","b":"2"}]}
+//! {"op":"refresh","dataset":"d","bound":100}
+//! {"op":"stats","dataset":"d"}
+//! {"op":"list"}
+//! {"op":"drop","dataset":"d"}
+//! ```
+//!
+//! A register/refresh takes either `"label_attrs"` (explicit attribute
+//! names for `S`) or `"bound"` (run the top-down search with size bound
+//! `B_s`; default 50 when neither is given). Pattern objects map
+//! attribute names to value labels; JSON numbers are coerced to their
+//! canonical label text (`{"age":1}` ≡ `{"age":"1"}`).
+
+use std::io::{self, BufRead, Write};
+
+use pclabel_core::attrset::AttrSet;
+use pclabel_data::csv::{read_dataset_from_str, CsvOptions};
+use pclabel_data::dataset::Dataset;
+use pclabel_data::generate::figure2_sample;
+
+use crate::json::Json;
+use crate::query::{Engine, PatternSpec, QueryRequest};
+use crate::store::{EngineError, LabelPolicy, StoreEntry};
+
+/// Counters returned by [`serve`] when the input is exhausted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests processed (including failed ones).
+    pub requests: u64,
+    /// Requests answered with `"ok": false`.
+    pub errors: u64,
+}
+
+/// Runs the request/response loop until `input` is exhausted. Every
+/// request line produces exactly one response line on `output`.
+pub fn serve<R: BufRead, W: Write>(
+    engine: &Engine,
+    input: R,
+    mut output: W,
+) -> io::Result<ServeSummary> {
+    let mut summary = ServeSummary::default();
+    for line in input.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        summary.requests += 1;
+        let response = handle_line(engine, line);
+        if response.get("ok").and_then(Json::as_bool) != Some(true) {
+            summary.errors += 1;
+        }
+        writeln!(output, "{response}")?;
+        output.flush()?;
+    }
+    Ok(summary)
+}
+
+/// Handles one request line, always returning a response object.
+pub fn handle_line(engine: &Engine, line: &str) -> Json {
+    let request = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return error_response(None, &format!("invalid JSON: {e}")),
+    };
+    let op = request.get("op").and_then(Json::as_str).map(str::to_string);
+    match op.as_deref() {
+        Some("register") => handle_register(engine, &request),
+        Some("query") => handle_query(engine, &request),
+        Some("refresh") => handle_refresh(engine, &request),
+        Some("stats") => handle_stats(engine, &request),
+        Some("list") => handle_list(engine),
+        Some("drop") => handle_drop(engine, &request),
+        Some(other) => error_response(Some(other), &format!("unknown op {other:?}")),
+        None => error_response(None, "missing \"op\" field"),
+    }
+}
+
+fn error_response(op: Option<&str>, message: &str) -> Json {
+    let mut members = vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::str(message)),
+    ];
+    if let Some(op) = op {
+        members.push(("op".to_string(), Json::str(op)));
+    }
+    Json::Obj(members)
+}
+
+fn engine_error(op: &str, e: &EngineError) -> Json {
+    error_response(Some(op), &e.to_string())
+}
+
+fn require_dataset_name(request: &Json) -> Result<String, String> {
+    request
+        .get("dataset")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| "missing \"dataset\" field".to_string())
+}
+
+/// Resolves `"label_attrs"` / `"bound"` into a [`LabelPolicy`] against a
+/// dataset's schema (default: search with bound 50).
+fn resolve_policy(request: &Json, dataset: &Dataset) -> Result<LabelPolicy, String> {
+    if let Some(names) = request.get("label_attrs") {
+        let names = names
+            .as_array()
+            .ok_or_else(|| "\"label_attrs\" must be an array of attribute names".to_string())?;
+        let mut attrs = AttrSet::EMPTY;
+        for name in names {
+            let name = name
+                .as_str()
+                .ok_or_else(|| "\"label_attrs\" entries must be strings".to_string())?;
+            let index = dataset
+                .schema()
+                .index_of(name)
+                .ok_or_else(|| format!("unknown attribute {name:?}"))?;
+            attrs = attrs.insert(index);
+        }
+        return Ok(LabelPolicy::Attrs(attrs));
+    }
+    if let Some(bound) = request.get("bound") {
+        let bound = bound
+            .as_u64()
+            .ok_or_else(|| "\"bound\" must be a non-negative integer".to_string())?;
+        return Ok(LabelPolicy::SearchBound(bound));
+    }
+    Ok(LabelPolicy::SearchBound(50))
+}
+
+fn load_dataset(request: &Json, name: &str) -> Result<Dataset, String> {
+    if let Some(csv) = request.get("csv") {
+        let csv = csv
+            .as_str()
+            .ok_or_else(|| "\"csv\" must be a string".to_string())?;
+        return read_dataset_from_str(csv, &CsvOptions::default())
+            .map(|d| d.with_name(name))
+            .map_err(|e| e.to_string());
+    }
+    match request.get("generator").and_then(Json::as_str) {
+        Some("figure2") => Ok(figure2_sample().with_name(name)),
+        Some(other) => Err(format!(
+            "unknown generator {other:?} (supported: \"figure2\")"
+        )),
+        None => Err("register needs \"csv\" or \"generator\"".to_string()),
+    }
+}
+
+fn entry_summary(entry: &StoreEntry) -> Vec<(String, Json)> {
+    // One snapshot so label fields and generation can never mix versions
+    // when a refresh lands mid-summary.
+    let (label, generation) = entry.snapshot();
+    vec![
+        ("dataset".to_string(), Json::str(entry.name())),
+        ("rows".to_string(), Json::num(label.n_rows() as f64)),
+        (
+            "label_attrs".to_string(),
+            Json::Arr(
+                StoreEntry::attr_names(&label)
+                    .into_iter()
+                    .map(Json::Str)
+                    .collect(),
+            ),
+        ),
+        (
+            "label_size".to_string(),
+            Json::num(label.pattern_count_size() as f64),
+        ),
+        (
+            "vc_size".to_string(),
+            Json::num(label.value_count_size() as f64),
+        ),
+        ("generation".to_string(), Json::num(generation as f64)),
+    ]
+}
+
+fn handle_register(engine: &Engine, request: &Json) -> Json {
+    let name = match require_dataset_name(request) {
+        Ok(n) => n,
+        Err(e) => return error_response(Some("register"), &e),
+    };
+    let dataset = match load_dataset(request, &name) {
+        Ok(d) => d,
+        Err(e) => return error_response(Some("register"), &e),
+    };
+    let policy = match resolve_policy(request, &dataset) {
+        Ok(p) => p,
+        Err(e) => return error_response(Some("register"), &e),
+    };
+    match engine.store().register(name, dataset, policy) {
+        Ok(entry) => {
+            let mut members = vec![
+                ("ok".to_string(), Json::Bool(true)),
+                ("op".to_string(), Json::str("register")),
+            ];
+            members.extend(entry_summary(&entry));
+            Json::Obj(members)
+        }
+        Err(e) => engine_error("register", &e),
+    }
+}
+
+/// Coerces one pattern-term value to its label text.
+fn term_value(value: &Json) -> Option<String> {
+    match value {
+        Json::Str(s) => Some(s.clone()),
+        Json::Num(_) => Some(value.to_string()),
+        _ => None,
+    }
+}
+
+fn handle_query(engine: &Engine, request: &Json) -> Json {
+    let dataset = match require_dataset_name(request) {
+        Ok(n) => n,
+        Err(e) => return error_response(Some("query"), &e),
+    };
+    let Some(patterns) = request.get("patterns").and_then(Json::as_array) else {
+        return error_response(Some("query"), "missing \"patterns\" array");
+    };
+    let mut specs = Vec::with_capacity(patterns.len());
+    for (i, pattern) in patterns.iter().enumerate() {
+        let Some(members) = pattern.as_object() else {
+            return error_response(
+                Some("query"),
+                &format!("pattern {i} must be an object of attr → value"),
+            );
+        };
+        let mut terms = Vec::with_capacity(members.len());
+        for (attr, value) in members {
+            let Some(value) = term_value(value) else {
+                return error_response(
+                    Some("query"),
+                    &format!("pattern {i}: value of {attr:?} must be a string or number"),
+                );
+            };
+            terms.push((attr.clone(), value));
+        }
+        specs.push(PatternSpec { terms });
+    }
+    let query = QueryRequest {
+        id: request.get("id").and_then(Json::as_str).map(str::to_string),
+        dataset,
+        patterns: specs,
+    };
+    match engine.execute(&query) {
+        Ok(response) => {
+            let results: Vec<Json> = response
+                .results
+                .iter()
+                .map(|r| match &r.error {
+                    Some(e) => Json::obj([("error", Json::str(e))]),
+                    None => Json::obj([
+                        ("estimate", Json::num(r.estimate)),
+                        ("exact", Json::Bool(r.exact)),
+                        ("cached", Json::Bool(r.cached)),
+                    ]),
+                })
+                .collect();
+            let stats = Json::obj([
+                ("exact", Json::num(response.stats.exact as f64)),
+                ("estimated", Json::num(response.stats.estimated as f64)),
+                ("cache_hits", Json::num(response.stats.cache_hits as f64)),
+                (
+                    "cache_misses",
+                    Json::num(response.stats.cache_misses as f64),
+                ),
+                ("failed", Json::num(response.stats.failed as f64)),
+            ]);
+            let mut members = vec![
+                ("ok".to_string(), Json::Bool(true)),
+                ("op".to_string(), Json::str("query")),
+            ];
+            if let Some(id) = &response.id {
+                members.push(("id".to_string(), Json::str(id)));
+            }
+            members.push(("dataset".to_string(), Json::str(&response.dataset)));
+            members.push(("rows".to_string(), Json::num(response.n_rows as f64)));
+            members.push((
+                "label_attrs".to_string(),
+                Json::Arr(response.label_attrs.into_iter().map(Json::Str).collect()),
+            ));
+            members.push((
+                "generation".to_string(),
+                Json::num(response.generation as f64),
+            ));
+            members.push(("results".to_string(), Json::Arr(results)));
+            members.push(("stats".to_string(), stats));
+            Json::Obj(members)
+        }
+        Err(e) => engine_error("query", &e),
+    }
+}
+
+fn handle_refresh(engine: &Engine, request: &Json) -> Json {
+    let name = match require_dataset_name(request) {
+        Ok(n) => n,
+        Err(e) => return error_response(Some("refresh"), &e),
+    };
+    let entry = match engine.store().get(&name) {
+        Ok(e) => e,
+        Err(e) => return engine_error("refresh", &e),
+    };
+    let policy = match resolve_policy(request, entry.dataset()) {
+        Ok(p) => p,
+        Err(e) => return error_response(Some("refresh"), &e),
+    };
+    match engine.store().refresh(&name, policy) {
+        Ok(_generation) => {
+            let mut members = vec![
+                ("ok".to_string(), Json::Bool(true)),
+                ("op".to_string(), Json::str("refresh")),
+            ];
+            members.extend(entry_summary(&entry));
+            Json::Obj(members)
+        }
+        Err(e) => engine_error("refresh", &e),
+    }
+}
+
+fn handle_stats(engine: &Engine, request: &Json) -> Json {
+    let name = match require_dataset_name(request) {
+        Ok(n) => n,
+        Err(e) => return error_response(Some("stats"), &e),
+    };
+    match engine.store().get(&name) {
+        Ok(entry) => {
+            let cache = Json::obj([
+                ("entries", Json::num(entry.cache().len() as f64)),
+                ("hits", Json::num(entry.cache().stats().hits() as f64)),
+                ("misses", Json::num(entry.cache().stats().misses() as f64)),
+            ]);
+            let mut members = vec![
+                ("ok".to_string(), Json::Bool(true)),
+                ("op".to_string(), Json::str("stats")),
+            ];
+            members.extend(entry_summary(&entry));
+            members.push(("cache".to_string(), cache));
+            Json::Obj(members)
+        }
+        Err(e) => engine_error("stats", &e),
+    }
+}
+
+fn handle_list(engine: &Engine) -> Json {
+    let datasets: Vec<Json> = engine
+        .store()
+        .list()
+        .iter()
+        .map(|e| Json::Obj(entry_summary(e)))
+        .collect();
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("list")),
+        ("datasets", Json::Arr(datasets)),
+    ])
+}
+
+fn handle_drop(engine: &Engine, request: &Json) -> Json {
+    let name = match require_dataset_name(request) {
+        Ok(n) => n,
+        Err(e) => return error_response(Some("drop"), &e),
+    };
+    let dropped = engine.store().remove(&name);
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("drop")),
+        ("dropped", Json::Bool(dropped)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::EngineConfig;
+
+    fn run_session(lines: &str) -> Vec<Json> {
+        let engine = Engine::new(EngineConfig::default());
+        let mut out = Vec::new();
+        let summary = serve(&engine, lines.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let responses: Vec<Json> = text
+            .lines()
+            .map(|l| Json::parse(l).expect("valid response JSON"))
+            .collect();
+        assert_eq!(summary.requests as usize, responses.len());
+        responses
+    }
+
+    #[test]
+    fn register_query_session() {
+        let responses = run_session(concat!(
+            "{\"op\":\"register\",\"dataset\":\"census\",\"generator\":\"figure2\",\"bound\":5}\n",
+            "\n",
+            "{\"op\":\"query\",\"dataset\":\"census\",\"id\":\"q1\",\"patterns\":[",
+            "{\"gender\":\"Female\",\"age group\":\"20-39\",\"marital status\":\"married\"},",
+            "{\"age group\":\"20-39\"}]}\n",
+            "{\"op\":\"stats\",\"dataset\":\"census\"}\n",
+            "{\"op\":\"drop\",\"dataset\":\"census\"}\n",
+        ));
+        assert_eq!(responses.len(), 4);
+        assert_eq!(responses[0].get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(
+            responses[0].get("label_size").and_then(Json::as_u64),
+            Some(3)
+        );
+
+        let query = &responses[1];
+        assert_eq!(query.get("id").and_then(Json::as_str), Some("q1"));
+        let results = query.get("results").and_then(Json::as_array).unwrap();
+        assert_eq!(results[0].get("estimate").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(results[0].get("exact"), Some(&Json::Bool(false)));
+        assert_eq!(
+            results[1].get("estimate").and_then(Json::as_f64),
+            Some(12.0)
+        );
+        assert_eq!(results[1].get("exact"), Some(&Json::Bool(true)));
+
+        let cache = responses[2].get("cache").unwrap();
+        assert_eq!(cache.get("entries").and_then(Json::as_u64), Some(2));
+        assert_eq!(responses[3].get("dropped"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn csv_register_and_numeric_coercion() {
+        let responses = run_session(concat!(
+            "{\"op\":\"register\",\"dataset\":\"t\",\"csv\":\"a,b\\n1,x\\n1,y\\n2,x\\n\",",
+            "\"label_attrs\":[\"a\",\"b\"]}\n",
+            "{\"op\":\"query\",\"dataset\":\"t\",\"patterns\":[{\"a\":1,\"b\":\"x\"},{\"a\":\"2\"}]}\n",
+        ));
+        assert_eq!(responses[0].get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(responses[0].get("rows").and_then(Json::as_u64), Some(3));
+        let results = responses[1]
+            .get("results")
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(results[0].get("estimate").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(results[1].get("estimate").and_then(Json::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn refresh_bumps_generation_and_list_reports() {
+        let responses = run_session(concat!(
+            "{\"op\":\"register\",\"dataset\":\"census\",\"generator\":\"figure2\",\"bound\":5}\n",
+            "{\"op\":\"refresh\",\"dataset\":\"census\",\"label_attrs\":[\"gender\"]}\n",
+            "{\"op\":\"list\"}\n",
+        ));
+        assert_eq!(
+            responses[1].get("generation").and_then(Json::as_u64),
+            Some(1)
+        );
+        let listed = responses[2]
+            .get("datasets")
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(
+            listed[0].get("dataset").and_then(Json::as_str),
+            Some("census")
+        );
+    }
+
+    #[test]
+    fn errors_are_reported_per_line() {
+        let responses = run_session(concat!(
+            "not json\n",
+            "{\"nop\":1}\n",
+            "{\"op\":\"teleport\"}\n",
+            "{\"op\":\"query\",\"dataset\":\"ghost\",\"patterns\":[]}\n",
+            "{\"op\":\"register\",\"dataset\":\"x\"}\n",
+            "{\"op\":\"register\",\"dataset\":\"x\",\"generator\":\"warp\"}\n",
+        ));
+        for (i, r) in responses.iter().enumerate() {
+            assert_eq!(
+                r.get("ok"),
+                Some(&Json::Bool(false)),
+                "line {i} should fail"
+            );
+            assert!(r.get("error").is_some(), "line {i} carries an error");
+        }
+    }
+
+    #[test]
+    fn summary_counts_requests_and_errors() {
+        let engine = Engine::new(EngineConfig::default());
+        let input = "{\"op\":\"list\"}\nbroken\n\n{\"op\":\"list\"}\n";
+        let mut out = Vec::new();
+        let summary = serve(&engine, input.as_bytes(), &mut out).unwrap();
+        assert_eq!(
+            summary,
+            ServeSummary {
+                requests: 3,
+                errors: 1
+            }
+        );
+    }
+}

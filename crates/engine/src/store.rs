@@ -1,0 +1,385 @@
+//! The label store: a concurrent registry of named datasets + labels.
+//!
+//! The paper's central economics are *build once, serve forever*: a label
+//! is a small artifact computed from a dataset that afterwards answers any
+//! pattern-count query. The [`LabelStore`] is the serving-side home for
+//! those artifacts — datasets are registered under a name, their label is
+//! computed according to a [`LabelPolicy`], and concurrent readers resolve
+//! `name → (dataset, label, cache)` without blocking each other.
+//!
+//! Labels can be *refreshed* in place (e.g. after re-profiling with a
+//! different size bound); every refresh bumps the entry's generation
+//! counter and clears its estimate cache, so stale cached answers can
+//! never be served.
+
+use std::collections::hash_map::Entry;
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+use pclabel_core::attrset::AttrSet;
+use pclabel_core::hash::FxHashMap;
+use pclabel_core::label::Label;
+use pclabel_core::search::{top_down_search, SearchOptions};
+use pclabel_data::dataset::Dataset;
+use pclabel_data::error::DataError;
+
+use crate::cache::ShardedCache;
+use crate::parallel::auto_threads;
+
+/// Errors surfaced by the engine layers.
+#[derive(Debug)]
+pub enum EngineError {
+    /// No dataset registered under this name.
+    UnknownDataset(String),
+    /// A dataset with this name already exists (remove or refresh it).
+    AlreadyRegistered(String),
+    /// A malformed request (bad attribute name, empty batch, …).
+    BadRequest(String),
+    /// An underlying data/search error.
+    Data(DataError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownDataset(name) => write!(f, "unknown dataset {name:?}"),
+            EngineError::AlreadyRegistered(name) => {
+                write!(f, "dataset {name:?} is already registered")
+            }
+            EngineError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            EngineError::Data(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<DataError> for EngineError {
+    fn from(e: DataError) -> Self {
+        EngineError::Data(e)
+    }
+}
+
+/// How a registered dataset's label is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelPolicy {
+    /// Build `L_S` over exactly this attribute subset.
+    Attrs(AttrSet),
+    /// Run the top-down optimal-label search with this size bound `B_s`.
+    SearchBound(u64),
+}
+
+/// A label plus the generation it belongs to; the two always travel
+/// together under one lock so readers can never observe a mixed pair.
+struct LabelVersion {
+    label: Arc<Label>,
+    generation: u64,
+}
+
+/// One registered dataset: the data, its current label version and the
+/// per-dataset estimate cache.
+pub struct StoreEntry {
+    name: Box<str>,
+    dataset: Arc<Dataset>,
+    current: RwLock<LabelVersion>,
+    cache: ShardedCache,
+}
+
+impl StoreEntry {
+    /// The registration name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The registered dataset.
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        &self.dataset
+    }
+
+    /// A handle to the current label (cheap `Arc` clone; never blocks
+    /// writers for longer than the clone).
+    pub fn label(&self) -> Arc<Label> {
+        Arc::clone(&self.current.read().expect("label lock").label)
+    }
+
+    /// Monotone counter, bumped by every [`LabelStore::refresh`].
+    pub fn generation(&self) -> u64 {
+        self.current.read().expect("label lock").generation
+    }
+
+    /// One consistent `(label, generation)` pair.
+    pub fn snapshot(&self) -> (Arc<Label>, u64) {
+        let cur = self.current.read().expect("label lock");
+        (Arc::clone(&cur.label), cur.generation)
+    }
+
+    /// Runs `f` against the current label version while holding the
+    /// entry's read lock. A concurrent [`LabelStore::refresh`] waits for
+    /// `f` to finish before swapping the label and clearing the cache,
+    /// so anything `f` writes to [`StoreEntry::cache`] is guaranteed to
+    /// be derived from the label it was handed — stale estimates can
+    /// never outlive a refresh.
+    pub fn with_label<R>(&self, f: impl FnOnce(&Arc<Label>, u64) -> R) -> R {
+        let cur = self.current.read().expect("label lock");
+        f(&cur.label, cur.generation)
+    }
+
+    /// The per-dataset pattern→estimate cache.
+    pub fn cache(&self) -> &ShardedCache {
+        &self.cache
+    }
+
+    /// Attribute names of `label`'s subset `S`, in index order.
+    pub fn attr_names(label: &Label) -> Vec<String> {
+        label
+            .attrs()
+            .iter()
+            .map(|a| {
+                label
+                    .schema()
+                    .attr(a)
+                    .map(|at| at.name().to_string())
+                    .unwrap_or_default()
+            })
+            .collect()
+    }
+
+    /// Attribute names of the current label's subset `S`, in index order.
+    pub fn label_attr_names(&self) -> Vec<String> {
+        Self::attr_names(&self.label())
+    }
+}
+
+impl fmt::Debug for StoreEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StoreEntry")
+            .field("name", &self.name)
+            .field("rows", &self.dataset.n_rows())
+            .field("label_attrs", &self.label().attrs().to_vec())
+            .field("generation", &self.generation())
+            .finish()
+    }
+}
+
+fn compute_label(dataset: &Dataset, policy: LabelPolicy) -> Result<Label, EngineError> {
+    match policy {
+        LabelPolicy::Attrs(attrs) => {
+            let n = dataset.n_attrs();
+            if let Some(bad) = attrs.iter().find(|&a| a >= n) {
+                return Err(EngineError::BadRequest(format!(
+                    "label attribute index {bad} out of range (dataset has {n} attributes)"
+                )));
+            }
+            Ok(Label::build_parallel(
+                dataset,
+                attrs,
+                auto_threads(dataset.n_rows()),
+            ))
+        }
+        LabelPolicy::SearchBound(bound) => {
+            let outcome = top_down_search(dataset, &SearchOptions::with_bound(bound))?;
+            outcome.into_best_label().ok_or_else(|| {
+                EngineError::BadRequest(format!("search with bound {bound} produced no label"))
+            })
+        }
+    }
+}
+
+/// Concurrent registry of named datasets and their labels.
+#[derive(Debug, Default)]
+pub struct LabelStore {
+    entries: RwLock<FxHashMap<String, Arc<StoreEntry>>>,
+}
+
+impl LabelStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `dataset` under `name`, computing its label according to
+    /// `policy`. Label computation happens outside the registry lock, so
+    /// concurrent lookups never stall behind an expensive registration.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        dataset: Dataset,
+        policy: LabelPolicy,
+    ) -> Result<Arc<StoreEntry>, EngineError> {
+        let name = name.into();
+        if self.entries.read().expect("store lock").contains_key(&name) {
+            return Err(EngineError::AlreadyRegistered(name));
+        }
+        let label = compute_label(&dataset, policy)?;
+        let entry = Arc::new(StoreEntry {
+            name: name.clone().into_boxed_str(),
+            dataset: Arc::new(dataset),
+            current: RwLock::new(LabelVersion {
+                label: Arc::new(label),
+                generation: 0,
+            }),
+            cache: ShardedCache::default(),
+        });
+        match self.entries.write().expect("store lock").entry(name) {
+            Entry::Occupied(e) => Err(EngineError::AlreadyRegistered(e.key().clone())),
+            Entry::Vacant(v) => {
+                v.insert(Arc::clone(&entry));
+                Ok(entry)
+            }
+        }
+    }
+
+    /// Resolves a name, or errors with [`EngineError::UnknownDataset`].
+    pub fn get(&self, name: &str) -> Result<Arc<StoreEntry>, EngineError> {
+        self.try_get(name)
+            .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))
+    }
+
+    /// Resolves a name if registered.
+    pub fn try_get(&self, name: &str) -> Option<Arc<StoreEntry>> {
+        self.entries.read().expect("store lock").get(name).cloned()
+    }
+
+    /// Recomputes an entry's label under a (possibly different) policy,
+    /// bumps its generation and clears its estimate cache, all within the
+    /// entry's write section: batches running under
+    /// [`StoreEntry::with_label`] finish against their snapshot first, and
+    /// no estimate they cached can survive the refresh.
+    pub fn refresh(&self, name: &str, policy: LabelPolicy) -> Result<u64, EngineError> {
+        let entry = self.get(name)?;
+        let label = compute_label(&entry.dataset, policy)?;
+        let mut cur = entry.current.write().expect("label lock");
+        cur.label = Arc::new(label);
+        cur.generation += 1;
+        // Clear while still holding the write lock: query batches only
+        // touch the cache under the read lock, so everything cleared here
+        // is old-label and nothing old-label can be inserted afterwards.
+        entry.cache.clear();
+        Ok(cur.generation)
+    }
+
+    /// Removes an entry; returns whether it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.entries
+            .write()
+            .expect("store lock")
+            .remove(name)
+            .is_some()
+    }
+
+    /// All entries, sorted by name.
+    pub fn list(&self) -> Vec<Arc<StoreEntry>> {
+        let mut out: Vec<Arc<StoreEntry>> = self
+            .entries
+            .read()
+            .expect("store lock")
+            .values()
+            .cloned()
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("store lock").len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pclabel_core::pattern::Pattern;
+    use pclabel_data::generate::figure2_sample;
+
+    #[test]
+    fn register_lookup_refresh_remove() {
+        let store = LabelStore::new();
+        let entry = store
+            .register("census", figure2_sample(), LabelPolicy::SearchBound(5))
+            .unwrap();
+        assert_eq!(entry.label().attrs(), AttrSet::from_indices([1, 3]));
+        assert_eq!(entry.generation(), 0);
+        assert_eq!(store.len(), 1);
+
+        // Duplicate names are rejected.
+        assert!(matches!(
+            store.register("census", figure2_sample(), LabelPolicy::SearchBound(5)),
+            Err(EngineError::AlreadyRegistered(_))
+        ));
+
+        // Refresh with an explicit subset bumps the generation.
+        let generation = store
+            .refresh("census", LabelPolicy::Attrs(AttrSet::from_indices([0, 1])))
+            .unwrap();
+        assert_eq!(generation, 1);
+        let entry = store.get("census").unwrap();
+        assert_eq!(entry.label().attrs(), AttrSet::from_indices([0, 1]));
+        assert_eq!(entry.label_attr_names(), vec!["gender", "age group"]);
+
+        assert!(store.remove("census"));
+        assert!(!store.remove("census"));
+        assert!(matches!(
+            store.get("census"),
+            Err(EngineError::UnknownDataset(_))
+        ));
+    }
+
+    #[test]
+    fn bad_policies_are_rejected() {
+        let store = LabelStore::new();
+        let err = store
+            .register(
+                "x",
+                figure2_sample(),
+                LabelPolicy::Attrs(AttrSet::from_indices([0, 9])),
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::BadRequest(_)), "{err}");
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn refresh_invalidates_cache() {
+        let store = LabelStore::new();
+        let entry = store
+            .register("census", figure2_sample(), LabelPolicy::SearchBound(5))
+            .unwrap();
+        entry.cache().insert(Pattern::from_terms([(0, 0)]), 9.0);
+        assert_eq!(entry.cache().len(), 1);
+        store
+            .refresh("census", LabelPolicy::SearchBound(100))
+            .unwrap();
+        assert!(entry.cache().is_empty());
+    }
+
+    #[test]
+    fn concurrent_registration_and_lookup() {
+        let store = Arc::new(LabelStore::new());
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let store = Arc::clone(&store);
+                s.spawn(move || {
+                    let name = format!("d{}", t % 4);
+                    // Many racing registers of 4 names: exactly one per
+                    // name wins; the rest must see AlreadyRegistered.
+                    let _ =
+                        store.register(name.clone(), figure2_sample(), LabelPolicy::SearchBound(5));
+                    for _ in 0..50 {
+                        if let Some(e) = store.try_get(&name) {
+                            assert_eq!(e.dataset().n_rows(), 18);
+                            let _ = e.label();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.list().len(), 4);
+    }
+}

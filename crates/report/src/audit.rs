@@ -78,9 +78,7 @@ pub fn audit_intersections(label: &Label, attrs: &[usize], cfg: &AuditConfig) ->
     let subsets = subsets_up_to(attrs, cfg.max_arity.max(1));
     for subset in &subsets {
         for combo in combos(label, subset) {
-            let pattern = Pattern::from_terms(
-                subset.iter().copied().zip(combo.iter().copied()),
-            );
+            let pattern = Pattern::from_terms(subset.iter().copied().zip(combo.iter().copied()));
             let est = label.estimate(&pattern);
             let frac = est / n;
             let describe = |p: &Pattern| -> String {
@@ -251,11 +249,19 @@ mod tests {
     fn underrepresented_intersections_found() {
         // COMPAS-like: Hispanic widows are a vanishing group — the paper's
         // own Example 1.1 observation.
-        let d = compas_simplified(&CompasConfig { n_rows: 30_000, seed: 3 }).unwrap();
+        let d = compas_simplified(&CompasConfig {
+            n_rows: 30_000,
+            seed: 3,
+        })
+        .unwrap();
         let race = d.schema().index_of("Race").unwrap();
         let marital = d.schema().index_of("MaritalStatus").unwrap();
         let label = Label::build(&d, AttrSet::from_indices([race, marital]));
-        let cfg = AuditConfig { min_fraction: 0.002, min_count: 30, ..Default::default() };
+        let cfg = AuditConfig {
+            min_fraction: 0.002,
+            min_count: 30,
+            ..Default::default()
+        };
         let warnings = audit_intersections(&label, &[race, marital], &cfg);
         assert!(!warnings.is_empty());
         let hispanic_widowed = warnings.iter().any(|w| {
@@ -268,7 +274,11 @@ mod tests {
 
     #[test]
     fn skew_detected() {
-        let d = compas_simplified(&CompasConfig { n_rows: 10_000, seed: 5 }).unwrap();
+        let d = compas_simplified(&CompasConfig {
+            n_rows: 10_000,
+            seed: 5,
+        })
+        .unwrap();
         let gender = d.schema().index_of("Gender").unwrap();
         let label = Label::build(&d, AttrSet::singleton(gender));
         let cfg = AuditConfig {

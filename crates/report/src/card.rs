@@ -24,16 +24,15 @@ pub struct CardOptions {
 
 impl Default for CardOptions {
     fn default() -> Self {
-        Self { vc_attrs: None, max_pc_rows: Some(50) }
+        Self {
+            vc_attrs: None,
+            max_pc_rows: Some(50),
+        }
     }
 }
 
 /// Renders a Figure-1 style label card.
-pub fn render_label_card(
-    label: &Label,
-    stats: Option<&ErrorStats>,
-    opts: &CardOptions,
-) -> String {
+pub fn render_label_card(label: &Label, stats: Option<&ErrorStats>, opts: &CardOptions) -> String {
     let schema = label.schema();
     let n = label.n_rows();
     let mut out = String::new();
@@ -44,13 +43,12 @@ pub fn render_label_card(
     ));
 
     // VC section.
-    let mut vc_table =
-        TextTable::new(["Attribute", "Value", "Count", ""]).aligns([
-            Align::Left,
-            Align::Left,
-            Align::Right,
-            Align::Right,
-        ]);
+    let mut vc_table = TextTable::new(["Attribute", "Value", "Count", ""]).aligns([
+        Align::Left,
+        Align::Left,
+        Align::Right,
+        Align::Right,
+    ]);
     let vc = label.value_counts();
     let show: Vec<usize> = match &opts.vc_attrs {
         Some(list) => list.clone(),
@@ -123,11 +121,8 @@ pub fn render_label_card(
     // Error footer (Figure 1's bottom block).
     if let Some(s) = stats {
         out.push('\n');
-        let mut footer = TextTable::new(["", "", ""]).aligns([
-            Align::Left,
-            Align::Right,
-            Align::Right,
-        ]);
+        let mut footer =
+            TextTable::new(["", "", ""]).aligns([Align::Left, Align::Right, Align::Right]);
         footer.row([
             "Average Error".to_string(),
             format!("{:.0}", s.mean_abs),
@@ -138,7 +133,11 @@ pub fn render_label_card(
             format!("{:.0}", s.max_abs),
             fmt_percent(s.max_abs / n.max(1) as f64),
         ]);
-        footer.row(["Standard deviation".to_string(), format!("{:.0}", s.std_abs), String::new()]);
+        footer.row([
+            "Standard deviation".to_string(),
+            format!("{:.0}", s.std_abs),
+            String::new(),
+        ]);
         out.push_str(&footer.render());
     }
     out
@@ -181,7 +180,10 @@ mod tests {
     fn vc_filter_hides_attributes() {
         let d = figure2_sample();
         let label = Label::build(&d, AttrSet::from_indices([1, 3]));
-        let opts = CardOptions { vc_attrs: Some(vec![0]), max_pc_rows: None };
+        let opts = CardOptions {
+            vc_attrs: Some(vec![0]),
+            max_pc_rows: None,
+        };
         let card = render_label_card(&label, None, &opts);
         assert!(card.contains("gender"));
         assert!(!card.contains("African-American"));
@@ -193,7 +195,10 @@ mod tests {
     fn pc_row_cap_applies() {
         let d = figure2_sample();
         let label = Label::build(&d, AttrSet::from_indices([0, 1, 2, 3]));
-        let opts = CardOptions { vc_attrs: None, max_pc_rows: Some(5) };
+        let opts = CardOptions {
+            vc_attrs: None,
+            max_pc_rows: Some(5),
+        };
         let card = render_label_card(&label, None, &opts);
         assert!(card.contains("more pattern rows"));
     }

@@ -21,11 +21,7 @@ pub struct Series {
 
 impl Series {
     /// Creates an empty series collection.
-    pub fn new(
-        title: impl Into<String>,
-        x_label: impl Into<String>,
-        columns: Vec<String>,
-    ) -> Self {
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, columns: Vec<String>) -> Self {
         Self {
             title: title.into(),
             x_label: x_label.into(),

@@ -208,8 +208,9 @@ impl PortableLabel {
                         .next()
                         .and_then(|t| t.parse().ok())
                         .ok_or_else(|| bad(ln, "bad attr index"))?;
-                    let nm = decode_token(parts.next().ok_or_else(|| bad(ln, "missing attr name"))?)
-                        .map_err(|e| bad(ln, &e))?;
+                    let nm =
+                        decode_token(parts.next().ok_or_else(|| bad(ln, "missing attr name"))?)
+                            .map_err(|e| bad(ln, &e))?;
                     if idx != attr_names.len() {
                         return Err(bad(ln, "attr indices must be dense and ordered"));
                     }
@@ -270,7 +271,16 @@ impl PortableLabel {
             .enumerate()
             .map(|(i, n)| (n.clone(), i))
             .collect();
-        Ok(Self { name, n_rows, attr_names, attr_index, vc, totals, sel, pc })
+        Ok(Self {
+            name,
+            n_rows,
+            attr_names,
+            attr_index,
+            vc,
+            totals,
+            sel,
+            pc,
+        })
     }
 
     /// Dataset name recorded in the label.
@@ -404,8 +414,10 @@ mod tests {
                     )
                 })
                 .collect();
-            let term_refs: Vec<(&str, &str)> =
-                terms.iter().map(|(a, v)| (a.as_str(), v.as_str())).collect();
+            let term_refs: Vec<(&str, &str)> = terms
+                .iter()
+                .map(|(a, v)| (a.as_str(), v.as_str()))
+                .collect();
             let portable_est = portable.estimate(&term_refs).unwrap();
             assert!(
                 (portable_est - label.estimate(&p)).abs() < 1e-9,

@@ -29,7 +29,12 @@ impl TextTable {
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
         let header: Vec<String> = header.into_iter().map(Into::into).collect();
         let aligns = vec![Align::Left; header.len()];
-        Self { header, aligns, rows: Vec::new(), separators: Vec::new() }
+        Self {
+            header,
+            aligns,
+            rows: Vec::new(),
+            separators: Vec::new(),
+        }
     }
 
     /// Sets per-column alignment (missing entries default to left).

@@ -24,7 +24,9 @@ fn main() {
     );
     let outcome =
         top_down_search(&dataset, &SearchOptions::with_bound(100)).expect("non-empty dataset");
-    let label = outcome.into_best_label().expect("a label is always produced");
+    let label = outcome
+        .into_best_label()
+        .expect("a label is always produced");
     println!(
         "published label: S = {}, |PC| = {}, |VC| = {}\n",
         label.attrs().display_with(&dataset.schema().names()),
@@ -70,7 +72,10 @@ fn main() {
 
     // Correlations inside the label's own subset (exact joint counts).
     let correlated = detect_correlations(&label, &cfg);
-    println!("\n=== correlated attribute pairs within S ({}) ===", correlated.len());
+    println!(
+        "\n=== correlated attribute pairs within S ({}) ===",
+        correlated.len()
+    );
     for w in correlated.iter().take(8) {
         println!("  ⚠ {}", w.message);
     }

@@ -24,7 +24,10 @@ fn main() {
 
     // Evaluate all estimators over the paper's default pattern set P_A.
     let patterns = PatternSet::AllTuples.materialize(&dataset);
-    println!("evaluating over |P| = {} full-tuple patterns\n", patterns.len());
+    println!(
+        "evaluating over |P| = {} full-tuple patterns\n",
+        patterns.len()
+    );
 
     let bound = 100;
     let outcome =
@@ -32,8 +35,7 @@ fn main() {
     let label = outcome.best_label().expect("a label is always produced");
 
     let pg = PgStatistics::analyze(&dataset, &AnalyzeOptions::default()).expect("analyze");
-    let sample =
-        SampleEstimator::with_label_budget(&dataset, bound, 42).expect("sample fits |D|");
+    let sample = SampleEstimator::with_label_budget(&dataset, bound, 42).expect("sample fits |D|");
 
     println!(
         "{:<10} {:>10} {:>12} {:>12} {:>10} {:>10}",

@@ -61,7 +61,10 @@ fn main() {
         label.pattern_count_size(),
         stats.max_abs
     );
-    println!("{}", render_label_card(label, Some(&stats), &CardOptions::default()));
+    println!(
+        "{}",
+        render_label_card(label, Some(&stats), &CardOptions::default())
+    );
 
     // Remaining args are attr=value query terms, combined into one pattern.
     let terms: Vec<(&str, &str)> = args[2.min(args.len())..]
@@ -75,7 +78,10 @@ fn main() {
             vec![("segment", "retail"), ("churned", "yes")],
         ]
         .into_iter()
-        .filter(|q| q.iter().all(|(a, _)| dataset.schema().index_of(a).is_some()))
+        .filter(|q| {
+            q.iter()
+                .all(|(a, _)| dataset.schema().index_of(a).is_some())
+        })
         .collect()
     } else {
         vec![terms]

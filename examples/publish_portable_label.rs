@@ -12,8 +12,11 @@ use pclabel::report::{write_portable, PortableLabel};
 
 fn main() {
     // ---------- publisher side ----------
-    let dataset = bluenile(&BlueNileConfig { n_rows: 40_000, ..Default::default() })
-        .expect("valid config");
+    let dataset = bluenile(&BlueNileConfig {
+        n_rows: 40_000,
+        ..Default::default()
+    })
+    .expect("valid config");
     println!(
         "publisher: dataset {:?} with {} rows × {} attributes",
         dataset.name(),
@@ -50,7 +53,11 @@ fn main() {
     let queries: &[&[(&str, &str)]] = &[
         &[("cut", "Astor Ideal")],
         &[("cut", "Astor Ideal"), ("polish", "Excellent")],
-        &[("cut", "Good"), ("polish", "Excellent"), ("symmetry", "Excellent")],
+        &[
+            ("cut", "Good"),
+            ("polish", "Excellent"),
+            ("symmetry", "Excellent"),
+        ],
         &[("shape", "Round"), ("clarity", "IF")],
     ];
     println!("\nconsumer queries:");
@@ -59,7 +66,9 @@ fn main() {
         let desc: Vec<String> = q.iter().map(|(a, v)| format!("{a}={v}")).collect();
         // The publisher can verify against ground truth; the consumer
         // cannot — shown here only to demonstrate accuracy.
-        let truth = Pattern::parse(&dataset, q).map(|p| p.count_in(&dataset)).unwrap_or(0);
+        let truth = Pattern::parse(&dataset, q)
+            .map(|p| p.count_in(&dataset))
+            .unwrap_or(0);
         println!(
             "  {:<55} estimate {:>9.1}   (true count {:>6})",
             desc.join(" AND "),

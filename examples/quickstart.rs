@@ -22,8 +22,8 @@ fn main() {
 
     // Find the best label whose pattern-count table has at most 5 entries
     // (Example 3.7): the winner is S = {age group, marital status}.
-    let outcome = top_down_search(&dataset, &SearchOptions::with_bound(5))
-        .expect("dataset is non-empty");
+    let outcome =
+        top_down_search(&dataset, &SearchOptions::with_bound(5)).expect("dataset is non-empty");
     let label = outcome.best_label().expect("a label is always produced");
     println!(
         "best label uses S = {} with |PC| = {} (examined {} lattice nodes)\n",
@@ -55,5 +55,8 @@ fn main() {
 
     // Render the full label card (the paper's Figure 1 format).
     let stats = outcome.best_stats.expect("always set");
-    println!("{}", render_label_card(label, Some(&stats), &CardOptions::default()));
+    println!(
+        "{}",
+        render_label_card(label, Some(&stats), &CardOptions::default())
+    );
 }

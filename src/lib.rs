@@ -21,8 +21,53 @@
 //! let label = outcome.best_label().unwrap();
 //! assert!(label.pattern_count_size() <= 5);
 //! ```
+//!
+//! ## Serving labels: the engine
+//!
+//! Labels are built once and then *served* many times. The [`engine`]
+//! crate turns the library into a servable system: a
+//! [`engine::store::LabelStore`] registers named datasets and their labels
+//! behind `Arc`/`RwLock`; the batched query API
+//! ([`engine::query::Engine::execute`]) answers many patterns per call —
+//! exactly from the stored `PC` group map whenever the queried attributes
+//! fall inside the label's subset `S`, via `Label::estimate` otherwise —
+//! backed by a sharded pattern→estimate cache; and heavy group-bys can run
+//! chunked across threads ([`engine::parallel`],
+//! `GroupCounts::build_parallel`, or `SearchOptions::count_threads` during
+//! search). The `pclabel-serve` binary exposes all of it as a
+//! line-delimited JSON loop over stdin/stdout:
+//!
+//! ```
+//! use pclabel::engine::prelude::*;
+//! use pclabel::data::generate::figure2_sample;
+//!
+//! let engine = Engine::new(EngineConfig::default());
+//! engine
+//!     .store()
+//!     .register("census", figure2_sample(), LabelPolicy::SearchBound(5))
+//!     .unwrap();
+//! let response = engine
+//!     .execute(&QueryRequest {
+//!         id: None,
+//!         dataset: "census".into(),
+//!         patterns: vec![PatternSpec::new([
+//!             ("gender", "Female"),
+//!             ("age group", "20-39"),
+//!             ("marital status", "married"),
+//!         ])],
+//!     })
+//!     .unwrap();
+//! assert_eq!(response.results[0].estimate, 3.0); // paper Example 2.12
+//! ```
+//!
+//! ```text
+//! $ pclabel-serve < requests.jsonl > responses.jsonl
+//! {"op":"register","dataset":"census","generator":"figure2","bound":5}
+//! {"op":"query","dataset":"census","patterns":[{"age group":"20-39"}]}
+//! ```
 
 pub use pclabel_baselines as baselines;
 pub use pclabel_core as core;
 pub use pclabel_data as data;
+pub use pclabel_engine as engine;
 pub use pclabel_report as report;

@@ -22,24 +22,28 @@ fn figure2_pipeline_reproduces_paper_examples() {
     // Example 2.12 on the winning label.
     let p = Pattern::parse(
         &d,
-        &[("gender", "Female"), ("age group", "20-39"), ("marital status", "married")],
+        &[
+            ("gender", "Female"),
+            ("age group", "20-39"),
+            ("marital status", "married"),
+        ],
     )
     .unwrap();
     assert_eq!(label.estimate(&p), 3.0);
 
     // The card renders with the paper's sections.
-    let card = render_label_card(
-        label,
-        outcome.best_stats.as_ref(),
-        &CardOptions::default(),
-    );
+    let card = render_label_card(label, outcome.best_stats.as_ref(), &CardOptions::default());
     assert!(card.contains("Total size: 18"));
     assert!(card.contains("Maximal Error"));
 }
 
 #[test]
 fn compas_label_supports_fairness_audit() {
-    let d = generate::compas(&CompasConfig { n_rows: 15_000, seed: 42 }).unwrap();
+    let d = generate::compas(&CompasConfig {
+        n_rows: 15_000,
+        seed: 42,
+    })
+    .unwrap();
     let outcome = top_down_search(&d, &SearchOptions::with_bound(60)).unwrap();
     let label = outcome.best_label().unwrap();
     assert!(label.pattern_count_size() <= 60);
@@ -51,7 +55,11 @@ fn compas_label_supports_fairness_audit() {
     let warnings = pclabel::report::audit_intersections(
         label,
         &sensitive,
-        &AuditConfig { min_fraction: 0.003, min_count: 50, ..Default::default() },
+        &AuditConfig {
+            min_fraction: 0.003,
+            min_count: 50,
+            ..Default::default()
+        },
     );
     // A COMPAS-like dataset always has thin intersections (e.g. widowed
     // minorities).
@@ -62,7 +70,11 @@ fn compas_label_supports_fairness_audit() {
 fn estimators_rank_as_in_the_paper() {
     // On correlated data at matched footprints: PCBL mean-q <= Postgres
     // mean-q <= Sample mean-q (Figure 5's ordering).
-    let d = generate::compas(&CompasConfig { n_rows: 12_000, seed: 7 }).unwrap();
+    let d = generate::compas(&CompasConfig {
+        n_rows: 12_000,
+        seed: 7,
+    })
+    .unwrap();
     let patterns = PatternSet::AllTuples.materialize(&d);
 
     let outcome = top_down_search(&d, &SearchOptions::with_bound(50)).unwrap();
@@ -76,8 +88,7 @@ fn estimators_rank_as_in_the_paper() {
     .unwrap();
     let pg_stats = evaluate_estimator(&pg, &patterns);
 
-    let sample =
-        pclabel::baselines::SampleEstimator::with_label_budget(&d, 50, 99).unwrap();
+    let sample = pclabel::baselines::SampleEstimator::with_label_budget(&d, 50, 99).unwrap();
     let sample_stats = evaluate_estimator(&sample, &patterns);
 
     assert!(
@@ -97,7 +108,11 @@ fn estimators_rank_as_in_the_paper() {
 #[test]
 fn csv_roundtrip_preserves_search_result() {
     // Dataset → CSV → dataset must yield the same optimal label.
-    let d = generate::compas_simplified(&CompasConfig { n_rows: 3_000, seed: 5 }).unwrap();
+    let d = generate::compas_simplified(&CompasConfig {
+        n_rows: 3_000,
+        seed: 5,
+    })
+    .unwrap();
     let csv = pclabel::data::csv::write_csv(&d, &Default::default());
     let d2 = pclabel::data::csv::read_dataset_from_str(&csv, &Default::default()).unwrap();
     assert_eq!(d.n_rows(), d2.n_rows());
@@ -107,10 +122,7 @@ fn csv_roundtrip_preserves_search_result() {
     // Attribute order and interning order are identical, so the chosen
     // subsets coincide.
     assert_eq!(a.best_attrs, b.best_attrs);
-    assert_eq!(
-        a.best_stats.unwrap().max_abs,
-        b.best_stats.unwrap().max_abs
-    );
+    assert_eq!(a.best_stats.unwrap().max_abs, b.best_stats.unwrap().max_abs);
 }
 
 #[test]
@@ -130,7 +142,11 @@ fn label_is_self_contained() {
     // A label keeps working after the dataset is dropped (it is metadata
     // shipped with the data, not a view over it).
     let label = {
-        let d = generate::compas_simplified(&CompasConfig { n_rows: 2_000, seed: 9 }).unwrap();
+        let d = generate::compas_simplified(&CompasConfig {
+            n_rows: 2_000,
+            seed: 9,
+        })
+        .unwrap();
         Label::build(&d, AttrSet::from_indices([0, 2]))
     };
     assert!(label.pattern_count_size() > 0);
@@ -143,7 +159,11 @@ fn label_is_self_contained() {
 
 #[test]
 fn multilabel_most_specific_never_worse_than_worst_member() {
-    let d = generate::compas_simplified(&CompasConfig { n_rows: 8_000, seed: 21 }).unwrap();
+    let d = generate::compas_simplified(&CompasConfig {
+        n_rows: 8_000,
+        seed: 21,
+    })
+    .unwrap();
     let l1 = Label::build(&d, AttrSet::from_indices([0, 1]));
     let l2 = Label::build(&d, AttrSet::from_indices([2, 3]));
     let multi = MultiLabel::new(vec![

@@ -12,19 +12,17 @@ use pclabel::data::dataset::{Dataset, DatasetBuilder};
 /// domains of 1–4 values).
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
     (2usize..=5, 1usize..=60, 1u32..=4).prop_flat_map(|(n_attrs, n_rows, dom)| {
-        proptest::collection::vec(
-            proptest::collection::vec(0..dom, n_attrs),
-            n_rows,
+        proptest::collection::vec(proptest::collection::vec(0..dom, n_attrs), n_rows).prop_map(
+            move |rows| {
+                let names: Vec<String> = (0..n_attrs).map(|i| format!("a{i}")).collect();
+                let mut b = DatasetBuilder::new(&names);
+                for row in rows {
+                    let fields: Vec<String> = row.iter().map(|v| format!("v{v}")).collect();
+                    b.push_row(&fields).unwrap();
+                }
+                b.finish()
+            },
         )
-        .prop_map(move |rows| {
-            let names: Vec<String> = (0..n_attrs).map(|i| format!("a{i}")).collect();
-            let mut b = DatasetBuilder::new(&names);
-            for row in rows {
-                let fields: Vec<String> = row.iter().map(|v| format!("v{v}")).collect();
-                b.push_row(&fields).unwrap();
-            }
-            b.finish()
-        })
     })
 }
 

@@ -1,0 +1,708 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Implements the subset of the `proptest 1.x` API this workspace uses:
+//! the [`proptest!`] macro, the [`Strategy`] trait with `prop_map` /
+//! `prop_flat_map`, range and tuple strategies, [`collection::vec`],
+//! [`string::string_regex`], [`option::weighted`], [`bits`], `any::<T>()`
+//! and `Just`.
+//!
+//! Semantics: each test runs `ProptestConfig::cases` random cases drawn
+//! from a deterministic per-test RNG (override with `PROPTEST_SEED`).
+//! There is **no shrinking** — a failing case panics with the values
+//! formatted by the assertion itself, which is enough to reproduce since
+//! the stream is deterministic.
+
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    //! Deterministic RNG used by the case runner.
+
+    /// SplitMix64 generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from `PROPTEST_SEED` if set, else from a hash of the
+        /// test name (stable across runs).
+        pub fn from_env(test_name: &str) -> Self {
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or_else(|| {
+                    let mut h = 0xcbf2_9ce4_8422_2325u64;
+                    for b in test_name.bytes() {
+                        h ^= b as u64;
+                        h = h.wrapping_mul(0x100_0000_01b3);
+                    }
+                    h
+                });
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        #[inline]
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform `usize` in `[lo, hi]` (inclusive).
+        #[inline]
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            debug_assert!(lo <= hi);
+            lo + (self.next_u64() as usize) % (hi - lo + 1)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Per-test configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values (subset of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into `f` to obtain a dependent strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Constant strategy: always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.next_f64()
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies (subset of `proptest::collection`).
+
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specifications accepted by [`vec`].
+    pub trait IntoSizeBounds {
+        /// Inclusive `(min, max)` length bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeBounds for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeBounds for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeBounds for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for vectors with element strategy `S`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.min, self.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`: vectors of `element` with the given
+    /// length bounds (exact `usize` or a range).
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeBounds) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+}
+
+pub mod string {
+    //! String strategies (subset of `proptest::string`).
+    //!
+    //! Supports the regex subset the workspace uses: a sequence of
+    //! literal characters and character classes (`[...]`, with ranges and
+    //! backslash escapes), each optionally quantified by `{m,n}`, `{m}`,
+    //! `?`, `*` or `+` (the unbounded forms cap at 16 repetitions).
+
+    use super::{Strategy, TestRng};
+
+    /// Error for regexes outside the supported subset.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StringRegexError(pub String);
+
+    impl std::fmt::Display for StringRegexError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for StringRegexError {}
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Literal(char),
+        Class(Vec<(char, char)>),
+    }
+
+    #[derive(Debug, Clone)]
+    struct Quantified {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strategy generating strings matching a (subset) regex.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        atoms: Vec<Quantified>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for q in &self.atoms {
+                let n = rng.usize_in(q.min, q.max);
+                for _ in 0..n {
+                    match &q.atom {
+                        Atom::Literal(c) => out.push(*c),
+                        Atom::Class(ranges) => {
+                            let (lo, hi) = ranges[rng.usize_in(0, ranges.len() - 1)];
+                            let span = hi as u32 - lo as u32;
+                            let pick = lo as u32 + (rng.next_u64() as u32) % (span + 1);
+                            out.push(char::from_u32(pick).unwrap_or(lo));
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    fn parse_escape(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<char, StringRegexError> {
+        match chars.next() {
+            Some('n') => Ok('\n'),
+            Some('r') => Ok('\r'),
+            Some('t') => Ok('\t'),
+            Some('0') => Ok('\0'),
+            Some(c) => Ok(c), // \\, \", \[, \], \- etc: the char itself
+            None => Err(StringRegexError("dangling backslash".into())),
+        }
+    }
+
+    fn parse_class(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<Vec<(char, char)>, StringRegexError> {
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        loop {
+            let c = match chars.next() {
+                Some(']') => return Ok(ranges),
+                Some('\\') => parse_escape(chars)?,
+                Some(c) => c,
+                None => return Err(StringRegexError("unterminated character class".into())),
+            };
+            // Range `a-z` (a `-` before `]` is a literal dash).
+            if chars.peek() == Some(&'-') {
+                let mut ahead = chars.clone();
+                ahead.next();
+                if ahead.peek().is_some() && ahead.peek() != Some(&']') {
+                    chars.next(); // consume '-'
+                    let hi = match chars.next() {
+                        Some('\\') => parse_escape(chars)?,
+                        Some(h) => h,
+                        None => return Err(StringRegexError("unterminated range".into())),
+                    };
+                    if hi < c {
+                        return Err(StringRegexError(format!("inverted range {c}-{hi}")));
+                    }
+                    ranges.push((c, hi));
+                    continue;
+                }
+            }
+            ranges.push((c, c));
+        }
+    }
+
+    fn parse_quantifier(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<(usize, usize), StringRegexError> {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        let (min, max) = match spec.split_once(',') {
+                            Some((m, "")) => {
+                                let m: usize = m.trim().parse().map_err(|_| {
+                                    StringRegexError(format!("bad quantifier {{{spec}}}"))
+                                })?;
+                                (m, m + 16)
+                            }
+                            Some((m, n)) => {
+                                let m: usize = m.trim().parse().map_err(|_| {
+                                    StringRegexError(format!("bad quantifier {{{spec}}}"))
+                                })?;
+                                let n: usize = n.trim().parse().map_err(|_| {
+                                    StringRegexError(format!("bad quantifier {{{spec}}}"))
+                                })?;
+                                (m, n)
+                            }
+                            None => {
+                                let m: usize = spec.trim().parse().map_err(|_| {
+                                    StringRegexError(format!("bad quantifier {{{spec}}}"))
+                                })?;
+                                (m, m)
+                            }
+                        };
+                        if max < min {
+                            return Err(StringRegexError(format!("bad quantifier {{{spec}}}")));
+                        }
+                        return Ok((min, max));
+                    }
+                    spec.push(c);
+                }
+                Err(StringRegexError("unterminated quantifier".into()))
+            }
+            Some('?') => {
+                chars.next();
+                Ok((0, 1))
+            }
+            Some('*') => {
+                chars.next();
+                Ok((0, 16))
+            }
+            Some('+') => {
+                chars.next();
+                Ok((1, 16))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+
+    /// `proptest::string::string_regex`: strings matching `pattern`.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, StringRegexError> {
+        let mut atoms = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => Atom::Class(parse_class(&mut chars)?),
+                '\\' => Atom::Literal(parse_escape(&mut chars)?),
+                '(' | ')' | '|' | '.' | '^' | '$' => {
+                    return Err(StringRegexError(format!(
+                        "regex feature {c:?} not supported by the offline stand-in"
+                    )))
+                }
+                c => Atom::Literal(c),
+            };
+            let (min, max) = parse_quantifier(&mut chars)?;
+            atoms.push(Quantified { atom, min, max });
+        }
+        Ok(RegexGeneratorStrategy { atoms })
+    }
+}
+
+pub mod option {
+    //! `Option` strategies (subset of `proptest::option`).
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy for weighted `Option`s.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        some_probability: f64,
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_f64() < self.some_probability {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `Some` with probability `some_probability`, else `None`.
+    pub fn weighted<S: Strategy>(some_probability: f64, inner: S) -> OptionStrategy<S> {
+        OptionStrategy {
+            some_probability,
+            inner,
+        }
+    }
+}
+
+pub mod bits {
+    //! Bit-set strategies (subset of `proptest::bits`).
+
+    #[allow(non_snake_case)]
+    pub mod u64 {
+        //! Strategies over `u64` bitmasks.
+
+        use crate::{Strategy, TestRng};
+
+        /// Strategy yielding `u64`s whose set bits fall within a mask.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Masked(u64);
+
+        impl Strategy for Masked {
+            type Value = u64;
+            fn generate(&self, rng: &mut TestRng) -> u64 {
+                rng.next_u64() & self.0
+            }
+        }
+
+        /// Random subsets of the set bits of `mask`.
+        pub fn masked(mask: u64) -> Masked {
+            Masked(mask)
+        }
+    }
+}
+
+/// Glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// The test-definition macro. Supports the subset:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     /// docs
+///     #[test]
+///     fn my_property(x in 0u32..10, (a, b) in my_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (@cfg($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_env(stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= config.cases.saturating_mul(16).max(1024),
+                    "proptest stand-in: too many cases rejected by prop_assume!"
+                );
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                $body
+                accepted += 1;
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Discards the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_regex_generates_matching_strings() {
+        let s = crate::string::string_regex("[a-c]{2,4}x").expect("supported");
+        let mut rng = crate::test_runner::TestRng::from_env("string_regex");
+        for _ in 0..100 {
+            let v = crate::Strategy::generate(&s, &mut rng);
+            assert!(v.ends_with('x'));
+            let body = &v[..v.len() - 1];
+            assert!((2..=4).contains(&body.len()));
+            assert!(body.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn string_regex_rejects_unsupported() {
+        assert!(crate::string::string_regex("(a|b)").is_err());
+    }
+
+    #[test]
+    fn masked_bits_stay_in_mask() {
+        let s = crate::bits::u64::masked(0b1010);
+        let mut rng = crate::test_runner::TestRng::from_env("masked");
+        for _ in 0..64 {
+            assert_eq!(crate::Strategy::generate(&s, &mut rng) & !0b1010, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro wires patterns, strategies and assertions together.
+        #[test]
+        fn macro_end_to_end((a, b) in (0u32..10, 5usize..=9), v in crate::collection::vec(0i32..3, 2..5)) {
+            prop_assume!(a != 9);
+            prop_assert!(a < 9);
+            prop_assert!((5..=9).contains(&b));
+            prop_assert!((2..=4).contains(&v.len()));
+            prop_assert_eq!(v.iter().filter(|&&x| x > 2).count(), 0);
+            prop_assert_ne!(v.len(), 0);
+        }
+
+        /// Flat-mapped strategies see the outer draw.
+        #[test]
+        fn flat_map_dependency(pair in (1usize..5).prop_flat_map(|n| (Just(n), crate::collection::vec(0u8..10, n)))) {
+            let (n, v) = pair;
+            prop_assert_eq!(v.len(), n);
+        }
+    }
+}
