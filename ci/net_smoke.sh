@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# CI smoke for the network front end: build release, start pclabel-netd
+# on an ephemeral loopback port, round-trip register + query + /healthz
+# through the real clients (examples/net_smoke.rs), then shut down via
+# the shutdown op and verify a clean exit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p pclabel-net --bin pclabel-netd --example net_smoke
+
+out=$(mktemp)
+timeout 60 ./target/release/pclabel-netd \
+    --listen 127.0.0.1:0 --workers 2 --timeout-ms 1000 \
+    --allow-remote-shutdown >"$out" &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT
+
+# The daemon prints "pclabel-netd: listening on ADDR (N workers)" once
+# the socket is bound; poll for it to learn the ephemeral port.
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(awk '/listening on/ {print $4; exit}' "$out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "pclabel-netd never reported its address" >&2
+    cat "$out" >&2
+    exit 1
+fi
+
+./target/release/examples/net_smoke "$addr"
+
+# The smoke client sent {"op":"shutdown"}; the daemon must exit 0 on its
+# own (the surrounding `timeout 60` turns a hang into a failure).
+wait "$pid"
+echo "net smoke ok ($addr)"

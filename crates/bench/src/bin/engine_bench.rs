@@ -8,21 +8,30 @@
 //! * `LabelStore` batched query throughput via `Engine::execute` for a
 //!   10k-pattern batch, cold (cache misses) and hot (cache hits).
 //!
+//! With `--net`, additionally spawns an in-process `pclabel-net` server
+//! on a loopback port and measures framed-TCP request throughput at
+//! 1/2/4 client threads (a `"net"` array in the JSON report).
+//!
 //! ```text
-//! cargo run --release -p pclabel-bench --bin engine_bench
+//! cargo run --release -p pclabel-bench --bin engine_bench [-- --net]
 //! ```
 //!
 //! Environment:
-//!   PCLABEL_BENCH_ROWS   dataset rows (default 1_000_000)
-//!   PCLABEL_BENCH_REPS   timing repetitions, best-of (default 3)
+//!   PCLABEL_BENCH_ROWS       dataset rows (default 1_000_000)
+//!   PCLABEL_BENCH_REPS       timing repetitions, best-of (default 3)
+//!   PCLABEL_BENCH_NET_REQS   --net requests per client thread (default 200)
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use pclabel_core::attrset::AttrSet;
 use pclabel_core::counting::GroupCounts;
 use pclabel_data::dataset::Dataset;
 use pclabel_data::generate::{independent, AttrSpec};
+use pclabel_engine::json::Json;
 use pclabel_engine::prelude::*;
+use pclabel_net::client::NetClient;
+use pclabel_net::server::{NetServer, ServerConfig};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -102,7 +111,10 @@ fn main() {
     }
 
     // --- serving: batched queries through the LabelStore ------------------
-    let engine = Engine::new(EngineConfig::default());
+    // The engine lives behind a Dispatcher so the --net section can
+    // serve the very same store over loopback.
+    let dispatcher = Arc::new(Dispatcher::with_config(EngineConfig::default()));
+    let engine = dispatcher.engine();
     engine
         .store()
         .register("bench", dataset, LabelPolicy::Attrs(attrs))
@@ -148,6 +160,54 @@ fn main() {
     let (hot_secs, hot) = time_best(reps, || engine.execute(&request).expect("hot batch"));
     assert_eq!(hot.stats.failed, 0);
 
+    // --- network serving (--net): framed TCP req/s over loopback ----------
+    let net_enabled = std::env::args().skip(1).any(|a| a == "--net");
+    let mut net_rows = Vec::new();
+    if net_enabled {
+        let requests_per_client = env_usize("PCLABEL_BENCH_NET_REQS", 200);
+        let server = NetServer::spawn(
+            Arc::clone(&dispatcher),
+            ServerConfig {
+                workers: 8,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("spawn bench server");
+        let addr = server.local_addr();
+        for &clients in &[1usize, 2, 4] {
+            eprintln!("engine_bench: --net {clients} client thread(s)…");
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for c in 0..clients {
+                    scope.spawn(move || {
+                        let mut client = NetClient::connect(addr).expect("bench client connects");
+                        for i in 0..requests_per_client {
+                            let line = format!(
+                                r#"{{"op":"query","dataset":"bench","patterns":[{{"a0":"v{}","a1":"v{}"}}]}}"#,
+                                (c + i) % 8,
+                                i % 6
+                            );
+                            let response =
+                                client.request_line(&line).expect("bench round-trip");
+                            assert_eq!(
+                                Json::parse(&response).expect("response JSON").get("ok"),
+                                Some(&Json::Bool(true)),
+                                "bench query failed: {response}"
+                            );
+                        }
+                    });
+                }
+            });
+            let secs = start.elapsed().as_secs_f64();
+            let requests = clients * requests_per_client;
+            net_rows.push(format!(
+                "{{\"client_threads\":{clients},\"requests\":{requests},\"seconds\":{secs:.6},\"req_per_sec\":{:.0}}}",
+                requests as f64 / secs
+            ));
+        }
+        server.shutdown();
+    }
+
     // --- report -----------------------------------------------------------
     let report = format!(
         concat!(
@@ -158,7 +218,7 @@ fn main() {
             "\"cold\":{{\"seconds\":{cold_secs:.6},\"patterns_per_sec\":{cold_rate:.0},",
             "\"exact\":{cold_exact},\"estimated\":{cold_est},\"cache_hits\":{cold_hits}}},",
             "\"hot\":{{\"seconds\":{hot_secs:.6},\"patterns_per_sec\":{hot_rate:.0},",
-            "\"cache_hits\":{hot_hits}}}}}}}"
+            "\"cache_hits\":{hot_hits}}}}}{net}}}"
         ),
         rows = rows,
         reps = reps,
@@ -175,6 +235,11 @@ fn main() {
         hot_secs = hot_secs,
         hot_rate = batch as f64 / hot_secs,
         hot_hits = hot.stats.cache_hits,
+        net = if net_enabled {
+            format!(",\"net\":[{}]", net_rows.join(","))
+        } else {
+            String::new()
+        },
     );
     println!("{report}");
 }

@@ -29,6 +29,71 @@ pub enum CombineStrategy {
     GeometricMean,
 }
 
+impl CombineStrategy {
+    /// Parses a wire-format strategy name (as used by the serving
+    /// protocol's `estimate_multi` op).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "most_specific" => Some(CombineStrategy::MostSpecific),
+            "min_estimate" | "min" => Some(CombineStrategy::MinEstimate),
+            "geometric_mean" => Some(CombineStrategy::GeometricMean),
+            _ => None,
+        }
+    }
+
+    /// The canonical wire-format name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CombineStrategy::MostSpecific => "most_specific",
+            CombineStrategy::MinEstimate => "min_estimate",
+            CombineStrategy::GeometricMean => "geometric_mean",
+        }
+    }
+}
+
+/// One label's contribution to a combined estimate, reduced to the three
+/// quantities the strategies need. Borrowing callers (e.g. a serving
+/// store that keeps labels behind `Arc`) can combine estimates without
+/// assembling an owned [`MultiLabel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabeledEstimate {
+    /// `|S ∩ Attr(p)|` for the contributing label.
+    pub overlap: usize,
+    /// The contributing label's `|PC|` footprint (specificity tie-break).
+    pub size: u64,
+    /// The label's estimate for the pattern.
+    pub estimate: f64,
+}
+
+/// Combines per-label estimates under `strategy`. `MostSpecific` picks
+/// the part with the largest overlap (ties: smaller `size`, then input
+/// order), matching [`MultiLabel::most_specific`].
+///
+/// # Panics
+/// Panics if `parts` is empty.
+pub fn combine(parts: &[LabeledEstimate], strategy: CombineStrategy) -> f64 {
+    assert!(!parts.is_empty(), "combine needs at least one estimate");
+    match strategy {
+        CombineStrategy::MostSpecific => parts
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, part)| (usize::MAX - part.overlap, part.size, *i))
+            .map(|(_, part)| part.estimate)
+            .expect("non-empty by assertion"),
+        CombineStrategy::MinEstimate => parts
+            .iter()
+            .map(|part| part.estimate)
+            .fold(f64::INFINITY, f64::min),
+        CombineStrategy::GeometricMean => {
+            if parts.iter().any(|part| part.estimate == 0.0) {
+                return 0.0;
+            }
+            let log_sum: f64 = parts.iter().map(|part| part.estimate.ln()).sum();
+            (log_sum / parts.len() as f64).exp()
+        }
+    }
+}
+
 /// A collection of labels over the same dataset acting as one estimator.
 pub struct MultiLabel {
     labels: Vec<Label>,
@@ -56,22 +121,21 @@ impl MultiLabel {
 
     /// Estimates `c_D(p)` under the chosen strategy.
     pub fn estimate(&self, p: &Pattern, strategy: CombineStrategy) -> f64 {
-        match strategy {
-            CombineStrategy::MostSpecific => self.most_specific(p).estimate(p),
-            CombineStrategy::MinEstimate => self
-                .labels
-                .iter()
-                .map(|l| l.estimate(p))
-                .fold(f64::INFINITY, f64::min),
-            CombineStrategy::GeometricMean => {
-                let estimates: Vec<f64> = self.labels.iter().map(|l| l.estimate(p)).collect();
-                if estimates.contains(&0.0) {
-                    return 0.0;
-                }
-                let log_sum: f64 = estimates.iter().map(|e| e.ln()).sum();
-                (log_sum / estimates.len() as f64).exp()
-            }
+        // MostSpecific only needs one label's estimate; avoid computing
+        // the rest.
+        if strategy == CombineStrategy::MostSpecific {
+            return self.most_specific(p).estimate(p);
         }
+        let parts: Vec<LabeledEstimate> = self
+            .labels
+            .iter()
+            .map(|l| LabeledEstimate {
+                overlap: l.attrs().intersect(p.attrs()).len(),
+                size: l.pattern_count_size(),
+                estimate: l.estimate(p),
+            })
+            .collect();
+        combine(&parts, strategy)
     }
 
     /// The label whose attribute set overlaps `Attr(p)` the most
@@ -188,5 +252,57 @@ mod tests {
     #[should_panic(expected = "at least one label")]
     fn empty_multilabel_panics() {
         let _ = MultiLabel::new(vec![]);
+    }
+
+    #[test]
+    fn combine_agrees_with_multilabel_on_all_strategies() {
+        let (d, ml) = fig2_multilabel();
+        let p = Pattern::parse(
+            &d,
+            &[
+                ("gender", "Female"),
+                ("age group", "20-39"),
+                ("marital status", "married"),
+            ],
+        )
+        .unwrap();
+        let parts: Vec<LabeledEstimate> = ml
+            .labels()
+            .iter()
+            .map(|l| LabeledEstimate {
+                overlap: l.attrs().intersect(p.attrs()).len(),
+                size: l.pattern_count_size(),
+                estimate: l.estimate(&p),
+            })
+            .collect();
+        for strategy in [
+            CombineStrategy::MostSpecific,
+            CombineStrategy::MinEstimate,
+            CombineStrategy::GeometricMean,
+        ] {
+            assert_eq!(combine(&parts, strategy), ml.estimate(&p, strategy));
+        }
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for strategy in [
+            CombineStrategy::MostSpecific,
+            CombineStrategy::MinEstimate,
+            CombineStrategy::GeometricMean,
+        ] {
+            assert_eq!(CombineStrategy::from_name(strategy.name()), Some(strategy));
+        }
+        assert_eq!(
+            CombineStrategy::from_name("min"),
+            Some(CombineStrategy::MinEstimate)
+        );
+        assert_eq!(CombineStrategy::from_name("median"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one estimate")]
+    fn combine_of_nothing_panics() {
+        let _ = combine(&[], CombineStrategy::MinEstimate);
     }
 }

@@ -11,7 +11,7 @@
 use std::io;
 
 use pclabel_engine::query::{Engine, EngineConfig};
-use pclabel_engine::serve::serve;
+use pclabel_engine::serve::{serve, Dispatcher};
 
 const USAGE: &str = "\
 pclabel-serve — serve pattern count-based labels over stdin/stdout
@@ -24,9 +24,12 @@ stdout line. Requests (see `pclabel_engine::serve` docs for details):
   {\"op\":\"register\",\"dataset\":NAME,\"csv\":TEXT|\"generator\":\"figure2\",
    \"label_attrs\":[NAMES]|\"bound\":N}
   {\"op\":\"query\",\"dataset\":NAME,\"id\":ID,\"patterns\":[{ATTR:VALUE,...},...]}
+  {\"op\":\"estimate_multi\",\"patterns\":[...],\"strategy\":\"most_specific\"|
+   \"min_estimate\"|\"geometric_mean\",\"datasets\":[NAMES]}
   {\"op\":\"refresh\",\"dataset\":NAME,\"label_attrs\":[NAMES]|\"bound\":N}
   {\"op\":\"stats\",\"dataset\":NAME}
   {\"op\":\"list\"}
+  {\"op\":\"health\"}
   {\"op\":\"drop\",\"dataset\":NAME}
 
 environment:
@@ -42,14 +45,14 @@ fn main() {
         .ok()
         .and_then(|s| s.parse::<usize>().ok())
         .unwrap_or(0);
-    let engine = Engine::new(EngineConfig {
+    let dispatcher = Dispatcher::new(Engine::new(EngineConfig {
         query_threads,
         ..EngineConfig::default()
-    });
+    }));
 
     let stdin = io::stdin().lock();
     let stdout = io::stdout().lock();
-    match serve(&engine, stdin, stdout) {
+    match serve(&dispatcher, stdin, stdout) {
         Ok(summary) => {
             eprintln!(
                 "pclabel-serve: {} request(s), {} error(s)",

@@ -514,6 +514,45 @@ mod tests {
     }
 
     #[test]
+    fn every_control_character_round_trips() {
+        // RFC 8259 §7: U+0000–U+001F MUST be escaped. Each one, plus the
+        // two mandatory printable escapes, must survive serialize → parse
+        // both as a value and as an object key.
+        for code in (0u32..0x20).chain(['"' as u32, '\\' as u32]) {
+            let c = char::from_u32(code).unwrap();
+            let original = format!("a{c}z");
+            let encoded = Json::Str(original.clone()).to_string();
+            assert!(
+                encoded.bytes().all(|b| b >= 0x20),
+                "U+{code:04X} not escaped: {encoded:?}"
+            );
+            let decoded = Json::parse(&encoded).unwrap();
+            assert_eq!(decoded.as_str(), Some(original.as_str()), "U+{code:04X}");
+
+            let obj = Json::Obj(vec![(original.clone(), Json::Bool(true))]);
+            let back = Json::parse(&obj.to_string()).unwrap();
+            assert_eq!(
+                back.get(&original),
+                Some(&Json::Bool(true)),
+                "key U+{code:04X}"
+            );
+        }
+    }
+
+    #[test]
+    fn control_characters_use_standard_short_escapes() {
+        assert_eq!(
+            Json::Str("\u{08}\u{0C}\n\r\t".into()).to_string(),
+            r#""\b\f\n\r\t""#
+        );
+        assert_eq!(
+            Json::Str("\u{00}\u{1f}".into()).to_string(),
+            "\"\\u0000\\u001f\""
+        );
+        assert_eq!(Json::Str("\"\\".into()).to_string(), r#""\"\\""#);
+    }
+
+    #[test]
     fn unicode_escapes_and_surrogates() {
         assert_eq!(Json::parse(r#""ü末""#).unwrap().as_str(), Some("ü末"));
         // 😀 = U+1F600 = 😀.

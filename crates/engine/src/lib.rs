@@ -22,8 +22,11 @@
 //! * [`cache`] — a sharded pattern→estimate cache with hit/miss counters,
 //!   one per stored dataset, invalidated on label refresh;
 //! * [`json`] — a dependency-free JSON reader/writer for the wire format;
-//! * [`serve`] — the line-delimited JSON protocol behind the
-//!   `pclabel-serve` binary (stdin → stdout, no network dependencies).
+//! * [`serve`] — the transport-agnostic [`serve::Dispatcher`] (request
+//!   JSON in → response JSON out) plus the thin stdin/stdout driver
+//!   behind the `pclabel-serve` binary. The `pclabel-net` crate mounts
+//!   the same dispatcher behind a length-prefixed TCP protocol and an
+//!   HTTP/1.1 adapter, so every transport answers identically.
 //!
 //! ## Quick start
 //!
@@ -74,5 +77,6 @@ pub mod prelude {
     pub use crate::query::{
         Engine, EngineConfig, PatternEstimate, PatternSpec, QueryRequest, QueryResponse, QueryStats,
     };
+    pub use crate::serve::{Dispatcher, ServeSummary};
     pub use crate::store::{EngineError, LabelPolicy, LabelStore, StoreEntry};
 }

@@ -229,6 +229,21 @@ impl Engine {
     }
 }
 
+/// The planner's answer rule for one resolved pattern against a label
+/// snapshot: **exact** `PC` projection when `Attr(p) ⊆ S` (paper
+/// §III-A), the paper's estimation function otherwise. Returns
+/// `(estimate, exact)`. Shared by single-dataset batches and the
+/// `estimate_multi` dispatch path so the two can never diverge.
+pub(crate) fn label_answer(label: &Label, pattern: &Pattern) -> (f64, bool) {
+    let exact = pattern.attrs().is_subset_of(label.attrs());
+    let estimate = if exact {
+        label.count_of_projection(pattern) as f64
+    } else {
+        label.estimate(pattern)
+    };
+    (estimate, exact)
+}
+
 /// Answers one pattern against a label snapshot (cache → exact →
 /// estimate). Must run inside [`StoreEntry::with_label`] — the cache
 /// insert below is only sound while the entry's read lock pins the label
@@ -250,8 +265,8 @@ fn answer_one(entry: &StoreEntry, label: &Arc<Label>, spec: &PatternSpec) -> Pat
             }
         }
     };
-    let exact = pattern.attrs().is_subset_of(label.attrs());
     if let Some(estimate) = entry.cache().get(&pattern) {
+        let exact = pattern.attrs().is_subset_of(label.attrs());
         return PatternEstimate {
             estimate,
             exact,
@@ -259,11 +274,7 @@ fn answer_one(entry: &StoreEntry, label: &Arc<Label>, spec: &PatternSpec) -> Pat
             error: None,
         };
     }
-    let estimate = if exact {
-        label.count_of_projection(&pattern) as f64
-    } else {
-        label.estimate(&pattern)
-    };
+    let (estimate, exact) = label_answer(label, &pattern);
     entry.cache().insert(pattern, estimate);
     PatternEstimate {
         estimate,

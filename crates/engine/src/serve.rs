@@ -1,12 +1,13 @@
-//! The line-delimited JSON serve protocol (stdin → stdout).
+//! The JSON request/response protocol: a transport-agnostic
+//! [`Dispatcher`] plus the thin stdin/stdout driver ([`serve`]).
 //!
-//! Each input line is one request object; each output line is one
-//! response object (always emitted, `"ok"` tells success from failure).
-//! Blank lines are skipped. The protocol is std-only — no network
-//! dependencies — so it composes with anything that can pipe:
-//! interactive profiling (`pclabel-serve` under a REPL), bulk audit
-//! replay (`pclabel-serve < audit.jsonl`), or a parent process speaking
-//! over pipes.
+//! Every transport shares one dispatch path: a request [`Json`] object
+//! goes into [`Dispatcher::dispatch`], a response object comes out
+//! (always, `"ok"` tells success from failure). The stdin/stdout loop
+//! below, the length-prefixed TCP framing and the HTTP/1.1 adapter in
+//! `pclabel-net` are all ~equal-thickness shells over that one function,
+//! which is why `pclabel-serve` and `pclabel-netd` produce byte-identical
+//! response JSON for the same request stream.
 //!
 //! ## Requests
 //!
@@ -14,9 +15,11 @@
 //! {"op":"register","dataset":"d","csv":"a,b\n1,2\n","bound":50}
 //! {"op":"register","dataset":"d2","generator":"figure2","label_attrs":["age group","marital status"]}
 //! {"op":"query","dataset":"d","id":"q1","patterns":[{"a":"1"},{"a":"1","b":"2"}]}
+//! {"op":"estimate_multi","patterns":[{"a":"1"}],"strategy":"min_estimate"}
 //! {"op":"refresh","dataset":"d","bound":100}
 //! {"op":"stats","dataset":"d"}
 //! {"op":"list"}
+//! {"op":"health"}
 //! {"op":"drop","dataset":"d"}
 //! ```
 //!
@@ -25,16 +28,33 @@
 //! `B_s`; default 50 when neither is given). Pattern objects map
 //! attribute names to value labels; JSON numbers are coerced to their
 //! canonical label text (`{"age":1}` ≡ `{"age":"1"}`).
+//!
+//! `estimate_multi` answers each pattern by combining the estimates of
+//! *several* registered datasets' labels (the paper's multi-label
+//! future-work direction, `pclabel_core::multi`): `"datasets"` names the
+//! participants (default: all registered, sorted by name) and
+//! `"strategy"` is one of `"most_specific"` (default), `"min_estimate"`
+//! or `"geometric_mean"`.
+//!
+//! For the stdin/stdout driver, each input line is one request and each
+//! output line is one response; blank lines are skipped. It is std-only —
+//! no network dependencies — so it composes with anything that can pipe:
+//! interactive profiling (`pclabel-serve` under a REPL), bulk audit
+//! replay (`pclabel-serve < audit.jsonl`), or a parent process speaking
+//! over pipes.
 
 use std::io::{self, BufRead, Write};
+use std::sync::Arc;
 
 use pclabel_core::attrset::AttrSet;
+use pclabel_core::multi::{combine, CombineStrategy, LabeledEstimate};
+use pclabel_core::pattern::Pattern;
 use pclabel_data::csv::{read_dataset_from_str, CsvOptions};
 use pclabel_data::dataset::Dataset;
 use pclabel_data::generate::figure2_sample;
 
 use crate::json::Json;
-use crate::query::{Engine, PatternSpec, QueryRequest};
+use crate::query::{label_answer, Engine, EngineConfig, PatternSpec, QueryRequest};
 use crate::store::{EngineError, LabelPolicy, StoreEntry};
 
 /// Counters returned by [`serve`] when the input is exhausted.
@@ -46,10 +66,66 @@ pub struct ServeSummary {
     pub errors: u64,
 }
 
+/// The transport-agnostic dispatch core: owns the [`Engine`] (and with
+/// it the `LabelStore`) and maps one request [`Json`] to one response
+/// [`Json`]. `&Dispatcher` is `Send + Sync`, so network transports share
+/// a single dispatcher across worker threads behind an `Arc`.
+#[derive(Debug, Default)]
+pub struct Dispatcher {
+    engine: Engine,
+}
+
+impl Dispatcher {
+    /// Wraps an engine (and its store) as the shared dispatch core.
+    pub fn new(engine: Engine) -> Self {
+        Dispatcher { engine }
+    }
+
+    /// A dispatcher over a fresh engine with the given tuning.
+    pub fn with_config(config: EngineConfig) -> Self {
+        Dispatcher::new(Engine::new(config))
+    }
+
+    /// The underlying engine (store access for setup/inspection).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Handles one raw request line (parse + dispatch), always returning
+    /// a response object.
+    pub fn dispatch_line(&self, line: &str) -> Json {
+        match Json::parse(line) {
+            Ok(request) => self.dispatch(&request),
+            Err(e) => error_response(None, &format!("invalid JSON: {e}")),
+        }
+    }
+
+    /// Routes one parsed request to its op handler, always returning a
+    /// response object.
+    pub fn dispatch(&self, request: &Json) -> Json {
+        let engine = &self.engine;
+        let op = request.get("op").and_then(Json::as_str).map(str::to_string);
+        match op.as_deref() {
+            Some("register") => handle_register(engine, request),
+            Some("query") => handle_query(engine, request),
+            Some("estimate_multi") => handle_estimate_multi(engine, request),
+            Some("refresh") => handle_refresh(engine, request),
+            Some("stats") => handle_stats(engine, request),
+            Some("list") => handle_list(engine),
+            Some("health") => handle_health(engine),
+            Some("drop") => handle_drop(engine, request),
+            Some(other) => error_response(Some(other), &format!("unknown op {other:?}")),
+            None => error_response(None, "missing \"op\" field"),
+        }
+    }
+}
+
 /// Runs the request/response loop until `input` is exhausted. Every
-/// request line produces exactly one response line on `output`.
+/// request line produces exactly one response line on `output`. This is
+/// the stdin/stdout transport; it contains no protocol logic of its own —
+/// everything goes through [`Dispatcher::dispatch_line`].
 pub fn serve<R: BufRead, W: Write>(
-    engine: &Engine,
+    dispatcher: &Dispatcher,
     input: R,
     mut output: W,
 ) -> io::Result<ServeSummary> {
@@ -61,7 +137,7 @@ pub fn serve<R: BufRead, W: Write>(
             continue;
         }
         summary.requests += 1;
-        let response = handle_line(engine, line);
+        let response = dispatcher.dispatch_line(line);
         if response.get("ok").and_then(Json::as_bool) != Some(true) {
             summary.errors += 1;
         }
@@ -69,25 +145,6 @@ pub fn serve<R: BufRead, W: Write>(
         output.flush()?;
     }
     Ok(summary)
-}
-
-/// Handles one request line, always returning a response object.
-pub fn handle_line(engine: &Engine, line: &str) -> Json {
-    let request = match Json::parse(line) {
-        Ok(v) => v,
-        Err(e) => return error_response(None, &format!("invalid JSON: {e}")),
-    };
-    let op = request.get("op").and_then(Json::as_str).map(str::to_string);
-    match op.as_deref() {
-        Some("register") => handle_register(engine, &request),
-        Some("query") => handle_query(engine, &request),
-        Some("refresh") => handle_refresh(engine, &request),
-        Some("stats") => handle_stats(engine, &request),
-        Some("list") => handle_list(engine),
-        Some("drop") => handle_drop(engine, &request),
-        Some(other) => error_response(Some(other), &format!("unknown op {other:?}")),
-        None => error_response(None, "missing \"op\" field"),
-    }
 }
 
 fn error_response(op: Option<&str>, message: &str) -> Json {
@@ -223,34 +280,41 @@ fn term_value(value: &Json) -> Option<String> {
     }
 }
 
-fn handle_query(engine: &Engine, request: &Json) -> Json {
-    let dataset = match require_dataset_name(request) {
-        Ok(n) => n,
-        Err(e) => return error_response(Some("query"), &e),
-    };
-    let Some(patterns) = request.get("patterns").and_then(Json::as_array) else {
-        return error_response(Some("query"), "missing \"patterns\" array");
-    };
+/// Parses the request's `"patterns"` array into specs (shared by the
+/// `query` and `estimate_multi` ops).
+fn parse_pattern_specs(request: &Json) -> Result<Vec<PatternSpec>, String> {
+    let patterns = request
+        .get("patterns")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing \"patterns\" array".to_string())?;
     let mut specs = Vec::with_capacity(patterns.len());
     for (i, pattern) in patterns.iter().enumerate() {
         let Some(members) = pattern.as_object() else {
-            return error_response(
-                Some("query"),
-                &format!("pattern {i} must be an object of attr → value"),
-            );
+            return Err(format!("pattern {i} must be an object of attr → value"));
         };
         let mut terms = Vec::with_capacity(members.len());
         for (attr, value) in members {
             let Some(value) = term_value(value) else {
-                return error_response(
-                    Some("query"),
-                    &format!("pattern {i}: value of {attr:?} must be a string or number"),
-                );
+                return Err(format!(
+                    "pattern {i}: value of {attr:?} must be a string or number"
+                ));
             };
             terms.push((attr.clone(), value));
         }
         specs.push(PatternSpec { terms });
     }
+    Ok(specs)
+}
+
+fn handle_query(engine: &Engine, request: &Json) -> Json {
+    let dataset = match require_dataset_name(request) {
+        Ok(n) => n,
+        Err(e) => return error_response(Some("query"), &e),
+    };
+    let specs = match parse_pattern_specs(request) {
+        Ok(s) => s,
+        Err(e) => return error_response(Some("query"), &e),
+    };
     let query = QueryRequest {
         id: request.get("id").and_then(Json::as_str).map(str::to_string),
         dataset,
@@ -303,6 +367,153 @@ fn handle_query(engine: &Engine, request: &Json) -> Json {
         }
         Err(e) => engine_error("query", &e),
     }
+}
+
+/// `estimate_multi`: answer each pattern by combining the estimates of
+/// several registered datasets' labels under a
+/// [`CombineStrategy`](pclabel_core::multi::CombineStrategy).
+///
+/// Per pattern, every participating dataset whose schema resolves the
+/// pattern contributes a [`LabeledEstimate`] (exact `PC` projection when
+/// `Attr(p) ⊆ S`, `Label::estimate` otherwise); datasets that cannot
+/// resolve it are skipped and a pattern no dataset resolves fails
+/// individually. Label snapshots are taken once per request, so every
+/// result in a response is answered against one consistent set of
+/// `(label, generation)` pairs.
+fn handle_estimate_multi(engine: &Engine, request: &Json) -> Json {
+    let strategy = match request.get("strategy") {
+        None => CombineStrategy::default(),
+        Some(v) => {
+            let Some(name) = v.as_str().and_then(CombineStrategy::from_name) else {
+                return error_response(
+                    Some("estimate_multi"),
+                    "\"strategy\" must be one of \"most_specific\", \"min_estimate\", \
+                     \"geometric_mean\"",
+                );
+            };
+            name
+        }
+    };
+    let entries = match request.get("datasets") {
+        None => engine.store().list(),
+        Some(names) => {
+            let Some(names) = names.as_array() else {
+                return error_response(
+                    Some("estimate_multi"),
+                    "\"datasets\" must be an array of dataset names",
+                );
+            };
+            let mut entries = Vec::with_capacity(names.len());
+            for name in names {
+                let Some(name) = name.as_str() else {
+                    return error_response(
+                        Some("estimate_multi"),
+                        "\"datasets\" entries must be strings",
+                    );
+                };
+                // A duplicate would double-count one label and silently
+                // skew min/geometric-mean combinations.
+                if entries.iter().any(|e: &Arc<StoreEntry>| e.name() == name) {
+                    return error_response(
+                        Some("estimate_multi"),
+                        &format!("duplicate dataset {name:?} in \"datasets\""),
+                    );
+                }
+                match engine.store().get(name) {
+                    Ok(entry) => entries.push(entry),
+                    Err(e) => return engine_error("estimate_multi", &e),
+                }
+            }
+            entries
+        }
+    };
+    if entries.is_empty() {
+        return error_response(Some("estimate_multi"), "no datasets registered");
+    }
+    let specs = match parse_pattern_specs(request) {
+        Ok(s) => s,
+        Err(e) => return error_response(Some("estimate_multi"), &e),
+    };
+
+    // One consistent (label, generation) snapshot per dataset for the
+    // whole batch.
+    let snapshots: Vec<_> = entries
+        .iter()
+        .map(|entry| {
+            let (label, generation) = entry.snapshot();
+            (entry, label, generation)
+        })
+        .collect();
+
+    let mut results = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let terms: Vec<(&str, &str)> = spec
+            .terms
+            .iter()
+            .map(|(a, v)| (a.as_str(), v.as_str()))
+            .collect();
+        let mut parts = Vec::new();
+        let mut sources = Vec::new();
+        for (entry, label, generation) in &snapshots {
+            let Ok(pattern) = Pattern::parse(entry.dataset(), &terms) else {
+                continue;
+            };
+            let (estimate, exact) = label_answer(label, &pattern);
+            parts.push(LabeledEstimate {
+                overlap: label.attrs().intersect(pattern.attrs()).len(),
+                size: label.pattern_count_size(),
+                estimate,
+            });
+            sources.push(Json::obj([
+                ("dataset", Json::str(entry.name())),
+                ("estimate", Json::num(estimate)),
+                ("exact", Json::Bool(exact)),
+                ("generation", Json::num(*generation as f64)),
+            ]));
+        }
+        if parts.is_empty() {
+            results.push(Json::obj([(
+                "error",
+                Json::str("pattern resolved against no participating dataset"),
+            )]));
+        } else {
+            results.push(Json::obj([
+                ("estimate", Json::num(combine(&parts, strategy))),
+                ("sources", Json::Arr(sources)),
+            ]));
+        }
+    }
+
+    let mut members = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("op".to_string(), Json::str("estimate_multi")),
+    ];
+    if let Some(id) = request.get("id").and_then(Json::as_str) {
+        members.push(("id".to_string(), Json::str(id)));
+    }
+    members.push(("strategy".to_string(), Json::str(strategy.name())));
+    members.push((
+        "datasets".to_string(),
+        Json::Arr(
+            snapshots
+                .iter()
+                .map(|(entry, _, _)| Json::str(entry.name()))
+                .collect(),
+        ),
+    ));
+    members.push(("results".to_string(), Json::Arr(results)));
+    Json::Obj(members)
+}
+
+/// `health`: a cheap liveness probe (also the `GET /healthz` body in the
+/// HTTP transport).
+fn handle_health(engine: &Engine) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("health")),
+        ("status", Json::str("ok")),
+        ("datasets", Json::num(engine.store().len() as f64)),
+    ])
 }
 
 fn handle_refresh(engine: &Engine, request: &Json) -> Json {
@@ -388,9 +599,9 @@ mod tests {
     use crate::query::EngineConfig;
 
     fn run_session(lines: &str) -> Vec<Json> {
-        let engine = Engine::new(EngineConfig::default());
+        let dispatcher = Dispatcher::with_config(EngineConfig::default());
         let mut out = Vec::new();
-        let summary = serve(&engine, lines.as_bytes(), &mut out).unwrap();
+        let summary = serve(&dispatcher, lines.as_bytes(), &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         let responses: Vec<Json> = text
             .lines()
@@ -495,10 +706,10 @@ mod tests {
 
     #[test]
     fn summary_counts_requests_and_errors() {
-        let engine = Engine::new(EngineConfig::default());
+        let dispatcher = Dispatcher::with_config(EngineConfig::default());
         let input = "{\"op\":\"list\"}\nbroken\n\n{\"op\":\"list\"}\n";
         let mut out = Vec::new();
-        let summary = serve(&engine, input.as_bytes(), &mut out).unwrap();
+        let summary = serve(&dispatcher, input.as_bytes(), &mut out).unwrap();
         assert_eq!(
             summary,
             ServeSummary {
@@ -506,5 +717,92 @@ mod tests {
                 errors: 1
             }
         );
+    }
+
+    #[test]
+    fn health_reports_dataset_count() {
+        let responses = run_session(concat!(
+            "{\"op\":\"health\"}\n",
+            "{\"op\":\"register\",\"dataset\":\"census\",\"generator\":\"figure2\",\"bound\":5}\n",
+            "{\"op\":\"health\"}\n",
+        ));
+        assert_eq!(
+            responses[0].get("status").and_then(Json::as_str),
+            Some("ok")
+        );
+        assert_eq!(responses[0].get("datasets").and_then(Json::as_u64), Some(0));
+        assert_eq!(responses[2].get("datasets").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn estimate_multi_combines_registered_labels() {
+        // Two labels over the same figure-2 data: {gender, age group} and
+        // {age group, marital status} — the setting of the core
+        // `multi` unit tests, here reached through the wire protocol.
+        let responses = run_session(concat!(
+            "{\"op\":\"register\",\"dataset\":\"a\",\"generator\":\"figure2\",",
+            "\"label_attrs\":[\"gender\",\"age group\"]}\n",
+            "{\"op\":\"register\",\"dataset\":\"b\",\"generator\":\"figure2\",",
+            "\"label_attrs\":[\"age group\",\"marital status\"]}\n",
+            "{\"op\":\"estimate_multi\",\"id\":\"m1\",\"patterns\":[",
+            "{\"gender\":\"Female\",\"age group\":\"20-39\",\"marital status\":\"married\"}]}\n",
+            "{\"op\":\"estimate_multi\",\"strategy\":\"min_estimate\",\"patterns\":[",
+            "{\"gender\":\"Female\",\"age group\":\"20-39\",\"marital status\":\"married\"}]}\n",
+            "{\"op\":\"estimate_multi\",\"strategy\":\"geometric_mean\",\"datasets\":[\"a\",\"b\"],",
+            "\"patterns\":[{\"gender\":\"Female\",\"age group\":\"20-39\",\"marital status\":\"married\"}]}\n",
+        ));
+        assert_eq!(responses[2].get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(responses[2].get("id").and_then(Json::as_str), Some("m1"));
+        assert_eq!(
+            responses[2].get("strategy").and_then(Json::as_str),
+            Some("most_specific")
+        );
+        let results = responses[2]
+            .get("results")
+            .and_then(Json::as_array)
+            .unwrap();
+        // Both labels overlap 2 attrs; tie-break on |PC| picks the exact
+        // one (3.0) — mirrors the MultiLabel unit test.
+        assert_eq!(results[0].get("estimate").and_then(Json::as_f64), Some(3.0));
+        let sources = results[0].get("sources").and_then(Json::as_array).unwrap();
+        assert_eq!(sources.len(), 2);
+        assert_eq!(sources[0].get("dataset").and_then(Json::as_str), Some("a"));
+        assert_eq!(sources[1].get("exact"), Some(&Json::Bool(false)));
+
+        let min = responses[3]
+            .get("results")
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(min[0].get("estimate").and_then(Json::as_f64), Some(2.0));
+        let geo = responses[4]
+            .get("results")
+            .and_then(Json::as_array)
+            .unwrap();
+        let g = geo[0].get("estimate").and_then(Json::as_f64).unwrap();
+        assert!((g - (2.0f64 * 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_multi_failure_modes() {
+        let responses = run_session(concat!(
+            "{\"op\":\"estimate_multi\",\"patterns\":[{\"x\":\"1\"}]}\n",
+            "{\"op\":\"register\",\"dataset\":\"a\",\"generator\":\"figure2\",\"bound\":5}\n",
+            "{\"op\":\"estimate_multi\",\"strategy\":\"median\",\"patterns\":[{\"x\":\"1\"}]}\n",
+            "{\"op\":\"estimate_multi\",\"datasets\":[\"ghost\"],\"patterns\":[{\"x\":\"1\"}]}\n",
+            "{\"op\":\"estimate_multi\",\"datasets\":[\"a\",\"a\"],\"patterns\":[{\"x\":\"1\"}]}\n",
+            "{\"op\":\"estimate_multi\",\"patterns\":[{\"no such attr\":\"1\"}]}\n",
+        ));
+        // No datasets registered / bad strategy / unknown dataset /
+        // duplicate dataset: whole request fails.
+        for i in [0usize, 2, 3, 4] {
+            assert_eq!(responses[i].get("ok"), Some(&Json::Bool(false)), "line {i}");
+        }
+        // An unresolvable pattern fails individually.
+        assert_eq!(responses[5].get("ok"), Some(&Json::Bool(true)));
+        let results = responses[5]
+            .get("results")
+            .and_then(Json::as_array)
+            .unwrap();
+        assert!(results[0].get("error").is_some());
     }
 }

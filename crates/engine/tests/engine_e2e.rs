@@ -13,7 +13,7 @@ use pclabel_core::pattern::Pattern;
 use pclabel_data::dataset::{Dataset, DatasetBuilder};
 use pclabel_engine::json::Json;
 use pclabel_engine::prelude::*;
-use pclabel_engine::serve::serve;
+use pclabel_engine::serve::{serve, Dispatcher};
 
 /// Deterministic 600-row, 4-attribute dataset (no RNG, so the CSV sent to
 /// the server and the in-process ground truth agree cell for cell).
@@ -151,10 +151,10 @@ fn assert_batch_matches(response: &Json) {
 
 #[test]
 fn acceptance_10k_batch_through_serve_loop() {
-    let engine = Engine::new(EngineConfig::default());
+    let dispatcher = Dispatcher::with_config(EngineConfig::default());
     let input = format!("{}\n{}\n", register_line(), acceptance_query_line());
     let mut out = Vec::new();
-    let summary = serve(&engine, input.as_bytes(), &mut out).unwrap();
+    let summary = serve(&dispatcher, input.as_bytes(), &mut out).unwrap();
     assert_eq!(summary.errors, 0);
     let text = String::from_utf8(out).unwrap();
     let responses: Vec<Json> = text.lines().map(|l| Json::parse(l).unwrap()).collect();

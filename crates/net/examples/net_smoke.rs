@@ -1,0 +1,69 @@
+//! Smoke client for a running `pclabel-netd` (used by `ci/net_smoke.sh`).
+//!
+//! Round-trips a register + query over the framed TCP protocol, probes
+//! `/healthz` over HTTP on the same port, then asks the server to shut
+//! down (requires `--allow-remote-shutdown`). Exits non-zero on any
+//! mismatch.
+//!
+//! ```text
+//! net_smoke 127.0.0.1:7341
+//! ```
+
+use pclabel_engine::json::Json;
+use pclabel_net::client::{HttpClient, NetClient};
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| panic!("usage: net_smoke ADDR"));
+
+    let mut client = NetClient::connect(&addr).expect("connect to pclabel-netd");
+
+    let register = client
+        .request_line(r#"{"op":"register","dataset":"census","generator":"figure2","bound":5}"#)
+        .expect("register round-trip");
+    let parsed = Json::parse(&register).expect("register response JSON");
+    assert_eq!(
+        parsed.get("ok"),
+        Some(&Json::Bool(true)),
+        "register failed: {register}"
+    );
+
+    // Paper Example 2.12: the estimate must be exactly 3.
+    let query = client
+        .request_line(
+            r#"{"op":"query","dataset":"census","patterns":[{"gender":"Female","age group":"20-39","marital status":"married"}]}"#,
+        )
+        .expect("query round-trip");
+    let parsed = Json::parse(&query).expect("query response JSON");
+    let estimate = parsed
+        .get("results")
+        .and_then(Json::as_array)
+        .and_then(|r| r[0].get("estimate"))
+        .and_then(Json::as_f64);
+    assert_eq!(estimate, Some(3.0), "unexpected query response: {query}");
+
+    // The same port speaks HTTP.
+    let mut http = HttpClient::connect(&addr).expect("HTTP connect");
+    let health = http.request("GET", "/healthz", None).expect("GET /healthz");
+    assert_eq!(health.status, 200, "healthz: {}", health.body);
+    let parsed = Json::parse(&health.body).expect("healthz JSON");
+    assert_eq!(
+        parsed.get("datasets").and_then(Json::as_u64),
+        Some(1),
+        "healthz: {}",
+        health.body
+    );
+
+    let shutdown = client
+        .request_line(r#"{"op":"shutdown"}"#)
+        .expect("shutdown round-trip");
+    let parsed = Json::parse(&shutdown).expect("shutdown response JSON");
+    assert_eq!(
+        parsed.get("ok"),
+        Some(&Json::Bool(true)),
+        "shutdown refused: {shutdown}"
+    );
+
+    println!("net_smoke: ok (register + query + healthz + shutdown)");
+}

@@ -1,0 +1,121 @@
+//! `pclabel-netd` — serve pattern count-based labels over TCP and HTTP.
+//!
+//! One listening socket speaks both protocols (sniffed per connection):
+//! the length-prefixed frame protocol (`u32` big-endian length + JSON)
+//! and HTTP/1.1 (`POST /query`, `POST /register`, `GET /stats`,
+//! `GET /healthz`, …). Both dispatch through the same core as
+//! `pclabel-serve`, so responses are byte-identical across transports.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pclabel_engine::query::{Engine, EngineConfig};
+use pclabel_engine::serve::Dispatcher;
+use pclabel_net::server::{NetServer, ServerConfig};
+
+const USAGE: &str = "\
+pclabel-netd — serve pattern count-based labels over TCP/HTTP
+
+usage: pclabel-netd [options]
+
+options:
+  --listen ADDR            listen address (default 127.0.0.1:7341; port 0
+                           picks an ephemeral port, printed on startup)
+  --workers N              connection worker threads (default 4)
+  --queue N                accepted connections that may queue for a free
+                           worker before accept blocks (default 64)
+  --max-frame BYTES        request frame/body size limit (default 1048576)
+  --timeout-ms MS          per-connection read/write timeout; also the
+                           shutdown poll interval (default 10000; 0 = no
+                           timeout — shutdown then waits for idle
+                           connections to close)
+  --allow-remote-shutdown  honour {\"op\":\"shutdown\"} from clients
+  -h, --help               this text
+
+Wire protocols on one port, sniffed from the first bytes:
+  framed TCP   u32 big-endian payload length + JSON request, same framing
+               back; persistent connections
+  HTTP/1.1     POST /query | /register | /refresh | /drop | /estimate_multi
+               with the request JSON as body; GET /stats?dataset=NAME;
+               GET /healthz; POST / with an {\"op\":...} body; keep-alive
+
+environment:
+  PCLABEL_QUERY_THREADS    worker threads for large query batches
+                           (default: auto)
+";
+
+fn fail(message: &str) -> ! {
+    eprintln!("pclabel-netd: {message}");
+    eprintln!("try: pclabel-netd --help");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7341".to_string(),
+        ..ServerConfig::default()
+    };
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return;
+            }
+            "--listen" => config.addr = value("--listen"),
+            "--workers" => {
+                config.workers = value("--workers")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--workers needs an integer"))
+            }
+            "--queue" => {
+                config.queue_capacity = value("--queue")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--queue needs an integer"))
+            }
+            "--max-frame" => {
+                config.max_frame = value("--max-frame")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--max-frame needs an integer"))
+            }
+            "--timeout-ms" => {
+                let ms: u64 = value("--timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--timeout-ms needs an integer"));
+                let timeout = (ms > 0).then(|| Duration::from_millis(ms));
+                config.read_timeout = timeout;
+                config.write_timeout = timeout;
+            }
+            "--allow-remote-shutdown" => config.allow_remote_shutdown = true,
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let query_threads = std::env::var("PCLABEL_QUERY_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(0);
+    let dispatcher = Arc::new(Dispatcher::new(Engine::new(EngineConfig {
+        query_threads,
+        ..EngineConfig::default()
+    })));
+
+    let workers = config.workers;
+    let server = match NetServer::spawn(dispatcher, config) {
+        Ok(server) => server,
+        Err(e) => fail(&format!("failed to start: {e}")),
+    };
+    // Startup line on stdout so supervisors (and the CI smoke script)
+    // can discover the resolved ephemeral port.
+    println!(
+        "pclabel-netd: listening on {} ({workers} workers)",
+        server.local_addr()
+    );
+    server.wait();
+    println!("pclabel-netd: shut down");
+}

@@ -1,0 +1,225 @@
+//! Blocking clients for both wire protocols.
+//!
+//! [`NetClient`] speaks the length-prefixed frame protocol over one
+//! persistent connection — the integration tests, the concurrency
+//! hammer and `engine_bench --net` all drive the server through it.
+//! [`HttpClient`] is a persistent HTTP/1.1 client (keep-alive,
+//! `Content-Length` framing) for exercising the HTTP adapter.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use pclabel_engine::json::{Json, JsonError};
+
+use crate::frame::{read_frame, write_frame, FrameError, MAX_FRAME_CEILING};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Framing/transport failure.
+    Frame(FrameError),
+    /// The server closed the connection instead of responding.
+    ServerClosed,
+    /// The response payload was not UTF-8.
+    Utf8,
+    /// The response payload was not valid JSON.
+    Json(JsonError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "{e}"),
+            ClientError::ServerClosed => write!(f, "server closed the connection"),
+            ClientError::Utf8 => write!(f, "response is not valid UTF-8"),
+            ClientError::Json(e) => write!(f, "response is not valid JSON: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Frame(FrameError::Io(e))
+    }
+}
+
+/// A blocking framed-TCP client: one request frame out, one response
+/// frame back, over a persistent connection.
+pub struct NetClient {
+    stream: TcpStream,
+    max_frame: u32,
+}
+
+impl NetClient {
+    /// Connects with 10-second read/write timeouts and Nagle disabled.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        Ok(NetClient {
+            stream,
+            max_frame: MAX_FRAME_CEILING,
+        })
+    }
+
+    /// Overrides both socket timeouts (`None` blocks indefinitely).
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
+    /// Caps the size of frames this client will send or accept.
+    pub fn set_max_frame(&mut self, max: u32) {
+        self.max_frame = max.min(MAX_FRAME_CEILING);
+    }
+
+    /// Sends one raw request line and returns the raw response text.
+    pub fn request_line(&mut self, line: &str) -> Result<String, ClientError> {
+        write_frame(&mut self.stream, line.as_bytes(), self.max_frame)?;
+        let payload =
+            read_frame(&mut self.stream, self.max_frame)?.ok_or(ClientError::ServerClosed)?;
+        String::from_utf8(payload).map_err(|_| ClientError::Utf8)
+    }
+
+    /// Sends one request object and parses the response.
+    pub fn request(&mut self, request: &Json) -> Result<Json, ClientError> {
+        let text = self.request_line(&request.to_string())?;
+        Json::parse(&text).map_err(ClientError::Json)
+    }
+}
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// The body (decoded per `Content-Length`).
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A blocking, persistent HTTP/1.1 client (keep-alive by default).
+pub struct HttpClient {
+    stream: TcpStream,
+    carry: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connects with 10-second read/write timeouts.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        Ok(HttpClient {
+            stream,
+            carry: Vec::new(),
+        })
+    }
+
+    /// Issues one request and reads the response. `body = None` sends no
+    /// `Content-Length`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<HttpResponse> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: pclabel\r\n");
+        if let Some(body) = body {
+            head.push_str(&format!(
+                "Content-Type: application/json\r\nContent-Length: {}\r\n",
+                body.len()
+            ));
+        }
+        head.push_str("\r\n");
+        self.stream.write_all(head.as_bytes())?;
+        if let Some(body) = body {
+            self.stream.write_all(body.as_bytes())?;
+        }
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    fn fill(&mut self) -> io::Result<()> {
+        let mut chunk = [0u8; 4096];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        self.carry.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+
+    fn read_response(&mut self) -> io::Result<HttpResponse> {
+        let head_end = loop {
+            if let Some(pos) = self
+                .carry
+                .windows(4)
+                .position(|window| window == b"\r\n\r\n")
+            {
+                break pos;
+            }
+            self.fill()?;
+        };
+        let head = String::from_utf8(self.carry[..head_end].to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response head"))?;
+        self.carry.drain(..head_end + 4);
+
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status = status_line
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+        let headers: Vec<(String, String)> = lines
+            .filter_map(|line| {
+                line.split_once(':')
+                    .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+            })
+            .collect();
+        let content_length = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        while self.carry.len() < content_length {
+            self.fill()?;
+        }
+        let body_bytes: Vec<u8> = self.carry.drain(..content_length).collect();
+        let body = String::from_utf8(body_bytes)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response body"))?;
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}

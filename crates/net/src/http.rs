@@ -1,0 +1,479 @@
+//! A minimal HTTP/1.1 adapter over the shared dispatcher.
+//!
+//! Routes:
+//!
+//! * `GET /healthz` — liveness probe (the dispatcher's `health` op);
+//! * `GET /stats?dataset=NAME` — per-dataset stats; without a `dataset`
+//!   parameter this degrades to the `list` op;
+//! * `POST /query`, `POST /register`, `POST /refresh`, `POST /drop`,
+//!   `POST /estimate_multi`, … — the JSON body is the protocol request;
+//!   the op implied by the path is injected when the body omits `"op"`
+//!   (and a mismatch is rejected);
+//! * `POST /` — generic dispatch; the body must carry `"op"` itself.
+//!
+//! Bodies are exactly the serve-protocol JSON objects, so an HTTP client
+//! and a framed-TCP client receive byte-identical payloads. Successful
+//! dispatches return `200 OK`; dispatches answering `"ok": false` return
+//! `400 Bad Request` with the same JSON body; transport-level failures
+//! (unknown path, bad framing, oversized body) use conventional 4xx
+//! codes with a JSON error body of the same shape.
+//!
+//! `Content-Length` is required on bodied requests (no chunked
+//! transfer-coding) and connections are keep-alive per HTTP/1.1
+//! defaults: `Connection: close` — or any transport error — ends the
+//! connection.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use pclabel_engine::json::Json;
+
+use crate::server::{process_line, process_request, Shared};
+
+/// Total byte cap on the request line + headers of one request.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+struct Request {
+    method: String,
+    target: String,
+    version: String,
+    /// Header names lowercased.
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Request {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection survives this exchange (HTTP/1.1 defaults
+    /// + `Connection` override).
+    fn keep_alive(&self) -> bool {
+        let connection = self.header("connection").unwrap_or("").to_ascii_lowercase();
+        if connection.contains("close") {
+            return false;
+        }
+        self.version == "HTTP/1.1" || connection.contains("keep-alive")
+    }
+}
+
+/// Why reading a request stopped.
+enum ReadRequest {
+    Ok(Request),
+    /// Peer closed (or idle shutdown) before a request started.
+    Closed,
+    /// Malformed/oversized head or body: respond with this status and
+    /// close.
+    Bad(u16, &'static str),
+}
+
+/// Buffered connection state; `carry` holds bytes of the next pipelined
+/// request read past the previous one's end.
+struct Conn {
+    stream: TcpStream,
+    carry: Vec<u8>,
+}
+
+impl Conn {
+    /// Pulls more bytes into `carry`. `Ok(false)` means EOF.
+    fn fill(&mut self, shared: &Shared, have_partial: bool) -> io::Result<bool> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if shared.shutting_down() && !have_partial {
+                return Ok(false);
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(false),
+                Ok(n) => {
+                    self.carry.extend_from_slice(&chunk[..n]);
+                    return Ok(true);
+                }
+                Err(e)
+                    if !have_partial
+                        && matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) =>
+                {
+                    continue; // idle between requests; re-check shutdown
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Reads one full request (head + body) from the connection.
+    fn read_request(&mut self, shared: &Shared) -> ReadRequest {
+        // Find the end of the head, reading as needed.
+        let head_end = loop {
+            if let Some(pos) = find_subsequence(&self.carry, b"\r\n\r\n") {
+                break pos;
+            }
+            if self.carry.len() > MAX_HEAD_BYTES {
+                return ReadRequest::Bad(431, "request head too large");
+            }
+            match self.fill(shared, !self.carry.is_empty()) {
+                Ok(true) => {}
+                Ok(false) if self.carry.is_empty() => return ReadRequest::Closed,
+                Ok(false) | Err(_) => return ReadRequest::Bad(400, "truncated request head"),
+            }
+        };
+
+        let head = match std::str::from_utf8(&self.carry[..head_end]) {
+            Ok(h) => h.to_string(),
+            Err(_) => return ReadRequest::Bad(400, "request head is not valid UTF-8"),
+        };
+        self.carry.drain(..head_end + 4);
+
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split_ascii_whitespace();
+        let (Some(method), Some(target), Some(version)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return ReadRequest::Bad(400, "malformed request line");
+        };
+        let mut headers = Vec::new();
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                return ReadRequest::Bad(400, "malformed header line");
+            };
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let request = Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            version: version.to_string(),
+            headers,
+            body: Vec::new(),
+        };
+
+        if request.header("transfer-encoding").is_some() {
+            return ReadRequest::Bad(501, "transfer-encoding is not supported");
+        }
+        let content_length = match request.header("content-length") {
+            None => 0usize,
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => return ReadRequest::Bad(400, "invalid Content-Length"),
+            },
+        };
+        if content_length > shared.config.max_frame as usize {
+            // Drain the declared body before the 413 goes out (see
+            // `server::drain` for the RST rationale).
+            crate::server::drain(
+                &mut self.stream,
+                content_length.saturating_sub(self.carry.len()) as u64,
+            );
+            self.carry.clear();
+            return ReadRequest::Bad(413, "request body exceeds the frame size limit");
+        }
+
+        // Clients like curl hold the body back until the interim
+        // response when they sent `Expect: 100-continue`; not answering
+        // would stall every such request for the client's expect
+        // timeout.
+        if request
+            .header("expect")
+            .is_some_and(|v| v.to_ascii_lowercase().contains("100-continue"))
+            && self.carry.len() < content_length
+        {
+            let _ = self.stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+            let _ = self.stream.flush();
+        }
+
+        let mut request = request;
+        while self.carry.len() < content_length {
+            match self.fill(shared, true) {
+                Ok(true) => {}
+                Ok(false) | Err(_) => return ReadRequest::Bad(400, "truncated request body"),
+            }
+        }
+        request.body = self.carry.drain(..content_length).collect();
+        ReadRequest::Ok(request)
+    }
+}
+
+fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
+        _ => "Error",
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn error_body(message: &str) -> String {
+    Json::obj([("ok", Json::Bool(false)), ("error", Json::str(message))]).to_string()
+}
+
+/// Splits a request target into path and decoded `(key, value)` query
+/// parameters.
+fn split_target(target: &str) -> (&str, Vec<(String, String)>) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let params = query
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect();
+    (path, params)
+}
+
+/// Minimal percent-decoding (`%XX` and `+` → space); invalid escapes are
+/// kept verbatim.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => match (hex_val(bytes.get(i + 1)), hex_val(bytes.get(i + 2))) {
+                (Some(hi), Some(lo)) => {
+                    out.push(hi * 16 + lo);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex_val(b: Option<&u8>) -> Option<u8> {
+    match b {
+        Some(b @ b'0'..=b'9') => Some(b - b'0'),
+        Some(b @ b'a'..=b'f') => Some(b - b'a' + 10),
+        Some(b @ b'A'..=b'F') => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Routes one request. Returns `(status, body, shutdown_requested)`.
+fn route(request: &Request, shared: &Shared) -> (u16, String, bool) {
+    let (path, params) = split_target(&request.target);
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            let response = shared.dispatcher.dispatch_line("{\"op\":\"health\"}");
+            (200, response.to_string(), false)
+        }
+        ("GET", "/stats") => {
+            let op = match params.iter().find(|(k, _)| k == "dataset") {
+                Some((_, name)) => Json::obj([
+                    ("op", Json::str("stats")),
+                    ("dataset", Json::str(name.clone())),
+                ]),
+                None => Json::obj([("op", Json::str("list"))]),
+            };
+            let response = shared.dispatcher.dispatch(&op);
+            let ok = response.get("ok") == Some(&Json::Bool(true));
+            (if ok { 200 } else { 400 }, response.to_string(), false)
+        }
+        ("POST", path) => {
+            let Ok(body) = std::str::from_utf8(&request.body) else {
+                return (400, error_body("request body is not valid UTF-8"), false);
+            };
+            let (response, shutdown) = match implied_op(path) {
+                None if path == "/" => process_line(body, shared),
+                None => return (404, error_body(&format!("unknown path {path:?}")), false),
+                Some(op) => match inject_op(body, op) {
+                    Ok(request) => process_request(&request, shared),
+                    Err(message) => return (400, error_body(&message), false),
+                },
+            };
+            let ok = response.get("ok") == Some(&Json::Bool(true));
+            (if ok { 200 } else { 400 }, response.to_string(), shutdown)
+        }
+        ("GET", path) => (404, error_body(&format!("unknown path {path:?}")), false),
+        (method, _) => (
+            405,
+            error_body(&format!("method {method:?} is not supported")),
+            false,
+        ),
+    }
+}
+
+/// The protocol op implied by a `POST /<op>` path, if any.
+fn implied_op(path: &str) -> Option<&str> {
+    match path.strip_prefix('/') {
+        Some(
+            op @ ("register" | "query" | "estimate_multi" | "refresh" | "stats" | "list" | "health"
+            | "drop" | "shutdown"),
+        ) => Some(op),
+        _ => None,
+    }
+}
+
+/// Ensures the body's `"op"` matches the path-implied one, injecting it
+/// when absent. Returns the parsed request object to dispatch.
+fn inject_op(body: &str, op: &str) -> Result<Json, String> {
+    // An empty body is allowed for body-less ops (`GET`-like POSTs).
+    let parsed = if body.trim().is_empty() {
+        Json::Obj(Vec::new())
+    } else {
+        match Json::parse(body) {
+            Ok(v) => v,
+            Err(e) => return Err(format!("invalid JSON: {e}")),
+        }
+    };
+    let Json::Obj(mut members) = parsed else {
+        return Err("request body must be a JSON object".to_string());
+    };
+    match members
+        .iter()
+        .find(|(k, _)| k == "op")
+        .map(|(_, v)| v.clone())
+    {
+        Some(existing) => {
+            if existing.as_str() != Some(op) {
+                return Err(format!(
+                    "body op {existing} does not match the path-implied op {op:?}"
+                ));
+            }
+        }
+        None => members.insert(0, ("op".to_string(), Json::str(op))),
+    }
+    Ok(Json::Obj(members))
+}
+
+/// Serves one HTTP connection until close/error/shutdown. `first4` is
+/// the sniffed method prefix, pushed back onto the buffer.
+pub(crate) fn serve_connection(stream: TcpStream, first4: [u8; 4], shared: &Shared) {
+    let mut conn = Conn {
+        stream,
+        carry: first4.to_vec(),
+    };
+    loop {
+        match conn.read_request(shared) {
+            ReadRequest::Closed => return,
+            ReadRequest::Bad(status, message) => {
+                let _ = write_response(&mut conn.stream, status, &error_body(message), false);
+                return;
+            }
+            ReadRequest::Ok(request) => {
+                let (status, body, shutdown) = route(&request, shared);
+                let keep_alive = request.keep_alive() && !shutdown && !shared.shutting_down();
+                if write_response(&mut conn.stream, status, &body, keep_alive).is_err() {
+                    return;
+                }
+                if !keep_alive {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_splitting_and_percent_decoding() {
+        let (path, params) = split_target("/stats?dataset=my%20set&x=a+b&flag");
+        assert_eq!(path, "/stats");
+        assert_eq!(
+            params,
+            vec![
+                ("dataset".to_string(), "my set".to_string()),
+                ("x".to_string(), "a b".to_string()),
+                ("flag".to_string(), String::new()),
+            ]
+        );
+        assert_eq!(percent_decode("100%25"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz"); // invalid escape kept
+        assert_eq!(percent_decode("trailing%2"), "trailing%2");
+    }
+
+    #[test]
+    fn op_injection_rules() {
+        assert_eq!(
+            inject_op("{\"dataset\":\"d\"}", "stats")
+                .unwrap()
+                .to_string(),
+            "{\"op\":\"stats\",\"dataset\":\"d\"}"
+        );
+        assert_eq!(
+            inject_op("{\"op\":\"stats\",\"dataset\":\"d\"}", "stats")
+                .unwrap()
+                .to_string(),
+            "{\"op\":\"stats\",\"dataset\":\"d\"}"
+        );
+        assert_eq!(
+            inject_op("", "list").unwrap().to_string(),
+            "{\"op\":\"list\"}"
+        );
+        assert!(inject_op("{\"op\":\"drop\"}", "stats").is_err());
+        assert!(inject_op("[1,2]", "stats").is_err());
+        assert!(inject_op("{broken", "stats").is_err());
+    }
+
+    #[test]
+    fn implied_ops_cover_the_protocol() {
+        for op in [
+            "register",
+            "query",
+            "estimate_multi",
+            "refresh",
+            "stats",
+            "list",
+            "health",
+            "drop",
+            "shutdown",
+        ] {
+            assert_eq!(implied_op(&format!("/{op}")), Some(op));
+        }
+        assert_eq!(implied_op("/"), None);
+        assert_eq!(implied_op("/nope"), None);
+    }
+}

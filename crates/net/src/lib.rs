@@ -1,0 +1,77 @@
+//! # pclabel-net
+//!
+//! The std-only network front end for the `pclabel` serving engine.
+//! Where `pclabel-engine` answers requests over stdin/stdout, this crate
+//! mounts the *same* transport-agnostic
+//! [`Dispatcher`](pclabel_engine::serve::Dispatcher) behind `std::net`:
+//! one listening socket serves both wire protocols, detected from the
+//! first four bytes of each connection:
+//!
+//! * **Length-prefixed TCP framing** ([`frame`]) — each request and
+//!   response is a `u32` big-endian byte length followed by that many
+//!   bytes of JSON. Persistent, pipelinable, minimal overhead; the
+//!   [`client::NetClient`] speaks it.
+//! * **HTTP/1.1** ([`http`]) — `POST /query`, `POST /register`,
+//!   `GET /stats`, `GET /healthz` (and `POST /<op>` generally) with the
+//!   same JSON bodies, `Content-Length` framing and keep-alive. Anything
+//!   that speaks HTTP (e.g. `curl`) can hit the engine directly.
+//!
+//! The two protocols cannot collide: an HTTP connection starts with an
+//! ASCII method (`"GET "` is `0x47455420` ≈ 1.19 GB as a big-endian
+//! length) while frame lengths are capped far lower by
+//! [`server::ServerConfig::max_frame`].
+//!
+//! Because every transport funnels into one dispatcher, `pclabel-serve`
+//! (pipe) and `pclabel-netd` (network) produce byte-identical response
+//! JSON for the same request stream — asserted by this crate's
+//! integration tests.
+//!
+//! ## Pieces
+//!
+//! * [`frame`] — the length-prefixed wire format (read/write, size caps);
+//! * [`pool`] — a fixed-size worker [`pool::ThreadPool`] fed by a bounded
+//!   queue (accepting backpressure instead of unbounded memory);
+//! * [`server`] — the TCP listener: protocol sniffing, per-connection
+//!   read/write timeouts, graceful shutdown via a flag + wake connection;
+//! * [`http`] — the minimal HTTP/1.1 adapter;
+//! * [`client`] — blocking framed-TCP and HTTP clients for tests,
+//!   benchmarks and smoke scripts.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pclabel_engine::prelude::*;
+//! use pclabel_net::client::NetClient;
+//! use pclabel_net::server::{NetServer, ServerConfig};
+//! use pclabel_engine::json::Json;
+//!
+//! let server = NetServer::spawn(
+//!     Arc::new(Dispatcher::with_config(EngineConfig::default())),
+//!     ServerConfig::default(), // 127.0.0.1:0 — ephemeral loopback port
+//! )
+//! .unwrap();
+//!
+//! let mut client = NetClient::connect(server.local_addr()).unwrap();
+//! let response = client
+//!     .request_line(r#"{"op":"register","dataset":"census","generator":"figure2","bound":5}"#)
+//!     .unwrap();
+//! assert_eq!(Json::parse(&response).unwrap().get("ok"), Some(&Json::Bool(true)));
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod http;
+pub mod pool;
+pub mod server;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::client::{HttpClient, NetClient};
+    pub use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
+    pub use crate::pool::ThreadPool;
+    pub use crate::server::{NetServer, ServerConfig, ServerHandle};
+}

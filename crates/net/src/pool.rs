@@ -1,0 +1,197 @@
+//! A fixed-size worker thread pool fed by a bounded job queue.
+//!
+//! The server hands each accepted connection to the pool. The queue is
+//! *bounded*: when all workers are busy and the queue is full,
+//! [`ThreadPool::execute`] blocks the acceptor — backpressure shows up
+//! as TCP accept-queue pressure on clients instead of unbounded memory
+//! growth in the server. Shutdown drains the queue: already-accepted
+//! connections are served, then the workers exit.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The pool is shutting down; the submitted job was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolClosed;
+
+impl std::fmt::Display for PoolClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool is shutting down")
+    }
+}
+
+impl std::error::Error for PoolClosed {}
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+}
+
+/// A blocking MPMC queue with a hard capacity.
+struct BoundedQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                capacity: capacity.max(1),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Blocks while the queue is full; returns the item back if the
+    /// queue has been closed.
+    fn push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if inner.closed {
+                return Err(item);
+            }
+            if inner.items.len() < inner.capacity {
+                inner.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.not_full.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Blocks while the queue is empty; returns `None` once the queue is
+    /// closed *and* drained.
+    fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock");
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// A fixed-size pool of worker threads consuming jobs from a bounded
+/// queue.
+pub struct ThreadPool {
+    queue: Arc<BoundedQueue<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `workers` threads (min 1) behind a queue holding at most
+    /// `queue_capacity` pending jobs (min 1).
+    pub fn new(workers: usize, queue_capacity: usize) -> Self {
+        let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(queue_capacity));
+        let workers: Vec<JoinHandle<()>> = (0..workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("pclabel-net-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.pop() {
+                            job();
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { queue, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job, blocking while the queue is full. Returns `Err`
+    /// if the pool is shutting down (the job is dropped).
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), PoolClosed> {
+        self.queue.push(Box::new(job)).map_err(|_| PoolClosed)
+    }
+
+    /// Closes the queue, lets workers drain the remaining jobs, and
+    /// joins them.
+    pub fn shutdown(mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Dropping without an explicit shutdown still terminates the
+        // workers (close + detach; jobs in flight finish on their own).
+        self.queue.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn all_jobs_run_once() {
+        let pool = ThreadPool::new(4, 8);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure_then_drains() {
+        // One deliberately slow worker and a tiny queue: the producer is
+        // forced to block, yet every job still runs exactly once.
+        let pool = ThreadPool::new(1, 2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                std::thread::sleep(Duration::from_millis(2));
+                counter.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn execute_after_shutdown_fails() {
+        let pool = ThreadPool::new(1, 1);
+        let queue = Arc::clone(&pool.queue);
+        pool.shutdown();
+        assert!(queue.push(Box::new(|| {})).is_err());
+    }
+}

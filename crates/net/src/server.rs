@@ -1,0 +1,408 @@
+//! The TCP listener: accepts connections, sniffs the wire protocol and
+//! serves each connection on a [`ThreadPool`] worker.
+//!
+//! One socket serves both protocols. The first four bytes of a
+//! connection are either an ASCII HTTP method prefix (`"GET "`,
+//! `"POST"`, …) — in which case the connection is handed to the
+//! [`crate::http`] adapter — or the big-endian length of the first
+//! frame. The two cannot collide because frame lengths are capped at
+//! [`MAX_FRAME_CEILING`](crate::frame::MAX_FRAME_CEILING), far below the
+//! smallest method-prefix value.
+//!
+//! ## Shutdown
+//!
+//! [`ServerHandle::shutdown`] (or a remote `{"op":"shutdown"}` when
+//! [`ServerConfig::allow_remote_shutdown`] is set) flips a shared flag.
+//! The acceptor runs the listener in non-blocking mode with a short
+//! poll sleep, so it observes the flag within ~10 ms regardless of bind
+//! address or host firewall rules (no self-connection tricks that can
+//! silently fail). The pool then drains already-accepted connections,
+//! and connection handlers notice the flag at their next request
+//! boundary or read-timeout tick — so total shutdown latency is bounded
+//! by [`ServerConfig::read_timeout`]. With `read_timeout: None`,
+//! blocking reads cannot observe the flag: shutdown then waits until
+//! every idle connection is closed by its client.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pclabel_engine::json::Json;
+use pclabel_engine::serve::Dispatcher;
+
+use crate::frame::{
+    read_frame_body, write_frame, FrameError, DEFAULT_MAX_FRAME, MAX_FRAME_CEILING,
+};
+use crate::http;
+use crate::pool::ThreadPool;
+
+/// Tuning for [`NetServer::spawn`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Worker threads serving connections (each persistent connection
+    /// occupies one worker while it lives).
+    pub workers: usize,
+    /// Accepted connections that may wait for a free worker; beyond
+    /// this, the acceptor itself blocks (backpressure).
+    pub queue_capacity: usize,
+    /// Maximum request-frame payload size in bytes (clamped to
+    /// [`MAX_FRAME_CEILING`]); also caps HTTP request bodies.
+    pub max_frame: u32,
+    /// Per-connection socket read timeout. Doubles as the shutdown poll
+    /// interval for idle connections; `None` means idle connections only
+    /// terminate when the client closes them.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Option<Duration>,
+    /// Honour `{"op":"shutdown"}` from clients (off by default; meant
+    /// for tests and supervised smoke runs).
+    pub allow_remote_shutdown: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            max_frame: DEFAULT_MAX_FRAME,
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+            allow_remote_shutdown: false,
+        }
+    }
+}
+
+/// State shared between the acceptor, the workers and the handle.
+pub(crate) struct Shared {
+    pub(crate) dispatcher: Arc<Dispatcher>,
+    pub(crate) config: ServerConfig,
+    local_addr: SocketAddr,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    pub(crate) fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flips the shutdown flag; the polling acceptor notices it within
+    /// one poll interval.
+    pub(crate) fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// How often the acceptor polls for new connections and the shutdown
+/// flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// The network front end (namespace for [`NetServer::spawn`]).
+pub struct NetServer;
+
+impl NetServer {
+    /// Binds `config.addr`, spawns the acceptor thread and worker pool,
+    /// and returns a handle. All connections dispatch through the shared
+    /// `dispatcher`.
+    pub fn spawn(dispatcher: Arc<Dispatcher>, config: ServerConfig) -> io::Result<ServerHandle> {
+        let mut config = config;
+        config.max_frame = config.max_frame.min(MAX_FRAME_CEILING);
+        let listener = TcpListener::bind(&config.addr)?;
+        // Non-blocking accept + short poll: shutdown is observed within
+        // one poll interval without relying on a wake connection that a
+        // firewall or odd bind address could silently swallow.
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            dispatcher,
+            config,
+            local_addr,
+            shutdown: AtomicBool::new(false),
+        });
+        let pool = ThreadPool::new(shared.config.workers, shared.config.queue_capacity);
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("pclabel-net-accept".to_string())
+            .spawn(move || {
+                loop {
+                    if accept_shared.shutting_down() {
+                        break;
+                    }
+                    let stream = match listener.accept() {
+                        Ok((stream, _)) => stream,
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(ACCEPT_POLL);
+                            continue;
+                        }
+                        Err(_) => {
+                            // Transient failure (EMFILE, aborted
+                            // handshake, …): back off instead of
+                            // spinning a core against a persistent one.
+                            std::thread::sleep(ACCEPT_POLL);
+                            continue;
+                        }
+                    };
+                    // Handlers use blocking reads with SO_RCVTIMEO; undo
+                    // the listener-inherited non-blocking mode.
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
+                    let conn_shared = Arc::clone(&accept_shared);
+                    if pool
+                        .execute(move || handle_connection(stream, &conn_shared))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                pool.shutdown();
+            })
+            .expect("spawn acceptor");
+
+        Ok(ServerHandle {
+            shared,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// Owner handle for a running server.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Initiates graceful shutdown and blocks until the acceptor and all
+    /// workers have exited.
+    pub fn shutdown(mut self) {
+        self.shared.trigger_shutdown();
+        self.join();
+    }
+
+    /// Blocks until the server stops on its own (remote shutdown op or
+    /// acceptor failure). Used by `pclabel-netd`'s main thread.
+    pub fn wait(mut self) {
+        self.join();
+    }
+
+    fn join(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.trigger_shutdown();
+        self.join();
+    }
+}
+
+/// Outcome of reading a fixed-size chunk with idle/shutdown awareness.
+enum StartRead {
+    /// All four bytes read.
+    Data([u8; 4]),
+    /// Clean EOF before any byte (client closed between requests).
+    Eof,
+    /// Shutdown observed, timeout mid-read, or I/O error — drop the
+    /// connection without a response.
+    Abort,
+}
+
+/// Reads the 4-byte request prologue (HTTP method prefix or frame
+/// length). A read timeout with *zero* bytes consumed is an idle tick:
+/// the connection stays alive unless the server is shutting down. A
+/// timeout after partial data means a wedged peer: abort.
+fn read_prologue(stream: &mut TcpStream, shared: &Shared) -> StartRead {
+    let mut buf = [0u8; 4];
+    let mut filled = 0usize;
+    loop {
+        if shared.shutting_down() && filled == 0 {
+            return StartRead::Abort;
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return StartRead::Eof,
+            Ok(0) => return StartRead::Abort,
+            Ok(n) => {
+                filled += n;
+                if filled == 4 {
+                    return StartRead::Data(buf);
+                }
+            }
+            Err(e)
+                if filled == 0
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+            {
+                continue; // idle between requests; loop re-checks shutdown
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return StartRead::Abort,
+        }
+    }
+}
+
+/// `true` if the connection's first four bytes look like an HTTP/1.x
+/// request line.
+fn is_http_prefix(bytes: &[u8; 4]) -> bool {
+    matches!(
+        bytes,
+        b"GET " | b"POST" | b"PUT " | b"HEAD" | b"DELE" | b"OPTI" | b"PATC" | b"TRAC" | b"CONN"
+    )
+}
+
+/// Serves one accepted connection: sniff, then speak the right protocol
+/// until EOF, error or shutdown.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(shared.config.read_timeout);
+    let _ = stream.set_write_timeout(shared.config.write_timeout);
+    let mut stream = stream;
+    match read_prologue(&mut stream, shared) {
+        StartRead::Eof | StartRead::Abort => {}
+        StartRead::Data(first) => {
+            if is_http_prefix(&first) {
+                http::serve_connection(stream, first, shared);
+            } else {
+                serve_framed(stream, u32::from_be_bytes(first), shared);
+            }
+        }
+    }
+}
+
+/// One raw request line: parse, then [`process_request`]. Returns the
+/// response and whether a (permitted) shutdown was requested.
+pub(crate) fn process_line(line: &str, shared: &Shared) -> (Json, bool) {
+    let request = match Json::parse(line) {
+        // Re-dispatching the unparsable line yields the dispatcher's own
+        // error shape, keeping transports byte-identical with the
+        // stdin/stdout loop.
+        Err(_) => return (shared.dispatcher.dispatch_line(line), false),
+        Ok(v) => v,
+    };
+    process_request(&request, shared)
+}
+
+/// One parsed request: the shared post-parse dispatch path for both
+/// transports (the HTTP adapter calls it directly with the body it
+/// already parsed). Returns the response and whether a (permitted)
+/// shutdown was requested.
+pub(crate) fn process_request(request: &Json, shared: &Shared) -> (Json, bool) {
+    if request.get("op").and_then(Json::as_str) == Some("shutdown") {
+        if shared.config.allow_remote_shutdown {
+            shared.trigger_shutdown();
+            return (
+                Json::obj([("ok", Json::Bool(true)), ("op", Json::str("shutdown"))]),
+                true,
+            );
+        }
+        return (
+            Json::obj([
+                ("ok", Json::Bool(false)),
+                (
+                    "error",
+                    Json::str("shutdown is not enabled (--allow-remote-shutdown)"),
+                ),
+                ("op", Json::str("shutdown")),
+            ]),
+            false,
+        );
+    }
+    (shared.dispatcher.dispatch(request), false)
+}
+
+/// Reads and discards up to `remaining` bytes (bounded additionally by
+/// the socket read timeout), so a rejected payload never sits unread in
+/// the receive buffer when the connection closes — closing with unread
+/// data would RST the connection and destroy the error response in
+/// flight. Shared by the framed loop and the HTTP adapter's 413 path.
+pub(crate) fn drain(stream: &mut TcpStream, mut remaining: u64) {
+    let mut chunk = [0u8; 8192];
+    while remaining > 0 {
+        let want = chunk.len().min(remaining.min(u32::MAX as u64) as usize);
+        match stream.read(&mut chunk[..want]) {
+            Ok(0) => break,
+            Ok(n) => remaining -= n as u64,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break, // timeout or hard error: give up draining
+        }
+    }
+}
+
+/// The length-prefixed protocol loop. `first_len` is the already-sniffed
+/// length of the first frame.
+fn serve_framed(mut stream: TcpStream, first_len: u32, shared: &Shared) {
+    let max = shared.config.max_frame;
+    let mut next_len = Some(first_len);
+    loop {
+        let len = match next_len.take() {
+            Some(len) => len,
+            None => match read_prologue(&mut stream, shared) {
+                StartRead::Data(header) => u32::from_be_bytes(header),
+                StartRead::Eof | StartRead::Abort => return,
+            },
+        };
+        let payload = match read_frame_body(&mut stream, len, max) {
+            Ok(p) => p,
+            Err(FrameError::TooLarge { len, max }) => {
+                // The payload was never read, so the stream cannot be
+                // re-synchronised: drain it (closing with unread data
+                // would RST the connection and destroy the error frame
+                // in flight), report, and close.
+                drain(&mut stream, len as u64);
+                let error = Json::obj([
+                    ("ok", Json::Bool(false)),
+                    (
+                        "error",
+                        Json::str(format!(
+                            "frame of {len} bytes exceeds maximum of {max} bytes"
+                        )),
+                    ),
+                ]);
+                let _ = write_frame(&mut stream, error.to_string().as_bytes(), MAX_FRAME_CEILING);
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        };
+        let (response, shutdown) = match std::str::from_utf8(&payload) {
+            Ok(line) => process_line(line, shared),
+            Err(_) => (
+                Json::obj([
+                    ("ok", Json::Bool(false)),
+                    ("error", Json::str("request is not valid UTF-8")),
+                ]),
+                false,
+            ),
+        };
+        // Responses are always sent whole, even above the request cap:
+        // the server never truncates its own output.
+        if write_frame(
+            &mut stream,
+            response.to_string().as_bytes(),
+            MAX_FRAME_CEILING,
+        )
+        .is_err()
+        {
+            return;
+        }
+        if shutdown || shared.shutting_down() {
+            return;
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! End-to-end tests for the network front end, including the acceptance
+//! criterion: the stdin/stdout serve loop (`pclabel-serve`'s code path),
+//! the framed TCP transport and the HTTP adapter produce byte-identical
+//! JSON responses for one replayed request script — in-process and
+//! through the real `pclabel-netd` binary.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+use pclabel_engine::json::Json;
+use pclabel_engine::query::EngineConfig;
+use pclabel_engine::serve::{serve, Dispatcher};
+use pclabel_net::client::{HttpClient, NetClient};
+use pclabel_net::server::{NetServer, ServerConfig, ServerHandle};
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        workers: 4,
+        // Short read timeout = fast shutdown polling in tests.
+        read_timeout: Some(Duration::from_millis(150)),
+        write_timeout: Some(Duration::from_secs(2)),
+        ..ServerConfig::default()
+    }
+}
+
+fn spawn_server(config: ServerConfig) -> ServerHandle {
+    NetServer::spawn(
+        Arc::new(Dispatcher::with_config(EngineConfig::default())),
+        config,
+    )
+    .expect("spawn test server")
+}
+
+/// One request script exercising every op, success and failure paths.
+/// Each transport replays it against a fresh engine, so per-dataset
+/// state (generations, cache counters) evolves identically.
+fn script() -> Vec<&'static str> {
+    vec![
+        r#"{"op":"register","dataset":"census","generator":"figure2","bound":5}"#,
+        r#"{"op":"register","dataset":"b","generator":"figure2","label_attrs":["gender","age group"]}"#,
+        r#"{"op":"query","dataset":"census","id":"q1","patterns":[{"gender":"Female","age group":"20-39","marital status":"married"},{"age group":"20-39"}]}"#,
+        r#"{"op":"query","dataset":"census","patterns":[{"age group":"20-39"}]}"#,
+        r#"{"op":"estimate_multi","strategy":"min_estimate","patterns":[{"gender":"Female","age group":"20-39","marital status":"married"}]}"#,
+        r#"{"op":"estimate_multi","patterns":[{"no such attr":"x"}]}"#,
+        "not json",
+        r#"{"op":"teleport"}"#,
+        r#"{"op":"refresh","dataset":"b","label_attrs":["marital status"]}"#,
+        r#"{"op":"stats","dataset":"census"}"#,
+        r#"{"op":"list"}"#,
+        r#"{"op":"health"}"#,
+        r#"{"op":"drop","dataset":"b"}"#,
+    ]
+}
+
+/// The script replayed through the in-process serve loop (exactly the
+/// `pclabel-serve` code path).
+fn stdio_responses() -> Vec<String> {
+    let dispatcher = Dispatcher::with_config(EngineConfig::default());
+    let input = script().join("\n");
+    let mut out = Vec::new();
+    serve(&dispatcher, input.as_bytes(), &mut out).expect("serve loop");
+    String::from_utf8(out)
+        .expect("UTF-8 output")
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn framed_tcp_is_byte_identical_to_serve_loop() {
+    let expected = stdio_responses();
+    let server = spawn_server(test_config());
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    let got: Vec<String> = script()
+        .iter()
+        .map(|line| client.request_line(line).expect("framed round-trip"))
+        .collect();
+    server.shutdown();
+    assert_eq!(expected, got);
+}
+
+#[test]
+fn http_generic_post_is_byte_identical_to_serve_loop() {
+    let expected = stdio_responses();
+    let server = spawn_server(test_config());
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    let got: Vec<String> = script()
+        .iter()
+        .map(|line| {
+            client
+                .request("POST", "/", Some(line))
+                .expect("HTTP round-trip")
+                .body
+        })
+        .collect();
+    server.shutdown();
+    assert_eq!(expected, got);
+}
+
+#[test]
+fn netd_binary_is_byte_identical_to_serve_loop() {
+    let expected = stdio_responses();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pclabel-netd"))
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--timeout-ms",
+            "300",
+            "--allow-remote-shutdown",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn pclabel-netd");
+    let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("startup banner");
+    // "pclabel-netd: listening on 127.0.0.1:PORT (2 workers)"
+    let addr = banner
+        .split_whitespace()
+        .nth(3)
+        .expect("address in banner")
+        .to_string();
+
+    let mut client = NetClient::connect(&addr).expect("connect to binary");
+    let got: Vec<String> = script()
+        .iter()
+        .map(|line| client.request_line(line).expect("binary round-trip"))
+        .collect();
+    let bye = client.request_line(r#"{"op":"shutdown"}"#).unwrap();
+    assert_eq!(
+        Json::parse(&bye).unwrap().get("ok"),
+        Some(&Json::Bool(true))
+    );
+    let status = child.wait().expect("netd exits");
+    assert!(status.success());
+    assert_eq!(expected, got);
+}
+
+#[test]
+fn http_named_endpoints_round_trip() {
+    let server = spawn_server(test_config());
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+
+    // GET /healthz before any registration.
+    let health = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(health.status, 200);
+    let health_json = Json::parse(&health.body).unwrap();
+    assert_eq!(health_json.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(health_json.get("datasets").and_then(Json::as_u64), Some(0));
+
+    // POST /register with the op implied by the path.
+    let register = client
+        .request(
+            "POST",
+            "/register",
+            Some(r#"{"dataset":"census","generator":"figure2","bound":5}"#),
+        )
+        .unwrap();
+    assert_eq!(register.status, 200, "{}", register.body);
+
+    // POST /query — paper Example 2.12 through HTTP.
+    let query = client
+        .request(
+            "POST",
+            "/query",
+            Some(
+                r#"{"dataset":"census","patterns":[{"gender":"Female","age group":"20-39","marital status":"married"}]}"#,
+            ),
+        )
+        .unwrap();
+    assert_eq!(query.status, 200);
+    let results = Json::parse(&query.body)
+        .unwrap()
+        .get("results")
+        .and_then(Json::as_array)
+        .unwrap()
+        .to_vec();
+    assert_eq!(results[0].get("estimate").and_then(Json::as_f64), Some(3.0));
+
+    // GET /stats?dataset=census and the parameterless list degradation.
+    let stats = client
+        .request("GET", "/stats?dataset=census", None)
+        .unwrap();
+    assert_eq!(stats.status, 200);
+    assert_eq!(
+        Json::parse(&stats.body)
+            .unwrap()
+            .get("op")
+            .and_then(Json::as_str),
+        Some("stats")
+    );
+    let list = client.request("GET", "/stats", None).unwrap();
+    assert_eq!(
+        Json::parse(&list.body)
+            .unwrap()
+            .get("op")
+            .and_then(Json::as_str),
+        Some("list")
+    );
+
+    // All of the above reused one keep-alive connection; a failed
+    // dispatch maps to 400 with the same JSON error body shape.
+    let missing = client
+        .request(
+            "POST",
+            "/query",
+            Some(r#"{"dataset":"ghost","patterns":[]}"#),
+        )
+        .unwrap();
+    assert_eq!(missing.status, 400);
+    assert_eq!(
+        Json::parse(&missing.body).unwrap().get("ok"),
+        Some(&Json::Bool(false))
+    );
+
+    // Unknown path and unsupported method.
+    let lost = client.request("GET", "/nope", None).unwrap();
+    assert_eq!(lost.status, 404);
+    let put = client.request("PUT", "/query", Some("{}")).unwrap();
+    assert_eq!(put.status, 405);
+
+    // Op/path mismatch is rejected before dispatch.
+    let mismatch = client
+        .request(
+            "POST",
+            "/query",
+            Some(r#"{"op":"drop","dataset":"census"}"#),
+        )
+        .unwrap();
+    assert_eq!(mismatch.status, 400);
+
+    server.shutdown();
+}
+
+#[test]
+fn expect_100_continue_is_acknowledged() {
+    use std::io::{Read, Write};
+
+    let server = spawn_server(test_config());
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+
+    // Send the head only, like curl does for larger bodies, and wait
+    // for the interim response before the body.
+    let body = r#"{"op":"health"}"#;
+    let head = format!(
+        "POST / HTTP/1.1\r\nHost: x\r\nExpect: 100-continue\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    let mut interim = [0u8; 25];
+    stream.read_exact(&mut interim).unwrap();
+    assert_eq!(&interim, b"HTTP/1.1 100 Continue\r\n\r\n");
+
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut response = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut chunk).unwrap();
+        response.extend_from_slice(&chunk[..n]);
+        if response.windows(4).any(|w| w == b"\r\n\r\n") && response.ends_with(b"}") {
+            break;
+        }
+    }
+    let text = String::from_utf8(response).unwrap();
+    assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+    assert!(text.contains(r#""status":"ok""#), "{text}");
+    server.shutdown();
+}
+
+#[test]
+fn oversized_frames_are_rejected_with_an_error_frame() {
+    let server = spawn_server(ServerConfig {
+        max_frame: 128,
+        ..test_config()
+    });
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+
+    // Within the limit: fine.
+    let ok = client.request_line(r#"{"op":"list"}"#).unwrap();
+    assert_eq!(Json::parse(&ok).unwrap().get("ok"), Some(&Json::Bool(true)));
+
+    // Over the limit: the server reports and closes the connection
+    // (the stream cannot be re-synchronised past an unread payload).
+    let huge = format!(
+        r#"{{"op":"query","dataset":"x","patterns":[{{"a":"{}"}}]}}"#,
+        "v".repeat(4096)
+    );
+    let response = client.request_line(&huge).unwrap();
+    let parsed = Json::parse(&response).unwrap();
+    assert_eq!(parsed.get("ok"), Some(&Json::Bool(false)));
+    assert!(parsed
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("exceeds maximum"));
+    assert!(client.request_line(r#"{"op":"list"}"#).is_err());
+
+    server.shutdown();
+}
+
+#[test]
+fn remote_shutdown_is_gated_by_config() {
+    // Disabled (default): the op is refused and the server keeps
+    // serving.
+    let server = spawn_server(test_config());
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    let refused = client.request_line(r#"{"op":"shutdown"}"#).unwrap();
+    assert_eq!(
+        Json::parse(&refused).unwrap().get("ok"),
+        Some(&Json::Bool(false))
+    );
+    let alive = client.request_line(r#"{"op":"health"}"#).unwrap();
+    assert_eq!(
+        Json::parse(&alive).unwrap().get("ok"),
+        Some(&Json::Bool(true))
+    );
+    server.shutdown();
+
+    // Enabled: the op answers ok and the whole server winds down.
+    let server = spawn_server(ServerConfig {
+        allow_remote_shutdown: true,
+        ..test_config()
+    });
+    let addr = server.local_addr();
+    let mut client = NetClient::connect(addr).unwrap();
+    let accepted = client.request_line(r#"{"op":"shutdown"}"#).unwrap();
+    assert_eq!(
+        Json::parse(&accepted).unwrap().get("ok"),
+        Some(&Json::Bool(true))
+    );
+    server.wait(); // returns because the client's op stopped the server
+}
+
+#[test]
+fn many_sequential_connections_are_served() {
+    // Connections beyond the worker count are fine as long as they
+    // don't all stay open: each register/query pair uses a fresh
+    // connection.
+    let server = spawn_server(ServerConfig {
+        workers: 2,
+        ..test_config()
+    });
+    for i in 0..8 {
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        let register = client
+            .request_line(&format!(
+                r#"{{"op":"register","dataset":"d{i}","generator":"figure2","label_attrs":["gender"]}}"#
+            ))
+            .unwrap();
+        assert_eq!(
+            Json::parse(&register).unwrap().get("ok"),
+            Some(&Json::Bool(true)),
+            "register d{i}: {register}"
+        );
+    }
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    let health = client.request_line(r#"{"op":"health"}"#).unwrap();
+    assert_eq!(
+        Json::parse(&health)
+            .unwrap()
+            .get("datasets")
+            .and_then(Json::as_u64),
+        Some(8)
+    );
+    server.shutdown();
+}

@@ -70,4 +70,5 @@ pub use pclabel_baselines as baselines;
 pub use pclabel_core as core;
 pub use pclabel_data as data;
 pub use pclabel_engine as engine;
+pub use pclabel_net as net;
 pub use pclabel_report as report;
