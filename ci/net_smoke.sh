@@ -1,37 +1,61 @@
 #!/usr/bin/env bash
-# CI smoke for the network front end: build release, start pclabel-netd
-# on an ephemeral loopback port, round-trip register + query + /healthz
+# CI smoke for the network front end, run once per connection model
+# (--model pool, --model reactor): build release, start pclabel-netd on
+# an ephemeral loopback port, round-trip register + query + /healthz
 # through the real clients (examples/net_smoke.rs), then shut down via
-# the shutdown op and verify a clean exit.
+# the shutdown op and verify a clean exit. Afterwards, replay an
+# identical mixed request script (examples/net_replay.rs) against a
+# fresh daemon of each model and diff the captured responses: the two
+# models must be byte-identical.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p pclabel-net --bin pclabel-netd --example net_smoke
+cargo build --release -p pclabel-net --bin pclabel-netd \
+    --example net_smoke --example net_replay
 
-out=$(mktemp)
-timeout 60 ./target/release/pclabel-netd \
-    --listen 127.0.0.1:0 --workers 2 --timeout-ms 1000 \
-    --allow-remote-shutdown >"$out" &
-pid=$!
-trap 'kill "$pid" 2>/dev/null || true' EXIT
+# Starts a daemon with the given extra flags; sets $daemon_pid and
+# $daemon_addr. The daemon prints "pclabel-netd: listening on ADDR (...)"
+# once the socket is bound; poll for it to learn the ephemeral port.
+start_daemon() {
+    local out="$1"; shift
+    timeout 60 ./target/release/pclabel-netd \
+        --listen 127.0.0.1:0 --workers 2 --timeout-ms 1000 \
+        --allow-remote-shutdown "$@" >"$out" &
+    daemon_pid=$!
+    daemon_addr=""
+    for _ in $(seq 1 100); do
+        daemon_addr=$(awk '/listening on/ {print $4; exit}' "$out")
+        [ -n "$daemon_addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$daemon_addr" ]; then
+        echo "pclabel-netd never reported its address" >&2
+        cat "$out" >&2
+        return 1
+    fi
+}
 
-# The daemon prints "pclabel-netd: listening on ADDR (N workers)" once
-# the socket is bound; poll for it to learn the ephemeral port.
-addr=""
-for _ in $(seq 1 100); do
-    addr=$(awk '/listening on/ {print $4; exit}' "$out")
-    [ -n "$addr" ] && break
-    sleep 0.1
+trap 'kill $(jobs -p) 2>/dev/null || true' EXIT
+
+for model in pool reactor; do
+    start_daemon "$(mktemp)" --model "$model"
+    ./target/release/examples/net_smoke "$daemon_addr"
+    # The smoke client sent {"op":"shutdown"}; the daemon must exit 0 on
+    # its own (the surrounding `timeout 60` turns a hang into a failure).
+    wait "$daemon_pid"
+    echo "net smoke ok (--model $model, $daemon_addr)"
 done
-if [ -z "$addr" ]; then
-    echo "pclabel-netd never reported its address" >&2
-    cat "$out" >&2
+
+# Byte-identity across models: one mixed framed+HTTP script, replayed
+# against a fresh daemon per model, must produce identical output.
+for model in pool reactor; do
+    start_daemon "$(mktemp)" --model "$model"
+    ./target/release/examples/net_replay "$daemon_addr" >"replay_$model.txt"
+    wait "$daemon_pid"
+done
+if ! diff -u replay_pool.txt replay_reactor.txt; then
+    echo "pool and reactor responses diverged" >&2
     exit 1
 fi
-
-./target/release/examples/net_smoke "$addr"
-
-# The smoke client sent {"op":"shutdown"}; the daemon must exit 0 on its
-# own (the surrounding `timeout 60` turns a hang into a failure).
-wait "$pid"
-echo "net smoke ok ($addr)"
+rm -f replay_pool.txt replay_reactor.txt
+echo "net smoke ok (pool and reactor responses byte-identical)"

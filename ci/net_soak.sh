@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# CI soak gate for the event-driven reactor: with W workers, park W + 4
+# idle keep-alive connections on a `--model reactor` daemon and assert a
+# fresh client still completes a register + query round-trip within 2
+# seconds. This exact scenario deadlocks the thread-pool model (every
+# worker pinned to an idle connection), so it is encoded here as the
+# regression gate for the starvation fix.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORKERS=2
+IDLE=$((WORKERS + 4))
+DEADLINE_MS=2000
+
+cargo build --release -p pclabel-net --bin pclabel-netd --example net_soak
+
+out=$(mktemp)
+timeout 60 ./target/release/pclabel-netd \
+    --listen 127.0.0.1:0 --workers "$WORKERS" --model reactor \
+    --timeout-ms 5000 --allow-remote-shutdown >"$out" &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(awk '/listening on/ {print $4; exit}' "$out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "pclabel-netd never reported its address" >&2
+    cat "$out" >&2
+    exit 1
+fi
+
+./target/release/examples/net_soak "$addr" "$IDLE" "$DEADLINE_MS"
+
+# The soak client sent {"op":"shutdown"}; the daemon must exit cleanly,
+# draining the parked connections.
+wait "$pid"
+echo "net soak ok ($IDLE idle connections vs $WORKERS workers, $addr)"

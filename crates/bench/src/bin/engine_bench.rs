@@ -10,16 +10,30 @@
 //!
 //! With `--net`, additionally spawns an in-process `pclabel-net` server
 //! on a loopback port and measures framed-TCP request throughput at
-//! 1/2/4 client threads (a `"net"` array in the JSON report).
+//! 1/2/4 client threads (a `"net"` array in the JSON report). The
+//! `--model pool|reactor` flag picks the server's connection model
+//! (default: the platform default, i.e. reactor on Unix), and each
+//! measurement additionally runs with a fleet of idle keep-alive
+//! connections parked on the server (the `idle_conns` column) — the
+//! workload the reactor exists for. With the pool model the idle fleet
+//! is clamped below the worker count, because `workers` idle
+//! connections would deadlock the bench; the clamp is reported in the
+//! row.
+//!
+//! `--json` is accepted for explicitness; the report is always a single
+//! JSON object on stdout (progress goes to stderr).
 //!
 //! ```text
-//! cargo run --release -p pclabel-bench --bin engine_bench [-- --net]
+//! cargo run --release -p pclabel-bench --bin engine_bench -- \
+//!     [--net] [--model pool|reactor] [--json]
 //! ```
 //!
 //! Environment:
 //!   PCLABEL_BENCH_ROWS       dataset rows (default 1_000_000)
 //!   PCLABEL_BENCH_REPS       timing repetitions, best-of (default 3)
 //!   PCLABEL_BENCH_NET_REQS   --net requests per client thread (default 200)
+//!   PCLABEL_BENCH_NET_IDLE   --net parked idle connections (default
+//!                            workers + 4; clamped for --model pool)
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -31,13 +45,19 @@ use pclabel_data::generate::{independent, AttrSpec};
 use pclabel_engine::json::Json;
 use pclabel_engine::prelude::*;
 use pclabel_net::client::NetClient;
-use pclabel_net::server::{NetServer, ServerConfig};
+use pclabel_net::server::{ConnectionModel, NetServer, ServerConfig};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(default)
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("engine_bench: {message}");
+    eprintln!("usage: engine_bench [--net] [--model pool|reactor] [--json]");
+    std::process::exit(2);
 }
 
 /// Best-of-`reps` wall-clock seconds for `f`.
@@ -73,6 +93,33 @@ fn synthetic(rows: usize) -> Dataset {
 }
 
 fn main() {
+    let mut net_enabled = false;
+    let mut model = ConnectionModel::platform_default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--net" => net_enabled = true,
+            // The report is always JSON; the flag exists so callers
+            // (CI) can say what they rely on.
+            "--json" => {}
+            "--model" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| usage("--model needs a value"));
+                model = value.parse().unwrap_or_else(|e: String| usage(&e));
+            }
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    // Mirror NetServer::spawn's fallback so the deadlock clamp below
+    // (and the JSON rows' model label) reflect the model that actually
+    // serves, not the one requested.
+    if model == ConnectionModel::Reactor && !cfg!(unix) {
+        eprintln!("engine_bench: --net reactor unavailable here, falling back to pool");
+        model = ConnectionModel::Pool;
+    }
+
     let rows = env_usize("PCLABEL_BENCH_ROWS", 1_000_000);
     let reps = env_usize("PCLABEL_BENCH_REPS", 3);
     let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
@@ -161,21 +208,56 @@ fn main() {
     assert_eq!(hot.stats.failed, 0);
 
     // --- network serving (--net): framed TCP req/s over loopback ----------
-    let net_enabled = std::env::args().skip(1).any(|a| a == "--net");
     let mut net_rows = Vec::new();
     if net_enabled {
         let requests_per_client = env_usize("PCLABEL_BENCH_NET_REQS", 200);
+        let workers = 8usize;
+        let idle_requested = env_usize("PCLABEL_BENCH_NET_IDLE", workers + 4);
         let server = NetServer::spawn(
             Arc::clone(&dispatcher),
             ServerConfig {
-                workers: 8,
+                model,
+                workers,
                 ..ServerConfig::default()
             },
         )
         .expect("spawn bench server");
         let addr = server.local_addr();
         for &clients in &[1usize, 2, 4] {
-            eprintln!("engine_bench: --net {clients} client thread(s)…");
+            // The pool model pins one worker per connection, idle or
+            // not: an idle fleet of `workers - clients` would already
+            // starve the measurement clients, so clamp below that (the
+            // reactor takes the full fleet).
+            let idle_conns = if model == ConnectionModel::Pool {
+                idle_requested.min(workers.saturating_sub(clients + 1))
+            } else {
+                idle_requested
+            };
+            if idle_conns < idle_requested {
+                eprintln!(
+                    "engine_bench: --net clamped idle connections {idle_requested} -> \
+                     {idle_conns} (pool model would deadlock)"
+                );
+            }
+            eprintln!(
+                "engine_bench: --net {model} model, {clients} client thread(s), \
+                 {idle_conns} idle connection(s)…"
+            );
+            // Park the idle keep-alive fleet (each proven live with one
+            // request) for the duration of the measurement.
+            let mut parked: Vec<NetClient> = (0..idle_conns)
+                .map(|_| {
+                    let mut client = NetClient::connect(addr).expect("idle connection connects");
+                    let response = client
+                        .request_line(r#"{"op":"health"}"#)
+                        .expect("idle connection health");
+                    assert_eq!(
+                        Json::parse(&response).expect("health JSON").get("ok"),
+                        Some(&Json::Bool(true))
+                    );
+                    client
+                })
+                .collect();
             let start = Instant::now();
             std::thread::scope(|scope| {
                 for c in 0..clients {
@@ -199,9 +281,20 @@ fn main() {
                 }
             });
             let secs = start.elapsed().as_secs_f64();
+            // The fleet must have survived the storm, not been dropped.
+            for client in parked.iter_mut() {
+                let response = client
+                    .request_line(r#"{"op":"health"}"#)
+                    .expect("idle connection survived the measurement");
+                assert_eq!(
+                    Json::parse(&response).expect("health JSON").get("ok"),
+                    Some(&Json::Bool(true))
+                );
+            }
+            drop(parked);
             let requests = clients * requests_per_client;
             net_rows.push(format!(
-                "{{\"client_threads\":{clients},\"requests\":{requests},\"seconds\":{secs:.6},\"req_per_sec\":{:.0}}}",
+                "{{\"model\":\"{model}\",\"client_threads\":{clients},\"idle_conns\":{idle_conns},\"requests\":{requests},\"seconds\":{secs:.6},\"req_per_sec\":{:.0}}}",
                 requests as f64 / secs
             ));
         }

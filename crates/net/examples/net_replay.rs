@@ -1,0 +1,66 @@
+//! Replay client for a running `pclabel-netd`: sends a fixed request
+//! script over framed TCP, then the same script again over HTTP
+//! (`POST /`), printing every response body to stdout, one per line.
+//!
+//! `ci/net_smoke.sh` runs this against a `--model pool` daemon and a
+//! `--model reactor` daemon and diffs the outputs: the two connection
+//! models must be byte-identical for the same request stream. The
+//! script mixes ops, failure paths, and non-JSON garbage so the diff
+//! covers dispatch errors as well as happy paths; it runs each op
+//! sequence against one long-lived daemon, so per-dataset state
+//! (generations, cache counters) evolves — identically — under both
+//! models.
+//!
+//! Ends with `{"op":"shutdown"}` (requires `--allow-remote-shutdown`),
+//! whose response is printed too.
+//!
+//! ```text
+//! net_replay 127.0.0.1:7341
+//! ```
+
+use pclabel_net::client::{HttpClient, NetClient};
+
+fn script() -> Vec<&'static str> {
+    vec![
+        r#"{"op":"register","dataset":"census","generator":"figure2","bound":5}"#,
+        r#"{"op":"register","dataset":"b","generator":"figure2","label_attrs":["gender","age group"]}"#,
+        r#"{"op":"query","dataset":"census","id":"q1","patterns":[{"gender":"Female","age group":"20-39","marital status":"married"},{"age group":"20-39"}]}"#,
+        r#"{"op":"query","dataset":"census","patterns":[{"age group":"20-39"}]}"#,
+        r#"{"op":"estimate_multi","strategy":"min_estimate","patterns":[{"gender":"Female","age group":"20-39","marital status":"married"}]}"#,
+        r#"{"op":"estimate_multi","patterns":[{"no such attr":"x"}]}"#,
+        "not json",
+        r#"{"op":"teleport"}"#,
+        r#"{"op":"refresh","dataset":"b","label_attrs":["marital status"]}"#,
+        r#"{"op":"stats","dataset":"census"}"#,
+        r#"{"op":"list"}"#,
+        r#"{"op":"health"}"#,
+        r#"{"op":"drop","dataset":"b"}"#,
+    ]
+}
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| panic!("usage: net_replay ADDR"));
+
+    let mut framed = NetClient::connect(&addr).expect("framed connect");
+    for line in script() {
+        let response = framed.request_line(line).expect("framed round-trip");
+        println!("framed {response}");
+    }
+
+    let mut http = HttpClient::connect(&addr).expect("HTTP connect");
+    for line in script() {
+        let response = http
+            .request("POST", "/", Some(line))
+            .expect("HTTP round-trip");
+        println!("http {} {}", response.status, response.body);
+    }
+    let health = http.request("GET", "/healthz", None).expect("GET /healthz");
+    println!("http {} {}", health.status, health.body);
+
+    let bye = framed
+        .request_line(r#"{"op":"shutdown"}"#)
+        .expect("shutdown round-trip");
+    println!("framed {bye}");
+}

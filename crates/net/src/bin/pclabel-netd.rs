@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use pclabel_engine::query::{Engine, EngineConfig};
 use pclabel_engine::serve::Dispatcher;
-use pclabel_net::server::{NetServer, ServerConfig};
+use pclabel_net::server::{ConnectionModel, NetServer, ServerConfig};
 
 const USAGE: &str = "\
 pclabel-netd — serve pattern count-based labels over TCP/HTTP
@@ -21,14 +21,29 @@ usage: pclabel-netd [options]
 options:
   --listen ADDR            listen address (default 127.0.0.1:7341; port 0
                            picks an ephemeral port, printed on startup)
-  --workers N              connection worker threads (default 4)
-  --queue N                accepted connections that may queue for a free
-                           worker before accept blocks (default 64)
+  --model pool|reactor     connection model (default: reactor on Unix —
+                           epoll on Linux, poll(2) elsewhere — pool
+                           otherwise). pool pins one worker per
+                           connection; reactor multiplexes all
+                           connections on one event loop and uses
+                           workers per request, so idle keep-alive
+                           clients cannot starve new ones
+  --workers N              worker threads (default 4): per-connection in
+                           the pool model, per-request in the reactor
+  --queue N                pending jobs that may queue for a free worker
+                           (default 64)
+  --max-conns N            reactor only: simultaneous connection cap;
+                           at the cap the least-recently-active idle
+                           connection is evicted (default 1024)
+  --idle-ms MS             reactor only: close connections idle between
+                           requests for MS (default 0 = never)
   --max-frame BYTES        request frame/body size limit (default 1048576)
   --timeout-ms MS          per-connection read/write timeout; also the
                            shutdown poll interval (default 10000; 0 = no
                            timeout — shutdown then waits for idle
                            connections to close)
+  --force-poll             reactor only: use the portable poll(2) backend
+                           even where epoll is available (diagnostics)
   --allow-remote-shutdown  honour {\"op\":\"shutdown\"} from clients
   -h, --help               this text
 
@@ -53,6 +68,7 @@ fn fail(message: &str) -> ! {
 fn main() {
     let mut config = ServerConfig {
         addr: "127.0.0.1:7341".to_string(),
+        model: ConnectionModel::platform_default(),
         ..ServerConfig::default()
     };
 
@@ -68,6 +84,26 @@ fn main() {
                 return;
             }
             "--listen" => config.addr = value("--listen"),
+            "--model" => {
+                config.model = value("--model")
+                    .parse()
+                    .unwrap_or_else(|e: String| fail(&e));
+                if config.model == ConnectionModel::Reactor && !cfg!(unix) {
+                    fail("the reactor model needs epoll/poll(2); this platform has neither");
+                }
+            }
+            "--max-conns" => {
+                config.max_connections = value("--max-conns")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--max-conns needs an integer"))
+            }
+            "--idle-ms" => {
+                let ms: u64 = value("--idle-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--idle-ms needs an integer"));
+                config.idle_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--force-poll" => config.force_poll_backend = true,
             "--workers" => {
                 config.workers = value("--workers")
                     .parse()
@@ -106,14 +142,16 @@ fn main() {
     })));
 
     let workers = config.workers;
+    let model = config.model;
     let server = match NetServer::spawn(dispatcher, config) {
         Ok(server) => server,
         Err(e) => fail(&format!("failed to start: {e}")),
     };
     // Startup line on stdout so supervisors (and the CI smoke script)
-    // can discover the resolved ephemeral port.
+    // can discover the resolved ephemeral port. The address stays the
+    // fourth whitespace-separated field — scripts parse it.
     println!(
-        "pclabel-netd: listening on {} ({workers} workers)",
+        "pclabel-netd: listening on {} ({workers} workers, {model} model)",
         server.local_addr()
     );
     server.wait();

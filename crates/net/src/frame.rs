@@ -53,6 +53,21 @@ impl From<io::Error> for FrameError {
     }
 }
 
+/// Serialises one frame (length prefix + payload) into an owned buffer.
+/// Used by the reactor, which queues whole responses for non-blocking
+/// writes instead of writing to a stream.
+pub fn encode_frame(payload: &[u8], max: u32) -> Result<Vec<u8>, FrameError> {
+    let len =
+        u32::try_from(payload.len()).map_err(|_| FrameError::TooLarge { len: u32::MAX, max })?;
+    if len > max {
+        return Err(FrameError::TooLarge { len, max });
+    }
+    let mut bytes = Vec::with_capacity(4 + payload.len());
+    bytes.extend_from_slice(&len.to_be_bytes());
+    bytes.extend_from_slice(payload);
+    Ok(bytes)
+}
+
 /// Writes one frame (length prefix + payload) and flushes.
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8], max: u32) -> Result<(), FrameError> {
     let len =
@@ -127,6 +142,20 @@ mod tests {
         write_frame(&mut wire, b"abcde", DEFAULT_MAX_FRAME).unwrap();
         assert_eq!(&wire[..4], &[0, 0, 0, 5]);
         assert_eq!(&wire[4..], b"abcde");
+    }
+
+    #[test]
+    fn encode_matches_write() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"{\"op\":\"list\"}", DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(
+            encode_frame(b"{\"op\":\"list\"}", DEFAULT_MAX_FRAME).unwrap(),
+            wire
+        );
+        assert!(matches!(
+            encode_frame(&[0u8; 100], 10),
+            Err(FrameError::TooLarge { len: 100, max: 10 })
+        ));
     }
 
     #[test]

@@ -31,20 +31,23 @@ use pclabel_engine::json::Json;
 use crate::server::{process_line, process_request, Shared};
 
 /// Total byte cap on the request line + headers of one request.
-const MAX_HEAD_BYTES: usize = 16 * 1024;
+pub(crate) const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// The interim response for `Expect: 100-continue` requests.
+pub(crate) const CONTINUE: &[u8] = b"HTTP/1.1 100 Continue\r\n\r\n";
 
 /// One parsed request.
-struct Request {
-    method: String,
-    target: String,
-    version: String,
+pub(crate) struct Request {
+    pub(crate) method: String,
+    pub(crate) target: String,
+    pub(crate) version: String,
     /// Header names lowercased.
-    headers: Vec<(String, String)>,
-    body: Vec<u8>,
+    pub(crate) headers: Vec<(String, String)>,
+    pub(crate) body: Vec<u8>,
 }
 
 impl Request {
-    fn header(&self, name: &str) -> Option<&str> {
+    pub(crate) fn header(&self, name: &str) -> Option<&str> {
         self.headers
             .iter()
             .find(|(k, _)| k == name)
@@ -53,12 +56,60 @@ impl Request {
 
     /// Whether the connection survives this exchange (HTTP/1.1 defaults
     /// + `Connection` override).
-    fn keep_alive(&self) -> bool {
+    pub(crate) fn keep_alive(&self) -> bool {
         let connection = self.header("connection").unwrap_or("").to_ascii_lowercase();
         if connection.contains("close") {
             return false;
         }
         self.version == "HTTP/1.1" || connection.contains("keep-alive")
+    }
+
+    /// Whether this request carries `Expect: 100-continue`.
+    pub(crate) fn expects_continue(&self) -> bool {
+        self.header("expect")
+            .is_some_and(|v| v.to_ascii_lowercase().contains("100-continue"))
+    }
+}
+
+/// Parses a request head (everything before the `\r\n\r\n`, already
+/// UTF-8-checked) into a body-less [`Request`]. Errors are
+/// `(status, message)` pairs for the error response. Shared by the
+/// blocking adapter below and the reactor's incremental state machine.
+pub(crate) fn parse_head(head: &str) -> Result<Request, (u16, &'static str)> {
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err((400, "malformed request line"));
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err((400, "malformed header line"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        version: version.to_string(),
+        headers,
+        body: Vec::new(),
+    })
+}
+
+/// The declared body length of `request`, rejecting transfer-codings
+/// this adapter does not speak.
+pub(crate) fn body_length(request: &Request) -> Result<usize, (u16, &'static str)> {
+    if request.header("transfer-encoding").is_some() {
+        return Err((501, "transfer-encoding is not supported"));
+    }
+    match request.header("content-length") {
+        None => Ok(0),
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| (400, "invalid Content-Length")),
     }
 }
 
@@ -131,39 +182,13 @@ impl Conn {
         };
         self.carry.drain(..head_end + 4);
 
-        let mut lines = head.split("\r\n");
-        let request_line = lines.next().unwrap_or("");
-        let mut parts = request_line.split_ascii_whitespace();
-        let (Some(method), Some(target), Some(version)) =
-            (parts.next(), parts.next(), parts.next())
-        else {
-            return ReadRequest::Bad(400, "malformed request line");
+        let request = match parse_head(&head) {
+            Ok(request) => request,
+            Err((status, message)) => return ReadRequest::Bad(status, message),
         };
-        let mut headers = Vec::new();
-        for line in lines {
-            let Some((name, value)) = line.split_once(':') else {
-                return ReadRequest::Bad(400, "malformed header line");
-            };
-            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
-        }
-
-        let request = Request {
-            method: method.to_string(),
-            target: target.to_string(),
-            version: version.to_string(),
-            headers,
-            body: Vec::new(),
-        };
-
-        if request.header("transfer-encoding").is_some() {
-            return ReadRequest::Bad(501, "transfer-encoding is not supported");
-        }
-        let content_length = match request.header("content-length") {
-            None => 0usize,
-            Some(v) => match v.parse::<usize>() {
-                Ok(n) => n,
-                Err(_) => return ReadRequest::Bad(400, "invalid Content-Length"),
-            },
+        let content_length = match body_length(&request) {
+            Ok(n) => n,
+            Err((status, message)) => return ReadRequest::Bad(status, message),
         };
         if content_length > shared.config.max_frame as usize {
             // Drain the declared body before the 413 goes out (see
@@ -180,12 +205,8 @@ impl Conn {
         // response when they sent `Expect: 100-continue`; not answering
         // would stall every such request for the client's expect
         // timeout.
-        if request
-            .header("expect")
-            .is_some_and(|v| v.to_ascii_lowercase().contains("100-continue"))
-            && self.carry.len() < content_length
-        {
-            let _ = self.stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+        if request.expects_continue() && self.carry.len() < content_length {
+            let _ = self.stream.write_all(CONTINUE);
             let _ = self.stream.flush();
         }
 
@@ -201,7 +222,7 @@ impl Conn {
     }
 }
 
-fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+pub(crate) fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
     haystack
         .windows(needle.len())
         .position(|window| window == needle)
@@ -220,24 +241,32 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-fn write_response(
-    stream: &mut TcpStream,
-    status: u16,
-    body: &str,
-    keep_alive: bool,
-) -> io::Result<()> {
+/// Serialises one complete response (head + body). The single
+/// serialisation point for both connection models, so an HTTP exchange
+/// is byte-identical whether a pool worker or the reactor wrote it.
+pub(crate) fn response_bytes(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
     let head = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    let mut bytes = head.into_bytes();
+    bytes.extend_from_slice(body.as_bytes());
+    bytes
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    stream.write_all(&response_bytes(status, body, keep_alive))?;
     stream.flush()
 }
 
-fn error_body(message: &str) -> String {
+pub(crate) fn error_body(message: &str) -> String {
     Json::obj([("ok", Json::Bool(false)), ("error", Json::str(message))]).to_string()
 }
 
@@ -300,7 +329,7 @@ fn hex_val(b: Option<&u8>) -> Option<u8> {
 }
 
 /// Routes one request. Returns `(status, body, shutdown_requested)`.
-fn route(request: &Request, shared: &Shared) -> (u16, String, bool) {
+pub(crate) fn route(request: &Request, shared: &Shared) -> (u16, String, bool) {
     let (path, params) = split_target(&request.target);
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => {

@@ -26,6 +26,22 @@
 //! JSON for the same request stream — asserted by this crate's
 //! integration tests.
 //!
+//! ## Connection models
+//!
+//! Two interchangeable connection models serve the same protocols with
+//! byte-identical responses
+//! ([`ServerConfig::model`](server::ServerConfig)):
+//!
+//! * **`pool`** — one worker thread per connection for its lifetime.
+//!   Simple and portable, but `workers` idle keep-alive clients starve
+//!   every later client.
+//! * **`reactor`** (Unix; default for `pclabel-netd` there) — one
+//!   event-loop thread owns every connection as a non-blocking state
+//!   machine over `epoll` (Linux) or `poll(2)`; workers are held per
+//!   *request*, so idle connections cost a file descriptor, not a
+//!   thread. Adds per-connection idle deadlines and a connection cap
+//!   with LRU-idle eviction.
+//!
 //! ## Pieces
 //!
 //! * [`frame`] — the length-prefixed wire format (read/write, size caps);
@@ -33,6 +49,8 @@
 //!   queue (accepting backpressure instead of unbounded memory);
 //! * [`server`] — the TCP listener: protocol sniffing, per-connection
 //!   read/write timeouts, graceful shutdown via a flag + wake connection;
+//! * `reactor` + `sys` (Unix) — the event-driven connection model and
+//!   its raw `epoll`/`poll(2)` syscall layer;
 //! * [`http`] — the minimal HTTP/1.1 adapter;
 //! * [`client`] — blocking framed-TCP and HTTP clients for tests,
 //!   benchmarks and smoke scripts.
@@ -66,12 +84,16 @@ pub mod client;
 pub mod frame;
 pub mod http;
 pub mod pool;
+#[cfg(unix)]
+pub(crate) mod reactor;
 pub mod server;
+#[cfg(unix)]
+pub(crate) mod sys;
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::client::{HttpClient, NetClient};
-    pub use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
+    pub use crate::frame::{encode_frame, read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
     pub use crate::pool::ThreadPool;
-    pub use crate::server::{NetServer, ServerConfig, ServerHandle};
+    pub use crate::server::{ConnectionModel, NetServer, ServerConfig, ServerHandle};
 }

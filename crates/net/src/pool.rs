@@ -11,7 +11,28 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// A unit of work for the pool. Public so callers that must not block
+/// (the reactor event loop) can get a rejected job handed back from
+/// [`ThreadPool::try_execute`] and retry it later.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why [`ThreadPool::try_execute`] rejected a job; carries the job back
+/// so the caller can retry (or drop) it.
+pub enum TryExecuteError {
+    /// The queue is at capacity; retry when a worker frees up.
+    Full(Job),
+    /// The pool is shutting down; the job will never run.
+    Closed(Job),
+}
+
+impl std::fmt::Debug for TryExecuteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TryExecuteError::Full(_) => "TryExecuteError::Full(..)",
+            TryExecuteError::Closed(_) => "TryExecuteError::Closed(..)",
+        })
+    }
+}
 
 /// The pool is shutting down; the submitted job was dropped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +87,20 @@ impl<T> BoundedQueue<T> {
             }
             inner = self.not_full.wait(inner).expect("queue lock");
         }
+    }
+
+    /// Non-blocking push: fails immediately when full or closed.
+    fn try_push(&self, item: T) -> Result<(), (T, bool)> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err((item, true));
+        }
+        if inner.items.len() >= inner.capacity {
+            return Err((item, false));
+        }
+        inner.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
     }
 
     /// Blocks while the queue is empty; returns `None` once the queue is
@@ -130,6 +165,20 @@ impl ThreadPool {
         self.queue.push(Box::new(job)).map_err(|_| PoolClosed)
     }
 
+    /// Non-blocking enqueue for callers that must never stall (the
+    /// reactor event loop). A [`TryExecuteError::Full`] hands the job
+    /// back; a freed worker is guaranteed to be observable later (every
+    /// running job ends), so the caller can park it and retry.
+    pub fn try_execute(&self, job: Job) -> Result<(), TryExecuteError> {
+        self.queue.try_push(job).map_err(|(job, closed)| {
+            if closed {
+                TryExecuteError::Closed(job)
+            } else {
+                TryExecuteError::Full(job)
+            }
+        })
+    }
+
     /// Closes the queue, lets workers drain the remaining jobs, and
     /// joins them.
     pub fn shutdown(mut self) {
@@ -185,6 +234,65 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn try_execute_reports_full_and_hands_the_job_back() {
+        // Block the single worker so the queue (capacity 1) fills.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let pool = ThreadPool::new(1, 1);
+        {
+            let gate = Arc::clone(&gate);
+            pool.execute(move || {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            })
+            .unwrap();
+        }
+        // Worker busy; one job fits in the queue, the next is rejected.
+        let ran = Arc::new(AtomicUsize::new(0));
+        let submit = |ran: &Arc<AtomicUsize>| -> Job {
+            let ran = Arc::clone(ran);
+            Box::new(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        let mut queued = 0;
+        let mut rejected: Option<Job> = None;
+        for _ in 0..50 {
+            match pool.try_execute(submit(&ran)) {
+                Ok(()) => queued += 1,
+                Err(TryExecuteError::Full(job)) => {
+                    rejected = Some(job);
+                    break;
+                }
+                Err(TryExecuteError::Closed(_)) => panic!("pool is not closed"),
+            }
+        }
+        let rejected = rejected.expect("bounded queue must eventually reject");
+        // Unblock the worker; retrying the same handed-back job (as the
+        // reactor does) eventually succeeds.
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        let mut job = Some(rejected);
+        while let Some(j) = job.take() {
+            match pool.try_execute(j) {
+                Ok(()) => {}
+                Err(TryExecuteError::Full(j)) => {
+                    std::thread::sleep(Duration::from_millis(1));
+                    job = Some(j);
+                }
+                Err(TryExecuteError::Closed(_)) => panic!("pool is not closed"),
+            }
+        }
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), queued + 1);
     }
 
     #[test]

@@ -1,0 +1,1230 @@
+//! The event-driven connection model: one reactor thread owns every
+//! connection as a non-blocking state machine and multiplexes them over
+//! [`crate::sys::Poller`] (epoll on Linux, `poll(2)` elsewhere).
+//!
+//! ## Why
+//!
+//! The thread-pool model pins one worker per *connection*, so `workers`
+//! idle keep-alive clients starve every later client even though the
+//! server is doing no work. The reactor pins workers per *request*
+//! instead: connections cost a file descriptor and a small buffer while
+//! idle, and only occupy a pool worker for the duration of one dispatch.
+//! N idle connections no longer block the N+1st client.
+//!
+//! ## Anatomy
+//!
+//! * [`Machine`] — the incremental protocol state machine: it consumes
+//!   raw bytes (in whatever slices the socket delivers them) and emits
+//!   complete framed or HTTP requests, reusing the exact parsing,
+//!   routing and serialisation helpers of the blocking adapters so
+//!   responses stay byte-identical between the two connection models.
+//! * The reactor loop — accepts, reads, and writes without ever
+//!   blocking; fully-read requests are handed to the shared
+//!   [`ThreadPool`] (dispatch can be arbitrarily slow — it must not
+//!   stall the loop), and finished responses come back through a
+//!   completion queue plus a [`Waker`] pipe.
+//! * Deadlines — each connection derives one deadline from its state
+//!   (write-stalled → `write_timeout`, mid-request → `read_timeout`,
+//!   idle → `idle_timeout`); the nearest deadline bounds the poll
+//!   timeout and expired connections are aborted (or, for idle ones,
+//!   quietly evicted).
+//! * Connection cap — beyond
+//!   [`ServerConfig::max_connections`](crate::server::ServerConfig), the
+//!   least-recently-active *idle* connection is evicted to admit the
+//!   newcomer; if every connection is mid-request, the newcomer is
+//!   refused instead (bounded memory beats unbounded acceptance).
+//! * Graceful shutdown — the acceptor deregisters, idle and mid-read
+//!   connections close immediately, and in-flight dispatches drain:
+//!   their responses are still written before the loop exits.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::frame::encode_frame;
+use crate::http::{self, find_subsequence};
+use crate::pool::{Job, ThreadPool, TryExecuteError};
+use crate::server::{is_http_prefix, oversize_error_json, process_line, utf8_error_json, Shared};
+use crate::sys::{Backend, Event, Interest, Poller, Waker};
+
+// --- the protocol state machine --------------------------------------------
+
+/// Which wire protocol a connection settled on (sniffed from its first
+/// four bytes, exactly like the thread-pool model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Protocol {
+    Framed,
+    Http,
+}
+
+/// What a request was too large for; decides the error response shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Oversize {
+    /// A framed payload above `max_frame`: framed error + close.
+    Frame {
+        /// Declared payload length.
+        len: u32,
+        /// Configured maximum.
+        max: u32,
+    },
+    /// An HTTP body above `max_frame`: `413` + close.
+    HttpBody,
+}
+
+enum MState {
+    /// Waiting for the 4-byte prologue: a protocol sniff on the first
+    /// one, a frame length on every later one.
+    Prologue,
+    /// Reading a framed payload of known length.
+    FrameBody { len: usize },
+    /// Accumulating an HTTP request head (until `\r\n\r\n`); `scanned`
+    /// marks how far the terminator search has already looked.
+    HttpHead { scanned: usize },
+    /// Head parsed with `Expect: 100-continue` and an incomplete body:
+    /// emit the interim response once, then read the body.
+    HttpContinue {
+        head: http::Request,
+        content_length: usize,
+    },
+    /// Reading an HTTP body of known length.
+    HttpBody {
+        head: http::Request,
+        content_length: usize,
+    },
+    /// Consuming an oversized payload so the error response is not
+    /// destroyed by a connection reset (see `server::drain`).
+    Drain { remaining: u64, then: Oversize },
+    /// A complete request was emitted and is dispatching/writing;
+    /// requests are strictly sequential per connection, so no further
+    /// bytes are interpreted until [`Machine::resume`].
+    Paused,
+    /// Terminal: an error response is being written, then close.
+    Closed,
+}
+
+/// What [`Machine::next`] produced.
+pub(crate) enum Step {
+    /// Buffered bytes are exhausted; read more from the socket.
+    NeedMore,
+    /// One complete framed request payload.
+    FramedRequest(Vec<u8>),
+    /// One complete HTTP request (head + body).
+    HttpRequest(Box<http::Request>),
+    /// Write `HTTP/1.1 100 Continue` now, keep reading the body.
+    SendContinue,
+    /// An oversized payload finished draining: write the matching error
+    /// response and close.
+    Oversized(Oversize),
+    /// Malformed HTTP: write this error response and close.
+    HttpError { status: u16, message: &'static str },
+}
+
+/// The incremental protocol state machine. Push bytes in whatever
+/// slices the socket delivers them; pull [`Step`]s out. Pure — no I/O —
+/// so partial-read behaviour is unit-testable without sockets.
+pub(crate) struct Machine {
+    max_frame: u32,
+    buf: Vec<u8>,
+    protocol: Option<Protocol>,
+    state: MState,
+}
+
+impl Machine {
+    pub(crate) fn new(max_frame: u32) -> Machine {
+        Machine {
+            max_frame,
+            buf: Vec::new(),
+            protocol: None,
+            state: MState::Prologue,
+        }
+    }
+
+    /// Appends newly-read socket bytes.
+    pub(crate) fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// `true` while a request is partially read: a stalled peer should
+    /// be aborted on `read_timeout`, not treated as idle.
+    pub(crate) fn has_partial(&self) -> bool {
+        match self.state {
+            MState::FrameBody { .. }
+            | MState::HttpContinue { .. }
+            | MState::HttpBody { .. }
+            | MState::Drain { .. } => true,
+            MState::Prologue | MState::HttpHead { .. } => !self.buf.is_empty(),
+            MState::Paused | MState::Closed => false,
+        }
+    }
+
+    pub(crate) fn is_paused(&self) -> bool {
+        matches!(self.state, MState::Paused)
+    }
+
+    /// Gives up on an in-progress drain (the peer stalled): returns the
+    /// pending oversize error so the caller can still send it, exactly
+    /// like the blocking model's timeout-bounded `drain()`.
+    pub(crate) fn abandon_drain(&mut self) -> Option<Oversize> {
+        if let MState::Drain { then, .. } = self.state {
+            self.state = MState::Closed;
+            return Some(then);
+        }
+        None
+    }
+
+    /// Re-arms the machine for the next request after a response was
+    /// fully written (keep-alive).
+    pub(crate) fn resume(&mut self) {
+        debug_assert!(self.is_paused());
+        self.state = match self.protocol {
+            Some(Protocol::Http) => MState::HttpHead { scanned: 0 },
+            _ => MState::Prologue,
+        };
+    }
+
+    /// Advances as far as the buffered bytes allow and reports the next
+    /// action.
+    pub(crate) fn next(&mut self) -> Step {
+        loop {
+            match std::mem::replace(&mut self.state, MState::Closed) {
+                MState::Prologue => {
+                    if self.buf.len() < 4 {
+                        self.state = MState::Prologue;
+                        return Step::NeedMore;
+                    }
+                    let first: [u8; 4] = self.buf[..4].try_into().expect("4 bytes");
+                    if self.protocol.is_none() {
+                        if is_http_prefix(&first) {
+                            self.protocol = Some(Protocol::Http);
+                            self.state = MState::HttpHead { scanned: 0 };
+                            continue;
+                        }
+                        self.protocol = Some(Protocol::Framed);
+                    }
+                    self.buf.drain(..4);
+                    let len = u32::from_be_bytes(first);
+                    if len > self.max_frame {
+                        self.state = MState::Drain {
+                            remaining: u64::from(len),
+                            then: Oversize::Frame {
+                                len,
+                                max: self.max_frame,
+                            },
+                        };
+                        continue;
+                    }
+                    self.state = MState::FrameBody { len: len as usize };
+                }
+                MState::FrameBody { len } => {
+                    if self.buf.len() < len {
+                        self.state = MState::FrameBody { len };
+                        return Step::NeedMore;
+                    }
+                    let payload: Vec<u8> = self.buf.drain(..len).collect();
+                    self.state = MState::Paused;
+                    return Step::FramedRequest(payload);
+                }
+                MState::HttpHead { scanned } => {
+                    // Resume the terminator search where the last pass
+                    // stopped (rewound 3 bytes in case `\r\n\r\n`
+                    // straddles the old buffer end); rescanning from 0
+                    // would make byte-at-a-time heads O(n²) on the one
+                    // thread every connection shares.
+                    let start = scanned.saturating_sub(3);
+                    let Some(pos) =
+                        find_subsequence(&self.buf[start..], b"\r\n\r\n").map(|p| p + start)
+                    else {
+                        if self.buf.len() > http::MAX_HEAD_BYTES {
+                            return Step::HttpError {
+                                status: 431,
+                                message: "request head too large",
+                            };
+                        }
+                        self.state = MState::HttpHead {
+                            scanned: self.buf.len(),
+                        };
+                        return Step::NeedMore;
+                    };
+                    let Ok(head) = std::str::from_utf8(&self.buf[..pos]) else {
+                        return Step::HttpError {
+                            status: 400,
+                            message: "request head is not valid UTF-8",
+                        };
+                    };
+                    // Parse from the borrowed bytes first — `parse_head`
+                    // returns an owned Request, so the head never needs
+                    // its own copy — then drop it from the buffer.
+                    let head = match http::parse_head(head) {
+                        Ok(head) => head,
+                        Err((status, message)) => return Step::HttpError { status, message },
+                    };
+                    self.buf.drain(..pos + 4);
+                    let content_length = match http::body_length(&head) {
+                        Ok(n) => n,
+                        Err((status, message)) => return Step::HttpError { status, message },
+                    };
+                    if content_length > self.max_frame as usize {
+                        let remaining = content_length.saturating_sub(self.buf.len()) as u64;
+                        self.buf.clear();
+                        self.state = MState::Drain {
+                            remaining,
+                            then: Oversize::HttpBody,
+                        };
+                        continue;
+                    }
+                    if head.expects_continue() && self.buf.len() < content_length {
+                        self.state = MState::HttpContinue {
+                            head,
+                            content_length,
+                        };
+                        return Step::SendContinue;
+                    }
+                    self.state = MState::HttpBody {
+                        head,
+                        content_length,
+                    };
+                }
+                MState::HttpContinue {
+                    head,
+                    content_length,
+                } => {
+                    // The interim response was queued by the caller.
+                    self.state = MState::HttpBody {
+                        head,
+                        content_length,
+                    };
+                }
+                MState::HttpBody {
+                    mut head,
+                    content_length,
+                } => {
+                    if self.buf.len() < content_length {
+                        self.state = MState::HttpBody {
+                            head,
+                            content_length,
+                        };
+                        return Step::NeedMore;
+                    }
+                    head.body = self.buf.drain(..content_length).collect();
+                    self.state = MState::Paused;
+                    return Step::HttpRequest(Box::new(head));
+                }
+                MState::Drain { remaining, then } => {
+                    let take = (self.buf.len() as u64).min(remaining) as usize;
+                    self.buf.drain(..take);
+                    let remaining = remaining - take as u64;
+                    if remaining == 0 {
+                        return Step::Oversized(then);
+                    }
+                    self.state = MState::Drain { remaining, then };
+                    return Step::NeedMore;
+                }
+                MState::Paused => {
+                    self.state = MState::Paused;
+                    return Step::NeedMore;
+                }
+                MState::Closed => {
+                    return Step::NeedMore;
+                }
+            }
+        }
+    }
+}
+
+// --- non-blocking write helper ---------------------------------------------
+
+/// Writes as much of `out[*pos..]` as the sink accepts right now.
+/// `Ok(true)` = fully flushed; `Ok(false)` = the sink would block
+/// (short write). Separated from the reactor so short-write handling is
+/// unit-testable with a throttled sink.
+pub(crate) fn write_pending<W: Write>(out: &[u8], pos: &mut usize, w: &mut W) -> io::Result<bool> {
+    while *pos < out.len() {
+        match w.write(&out[*pos..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "peer stopped accepting bytes",
+                ))
+            }
+            Ok(n) => *pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+// --- the reactor ------------------------------------------------------------
+
+const LISTENER_TOKEN: u64 = 0;
+const WAKER_TOKEN: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Upper bound on one poll sleep even with no deadlines: a lost wakeup
+/// (which should never happen) degrades to 1 s of latency, not a hang.
+const MAX_POLL: Duration = Duration::from_secs(1);
+
+/// A finished dispatch travelling from a pool worker back to the loop.
+struct Completion {
+    token: u64,
+    bytes: Vec<u8>,
+    close: bool,
+}
+
+/// Worker-side half of the completion channel.
+struct DispatchQueue {
+    completions: Mutex<Vec<Completion>>,
+    waker: Arc<Waker>,
+}
+
+impl DispatchQueue {
+    fn complete(&self, completion: Completion) {
+        self.completions
+            .lock()
+            .expect("completion lock")
+            .push(completion);
+        self.waker.wake();
+    }
+
+    fn take(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.completions.lock().expect("completion lock"))
+    }
+
+    fn is_empty(&self) -> bool {
+        self.completions.lock().expect("completion lock").is_empty()
+    }
+}
+
+/// One owned connection.
+struct Conn {
+    stream: TcpStream,
+    machine: Machine,
+    out: Vec<u8>,
+    out_pos: usize,
+    close_after_write: bool,
+    /// A request is at a pool worker; reads pause until its response.
+    dispatching: bool,
+    last_activity: Instant,
+    interest: Interest,
+}
+
+impl Conn {
+    fn has_pending_write(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    /// Idle = safe to evict: between requests with nothing in flight.
+    fn is_idle(&self) -> bool {
+        !self.dispatching && !self.has_pending_write() && !self.machine.has_partial()
+    }
+
+    /// The readiness this connection currently needs.
+    fn wanted_interest(&self) -> Interest {
+        Interest {
+            read: !self.dispatching && !self.close_after_write,
+            write: self.has_pending_write(),
+        }
+    }
+
+    /// When this connection should be given up on, given its state.
+    fn deadline(
+        &self,
+        read_timeout: Option<Duration>,
+        write_timeout: Option<Duration>,
+        idle_timeout: Option<Duration>,
+    ) -> Option<Instant> {
+        if self.has_pending_write() {
+            write_timeout.map(|t| self.last_activity + t)
+        } else if self.dispatching {
+            None // bounded by the dispatch itself
+        } else if self.machine.has_partial() {
+            read_timeout.map(|t| self.last_activity + t)
+        } else {
+            idle_timeout.map(|t| self.last_activity + t)
+        }
+    }
+
+    fn queue_write(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+    }
+}
+
+struct Reactor {
+    shared: Arc<Shared>,
+    poller: Poller,
+    listener: TcpListener,
+    waker: Arc<Waker>,
+    pool: ThreadPool,
+    dispatch: Arc<DispatchQueue>,
+    /// Jobs the bounded pool queue rejected; retried on completions.
+    parked_jobs: VecDeque<Job>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    accepting: bool,
+}
+
+/// Spawns the reactor thread. The listener must already be bound and
+/// non-blocking.
+pub(crate) fn spawn(shared: Arc<Shared>, listener: TcpListener) -> io::Result<JoinHandle<()>> {
+    let backend = if shared.config.force_poll_backend {
+        Backend::Poll
+    } else {
+        Backend::Auto
+    };
+    let mut poller = Poller::with_backend(backend)?;
+    let waker = Arc::new(Waker::new()?);
+    shared.set_waker(Arc::clone(&waker));
+    poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
+    poller.register(waker.read_fd(), WAKER_TOKEN, Interest::READ)?;
+    let pool = ThreadPool::new(shared.config.workers, shared.config.queue_capacity);
+    let dispatch = Arc::new(DispatchQueue {
+        completions: Mutex::new(Vec::new()),
+        waker: Arc::clone(&waker),
+    });
+    let reactor = Reactor {
+        shared,
+        poller,
+        listener,
+        waker,
+        pool,
+        dispatch,
+        parked_jobs: VecDeque::new(),
+        conns: HashMap::new(),
+        next_token: FIRST_CONN_TOKEN,
+        accepting: true,
+    };
+    std::thread::Builder::new()
+        .name("pclabel-net-reactor".to_string())
+        .spawn(move || reactor.run())
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            self.process_completions();
+            self.expire_deadlines();
+            if self.shared.shutting_down() {
+                self.shed_for_drain();
+                if self.drained() {
+                    break;
+                }
+            }
+            let timeout = self.next_timeout();
+            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+                break; // fatal poller failure: drop everything
+            }
+            // `events` is a local, so iterating it does not conflict
+            // with the handlers' `&mut self`; the buffer (and its
+            // capacity) is reused by the next wait.
+            for &event in &events {
+                match event.token {
+                    LISTENER_TOKEN => self.accept_ready(),
+                    WAKER_TOKEN => self.waker.drain(),
+                    token => self.conn_ready(token, event),
+                }
+            }
+        }
+        // Workers may still be running dispatches for connections that
+        // are already gone; let them finish cleanly.
+        self.pool.shutdown();
+    }
+
+    /// No work can ever arrive again once shutdown has shed idle
+    /// connections and the in-flight pipeline is empty.
+    fn drained(&self) -> bool {
+        self.conns.is_empty() && self.parked_jobs.is_empty() && self.dispatch.is_empty()
+    }
+
+    /// The nearest connection deadline, clamped to [0, MAX_POLL].
+    fn next_timeout(&self) -> Duration {
+        let now = Instant::now();
+        let config = &self.shared.config;
+        self.conns
+            .values()
+            .filter_map(|c| {
+                c.deadline(
+                    config.read_timeout,
+                    config.write_timeout,
+                    config.idle_timeout,
+                )
+            })
+            .map(|deadline| deadline.saturating_duration_since(now))
+            .min()
+            .map_or(MAX_POLL, |d| d.min(MAX_POLL))
+    }
+
+    // --- accepting ---------------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        if !self.accepting {
+            return;
+        }
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.admit(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                // Persistent accept failure (EMFILE, aborted handshake):
+                // the listener stays level-triggered-readable, so a bare
+                // break would re-poll instantly and livelock the loop at
+                // 100% CPU. Back off briefly, like the pool acceptor —
+                // a bounded stall beats a spin; connection I/O resumes
+                // right after.
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(10));
+                    break;
+                }
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        if self.shared.shutting_down() {
+            return; // drop: no new work during drain
+        }
+        if self.conns.len() >= self.shared.config.max_connections.max(1) {
+            // Evict the least-recently-active idle connection; if every
+            // connection is mid-request, refuse the newcomer instead.
+            let lru = self
+                .conns
+                .iter()
+                .filter(|(_, c)| c.is_idle())
+                .min_by_key(|(_, c)| c.last_activity)
+                .map(|(&token, _)| token);
+            match lru {
+                Some(token) => self.close(token),
+                None => return,
+            }
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let token = self.next_token;
+        self.next_token += 1;
+        let conn = Conn {
+            stream,
+            machine: Machine::new(self.shared.config.max_frame),
+            out: Vec::new(),
+            out_pos: 0,
+            close_after_write: false,
+            dispatching: false,
+            last_activity: Instant::now(),
+            interest: Interest::READ,
+        };
+        if self
+            .poller
+            .register(conn.stream.as_raw_fd(), token, Interest::READ)
+            .is_ok()
+        {
+            self.conns.insert(token, conn);
+        }
+    }
+
+    // --- per-connection readiness -------------------------------------------
+
+    fn conn_ready(&mut self, token: u64, event: Event) {
+        let Some(conn) = self.conns.get(&token) else {
+            return; // already closed this batch
+        };
+        // A true hangup (ERR/HUP — both directions dead, unmaskable
+        // under both backends) on a connection that is not reading
+        // would otherwise be re-reported every iteration: close now.
+        // Half-closes arrive as `readable` and take the EOF path below.
+        if event.hangup && (conn.dispatching || conn.close_after_write) {
+            // An in-flight dispatch's response is undeliverable; the
+            // completion handler tolerates the missing connection.
+            self.close(token);
+            return;
+        }
+        if event.writable && conn.has_pending_write() {
+            self.flush(token);
+        }
+        let Some(conn) = self.conns.get(&token) else {
+            return;
+        };
+        if event.readable || event.hangup {
+            if conn.dispatching || conn.close_after_write {
+                return; // not reading right now (interest excludes it)
+            }
+            self.read_ready(token);
+        }
+    }
+
+    fn read_ready(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let mut chunk = [0u8; 8192];
+            match conn.stream.read(&mut chunk) {
+                // EOF: between requests it is a clean close; inside one
+                // it aborts, matching the blocking model.
+                Ok(0) => {
+                    self.close(token);
+                    return;
+                }
+                Ok(n) => {
+                    conn.machine.push(&chunk[..n]);
+                    conn.last_activity = Instant::now();
+                    self.pump(token);
+                    let Some(conn) = self.conns.get(&token) else {
+                        return;
+                    };
+                    if conn.dispatching || conn.close_after_write {
+                        break; // request in flight: stop consuming input
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(token);
+                    return;
+                }
+            }
+        }
+        self.update_interest(token);
+    }
+
+    /// Runs the machine over buffered bytes until it needs more input,
+    /// dispatches a request, or errors out.
+    fn pump(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            match conn.machine.next() {
+                Step::NeedMore => break,
+                Step::SendContinue => {
+                    conn.queue_write(http::CONTINUE);
+                    continue;
+                }
+                Step::FramedRequest(payload) => {
+                    self.dispatch_framed(token, payload);
+                    break;
+                }
+                Step::HttpRequest(request) => {
+                    self.dispatch_http(token, request);
+                    break;
+                }
+                Step::Oversized(oversize) => {
+                    let bytes = oversize_response(oversize);
+                    conn.queue_write(&bytes);
+                    conn.close_after_write = true;
+                    break;
+                }
+                Step::HttpError { status, message } => {
+                    let bytes = http::response_bytes(status, &http::error_body(message), false);
+                    conn.queue_write(&bytes);
+                    conn.close_after_write = true;
+                    break;
+                }
+            }
+        }
+        self.flush(token);
+    }
+
+    // --- dispatching --------------------------------------------------------
+
+    fn dispatch_framed(&mut self, token: u64, payload: Vec<u8>) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.dispatching = true;
+        let shared = Arc::clone(&self.shared);
+        let queue = Arc::clone(&self.dispatch);
+        let job: Job = Box::new(move || {
+            let (response, shutdown) = match std::str::from_utf8(&payload) {
+                Ok(line) => process_line(line, &shared),
+                Err(_) => (utf8_error_json(), false),
+            };
+            // Responses are always sent whole, even above the request
+            // cap (same as the blocking model); encode_frame can only
+            // fail beyond MAX_FRAME_CEILING, where closing is all that
+            // is left.
+            let (bytes, broken) = match encode_frame(
+                response.to_string().as_bytes(),
+                crate::frame::MAX_FRAME_CEILING,
+            ) {
+                Ok(bytes) => (bytes, false),
+                Err(_) => (Vec::new(), true),
+            };
+            let close = shutdown || broken || shared.shutting_down();
+            queue.complete(Completion {
+                token,
+                bytes,
+                close,
+            });
+        });
+        self.submit(job);
+    }
+
+    fn dispatch_http(&mut self, token: u64, request: Box<http::Request>) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.dispatching = true;
+        let shared = Arc::clone(&self.shared);
+        let queue = Arc::clone(&self.dispatch);
+        let job: Job = Box::new(move || {
+            let (status, body, shutdown) = http::route(&request, &shared);
+            let keep_alive = request.keep_alive() && !shutdown && !shared.shutting_down();
+            let bytes = http::response_bytes(status, &body, keep_alive);
+            queue.complete(Completion {
+                token,
+                bytes,
+                close: !keep_alive,
+            });
+        });
+        self.submit(job);
+    }
+
+    fn submit(&mut self, job: Job) {
+        match self.pool.try_execute(job) {
+            Ok(()) => {}
+            // Queue full: park it. Every completion frees a slot, so the
+            // retry in process_completions always makes progress.
+            Err(TryExecuteError::Full(job)) => self.parked_jobs.push_back(job),
+            Err(TryExecuteError::Closed(_)) => {} // shutting down: drop
+        }
+    }
+
+    fn process_completions(&mut self) {
+        let completions = self.dispatch.take();
+        let had_completions = !completions.is_empty();
+        for completion in completions {
+            // The connection may be gone (write-timeout abort while its
+            // dispatch ran): drop the orphaned response.
+            let Some(conn) = self.conns.get_mut(&completion.token) else {
+                continue;
+            };
+            conn.dispatching = false;
+            conn.close_after_write |= completion.close;
+            conn.queue_write(&completion.bytes);
+            conn.last_activity = Instant::now();
+            self.flush(completion.token);
+        }
+        if had_completions {
+            while let Some(job) = self.parked_jobs.pop_front() {
+                match self.pool.try_execute(job) {
+                    Ok(()) => {}
+                    Err(TryExecuteError::Full(job)) => {
+                        self.parked_jobs.push_front(job);
+                        break;
+                    }
+                    Err(TryExecuteError::Closed(_)) => {
+                        self.parked_jobs.clear();
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // --- writing ------------------------------------------------------------
+
+    /// Pushes pending output; on completion either closes or re-arms
+    /// the machine for the next (possibly already-buffered) request.
+    fn flush(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.has_pending_write() {
+            match write_pending(&conn.out, &mut conn.out_pos, &mut conn.stream) {
+                Ok(true) => {
+                    conn.out.clear();
+                    conn.out_pos = 0;
+                    conn.last_activity = Instant::now();
+                }
+                Ok(false) => {
+                    conn.last_activity = Instant::now();
+                    self.update_interest(token);
+                    return; // short write: wait for writability
+                }
+                Err(_) => {
+                    self.close(token);
+                    return;
+                }
+            }
+        }
+        if conn.close_after_write && !conn.has_pending_write() {
+            self.close(token);
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if !conn.dispatching && conn.machine.is_paused() {
+            // Response fully written: next request. Pipelined bytes may
+            // already be buffered, so pump before waiting on the socket.
+            conn.machine.resume();
+            self.pump(token);
+        }
+        self.update_interest(token);
+    }
+
+    // --- deadlines & shutdown ----------------------------------------------
+
+    fn expire_deadlines(&mut self) {
+        let now = Instant::now();
+        let config = &self.shared.config;
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter_map(|(&token, c)| {
+                c.deadline(
+                    config.read_timeout,
+                    config.write_timeout,
+                    config.idle_timeout,
+                )
+                .filter(|&deadline| now >= deadline)
+                .map(|_| token)
+            })
+            .collect();
+        for token in expired {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue;
+            };
+            // A stalled oversize drain still gets its error response
+            // (bounded by write_timeout), like the blocking model's
+            // timeout-bounded drain; everything else is aborted.
+            if let Some(oversize) = conn.machine.abandon_drain() {
+                let bytes = oversize_response(oversize);
+                conn.queue_write(&bytes);
+                conn.close_after_write = true;
+                conn.last_activity = now;
+                self.flush(token);
+            } else {
+                self.close(token);
+            }
+        }
+    }
+
+    /// On shutdown: stop accepting and close every connection that is
+    /// not owed a response; dispatching/writing connections drain.
+    fn shed_for_drain(&mut self) {
+        if self.accepting {
+            let _ = self.poller.deregister(self.listener.as_raw_fd());
+            self.accepting = false;
+        }
+        let doomed: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| !c.dispatching && !c.has_pending_write())
+            .map(|(&token, _)| token)
+            .collect();
+        for token in doomed {
+            self.close(token);
+        }
+    }
+
+    // --- bookkeeping --------------------------------------------------------
+
+    fn update_interest(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let wanted = conn.wanted_interest();
+        if wanted != conn.interest {
+            let fd = conn.stream.as_raw_fd();
+            if self.poller.modify(fd, token, wanted).is_ok() {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.interest = wanted;
+                }
+            }
+        }
+    }
+
+    fn close(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            // `conn.stream` drops here, closing the socket.
+        }
+    }
+}
+
+/// The error response for an oversized request, per protocol — the same
+/// bytes the blocking model produces.
+fn oversize_response(oversize: Oversize) -> Vec<u8> {
+    match oversize {
+        Oversize::Frame { len, max } => encode_frame(
+            oversize_error_json(len, max).to_string().as_bytes(),
+            crate::frame::MAX_FRAME_CEILING,
+        )
+        .expect("error frame is tiny"),
+        Oversize::HttpBody => http::response_bytes(
+            413,
+            &http::error_body("request body exceeds the frame size limit"),
+            false,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // -- Machine: framed protocol, partial reads ----------------------------
+
+    /// Feeds `wire` to a fresh machine in `chunk`-byte slices and
+    /// returns every non-NeedMore step, resuming after each request.
+    fn run_chunked(wire: &[u8], chunk: usize, max_frame: u32) -> Vec<String> {
+        let mut machine = Machine::new(max_frame);
+        let mut steps = Vec::new();
+        for piece in wire.chunks(chunk.max(1)) {
+            machine.push(piece);
+            loop {
+                match machine.next() {
+                    Step::NeedMore => break,
+                    Step::FramedRequest(payload) => {
+                        steps.push(format!("frame:{}", String::from_utf8_lossy(&payload)));
+                        machine.resume();
+                    }
+                    Step::HttpRequest(request) => {
+                        steps.push(format!(
+                            "http:{} {} body:{}",
+                            request.method,
+                            request.target,
+                            String::from_utf8_lossy(&request.body)
+                        ));
+                        machine.resume();
+                    }
+                    Step::SendContinue => steps.push("continue".to_string()),
+                    Step::Oversized(Oversize::Frame { len, max }) => {
+                        steps.push(format!("oversized-frame:{len}>{max}"));
+                    }
+                    Step::Oversized(Oversize::HttpBody) => {
+                        steps.push("oversized-http".to_string());
+                    }
+                    Step::HttpError { status, .. } => {
+                        steps.push(format!("http-error:{status}"));
+                    }
+                }
+            }
+        }
+        steps
+    }
+
+    fn framed_wire(payloads: &[&str]) -> Vec<u8> {
+        let mut wire = Vec::new();
+        for p in payloads {
+            wire.extend_from_slice(&encode_frame(p.as_bytes(), u32::MAX >> 4).unwrap());
+        }
+        wire
+    }
+
+    #[test]
+    fn frame_split_across_wakeups_byte_at_a_time() {
+        let wire = framed_wire(&[r#"{"op":"list"}"#, r#"{"op":"health"}"#]);
+        // Every chunking of the same wire bytes yields the same requests.
+        for chunk in [1, 2, 3, 5, wire.len()] {
+            assert_eq!(
+                run_chunked(&wire, chunk, 1 << 20),
+                vec![
+                    r#"frame:{"op":"list"}"#.to_string(),
+                    r#"frame:{"op":"health"}"#.to_string()
+                ],
+                "chunk size {chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_header_split_mid_length_prefix() {
+        let wire = framed_wire(&["abc"]);
+        let mut machine = Machine::new(1 << 20);
+        machine.push(&wire[..2]); // half the length prefix
+        assert!(matches!(machine.next(), Step::NeedMore));
+        assert!(machine.has_partial(), "half a prefix counts as partial");
+        machine.push(&wire[2..5]); // rest of prefix + 1 payload byte
+        assert!(matches!(machine.next(), Step::NeedMore));
+        assert!(machine.has_partial(), "mid-frame must count as partial");
+        machine.push(&wire[5..]);
+        match machine.next() {
+            Step::FramedRequest(p) => assert_eq!(p, b"abc"),
+            _ => panic!("expected a complete frame"),
+        }
+        assert!(machine.is_paused());
+    }
+
+    #[test]
+    fn oversized_frame_drains_then_errors() {
+        let mut wire = 100u32.to_be_bytes().to_vec();
+        wire.extend_from_slice(&[0x55; 100]);
+        let steps = run_chunked(&wire, 7, 10);
+        assert_eq!(steps, vec!["oversized-frame:100>10".to_string()]);
+
+        // Abandoning a stalled drain still yields the error.
+        let mut machine = Machine::new(10);
+        machine.push(&wire[..50]);
+        assert!(matches!(machine.next(), Step::NeedMore));
+        assert_eq!(
+            machine.abandon_drain(),
+            Some(Oversize::Frame { len: 100, max: 10 })
+        );
+    }
+
+    // -- Machine: HTTP, partial reads ---------------------------------------
+
+    #[test]
+    fn http_request_delivered_one_byte_at_a_time() {
+        let wire =
+            b"POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+        for chunk in [1usize, 3, wire.len()] {
+            assert_eq!(
+                run_chunked(wire, chunk, 1 << 20),
+                vec![
+                    "http:POST /query body:{\"a\":1}".to_string(),
+                    "http:GET /healthz body:".to_string(),
+                ],
+                "chunk size {chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn http_expect_continue_interim_then_body() {
+        let head =
+            b"POST / HTTP/1.1\r\nHost: x\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\n";
+        let mut machine = Machine::new(1 << 20);
+        machine.push(head);
+        assert!(matches!(machine.next(), Step::SendContinue));
+        assert!(matches!(machine.next(), Step::NeedMore));
+        assert!(machine.has_partial());
+        machine.push(b"ok");
+        match machine.next() {
+            Step::HttpRequest(r) => assert_eq!(r.body, b"ok"),
+            _ => panic!("expected the buffered request"),
+        }
+        // Body already buffered with the head: no interim response,
+        // matching the blocking adapter.
+        let mut machine = Machine::new(1 << 20);
+        machine.push(head);
+        machine.push(b"ok");
+        assert!(matches!(machine.next(), Step::HttpRequest(_)));
+    }
+
+    #[test]
+    fn http_malformed_and_oversized_requests() {
+        // Missing parts of the request line.
+        let mut machine = Machine::new(1 << 20);
+        machine.push(b"GET \r\n\r\n");
+        assert!(matches!(
+            machine.next(),
+            Step::HttpError { status: 400, .. }
+        ));
+
+        // Head too large.
+        let mut machine = Machine::new(1 << 20);
+        machine.push(b"GET / HTTP/1.1\r\n");
+        machine.push(&vec![b'a'; http::MAX_HEAD_BYTES + 1]);
+        assert!(matches!(
+            machine.next(),
+            Step::HttpError { status: 431, .. }
+        ));
+
+        // Transfer-encoding unsupported.
+        let mut machine = Machine::new(1 << 20);
+        machine.push(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+        assert!(matches!(
+            machine.next(),
+            Step::HttpError { status: 501, .. }
+        ));
+
+        // Body above the frame cap: drain the declared body, then 413.
+        let mut machine = Machine::new(16);
+        machine.push(b"POST / HTTP/1.1\r\nContent-Length: 40\r\n\r\n");
+        machine.push(&[b'x'; 25]);
+        assert!(matches!(machine.next(), Step::NeedMore));
+        machine.push(&[b'x'; 15]);
+        assert!(matches!(
+            machine.next(),
+            Step::Oversized(Oversize::HttpBody)
+        ));
+    }
+
+    #[test]
+    fn sniff_locks_the_protocol_once() {
+        // Framed first: later prologues are lengths even if they look
+        // like ASCII.
+        let mut machine = Machine::new(1 << 20);
+        let mut wire = framed_wire(&["x"]);
+        wire.extend_from_slice(&5u32.to_be_bytes());
+        wire.extend_from_slice(b"hello");
+        machine.push(&wire);
+        assert!(matches!(machine.next(), Step::FramedRequest(_)));
+        machine.resume();
+        match machine.next() {
+            Step::FramedRequest(p) => assert_eq!(p, b"hello"),
+            _ => panic!("second frame"),
+        }
+    }
+
+    // -- write path: short writes -------------------------------------------
+
+    /// A sink that accepts at most `per_call` bytes, then signals
+    /// WouldBlock every other call — a worst-case slow peer.
+    struct Throttled {
+        accepted: Vec<u8>,
+        per_call: usize,
+        block_next: bool,
+    }
+
+    impl Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.block_next {
+                self.block_next = false;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "slow peer"));
+            }
+            self.block_next = true;
+            let n = buf.len().min(self.per_call);
+            self.accepted.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn short_writes_of_a_large_response_complete_incrementally() {
+        let response: Vec<u8> = (0..u8::MAX).cycle().take(10_000).collect();
+        let mut sink = Throttled {
+            accepted: Vec::new(),
+            per_call: 333,
+            block_next: false,
+        };
+        let mut pos = 0usize;
+        let mut rounds = 0usize;
+        loop {
+            match write_pending(&response, &mut pos, &mut sink).unwrap() {
+                true => break,
+                false => {
+                    rounds += 1; // reactor would wait for writability here
+                    assert!(rounds < 10_000, "no progress");
+                }
+            }
+        }
+        assert_eq!(sink.accepted, response);
+    }
+
+    #[test]
+    fn write_zero_is_an_error_not_a_spin() {
+        struct Dead;
+        impl Write for Dead {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Ok(0)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut pos = 0;
+        assert!(write_pending(b"abc", &mut pos, &mut Dead).is_err());
+    }
+}

@@ -39,27 +39,99 @@ use crate::frame::{
 use crate::http;
 use crate::pool::ThreadPool;
 
+/// How connections map onto threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectionModel {
+    /// One pool worker per *connection* for its whole lifetime. Simple
+    /// and portable, but `workers` idle keep-alive clients starve every
+    /// later client.
+    Pool,
+    /// One reactor thread owns every connection as a non-blocking state
+    /// machine (epoll on Linux, `poll(2)` on other Unixes); pool workers
+    /// are held per *request*, so idle connections cost nothing. Unix
+    /// only — on other targets this falls back to [`Pool`].
+    ///
+    /// [`Pool`]: ConnectionModel::Pool
+    Reactor,
+}
+
+impl ConnectionModel {
+    /// The default `pclabel-netd` ships with: the reactor wherever the
+    /// readiness syscalls exist (Unix; epoll on Linux), the portable
+    /// thread-pool elsewhere.
+    pub fn platform_default() -> ConnectionModel {
+        if cfg!(unix) {
+            ConnectionModel::Reactor
+        } else {
+            ConnectionModel::Pool
+        }
+    }
+}
+
+impl std::str::FromStr for ConnectionModel {
+    type Err = String;
+    fn from_str(s: &str) -> Result<ConnectionModel, String> {
+        match s {
+            "pool" => Ok(ConnectionModel::Pool),
+            "reactor" => Ok(ConnectionModel::Reactor),
+            other => Err(format!("unknown connection model {other:?}")),
+        }
+    }
+}
+
+impl std::fmt::Display for ConnectionModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ConnectionModel::Pool => "pool",
+            ConnectionModel::Reactor => "reactor",
+        })
+    }
+}
+
 /// Tuning for [`NetServer::spawn`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Listen address; port 0 picks an ephemeral port (see
     /// [`ServerHandle::local_addr`]).
     pub addr: String,
-    /// Worker threads serving connections (each persistent connection
-    /// occupies one worker while it lives).
+    /// Connection model. The library default stays [`ConnectionModel::Pool`]
+    /// for embedders; `pclabel-netd` defaults to
+    /// [`ConnectionModel::platform_default`].
+    pub model: ConnectionModel,
+    /// Worker threads serving connections (pool model: each persistent
+    /// connection occupies one worker while it lives; reactor model:
+    /// each *request* occupies one worker while it dispatches).
     pub workers: usize,
     /// Accepted connections that may wait for a free worker; beyond
-    /// this, the acceptor itself blocks (backpressure).
+    /// this, the acceptor itself blocks (backpressure). In the reactor
+    /// model this bounds queued *requests*; excess requests park in the
+    /// reactor until a worker frees up.
     pub queue_capacity: usize,
     /// Maximum request-frame payload size in bytes (clamped to
     /// [`MAX_FRAME_CEILING`]); also caps HTTP request bodies.
     pub max_frame: u32,
-    /// Per-connection socket read timeout. Doubles as the shutdown poll
-    /// interval for idle connections; `None` means idle connections only
-    /// terminate when the client closes them.
+    /// Per-connection socket read timeout. Pool model: doubles as the
+    /// shutdown poll interval for idle connections. Reactor model: the
+    /// deadline for a connection stalled *mid-request* (a wedged peer);
+    /// `None` disables the deadline.
     pub read_timeout: Option<Duration>,
-    /// Per-connection socket write timeout.
+    /// Per-connection socket write timeout (reactor model: deadline for
+    /// a response write that stops making progress).
     pub write_timeout: Option<Duration>,
+    /// Reactor model only: connections idle *between* requests longer
+    /// than this are closed. `None` (the default, matching the pool
+    /// model) lets idle connections live until the client closes them
+    /// or the connection cap evicts them.
+    pub idle_timeout: Option<Duration>,
+    /// Reactor model only: maximum simultaneous connections. At the
+    /// cap, the least-recently-active idle connection is evicted to
+    /// admit a newcomer; if every connection is mid-request the
+    /// newcomer is refused.
+    pub max_connections: usize,
+    /// Reactor model only: force the portable `poll(2)` backend even
+    /// where epoll is available (diagnostics; lets tests exercise the
+    /// fallback on Linux).
+    pub force_poll_backend: bool,
     /// Honour `{"op":"shutdown"}` from clients (off by default; meant
     /// for tests and supervised smoke runs).
     pub allow_remote_shutdown: bool,
@@ -69,11 +141,15 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
+            model: ConnectionModel::Pool,
             workers: 4,
             queue_capacity: 64,
             max_frame: DEFAULT_MAX_FRAME,
             read_timeout: Some(Duration::from_secs(10)),
             write_timeout: Some(Duration::from_secs(10)),
+            idle_timeout: None,
+            max_connections: 1024,
+            force_poll_backend: false,
             allow_remote_shutdown: false,
         }
     }
@@ -85,6 +161,10 @@ pub(crate) struct Shared {
     pub(crate) config: ServerConfig,
     local_addr: SocketAddr,
     shutdown: AtomicBool,
+    /// Set by the reactor so `trigger_shutdown` can interrupt its
+    /// blocked poll immediately (the pool acceptor just polls the flag).
+    #[cfg(unix)]
+    waker: std::sync::OnceLock<Arc<crate::sys::Waker>>,
 }
 
 impl Shared {
@@ -93,9 +173,19 @@ impl Shared {
     }
 
     /// Flips the shutdown flag; the polling acceptor notices it within
-    /// one poll interval.
+    /// one poll interval, and a reactor is woken out of its poll.
     pub(crate) fn trigger_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        #[cfg(unix)]
+        if let Some(waker) = self.waker.get() {
+            waker.wake();
+        }
+    }
+
+    /// Registers the reactor's waker (at most once, at reactor start).
+    #[cfg(unix)]
+    pub(crate) fn set_waker(&self, waker: Arc<crate::sys::Waker>) {
+        let _ = self.waker.set(waker);
     }
 }
 
@@ -124,7 +214,23 @@ impl NetServer {
             config,
             local_addr,
             shutdown: AtomicBool::new(false),
+            #[cfg(unix)]
+            waker: std::sync::OnceLock::new(),
         });
+
+        if shared.config.model == ConnectionModel::Reactor {
+            #[cfg(unix)]
+            {
+                let accept = crate::reactor::spawn(Arc::clone(&shared), listener)?;
+                return Ok(ServerHandle {
+                    shared,
+                    accept: Some(accept),
+                });
+            }
+            // Non-Unix: the readiness syscalls are unavailable; fall
+            // through to the thread-pool model.
+        }
+
         let pool = ThreadPool::new(shared.config.workers, shared.config.queue_capacity);
 
         let accept_shared = Arc::clone(&shared);
@@ -259,8 +365,8 @@ fn read_prologue(stream: &mut TcpStream, shared: &Shared) -> StartRead {
 }
 
 /// `true` if the connection's first four bytes look like an HTTP/1.x
-/// request line.
-fn is_http_prefix(bytes: &[u8; 4]) -> bool {
+/// request line. Shared with the reactor's protocol sniff.
+pub(crate) fn is_http_prefix(bytes: &[u8; 4]) -> bool {
     matches!(
         bytes,
         b"GET " | b"POST" | b"PUT " | b"HEAD" | b"DELE" | b"OPTI" | b"PATC" | b"TRAC" | b"CONN"
@@ -327,6 +433,31 @@ pub(crate) fn process_request(request: &Json, shared: &Shared) -> (Json, bool) {
     (shared.dispatcher.dispatch(request), false)
 }
 
+/// The framed-protocol error body for an oversized request frame. One
+/// constructor for both connection models: the CI replay diff depends
+/// on their responses staying byte-identical, so the wording and key
+/// order must have a single home.
+pub(crate) fn oversize_error_json(len: u32, max: u32) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::str(format!(
+                "frame of {len} bytes exceeds maximum of {max} bytes"
+            )),
+        ),
+    ])
+}
+
+/// The error body for a framed request payload that is not valid UTF-8
+/// (same single-home rationale as [`oversize_error_json`]).
+pub(crate) fn utf8_error_json() -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::str("request is not valid UTF-8")),
+    ])
+}
+
 /// Reads and discards up to `remaining` bytes (bounded additionally by
 /// the socket read timeout), so a rejected payload never sits unread in
 /// the receive buffer when the connection closes — closing with unread
@@ -366,15 +497,7 @@ fn serve_framed(mut stream: TcpStream, first_len: u32, shared: &Shared) {
                 // would RST the connection and destroy the error frame
                 // in flight), report, and close.
                 drain(&mut stream, len as u64);
-                let error = Json::obj([
-                    ("ok", Json::Bool(false)),
-                    (
-                        "error",
-                        Json::str(format!(
-                            "frame of {len} bytes exceeds maximum of {max} bytes"
-                        )),
-                    ),
-                ]);
+                let error = oversize_error_json(len, max);
                 let _ = write_frame(&mut stream, error.to_string().as_bytes(), MAX_FRAME_CEILING);
                 return;
             }
@@ -382,13 +505,7 @@ fn serve_framed(mut stream: TcpStream, first_len: u32, shared: &Shared) {
         };
         let (response, shutdown) = match std::str::from_utf8(&payload) {
             Ok(line) => process_line(line, shared),
-            Err(_) => (
-                Json::obj([
-                    ("ok", Json::Bool(false)),
-                    ("error", Json::str("request is not valid UTF-8")),
-                ]),
-                false,
-            ),
+            Err(_) => (utf8_error_json(), false),
         };
         // Responses are always sent whole, even above the request cap:
         // the server never truncates its own output.

@@ -23,7 +23,7 @@ use pclabel_engine::json::Json;
 use pclabel_engine::query::EngineConfig;
 use pclabel_engine::serve::Dispatcher;
 use pclabel_net::client::NetClient;
-use pclabel_net::server::{NetServer, ServerConfig};
+use pclabel_net::server::{ConnectionModel, NetServer, ServerConfig};
 
 const CLIENTS: usize = 6;
 const ITERS: usize = 48;
@@ -81,6 +81,27 @@ fn query_line(dataset: &str, terms: &[(&str, &str)]) -> String {
 
 #[test]
 fn hammer_interleaved_ops_match_ground_truth() {
+    // Pool model: every client pins a worker, so over-provision.
+    hammer(ServerConfig {
+        workers: CLIENTS + 1,
+        ..ServerConfig::default()
+    });
+}
+
+/// The same storm against the reactor — deliberately *under*-provisioned
+/// (2 workers for 6 persistent clients), which would deadlock the pool
+/// model: the reactor holds workers per request, not per connection.
+#[cfg(unix)]
+#[test]
+fn hammer_reactor_with_fewer_workers_than_clients() {
+    hammer(ServerConfig {
+        model: ConnectionModel::Reactor,
+        workers: 2,
+        ..ServerConfig::default()
+    });
+}
+
+fn hammer(config: ServerConfig) {
     // Local ground truth: the same labels the server will build.
     let d = figure2_sample();
     let truth: Vec<Label> = SHARED
@@ -101,11 +122,10 @@ fn hammer_interleaved_ops_match_ground_truth() {
     let server = NetServer::spawn(
         Arc::new(Dispatcher::with_config(EngineConfig::default())),
         ServerConfig {
-            workers: CLIENTS + 1,
             queue_capacity: 16,
             read_timeout: Some(Duration::from_millis(150)),
             write_timeout: Some(Duration::from_secs(5)),
-            ..ServerConfig::default()
+            ..config
         },
     )
     .expect("spawn hammer server");

@@ -13,7 +13,7 @@ use pclabel_engine::json::Json;
 use pclabel_engine::query::EngineConfig;
 use pclabel_engine::serve::{serve, Dispatcher};
 use pclabel_net::client::{HttpClient, NetClient};
-use pclabel_net::server::{NetServer, ServerConfig, ServerHandle};
+use pclabel_net::server::{ConnectionModel, NetServer, ServerConfig, ServerHandle};
 
 fn test_config() -> ServerConfig {
     ServerConfig {
@@ -22,6 +22,14 @@ fn test_config() -> ServerConfig {
         read_timeout: Some(Duration::from_millis(150)),
         write_timeout: Some(Duration::from_secs(2)),
         ..ServerConfig::default()
+    }
+}
+
+/// `test_config`, but served by the event-driven reactor.
+fn reactor_config() -> ServerConfig {
+    ServerConfig {
+        model: ConnectionModel::Reactor,
+        ..test_config()
     }
 }
 
@@ -139,6 +147,217 @@ fn netd_binary_is_byte_identical_to_serve_loop() {
     let status = child.wait().expect("netd exits");
     assert!(status.success());
     assert_eq!(expected, got);
+}
+
+/// The acceptance matrix for the reactor model: the same replay script,
+/// over both transports and both readiness backends, must stay
+/// byte-identical to the stdin/stdout serve loop (and therefore to the
+/// pool model, which the tests above pin to the same oracle).
+#[cfg(unix)]
+#[test]
+fn reactor_framed_and_http_are_byte_identical_to_serve_loop() {
+    let expected = stdio_responses();
+    for force_poll in [false, true] {
+        let server = spawn_server(ServerConfig {
+            force_poll_backend: force_poll,
+            ..reactor_config()
+        });
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        let got: Vec<String> = script()
+            .iter()
+            .map(|line| client.request_line(line).expect("framed round-trip"))
+            .collect();
+        assert_eq!(expected, got, "framed, force_poll={force_poll}");
+        server.shutdown();
+
+        let server = spawn_server(ServerConfig {
+            force_poll_backend: force_poll,
+            ..reactor_config()
+        });
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+        let got: Vec<String> = script()
+            .iter()
+            .map(|line| {
+                client
+                    .request("POST", "/", Some(line))
+                    .expect("HTTP round-trip")
+                    .body
+            })
+            .collect();
+        assert_eq!(expected, got, "HTTP, force_poll={force_poll}");
+        server.shutdown();
+    }
+}
+
+/// The regression the reactor exists to fix: with W workers, W + 4 idle
+/// keep-alive connections must not stop a fresh client from completing
+/// a register + query round-trip. (Under the pool model this exact
+/// scenario deadlocks: every worker is pinned to an idle connection.)
+#[cfg(unix)]
+#[test]
+fn reactor_idle_connections_do_not_starve_new_clients() {
+    let workers = 2usize;
+    let server = spawn_server(ServerConfig {
+        workers,
+        ..reactor_config()
+    });
+
+    // Park workers + 4 keep-alive connections, each proven live with one
+    // request so the server has fully adopted them.
+    let mut idle = Vec::new();
+    for i in 0..workers + 4 {
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        let health = client.request_line(r#"{"op":"health"}"#).unwrap();
+        assert_eq!(
+            Json::parse(&health).unwrap().get("ok"),
+            Some(&Json::Bool(true)),
+            "idle conn {i}"
+        );
+        idle.push(client);
+    }
+
+    // A fresh client must get through within 2 s.
+    let mut fresh = NetClient::connect(server.local_addr()).unwrap();
+    fresh.set_timeout(Some(Duration::from_secs(2))).unwrap();
+    let register = fresh
+        .request_line(r#"{"op":"register","dataset":"census","generator":"figure2","bound":5}"#)
+        .expect("register while workers+4 connections idle");
+    assert_eq!(
+        Json::parse(&register).unwrap().get("ok"),
+        Some(&Json::Bool(true))
+    );
+    let query = fresh
+        .request_line(
+            r#"{"op":"query","dataset":"census","patterns":[{"gender":"Female","age group":"20-39","marital status":"married"}]}"#,
+        )
+        .expect("query while workers+4 connections idle");
+    let estimate = Json::parse(&query)
+        .unwrap()
+        .get("results")
+        .and_then(Json::as_array)
+        .and_then(|r| r[0].get("estimate"))
+        .and_then(Json::as_f64);
+    assert_eq!(estimate, Some(3.0));
+
+    // The parked connections are still alive afterwards.
+    for client in idle.iter_mut() {
+        let health = client.request_line(r#"{"op":"health"}"#).unwrap();
+        assert_eq!(
+            Json::parse(&health).unwrap().get("ok"),
+            Some(&Json::Bool(true))
+        );
+    }
+    server.shutdown();
+}
+
+/// Idle deadlines: connections quiet for longer than `idle_timeout` are
+/// closed; active ones are not.
+#[cfg(unix)]
+#[test]
+fn reactor_idle_timeout_evicts_quiet_connections() {
+    // Generous margin between the chatty cadence (100 ms) and the idle
+    // deadline (600 ms) so a loaded CI runner's scheduling stalls
+    // cannot push an active connection over the deadline.
+    let server = spawn_server(ServerConfig {
+        idle_timeout: Some(Duration::from_millis(600)),
+        ..reactor_config()
+    });
+    let mut quiet = NetClient::connect(server.local_addr()).unwrap();
+    let ok = quiet.request_line(r#"{"op":"health"}"#).unwrap();
+    assert_eq!(Json::parse(&ok).unwrap().get("ok"), Some(&Json::Bool(true)));
+
+    // A connection that keeps talking stays alive across the window…
+    let mut chatty = NetClient::connect(server.local_addr()).unwrap();
+    for _ in 0..8 {
+        std::thread::sleep(Duration::from_millis(100));
+        let ok = chatty.request_line(r#"{"op":"health"}"#).unwrap();
+        assert_eq!(Json::parse(&ok).unwrap().get("ok"), Some(&Json::Bool(true)));
+    }
+    // …while the quiet one was evicted (its next request fails).
+    assert!(
+        quiet.request_line(r#"{"op":"health"}"#).is_err(),
+        "idle connection should have been closed by the idle deadline"
+    );
+    server.shutdown();
+}
+
+/// The connection cap admits newcomers by evicting the
+/// least-recently-active idle connection.
+#[cfg(unix)]
+#[test]
+fn reactor_connection_cap_evicts_lru_idle() {
+    let server = spawn_server(ServerConfig {
+        max_connections: 2,
+        ..reactor_config()
+    });
+    let mut oldest = NetClient::connect(server.local_addr()).unwrap();
+    oldest.request_line(r#"{"op":"health"}"#).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    let mut newer = NetClient::connect(server.local_addr()).unwrap();
+    newer.request_line(r#"{"op":"health"}"#).unwrap();
+
+    // Third connection: over the cap, evicts `oldest` (the LRU idle).
+    let mut third = NetClient::connect(server.local_addr()).unwrap();
+    let ok = third.request_line(r#"{"op":"health"}"#).unwrap();
+    assert_eq!(Json::parse(&ok).unwrap().get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(
+        Json::parse(&newer.request_line(r#"{"op":"health"}"#).unwrap())
+            .unwrap()
+            .get("ok"),
+        Some(&Json::Bool(true)),
+        "newer idle connection must survive"
+    );
+    assert!(
+        oldest.request_line(r#"{"op":"health"}"#).is_err(),
+        "LRU idle connection should have been evicted for the newcomer"
+    );
+    server.shutdown();
+}
+
+/// Oversized-frame handling matches the pool model: drain, framed error
+/// response, close.
+#[cfg(unix)]
+#[test]
+fn reactor_rejects_oversized_frames_like_the_pool() {
+    let server = spawn_server(ServerConfig {
+        max_frame: 128,
+        ..reactor_config()
+    });
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    let ok = client.request_line(r#"{"op":"list"}"#).unwrap();
+    assert_eq!(Json::parse(&ok).unwrap().get("ok"), Some(&Json::Bool(true)));
+    let huge = format!(
+        r#"{{"op":"query","dataset":"x","patterns":[{{"a":"{}"}}]}}"#,
+        "v".repeat(4096)
+    );
+    let response = client.request_line(&huge).unwrap();
+    let parsed = Json::parse(&response).unwrap();
+    assert_eq!(parsed.get("ok"), Some(&Json::Bool(false)));
+    assert!(parsed
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("exceeds maximum"));
+    assert!(client.request_line(r#"{"op":"list"}"#).is_err());
+    server.shutdown();
+}
+
+/// Remote shutdown drains in flight: the response to the shutdown op is
+/// still delivered, then the server winds down.
+#[cfg(unix)]
+#[test]
+fn reactor_remote_shutdown_drains_and_exits() {
+    let server = spawn_server(ServerConfig {
+        allow_remote_shutdown: true,
+        ..reactor_config()
+    });
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    let accepted = client.request_line(r#"{"op":"shutdown"}"#).unwrap();
+    assert_eq!(
+        Json::parse(&accepted).unwrap().get("ok"),
+        Some(&Json::Bool(true))
+    );
+    server.wait();
 }
 
 #[test]
