@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Trends this build's bench artifacts (BENCH_net.json, BENCH_count.json)
+# against the previous successful CI run on main, failing on >30%
+# regressions via the bench_trend comparator. Gracefully skips when no
+# baseline exists yet (first runs, forks without artifact access).
+set -euo pipefail
+
+artifacts=("BENCH_net.json" "BENCH_count.json")
+trend=./target/release/bench_trend
+
+if [ ! -x "$trend" ]; then
+  echo "bench_trend: $trend not built; skipping trend comparison"
+  exit 0
+fi
+if ! command -v gh >/dev/null 2>&1 || [ -z "${GH_TOKEN:-${GITHUB_TOKEN:-}}" ]; then
+  echo "bench_trend: no gh CLI or token available; skipping trend comparison"
+  exit 0
+fi
+repo="${GITHUB_REPOSITORY:-}"
+if [ -z "$repo" ]; then
+  echo "bench_trend: GITHUB_REPOSITORY unset; skipping trend comparison"
+  exit 0
+fi
+
+# Latest successful run of this workflow on main — the trend baseline.
+run_id=$(gh run list --repo "$repo" --workflow "${GITHUB_WORKFLOW:-CI}" \
+          --branch main --status success --limit 1 --json databaseId \
+          --jq '.[0].databaseId' 2>/dev/null || true)
+if [ -z "$run_id" ] || [ "$run_id" = "null" ]; then
+  echo "bench_trend: no successful baseline run on main yet; skipping"
+  exit 0
+fi
+
+mkdir -p .bench-baseline
+status=0
+for artifact in "${artifacts[@]}"; do
+  rm -rf ".bench-baseline/$artifact"
+  if ! gh run download "$run_id" --repo "$repo" --name "$artifact" \
+        --dir ".bench-baseline/$artifact" 2>/dev/null; then
+    echo "bench_trend: baseline run $run_id has no $artifact; skipping it"
+    continue
+  fi
+  if [ ! -f "$artifact" ]; then
+    echo "bench_trend: current $artifact missing; skipping it"
+    continue
+  fi
+  echo "bench_trend: comparing $artifact against run $run_id"
+  "$trend" ".bench-baseline/$artifact/$artifact" "$artifact" --max-regress 0.30 || status=1
+done
+exit $status

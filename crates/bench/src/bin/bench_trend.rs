@@ -1,0 +1,327 @@
+//! `bench_trend` — compares a benchmark artifact against the previous
+//! commit's, failing on large regressions so CI trends `BENCH_net.json`
+//! and `BENCH_count.json` instead of just archiving them.
+//!
+//! ```text
+//! bench_trend BASELINE.json CURRENT.json [--max-regress 0.30]
+//! ```
+//!
+//! The file kind is sniffed from the `"benchmark"` field:
+//!
+//! * `engine_throughput` (`BENCH_net.json`) — `net` rows are matched on
+//!   `(model, client_threads, idle_conns)` and fail when `req_per_sec`
+//!   drops by more than the threshold; `counting.parallel` rows are
+//!   matched on `(threads, shards)` and fail when `seconds` grows by
+//!   more than the threshold.
+//! * `counting` (`BENCH_count.json`) — scenario rows are matched on
+//!   `(scenario, mode, threads, shards)` and fail when `build_secs` or
+//!   `merge_secs` grows by more than the threshold.
+//!
+//! Rows present on only one side are reported and skipped (grids grow
+//! over time), and timings under 5 ms are never compared — at that scale
+//! a shared CI runner's jitter swamps any real signal. Exit codes: 0 =
+//! no regression (including "nothing comparable"), 1 = regression, 2 =
+//! usage or parse error.
+
+use pclabel_engine::json::Json;
+
+/// Comparisons on timings below this many seconds are skipped as noise.
+const MIN_SECONDS: f64 = 0.005;
+
+fn usage(message: &str) -> ! {
+    eprintln!("bench_trend: {message}");
+    eprintln!("usage: bench_trend BASELINE.json CURRENT.json [--max-regress 0.30]");
+    std::process::exit(2);
+}
+
+/// One comparable metric: its row key, name, baseline and current value,
+/// and whether bigger is better.
+#[derive(Debug, Clone, PartialEq)]
+struct Metric {
+    key: String,
+    name: &'static str,
+    higher_is_better: bool,
+    value: f64,
+}
+
+fn row_f64(row: &Json, field: &str) -> Option<f64> {
+    row.get(field).and_then(Json::as_f64)
+}
+
+fn fmt_key(parts: &[(&str, String)]) -> String {
+    parts
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn field_text(row: &Json, field: &str) -> String {
+    match row.get(field) {
+        Some(Json::Str(s)) => s.clone(),
+        Some(other) => other.to_string(),
+        None => "?".to_string(),
+    }
+}
+
+/// Flattens one artifact into comparable metrics.
+fn metrics_of(report: &Json) -> Result<Vec<Metric>, String> {
+    let kind = report
+        .get("benchmark")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing \"benchmark\" field".to_string())?;
+    let mut out = Vec::new();
+    match kind {
+        "engine_throughput" => {
+            if let Some(rows) = report.get("net").and_then(Json::as_array) {
+                for row in rows {
+                    let key = fmt_key(&[
+                        ("net/model", field_text(row, "model")),
+                        ("clients", field_text(row, "client_threads")),
+                        ("idle", field_text(row, "idle_conns")),
+                    ]);
+                    if let Some(v) = row_f64(row, "req_per_sec") {
+                        out.push(Metric {
+                            key,
+                            name: "req_per_sec",
+                            higher_is_better: true,
+                            value: v,
+                        });
+                    }
+                }
+            }
+            if let Some(rows) = report
+                .get("counting")
+                .and_then(|c| c.get("parallel"))
+                .and_then(Json::as_array)
+            {
+                for row in rows {
+                    let key = fmt_key(&[
+                        ("counting/threads", field_text(row, "threads")),
+                        ("shards", field_text(row, "shards")),
+                    ]);
+                    if let Some(v) = row_f64(row, "seconds") {
+                        out.push(Metric {
+                            key,
+                            name: "seconds",
+                            higher_is_better: false,
+                            value: v,
+                        });
+                    }
+                }
+            }
+        }
+        "counting" => {
+            let scenarios = report
+                .get("scenarios")
+                .and_then(Json::as_array)
+                .ok_or_else(|| "counting report without \"scenarios\"".to_string())?;
+            for scenario in scenarios {
+                let name = field_text(scenario, "name");
+                let Some(rows) = scenario.get("results").and_then(Json::as_array) else {
+                    continue;
+                };
+                for row in rows {
+                    let key = fmt_key(&[
+                        ("scenario", name.clone()),
+                        ("mode", field_text(row, "mode")),
+                        ("threads", field_text(row, "threads")),
+                        ("shards", field_text(row, "shards")),
+                    ]);
+                    for metric in ["build_secs", "merge_secs"] {
+                        if let Some(v) = row_f64(row, metric) {
+                            out.push(Metric {
+                                key: key.clone(),
+                                name: metric,
+                                higher_is_better: false,
+                                value: v,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        other => return Err(format!("unknown benchmark kind {other:?}")),
+    }
+    Ok(out)
+}
+
+/// A regression found between two matched metrics.
+#[derive(Debug, PartialEq)]
+struct Regression {
+    key: String,
+    name: &'static str,
+    baseline: f64,
+    current: f64,
+    change: f64,
+}
+
+/// Compares matched metrics; `max_regress` is the tolerated relative
+/// loss (0.30 = 30%).
+fn compare(baseline: &[Metric], current: &[Metric], max_regress: f64) -> (Vec<Regression>, usize) {
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    for b in baseline {
+        let Some(c) = current.iter().find(|c| c.key == b.key && c.name == b.name) else {
+            println!("bench_trend: [skip] {} {} only in baseline", b.key, b.name);
+            continue;
+        };
+        // Sub-noise-floor timings carry no signal on shared runners.
+        if !b.higher_is_better && (b.value < MIN_SECONDS || c.value < MIN_SECONDS) {
+            continue;
+        }
+        if b.value <= 0.0 {
+            continue;
+        }
+        compared += 1;
+        let change = if b.higher_is_better {
+            (b.value - c.value) / b.value // fraction of throughput lost
+        } else {
+            (c.value - b.value) / b.value // fraction of time gained
+        };
+        if change > max_regress {
+            regressions.push(Regression {
+                key: b.key.clone(),
+                name: b.name,
+                baseline: b.value,
+                current: c.value,
+                change,
+            });
+        }
+    }
+    (regressions, compared)
+}
+
+fn run(
+    baseline_text: &str,
+    current_text: &str,
+    max_regress: f64,
+) -> Result<Vec<Regression>, String> {
+    let baseline = Json::parse(baseline_text).map_err(|e| format!("baseline: {e}"))?;
+    let current = Json::parse(current_text).map_err(|e| format!("current: {e}"))?;
+    let b = metrics_of(&baseline)?;
+    let c = metrics_of(&current)?;
+    let (regressions, compared) = compare(&b, &c, max_regress);
+    println!(
+        "bench_trend: compared {compared} metric(s), {} regression(s) beyond {:.0}%",
+        regressions.len(),
+        max_regress * 100.0
+    );
+    Ok(regressions)
+}
+
+fn main() {
+    let mut paths: Vec<String> = Vec::new();
+    let mut max_regress = 0.30f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-regress" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| usage("--max-regress needs a value"));
+                max_regress = value
+                    .parse()
+                    .unwrap_or_else(|_| usage("--max-regress needs a number"));
+            }
+            other if other.starts_with('-') => usage(&format!("unknown flag {other:?}")),
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        usage("expected exactly two artifact paths");
+    };
+    let read = |p: &str| std::fs::read_to_string(p).unwrap_or_else(|e| usage(&format!("{p}: {e}")));
+    match run(&read(baseline_path), &read(current_path), max_regress) {
+        Err(e) => usage(&e),
+        Ok(regressions) if regressions.is_empty() => {}
+        Ok(regressions) => {
+            for r in &regressions {
+                eprintln!(
+                    "bench_trend: REGRESSION {} {}: {:.4} -> {:.4} ({:+.1}%)",
+                    r.key,
+                    r.name,
+                    r.baseline,
+                    r.current,
+                    r.change * 100.0
+                );
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NET_BASE: &str = r#"{"benchmark":"engine_throughput","counting":{"serial_seconds":1.0,"parallel":[
+        {"threads":2,"shards":8,"seconds":0.5,"rows_per_sec":400000}]},
+        "net":[{"model":"reactor","client_threads":2,"idle_conns":12,"requests":400,"seconds":1.0,"req_per_sec":1000}]}"#;
+
+    #[test]
+    fn net_req_per_sec_regression_detected() {
+        let slower = NET_BASE.replace("\"req_per_sec\":1000", "\"req_per_sec\":600");
+        let regressions = run(NET_BASE, &slower, 0.30).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].name, "req_per_sec");
+        // 40% drop, reported relative to baseline.
+        assert!((regressions[0].change - 0.4).abs() < 1e-9);
+        // Within tolerance: no failure.
+        let ok = NET_BASE.replace("\"req_per_sec\":1000", "\"req_per_sec\":800");
+        assert!(run(NET_BASE, &ok, 0.30).unwrap().is_empty());
+        // Improvements never fail.
+        let faster = NET_BASE.replace("\"req_per_sec\":1000", "\"req_per_sec\":2000");
+        assert!(run(NET_BASE, &faster, 0.30).unwrap().is_empty());
+    }
+
+    #[test]
+    fn counting_seconds_regression_detected() {
+        let slower = NET_BASE.replace("\"seconds\":0.5,", "\"seconds\":0.9,");
+        let regressions = run(NET_BASE, &slower, 0.30).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].name, "seconds");
+        assert_eq!(regressions[0].key, "counting/threads=2 shards=8");
+    }
+
+    const COUNT_BASE: &str = r#"{"benchmark":"counting","rows":400000,"scenarios":[
+        {"name":"large_groups","groups":120000,"results":[
+          {"mode":"merged","threads":2,"shards":1,"build_secs":0.8,"partition_secs":0,"count_secs":0.5,"merge_secs":0.3,"peak_bytes":9000000},
+          {"mode":"sharded","threads":2,"shards":8,"build_secs":0.5,"partition_secs":0.1,"count_secs":0.39,"merge_secs":0.001,"peak_bytes":6000000}]}]}"#;
+
+    #[test]
+    fn merge_time_regression_detected_and_noise_floor_respected() {
+        let slower = COUNT_BASE.replace("\"merge_secs\":0.3", "\"merge_secs\":0.5");
+        let regressions = run(COUNT_BASE, &slower, 0.30).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].name, "merge_secs");
+        assert!(regressions[0].key.contains("mode=merged"));
+
+        // The sharded merge_secs sits under the 5 ms noise floor: even a
+        // 10x relative change must not fail.
+        let noisy = COUNT_BASE.replace("\"merge_secs\":0.001", "\"merge_secs\":0.004");
+        assert!(run(COUNT_BASE, &noisy, 0.30).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_rows_are_skipped_not_failed() {
+        // The current artifact dropped a row (grid changed): skip it.
+        let current = r#"{"benchmark":"counting","scenarios":[
+            {"name":"large_groups","results":[
+              {"mode":"sharded","threads":2,"shards":8,"build_secs":0.5,"merge_secs":0.001}]}]}"#;
+        assert!(run(COUNT_BASE, current, 0.30).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mismatched_kinds_and_bad_json_error() {
+        assert!(run(NET_BASE, "{", 0.30).is_err());
+        assert!(run(r#"{"benchmark":"mystery"}"#, NET_BASE, 0.30).is_err());
+    }
+
+    #[test]
+    fn custom_threshold_applies() {
+        let slower = NET_BASE.replace("\"req_per_sec\":1000", "\"req_per_sec\":900");
+        assert!(run(NET_BASE, &slower, 0.30).unwrap().is_empty());
+        assert_eq!(run(NET_BASE, &slower, 0.05).unwrap().len(), 1);
+    }
+}

@@ -3,8 +3,10 @@
 //!
 //! Measures, on a synthetic ≥1M-row dataset:
 //!
-//! * serial `GroupCounts::build` vs chunked `GroupCounts::build_parallel`
-//!   at 1/2/4/max-hardware threads (rows per second + speedup);
+//! * serial `GroupCounts::build` vs the radix-partitioned sharded
+//!   `GroupCounts::build_parallel_sharded` at 1/2/4/max-hardware threads
+//!   × `--shards` shard counts (default 1,8,64; rows per second +
+//!   speedup — bit-identical groups asserted per cell);
 //! * `LabelStore` batched query throughput via `Engine::execute` for a
 //!   10k-pattern batch, cold (cache misses) and hot (cache hits).
 //!
@@ -56,7 +58,7 @@ fn env_usize(name: &str, default: usize) -> usize {
 
 fn usage(message: &str) -> ! {
     eprintln!("engine_bench: {message}");
-    eprintln!("usage: engine_bench [--net] [--model pool|reactor] [--json]");
+    eprintln!("usage: engine_bench [--net] [--model pool|reactor] [--shards LIST] [--json]");
     std::process::exit(2);
 }
 
@@ -95,6 +97,7 @@ fn synthetic(rows: usize) -> Dataset {
 fn main() {
     let mut net_enabled = false;
     let mut model = ConnectionModel::platform_default();
+    let mut shard_counts = vec![1usize, 8, 64];
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -107,6 +110,23 @@ fn main() {
                     .next()
                     .unwrap_or_else(|| usage("--model needs a value"));
                 model = value.parse().unwrap_or_else(|e: String| usage(&e));
+            }
+            "--shards" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| usage("--shards needs a value"));
+                shard_counts = value
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| usage("--shards needs integers"))
+                    })
+                    .collect();
+                if shard_counts.is_empty() {
+                    usage("--shards needs at least one value");
+                }
             }
             other => usage(&format!("unknown flag {other:?}")),
         }
@@ -142,19 +162,21 @@ fn main() {
 
     let mut counting = Vec::new();
     for &threads in &thread_counts {
-        let (secs, gc) = time_best(reps, || {
-            GroupCounts::build_parallel(&dataset, None, attrs, threads)
-        });
-        assert_eq!(
-            gc.pattern_count_size(),
-            serial_size,
-            "parallel counting diverged from serial"
-        );
-        counting.push(format!(
-            "{{\"threads\":{threads},\"seconds\":{secs:.6},\"rows_per_sec\":{:.0},\"speedup_vs_serial\":{:.3}}}",
-            rows as f64 / secs,
-            serial_secs / secs
-        ));
+        for &shards in &shard_counts {
+            let (secs, gc) = time_best(reps, || {
+                GroupCounts::build_parallel_sharded(&dataset, None, attrs, threads, shards)
+            });
+            assert_eq!(
+                gc.pattern_count_size(),
+                serial_size,
+                "parallel counting ({threads} threads, {shards} shards) diverged from serial"
+            );
+            counting.push(format!(
+                "{{\"threads\":{threads},\"shards\":{shards},\"seconds\":{secs:.6},\"rows_per_sec\":{:.0},\"speedup_vs_serial\":{:.3}}}",
+                rows as f64 / secs,
+                serial_secs / secs
+            ));
+        }
     }
 
     // --- serving: batched queries through the LabelStore ------------------

@@ -12,6 +12,37 @@
 //!   child's grouping in O(rows), which is how the top-down search prices
 //!   all children of a dequeued node.
 //!
+//! ## Sharded storage
+//!
+//! The group map is stored as a [`ShardedCounts`]: `N` key-range shards
+//! (`N` a power of two, at most [`MAX_SHARDS`]), a key routed to its shard
+//! by the **top bits of the packed key** (so shards are contiguous key
+//! ranges) or, for wide keys, the top bits of the key's Fx hash. Three
+//! things fall out of this layout:
+//!
+//! * **mergeless parallel builds** — [`GroupCounts::build_parallel`]
+//!   radix-partitions rows by shard first, then each worker builds the
+//!   final maps of the shards *it alone owns*. There is no cross-thread
+//!   merge of whole partial maps any more: every key is hashed into
+//!   exactly one map, ever, and "merge" is the concatenation of the
+//!   workers' disjoint shard lists. Peak memory no longer pays for hot
+//!   groups duplicated once per thread.
+//! * **incremental appends** — [`GroupCounts::append_rows`] folds a batch
+//!   of new rows into the counts in place, touching only the shards those
+//!   rows' keys land in and reporting which ones. Shards are
+//!   `Arc`-shared, so an updated copy of a group-by (a refreshed label
+//!   generation) clones only the touched shards and shares the rest with
+//!   its predecessor.
+//! * **shard-local invalidation** — a caller caching per-group answers
+//!   can ask [`GroupCounts::shard_of_values`] which shard a group lives
+//!   in and drop only the cache entries of shards an append touched.
+//!
+//! Sharded and serial builds are *bit-identical*: same groups, same
+//! weights, same empty-group weight, for every shard count (enforced by
+//! the property tests). The pre-sharding chunk-and-merge strategy is
+//! retained in [`reference`] as the equivalence oracle and the baseline
+//! the counting microbenchmark measures the win against.
+//!
 //! Missing cells are first-class: a row's projection onto `S` keeps only
 //! its defined attributes (the partial-pattern semantics required by the
 //! NP-hardness reduction of Appendix A), with missing encoded as a reserved
@@ -19,10 +50,15 @@
 //! groups. The all-missing group corresponds to the empty pattern and is
 //! excluded from the label size.
 
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Instant;
+
 use pclabel_data::dataset::{Dataset, MISSING};
 
 use crate::attrset::AttrSet;
-use crate::hash::{fx_map_with_capacity, FxHashMap, FxHashSet};
+use crate::hash::{fx_map_with_capacity, FxHashMap, FxHashSet, FxHasher};
 
 /// Encodes per-row projections onto a fixed attribute subset as compact
 /// keys. Missing is encoded as `cardinality` (one past the last valid id).
@@ -90,6 +126,19 @@ impl KeyCodec {
         &self.attrs
     }
 
+    /// Whether `dataset` still encodes to the same keys this codec was
+    /// built for: every covered attribute must have the exact cardinality
+    /// seen at build time (a grown dictionary changes code widths and the
+    /// reserved missing code, so incremental appends would be unsound).
+    pub fn compatible_with(&self, dataset: &Dataset) -> bool {
+        self.attrs.iter().zip(&self.cards).all(|(&a, &card)| {
+            dataset
+                .schema()
+                .attr(a)
+                .is_some_and(|at| at.cardinality() as u32 == card)
+        })
+    }
+
     /// Packs row `r` of `dataset` into a `u64` key. Only valid when
     /// [`KeyCodec::fits_u64`] holds.
     #[inline]
@@ -149,13 +198,151 @@ impl KeyCodec {
     }
 }
 
+// --- sharded storage --------------------------------------------------------
+
+/// Upper bound on the shard count; also lets radix-partition passes store
+/// one shard id per row in a single byte.
+pub const MAX_SHARDS: usize = 256;
+
+/// The shard count [`GroupCounts::build_parallel`] picks for a worker
+/// count: a few shards per worker (finer granularity balances skewed key
+/// ranges), 1 for serial builds, capped at [`MAX_SHARDS`]. Always a power
+/// of two.
+pub fn auto_shards(threads: usize) -> usize {
+    if threads <= 1 {
+        1
+    } else {
+        (threads * 4).next_power_of_two().min(MAX_SHARDS)
+    }
+}
+
+/// Shard of a packed key: its top `shard_bits` bits (of the codec's
+/// `total_bits`-wide key space), so each shard is a contiguous key range.
+#[inline]
+fn packed_shard(key: u64, total_bits: u32, shard_bits: u32) -> usize {
+    if shard_bits == 0 {
+        return 0;
+    }
+    // When total_bits < shard_bits the shift is 0 and key < 2^total_bits
+    // < n_shards, so the index stays in range (high shards just stay
+    // empty).
+    (key >> total_bits.saturating_sub(shard_bits)) as usize
+}
+
+/// Shard of a wide key: top bits of the Fx hash over (len, values...).
+/// One canonical routing for build, append and lookup, independent of how
+/// the values are materialized.
+#[inline]
+fn wide_shard<I: Iterator<Item = u32>>(len: usize, values: I, shard_bits: u32) -> usize {
+    if shard_bits == 0 {
+        return 0;
+    }
+    let mut h = FxHasher::default();
+    h.write_usize(len);
+    for v in values {
+        h.write_u32(v);
+    }
+    (h.finish() >> (64 - shard_bits)) as usize
+}
+
+/// The sharded group map: `N` independent `key → weight` maps, each
+/// behind an `Arc` so updated copies (label generations after an append)
+/// share every shard the update did not touch.
+///
+/// `ShardedCounts` is storage only — key→shard routing lives with the
+/// codec in [`GroupCounts`], because packed and wide keys route
+/// differently.
+#[derive(Debug, Clone)]
+pub struct ShardedCounts<K> {
+    shards: Box<[Arc<FxHashMap<K, u64>>]>,
+    shard_bits: u32,
+}
+
+impl<K: Hash + Eq> ShardedCounts<K> {
+    /// Empty sharded map with `n` shards (clamped to a power of two in
+    /// `1..=MAX_SHARDS`).
+    fn with_shards(n: usize) -> Self {
+        let n = n.clamp(1, MAX_SHARDS).next_power_of_two();
+        ShardedCounts {
+            shards: (0..n).map(|_| Arc::new(FxHashMap::default())).collect(),
+            shard_bits: n.trailing_zeros(),
+        }
+    }
+
+    /// Wraps already-built per-shard maps (must be a power-of-two count;
+    /// the workers' concatenated output).
+    fn from_maps(maps: Vec<FxHashMap<K, u64>>) -> Self {
+        debug_assert!(maps.len().is_power_of_two() && maps.len() <= MAX_SHARDS);
+        let shard_bits = maps.len().trailing_zeros();
+        ShardedCounts {
+            shards: maps.into_iter().map(Arc::new).collect(),
+            shard_bits,
+        }
+    }
+
+    /// Number of shards (a power of two).
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// log2 of the shard count.
+    pub fn shard_bits(&self) -> u32 {
+        self.shard_bits
+    }
+
+    /// Total entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether no shard holds any entry.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// Entries in shard `i`.
+    pub fn shard_len(&self, i: usize) -> usize {
+        self.shards[i].len()
+    }
+
+    #[inline]
+    fn get<Q>(&self, shard: usize, key: &Q) -> Option<u64>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.shards[shard].get(key).copied()
+    }
+
+    /// Adds `w` to `key` in `shard`, copying the shard first if it is
+    /// still shared with an older snapshot (copy-on-append).
+    #[inline]
+    fn add(&mut self, shard: usize, key: K, w: u64)
+    where
+        K: Clone,
+    {
+        *Arc::make_mut(&mut self.shards[shard])
+            .entry(key)
+            .or_insert(0) += w;
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (&K, u64)> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.iter().map(|(k, &w)| (k, w)))
+    }
+}
+
+#[derive(Clone)]
 enum GroupMap {
-    Packed(FxHashMap<u64, u64>),
-    Wide(FxHashMap<Box<[u32]>, u64>),
+    Packed(ShardedCounts<u64>),
+    Wide(ShardedCounts<Box<[u32]>>),
 }
 
 /// The group-by of a dataset on an attribute subset: one entry per distinct
-/// (partial) projection, valued by total row weight.
+/// (partial) projection, valued by total row weight. Stored sharded by key
+/// range (see the module docs); cloning is cheap (`Arc` per shard).
+#[derive(Clone)]
 pub struct GroupCounts {
     attrs: AttrSet,
     codec: KeyCodec,
@@ -165,97 +352,107 @@ pub struct GroupCounts {
 }
 
 /// Below this many rows per worker, chunked counting's thread spawn and
-/// partial-map merge cost more than the scan itself. Callers that pick
-/// thread counts automatically (the search evaluator, the engine's
+/// partition cost more than the scan itself. Callers that pick thread
+/// counts automatically (the search evaluator, the engine's
 /// [`auto_threads`](https://docs.rs/pclabel-engine) policy) divide row
 /// count by this before parallelizing; [`GroupCounts::build_parallel`]
 /// itself honors whatever it is given.
 pub const MIN_PARALLEL_ROWS_PER_THREAD: usize = 32_768;
 
-/// A chunk scan's partial result: its group map plus the chunk's
-/// empty-group weight.
-type Partial<K> = (FxHashMap<K, u64>, u64);
-
-/// Scans rows `range` of `dataset` into a packed partial group map,
-/// returning the map and the scanned rows' empty-group weight.
-fn scan_packed(
-    dataset: &Dataset,
-    weights: Option<&[u64]>,
-    codec: &KeyCodec,
-    range: std::ops::Range<usize>,
-) -> Partial<u64> {
-    let mut m: FxHashMap<u64, u64> = fx_map_with_capacity(range.len().min(1 << 16));
-    let mut empty_group_weight = 0u64;
-    let all_missing_key = codec.encode_values_u64(&vec![MISSING; codec.attrs().len()]);
-    let no_attrs = codec.attrs().is_empty();
-    for r in range {
-        let w = weights.map_or(1, |w| w[r]);
-        let key = codec.encode_row_u64(dataset, r);
-        // The empty projection of every row is the empty pattern; that
-        // degenerate case only arises for `attrs = {}` or all-missing rows.
-        if no_attrs || key == all_missing_key {
-            empty_group_weight += w;
-        } else {
-            *m.entry(key).or_insert(0) += w;
-        }
-    }
-    (m, empty_group_weight)
+/// Wall-clock and memory accounting for one build, reported by the
+/// `*_profiled` constructors so the counting microbenchmark (and CI's
+/// `BENCH_count.json`) can trend the phases separately.
+///
+/// `peak_bytes` is an *estimate* of the transient high-water mark of the
+/// build's own allocations: the radix-partition side buffer plus the hash
+/// maps' table bytes (capacity × entry footprint, plus boxed key heap for
+/// wide keys). It deliberately uses the same accounting as
+/// [`reference::build_merged`] so the two are comparable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingProfile {
+    /// Phase 1: radix-partitioning rows to shards (key/shard-id side
+    /// buffer fill). Zero for serial builds.
+    pub partition_secs: f64,
+    /// Phase 2: the counting scan itself.
+    pub count_secs: f64,
+    /// Phase 3: what is left of "merge" — concatenating the workers'
+    /// disjoint shard lists (or, in [`reference::build_merged`], the
+    /// cross-thread merge of whole partial maps).
+    pub assemble_secs: f64,
+    /// Estimated peak allocation of the build (see type docs).
+    pub peak_bytes: u64,
 }
 
-/// Wide-key variant of [`scan_packed`] for schemas beyond 64 key bits.
-fn scan_wide(
-    dataset: &Dataset,
-    weights: Option<&[u64]>,
-    codec: &KeyCodec,
-    range: std::ops::Range<usize>,
-) -> Partial<Box<[u32]>> {
-    let mut m: FxHashMap<Box<[u32]>, u64> = fx_map_with_capacity(range.len().min(1 << 16));
-    let mut empty_group_weight = 0u64;
-    for r in range {
-        let w = weights.map_or(1, |w| w[r]);
-        let key = codec.encode_row_wide(dataset, r);
-        if key.iter().all(|&v| v == MISSING) {
-            empty_group_weight += w;
-        } else {
-            *m.entry(key).or_insert(0) += w;
-        }
-    }
-    (m, empty_group_weight)
+/// Per-worker output of a phase-2 counting pass: the final maps of the
+/// worker's owned shards (in shard order) plus its empty-group weight.
+type ShardParts<K> = Vec<(Vec<FxHashMap<K, u64>>, u64)>;
+
+/// Estimated table bytes of one packed-key shard/partial map: 8 (key) +
+/// 8 (weight) + 1 (control byte) per slot of capacity.
+fn packed_map_bytes(m: &FxHashMap<u64, u64>) -> u64 {
+    m.capacity() as u64 * 17
 }
 
-/// Merges partial maps produced by chunked scans. Addition is commutative
-/// and associative, so any merge order yields the same totals; merging
-/// into the largest partial minimizes rehashing.
-fn merge_partials<K: std::hash::Hash + Eq>(mut parts: Vec<FxHashMap<K, u64>>) -> FxHashMap<K, u64> {
-    let Some(biggest) = parts
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, m)| m.len())
-        .map(|(i, _)| i)
-    else {
-        return FxHashMap::default();
-    };
-    let mut acc = parts.swap_remove(biggest);
-    for part in parts {
-        for (k, w) in part {
-            *acc.entry(k).or_insert(0) += w;
-        }
-    }
-    acc
+/// Estimated bytes of one wide-key map: 16 (fat pointer) + 8 + 1 per slot
+/// plus the boxed key heap (4 bytes per value).
+fn wide_map_bytes(m: &FxHashMap<Box<[u32]>, u64>, arity: usize) -> u64 {
+    m.capacity() as u64 * 25 + m.len() as u64 * (16 + 4 * arity as u64)
 }
 
 impl GroupCounts {
     /// Groups `dataset` by `attrs`; row `r` contributes `weights[r]` (or 1
-    /// when `weights` is `None`).
+    /// when `weights` is `None`). Serial, single-shard — the reference
+    /// build every sharded/parallel variant is tested against.
     pub fn build(dataset: &Dataset, weights: Option<&[u64]>, attrs: AttrSet) -> Self {
+        Self::build_sharded(dataset, weights, attrs, 1)
+    }
+
+    /// Serial build into `shards` key-range shards. Identical groups and
+    /// weights to [`GroupCounts::build`] for every shard count; only the
+    /// storage layout differs.
+    pub fn build_sharded(
+        dataset: &Dataset,
+        weights: Option<&[u64]>,
+        attrs: AttrSet,
+        shards: usize,
+    ) -> Self {
         let codec = KeyCodec::new(dataset, attrs);
         let n = dataset.n_rows();
+        let arity = codec.attrs().len();
         let (map, empty_group_weight) = if codec.fits_u64() {
-            let (m, e) = scan_packed(dataset, weights, &codec, 0..n);
-            (GroupMap::Packed(m), e)
+            let mut sc: ShardedCounts<u64> = ShardedCounts::with_shards(shards);
+            let all_missing_key = codec.encode_values_u64(&vec![MISSING; arity]);
+            let total_bits = codec.total_bits();
+            let no_attrs = arity == 0;
+            let mut empty = 0u64;
+            for r in 0..n {
+                let w = weights.map_or(1, |w| w[r]);
+                let key = codec.encode_row_u64(dataset, r);
+                // The empty projection of every row is the empty pattern;
+                // that degenerate case only arises for `attrs = {}` or
+                // all-missing rows.
+                if no_attrs || key == all_missing_key {
+                    empty += w;
+                } else {
+                    let s = packed_shard(key, total_bits, sc.shard_bits);
+                    sc.add(s, key, w);
+                }
+            }
+            (GroupMap::Packed(sc), empty)
         } else {
-            let (m, e) = scan_wide(dataset, weights, &codec, 0..n);
-            (GroupMap::Wide(m), e)
+            let mut sc: ShardedCounts<Box<[u32]>> = ShardedCounts::with_shards(shards);
+            let mut empty = 0u64;
+            for r in 0..n {
+                let w = weights.map_or(1, |w| w[r]);
+                let key = codec.encode_row_wide(dataset, r);
+                if key.iter().all(|&v| v == MISSING) {
+                    empty += w;
+                } else {
+                    let s = wide_shard(key.len(), key.iter().copied(), sc.shard_bits);
+                    sc.add(s, key, w);
+                }
+            }
+            (GroupMap::Wide(sc), empty)
         };
         Self {
             attrs,
@@ -265,12 +462,9 @@ impl GroupCounts {
         }
     }
 
-    /// Parallel drop-in for [`GroupCounts::build`]: rows are chunked across
-    /// `threads` scoped workers, each building a thread-local partial group
-    /// map ([`FxHashMap`] over the same packed/wide keys), and the partials
-    /// are merged. The result is identical to the serial build — same
-    /// groups, same weights, same empty-group weight — because per-group
-    /// weight addition is commutative across chunks.
+    /// Parallel drop-in for [`GroupCounts::build`], sharded with
+    /// [`auto_shards`]`(threads)`. The result is identical to the serial
+    /// build — same groups, same weights, same empty-group weight.
     ///
     /// `threads <= 1` and empty attribute sets fall back to the serial
     /// scan. No row-count heuristic is applied here — callers that want
@@ -282,21 +476,124 @@ impl GroupCounts {
         attrs: AttrSet,
         threads: usize,
     ) -> Self {
+        Self::build_parallel_sharded(dataset, weights, attrs, threads, auto_shards(threads))
+    }
+
+    /// [`GroupCounts::build_parallel`] with an explicit shard count.
+    pub fn build_parallel_sharded(
+        dataset: &Dataset,
+        weights: Option<&[u64]>,
+        attrs: AttrSet,
+        threads: usize,
+        shards: usize,
+    ) -> Self {
+        Self::build_parallel_profiled(dataset, weights, attrs, threads, shards).0
+    }
+
+    /// The radix-partitioned parallel build, instrumented.
+    ///
+    /// Phase 1 computes every row's shard id into a flat one-byte-per-row
+    /// side buffer, in parallel over row chunks. Phase 2 assigns each
+    /// worker a *disjoint contiguous range of shards*; every worker scans
+    /// the side buffer, re-encodes only the rows whose shard it owns and
+    /// writes the final per-shard maps directly. Phase 3 concatenates the
+    /// workers' shard lists — there is no cross-thread key merge, and no
+    /// group is ever held in more than one map, which is where the peak-
+    /// memory win over [`reference::build_merged`] comes from (that
+    /// strategy duplicates hot groups once per thread and merges).
+    pub fn build_parallel_profiled(
+        dataset: &Dataset,
+        weights: Option<&[u64]>,
+        attrs: AttrSet,
+        threads: usize,
+        shards: usize,
+    ) -> (Self, CountingProfile) {
         let n = dataset.n_rows();
         let threads = threads.max(1).min(n.max(1));
         if threads <= 1 || attrs.is_empty() {
-            return Self::build(dataset, weights, attrs);
+            let t0 = Instant::now();
+            let built = Self::build_sharded(dataset, weights, attrs, shards);
+            let profile = CountingProfile {
+                count_secs: t0.elapsed().as_secs_f64(),
+                peak_bytes: built.map_bytes(),
+                ..CountingProfile::default()
+            };
+            return (built, profile);
         }
         let codec = KeyCodec::new(dataset, attrs);
+        let n_shards = shards.clamp(1, MAX_SHARDS).next_power_of_two();
+        let shard_bits = n_shards.trailing_zeros();
         let chunk = n.div_ceil(threads);
-        let ranges = (0..threads).map(|t| (t * chunk)..((t + 1) * chunk).min(n));
+        let arity = codec.attrs().len();
+        let workers = threads.min(n_shards);
+        let shards_per = n_shards.div_ceil(workers);
+        let total_bits = codec.total_bits();
+        let packed = codec.fits_u64();
 
-        let (map, empty_group_weight) = if codec.fits_u64() {
-            let parts: Vec<Partial<u64>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = ranges
-                    .map(|range| {
-                        let codec = &codec;
-                        scope.spawn(move || scan_packed(dataset, weights, codec, range))
+        // Phase 1: one shard-id byte per row (MAX_SHARDS = 256 fits u8).
+        // Keys are cheap enough to encode twice; a u64 key buffer would
+        // be 8× the transient memory and eat the peak-memory win.
+        let t0 = Instant::now();
+        let mut ids = vec![0u8; n];
+        std::thread::scope(|scope| {
+            for (i, slice) in ids.chunks_mut(chunk).enumerate() {
+                let codec = &codec;
+                let start = i * chunk;
+                scope.spawn(move || {
+                    for (j, slot) in slice.iter_mut().enumerate() {
+                        let r = start + j;
+                        let s = if packed {
+                            packed_shard(codec.encode_row_u64(dataset, r), total_bits, shard_bits)
+                        } else {
+                            wide_shard(
+                                arity,
+                                codec.attrs().iter().map(|&a| dataset.value_raw(r, a)),
+                                shard_bits,
+                            )
+                        };
+                        *slot = s as u8;
+                    }
+                });
+            }
+        });
+        let partition_secs = t0.elapsed().as_secs_f64();
+
+        // Phase 2: disjoint shard ownership; workers re-encode the rows
+        // they own and write the final per-shard maps directly. Maps grow
+        // organically — a capacity hint sized from rows-per-shard
+        // over-allocates badly when groups ≪ rows.
+        if packed {
+            let t1 = Instant::now();
+            let all_missing_key = codec.encode_values_u64(&vec![MISSING; arity]);
+            let parts: ShardParts<u64> = std::thread::scope(|scope| {
+                let ids = &ids;
+                let codec = &codec;
+                let handles: Vec<_> = (0..workers)
+                    .map(|t| {
+                        let lo = t * shards_per;
+                        let hi = ((t + 1) * shards_per).min(n_shards);
+                        scope.spawn(move || {
+                            let mut maps: Vec<FxHashMap<u64, u64>> =
+                                (lo..hi).map(|_| FxHashMap::default()).collect();
+                            let mut empty = 0u64;
+                            if lo >= hi {
+                                return (maps, empty);
+                            }
+                            for (r, &id) in ids.iter().enumerate() {
+                                let s = id as usize;
+                                if s < lo || s >= hi {
+                                    continue;
+                                }
+                                let w = weights.map_or(1, |w| w[r]);
+                                let key = codec.encode_row_u64(dataset, r);
+                                if key == all_missing_key {
+                                    empty += w;
+                                } else {
+                                    *maps[s - lo].entry(key).or_insert(0) += w;
+                                }
+                            }
+                            (maps, empty)
+                        })
                     })
                     .collect();
                 handles
@@ -304,15 +601,64 @@ impl GroupCounts {
                     .map(|h| h.join().expect("counting worker panicked"))
                     .collect()
             });
-            let empty: u64 = parts.iter().map(|(_, e)| e).sum();
-            let maps = parts.into_iter().map(|(m, _)| m).collect();
-            (GroupMap::Packed(merge_partials(maps)), empty)
+            let count_secs = t1.elapsed().as_secs_f64();
+
+            // Phase 3: "merge" = concatenation of disjoint shard lists.
+            let t2 = Instant::now();
+            let mut shard_maps: Vec<FxHashMap<u64, u64>> = Vec::with_capacity(n_shards);
+            let mut empty = 0u64;
+            for (maps, e) in parts {
+                shard_maps.extend(maps);
+                empty += e;
+            }
+            let assemble_secs = t2.elapsed().as_secs_f64();
+            let peak_bytes = n as u64 + shard_maps.iter().map(packed_map_bytes).sum::<u64>();
+            let built = Self {
+                attrs,
+                codec,
+                map: GroupMap::Packed(ShardedCounts::from_maps(shard_maps)),
+                empty_group_weight: empty,
+            };
+            (
+                built,
+                CountingProfile {
+                    partition_secs,
+                    count_secs,
+                    assemble_secs,
+                    peak_bytes,
+                },
+            )
         } else {
-            let parts: Vec<Partial<Box<[u32]>>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = ranges
-                    .map(|range| {
-                        let codec = &codec;
-                        scope.spawn(move || scan_wide(dataset, weights, codec, range))
+            let t1 = Instant::now();
+            let parts: ShardParts<Box<[u32]>> = std::thread::scope(|scope| {
+                let ids = &ids;
+                let codec = &codec;
+                let handles: Vec<_> = (0..workers)
+                    .map(|t| {
+                        let lo = t * shards_per;
+                        let hi = ((t + 1) * shards_per).min(n_shards);
+                        scope.spawn(move || {
+                            let mut maps: Vec<FxHashMap<Box<[u32]>, u64>> =
+                                (lo..hi).map(|_| FxHashMap::default()).collect();
+                            let mut empty = 0u64;
+                            if lo >= hi {
+                                return (maps, empty);
+                            }
+                            for (r, &id) in ids.iter().enumerate() {
+                                let s = id as usize;
+                                if s < lo || s >= hi {
+                                    continue;
+                                }
+                                let w = weights.map_or(1, |w| w[r]);
+                                let key = codec.encode_row_wide(dataset, r);
+                                if key.iter().all(|&v| v == MISSING) {
+                                    empty += w;
+                                } else {
+                                    *maps[s - lo].entry(key).or_insert(0) += w;
+                                }
+                            }
+                            (maps, empty)
+                        })
                     })
                     .collect();
                 handles
@@ -320,16 +666,104 @@ impl GroupCounts {
                     .map(|h| h.join().expect("counting worker panicked"))
                     .collect()
             });
-            let empty: u64 = parts.iter().map(|(_, e)| e).sum();
-            let maps = parts.into_iter().map(|(m, _)| m).collect();
-            (GroupMap::Wide(merge_partials(maps)), empty)
-        };
-        Self {
-            attrs,
-            codec,
-            map,
-            empty_group_weight,
+            let count_secs = t1.elapsed().as_secs_f64();
+
+            let t2 = Instant::now();
+            let mut shard_maps: Vec<FxHashMap<Box<[u32]>, u64>> = Vec::with_capacity(n_shards);
+            let mut empty = 0u64;
+            for (maps, e) in parts {
+                shard_maps.extend(maps);
+                empty += e;
+            }
+            let assemble_secs = t2.elapsed().as_secs_f64();
+            let peak_bytes = n as u64
+                + shard_maps
+                    .iter()
+                    .map(|m| wide_map_bytes(m, arity))
+                    .sum::<u64>();
+            let built = Self {
+                attrs,
+                codec,
+                map: GroupMap::Wide(ShardedCounts::from_maps(shard_maps)),
+                empty_group_weight: empty,
+            };
+            (
+                built,
+                CountingProfile {
+                    partition_secs,
+                    count_secs,
+                    assemble_secs,
+                    peak_bytes,
+                },
+            )
         }
+    }
+
+    /// Folds rows `rows` of `dataset` into the counts in place, returning
+    /// the sorted list of shards the batch touched. Only those shards'
+    /// maps are copied (if still `Arc`-shared with an older snapshot) and
+    /// updated; every other shard is untouched and stays shared.
+    ///
+    /// `dataset` must extend the build-time dataset without changing any
+    /// covered attribute's dictionary — check with
+    /// [`GroupCounts::codec_compatible`] first; appending after a
+    /// dictionary grew silently miscounts. `weights` (when given) is
+    /// indexed by absolute row id, like the build.
+    pub fn append_rows(
+        &mut self,
+        dataset: &Dataset,
+        weights: Option<&[u64]>,
+        rows: Range<usize>,
+    ) -> Vec<u32> {
+        debug_assert!(
+            self.codec_compatible(dataset),
+            "dictionary grew under codec"
+        );
+        let arity = self.codec.attrs().len();
+        let no_attrs = arity == 0;
+        let mut touched = vec![false; self.n_shards()];
+        match &mut self.map {
+            GroupMap::Packed(sc) => {
+                let all_missing_key = self.codec.encode_values_u64(&vec![MISSING; arity]);
+                let total_bits = self.codec.total_bits();
+                for r in rows {
+                    let w = weights.map_or(1, |w| w[r]);
+                    let key = self.codec.encode_row_u64(dataset, r);
+                    if no_attrs || key == all_missing_key {
+                        self.empty_group_weight += w;
+                    } else {
+                        let s = packed_shard(key, total_bits, sc.shard_bits);
+                        sc.add(s, key, w);
+                        touched[s] = true;
+                    }
+                }
+            }
+            GroupMap::Wide(sc) => {
+                for r in rows {
+                    let w = weights.map_or(1, |w| w[r]);
+                    let key = self.codec.encode_row_wide(dataset, r);
+                    if key.iter().all(|&v| v == MISSING) {
+                        self.empty_group_weight += w;
+                    } else {
+                        let s = wide_shard(key.len(), key.iter().copied(), sc.shard_bits);
+                        sc.add(s, key, w);
+                        touched[s] = true;
+                    }
+                }
+            }
+        }
+        touched
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t)
+            .map(|(s, _)| s as u32)
+            .collect()
+    }
+
+    /// Whether `dataset` can be appended against this group-by's codec
+    /// (see [`KeyCodec::compatible_with`]).
+    pub fn codec_compatible(&self, dataset: &Dataset) -> bool {
+        self.codec.compatible_with(dataset)
     }
 
     /// The attribute subset this group-by is over.
@@ -337,12 +771,55 @@ impl GroupCounts {
         self.attrs
     }
 
+    /// Number of key-range shards the counts are stored in.
+    pub fn n_shards(&self) -> usize {
+        match &self.map {
+            GroupMap::Packed(sc) => sc.n_shards(),
+            GroupMap::Wide(sc) => sc.n_shards(),
+        }
+    }
+
+    /// Entries per shard (diagnostics: shard balance, microbenchmark).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        match &self.map {
+            GroupMap::Packed(sc) => (0..sc.n_shards()).map(|i| sc.shard_len(i)).collect(),
+            GroupMap::Wide(sc) => (0..sc.n_shards()).map(|i| sc.shard_len(i)).collect(),
+        }
+    }
+
+    /// The shard a group (given as a values slice aligned with
+    /// [`GroupCounts::attr_order`]) is stored in. Lets callers keep
+    /// per-group caches whose invalidation is shard-local under
+    /// [`GroupCounts::append_rows`].
+    pub fn shard_of_values(&self, values: &[u32]) -> usize {
+        match &self.map {
+            GroupMap::Packed(sc) => packed_shard(
+                self.codec.encode_values_u64(values),
+                self.codec.total_bits(),
+                sc.shard_bits,
+            ),
+            GroupMap::Wide(sc) => wide_shard(values.len(), values.iter().copied(), sc.shard_bits),
+        }
+    }
+
+    /// Estimated resident bytes of the shard maps (see
+    /// [`CountingProfile::peak_bytes`] for the accounting).
+    pub fn map_bytes(&self) -> u64 {
+        match &self.map {
+            GroupMap::Packed(sc) => sc.shards.iter().map(|m| packed_map_bytes(m)).sum(),
+            GroupMap::Wide(sc) => {
+                let arity = self.codec.attrs().len();
+                sc.shards.iter().map(|m| wide_map_bytes(m, arity)).sum()
+            }
+        }
+    }
+
     /// `|P_S|`: the number of distinct non-empty (partial) patterns — the
     /// paper's label size.
     pub fn pattern_count_size(&self) -> u64 {
         (match &self.map {
-            GroupMap::Packed(m) => m.len(),
-            GroupMap::Wide(m) => m.len(),
+            GroupMap::Packed(sc) => sc.len(),
+            GroupMap::Wide(sc) => sc.len(),
         }) as u64
     }
 
@@ -357,13 +834,15 @@ impl GroupCounts {
     #[inline]
     pub fn weight_of_row(&self, dataset: &Dataset, r: usize) -> u64 {
         match &self.map {
-            GroupMap::Packed(m) => {
+            GroupMap::Packed(sc) => {
                 let key = self.codec.encode_row_u64(dataset, r);
-                m.get(&key).copied().unwrap_or(0)
+                let s = packed_shard(key, self.codec.total_bits(), sc.shard_bits);
+                sc.get(s, &key).unwrap_or(0)
             }
-            GroupMap::Wide(m) => {
+            GroupMap::Wide(sc) => {
                 let key = self.codec.encode_row_wide(dataset, r);
-                m.get(&key).copied().unwrap_or(0)
+                let s = wide_shard(key.len(), key.iter().copied(), sc.shard_bits);
+                sc.get(s, &key).unwrap_or(0)
             }
         }
     }
@@ -372,11 +851,15 @@ impl GroupCounts {
     /// [`GroupCounts::attr_order`] (`MISSING` marks an undefined cell).
     pub fn weight_of_values(&self, values: &[u32]) -> u64 {
         match &self.map {
-            GroupMap::Packed(m) => {
+            GroupMap::Packed(sc) => {
                 let key = self.codec.encode_values_u64(values);
-                m.get(&key).copied().unwrap_or(0)
+                let s = packed_shard(key, self.codec.total_bits(), sc.shard_bits);
+                sc.get(s, &key).unwrap_or(0)
             }
-            GroupMap::Wide(m) => m.get(values).copied().unwrap_or(0),
+            GroupMap::Wide(sc) => {
+                let s = wide_shard(values.len(), values.iter().copied(), sc.shard_bits);
+                sc.get(s, values).unwrap_or(0)
+            }
         }
     }
 
@@ -386,19 +869,214 @@ impl GroupCounts {
     }
 
     /// Iterates over `(values, weight)` pairs; `values` is aligned with
-    /// [`GroupCounts::attr_order`] and may contain `MISSING`.
+    /// [`GroupCounts::attr_order`] and may contain `MISSING`. Order is
+    /// unspecified (shard-major).
     pub fn iter(&self) -> GroupIter<'_> {
         match &self.map {
-            GroupMap::Packed(m) => {
-                Box::new(m.iter().map(move |(&k, &w)| (self.codec.decode_u64(k), w)))
+            GroupMap::Packed(sc) => {
+                Box::new(sc.iter().map(move |(&k, w)| (self.codec.decode_u64(k), w)))
             }
-            GroupMap::Wide(m) => Box::new(m.iter().map(|(k, &w)| (k.to_vec(), w))),
+            GroupMap::Wide(sc) => Box::new(sc.iter().map(|(k, w)| (k.to_vec(), w))),
         }
     }
 }
 
 /// Iterator over a group-by's `(values, weight)` entries.
 pub type GroupIter<'a> = Box<dyn Iterator<Item = (Vec<u32>, u64)> + 'a>;
+
+/// The pre-sharding chunk-and-merge parallel build, retained verbatim as
+/// (a) the equivalence oracle the property tests pit the sharded pipeline
+/// against and (b) the baseline `microbench_counting` measures the
+/// merge-time and peak-memory win over. **No production path calls this**
+/// — [`GroupCounts::build_parallel`] is mergeless.
+pub mod reference {
+    use super::*;
+
+    /// A chunk scan's partial result: its group map plus the chunk's
+    /// empty-group weight.
+    type Partial<K> = (FxHashMap<K, u64>, u64);
+
+    fn scan_packed(
+        dataset: &Dataset,
+        weights: Option<&[u64]>,
+        codec: &KeyCodec,
+        range: Range<usize>,
+    ) -> Partial<u64> {
+        let mut m: FxHashMap<u64, u64> = fx_map_with_capacity(range.len().min(1 << 16));
+        let mut empty_group_weight = 0u64;
+        let all_missing_key = codec.encode_values_u64(&vec![MISSING; codec.attrs().len()]);
+        let no_attrs = codec.attrs().is_empty();
+        for r in range {
+            let w = weights.map_or(1, |w| w[r]);
+            let key = codec.encode_row_u64(dataset, r);
+            if no_attrs || key == all_missing_key {
+                empty_group_weight += w;
+            } else {
+                *m.entry(key).or_insert(0) += w;
+            }
+        }
+        (m, empty_group_weight)
+    }
+
+    fn scan_wide(
+        dataset: &Dataset,
+        weights: Option<&[u64]>,
+        codec: &KeyCodec,
+        range: Range<usize>,
+    ) -> Partial<Box<[u32]>> {
+        let mut m: FxHashMap<Box<[u32]>, u64> = fx_map_with_capacity(range.len().min(1 << 16));
+        let mut empty_group_weight = 0u64;
+        for r in range {
+            let w = weights.map_or(1, |w| w[r]);
+            let key = codec.encode_row_wide(dataset, r);
+            if key.iter().all(|&v| v == MISSING) {
+                empty_group_weight += w;
+            } else {
+                *m.entry(key).or_insert(0) += w;
+            }
+        }
+        (m, empty_group_weight)
+    }
+
+    /// Merges partial maps produced by chunked scans. Addition is
+    /// commutative and associative, so any merge order yields the same
+    /// totals; merging into the largest partial minimizes rehashing.
+    fn merge_partials<K: Hash + Eq>(mut parts: Vec<FxHashMap<K, u64>>) -> FxHashMap<K, u64> {
+        let Some(biggest) = parts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, m)| m.len())
+            .map(|(i, _)| i)
+        else {
+            return FxHashMap::default();
+        };
+        let mut acc = parts.swap_remove(biggest);
+        for part in parts {
+            for (k, w) in part {
+                *acc.entry(k).or_insert(0) += w;
+            }
+        }
+        acc
+    }
+
+    /// The legacy strategy: chunk rows across `threads` workers, each
+    /// building a whole partial map (hot groups duplicated once per
+    /// thread), then merge the partials on one thread. Returns the counts
+    /// (stored single-shard) plus a [`CountingProfile`] whose
+    /// `assemble_secs` is the merge time and whose `peak_bytes` accounts
+    /// for every partial alive at the merge barrier.
+    pub fn build_merged(
+        dataset: &Dataset,
+        weights: Option<&[u64]>,
+        attrs: AttrSet,
+        threads: usize,
+    ) -> (GroupCounts, CountingProfile) {
+        let n = dataset.n_rows();
+        let threads = threads.max(1).min(n.max(1));
+        if threads <= 1 || attrs.is_empty() {
+            let t0 = Instant::now();
+            let built = GroupCounts::build(dataset, weights, attrs);
+            let profile = CountingProfile {
+                count_secs: t0.elapsed().as_secs_f64(),
+                peak_bytes: built.map_bytes(),
+                ..CountingProfile::default()
+            };
+            return (built, profile);
+        }
+        let codec = KeyCodec::new(dataset, attrs);
+        let chunk = n.div_ceil(threads);
+        let ranges = (0..threads).map(|t| (t * chunk)..((t + 1) * chunk).min(n));
+        let arity = codec.attrs().len();
+
+        if codec.fits_u64() {
+            let t0 = Instant::now();
+            let parts: Vec<Partial<u64>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .map(|range| {
+                        let codec = &codec;
+                        scope.spawn(move || scan_packed(dataset, weights, codec, range))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("counting worker panicked"))
+                    .collect()
+            });
+            let count_secs = t0.elapsed().as_secs_f64();
+            let empty: u64 = parts.iter().map(|(_, e)| e).sum();
+            let partial_bytes: u64 = parts.iter().map(|(m, _)| packed_map_bytes(m)).sum();
+            let biggest = parts
+                .iter()
+                .map(|(m, _)| packed_map_bytes(m))
+                .max()
+                .unwrap_or(0);
+            let maps = parts.into_iter().map(|(m, _)| m).collect();
+            let t1 = Instant::now();
+            let merged = merge_partials(maps);
+            let assemble_secs = t1.elapsed().as_secs_f64();
+            // Peak: every partial alive at the barrier, plus whatever the
+            // accumulator grew beyond the biggest partial it started as.
+            let peak_bytes = partial_bytes + packed_map_bytes(&merged).saturating_sub(biggest);
+            let built = GroupCounts {
+                attrs,
+                codec,
+                map: GroupMap::Packed(ShardedCounts::from_maps(vec![merged])),
+                empty_group_weight: empty,
+            };
+            (
+                built,
+                CountingProfile {
+                    partition_secs: 0.0,
+                    count_secs,
+                    assemble_secs,
+                    peak_bytes,
+                },
+            )
+        } else {
+            let t0 = Instant::now();
+            let parts: Vec<Partial<Box<[u32]>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .map(|range| {
+                        let codec = &codec;
+                        scope.spawn(move || scan_wide(dataset, weights, codec, range))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("counting worker panicked"))
+                    .collect()
+            });
+            let count_secs = t0.elapsed().as_secs_f64();
+            let empty: u64 = parts.iter().map(|(_, e)| e).sum();
+            let partial_bytes: u64 = parts.iter().map(|(m, _)| wide_map_bytes(m, arity)).sum();
+            let biggest = parts
+                .iter()
+                .map(|(m, _)| wide_map_bytes(m, arity))
+                .max()
+                .unwrap_or(0);
+            let maps = parts.into_iter().map(|(m, _)| m).collect();
+            let t1 = Instant::now();
+            let merged = merge_partials(maps);
+            let assemble_secs = t1.elapsed().as_secs_f64();
+            let peak_bytes = partial_bytes + wide_map_bytes(&merged, arity).saturating_sub(biggest);
+            let built = GroupCounts {
+                attrs,
+                codec,
+                map: GroupMap::Wide(ShardedCounts::from_maps(vec![merged])),
+                empty_group_weight: empty,
+            };
+            (
+                built,
+                CountingProfile {
+                    partition_secs: 0.0,
+                    count_secs,
+                    assemble_secs,
+                    peak_bytes,
+                },
+            )
+        }
+    }
+}
 
 /// Dense row→group assignment supporting partition refinement.
 #[derive(Debug, Clone)]
@@ -716,6 +1394,99 @@ mod tests {
     }
 
     #[test]
+    fn sharded_builds_match_serial_across_shard_counts() {
+        let d = figure2_sample();
+        for attrs in [
+            AttrSet::EMPTY,
+            AttrSet::from_indices([0]),
+            AttrSet::from_indices([1, 3]),
+            AttrSet::full(4),
+        ] {
+            let serial = GroupCounts::build(&d, None, attrs);
+            for shards in [1usize, 2, 8, 64] {
+                let sharded = GroupCounts::build_sharded(&d, None, attrs, shards);
+                assert_same_groups(&serial, &sharded);
+                for threads in [2, 5] {
+                    let parallel =
+                        GroupCounts::build_parallel_sharded(&d, None, attrs, threads, shards);
+                    assert_same_groups(&serial, &parallel);
+                    if !attrs.is_empty() {
+                        assert_eq!(parallel.n_shards(), shards.next_power_of_two());
+                    }
+                }
+            }
+            let (merged, _) = reference::build_merged(&d, None, attrs, 3);
+            assert_same_groups(&serial, &merged);
+        }
+    }
+
+    #[test]
+    fn shard_routing_is_consistent_between_build_and_lookup() {
+        let d = figure2_sample();
+        let attrs = AttrSet::from_indices([0, 1, 3]);
+        let g = GroupCounts::build_sharded(&d, None, attrs, 8);
+        // Every stored group's values route to a shard that holds it.
+        let sizes = g.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>() as u64, g.pattern_count_size());
+        for (values, w) in g.iter() {
+            assert_eq!(g.weight_of_values(&values), w);
+            assert!(g.shard_of_values(&values) < g.n_shards());
+        }
+    }
+
+    #[test]
+    fn append_rows_equals_full_rebuild() {
+        let d = figure2_sample();
+        for attrs in [
+            AttrSet::EMPTY,
+            AttrSet::from_indices([1, 3]),
+            AttrSet::full(4),
+        ] {
+            for shards in [1usize, 8] {
+                for split in [1usize, 7, 17] {
+                    let prefix = d.take_rows(&(0..split).collect::<Vec<_>>());
+                    let mut incremental = GroupCounts::build_sharded(&prefix, None, attrs, shards);
+                    assert!(incremental.codec_compatible(&d));
+                    let touched = incremental.append_rows(&d, None, split..d.n_rows());
+                    let full = GroupCounts::build_sharded(&d, None, attrs, shards);
+                    assert_same_groups(&full, &incremental);
+                    // Touched shards are valid ids; with non-empty attrs
+                    // and rows appended, something must have been touched
+                    // unless every appended row was all-missing.
+                    for &s in &touched {
+                        assert!((s as usize) < incremental.n_shards());
+                    }
+                    if !attrs.is_empty() {
+                        assert!(!touched.is_empty());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn append_rows_shares_untouched_shards() {
+        // Append one row; most shards of a 64-shard map must stay
+        // Arc-shared with the pre-append snapshot (mergeless storage).
+        let d = figure2_sample();
+        let attrs = AttrSet::full(4);
+        let base = GroupCounts::build_sharded(&d, None, attrs, 64);
+        let mut appended = base.clone();
+        let touched = appended.append_rows(&d, None, 0..1);
+        assert_eq!(touched.len(), 1);
+        let (GroupMap::Packed(old), GroupMap::Packed(new)) = (&base.map, &appended.map) else {
+            panic!("figure2 packs");
+        };
+        let shared = old
+            .shards
+            .iter()
+            .zip(new.shards.iter())
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count();
+        assert_eq!(shared, old.n_shards() - 1);
+    }
+
+    #[test]
     fn parallel_build_matches_serial_with_missing_and_weights() {
         let mut b = DatasetBuilder::new(["a", "b"]);
         b.push_row_opt(&[Some("x"), Some("1")]).unwrap();
@@ -747,6 +1518,20 @@ mod tests {
         let serial = GroupCounts::build(&d, None, attrs);
         let parallel = GroupCounts::build_parallel(&d, None, attrs, 4);
         assert_same_groups(&serial, &parallel);
+        for shards in [2usize, 8, 64] {
+            let sharded = GroupCounts::build_sharded(&d, None, attrs, shards);
+            assert_same_groups(&serial, &sharded);
+            let parallel = GroupCounts::build_parallel_sharded(&d, None, attrs, 3, shards);
+            assert_same_groups(&serial, &parallel);
+        }
+        let (merged, profile) = reference::build_merged(&d, None, attrs, 4);
+        assert_same_groups(&serial, &merged);
+        assert!(profile.peak_bytes > 0);
+        // Wide-key appends rebuild the same totals too.
+        let prefix = d.take_rows(&(0..100).collect::<Vec<_>>());
+        let mut incremental = GroupCounts::build_sharded(&prefix, None, attrs, 8);
+        incremental.append_rows(&d, None, 100..d.n_rows());
+        assert_same_groups(&serial, &incremental);
     }
 
     #[test]
@@ -818,6 +1603,18 @@ mod tests {
         }
         let g = GroupCounts::build(&d, None, attrs);
         assert_eq!(g.pattern_count_size(), 2);
+        // Boundary keys must shard consistently at every shard count: the
+        // top-bits routing shifts by 64 - shard_bits here.
+        let serial = GroupCounts::build(&d, None, attrs);
+        for shards in [2usize, 8, 64, 256] {
+            let sharded = GroupCounts::build_sharded(&d, None, attrs, shards);
+            assert_same_groups(&serial, &sharded);
+            let parallel = GroupCounts::build_parallel_sharded(&d, None, attrs, 2, shards);
+            assert_same_groups(&serial, &parallel);
+            for r in 0..d.n_rows() {
+                assert_eq!(sharded.weight_of_row(&d, r), 1);
+            }
+        }
     }
 
     #[test]
@@ -842,6 +1639,46 @@ mod tests {
         let g = GroupCounts::build(&d, None, AttrSet::full(9));
         assert_eq!(g.pattern_count_size(), 1);
         assert_eq!(g.weight_of_row(&d, 0), 1);
+    }
+
+    #[test]
+    fn codec_compatibility_detects_grown_dictionaries() {
+        let mut b = DatasetBuilder::new(["a", "b"]);
+        b.push_row(&["x", "1"]).unwrap();
+        let d = b.finish();
+        let g = GroupCounts::build(&d, None, AttrSet::from_indices([0, 1]));
+        assert!(g.codec_compatible(&d));
+        // Same schema plus one interned value on a covered attribute.
+        let mut b = DatasetBuilder::new(["a", "b"]);
+        b.push_row(&["x", "1"]).unwrap();
+        b.push_row(&["y", "1"]).unwrap();
+        let grown = b.finish();
+        assert!(!g.codec_compatible(&grown));
+    }
+
+    #[test]
+    fn auto_shards_policy() {
+        assert_eq!(auto_shards(0), 1);
+        assert_eq!(auto_shards(1), 1);
+        assert_eq!(auto_shards(2), 8);
+        assert_eq!(auto_shards(4), 16);
+        assert_eq!(auto_shards(1000), MAX_SHARDS);
+        for t in 0..100 {
+            assert!(auto_shards(t).is_power_of_two());
+            assert!(auto_shards(t) <= MAX_SHARDS);
+        }
+    }
+
+    #[test]
+    fn profiled_build_reports_phases() {
+        let d = figure2_sample();
+        let attrs = AttrSet::from_indices([1, 3]);
+        let (g, profile) = GroupCounts::build_parallel_profiled(&d, None, attrs, 2, 8);
+        assert_eq!(g.pattern_count_size(), 3);
+        assert!(profile.peak_bytes > 0);
+        assert!(profile.partition_secs >= 0.0 && profile.count_secs >= 0.0);
+        let (_, serial_profile) = GroupCounts::build_parallel_profiled(&d, None, attrs, 1, 1);
+        assert_eq!(serial_profile.partition_secs, 0.0);
     }
 
     #[test]

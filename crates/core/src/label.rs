@@ -73,6 +73,30 @@ impl ValueCounts {
         }
     }
 
+    /// Folds rows `rows` of `dataset` into the counts in place (the `VC`
+    /// half of an incremental label append). Dictionaries only ever
+    /// append, so values interned after this `VC` was computed simply
+    /// extend each per-attribute table — dictionary growth is fine here
+    /// (unlike the packed `PC` keys, whose layout it changes).
+    pub fn add_rows(&mut self, dataset: &Dataset, rows: std::ops::Range<usize>) {
+        for attr in 0..self.counts.len() {
+            let col = dataset.column(attr);
+            let counts = &mut self.counts[attr];
+            let card = dataset.schema().attr(attr).map_or(0, |a| a.cardinality());
+            if counts.len() < card {
+                counts.resize(card, 0);
+            }
+            let mut added = 0u64;
+            for &v in &col[rows.clone()] {
+                if v != MISSING {
+                    counts[v as usize] += 1;
+                    added += 1;
+                }
+            }
+            self.totals[attr] += added;
+        }
+    }
+
     /// `|VC|`: the number of stored (attribute, value) entries with a
     /// positive count.
     pub fn size(&self) -> u64 {
@@ -168,6 +192,74 @@ impl Label {
         );
         label.n_rows = n_rows;
         label
+    }
+
+    /// Incremental append: a new label over `dataset` (which must extend
+    /// this label's dataset by the rows `appended`, without growing any
+    /// dictionary of the subset `S` — check [`Label::can_append`]
+    /// first). The `PC` clone is
+    /// cheap (`Arc` per shard): only the shards the new rows' keys land in
+    /// are copied and updated, the rest stay shared with this label.
+    /// Returns the new label and the sorted touched shard ids.
+    ///
+    /// The result is identical to `Label::build(dataset, attrs)` — the
+    /// equivalence the engine's append tests pin down. Only unweighted
+    /// labels support appends (weighted builds come from compressed
+    /// tables, whose row identity an append would not preserve).
+    pub fn with_appended(
+        &self,
+        dataset: &Dataset,
+        appended: std::ops::Range<usize>,
+    ) -> (Label, Vec<u32>) {
+        debug_assert!(self.can_append(dataset));
+        let added = appended.len() as u64;
+        let mut pc = self.pc.clone();
+        let touched = pc.append_rows(dataset, None, appended.clone());
+        let mut vc = (*self.vc).clone();
+        vc.add_rows(dataset, appended);
+        let label = Label {
+            dataset_name: self.dataset_name.clone(),
+            schema: dataset.schema_arc(),
+            attrs: self.attrs,
+            pc,
+            vc: Arc::new(vc),
+            n_rows: self.n_rows + added,
+            // Marginal tables span shards; rebuild them lazily.
+            marginals: Mutex::new(FxHashMap::default()),
+        };
+        (label, touched)
+    }
+
+    /// Whether `dataset` can be appended onto this label incrementally:
+    /// every attribute the `PC` covers (the subset `S`) must have the
+    /// cardinality seen at build time — a grown dictionary changes the
+    /// packed-key layout. Growth on attributes *outside* `S` is fine:
+    /// the `VC` table extends in place ([`ValueCounts::add_rows`]).
+    pub fn can_append(&self, dataset: &Dataset) -> bool {
+        self.pc.codec_compatible(dataset)
+    }
+
+    /// The `PC` shard holding a pattern's group, when the pattern defines
+    /// exactly the label's subset `S` — the one case where its stored
+    /// answer depends on a single shard (partial patterns marginalize
+    /// across shards). Lets serving caches invalidate shard-locally after
+    /// [`Label::with_appended`].
+    pub fn count_shard_of(&self, p: &Pattern) -> Option<usize> {
+        if p.attrs() != self.attrs || self.attrs.is_empty() {
+            return None;
+        }
+        let values: Vec<u32> = self
+            .pc
+            .attr_order()
+            .iter()
+            .map(|&a| p.value_of(a).unwrap_or(MISSING))
+            .collect();
+        Some(self.pc.shard_of_values(&values))
+    }
+
+    /// Number of key-range shards the `PC` is stored in.
+    pub fn count_shards(&self) -> usize {
+        self.pc.n_shards()
     }
 
     /// Name of the dataset the label was built from.
@@ -507,6 +599,70 @@ mod tests {
         // VC denominators exclude missing: total(b) = 4, total(a) = 6.
         assert_eq!(l.value_counts().total(0), 6);
         assert_eq!(l.value_counts().total(1), 4);
+    }
+
+    #[test]
+    fn appended_label_equals_full_rebuild() {
+        let d = figure2_sample();
+        let attrs = AttrSet::from_indices([1, 3]);
+        let prefix = d.take_rows(&(0..10).collect::<Vec<_>>());
+        let base = Label::build(&prefix, attrs);
+        assert!(base.can_append(&d));
+        let (appended, touched) = base.with_appended(&d, 10..d.n_rows());
+        let full = Label::build(&d, attrs);
+        assert_eq!(appended.n_rows(), full.n_rows());
+        assert_eq!(appended.pattern_count_size(), full.pattern_count_size());
+        assert_eq!(appended.value_count_size(), full.value_count_size());
+        assert!(!touched.is_empty());
+        for r in 0..d.n_rows() {
+            let p = Pattern::from_row(&d, r);
+            assert_eq!(appended.estimate(&p), full.estimate(&p), "row {r}");
+            let q = p.restrict(attrs);
+            assert_eq!(
+                appended.count_of_projection(&q),
+                full.count_of_projection(&q)
+            );
+        }
+        // The base label is untouched (copy-on-append).
+        assert_eq!(base.n_rows(), 10);
+    }
+
+    #[test]
+    fn appended_label_tolerates_growth_outside_s() {
+        // Label over {a}; the appended row carries a new value on b —
+        // outside S, so the append stays incremental and the VC table
+        // extends in place instead of indexing out of bounds.
+        let mut b = DatasetBuilder::new(["a", "b"]);
+        b.push_row(&["x", "1"]).unwrap();
+        b.push_row(&["y", "1"]).unwrap();
+        let d = b.finish();
+        let label = Label::build(&d, AttrSet::from_indices([0]));
+        let mut grown = d.clone();
+        grown
+            .append_labeled_rows(&[vec![Some("x"), Some("2")]])
+            .unwrap();
+        assert!(label.can_append(&grown));
+        let (appended, touched) = label.with_appended(&grown, 2..3);
+        assert!(!touched.is_empty());
+        let full = Label::build(&grown, AttrSet::from_indices([0]));
+        assert_eq!(appended.n_rows(), 3);
+        // {a=x, b=2} exercises the new value's VC entry.
+        let p = Pattern::from_terms([(0, 0), (1, 1)]);
+        assert_eq!(appended.estimate(&p), full.estimate(&p));
+        assert_eq!(appended.value_count_size(), full.value_count_size());
+    }
+
+    #[test]
+    fn count_shard_of_covers_full_subset_patterns_only() {
+        let (d, l) = fig2_label(&["age group", "marital status"]);
+        let full =
+            Pattern::parse(&d, &[("age group", "20-39"), ("marital status", "married")]).unwrap();
+        let shard = l.count_shard_of(&full).expect("full-S pattern has a shard");
+        assert!(shard < l.count_shards());
+        let partial = Pattern::parse(&d, &[("age group", "20-39")]).unwrap();
+        assert_eq!(l.count_shard_of(&partial), None);
+        let outside = Pattern::parse(&d, &[("gender", "Female")]).unwrap();
+        assert_eq!(l.count_shard_of(&outside), None);
     }
 
     #[test]

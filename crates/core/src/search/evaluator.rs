@@ -42,6 +42,8 @@ pub struct Evaluator {
     defined: Vec<u64>,
     /// Threads for each candidate's group-by scan (1 = serial build).
     count_threads: usize,
+    /// Shards for each candidate's group-by (0 = auto from threads).
+    count_shards: usize,
 }
 
 impl Evaluator {
@@ -78,6 +80,7 @@ impl Evaluator {
             fracs,
             defined,
             count_threads: 1,
+            count_shards: 0,
         }
     }
 
@@ -87,6 +90,16 @@ impl Evaluator {
     #[must_use]
     pub fn with_count_threads(mut self, threads: usize) -> Self {
         self.count_threads = threads.max(1);
+        self
+    }
+
+    /// Pins the shard count of each candidate's group-by (`0` = pick from
+    /// the thread count via [`auto_shards`](crate::counting::auto_shards)).
+    /// Counts and errors are identical for every shard count; the knob
+    /// only trades partition granularity against per-shard map overhead.
+    #[must_use]
+    pub fn with_count_shards(mut self, shards: usize) -> Self {
+        self.count_shards = shards;
         self
     }
 
@@ -134,8 +147,18 @@ impl Evaluator {
         // degrades to the serial build for the common compressed sizes.
         let count_threads = count_threads
             .min((self.distinct.n_rows() / crate::counting::MIN_PARALLEL_ROWS_PER_THREAD).max(1));
-        let gc =
-            GroupCounts::build_parallel(&self.distinct, Some(&self.dweights), attrs, count_threads);
+        let shards = if self.count_shards > 0 {
+            self.count_shards
+        } else {
+            crate::counting::auto_shards(count_threads)
+        };
+        let gc = GroupCounts::build_parallel_sharded(
+            &self.distinct,
+            Some(&self.dweights),
+            attrs,
+            count_threads,
+            shards,
+        );
         let mut marginals: FxHashMap<AttrSet, FxHashMap<Box<[u32]>, u64>> = FxHashMap::default();
         let mut acc = ErrorAccumulator::new();
         let mut exited = false;

@@ -40,7 +40,9 @@ pub fn greedy_search(dataset: &Dataset, opts: &SearchOptions) -> Result<SearchOu
     let n = dataset.n_attrs();
     let start = Instant::now();
 
-    let evaluator = Evaluator::new(dataset, &opts.patterns).with_count_threads(opts.count_threads);
+    let evaluator = Evaluator::new(dataset, &opts.patterns)
+        .with_count_threads(opts.count_threads)
+        .with_count_shards(opts.count_shards);
     let (distinct, dweights) = evaluator.compressed();
     let distinct = distinct.clone();
     let dweights: Vec<u64> = dweights.to_vec();

@@ -51,9 +51,14 @@ pub struct SearchOptions {
     pub threads: usize,
     /// Worker threads for the group-by scans behind each candidate's
     /// error evaluation (1 = serial `GroupCounts::build`; >1 opts into
-    /// the chunked [`crate::counting::GroupCounts::build_parallel`],
-    /// which produces identical counts).
+    /// the radix-partitioned
+    /// [`crate::counting::GroupCounts::build_parallel`], which produces
+    /// identical counts).
     pub count_threads: usize,
+    /// Key-range shards for those group-bys (0 = auto from
+    /// `count_threads` via [`crate::counting::auto_shards`]). Any value
+    /// yields bit-identical errors; this only shapes storage/parallelism.
+    pub count_shards: usize,
     /// Ablation: when removing dominated candidates, drop *all* stored
     /// subsets of a new candidate instead of only its direct lattice
     /// parents (the paper removes direct parents).
@@ -70,6 +75,7 @@ impl SearchOptions {
             early_exit: true,
             threads: 1,
             count_threads: 1,
+            count_shards: 0,
             deep_prune: false,
         }
     }
@@ -101,6 +107,12 @@ impl SearchOptions {
     /// Sets the per-candidate counting thread count.
     pub fn count_threads(mut self, threads: usize) -> Self {
         self.count_threads = threads.max(1);
+        self
+    }
+
+    /// Pins the per-candidate counting shard count (0 = auto).
+    pub fn count_shards(mut self, shards: usize) -> Self {
+        self.count_shards = shards;
         self
     }
 

@@ -44,7 +44,9 @@ pub fn naive_search_limited(
 ) -> Result<SearchOutcome> {
     check_dataset(dataset)?;
     let n = dataset.n_attrs();
-    let evaluator = Evaluator::new(dataset, &opts.patterns).with_count_threads(opts.count_threads);
+    let evaluator = Evaluator::new(dataset, &opts.patterns)
+        .with_count_threads(opts.count_threads)
+        .with_count_shards(opts.count_shards);
     let (distinct, dweights) = evaluator.compressed();
     let distinct = distinct.clone();
     let dweights: Vec<u64> = dweights.to_vec();

@@ -41,7 +41,9 @@ pub fn top_down_search(dataset: &Dataset, opts: &SearchOptions) -> Result<Search
     // Evaluator also holds the compressed distinct-tuple table used for
     // label sizing: group counts over distinct tuples equal those over raw
     // rows, but each refine pass touches fewer rows.
-    let evaluator = Evaluator::new(dataset, &opts.patterns).with_count_threads(opts.count_threads);
+    let evaluator = Evaluator::new(dataset, &opts.patterns)
+        .with_count_threads(opts.count_threads)
+        .with_count_shards(opts.count_shards);
     let (distinct, dweights) = evaluator.compressed();
     let distinct = distinct.clone();
     let dweights: Vec<u64> = dweights.to_vec();

@@ -135,6 +135,119 @@ proptest! {
         prop_assert_eq!(se, pe);
     }
 
+    /// The sharded pipeline is bit-identical to the serial single-shard
+    /// build across the whole shard grid {1, 2, 8, 64} — serial sharded,
+    /// radix-partitioned parallel, and the legacy chunk-and-merge
+    /// reference all produce the same groups, weights and empty-group
+    /// weight on random schemas with missing cells (packed keys).
+    #[test]
+    fn sharded_counting_identical_to_serial(
+        d in arb_dataset_missing(),
+        bits in any::<u64>(),
+        threads in 2usize..=5,
+    ) {
+        let attrs = AttrSet::from_bits(bits & ((1u64 << d.n_attrs()) - 1));
+        let serial = GroupCounts::build(&d, None, attrs);
+        let mut se: Vec<(Vec<u32>, u64)> = serial.iter().collect();
+        se.sort();
+        for shards in [1usize, 2, 8, 64] {
+            for build in [
+                GroupCounts::build_sharded(&d, None, attrs, shards),
+                GroupCounts::build_parallel_sharded(&d, None, attrs, threads, shards),
+            ] {
+                prop_assert_eq!(serial.pattern_count_size(), build.pattern_count_size());
+                prop_assert_eq!(serial.empty_group_weight(), build.empty_group_weight());
+                let mut be: Vec<(Vec<u32>, u64)> = build.iter().collect();
+                be.sort();
+                prop_assert_eq!(se.clone(), be, "shards {} threads {}", shards, threads);
+                // Lookups route to the same shard the build stored in.
+                for (values, w) in &se {
+                    prop_assert_eq!(build.weight_of_values(values), *w);
+                }
+            }
+        }
+        let (merged, _) = pclabel_core::counting::reference::build_merged(&d, None, attrs, threads);
+        prop_assert_eq!(serial.pattern_count_size(), merged.pattern_count_size());
+        let mut me: Vec<(Vec<u32>, u64)> = merged.iter().collect();
+        me.sort();
+        prop_assert_eq!(se, me);
+    }
+
+    /// Incremental appends are exact: building on a prefix and appending
+    /// the suffix equals the full build, for every shard count, and the
+    /// shards it reports as touched cover every changed group.
+    #[test]
+    fn append_rows_equals_full_build(
+        d in arb_dataset_missing(),
+        bits in any::<u64>(),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let attrs = AttrSet::from_bits(bits & ((1u64 << d.n_attrs()) - 1));
+        let split = ((d.n_rows() as f64) * split_frac) as usize;
+        let prefix = d.take_rows(&(0..split).collect::<Vec<_>>());
+        for shards in [1usize, 2, 8, 64] {
+            let full = GroupCounts::build_sharded(&d, None, attrs, shards);
+            let mut incremental = GroupCounts::build_sharded(&prefix, None, attrs, shards);
+            prop_assert!(incremental.codec_compatible(&d));
+            let before = incremental.clone();
+            let touched = incremental.append_rows(&d, None, split..d.n_rows());
+            prop_assert_eq!(full.pattern_count_size(), incremental.pattern_count_size());
+            prop_assert_eq!(full.empty_group_weight(), incremental.empty_group_weight());
+            let mut fe: Vec<(Vec<u32>, u64)> = full.iter().collect();
+            let mut ie: Vec<(Vec<u32>, u64)> = incremental.iter().collect();
+            fe.sort();
+            ie.sort();
+            prop_assert_eq!(fe, ie);
+            // Any group whose weight changed must live in a touched shard.
+            for (values, w) in incremental.iter() {
+                if before.weight_of_values(&values) != w {
+                    let s = incremental.shard_of_values(&values) as u32;
+                    prop_assert!(touched.contains(&s), "untouched shard {} changed", s);
+                }
+            }
+        }
+    }
+
+    /// The wide-key (> 64 bit) path obeys the same sharded/serial and
+    /// append identities: its shards route by key hash, not key range.
+    #[test]
+    fn wide_key_sharding_identical_to_serial(
+        rows in 5usize..=40,
+        split in 0usize..=5,
+        threads in 2usize..=4,
+    ) {
+        // 9 attributes × ~300 distinct values = 81 key bits: wide path.
+        let names: Vec<String> = (0..9).map(|i| format!("w{i}")).collect();
+        let mut b = pclabel_data::dataset::DatasetBuilder::new(&names);
+        // Pre-intern the domain so prefix datasets share cardinalities.
+        for r in 0..300 {
+            let row: Vec<String> = (0..9).map(|a| format!("{}", (r * (a + 1)) % 300)).collect();
+            b.push_row(&row).unwrap();
+        }
+        for r in 0..rows {
+            let row: Vec<String> = (0..9).map(|a| format!("{}", (r * (a + 2)) % 300)).collect();
+            b.push_row(&row).unwrap();
+        }
+        let d = b.finish();
+        let attrs = AttrSet::full(9);
+        let serial = GroupCounts::build(&d, None, attrs);
+        let mut se: Vec<(Vec<u32>, u64)> = serial.iter().collect();
+        se.sort();
+        let split = 300 + split.min(rows);
+        for shards in [2usize, 8, 64] {
+            let parallel = GroupCounts::build_parallel_sharded(&d, None, attrs, threads, shards);
+            let mut pe: Vec<(Vec<u32>, u64)> = parallel.iter().collect();
+            pe.sort();
+            prop_assert_eq!(se.clone(), pe);
+            let prefix = d.take_rows(&(0..split).collect::<Vec<_>>());
+            let mut incremental = GroupCounts::build_sharded(&prefix, None, attrs, shards);
+            incremental.append_rows(&d, None, split..d.n_rows());
+            let mut ie: Vec<(Vec<u32>, u64)> = incremental.iter().collect();
+            ie.sort();
+            prop_assert_eq!(se.clone(), ie);
+        }
+    }
+
     /// GroupIndex refinement and GroupCounts agree on |P_S| even with
     /// missing values.
     #[test]

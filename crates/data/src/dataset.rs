@@ -144,6 +144,79 @@ impl Dataset {
         Ok(())
     }
 
+    /// Appends labeled rows (`None` marks a missing cell), interning
+    /// previously-unseen values. Returns `true` when any dictionary grew —
+    /// the signal that structures keyed on the old value-id layout (packed
+    /// group-count keys, label codecs) must be rebuilt rather than
+    /// incrementally updated.
+    ///
+    /// Every row is arity-checked up front, so a failed call leaves the
+    /// dataset unchanged. Existing value ids are never renumbered:
+    /// interning only appends, which is what makes schema-stable appends
+    /// incremental-safe.
+    pub fn append_labeled_rows<S: AsRef<str>>(&mut self, rows: &[Vec<Option<S>>]) -> Result<bool> {
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != self.schema.len() {
+                return Err(DataError::ArityMismatch {
+                    expected: self.schema.len(),
+                    got: row.len(),
+                    row: self.n_rows + i,
+                });
+            }
+        }
+        // Fast path first: resolve every cell against the existing
+        // dictionaries. Only an actual unseen value pays the
+        // copy-on-write schema clone (the schema `Arc` is shared with
+        // labels and older dataset snapshots, so an unconditional
+        // `make_mut` would deep-copy every dictionary on every append).
+        let n_attrs = self.schema.len();
+        if n_attrs == 0 {
+            self.n_rows += rows.len();
+            return Ok(false);
+        }
+        let mut ids: Vec<u32> = Vec::with_capacity(rows.len() * n_attrs);
+        let mut grew = false;
+        'resolve: for row in rows {
+            for (attr, cell) in row.iter().enumerate() {
+                match cell {
+                    None => ids.push(MISSING),
+                    Some(s) => {
+                        let dict = self.schema.attr(attr).expect("attr in range").dictionary();
+                        match dict.lookup(s.as_ref()) {
+                            Some(id) => ids.push(id),
+                            None => {
+                                grew = true;
+                                break 'resolve;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if grew {
+            ids.clear();
+            let schema = Arc::make_mut(&mut self.schema);
+            for row in rows {
+                for (attr, cell) in row.iter().enumerate() {
+                    ids.push(match cell {
+                        None => MISSING,
+                        Some(s) => schema.attr_mut(attr).dictionary_mut().intern(s.as_ref()),
+                    });
+                }
+            }
+        }
+        for row in ids.chunks_exact(n_attrs) {
+            for (attr, &id) in row.iter().enumerate() {
+                self.columns[attr].push(id);
+                if id == MISSING {
+                    self.has_missing[attr] = true;
+                }
+            }
+            self.n_rows += 1;
+        }
+        Ok(grew)
+    }
+
     /// Appends all rows of `other`, which must have an identical schema
     /// (same attribute names and dictionaries built from the same source).
     pub fn extend_from(&mut self, other: &Dataset) -> Result<()> {
@@ -639,6 +712,68 @@ mod tests {
         assert!(d.push_row_ids(&[0]).is_err());
         assert!(d.push_row_ids(&[MISSING, 0]).is_ok());
         assert!(d.attr_has_missing(0));
+    }
+
+    #[test]
+    fn append_labeled_rows_tracks_dictionary_growth() {
+        let mut d = tiny();
+        // Known values only: no growth, ids stable.
+        let grew = d
+            .append_labeled_rows(&[vec![Some("blue"), Some("large")]])
+            .unwrap();
+        assert!(!grew);
+        assert_eq!(d.n_rows(), 5);
+        assert_eq!(d.label_of(0, d.value_raw(4, 0)), "blue");
+
+        // A missing cell is not growth either.
+        let grew = d
+            .append_labeled_rows(&[vec![Some("red"), None::<&str>]])
+            .unwrap();
+        assert!(!grew);
+        assert!(d.attr_has_missing(1));
+
+        // An unseen value grows the dictionary and reports it; old ids
+        // keep their labels.
+        let grew = d
+            .append_labeled_rows(&[vec![Some("green"), Some("small")]])
+            .unwrap();
+        assert!(grew);
+        assert_eq!(d.schema().attr(0).unwrap().cardinality(), 3);
+        assert_eq!(d.label_of(0, 0), "red");
+
+        // Arity mismatch rejects atomically (no rows appended).
+        let before = d.n_rows();
+        assert!(d
+            .append_labeled_rows(&[vec![Some("red")], vec![Some("red"), Some("small")]])
+            .is_err());
+        assert_eq!(d.n_rows(), before);
+    }
+
+    #[test]
+    fn append_without_growth_shares_the_schema_arc() {
+        // The schema is copy-on-write: a schema-stable append must not
+        // pay the dictionary deep-clone (the common incremental path).
+        let original = tiny();
+        let mut copy = original.clone();
+        copy.append_labeled_rows(&[vec![Some("red"), Some("small")]])
+            .unwrap();
+        assert!(Arc::ptr_eq(&original.schema_arc(), &copy.schema_arc()));
+        // Growth breaks the sharing (and only then).
+        copy.append_labeled_rows(&[vec![Some("green"), Some("small")]])
+            .unwrap();
+        assert!(!Arc::ptr_eq(&original.schema_arc(), &copy.schema_arc()));
+    }
+
+    #[test]
+    fn append_labeled_rows_does_not_mutate_shared_schema() {
+        // The schema Arc is copy-on-write: a clone appended with a new
+        // value must not change the original's cardinalities.
+        let original = tiny();
+        let mut copy = original.clone();
+        copy.append_labeled_rows(&[vec![Some("green"), Some("small")]])
+            .unwrap();
+        assert_eq!(original.schema().attr(0).unwrap().cardinality(), 2);
+        assert_eq!(copy.schema().attr(0).unwrap().cardinality(), 3);
     }
 
     #[test]

@@ -9,7 +9,14 @@
 //!
 //! Invalidation is the owner's job: [`crate::store::LabelStore`] clears
 //! the cache whenever a dataset's label is refreshed (the entry's
-//! generation counter bumps).
+//! generation counter bumps). Since labels became incrementally
+//! appendable, entries can also carry the **`PC` count shard** their
+//! answer was read from ([`ShardedCache::insert_tagged`]): after an
+//! append that touched shards `T`, [`ShardedCache::invalidate_count_shards`]
+//! drops only the entries pinned to a shard in `T` — plus the unpinned
+//! ones, whose answers (marginals, independence estimates, `|D|`) can
+//! depend on any shard or on `VC`/row-count state that every append
+//! changes — and keeps every answer pinned to an untouched shard.
 
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -43,10 +50,14 @@ impl CacheStats {
     }
 }
 
+/// One cached answer: the estimate plus the `PC` count shard it depends
+/// on (`None` = depends on more than one shard or on non-`PC` state).
+type CachedEstimate = (f64, Option<u32>);
+
 /// A sharded, bounded `pattern → estimate` map.
 #[derive(Debug)]
 pub struct ShardedCache {
-    shards: Box<[Mutex<FxHashMap<Pattern, f64>>]>,
+    shards: Box<[Mutex<FxHashMap<Pattern, CachedEstimate>>]>,
     mask: usize,
     shard_capacity: usize,
     stats: CacheStats,
@@ -67,7 +78,7 @@ impl ShardedCache {
         }
     }
 
-    fn shard_of(&self, pattern: &Pattern) -> &Mutex<FxHashMap<Pattern, f64>> {
+    fn shard_of(&self, pattern: &Pattern) -> &Mutex<FxHashMap<Pattern, CachedEstimate>> {
         let mut h = FxHasher::default();
         pattern.hash(&mut h);
         &self.shards[(h.finish() as usize) & self.mask]
@@ -82,7 +93,7 @@ impl ShardedCache {
             .get(pattern)
             .copied();
         match found {
-            Some(v) => {
+            Some((v, _)) => {
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
                 Some(v)
             }
@@ -93,15 +104,37 @@ impl ShardedCache {
         }
     }
 
-    /// Stores an estimate. A full shard is reset first — crude but
-    /// constant-time eviction that bounds memory at
-    /// `shards × shard_capacity` entries.
+    /// Stores an estimate with no count-shard pin (invalidated by every
+    /// append). A full shard is reset first — crude but constant-time
+    /// eviction that bounds memory at `shards × shard_capacity` entries.
     pub fn insert(&self, pattern: Pattern, estimate: f64) {
+        self.insert_tagged(pattern, estimate, None);
+    }
+
+    /// Stores an estimate pinned to the `PC` count shard it was read
+    /// from, making it survivable across appends that do not touch that
+    /// shard (see [`ShardedCache::invalidate_count_shards`]).
+    pub fn insert_tagged(&self, pattern: Pattern, estimate: f64, count_shard: Option<u32>) {
         let mut shard = self.shard_of(&pattern).lock().expect("cache shard");
         if shard.len() >= self.shard_capacity && !shard.contains_key(&pattern) {
             shard.clear();
         }
-        shard.insert(pattern, estimate);
+        shard.insert(pattern, (estimate, count_shard));
+    }
+
+    /// Drops every entry whose answer an append touching `touched` `PC`
+    /// shards could have changed: entries pinned to a touched shard and
+    /// all unpinned entries. Entries pinned to untouched shards survive.
+    /// Returns how many entries were dropped.
+    pub fn invalidate_count_shards(&self, touched: &[u32]) -> usize {
+        let mut dropped = 0usize;
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock().expect("cache shard");
+            let before = shard.len();
+            shard.retain(|_, (_, tag)| tag.is_some_and(|t| !touched.contains(&t)));
+            dropped += before - shard.len();
+        }
+        dropped
     }
 
     /// Total cached entries across shards.
@@ -169,6 +202,28 @@ mod tests {
         assert!(c.len() <= 4, "len {} exceeds shard capacity", c.len());
         // The most recent insert always survives the reset.
         assert_eq!(c.get(&pat(0, 15)), Some(15.0));
+    }
+
+    #[test]
+    fn shard_tagged_invalidation_is_shard_local() {
+        let c = ShardedCache::default();
+        c.insert_tagged(pat(0, 1), 1.0, Some(3));
+        c.insert_tagged(pat(0, 2), 2.0, Some(7));
+        c.insert(pat(0, 3), 3.0); // unpinned: dies on any append
+        assert_eq!(c.len(), 3);
+
+        // An append touching shard 3 kills the shard-3 entry and the
+        // unpinned one; the shard-7 entry survives.
+        let dropped = c.invalidate_count_shards(&[3]);
+        assert_eq!(dropped, 2);
+        assert_eq!(c.get(&pat(0, 1)), None);
+        assert_eq!(c.get(&pat(0, 2)), Some(2.0));
+        assert_eq!(c.get(&pat(0, 3)), None);
+
+        // Touching no listed shard still drops freshly-unpinned entries.
+        c.insert(pat(1, 0), 9.0);
+        assert_eq!(c.invalidate_count_shards(&[]), 1);
+        assert_eq!(c.get(&pat(0, 2)), Some(2.0));
     }
 
     #[test]

@@ -15,20 +15,33 @@ use pclabel_data::dataset::Dataset;
 /// (shared with the core search evaluator's auto-capping).
 pub const MIN_ROWS_PER_THREAD: usize = pclabel_core::counting::MIN_PARALLEL_ROWS_PER_THREAD;
 
-/// How counting work is spread across threads.
+/// How counting work is spread across threads and key-range shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CountingOptions {
     /// Worker threads; `0` means auto (from rows and hardware).
     pub threads: usize,
+    /// Key-range shards; `0` means auto
+    /// ([`pclabel_core::counting::auto_shards`] of the resolved thread
+    /// count). Any value yields identical counts.
+    pub shards: usize,
 }
 
 impl CountingOptions {
     /// Auto-sized (the default).
-    pub const AUTO: CountingOptions = CountingOptions { threads: 0 };
+    pub const AUTO: CountingOptions = CountingOptions {
+        threads: 0,
+        shards: 0,
+    };
 
-    /// Exactly `threads` workers.
+    /// Exactly `threads` workers (shards stay auto).
     pub fn with_threads(threads: usize) -> Self {
-        CountingOptions { threads }
+        CountingOptions { threads, shards: 0 }
+    }
+
+    /// Pins the shard count (builder-style).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
     }
 
     /// Resolves to a concrete worker count for `n_rows` rows.
@@ -37,6 +50,15 @@ impl CountingOptions {
             self.threads
         } else {
             auto_threads(n_rows)
+        }
+    }
+
+    /// Resolves to a concrete shard count for `n_rows` rows.
+    pub fn resolve_shards(self, n_rows: usize) -> usize {
+        if self.shards > 0 {
+            self.shards
+        } else {
+            pclabel_core::counting::auto_shards(self.resolve(n_rows))
         }
     }
 }
@@ -63,7 +85,14 @@ pub fn group_counts(
     attrs: AttrSet,
     opts: CountingOptions,
 ) -> GroupCounts {
-    GroupCounts::build_parallel(dataset, weights, attrs, opts.resolve(dataset.n_rows()))
+    let n = dataset.n_rows();
+    GroupCounts::build_parallel_sharded(
+        dataset,
+        weights,
+        attrs,
+        opts.resolve(n),
+        opts.resolve_shards(n),
+    )
 }
 
 /// `|P_S|` via parallel counting.

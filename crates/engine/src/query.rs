@@ -20,6 +20,7 @@ use std::sync::Arc;
 
 use pclabel_core::label::Label;
 use pclabel_core::pattern::Pattern;
+use pclabel_data::dataset::Dataset;
 
 use crate::store::{EngineError, LabelStore, StoreEntry};
 
@@ -159,20 +160,20 @@ impl Engine {
     /// individual bad patterns are reported per-result.
     ///
     /// The whole batch — estimation *and* cache writes — runs inside
-    /// [`StoreEntry::with_label`], so the response's results, generation
-    /// and `label_attrs` all describe the same label version, and a
-    /// concurrent refresh can never leave old-label estimates behind in
-    /// the cache.
+    /// [`StoreEntry::with_snapshot`], so the response's results,
+    /// generation and `label_attrs` all describe the same dataset/label
+    /// version, and a concurrent refresh or append can never leave
+    /// stale estimates behind in the cache.
     pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, EngineError> {
         let entry = self.store.get(&request.dataset)?;
         let threads = self.config.resolve_threads(request.patterns.len());
 
-        let response = entry.with_label(|label, generation| {
+        let response = entry.with_snapshot(|dataset, label, generation| {
             let results: Vec<PatternEstimate> = if threads <= 1 {
                 request
                     .patterns
                     .iter()
-                    .map(|spec| answer_one(&entry, label, spec))
+                    .map(|spec| answer_one(&entry, dataset, label, spec))
                     .collect()
             } else {
                 let chunk = request.patterns.len().div_ceil(threads);
@@ -184,7 +185,10 @@ impl Engine {
                         .map(|specs| {
                             let entry = &entry;
                             scope.spawn(move || {
-                                specs.iter().map(|s| answer_one(entry, label, s)).collect()
+                                specs
+                                    .iter()
+                                    .map(|s| answer_one(entry, dataset, label, s))
+                                    .collect()
                             })
                         })
                         .collect();
@@ -244,17 +248,28 @@ pub(crate) fn label_answer(label: &Label, pattern: &Pattern) -> (f64, bool) {
     (estimate, exact)
 }
 
-/// Answers one pattern against a label snapshot (cache → exact →
-/// estimate). Must run inside [`StoreEntry::with_label`] — the cache
+/// Answers one pattern against a dataset/label snapshot (cache → exact →
+/// estimate). Must run inside [`StoreEntry::with_snapshot`] — the cache
 /// insert below is only sound while the entry's read lock pins the label
 /// the estimate came from.
-fn answer_one(entry: &StoreEntry, label: &Arc<Label>, spec: &PatternSpec) -> PatternEstimate {
+///
+/// Answers whose value is read from a single `PC` group (`Attr(p) = S`)
+/// are cached pinned to that group's count shard, so they survive
+/// appends that do not touch the shard; every other answer depends on
+/// marginals, `VC` fractions or `|D|` and is cached unpinned (dropped by
+/// any append).
+fn answer_one(
+    entry: &StoreEntry,
+    dataset: &Dataset,
+    label: &Arc<Label>,
+    spec: &PatternSpec,
+) -> PatternEstimate {
     let terms: Vec<(&str, &str)> = spec
         .terms
         .iter()
         .map(|(a, v)| (a.as_str(), v.as_str()))
         .collect();
-    let pattern = match Pattern::parse(entry.dataset(), &terms) {
+    let pattern = match Pattern::parse(dataset, &terms) {
         Ok(p) => p,
         Err(e) => {
             return PatternEstimate {
@@ -275,7 +290,8 @@ fn answer_one(entry: &StoreEntry, label: &Arc<Label>, spec: &PatternSpec) -> Pat
         };
     }
     let (estimate, exact) = label_answer(label, &pattern);
-    entry.cache().insert(pattern, estimate);
+    let count_shard = label.count_shard_of(&pattern).map(|s| s as u32);
+    entry.cache().insert_tagged(pattern, estimate, count_shard);
     PatternEstimate {
         estimate,
         exact,

@@ -16,6 +16,7 @@
 //! {"op":"register","dataset":"d2","generator":"figure2","label_attrs":["age group","marital status"]}
 //! {"op":"query","dataset":"d","id":"q1","patterns":[{"a":"1"},{"a":"1","b":"2"}]}
 //! {"op":"estimate_multi","patterns":[{"a":"1"}],"strategy":"min_estimate"}
+//! {"op":"append_rows","dataset":"d","rows":[["1","2"],["3",null]]}
 //! {"op":"refresh","dataset":"d","bound":100}
 //! {"op":"stats","dataset":"d"}
 //! {"op":"list"}
@@ -28,6 +29,19 @@
 //! `B_s`; default 50 when neither is given). Pattern objects map
 //! attribute names to value labels; JSON numbers are coerced to their
 //! canonical label text (`{"age":1}` ≡ `{"age":"1"}`).
+//!
+//! `append_rows` ingests a batch of new rows into a registered dataset
+//! **without re-counting the existing rows**: `"rows"` is an array of
+//! arrays, one cell per attribute in schema order (`null` = missing,
+//! numbers coerced like pattern values). Unless a row carries a value
+//! that is new *on one of the label's subset-`S` attributes* (which
+//! changes the packed-key layout), the label updates incrementally —
+//! only the `PC` count shards the new rows touch are rewritten,
+//! reported as `"touched_shards"` with `"incremental": true`; new
+//! values on attributes outside `S` just extend the `VC` table.
+//! Otherwise the label is rebuilt over its current subset
+//! (`"incremental": false`). Either way the generation bumps and stale
+//! cache entries are dropped (shard-locally on the incremental path).
 //!
 //! `estimate_multi` answers each pattern by combining the estimates of
 //! *several* registered datasets' labels (the paper's multi-label
@@ -109,6 +123,7 @@ impl Dispatcher {
             Some("register") => handle_register(engine, request),
             Some("query") => handle_query(engine, request),
             Some("estimate_multi") => handle_estimate_multi(engine, request),
+            Some("append_rows") => handle_append_rows(engine, request),
             Some("refresh") => handle_refresh(engine, request),
             Some("stats") => handle_stats(engine, request),
             Some("list") => handle_list(engine),
@@ -219,8 +234,8 @@ fn load_dataset(request: &Json, name: &str) -> Result<Dataset, String> {
 
 fn entry_summary(entry: &StoreEntry) -> Vec<(String, Json)> {
     // One snapshot so label fields and generation can never mix versions
-    // when a refresh lands mid-summary.
-    let (label, generation) = entry.snapshot();
+    // when a refresh or append lands mid-summary.
+    let (_dataset, label, generation) = entry.snapshot();
     vec![
         ("dataset".to_string(), Json::str(entry.name())),
         ("rows".to_string(), Json::num(label.n_rows() as f64)),
@@ -240,6 +255,10 @@ fn entry_summary(entry: &StoreEntry) -> Vec<(String, Json)> {
         (
             "vc_size".to_string(),
             Json::num(label.value_count_size() as f64),
+        ),
+        (
+            "count_shards".to_string(),
+            Json::num(label.count_shards() as f64),
         ),
         ("generation".to_string(), Json::num(generation as f64)),
     ]
@@ -435,13 +454,13 @@ fn handle_estimate_multi(engine: &Engine, request: &Json) -> Json {
         Err(e) => return error_response(Some("estimate_multi"), &e),
     };
 
-    // One consistent (label, generation) snapshot per dataset for the
-    // whole batch.
+    // One consistent (dataset, label, generation) snapshot per dataset
+    // for the whole batch.
     let snapshots: Vec<_> = entries
         .iter()
         .map(|entry| {
-            let (label, generation) = entry.snapshot();
-            (entry, label, generation)
+            let (dataset, label, generation) = entry.snapshot();
+            (entry, dataset, label, generation)
         })
         .collect();
 
@@ -454,8 +473,8 @@ fn handle_estimate_multi(engine: &Engine, request: &Json) -> Json {
             .collect();
         let mut parts = Vec::new();
         let mut sources = Vec::new();
-        for (entry, label, generation) in &snapshots {
-            let Ok(pattern) = Pattern::parse(entry.dataset(), &terms) else {
+        for (entry, dataset, label, generation) in &snapshots {
+            let Ok(pattern) = Pattern::parse(dataset, &terms) else {
                 continue;
             };
             let (estimate, exact) = label_answer(label, &pattern);
@@ -497,7 +516,7 @@ fn handle_estimate_multi(engine: &Engine, request: &Json) -> Json {
         Json::Arr(
             snapshots
                 .iter()
-                .map(|(entry, _, _)| Json::str(entry.name()))
+                .map(|(entry, _, _, _)| Json::str(entry.name()))
                 .collect(),
         ),
     ));
@@ -516,6 +535,69 @@ fn handle_health(engine: &Engine) -> Json {
     ])
 }
 
+/// Parses the `"rows"` array of an `append_rows` request: arrays of
+/// cells in schema order, `null` marking missing and numbers coerced to
+/// their canonical label text (like pattern values).
+fn parse_append_rows(request: &Json) -> Result<Vec<Vec<Option<String>>>, String> {
+    let rows = request
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing \"rows\" array".to_string())?;
+    let mut out = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let Some(cells) = row.as_array() else {
+            return Err(format!("row {i} must be an array of cell values"));
+        };
+        let mut parsed = Vec::with_capacity(cells.len());
+        for (j, cell) in cells.iter().enumerate() {
+            match cell {
+                Json::Null => parsed.push(None),
+                Json::Str(s) => parsed.push(Some(s.clone())),
+                Json::Num(_) => parsed.push(Some(cell.to_string())),
+                _ => return Err(format!("row {i} cell {j} must be a string, number or null")),
+            }
+        }
+        out.push(parsed);
+    }
+    Ok(out)
+}
+
+/// `append_rows`: fold a batch of new rows into a registered dataset and
+/// its label (incrementally when the schema is stable — see
+/// [`crate::store::LabelStore::append_rows`]).
+fn handle_append_rows(engine: &Engine, request: &Json) -> Json {
+    let name = match require_dataset_name(request) {
+        Ok(n) => n,
+        Err(e) => return error_response(Some("append_rows"), &e),
+    };
+    let rows = match parse_append_rows(request) {
+        Ok(r) => r,
+        Err(e) => return error_response(Some("append_rows"), &e),
+    };
+    match engine.store().append_rows(&name, &rows) {
+        Ok(report) => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("op", Json::str("append_rows")),
+            ("dataset", Json::str(&name)),
+            ("appended", Json::num(report.appended as f64)),
+            ("rows", Json::num(report.total_rows as f64)),
+            ("generation", Json::num(report.generation as f64)),
+            ("incremental", Json::Bool(report.incremental)),
+            (
+                "touched_shards",
+                Json::Arr(
+                    report
+                        .touched_shards
+                        .iter()
+                        .map(|&s| Json::num(s as f64))
+                        .collect(),
+                ),
+            ),
+        ]),
+        Err(e) => engine_error("append_rows", &e),
+    }
+}
+
 fn handle_refresh(engine: &Engine, request: &Json) -> Json {
     let name = match require_dataset_name(request) {
         Ok(n) => n,
@@ -525,7 +607,7 @@ fn handle_refresh(engine: &Engine, request: &Json) -> Json {
         Ok(e) => e,
         Err(e) => return engine_error("refresh", &e),
     };
-    let policy = match resolve_policy(request, entry.dataset()) {
+    let policy = match resolve_policy(request, &entry.dataset()) {
         Ok(p) => p,
         Err(e) => return error_response(Some("refresh"), &e),
     };
@@ -660,6 +742,70 @@ mod tests {
             .unwrap();
         assert_eq!(results[0].get("estimate").and_then(Json::as_f64), Some(1.0));
         assert_eq!(results[1].get("estimate").and_then(Json::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn append_rows_session_updates_counts_incrementally() {
+        let responses = run_session(concat!(
+            "{\"op\":\"register\",\"dataset\":\"t\",\"csv\":\"a,b\\n1,x\\n1,y\\n2,x\\n\",",
+            "\"label_attrs\":[\"a\",\"b\"]}\n",
+            "{\"op\":\"query\",\"dataset\":\"t\",\"patterns\":[{\"a\":\"1\",\"b\":\"x\"}]}\n",
+            // Known values only: incremental append touching few shards.
+            "{\"op\":\"append_rows\",\"dataset\":\"t\",\"rows\":[[1,\"x\"],[\"2\",\"y\"]]}\n",
+            "{\"op\":\"query\",\"dataset\":\"t\",\"patterns\":[{\"a\":\"1\",\"b\":\"x\"}]}\n",
+            // A null cell is a missing value, a new value rebuilds.
+            "{\"op\":\"append_rows\",\"dataset\":\"t\",\"rows\":[[null,\"x\"]]}\n",
+            "{\"op\":\"append_rows\",\"dataset\":\"t\",\"rows\":[[\"3\",\"x\"]]}\n",
+            "{\"op\":\"query\",\"dataset\":\"t\",\"patterns\":[{\"a\":\"3\"}]}\n",
+            // Failure shapes: bad rows, unknown dataset.
+            "{\"op\":\"append_rows\",\"dataset\":\"t\",\"rows\":[[\"1\"]]}\n",
+            "{\"op\":\"append_rows\",\"dataset\":\"t\",\"rows\":[]}\n",
+            "{\"op\":\"append_rows\",\"dataset\":\"ghost\",\"rows\":[[\"1\",\"x\"]]}\n",
+        ));
+        assert_eq!(
+            responses[1].get("results").unwrap().as_array().unwrap()[0]
+                .get("estimate")
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+
+        let append = &responses[2];
+        assert_eq!(append.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(append.get("appended").and_then(Json::as_u64), Some(2));
+        assert_eq!(append.get("rows").and_then(Json::as_u64), Some(5));
+        assert_eq!(append.get("generation").and_then(Json::as_u64), Some(1));
+        assert_eq!(append.get("incremental"), Some(&Json::Bool(true)));
+        assert!(!append
+            .get("touched_shards")
+            .and_then(Json::as_array)
+            .unwrap()
+            .is_empty());
+
+        // (a=1, b=x) count grew from 1 to 2 and is served post-append.
+        assert_eq!(
+            responses[3].get("results").unwrap().as_array().unwrap()[0]
+                .get("estimate")
+                .and_then(Json::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(
+            responses[3].get("generation").and_then(Json::as_u64),
+            Some(1)
+        );
+
+        // Missing cell stays incremental; new value "3" rebuilds.
+        assert_eq!(responses[4].get("incremental"), Some(&Json::Bool(true)));
+        assert_eq!(responses[5].get("incremental"), Some(&Json::Bool(false)));
+        assert_eq!(
+            responses[6].get("results").unwrap().as_array().unwrap()[0]
+                .get("estimate")
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+
+        for i in [7usize, 8, 9] {
+            assert_eq!(responses[i].get("ok"), Some(&Json::Bool(false)), "line {i}");
+        }
     }
 
     #[test]

@@ -69,19 +69,38 @@ pub enum LabelPolicy {
     SearchBound(u64),
 }
 
-/// A label plus the generation it belongs to; the two always travel
-/// together under one lock so readers can never observe a mixed pair.
-struct LabelVersion {
+/// What [`LabelStore::append_rows`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppendReport {
+    /// Rows appended by this call.
+    pub appended: usize,
+    /// `|D|` after the append.
+    pub total_rows: u64,
+    /// The entry's new generation.
+    pub generation: u64,
+    /// `true` when the label was updated shard-incrementally; `false`
+    /// when a dictionary grew and the label was rebuilt in full.
+    pub incremental: bool,
+    /// `PC` shards the appended rows touched (sorted; empty on rebuild).
+    pub touched_shards: Vec<u32>,
+}
+
+/// One consistent dataset/label/generation triple; the three always
+/// travel together under one lock so readers can never observe a mixed
+/// view (e.g. an appended dataset with the pre-append label).
+struct EntryState {
+    dataset: Arc<Dataset>,
     label: Arc<Label>,
     generation: u64,
 }
 
 /// One registered dataset: the data, its current label version and the
-/// per-dataset estimate cache.
+/// per-dataset estimate cache. Since appends arrived, the dataset itself
+/// is versioned alongside the label — both swap atomically under the
+/// entry's lock.
 pub struct StoreEntry {
     name: Box<str>,
-    dataset: Arc<Dataset>,
-    current: RwLock<LabelVersion>,
+    state: RwLock<EntryState>,
     cache: ShardedCache,
 }
 
@@ -91,37 +110,43 @@ impl StoreEntry {
         &self.name
     }
 
-    /// The registered dataset.
-    pub fn dataset(&self) -> &Arc<Dataset> {
-        &self.dataset
+    /// The currently-registered dataset (cheap `Arc` clone).
+    pub fn dataset(&self) -> Arc<Dataset> {
+        Arc::clone(&self.state.read().expect("entry lock").dataset)
     }
 
     /// A handle to the current label (cheap `Arc` clone; never blocks
     /// writers for longer than the clone).
     pub fn label(&self) -> Arc<Label> {
-        Arc::clone(&self.current.read().expect("label lock").label)
+        Arc::clone(&self.state.read().expect("entry lock").label)
     }
 
-    /// Monotone counter, bumped by every [`LabelStore::refresh`].
+    /// Monotone counter, bumped by every [`LabelStore::refresh`] and
+    /// [`LabelStore::append_rows`].
     pub fn generation(&self) -> u64 {
-        self.current.read().expect("label lock").generation
+        self.state.read().expect("entry lock").generation
     }
 
-    /// One consistent `(label, generation)` pair.
-    pub fn snapshot(&self) -> (Arc<Label>, u64) {
-        let cur = self.current.read().expect("label lock");
-        (Arc::clone(&cur.label), cur.generation)
+    /// One consistent `(dataset, label, generation)` triple.
+    pub fn snapshot(&self) -> (Arc<Dataset>, Arc<Label>, u64) {
+        let cur = self.state.read().expect("entry lock");
+        (
+            Arc::clone(&cur.dataset),
+            Arc::clone(&cur.label),
+            cur.generation,
+        )
     }
 
-    /// Runs `f` against the current label version while holding the
-    /// entry's read lock. A concurrent [`LabelStore::refresh`] waits for
-    /// `f` to finish before swapping the label and clearing the cache,
-    /// so anything `f` writes to [`StoreEntry::cache`] is guaranteed to
-    /// be derived from the label it was handed — stale estimates can
-    /// never outlive a refresh.
-    pub fn with_label<R>(&self, f: impl FnOnce(&Arc<Label>, u64) -> R) -> R {
-        let cur = self.current.read().expect("label lock");
-        f(&cur.label, cur.generation)
+    /// Runs `f` against the current dataset/label version while holding
+    /// the entry's read lock. A concurrent [`LabelStore::refresh`] or
+    /// [`LabelStore::append_rows`] waits for `f` to finish before
+    /// swapping the state and invalidating the cache, so anything `f`
+    /// writes to [`StoreEntry::cache`] is guaranteed to be derived from
+    /// the version it was handed — stale estimates can never outlive a
+    /// refresh or append.
+    pub fn with_snapshot<R>(&self, f: impl FnOnce(&Arc<Dataset>, &Arc<Label>, u64) -> R) -> R {
+        let cur = self.state.read().expect("entry lock");
+        f(&cur.dataset, &cur.label, cur.generation)
     }
 
     /// The per-dataset pattern→estimate cache.
@@ -152,11 +177,12 @@ impl StoreEntry {
 
 impl fmt::Debug for StoreEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (dataset, label, generation) = self.snapshot();
         f.debug_struct("StoreEntry")
             .field("name", &self.name)
-            .field("rows", &self.dataset.n_rows())
-            .field("label_attrs", &self.label().attrs().to_vec())
-            .field("generation", &self.generation())
+            .field("rows", &dataset.n_rows())
+            .field("label_attrs", &label.attrs().to_vec())
+            .field("generation", &generation)
             .finish()
     }
 }
@@ -213,8 +239,8 @@ impl LabelStore {
         let label = compute_label(&dataset, policy)?;
         let entry = Arc::new(StoreEntry {
             name: name.clone().into_boxed_str(),
-            dataset: Arc::new(dataset),
-            current: RwLock::new(LabelVersion {
+            state: RwLock::new(EntryState {
+                dataset: Arc::new(dataset),
                 label: Arc::new(label),
                 generation: 0,
             }),
@@ -243,19 +269,108 @@ impl LabelStore {
     /// Recomputes an entry's label under a (possibly different) policy,
     /// bumps its generation and clears its estimate cache, all within the
     /// entry's write section: batches running under
-    /// [`StoreEntry::with_label`] finish against their snapshot first, and
-    /// no estimate they cached can survive the refresh.
+    /// [`StoreEntry::with_snapshot`] finish against their snapshot first,
+    /// and no estimate they cached can survive the refresh.
     pub fn refresh(&self, name: &str, policy: LabelPolicy) -> Result<u64, EngineError> {
         let entry = self.get(name)?;
-        let label = compute_label(&entry.dataset, policy)?;
-        let mut cur = entry.current.write().expect("label lock");
+        let mut dataset = entry.dataset();
+        // A few optimistic passes: compute outside the lock so
+        // lookups/queries never stall behind an expensive search…
+        for _ in 0..3 {
+            let label = compute_label(&dataset, policy)?;
+            let mut cur = entry.state.write().expect("entry lock");
+            // …but since datasets became appendable, the snapshot can go
+            // stale mid-compute: installing a label built from the
+            // pre-append rows over the post-append dataset would break
+            // the dataset/label invariant. Detect and redo.
+            if !Arc::ptr_eq(&cur.dataset, &dataset) {
+                dataset = Arc::clone(&cur.dataset);
+                continue;
+            }
+            return Ok(Self::install_refreshed(&entry, &mut cur, label));
+        }
+        // A sustained append stream outpaced every optimistic pass:
+        // compute the last one under the write lock. Readers stall for
+        // one label build, but the refresh is guaranteed to land instead
+        // of retrying forever.
+        let mut cur = entry.state.write().expect("entry lock");
+        let label = compute_label(&Arc::clone(&cur.dataset), policy)?;
+        Ok(Self::install_refreshed(&entry, &mut cur, label))
+    }
+
+    /// Swaps in a freshly computed label under the held write lock.
+    /// Clearing the cache here is sound: query batches only touch the
+    /// cache under the read lock, so everything cleared is old-label and
+    /// nothing old-label can be inserted afterwards.
+    fn install_refreshed(entry: &StoreEntry, cur: &mut EntryState, label: Label) -> u64 {
         cur.label = Arc::new(label);
         cur.generation += 1;
-        // Clear while still holding the write lock: query batches only
-        // touch the cache under the read lock, so everything cleared here
-        // is old-label and nothing old-label can be inserted afterwards.
         entry.cache.clear();
-        Ok(cur.generation)
+        cur.generation
+    }
+
+    /// Appends a batch of rows to a registered dataset and brings its
+    /// label up to date, bumping the generation.
+    ///
+    /// While no dictionary of an attribute **inside the label's subset
+    /// `S`** grows ([`Label::can_append`]), the label is updated
+    /// **incrementally**: only the `PC` shards the new rows' keys land in
+    /// are copied and refreshed ([`Label::with_appended`]), every other
+    /// shard stays byte-shared with the previous generation, and only the
+    /// cache entries pinned to touched shards (plus the shard-unpinned
+    /// ones) are invalidated. New values on attributes *outside* `S` stay
+    /// incremental — the `VC` table grows in place. A new value on an
+    /// attribute of `S` changes the packed-key layout, so the label is
+    /// rebuilt in full over the *same* subset `S` the current label uses
+    /// (a search-chosen `S` is kept, not re-searched) and the cache is
+    /// cleared; [`AppendReport::incremental`] reports which path ran.
+    ///
+    /// The whole operation holds the entry's write lock, so concurrent
+    /// appends serialize and query batches never see a half-applied
+    /// append.
+    pub fn append_rows<S: AsRef<str>>(
+        &self,
+        name: &str,
+        rows: &[Vec<Option<S>>],
+    ) -> Result<AppendReport, EngineError> {
+        let entry = self.get(name)?;
+        if rows.is_empty() {
+            return Err(EngineError::BadRequest(
+                "append_rows needs a non-empty rows batch".to_string(),
+            ));
+        }
+        let mut cur = entry.state.write().expect("entry lock");
+        let mut dataset = (*cur.dataset).clone();
+        let old_rows = dataset.n_rows();
+        dataset.append_labeled_rows(rows)?;
+        let (label, incremental, touched_shards) = if cur.label.can_append(&dataset) {
+            let (label, touched) = cur
+                .label
+                .with_appended(&dataset, old_rows..dataset.n_rows());
+            (Arc::new(label), true, touched)
+        } else {
+            let label =
+                Label::build_parallel(&dataset, cur.label.attrs(), auto_threads(dataset.n_rows()));
+            (Arc::new(label), false, Vec::new())
+        };
+        let total_rows = dataset.n_rows() as u64;
+        cur.dataset = Arc::new(dataset);
+        cur.label = label;
+        cur.generation += 1;
+        // Invalidate under the write lock (same argument as refresh):
+        // shard-local for incremental appends, everything otherwise.
+        if incremental {
+            entry.cache.invalidate_count_shards(&touched_shards);
+        } else {
+            entry.cache.clear();
+        }
+        Ok(AppendReport {
+            appended: rows.len(),
+            total_rows,
+            generation: cur.generation,
+            incremental,
+            touched_shards,
+        })
     }
 
     /// Removes an entry; returns whether it existed.
@@ -356,6 +471,214 @@ mod tests {
             .refresh("census", LabelPolicy::SearchBound(100))
             .unwrap();
         assert!(entry.cache().is_empty());
+    }
+
+    #[test]
+    fn append_rows_updates_label_incrementally() {
+        let store = LabelStore::new();
+        store
+            .register(
+                "census",
+                figure2_sample(),
+                LabelPolicy::Attrs(AttrSet::from_indices([1, 3])),
+            )
+            .unwrap();
+        // Values already in the dictionaries: incremental path.
+        let report = store
+            .append_rows(
+                "census",
+                &[
+                    vec![
+                        Some("Female"),
+                        Some("20-39"),
+                        Some("Caucasian"),
+                        Some("married"),
+                    ],
+                    vec![
+                        Some("Male"),
+                        Some("under 20"),
+                        Some("African-American"),
+                        Some("single"),
+                    ],
+                ],
+            )
+            .unwrap();
+        assert!(report.incremental);
+        assert_eq!(report.appended, 2);
+        assert_eq!(report.total_rows, 20);
+        assert_eq!(report.generation, 1);
+        assert!(!report.touched_shards.is_empty());
+
+        // The appended label equals a from-scratch build over the grown
+        // dataset.
+        let entry = store.get("census").unwrap();
+        let (dataset, label, generation) = entry.snapshot();
+        assert_eq!(generation, 1);
+        assert_eq!(dataset.n_rows(), 20);
+        let full = Label::build(&dataset, AttrSet::from_indices([1, 3]));
+        assert_eq!(label.pattern_count_size(), full.pattern_count_size());
+        for r in 0..dataset.n_rows() {
+            let p = pclabel_core::pattern::Pattern::from_row(&dataset, r);
+            assert_eq!(label.estimate(&p), full.estimate(&p), "row {r}");
+        }
+    }
+
+    #[test]
+    fn append_rows_with_new_value_rebuilds() {
+        let store = LabelStore::new();
+        store
+            .register(
+                "census",
+                figure2_sample(),
+                LabelPolicy::Attrs(AttrSet::from_indices([1, 3])),
+            )
+            .unwrap();
+        let report = store
+            .append_rows(
+                "census",
+                &[vec![
+                    Some("Female"),
+                    Some("60+"), // unseen age group: dictionary grows
+                    Some("Caucasian"),
+                    Some("married"),
+                ]],
+            )
+            .unwrap();
+        assert!(!report.incremental);
+        assert!(report.touched_shards.is_empty());
+        let entry = store.get("census").unwrap();
+        let (dataset, label, _) = entry.snapshot();
+        // The rebuilt label keeps its subset S and covers the new value.
+        assert_eq!(label.attrs(), AttrSet::from_indices([1, 3]));
+        let p = pclabel_core::pattern::Pattern::parse(
+            &dataset,
+            &[("age group", "60+"), ("marital status", "married")],
+        )
+        .unwrap();
+        assert_eq!(label.estimate(&p), 1.0);
+    }
+
+    #[test]
+    fn append_rows_growth_outside_s_stays_incremental() {
+        let store = LabelStore::new();
+        store
+            .register(
+                "census",
+                figure2_sample(),
+                LabelPolicy::Attrs(AttrSet::from_indices([1, 3])),
+            )
+            .unwrap();
+        // "Martian" is a new race value; race (2) is outside S = {1, 3},
+        // so the packed-key layout is unchanged and the append must not
+        // fall back to a rebuild.
+        let report = store
+            .append_rows(
+                "census",
+                &[vec![
+                    Some("Female"),
+                    Some("20-39"),
+                    Some("Martian"),
+                    Some("married"),
+                ]],
+            )
+            .unwrap();
+        assert!(report.incremental);
+        assert!(!report.touched_shards.is_empty());
+        let entry = store.get("census").unwrap();
+        let (dataset, label, _) = entry.snapshot();
+        let full = Label::build(&dataset, AttrSet::from_indices([1, 3]));
+        let p = pclabel_core::pattern::Pattern::parse(
+            &dataset,
+            &[("race", "Martian"), ("age group", "20-39")],
+        )
+        .unwrap();
+        assert_eq!(label.estimate(&p), full.estimate(&p));
+        assert!(label.estimate(&p) > 0.0);
+    }
+
+    #[test]
+    fn append_rows_invalidates_cache_shard_locally() {
+        let store = LabelStore::new();
+        store
+            .register(
+                "census",
+                figure2_sample(),
+                LabelPolicy::Attrs(AttrSet::from_indices([1, 3])),
+            )
+            .unwrap();
+        let entry = store.get("census").unwrap();
+        let label = entry.label();
+        // Two full-S patterns pinned to their count shards, one unpinned.
+        let d = entry.dataset();
+        let hit = pclabel_core::pattern::Pattern::parse(
+            &d,
+            &[("age group", "20-39"), ("marital status", "married")],
+        )
+        .unwrap();
+        let miss = pclabel_core::pattern::Pattern::parse(
+            &d,
+            &[("age group", "under 20"), ("marital status", "single")],
+        )
+        .unwrap();
+        let hit_shard = label.count_shard_of(&hit).unwrap() as u32;
+        let miss_shard = label.count_shard_of(&miss).unwrap() as u32;
+        entry
+            .cache()
+            .insert_tagged(hit.clone(), 6.0, Some(hit_shard));
+        entry
+            .cache()
+            .insert_tagged(miss.clone(), 6.0, Some(miss_shard));
+        entry
+            .cache()
+            .insert(pclabel_core::pattern::Pattern::from_terms([(0, 0)]), 9.0);
+
+        // Append a (20-39, married) row: its shard must be invalidated.
+        let report = store
+            .append_rows(
+                "census",
+                &[vec![
+                    Some("Male"),
+                    Some("20-39"),
+                    Some("Caucasian"),
+                    Some("married"),
+                ]],
+            )
+            .unwrap();
+        assert!(report.incremental);
+        assert!(report.touched_shards.contains(&hit_shard));
+        assert_eq!(entry.cache().get(&hit), None, "touched shard entry dropped");
+        if !report.touched_shards.contains(&miss_shard) {
+            assert_eq!(
+                entry.cache().get(&miss),
+                Some(6.0),
+                "untouched shard entry survives"
+            );
+        }
+    }
+
+    #[test]
+    fn append_rows_rejects_bad_batches() {
+        let store = LabelStore::new();
+        store
+            .register("census", figure2_sample(), LabelPolicy::SearchBound(5))
+            .unwrap();
+        let empty: &[Vec<Option<&str>>] = &[];
+        assert!(matches!(
+            store.append_rows("census", empty),
+            Err(EngineError::BadRequest(_))
+        ));
+        // Arity mismatch fails without mutating the entry.
+        let before = store.get("census").unwrap().generation();
+        assert!(store
+            .append_rows("census", &[vec![Some("Female")]])
+            .is_err());
+        let entry = store.get("census").unwrap();
+        assert_eq!(entry.generation(), before);
+        assert_eq!(entry.dataset().n_rows(), 18);
+        assert!(matches!(
+            store.append_rows("ghost", &[vec![Some("x")]]),
+            Err(EngineError::UnknownDataset(_))
+        ));
     }
 
     #[test]

@@ -32,6 +32,10 @@ options:
                            the pool model, per-request in the reactor
   --queue N                pending jobs that may queue for a free worker
                            (default 64)
+  --max-parked N           reactor only: requests parked beyond the queue
+                           before new ones are refused with HTTP 429 / a
+                           framed {\"error\":\"overloaded\"} (default 256;
+                           0 = never park)
   --max-conns N            reactor only: simultaneous connection cap;
                            at the cap the least-recently-active idle
                            connection is evicted (default 1024)
@@ -50,9 +54,10 @@ options:
 Wire protocols on one port, sniffed from the first bytes:
   framed TCP   u32 big-endian payload length + JSON request, same framing
                back; persistent connections
-  HTTP/1.1     POST /query | /register | /refresh | /drop | /estimate_multi
-               with the request JSON as body; GET /stats?dataset=NAME;
-               GET /healthz; POST / with an {\"op\":...} body; keep-alive
+  HTTP/1.1     POST /query | /register | /append_rows | /refresh | /drop
+               | /estimate_multi with the request JSON as body;
+               GET /stats?dataset=NAME; GET /healthz; POST / with an
+               {\"op\":...} body; keep-alive
 
 environment:
   PCLABEL_QUERY_THREADS    worker threads for large query batches
@@ -113,6 +118,11 @@ fn main() {
                 config.queue_capacity = value("--queue")
                     .parse()
                     .unwrap_or_else(|_| fail("--queue needs an integer"))
+            }
+            "--max-parked" => {
+                config.max_parked = value("--max-parked")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--max-parked needs an integer"))
             }
             "--max-frame" => {
                 config.max_frame = value("--max-frame")

@@ -5,8 +5,9 @@
 //! * `GET /healthz` — liveness probe (the dispatcher's `health` op);
 //! * `GET /stats?dataset=NAME` — per-dataset stats; without a `dataset`
 //!   parameter this degrades to the `list` op;
-//! * `POST /query`, `POST /register`, `POST /refresh`, `POST /drop`,
-//!   `POST /estimate_multi`, … — the JSON body is the protocol request;
+//! * `POST /query`, `POST /register`, `POST /append_rows`,
+//!   `POST /refresh`, `POST /drop`, `POST /estimate_multi`, … — the JSON
+//!   body is the protocol request;
 //!   the op implied by the path is injected when the body omits `"op"`
 //!   (and a mismatch is rejected);
 //! * `POST /` — generic dispatch; the body must carry `"op"` itself.
@@ -235,6 +236,7 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         501 => "Not Implemented",
         _ => "Error",
@@ -376,8 +378,8 @@ pub(crate) fn route(request: &Request, shared: &Shared) -> (u16, String, bool) {
 fn implied_op(path: &str) -> Option<&str> {
     match path.strip_prefix('/') {
         Some(
-            op @ ("register" | "query" | "estimate_multi" | "refresh" | "stats" | "list" | "health"
-            | "drop" | "shutdown"),
+            op @ ("register" | "query" | "estimate_multi" | "append_rows" | "refresh" | "stats"
+            | "list" | "health" | "drop" | "shutdown"),
         ) => Some(op),
         _ => None,
     }
@@ -493,6 +495,7 @@ mod tests {
             "register",
             "query",
             "estimate_multi",
+            "append_rows",
             "refresh",
             "stats",
             "list",

@@ -33,6 +33,13 @@
 //!   least-recently-active *idle* connection is evicted to admit the
 //!   newcomer; if every connection is mid-request, the newcomer is
 //!   refused instead (bounded memory beats unbounded acceptance).
+//! * Dispatch backpressure — when the pool's bounded queue is full,
+//!   ready requests park in the reactor, but only up to
+//!   [`ServerConfig::max_parked`](crate::server::ServerConfig): past the
+//!   cap the request is answered immediately with HTTP `429` or a framed
+//!   `{"ok":false,"error":"overloaded"}` and the connection stays open,
+//!   so a worker stall bounds queued-request memory instead of growing a
+//!   `VecDeque` without limit.
 //! * Graceful shutdown — the acceptor deregisters, idle and mid-read
 //!   connections close immediately, and in-flight dispatches drain:
 //!   their responses are still written before the loop exits.
@@ -48,7 +55,10 @@ use std::time::{Duration, Instant};
 use crate::frame::encode_frame;
 use crate::http::{self, find_subsequence};
 use crate::pool::{Job, ThreadPool, TryExecuteError};
-use crate::server::{is_http_prefix, oversize_error_json, process_line, utf8_error_json, Shared};
+use crate::server::{
+    is_http_prefix, overloaded_error_json, oversize_error_json, process_line, utf8_error_json,
+    Shared,
+};
 use crate::sys::{Backend, Event, Interest, Poller, Waker};
 
 // --- the protocol state machine --------------------------------------------
@@ -644,6 +654,20 @@ impl Reactor {
         }
         if event.writable && conn.has_pending_write() {
             self.flush(token);
+            // Reading pauses while responses are stuck (see read_ready);
+            // now that the peer drained them, pipelined requests still
+            // sitting in the machine's buffer can continue without
+            // waiting for new bytes to arrive.
+            if let Some(conn) = self.conns.get_mut(&token) {
+                if !conn.dispatching
+                    && !conn.close_after_write
+                    && !conn.has_pending_write()
+                    && !conn.machine.is_paused()
+                    && conn.machine.has_partial()
+                {
+                    self.pump(token);
+                }
+            }
         }
         let Some(conn) = self.conns.get(&token) else {
             return;
@@ -661,6 +685,13 @@ impl Reactor {
             let Some(conn) = self.conns.get_mut(&token) else {
                 return;
             };
+            if conn.has_pending_write() {
+                // The peer is not draining responses (e.g. a flood of
+                // overload rejections, which answer without occupying a
+                // worker): stop consuming input so the out-buffer stays
+                // bounded by one read chunk's worth of requests.
+                break;
+            }
             let mut chunk = [0u8; 8192];
             match conn.stream.read(&mut chunk) {
                 // EOF: between requests it is a clean close; inside one
@@ -692,7 +723,11 @@ impl Reactor {
     }
 
     /// Runs the machine over buffered bytes until it needs more input,
-    /// dispatches a request, or errors out.
+    /// dispatches a request, or errors out. Overload rejections are
+    /// handled *inside* this loop (queue the error, re-arm the machine,
+    /// keep pumping): recursing through `flush` instead would nest one
+    /// stack frame per pipelined request in the buffer, and a client can
+    /// pipeline thousands of tiny requests into one read chunk.
     fn pump(&mut self, token: u64) {
         loop {
             let Some(conn) = self.conns.get_mut(&token) else {
@@ -705,12 +740,28 @@ impl Reactor {
                     continue;
                 }
                 Step::FramedRequest(payload) => {
-                    self.dispatch_framed(token, payload);
-                    break;
+                    if self.dispatch_framed(token, payload) {
+                        break;
+                    }
+                    // Rejected (overload): the error response is queued
+                    // and the connection is not dispatching; re-arm for
+                    // the next buffered request.
+                    let Some(conn) = self.conns.get_mut(&token) else {
+                        return;
+                    };
+                    conn.machine.resume();
                 }
                 Step::HttpRequest(request) => {
-                    self.dispatch_http(token, request);
-                    break;
+                    if self.dispatch_http(token, request) {
+                        break;
+                    }
+                    let Some(conn) = self.conns.get_mut(&token) else {
+                        return;
+                    };
+                    if conn.close_after_write {
+                        break; // non-keep-alive 429: stop reading
+                    }
+                    conn.machine.resume();
                 }
                 Step::Oversized(oversize) => {
                     let bytes = oversize_response(oversize);
@@ -731,9 +782,13 @@ impl Reactor {
 
     // --- dispatching --------------------------------------------------------
 
-    fn dispatch_framed(&mut self, token: u64, payload: Vec<u8>) {
+    /// `true` = the request reached the pool (or parked); `false` = it
+    /// was refused for overload and the framed error response is queued
+    /// (the request was consumed, so the stream stays in sync and the
+    /// connection stays usable — the caller re-arms and keeps pumping).
+    fn dispatch_framed(&mut self, token: u64, payload: Vec<u8>) -> bool {
         let Some(conn) = self.conns.get_mut(&token) else {
-            return;
+            return true;
         };
         conn.dispatching = true;
         let shared = Arc::clone(&self.shared);
@@ -761,14 +816,30 @@ impl Reactor {
                 close,
             });
         });
-        self.submit(job);
+        if self.try_submit(job) {
+            return true;
+        }
+        // Pool queue and parking lot both full: answer the backpressure
+        // error ourselves.
+        let bytes = encode_frame(
+            overloaded_error_json().to_string().as_bytes(),
+            crate::frame::MAX_FRAME_CEILING,
+        )
+        .expect("overload frame is tiny");
+        self.reject_overloaded(token, &bytes, false);
+        false
     }
 
-    fn dispatch_http(&mut self, token: u64, request: Box<http::Request>) {
+    /// Same contract as [`Reactor::dispatch_framed`]; a rejected
+    /// non-keep-alive request additionally sets `close_after_write`.
+    fn dispatch_http(&mut self, token: u64, request: Box<http::Request>) -> bool {
         let Some(conn) = self.conns.get_mut(&token) else {
-            return;
+            return true;
         };
         conn.dispatching = true;
+        // Captured before the job takes the request: the 429 path needs
+        // to know whether this exchange would have kept the connection.
+        let keep_alive_on_reject = request.keep_alive();
         let shared = Arc::clone(&self.shared);
         let queue = Arc::clone(&self.dispatch);
         let job: Job = Box::new(move || {
@@ -781,17 +852,50 @@ impl Reactor {
                 close: !keep_alive,
             });
         });
-        self.submit(job);
+        if self.try_submit(job) {
+            return true;
+        }
+        let body = overloaded_error_json().to_string();
+        let bytes = http::response_bytes(429, &body, keep_alive_on_reject);
+        self.reject_overloaded(token, &bytes, !keep_alive_on_reject);
+        false
     }
 
-    fn submit(&mut self, job: Job) {
+    /// Hands a job to the pool, parking it if the queue is full and the
+    /// parking lot is under [`ServerConfig::max_parked`]. `false` = both
+    /// are full; the caller must answer the overload itself.
+    ///
+    /// [`ServerConfig::max_parked`]: crate::server::ServerConfig::max_parked
+    fn try_submit(&mut self, job: Job) -> bool {
         match self.pool.try_execute(job) {
-            Ok(()) => {}
-            // Queue full: park it. Every completion frees a slot, so the
-            // retry in process_completions always makes progress.
-            Err(TryExecuteError::Full(job)) => self.parked_jobs.push_back(job),
-            Err(TryExecuteError::Closed(_)) => {} // shutting down: drop
+            Ok(()) => true,
+            // Queue full: park it if the lot has room. Every completion
+            // frees a slot, so the retry in process_completions always
+            // makes progress.
+            Err(TryExecuteError::Full(job)) => {
+                if self.parked_jobs.len() < self.shared.config.max_parked {
+                    self.parked_jobs.push_back(job);
+                    true
+                } else {
+                    false
+                }
+            }
+            Err(TryExecuteError::Closed(_)) => true, // shutting down: drop
         }
+    }
+
+    /// Queues a backpressure error for a request that never reached the
+    /// pool. Deliberately does NOT flush or resume: the pump loop the
+    /// rejection happened under continues iteratively and flushes once
+    /// at its end (no recursion per pipelined request).
+    fn reject_overloaded(&mut self, token: u64, bytes: &[u8], close: bool) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.dispatching = false;
+        conn.close_after_write |= close;
+        conn.queue_write(bytes);
+        conn.last_activity = Instant::now();
     }
 
     fn process_completions(&mut self) {

@@ -105,8 +105,18 @@ pub struct ServerConfig {
     /// Accepted connections that may wait for a free worker; beyond
     /// this, the acceptor itself blocks (backpressure). In the reactor
     /// model this bounds queued *requests*; excess requests park in the
-    /// reactor until a worker frees up.
+    /// reactor until a worker frees up (see
+    /// [`ServerConfig::max_parked`]).
     pub queue_capacity: usize,
+    /// Reactor model only: cap on requests parked in the reactor when
+    /// the pool queue is full. A request arriving with the pool queue
+    /// full *and* the parking lot at this cap is answered immediately
+    /// with HTTP `429 Too Many Requests` / a framed
+    /// `{"ok":false,"error":"overloaded"}` instead of growing the queue
+    /// without bound — worst-case dispatch memory stays
+    /// `queue_capacity + max_parked` requests. `0` disables parking
+    /// entirely (every queue-full request is refused).
+    pub max_parked: usize,
     /// Maximum request-frame payload size in bytes (clamped to
     /// [`MAX_FRAME_CEILING`]); also caps HTTP request bodies.
     pub max_frame: u32,
@@ -144,6 +154,7 @@ impl Default for ServerConfig {
             model: ConnectionModel::Pool,
             workers: 4,
             queue_capacity: 64,
+            max_parked: 256,
             max_frame: DEFAULT_MAX_FRAME,
             read_timeout: Some(Duration::from_secs(10)),
             write_timeout: Some(Duration::from_secs(10)),
@@ -455,6 +466,17 @@ pub(crate) fn utf8_error_json() -> Json {
     Json::obj([
         ("ok", Json::Bool(false)),
         ("error", Json::str("request is not valid UTF-8")),
+    ])
+}
+
+/// The error body for a request refused because the dispatch queue and
+/// the reactor's parking lot are both full (`ServerConfig::max_parked`).
+/// Served as a framed error or an HTTP 429; the connection stays usable —
+/// overload is transient and the stream is still in sync.
+pub(crate) fn overloaded_error_json() -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::str("overloaded")),
     ])
 }
 

@@ -558,6 +558,281 @@ fn remote_shutdown_is_gated_by_config() {
     server.wait(); // returns because the client's op stopped the server
 }
 
+/// The acceptance path for incremental ingest: `append_rows` through the
+/// real `pclabel-netd` binary must answer every query exactly like a
+/// dataset registered with the full data up front — on both the
+/// incremental (schema-stable) and rebuild (dictionary-growth) paths.
+#[test]
+fn netd_append_rows_equals_full_rebuild() {
+    fn csv(rows: std::ops::Range<usize>, extra: Option<&str>) -> String {
+        let mut out = String::from("c0,c1,c2,c3\n");
+        for r in rows {
+            out.push_str(&format!(
+                "v{},v{},v{},v{}\n",
+                r % 5,
+                (r / 5) % 4,
+                (r * 7) % 3,
+                r % 2
+            ));
+        }
+        if let Some(row) = extra {
+            out.push_str(row);
+        }
+        out
+    }
+    fn patterns() -> String {
+        let mut out = Vec::new();
+        for i in 0..40usize {
+            out.push(match i % 4 {
+                // Inside S = {c0, c1}: exact path.
+                0 => format!(r#"{{"c0":"v{}","c1":"v{}"}}"#, i % 5, (i / 5) % 4),
+                // Straddling.
+                1 => format!(r#"{{"c0":"v{}","c2":"v{}"}}"#, i % 5, i % 3),
+                // Outside S.
+                2 => format!(r#"{{"c2":"v{}","c3":"v{}"}}"#, i % 3, i % 2),
+                // Unseen value: estimate 0 on both sides.
+                _ => r#"{"c0":"v0","c1":"ghost"}"#.to_string(),
+            });
+        }
+        out.join(",")
+    }
+    /// The `"results"` array of a query response (everything that must
+    /// agree between the appended and the full dataset).
+    fn results_of(response: &str) -> Json {
+        Json::parse(response)
+            .expect("query response JSON")
+            .get("results")
+            .expect("results array")
+            .clone()
+    }
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pclabel-netd"))
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--timeout-ms",
+            "2000",
+            "--allow-remote-shutdown",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn pclabel-netd");
+    let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("startup banner");
+    let addr = banner
+        .split_whitespace()
+        .nth(3)
+        .expect("address in banner")
+        .to_string();
+    let mut client = NetClient::connect(&addr).expect("connect to binary");
+    let mut send = |line: &str| -> Json {
+        let response = client.request_line(line).expect("round-trip");
+        Json::parse(&response).unwrap_or_else(|e| panic!("bad JSON {e}: {response}"))
+    };
+
+    // "base" gets the first 120 rows; "full" all 160 up front.
+    let register = |name: &str, body: &str| {
+        format!(
+            r#"{{"op":"register","dataset":"{name}","csv":"{}","label_attrs":["c0","c1"]}}"#,
+            body.replace('\n', "\\n")
+        )
+    };
+    assert_eq!(
+        send(&register("base", &csv(0..120, None))).get("ok"),
+        Some(&Json::Bool(true))
+    );
+    assert_eq!(
+        send(&register("full", &csv(0..160, None))).get("ok"),
+        Some(&Json::Bool(true))
+    );
+
+    // Append rows 120..160 (values all seen before: incremental).
+    let rows: Vec<String> = (120..160)
+        .map(|r| {
+            format!(
+                r#"["v{}","v{}","v{}","v{}"]"#,
+                r % 5,
+                (r / 5) % 4,
+                (r * 7) % 3,
+                r % 2
+            )
+        })
+        .collect();
+    let append = send(&format!(
+        r#"{{"op":"append_rows","dataset":"base","rows":[{}]}}"#,
+        rows.join(",")
+    ));
+    assert_eq!(append.get("ok"), Some(&Json::Bool(true)), "{append}");
+    assert_eq!(append.get("incremental"), Some(&Json::Bool(true)));
+    assert_eq!(append.get("rows").and_then(Json::as_u64), Some(160));
+    assert!(!append
+        .get("touched_shards")
+        .and_then(Json::as_array)
+        .unwrap()
+        .is_empty());
+
+    // Every pattern answers identically on the appended dataset and the
+    // from-scratch one.
+    let query = |name: &str| {
+        format!(
+            r#"{{"op":"query","dataset":"{name}","patterns":[{}]}}"#,
+            patterns()
+        )
+    };
+    let base_results = results_of(&client.request_line(&query("base")).expect("base query"));
+    let full_results = results_of(&client.request_line(&query("full")).expect("full query"));
+    assert_eq!(base_results, full_results);
+
+    // Stats agree on |PC| (and expose the shard count).
+    let mut send2 = |line: &str| -> Json {
+        let response = client.request_line(line).expect("round-trip");
+        Json::parse(&response).unwrap()
+    };
+    let base_stats = send2(r#"{"op":"stats","dataset":"base"}"#);
+    let full_stats = send2(r#"{"op":"stats","dataset":"full"}"#);
+    assert_eq!(
+        base_stats.get("label_size").and_then(Json::as_u64),
+        full_stats.get("label_size").and_then(Json::as_u64)
+    );
+    assert!(
+        base_stats
+            .get("count_shards")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 1
+    );
+
+    // Now grow a dictionary: the rebuild path must also match a full
+    // registration that includes the new row.
+    let extra = "brand-new,v0,v0,v0\n";
+    let append =
+        send2(r#"{"op":"append_rows","dataset":"base","rows":[["brand-new","v0","v0","v0"]]}"#);
+    assert_eq!(append.get("ok"), Some(&Json::Bool(true)), "{append}");
+    assert_eq!(append.get("incremental"), Some(&Json::Bool(false)));
+    assert_eq!(
+        send2(&register("full2", &csv(0..160, Some(extra)))).get("ok"),
+        Some(&Json::Bool(true))
+    );
+    let probe = |name: &str| {
+        format!(
+            r#"{{"op":"query","dataset":"{name}","patterns":[{},{{"c0":"brand-new"}}]}}"#,
+            patterns()
+        )
+    };
+    let base_results = results_of(&client.request_line(&probe("base")).expect("base query"));
+    let full_results = results_of(&client.request_line(&probe("full2")).expect("full2 query"));
+    assert_eq!(base_results, full_results);
+
+    let bye = client.request_line(r#"{"op":"shutdown"}"#).unwrap();
+    assert_eq!(
+        Json::parse(&bye).unwrap().get("ok"),
+        Some(&Json::Bool(true))
+    );
+    assert!(child.wait().expect("netd exits").success());
+}
+
+/// Backpressure past the parked-job cap: with one worker, a one-slot
+/// queue and `max_parked: 0`, a third concurrent request is answered
+/// `{"ok":false,"error":"overloaded"}` immediately (instead of growing
+/// the reactor's parking lot), and the connection remains usable.
+#[cfg(unix)]
+#[test]
+fn reactor_overload_past_parked_cap_answers_overloaded() {
+    use pclabel_engine::query::Engine;
+
+    // Single-threaded query execution keeps the two heavy batches slow
+    // even on many-core CI machines, holding the worker + queue slot
+    // while the probe lands.
+    let dispatcher = Arc::new(Dispatcher::new(Engine::new(EngineConfig {
+        query_threads: 1,
+        parallel_batch_threshold: usize::MAX,
+    })));
+    let server = NetServer::spawn(
+        dispatcher,
+        ServerConfig {
+            model: ConnectionModel::Reactor,
+            workers: 1,
+            queue_capacity: 1,
+            max_parked: 0,
+            max_frame: 64 << 20,
+            write_timeout: Some(Duration::from_secs(30)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("spawn overload server");
+    let addr = server.local_addr();
+
+    let mut setup = NetClient::connect(addr).unwrap();
+    let ok = setup
+        .request_line(r#"{"op":"register","dataset":"census","generator":"figure2","label_attrs":["gender"]}"#)
+        .unwrap();
+    assert_eq!(Json::parse(&ok).unwrap().get("ok"), Some(&Json::Bool(true)));
+
+    // ~25k-pattern batch: hundreds of ms (release) to tens of seconds
+    // (debug) of serial dispatch each.
+    let heavy = {
+        let one = r#"{"gender":"Female","age group":"20-39"}"#;
+        format!(
+            r#"{{"op":"query","dataset":"census","patterns":[{}]}}"#,
+            vec![one; 25_000].join(",")
+        )
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let heavy = &heavy;
+            scope.spawn(move || {
+                let mut client = NetClient::connect(addr).expect("heavy client connects");
+                // The batch runs for tens of seconds in debug builds:
+                // wait for it instead of tripping the default timeout.
+                client.set_timeout(None).unwrap();
+                client.set_max_frame(64 << 20);
+                let response = client.request_line(heavy).expect("heavy round-trip");
+                assert_eq!(
+                    Json::parse(&response).expect("heavy JSON").get("ok"),
+                    Some(&Json::Bool(true))
+                );
+            });
+            // First request occupies the worker, second the queue slot.
+            std::thread::sleep(Duration::from_millis(200));
+        }
+
+        // Worker busy + queue full + nothing may park: refused, fast.
+        let mut probe = NetClient::connect(addr).expect("probe connects");
+        probe.set_timeout(Some(Duration::from_secs(5))).unwrap();
+        let refused = probe.request_line(r#"{"op":"health"}"#).expect("refusal");
+        let parsed = Json::parse(&refused).unwrap();
+        assert_eq!(parsed.get("ok"), Some(&Json::Bool(false)), "{refused}");
+        assert_eq!(
+            parsed.get("error").and_then(Json::as_str),
+            Some("overloaded")
+        );
+
+        // The refused connection was not closed: once the heavy batches
+        // drain, the same connection serves again.
+        probe.set_timeout(Some(Duration::from_secs(60))).unwrap();
+        let mut recovered = false;
+        for _ in 0..600 {
+            std::thread::sleep(Duration::from_millis(100));
+            match probe.request_line(r#"{"op":"health"}"#) {
+                Ok(response)
+                    if Json::parse(&response).unwrap().get("ok") == Some(&Json::Bool(true)) =>
+                {
+                    recovered = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        assert!(recovered, "overloaded connection must recover");
+    });
+    server.shutdown();
+}
+
 #[test]
 fn many_sequential_connections_are_served() {
     // Connections beyond the worker count are fine as long as they
