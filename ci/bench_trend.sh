@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Trends this build's bench artifacts (BENCH_net.json, BENCH_count.json)
-# against the previous successful CI run on main, failing on >30%
-# regressions via the bench_trend comparator. Gracefully skips when no
-# baseline exists yet (first runs, forks without artifact access).
+# Trends this build's bench artifacts (BENCH_net.json, BENCH_count.json,
+# BENCH_search.json) against the previous successful CI run on main,
+# failing on >30% regressions via the bench_trend comparator. Gracefully
+# skips when no baseline exists yet (first runs, forks without artifact
+# access, or an artifact — e.g. BENCH_search.json — newer than the
+# baseline run).
 set -euo pipefail
 
-artifacts=("BENCH_net.json" "BENCH_count.json")
+artifacts=("BENCH_net.json" "BENCH_count.json" "BENCH_search.json")
 trend=./target/release/bench_trend
 
 if [ ! -x "$trend" ]; then

@@ -66,14 +66,8 @@ fn bench_parallel_scan(c: &mut Criterion) {
             BenchmarkId::from_parameter(threads),
             &threads,
             |b, &threads| {
-                b.iter(|| {
-                    ev.evaluate_many(
-                        &cands,
-                        pclabel_core::error::ErrorMetric::MaxAbsolute,
-                        true,
-                        threads,
-                    )
-                })
+                let opts = SearchOptions::with_bound(50).threads(threads);
+                b.iter(|| ev.evaluate_many(&cands, &opts))
             },
         );
     }

@@ -1,6 +1,7 @@
 //! `bench_trend` — compares a benchmark artifact against the previous
-//! commit's, failing on large regressions so CI trends `BENCH_net.json`
-//! and `BENCH_count.json` instead of just archiving them.
+//! commit's, failing on large regressions so CI trends `BENCH_net.json`,
+//! `BENCH_count.json` and `BENCH_search.json` instead of just archiving
+//! them.
 //!
 //! ```text
 //! bench_trend BASELINE.json CURRENT.json [--max-regress 0.30]
@@ -16,6 +17,12 @@
 //! * `counting` (`BENCH_count.json`) — scenario rows are matched on
 //!   `(scenario, mode, threads, shards)` and fail when `build_secs` or
 //!   `merge_secs` grows by more than the threshold.
+//! * `search` (`BENCH_search.json`) — scenario rows are matched on
+//!   `(scenario, strategy, mode)` and fail when `cands_per_sec` drops by
+//!   more than the threshold. Rows whose `eval_secs` sits under the 5 ms
+//!   noise floor on either side are skipped (a fast refinement walk over
+//!   a small distinct table finishes in microseconds — pure jitter on a
+//!   shared runner).
 //!
 //! Rows present on only one side are reported and skipped (grids grow
 //! over time), and timings under 5 ms are never compared — at that scale
@@ -137,6 +144,38 @@ fn metrics_of(report: &Json) -> Result<Vec<Metric>, String> {
                                 value: v,
                             });
                         }
+                    }
+                }
+            }
+        }
+        "search" => {
+            let scenarios = report
+                .get("scenarios")
+                .and_then(Json::as_array)
+                .ok_or_else(|| "search report without \"scenarios\"".to_string())?;
+            for scenario in scenarios {
+                let name = field_text(scenario, "name");
+                let Some(rows) = scenario.get("results").and_then(Json::as_array) else {
+                    continue;
+                };
+                for row in rows {
+                    // Throughput derived from a sub-noise-floor timing
+                    // carries no signal; skip the row entirely.
+                    if row_f64(row, "eval_secs").is_none_or(|s| s < MIN_SECONDS) {
+                        continue;
+                    }
+                    let key = fmt_key(&[
+                        ("scenario", name.clone()),
+                        ("strategy", field_text(row, "strategy")),
+                        ("mode", field_text(row, "mode")),
+                    ]);
+                    if let Some(v) = row_f64(row, "cands_per_sec") {
+                        out.push(Metric {
+                            key,
+                            name: "cands_per_sec",
+                            higher_is_better: true,
+                            value: v,
+                        });
                     }
                 }
             }
@@ -310,6 +349,36 @@ mod tests {
             {"name":"large_groups","results":[
               {"mode":"sharded","threads":2,"shards":8,"build_secs":0.5,"merge_secs":0.001}]}]}"#;
         assert!(run(COUNT_BASE, current, 0.30).unwrap().is_empty());
+    }
+
+    const SEARCH_BASE: &str = r#"{"benchmark":"search","rows":60000,"scenarios":[
+        {"name":"correlated_pairs","rows":60000,"distinct":14000,"results":[
+          {"strategy":"greedy","mode":"refine","threads":1,"candidates":18,"eval_secs":0.012,"cands_per_sec":1500.0,"per_cand_ms":0.66,"search_secs":0.02,"nodes_examined":20},
+          {"strategy":"greedy","mode":"cold","threads":1,"candidates":18,"eval_secs":0.040,"cands_per_sec":450.0,"per_cand_ms":2.2,"search_secs":0.02,"nodes_examined":20},
+          {"strategy":"topdown","mode":"refine","threads":1,"candidates":15,"eval_secs":0.001,"cands_per_sec":15000.0,"per_cand_ms":0.06,"search_secs":0.05,"nodes_examined":56}]}]}"#;
+
+    #[test]
+    fn search_cands_per_sec_regression_detected() {
+        let slower = SEARCH_BASE.replace("\"cands_per_sec\":1500.0", "\"cands_per_sec\":900.0");
+        let regressions = run(SEARCH_BASE, &slower, 0.30).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].name, "cands_per_sec");
+        assert!(regressions[0].key.contains("strategy=greedy"));
+        assert!(regressions[0].key.contains("mode=refine"));
+        // Within tolerance and improvements never fail.
+        let ok = SEARCH_BASE.replace("\"cands_per_sec\":1500.0", "\"cands_per_sec\":1200.0");
+        assert!(run(SEARCH_BASE, &ok, 0.30).unwrap().is_empty());
+        let faster = SEARCH_BASE.replace("\"cands_per_sec\":1500.0", "\"cands_per_sec\":9000.0");
+        assert!(run(SEARCH_BASE, &faster, 0.30).unwrap().is_empty());
+    }
+
+    #[test]
+    fn search_sub_noise_floor_rows_are_skipped() {
+        // The topdown row's eval_secs (1 ms) sits under the 5 ms floor:
+        // even a 10x rate collapse must not fail.
+        let collapsed =
+            SEARCH_BASE.replace("\"cands_per_sec\":15000.0", "\"cands_per_sec\":1500.0");
+        assert!(run(SEARCH_BASE, &collapsed, 0.30).unwrap().is_empty());
     }
 
     #[test]

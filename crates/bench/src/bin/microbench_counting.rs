@@ -163,9 +163,15 @@ fn main() {
     // large_groups: ~domain-product/‐sized group count (up to 128k),
     // the ROADMAP's "very large group counts" case where the per-thread
     // map duplication and the cross-thread merge dominate.
-    let scenarios: [(&str, Vec<usize>); 2] = [
+    // skewed_top: the last attribute (which occupies the packed key's
+    // *top* bits) has cardinality 2, so keys crowd into the low quarter
+    // of the shard space — the regime where equal-width shard→worker
+    // ranges idled most phase-2 workers and the histogram-balanced
+    // assignment (`balanced_shard_ranges`) keeps them busy.
+    let scenarios: [(&str, Vec<usize>); 3] = [
         ("small_groups", vec![8, 6, 4]),
         ("large_groups", vec![64, 50, 40]),
+        ("skewed_top", vec![64, 50, 2]),
     ];
 
     let mut scenario_reports = Vec::new();

@@ -1,0 +1,302 @@
+//! `microbench_search` — the label-search microbenchmark, emitting one
+//! JSON report (`BENCH_search.json` in CI) to stdout.
+//!
+//! This is the first bench-trend artifact for the search layer — the
+//! actual contribution of *Patterns Count-Based Labels for Datasets*.
+//! For each scenario it runs the greedy and top-down walks twice:
+//!
+//! * `mode: "refine"` — the lattice-aware [`EvalContext`] (partition
+//!   refinement + marginal coarsening; `SearchOptions::refine(true)`,
+//!   the default);
+//! * `mode: "cold"` — the per-candidate `GroupCounts` rebuild baseline
+//!   (`SearchOptions::refine(false)`).
+//!
+//! Both modes are asserted to return identical `best_attrs` and
+//! bit-identical `best_stats` before anything is reported. Each row
+//! carries the candidate count, total candidate-evaluation time,
+//! **candidates/sec** and per-candidate milliseconds, plus the (shared)
+//! lattice-walk time, so the refinement win is visible directly in the
+//! artifact and `bench_trend` can gate regressions on `cands_per_sec`.
+//!
+//! Scenarios (1 evaluation thread, per the paper-faithful configuration):
+//!
+//! * `correlated_pairs` — six attributes built as three interleaved
+//!   [`correlated_pair`] draws (domain 8, mixing 0.2): the greedy walk
+//!   reaches depth ≥ 4 under the default bound and the distinct table
+//!   stays large (tens of thousands of rows), the regime the acceptance
+//!   criterion targets;
+//! * `functional_chain` — eight functionally dependent attributes
+//!   ([`functional_chain`], domain 4096): every subset fits the bound,
+//!   so greedy walks the full depth-8 chain and top-down floods the
+//!   lattice.
+//!
+//! ```text
+//! cargo run --release -p pclabel-bench --bin microbench_search -- \
+//!     [--json] [--min-speedup 2.0]
+//! ```
+//!
+//! `--min-speedup X` exits non-zero when any greedy scenario's
+//! refine-vs-cold candidates/sec ratio falls below `X` (used for local
+//! acceptance runs; CI trends the artifact instead, since shared-runner
+//! noise makes a hard in-run gate flaky).
+//!
+//! Environment:
+//!   PCLABEL_BENCH_SEARCH_ROWS  dataset rows (default 60_000)
+//!   PCLABEL_BENCH_REPS         timing repetitions, best-of (default 3)
+
+use pclabel_core::search::{greedy_search, top_down_search, SearchOptions, SearchOutcome};
+use pclabel_data::dataset::{Dataset, DatasetBuilder};
+use pclabel_data::generate::{correlated_pair, functional_chain};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("microbench_search: {message}");
+    eprintln!("usage: microbench_search [--json] [--min-speedup X]");
+    std::process::exit(2);
+}
+
+/// Interleaves `pairs` independent [`correlated_pair`] draws into one
+/// `2 × pairs`-attribute dataset (attributes `X0, Y0, X1, Y1, …`).
+fn correlated_pairs(pairs: usize, domain: usize, rows: usize, mixing: f64, seed: u64) -> Dataset {
+    let parts: Vec<Dataset> = (0..pairs)
+        .map(|i| {
+            correlated_pair(domain, rows, mixing, seed.wrapping_add(i as u64 * 7919))
+                .expect("valid generator config")
+        })
+        .collect();
+    let names: Vec<String> = (0..pairs)
+        .flat_map(|i| [format!("X{i}"), format!("Y{i}")])
+        .collect();
+    let labels: Vec<String> = (0..domain).map(|v| format!("v{v}")).collect();
+    let mut b = DatasetBuilder::with_domains(
+        names
+            .iter()
+            .map(|n| (n.as_str(), labels.iter().map(String::as_str))),
+    );
+    b.reserve(rows);
+    let mut row = Vec::with_capacity(pairs * 2);
+    for r in 0..rows {
+        row.clear();
+        for p in &parts {
+            row.push(p.value_raw(r, 0));
+            row.push(p.value_raw(r, 1));
+        }
+        b.push_ids(&row).expect("ids within domain");
+    }
+    b.finish().with_name("correlated_pairs")
+}
+
+struct Row {
+    strategy: &'static str,
+    mode: &'static str,
+    candidates: u64,
+    depth: usize,
+    eval_secs: f64,
+    search_secs: f64,
+    nodes: u64,
+}
+
+impl Row {
+    fn cands_per_sec(&self) -> f64 {
+        if self.eval_secs > 0.0 {
+            self.candidates as f64 / self.eval_secs
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let per_cand_ms = if self.candidates > 0 {
+            self.eval_secs * 1e3 / self.candidates as f64
+        } else {
+            0.0
+        };
+        format!(
+            concat!(
+                "{{\"strategy\":\"{strategy}\",\"mode\":\"{mode}\",\"threads\":1,",
+                "\"candidates\":{candidates},\"depth\":{depth},",
+                "\"eval_secs\":{eval:.6},\"cands_per_sec\":{cps:.2},",
+                "\"per_cand_ms\":{pcm:.4},\"search_secs\":{search:.6},",
+                "\"nodes_examined\":{nodes}}}"
+            ),
+            strategy = self.strategy,
+            mode = self.mode,
+            candidates = self.candidates,
+            depth = self.depth,
+            eval = self.eval_secs,
+            cps = self.cands_per_sec(),
+            pcm = per_cand_ms,
+            search = self.search_secs,
+            nodes = self.nodes,
+        )
+    }
+}
+
+/// Runs `search` `reps` times, keeping the outcome with the best (lowest)
+/// candidate-evaluation time.
+fn best_of(reps: usize, mut search: impl FnMut() -> SearchOutcome) -> SearchOutcome {
+    let mut best: Option<SearchOutcome> = None;
+    for _ in 0..reps.max(1) {
+        let outcome = search();
+        let keep = best
+            .as_ref()
+            .is_none_or(|b| outcome.stats.eval_time < b.stats.eval_time);
+        if keep {
+            best = Some(outcome);
+        }
+    }
+    best.expect("at least one rep")
+}
+
+fn run_modes(
+    strategy: &'static str,
+    reps: usize,
+    dataset: &Dataset,
+    opts: &SearchOptions,
+) -> (Row, Row) {
+    let run = |refine: bool| -> SearchOutcome {
+        let opts = opts.clone().refine(refine);
+        let outcome = match strategy {
+            "greedy" => greedy_search(dataset, &opts),
+            "topdown" => top_down_search(dataset, &opts),
+            other => unreachable!("unknown strategy {other}"),
+        };
+        outcome.expect("non-empty dataset")
+    };
+    let refined = best_of(reps, || run(true));
+    let cold = best_of(reps, || run(false));
+    // The two modes must agree exactly — same winner, bit-identical
+    // error statistics — before their timings are worth reporting.
+    assert_eq!(
+        refined.best_attrs, cold.best_attrs,
+        "{strategy}: refine/cold disagree on best_attrs"
+    );
+    let (rs, cs) = (
+        refined.best_stats.expect("stats"),
+        cold.best_stats.expect("stats"),
+    );
+    assert_eq!(rs, cs, "{strategy}: refine/cold best_stats diverged");
+    let row = |mode: &'static str, o: &SearchOutcome| Row {
+        strategy,
+        mode,
+        candidates: o.stats.candidates_evaluated,
+        depth: o.best_attrs.map_or(0, |s| s.len()),
+        eval_secs: o.stats.eval_time.as_secs_f64(),
+        search_secs: o.stats.search_time.as_secs_f64(),
+        nodes: o.stats.nodes_examined,
+    };
+    (row("refine", &refined), row("cold", &cold))
+}
+
+fn main() {
+    let mut min_speedup: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            // The report is always JSON; the flag exists so callers (CI)
+            // can say what they rely on.
+            "--json" => {}
+            "--min-speedup" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| usage("--min-speedup needs a value"));
+                min_speedup = Some(
+                    value
+                        .parse()
+                        .unwrap_or_else(|_| usage("--min-speedup needs a number")),
+                );
+            }
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let rows = env_usize("PCLABEL_BENCH_SEARCH_ROWS", 60_000);
+    let reps = env_usize("PCLABEL_BENCH_REPS", 3);
+
+    let scenarios: Vec<(&str, Dataset, u64)> = vec![
+        (
+            "correlated_pairs",
+            correlated_pairs(3, 8, rows, 0.2, 0xBEEF),
+            5000,
+        ),
+        (
+            "functional_chain",
+            functional_chain(8, 4096, rows, 0xFEED).expect("valid generator config"),
+            4096,
+        ),
+    ];
+
+    let mut gate_failed = false;
+    let mut scenario_reports = Vec::new();
+    for (name, dataset, bound) in &scenarios {
+        let distinct = dataset.compress().0.n_rows();
+        eprintln!(
+            "microbench_search: {name} ({} rows, {} distinct, bound {bound})…",
+            dataset.n_rows(),
+            distinct
+        );
+        let opts = SearchOptions::with_bound(*bound)
+            .threads(1)
+            .count_threads(1);
+        let mut rows_json = Vec::new();
+        for strategy in ["greedy", "topdown"] {
+            let (refined, cold) = run_modes(strategy, reps, dataset, &opts);
+            let speedup = if cold.cands_per_sec() > 0.0 {
+                refined.cands_per_sec() / cold.cands_per_sec()
+            } else {
+                1.0
+            };
+            eprintln!(
+                "microbench_search: {name}/{strategy}: {:.0} cands/s refined vs {:.0} cold \
+                 ({speedup:.2}x, depth {}, {} candidates)",
+                refined.cands_per_sec(),
+                cold.cands_per_sec(),
+                refined.depth,
+                refined.candidates,
+            );
+            if let Some(min) = min_speedup {
+                if strategy == "greedy" && speedup < min {
+                    eprintln!(
+                        "microbench_search: FAIL {name}/{strategy} speedup {speedup:.2} < {min}"
+                    );
+                    gate_failed = true;
+                }
+            }
+            rows_json.push(refined.to_json());
+            rows_json.push(cold.to_json());
+        }
+        scenario_reports.push(format!(
+            concat!(
+                "{{\"name\":\"{name}\",\"rows\":{rows},\"distinct\":{distinct},",
+                "\"attrs\":{attrs},\"bound\":{bound},\"results\":[{results}]}}"
+            ),
+            name = name,
+            rows = dataset.n_rows(),
+            distinct = distinct,
+            attrs = dataset.n_attrs(),
+            bound = bound,
+            results = rows_json.join(","),
+        ));
+    }
+
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        concat!(
+            "{{\"benchmark\":\"search\",\"rows\":{rows},\"reps\":{reps},",
+            "\"hardware_threads\":{hw},\"scenarios\":[{scenarios}]}}"
+        ),
+        rows = rows,
+        reps = reps,
+        hw = hw,
+        scenarios = scenario_reports.join(","),
+    );
+    if gate_failed {
+        std::process::exit(1);
+    }
+}

@@ -216,6 +216,42 @@ pub fn auto_shards(threads: usize) -> usize {
     }
 }
 
+/// Splits `0..counts.len()` shards into `workers` contiguous ranges of
+/// near-equal total row count (from the phase-1 histogram), so phase-2
+/// ownership tracks *rows*, not shard indices. A skewed top attribute —
+/// a low-cardinality attribute occupying the packed key's high bits —
+/// crowds all rows into a prefix of the shard space; equal-width ranges
+/// would hand everything to the first worker(s) and idle the rest.
+///
+/// Boundary `w` is placed at the first shard where the cumulative count
+/// reaches `total · (w + 1) / workers`, so ranges are contiguous,
+/// disjoint and cover every shard; trailing ranges may be empty. The
+/// assignment only moves work between threads — the shard a key lands in
+/// (and therefore the built maps) is unchanged.
+pub fn balanced_shard_ranges(counts: &[u64], workers: usize) -> Vec<Range<usize>> {
+    let n = counts.len();
+    let workers = workers.max(1);
+    let total: u64 = counts.iter().sum();
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for w in 0..workers {
+        if w + 1 == workers {
+            out.push(start..n);
+            break;
+        }
+        let goal = total * (w as u64 + 1) / workers as u64;
+        let mut end = start;
+        while end < n && acc < goal {
+            acc += counts[end];
+            end += 1;
+        }
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
 /// Shard of a packed key: its top `shard_bits` bits (of the codec's
 /// `total_bits`-wide key space), so each shard is a contiguous key range.
 #[inline]
@@ -493,14 +529,18 @@ impl GroupCounts {
     /// The radix-partitioned parallel build, instrumented.
     ///
     /// Phase 1 computes every row's shard id into a flat one-byte-per-row
-    /// side buffer, in parallel over row chunks. Phase 2 assigns each
-    /// worker a *disjoint contiguous range of shards*; every worker scans
-    /// the side buffer, re-encodes only the rows whose shard it owns and
-    /// writes the final per-shard maps directly. Phase 3 concatenates the
-    /// workers' shard lists — there is no cross-thread key merge, and no
-    /// group is ever held in more than one map, which is where the peak-
-    /// memory win over [`reference::build_merged`] comes from (that
-    /// strategy duplicates hot groups once per thread and merges).
+    /// side buffer, in parallel over row chunks, and sums a per-shard row
+    /// histogram on the way. Phase 2 assigns each worker a *disjoint
+    /// contiguous range of shards* sized by that histogram
+    /// ([`balanced_shard_ranges`]) — so a skewed top attribute whose keys
+    /// crowd into a few shards no longer idles most workers the way
+    /// equal-width ranges did. Every worker scans the side buffer,
+    /// re-encodes only the rows whose shard it owns and writes the final
+    /// per-shard maps directly. Phase 3 concatenates the workers' shard
+    /// lists — there is no cross-thread key merge, and no group is ever
+    /// held in more than one map, which is where the peak-memory win over
+    /// [`reference::build_merged`] comes from (that strategy duplicates
+    /// hot groups once per thread and merges).
     pub fn build_parallel_profiled(
         dataset: &Dataset,
         weights: Option<&[u64]>,
@@ -526,36 +566,57 @@ impl GroupCounts {
         let chunk = n.div_ceil(threads);
         let arity = codec.attrs().len();
         let workers = threads.min(n_shards);
-        let shards_per = n_shards.div_ceil(workers);
         let total_bits = codec.total_bits();
         let packed = codec.fits_u64();
 
-        // Phase 1: one shard-id byte per row (MAX_SHARDS = 256 fits u8).
-        // Keys are cheap enough to encode twice; a u64 key buffer would
-        // be 8× the transient memory and eat the peak-memory win.
+        // Phase 1: one shard-id byte per row (MAX_SHARDS = 256 fits u8),
+        // plus a per-shard row histogram so phase 2 can split shard
+        // ownership by measured rows instead of equal-width ranges. Keys
+        // are cheap enough to encode twice; a u64 key buffer would be 8×
+        // the transient memory and eat the peak-memory win.
         let t0 = Instant::now();
         let mut ids = vec![0u8; n];
-        std::thread::scope(|scope| {
-            for (i, slice) in ids.chunks_mut(chunk).enumerate() {
-                let codec = &codec;
-                let start = i * chunk;
-                scope.spawn(move || {
-                    for (j, slot) in slice.iter_mut().enumerate() {
-                        let r = start + j;
-                        let s = if packed {
-                            packed_shard(codec.encode_row_u64(dataset, r), total_bits, shard_bits)
-                        } else {
-                            wide_shard(
-                                arity,
-                                codec.attrs().iter().map(|&a| dataset.value_raw(r, a)),
-                                shard_bits,
-                            )
-                        };
-                        *slot = s as u8;
-                    }
-                });
+        let histogram: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ids
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(i, slice)| {
+                    let codec = &codec;
+                    let start = i * chunk;
+                    scope.spawn(move || {
+                        let mut hist = vec![0u64; n_shards];
+                        for (j, slot) in slice.iter_mut().enumerate() {
+                            let r = start + j;
+                            let s = if packed {
+                                packed_shard(
+                                    codec.encode_row_u64(dataset, r),
+                                    total_bits,
+                                    shard_bits,
+                                )
+                            } else {
+                                wide_shard(
+                                    arity,
+                                    codec.attrs().iter().map(|&a| dataset.value_raw(r, a)),
+                                    shard_bits,
+                                )
+                            };
+                            *slot = s as u8;
+                            hist[s] += 1;
+                        }
+                        hist
+                    })
+                })
+                .collect();
+            let mut total = vec![0u64; n_shards];
+            for h in handles {
+                let part = h.join().expect("partition worker panicked");
+                for (t, v) in total.iter_mut().zip(part) {
+                    *t += v;
+                }
             }
+            total
         });
+        let ranges = balanced_shard_ranges(&histogram, workers);
         let partition_secs = t0.elapsed().as_secs_f64();
 
         // Phase 2: disjoint shard ownership; workers re-encode the rows
@@ -568,10 +629,10 @@ impl GroupCounts {
             let parts: ShardParts<u64> = std::thread::scope(|scope| {
                 let ids = &ids;
                 let codec = &codec;
-                let handles: Vec<_> = (0..workers)
-                    .map(|t| {
-                        let lo = t * shards_per;
-                        let hi = ((t + 1) * shards_per).min(n_shards);
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .map(|range| {
+                        let (lo, hi) = (range.start, range.end);
                         scope.spawn(move || {
                             let mut maps: Vec<FxHashMap<u64, u64>> =
                                 (lo..hi).map(|_| FxHashMap::default()).collect();
@@ -633,10 +694,10 @@ impl GroupCounts {
             let parts: ShardParts<Box<[u32]>> = std::thread::scope(|scope| {
                 let ids = &ids;
                 let codec = &codec;
-                let handles: Vec<_> = (0..workers)
-                    .map(|t| {
-                        let lo = t * shards_per;
-                        let hi = ((t + 1) * shards_per).min(n_shards);
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .map(|range| {
+                        let (lo, hi) = (range.start, range.end);
                         scope.spawn(move || {
                             let mut maps: Vec<FxHashMap<Box<[u32]>, u64>> =
                                 (lo..hi).map(|_| FxHashMap::default()).collect();
@@ -1654,6 +1715,86 @@ mod tests {
         b.push_row(&["y", "1"]).unwrap();
         let grown = b.finish();
         assert!(!g.codec_compatible(&grown));
+    }
+
+    /// Ranges must tile `0..counts.len()` exactly, in order.
+    fn assert_tiling(ranges: &[Range<usize>], n: usize, workers: usize) {
+        assert_eq!(ranges.len(), workers);
+        let mut cursor = 0usize;
+        for r in ranges {
+            assert_eq!(r.start, cursor);
+            assert!(r.end >= r.start);
+            cursor = r.end;
+        }
+        assert_eq!(cursor, n);
+    }
+
+    #[test]
+    fn balanced_ranges_split_uniform_counts_evenly() {
+        let counts = vec![10u64; 8];
+        let ranges = balanced_shard_ranges(&counts, 4);
+        assert_tiling(&ranges, 8, 4);
+        for r in &ranges {
+            assert_eq!(r.len(), 2);
+        }
+    }
+
+    #[test]
+    fn balanced_ranges_follow_skew() {
+        // All rows crowd the first two shards (a low-cardinality top
+        // attribute): equal-width ranges would idle workers 2 and 3; the
+        // size-aware split gives each heavy shard its own worker.
+        let counts = [500u64, 500, 0, 0, 0, 0, 0, 0];
+        let ranges = balanced_shard_ranges(&counts, 4);
+        assert_tiling(&ranges, 8, 4);
+        let loads: Vec<u64> = ranges
+            .iter()
+            .map(|r| counts[r.clone()].iter().sum())
+            .collect();
+        // No worker may own both heavy shards (equal-width ranges gave
+        // worker 0 the full 1000); the maximum load is the optimum 500.
+        assert_eq!(loads.iter().max(), Some(&500));
+        assert_eq!(loads.iter().filter(|&&l| l == 500).count(), 2);
+    }
+
+    #[test]
+    fn balanced_ranges_edge_cases() {
+        // Zero rows: everything collapses into (empty) ranges + the tail.
+        let ranges = balanced_shard_ranges(&[0u64; 4], 3);
+        assert_tiling(&ranges, 4, 3);
+        // One worker takes it all.
+        let ranges = balanced_shard_ranges(&[3, 1, 4], 1);
+        assert_eq!(ranges, vec![0..3]);
+        // More workers than shards still tiles.
+        let ranges = balanced_shard_ranges(&[7, 9], 5);
+        assert_tiling(&ranges, 2, 5);
+        let total: u64 = ranges
+            .iter()
+            .flat_map(|r| [7u64, 9][r.clone()].iter())
+            .sum();
+        assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn skewed_top_attribute_builds_identically() {
+        // Last attribute (top key bits) has cardinality 1: every key
+        // lands in the low shards. The balanced assignment must not
+        // change the result vs serial.
+        let mut b = DatasetBuilder::new(["wide", "narrow"]);
+        for r in 0..4000 {
+            b.push_row(&[format!("v{}", r % 512), "only".to_string()])
+                .unwrap();
+        }
+        let d = b.finish();
+        let attrs = AttrSet::from_indices([0, 1]);
+        let serial = GroupCounts::build(&d, None, attrs);
+        for threads in [2usize, 4, 8] {
+            for shards in [8usize, 64, 256] {
+                let parallel =
+                    GroupCounts::build_parallel_sharded(&d, None, attrs, threads, shards);
+                assert_same_groups(&serial, &parallel);
+            }
+        }
     }
 
     #[test]

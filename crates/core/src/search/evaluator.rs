@@ -13,17 +13,61 @@
 //!   underestimate can beat it — and overestimates of rare patterns are
 //!   bounded by their (already seen) projections in practice. The exact
 //!   full scan is available for verification and for mean/q metrics.
+//!
+//! ## Two evaluation paths
+//!
+//! The `S`-dependent part — the group counts the estimates are read from
+//! — has two implementations that produce **bit-identical** [`ErrorStats`]
+//! (pinned by the property tests):
+//!
+//! * **Cold build** ([`Evaluator::error_of`]): a full hash group-by
+//!   ([`GroupCounts::build_parallel_sharded`]) per candidate, with
+//!   marginals for partially-defined patterns rebuilt per call. Every
+//!   candidate is independent — this is the correctness oracle, and the
+//!   right path for one-off evaluations of a single subset.
+//! * **Lattice-aware refinement** ([`EvalContext::error_of`]): the search
+//!   strategies walk a lattice where neighboring candidates differ by one
+//!   attribute, so the context keeps a bounded memo of
+//!   [`Partition`](super::refine::Partition)s (row→group-id vectors over
+//!   the distinct table plus pattern rows) keyed by [`AttrSet`]. A
+//!   candidate is priced by the cheapest lattice move available:
+//!
+//!   1. an exact memo hit costs nothing;
+//!   2. a memoized **finer** partition (`S ⊂ F`) is *coarsened* in one
+//!      O(rows) id-mapping pass (plus O(groups · |S|) representative
+//!      grouping) — this also serves the marginal lookups of partially
+//!      defined patterns, generalizing the old per-call `build_marginal`;
+//!   3. otherwise the largest memoized **coarser** partition (`T ⊂ S`)
+//!      is *refined* one attribute at a time, each pass O(rows) with a
+//!      dense (hash-free) remap whenever the composite group×value space
+//!      is small — exactly greedy's forward chain and top-down's
+//!      parent→child expansion;
+//!   4. with an empty memo the chain starts from the unit partition.
+//!
+//!   Full-`S` pattern lookups become two array reads (`weights[ids[r]]`)
+//!   instead of a key pack + hash probe. The memo is bounded
+//!   ([`SearchOptions::refine_memo`], least-recently-used eviction), so
+//!   resident memory is at most `memo × (4·U + 12·G)` bytes for a
+//!   `U`-row universe with `G`-group partitions.
+//!
+//! [`Evaluator::evaluate_many`] keeps its thread-scoped parallelism: each
+//! worker owns a private `EvalContext` (partitions branch copy-on-derive
+//! from the shared immutable evaluator, never across threads), so results
+//! are identical to sequential evaluation.
 
+use std::rc::Rc;
 use std::sync::Arc;
 
 use pclabel_data::dataset::{Dataset, MISSING};
 
 use crate::attrset::AttrSet;
 use crate::counting::GroupCounts;
-use crate::error::{ErrorAccumulator, ErrorMetric, ErrorStats};
+use crate::error::{ErrorAccumulator, ErrorStats};
 use crate::hash::FxHashMap;
 use crate::label::ValueCounts;
 use crate::patterns::{MaterializedPatterns, PatternSet};
+use crate::search::refine::Partition;
+use crate::search::SearchOptions;
 
 /// Reusable evaluation context for one `(dataset, pattern set)` pair.
 pub struct Evaluator {
@@ -33,6 +77,9 @@ pub struct Evaluator {
     distinct: Dataset,
     dweights: Vec<u64>,
     eval: MaterializedPatterns,
+    /// Pattern rows *are* the distinct rows (the `P_A` default): the
+    /// refinement universe needs no passive pattern suffix.
+    patterns_shared: bool,
     /// Pattern indices sorted by true count, descending.
     order: Vec<u32>,
     /// Row-major `[pattern * n_attrs + attr]` VC fractions; 1.0 for cells a
@@ -52,6 +99,9 @@ impl Evaluator {
         let vc = Arc::new(ValueCounts::compute(dataset, None));
         let (distinct, dweights) = dataset.compress();
         let eval = patterns.materialize(dataset);
+        // `PatternSet::AllTuples` materializes as `dataset.compress()`,
+        // which is deterministic: its rows coincide with `distinct`.
+        let patterns_shared = matches!(patterns, PatternSet::AllTuples);
         let n_attrs = dataset.n_attrs();
         let n = eval.len();
 
@@ -76,6 +126,7 @@ impl Evaluator {
             distinct,
             dweights,
             eval,
+            patterns_shared,
             order,
             fracs,
             defined,
@@ -87,6 +138,8 @@ impl Evaluator {
     /// Opts candidate error scans into parallel group counting
     /// ([`GroupCounts::build_parallel`]) with the given worker count.
     /// Counts are identical to the serial build; only wall-clock changes.
+    /// (Only the cold path counts with threads; the refinement path's
+    /// passes are serial and per-context.)
     #[must_use]
     pub fn with_count_threads(mut self, threads: usize) -> Self {
         self.count_threads = threads.max(1);
@@ -128,7 +181,23 @@ impl Evaluator {
         (&self.distinct, &self.dweights)
     }
 
-    /// Computes `Err(L_S(D), P)` statistics for the subset `attrs`.
+    /// A lattice-aware evaluation context with default tuning (refinement
+    /// on, default memo bound). See [`EvalContext`].
+    pub fn context(&self) -> EvalContext<'_> {
+        EvalContext::new(self, true, DEFAULT_REFINE_MEMO, self.count_threads)
+    }
+
+    /// An evaluation context tuned by `opts`
+    /// ([`SearchOptions::refine`] / [`SearchOptions::refine_memo`]); with
+    /// refinement disabled every call falls through to the cold
+    /// [`Evaluator::error_of`] oracle.
+    pub fn context_for(&self, opts: &SearchOptions) -> EvalContext<'_> {
+        EvalContext::new(self, opts.refine, opts.refine_memo, self.count_threads)
+    }
+
+    /// Computes `Err(L_S(D), P)` statistics for the subset `attrs` with a
+    /// **cold** hash group-by — the correctness oracle the refinement
+    /// path ([`EvalContext::error_of`]) is pinned bit-identical to.
     ///
     /// With `early_exit` (the paper's §IV-C optimization, sound for the
     /// max-absolute objective) the scan stops as soon as the next pattern's
@@ -202,6 +271,15 @@ impl Evaluator {
             let key: Box<[u32]> = k.iter().map(|a| self.eval.table.value_raw(r, a)).collect();
             marginal.get(&key).copied().unwrap_or(0)
         };
+        self.apply_fracs(r, sbits, defined, base)
+    }
+
+    /// The estimate's independence tail: `base · Π VC-fractions` over the
+    /// defined attributes outside `S`. Shared by the cold and refinement
+    /// paths so identical `base` counts yield identical `f64` estimates
+    /// (same multiplications, same order).
+    #[inline]
+    fn apply_fracs(&self, r: usize, sbits: u64, defined: u64, base: u64) -> f64 {
         if base == 0 {
             return 0.0;
         }
@@ -214,40 +292,266 @@ impl Evaluator {
         est
     }
 
-    /// Evaluates many candidate subsets, returning the chosen metric for
-    /// each. With `threads > 1` candidates are processed in parallel via
-    /// `std::thread::scope` (results are identical to sequential).
-    pub fn evaluate_many(
-        &self,
-        cands: &[AttrSet],
-        metric: ErrorMetric,
-        early_exit: bool,
-        threads: usize,
-    ) -> Vec<f64> {
-        let early = early_exit && metric.supports_early_exit();
+    // --- refinement-universe plumbing (see `search::refine`) -----------
+
+    /// Rows of the refinement universe: the distinct table, plus the
+    /// pattern rows as a passive suffix when they are not the distinct
+    /// rows themselves.
+    fn universe_len(&self) -> usize {
+        if self.patterns_shared {
+            self.distinct.n_rows()
+        } else {
+            self.distinct.n_rows() + self.eval.len()
+        }
+    }
+
+    /// Universe row of pattern `r`.
+    #[inline]
+    fn pattern_row(&self, r: usize) -> usize {
+        if self.patterns_shared {
+            r
+        } else {
+            self.distinct.n_rows() + r
+        }
+    }
+
+    /// Raw value of universe row `row` at `attr`.
+    fn universe_value(&self, row: u32, attr: usize) -> u32 {
+        let row = row as usize;
+        let n_data = self.distinct.n_rows();
+        if row < n_data {
+            self.distinct.value_raw(row, attr)
+        } else {
+            self.eval.table.value_raw(row - n_data, attr)
+        }
+    }
+
+    /// The unit partition of the universe (empty attribute subset).
+    fn unit_partition(&self) -> Partition {
+        Partition::unit(self.universe_len(), self.n_rows)
+    }
+
+    /// Refines `part` by one attribute's column(s).
+    fn refine_partition(&self, part: &Partition, attr: usize) -> Partition {
+        let card = self
+            .distinct
+            .schema()
+            .attr(attr)
+            .map_or(0, |at| at.cardinality()) as u32;
+        let pattern_col: &[u32] = if self.patterns_shared {
+            &[]
+        } else {
+            self.eval.table.column(attr)
+        };
+        part.refine(
+            self.distinct.column(attr),
+            pattern_col,
+            card,
+            &self.dweights,
+        )
+    }
+
+    /// Evaluates many candidate subsets, returning `opts.metric` for
+    /// each. With `opts.threads > 1` candidates are processed in parallel
+    /// via `std::thread::scope`; every worker owns a private
+    /// [`EvalContext`], so results are identical to sequential.
+    pub fn evaluate_many(&self, cands: &[AttrSet], opts: &SearchOptions) -> Vec<f64> {
+        let metric = opts.metric;
+        let early = opts.early_exit && metric.supports_early_exit();
+        let threads = opts.threads.max(1);
         if threads <= 1 || cands.len() < 2 {
+            let mut ctx = self.context_for(opts);
             return cands
                 .iter()
-                .map(|&s| metric.of(&self.error_of(s, early)))
+                .map(|&s| metric.of(&ctx.error_of(s, early)))
                 .collect();
         }
         let threads = threads.min(cands.len());
         // Candidate workers and per-candidate counting threads multiply;
-        // divide the counting budget across the active workers so the
-        // total stays at roughly `threads × count_threads / threads`.
+        // divide the cold path's counting budget across the active
+        // workers so the total stays at roughly `count_threads`.
         let count_threads = (self.count_threads / threads).max(1);
         let mut out = vec![0.0f64; cands.len()];
         let chunk = cands.len().div_ceil(threads);
         std::thread::scope(|scope| {
             for (slot, work) in out.chunks_mut(chunk).zip(cands.chunks(chunk)) {
                 scope.spawn(move || {
+                    let mut ctx =
+                        EvalContext::new(self, opts.refine, opts.refine_memo, count_threads);
                     for (o, &s) in slot.iter_mut().zip(work) {
-                        *o = metric.of(&self.error_of_with(s, early, count_threads));
+                        *o = metric.of(&ctx.error_of(s, early));
                     }
                 });
             }
         });
         out
+    }
+}
+
+/// Default bound on memoized partitions per [`EvalContext`].
+pub const DEFAULT_REFINE_MEMO: usize = 16;
+
+struct MemoEntry {
+    attrs: AttrSet,
+    part: Rc<Partition>,
+    stamp: u64,
+}
+
+/// A lattice-aware candidate evaluator: prices `Err(L_S(D), P)` for a
+/// *stream* of related subsets by partition refinement and marginal
+/// coarsening over a bounded memo, instead of one cold hash group-by per
+/// candidate (see the module docs for the derivation rules). Create one
+/// per search walk (or per worker thread) via [`Evaluator::context`] /
+/// [`Evaluator::context_for`]; results are bit-identical to
+/// [`Evaluator::error_of`].
+pub struct EvalContext<'a> {
+    ev: &'a Evaluator,
+    /// `false` routes every call to the cold oracle (the
+    /// `SearchOptions::refine(false)` ablation).
+    refine: bool,
+    memo_cap: usize,
+    memo: Vec<MemoEntry>,
+    stamp: u64,
+    /// Counting-thread budget for cold-path calls.
+    count_threads: usize,
+}
+
+impl<'a> EvalContext<'a> {
+    fn new(ev: &'a Evaluator, refine: bool, memo_cap: usize, count_threads: usize) -> Self {
+        EvalContext {
+            ev,
+            refine,
+            memo_cap: memo_cap.max(2),
+            memo: Vec::new(),
+            stamp: 0,
+            count_threads,
+        }
+    }
+
+    /// Computes `Err(L_S(D), P)` for `attrs` — bit-identical to the cold
+    /// [`Evaluator::error_of`], but amortized across the candidates this
+    /// context has already seen.
+    pub fn error_of(&mut self, attrs: AttrSet, early_exit: bool) -> ErrorStats {
+        if !self.refine {
+            return self.ev.error_of_with(attrs, early_exit, self.count_threads);
+        }
+        let ev = self.ev;
+        let part = self.partition(attrs);
+        let sbits = attrs.bits();
+        let mut acc = ErrorAccumulator::new();
+        let mut exited = false;
+        for &r32 in &ev.order {
+            let r = r32 as usize;
+            let actual = ev.eval.counts[r];
+            if early_exit && (actual as f64) < acc.max_abs() {
+                exited = true;
+                break;
+            }
+            let defined = ev.defined[r];
+            let k_bits = sbits & defined;
+            let base = if k_bits == 0 {
+                // p|S is the empty pattern (including the S = ∅ label).
+                ev.n_rows
+            } else if k_bits == sbits {
+                // p defines all of S: two array reads.
+                part.weight_of_row(ev.pattern_row(r))
+            } else {
+                // p defines only part of S: the K-marginal *is* the
+                // K-partition — memoized, so it is shared across the scan
+                // and across sibling candidates.
+                let partk = self.partition(AttrSet::from_bits(k_bits));
+                partk.weight_of_row(ev.pattern_row(r))
+            };
+            acc.push(actual, ev.apply_fracs(r, sbits, defined, base));
+        }
+        acc.finish(exited)
+    }
+
+    /// Number of partitions currently memoized (diagnostics).
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Returns the partition for `attrs`, deriving it by the cheapest
+    /// available lattice move (see the module docs) and memoizing the
+    /// result (and any intermediate refinements) under the LRU bound.
+    fn partition(&mut self, attrs: AttrSet) -> Rc<Partition> {
+        self.stamp += 1;
+        if attrs.is_empty() {
+            return Rc::new(self.ev.unit_partition());
+        }
+        if let Some(i) = self.memo.iter().position(|e| e.attrs == attrs) {
+            self.memo[i].stamp = self.stamp;
+            return Rc::clone(&self.memo[i].part);
+        }
+        // Plan: coarsen from the finest-grained strict superset (one
+        // O(rows) pass) if any is memoized; otherwise refine up from the
+        // largest memoized subset (|missing| passes), seeding from the
+        // unit partition when the memo has nothing below `attrs`.
+        let mut finer: Option<usize> = None;
+        let mut coarser: Option<usize> = None;
+        for (i, e) in self.memo.iter().enumerate() {
+            if attrs.is_strict_subset_of(e.attrs) {
+                let better = finer.is_none_or(|j: usize| {
+                    self.memo[i].part.n_groups() < self.memo[j].part.n_groups()
+                });
+                if better {
+                    finer = Some(i);
+                }
+            } else if e.attrs.is_strict_subset_of(attrs) {
+                let better =
+                    coarser.is_none_or(|j: usize| e.attrs.len() > self.memo[j].attrs.len());
+                if better {
+                    coarser = Some(i);
+                }
+            }
+        }
+        let ev = self.ev;
+        let part = if let Some(i) = finer {
+            let fine = Rc::clone(&self.memo[i].part);
+            Rc::new(fine.coarsen(&attrs.to_vec(), &|row, a| ev.universe_value(row, a)))
+        } else {
+            let (mut cur, mut built) = match coarser {
+                Some(i) => (Rc::clone(&self.memo[i].part), self.memo[i].attrs),
+                None => (Rc::new(ev.unit_partition()), AttrSet::EMPTY),
+            };
+            for a in attrs.difference(built).iter() {
+                cur = Rc::new(ev.refine_partition(&cur, a));
+                built = built.insert(a);
+                if built != attrs {
+                    // Memoize intermediate chain links: siblings in the
+                    // walk will branch from them.
+                    self.insert(built, Rc::clone(&cur));
+                }
+            }
+            cur
+        };
+        self.insert(attrs, Rc::clone(&part));
+        part
+    }
+
+    fn insert(&mut self, attrs: AttrSet, part: Rc<Partition>) {
+        if let Some(e) = self.memo.iter_mut().find(|e| e.attrs == attrs) {
+            e.part = part;
+            e.stamp = self.stamp;
+            return;
+        }
+        if self.memo.len() >= self.memo_cap {
+            if let Some(oldest) = self
+                .memo
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+            {
+                self.memo.swap_remove(oldest);
+            }
+        }
+        self.memo.push(MemoEntry {
+            attrs,
+            part,
+            stamp: self.stamp,
+        });
     }
 }
 
@@ -315,6 +619,76 @@ mod tests {
     }
 
     #[test]
+    fn context_is_bit_identical_to_cold_build() {
+        let d = figure2_sample();
+        let ev = Evaluator::new(&d, &PatternSet::AllTuples);
+        let mut ctx = ev.context();
+        for early in [false, true] {
+            for attrs in [
+                AttrSet::EMPTY,
+                AttrSet::from_indices([0]),
+                AttrSet::from_indices([1, 3]),
+                AttrSet::from_indices([0, 1, 2]),
+                AttrSet::full(4),
+            ] {
+                let cold = ev.error_of(attrs, early);
+                let warm = ctx.error_of(attrs, early);
+                assert_eq!(cold, warm, "attrs {attrs} early {early}");
+            }
+        }
+    }
+
+    #[test]
+    fn context_reuses_partitions_across_a_greedy_chain() {
+        let d = correlated_pair(6, 3000, 0.4, 11).unwrap();
+        let ev = Evaluator::new(&d, &PatternSet::AllTuples);
+        let mut ctx = ev.context();
+        // A forward chain with sibling branches, like greedy's walk.
+        for attrs in [
+            AttrSet::from_indices([0]),
+            AttrSet::from_indices([1]),
+            AttrSet::from_indices([0, 1]),
+        ] {
+            assert_eq!(ctx.error_of(attrs, true), ev.error_of(attrs, true));
+        }
+        assert!(ctx.memo_len() >= 2);
+    }
+
+    #[test]
+    fn context_memo_respects_cap() {
+        let d = figure2_sample();
+        let ev = Evaluator::new(&d, &PatternSet::AllTuples);
+        let opts = SearchOptions::with_bound(10).refine_memo(2);
+        let mut ctx = ev.context_for(&opts);
+        for attrs in [
+            AttrSet::from_indices([0]),
+            AttrSet::from_indices([1]),
+            AttrSet::from_indices([2]),
+            AttrSet::from_indices([0, 1]),
+            AttrSet::from_indices([2, 3]),
+        ] {
+            let _ = ctx.error_of(attrs, false);
+            assert!(ctx.memo_len() <= 2, "memo grew past its cap");
+        }
+        // Still correct after heavy eviction.
+        assert_eq!(
+            ctx.error_of(AttrSet::from_indices([0, 1]), false),
+            ev.error_of(AttrSet::from_indices([0, 1]), false)
+        );
+    }
+
+    #[test]
+    fn context_with_refinement_disabled_is_the_oracle() {
+        let d = figure2_sample();
+        let ev = Evaluator::new(&d, &PatternSet::AllTuples);
+        let opts = SearchOptions::with_bound(10).refine(false);
+        let mut ctx = ev.context_for(&opts);
+        let attrs = AttrSet::from_indices([1, 3]);
+        assert_eq!(ctx.error_of(attrs, true), ev.error_of(attrs, true));
+        assert_eq!(ctx.memo_len(), 0);
+    }
+
+    #[test]
     fn full_attr_label_has_zero_error() {
         let d = figure2_sample();
         let ev = Evaluator::new(&d, &PatternSet::AllTuples);
@@ -327,6 +701,7 @@ mod tests {
     fn early_exit_agrees_on_max_error() {
         let d = correlated_pair(8, 5000, 0.4, 17).unwrap();
         let ev = Evaluator::new(&d, &PatternSet::AllTuples);
+        let mut ctx = ev.context();
         for attrs in [
             AttrSet::EMPTY,
             AttrSet::from_indices([0]),
@@ -335,13 +710,14 @@ mod tests {
             let exact = ev.error_of(attrs, false);
             let fast = ev.error_of(attrs, true);
             assert_eq!(exact.max_abs, fast.max_abs, "attrs {attrs}");
+            assert_eq!(ctx.error_of(attrs, true).max_abs, fast.max_abs);
         }
     }
 
     #[test]
     fn over_attrs_pattern_set_evaluation() {
         // Patterns over {age, marital}; label over {gender, age}: the
-        // marginal path (K = {age} ⊊ S) is exercised.
+        // marginal path (K = {age} ⊊ S) is exercised, on both paths.
         let d = figure2_sample();
         let ps = PatternSet::OverAttrs(AttrSet::from_indices([1, 3]));
         let ev = Evaluator::new(&d, &ps);
@@ -350,6 +726,7 @@ mod tests {
         let slow = brute_stats(&d, attrs, &ps);
         assert!((fast.max_abs - slow.max_abs).abs() < 1e-9);
         assert!((fast.mean_abs - slow.mean_abs).abs() < 1e-9);
+        assert_eq!(ev.context().error_of(attrs, false), fast);
     }
 
     #[test]
@@ -364,6 +741,7 @@ mod tests {
         let slow = brute_stats(&d, attrs, &ps);
         assert!((fast.max_abs - slow.max_abs).abs() < 1e-9);
         assert_eq!(fast.n, 2);
+        assert_eq!(ev.context().error_of(attrs, false), fast);
     }
 
     #[test]
@@ -376,9 +754,12 @@ mod tests {
             AttrSet::from_indices([1]),
             AttrSet::from_indices([0, 1]),
         ];
-        let seq = ev.evaluate_many(&cands, ErrorMetric::MaxAbsolute, false, 1);
-        let par = ev.evaluate_many(&cands, ErrorMetric::MaxAbsolute, false, 4);
+        let opts = SearchOptions::with_bound(100).early_exit(false);
+        let seq = ev.evaluate_many(&cands, &opts);
+        let par = ev.evaluate_many(&cands, &opts.clone().threads(4));
         assert_eq!(seq, par);
+        let cold = ev.evaluate_many(&cands, &opts.clone().refine(false).threads(4));
+        assert_eq!(seq, cold);
         // Full label has zero error; empty label the largest.
         assert_eq!(seq[3], 0.0);
         assert!(seq[0] >= seq[3]);

@@ -48,10 +48,14 @@ pub fn greedy_search(dataset: &Dataset, opts: &SearchOptions) -> Result<SearchOu
     let dweights: Vec<u64> = dweights.to_vec();
     let early = opts.early_exit && opts.metric.supports_early_exit();
 
+    // One lattice-aware context for the whole walk: each candidate
+    // S ∪ {a} is one refinement pass away from the memoized partition of
+    // the current prefix S (see the evaluator module docs).
+    let mut ctx = evaluator.context_for(opts);
     let mut stats = SearchStats::default();
     let mut current = AttrSet::EMPTY;
     let mut visited: Vec<(AttrSet, f64)> =
-        vec![(current, opts.metric.of(&evaluator.error_of(current, early)))];
+        vec![(current, opts.metric.of(&ctx.error_of(current, early)))];
 
     loop {
         let mut best_step: Option<(AttrSet, f64)> = None;
@@ -65,7 +69,7 @@ pub fn greedy_search(dataset: &Dataset, opts: &SearchOptions) -> Result<SearchOu
                 continue;
             }
             let eval_start = Instant::now();
-            let err = opts.metric.of(&evaluator.error_of(candidate, early));
+            let err = opts.metric.of(&ctx.error_of(candidate, early));
             stats.eval_time += eval_start.elapsed();
             stats.candidates_evaluated += 1;
             let better = match best_step {
@@ -97,7 +101,7 @@ pub fn greedy_search(dataset: &Dataset, opts: &SearchOptions) -> Result<SearchOu
         .expect("visited contains the empty prefix");
     let path: Vec<AttrSet> = visited.iter().skip(1).map(|&(s, _)| s).collect();
 
-    let best_stats = Some(evaluator.error_of(best_attrs, false));
+    let best_stats = Some(ctx.error_of(best_attrs, false));
     let label = Some(Label::from_parts(
         &distinct,
         Some(&dweights),

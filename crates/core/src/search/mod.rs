@@ -18,9 +18,10 @@
 mod evaluator;
 mod greedy;
 mod naive;
+pub mod refine;
 mod topdown;
 
-pub use evaluator::Evaluator;
+pub use evaluator::{EvalContext, Evaluator, DEFAULT_REFINE_MEMO};
 pub use greedy::greedy_search;
 pub use naive::{naive_search, naive_search_limited, NaiveLimits};
 pub use topdown::top_down_search;
@@ -59,6 +60,17 @@ pub struct SearchOptions {
     /// `count_threads` via [`crate::counting::auto_shards`]). Any value
     /// yields bit-identical errors; this only shapes storage/parallelism.
     pub count_shards: usize,
+    /// Evaluate candidates with the lattice-aware refinement context
+    /// ([`EvalContext`]): neighboring candidates are priced by partition
+    /// refinement / marginal coarsening instead of a cold hash group-by
+    /// each (default `true`; errors are bit-identical either way —
+    /// `false` is the ablation/oracle configuration).
+    pub refine: bool,
+    /// Bound on memoized partitions per evaluation context
+    /// (LRU-evicted; default [`DEFAULT_REFINE_MEMO`]). Resident memory
+    /// is at most `refine_memo × (4·U + 12·G)` bytes for a `U`-row
+    /// distinct/pattern universe with `G`-group partitions.
+    pub refine_memo: usize,
     /// Ablation: when removing dominated candidates, drop *all* stored
     /// subsets of a new candidate instead of only its direct lattice
     /// parents (the paper removes direct parents).
@@ -76,6 +88,8 @@ impl SearchOptions {
             threads: 1,
             count_threads: 1,
             count_shards: 0,
+            refine: true,
+            refine_memo: DEFAULT_REFINE_MEMO,
             deep_prune: false,
         }
     }
@@ -113,6 +127,20 @@ impl SearchOptions {
     /// Pins the per-candidate counting shard count (0 = auto).
     pub fn count_shards(mut self, shards: usize) -> Self {
         self.count_shards = shards;
+        self
+    }
+
+    /// Enables/disables the lattice-aware refinement evaluator (errors
+    /// are bit-identical either way; `false` forces the cold-rebuild
+    /// oracle per candidate).
+    pub fn refine(mut self, on: bool) -> Self {
+        self.refine = on;
+        self
+    }
+
+    /// Bounds the number of partitions an evaluation context memoizes.
+    pub fn refine_memo(mut self, cap: usize) -> Self {
+        self.refine_memo = cap.max(2);
         self
     }
 

@@ -50,6 +50,9 @@ pub fn naive_search_limited(
     let (distinct, dweights) = evaluator.compressed();
     let distinct = distinct.clone();
     let dweights: Vec<u64> = dweights.to_vec();
+    // Level-wise enumeration shares prefixes heavily; one refinement
+    // context amortizes the partitions across a level's subsets.
+    let mut ctx = evaluator.context_for(opts);
 
     let mut stats = SearchStats::default();
     let mut in_bound: Vec<AttrSet> = Vec::new();
@@ -70,9 +73,9 @@ pub fn naive_search_limited(
             if label_size_bounded(&distinct, s, opts.bound).is_some() {
                 any_fit = true;
                 let eval_start = Instant::now();
-                let err =
-                    opts.metric.of(&evaluator
-                        .error_of(s, opts.early_exit && opts.metric.supports_early_exit()));
+                let err = opts
+                    .metric
+                    .of(&ctx.error_of(s, opts.early_exit && opts.metric.supports_early_exit()));
                 stats.eval_time += eval_start.elapsed();
                 stats.candidates_evaluated += 1;
                 in_bound.push(s);
@@ -90,7 +93,7 @@ pub fn naive_search_limited(
 
     let best = argmin_candidate(&in_bound, &errors);
     let best_attrs = best.map(|(s, _)| s).unwrap_or(AttrSet::EMPTY);
-    let best_stats = Some(evaluator.error_of(best_attrs, false));
+    let best_stats = Some(ctx.error_of(best_attrs, false));
     let label = Some(Label::from_parts(
         &distinct,
         Some(&dweights),

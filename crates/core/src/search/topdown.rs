@@ -79,12 +79,15 @@ pub fn top_down_search(dataset: &Dataset, opts: &SearchOptions) -> Result<Search
     let mut cand_list: Vec<AttrSet> = cands.into_iter().collect();
     cand_list.sort_by_key(|s| (s.len(), s.bits()));
     stats.candidates_evaluated = cand_list.len() as u64;
-    let errors = evaluator.evaluate_many(&cand_list, opts.metric, opts.early_exit, opts.threads);
+    // Candidates are sorted by (size, bits), so consecutive subsets share
+    // prefixes and the refinement contexts inside evaluate_many derive
+    // most partitions by a single-column pass or a coarsening.
+    let errors = evaluator.evaluate_many(&cand_list, opts);
     let best = argmin_candidate(&cand_list, &errors);
     stats.eval_time = eval_start.elapsed();
 
     let best_attrs = best.map(|(s, _)| s).unwrap_or(AttrSet::EMPTY);
-    let best_stats = Some(evaluator.error_of(best_attrs, false));
+    let best_stats = Some(evaluator.context_for(opts).error_of(best_attrs, false));
     let label = Some(Label::from_parts(
         &distinct,
         Some(&dweights),

@@ -135,7 +135,10 @@ fn early_exit_disabled_for_unsupported_metrics() {
     let cands = vec![AttrSet::from_indices([0]), AttrSet::from_indices([0, 1])];
     // evaluate_many must internally ignore early_exit for MeanQ (the scan
     // must be complete for means); verify it equals explicit full scans.
-    let means = ev.evaluate_many(&cands, ErrorMetric::MeanQ, true, 1);
+    let opts = SearchOptions::with_bound(100)
+        .metric(ErrorMetric::MeanQ)
+        .early_exit(true);
+    let means = ev.evaluate_many(&cands, &opts);
     for (i, &s) in cands.iter().enumerate() {
         let full = ev.error_of(s, false);
         assert!((means[i] - full.mean_q).abs() < 1e-12);

@@ -186,8 +186,18 @@ fn require_dataset_name(request: &Json) -> Result<String, String> {
 }
 
 /// Resolves `"label_attrs"` / `"bound"` into a [`LabelPolicy`] against a
-/// dataset's schema (default: search with bound 50).
+/// dataset's schema (default: search with bound 50). An optional
+/// `"refine": false` on search policies forces the cold per-candidate
+/// evaluator (bit-identical label; ablation/debugging only).
 fn resolve_policy(request: &Json, dataset: &Dataset) -> Result<LabelPolicy, String> {
+    // Validate `refine` up front so a malformed value is rejected
+    // uniformly, whichever policy shape the request uses (it only
+    // *applies* to search policies).
+    let refine = match request.get("refine") {
+        None => true,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Err("\"refine\" must be a boolean".to_string()),
+    };
     if let Some(names) = request.get("label_attrs") {
         let names = names
             .as_array()
@@ -209,9 +219,9 @@ fn resolve_policy(request: &Json, dataset: &Dataset) -> Result<LabelPolicy, Stri
         let bound = bound
             .as_u64()
             .ok_or_else(|| "\"bound\" must be a non-negative integer".to_string())?;
-        return Ok(LabelPolicy::SearchBound(bound));
+        return Ok(LabelPolicy::Search { bound, refine });
     }
-    Ok(LabelPolicy::SearchBound(50))
+    Ok(LabelPolicy::Search { bound: 50, refine })
 }
 
 fn load_dataset(request: &Json, name: &str) -> Result<Dataset, String> {
@@ -725,6 +735,35 @@ mod tests {
         let cache = responses[2].get("cache").unwrap();
         assert_eq!(cache.get("entries").and_then(Json::as_u64), Some(2));
         assert_eq!(responses[3].get("dropped"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn register_refine_knob_is_parsed_and_identical() {
+        // `"refine": false` (the cold-evaluator ablation) must be
+        // accepted and produce the same label as the default path.
+        let responses = run_session(concat!(
+            "{\"op\":\"register\",\"dataset\":\"a\",\"generator\":\"figure2\",\"bound\":5}\n",
+            "{\"op\":\"register\",\"dataset\":\"b\",\"generator\":\"figure2\",\"bound\":5,",
+            "\"refine\":false}\n",
+            "{\"op\":\"register\",\"dataset\":\"c\",\"generator\":\"figure2\",\"bound\":5,",
+            "\"refine\":\"yes\"}\n",
+            "{\"op\":\"register\",\"dataset\":\"d\",\"generator\":\"figure2\",",
+            "\"label_attrs\":[\"gender\"],\"refine\":\"yes\"}\n",
+        ));
+        assert_eq!(responses[0].get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(responses[1].get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(
+            responses[0].get("label_size"),
+            responses[1].get("label_size")
+        );
+        assert_eq!(
+            responses[0].get("label_attrs"),
+            responses[1].get("label_attrs")
+        );
+        // Non-boolean refine is a bad request, not a crash — on both
+        // policy shapes (search bound and explicit label_attrs).
+        assert_eq!(responses[2].get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(responses[3].get("ok"), Some(&Json::Bool(false)));
     }
 
     #[test]

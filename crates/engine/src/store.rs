@@ -65,8 +65,21 @@ impl From<DataError> for EngineError {
 pub enum LabelPolicy {
     /// Build `L_S` over exactly this attribute subset.
     Attrs(AttrSet),
-    /// Run the top-down optimal-label search with this size bound `B_s`.
+    /// Run the top-down optimal-label search with this size bound `B_s`
+    /// (default tuning: lattice-aware refinement evaluator, auto-sized
+    /// parallelism).
     SearchBound(u64),
+    /// [`LabelPolicy::SearchBound`] with explicit evaluator tuning: the
+    /// wire-level `"refine": false` escape hatch forces the cold
+    /// per-candidate rebuild (bit-identical results, ablation/debugging
+    /// only).
+    Search {
+        /// The size bound `B_s` on `|PC|`.
+        bound: u64,
+        /// Use the refinement evaluator (see
+        /// [`SearchOptions::refine`](pclabel_core::search::SearchOptions)).
+        refine: bool,
+    },
 }
 
 /// What [`LabelStore::append_rows`] did.
@@ -202,13 +215,26 @@ fn compute_label(dataset: &Dataset, policy: LabelPolicy) -> Result<Label, Engine
                 auto_threads(dataset.n_rows()),
             ))
         }
-        LabelPolicy::SearchBound(bound) => {
-            let outcome = top_down_search(dataset, &SearchOptions::with_bound(bound))?;
-            outcome.into_best_label().ok_or_else(|| {
-                EngineError::BadRequest(format!("search with bound {bound} produced no label"))
-            })
-        }
+        LabelPolicy::SearchBound(bound) => compute_search_label(dataset, bound, true),
+        LabelPolicy::Search { bound, refine } => compute_search_label(dataset, bound, refine),
     }
+}
+
+/// Runs the top-down search with serving-side tuning: candidate
+/// evaluation and per-candidate counting threads sized from the dataset
+/// and hardware (`auto_threads`), and the lattice-aware refinement
+/// evaluator on by default (`refine: false` is the cold-rebuild
+/// ablation; results are bit-identical either way).
+fn compute_search_label(dataset: &Dataset, bound: u64, refine: bool) -> Result<Label, EngineError> {
+    let workers = auto_threads(dataset.n_rows());
+    let opts = SearchOptions::with_bound(bound)
+        .refine(refine)
+        .threads(workers)
+        .count_threads(workers);
+    let outcome = top_down_search(dataset, &opts)?;
+    outcome.into_best_label().ok_or_else(|| {
+        EngineError::BadRequest(format!("search with bound {bound} produced no label"))
+    })
 }
 
 /// Concurrent registry of named datasets and their labels.
@@ -325,9 +351,15 @@ impl LabelStore {
     /// (a search-chosen `S` is kept, not re-searched) and the cache is
     /// cleared; [`AppendReport::incremental`] reports which path ran.
     ///
-    /// The whole operation holds the entry's write lock, so concurrent
-    /// appends serialize and query batches never see a half-applied
-    /// append.
+    /// Like [`LabelStore::refresh`], the expensive work runs *outside*
+    /// the entry's write lock: the dataset clone-and-extend and the label
+    /// update (shard-incremental or, on the rare dictionary-growth
+    /// fallback, the full rebuild) are computed against a generation
+    /// snapshot, then installed under the lock only if the generation is
+    /// unchanged — so readers are never stalled behind a rebuild.
+    /// Concurrent writers force a recompute (a few optimistic passes,
+    /// then one final pass under the lock that is guaranteed to land),
+    /// and query batches never see a half-applied append.
     pub fn append_rows<S: AsRef<str>>(
         &self,
         name: &str,
@@ -339,38 +371,97 @@ impl LabelStore {
                 "append_rows needs a non-empty rows batch".to_string(),
             ));
         }
+        // Optimistic passes: compute against a snapshot, revalidate by
+        // generation (a refresh changes the label without touching the
+        // dataset, so dataset pointer identity would not be enough).
+        for _ in 0..3 {
+            let (dataset0, label0, generation0) = entry.snapshot();
+            let (dataset, label, incremental, touched) =
+                Self::appended_state(&dataset0, &label0, rows)?;
+            let mut cur = entry.state.write().expect("entry lock");
+            if cur.generation != generation0 {
+                continue;
+            }
+            return Ok(Self::install_append(
+                &entry,
+                &mut cur,
+                dataset,
+                label,
+                rows.len(),
+                incremental,
+                touched,
+            ));
+        }
+        // A sustained write stream outpaced every optimistic pass:
+        // compute the last one under the write lock so the append is
+        // guaranteed to land instead of retrying forever.
         let mut cur = entry.state.write().expect("entry lock");
-        let mut dataset = (*cur.dataset).clone();
+        let (dataset, label, incremental, touched) =
+            Self::appended_state(&Arc::clone(&cur.dataset), &Arc::clone(&cur.label), rows)?;
+        Ok(Self::install_append(
+            &entry,
+            &mut cur,
+            dataset,
+            label,
+            rows.len(),
+            incremental,
+            touched,
+        ))
+    }
+
+    /// Computes the post-append `(dataset, label)` pair from a snapshot.
+    /// While no dictionary of an attribute inside the label's subset `S`
+    /// grows ([`Label::can_append`]), the label is updated
+    /// shard-incrementally ([`Label::with_appended`]); otherwise it is
+    /// rebuilt in full over the *same* subset `S` (a search-chosen `S` is
+    /// kept, not re-searched).
+    #[allow(clippy::type_complexity)]
+    fn appended_state<S: AsRef<str>>(
+        base: &Dataset,
+        label: &Label,
+        rows: &[Vec<Option<S>>],
+    ) -> Result<(Dataset, Arc<Label>, bool, Vec<u32>), EngineError> {
+        let mut dataset = base.clone();
         let old_rows = dataset.n_rows();
         dataset.append_labeled_rows(rows)?;
-        let (label, incremental, touched_shards) = if cur.label.can_append(&dataset) {
-            let (label, touched) = cur
-                .label
-                .with_appended(&dataset, old_rows..dataset.n_rows());
-            (Arc::new(label), true, touched)
+        if label.can_append(&dataset) {
+            let (label, touched) = label.with_appended(&dataset, old_rows..dataset.n_rows());
+            Ok((dataset, Arc::new(label), true, touched))
         } else {
-            let label =
-                Label::build_parallel(&dataset, cur.label.attrs(), auto_threads(dataset.n_rows()));
-            (Arc::new(label), false, Vec::new())
-        };
+            let rebuilt =
+                Label::build_parallel(&dataset, label.attrs(), auto_threads(dataset.n_rows()));
+            Ok((dataset, Arc::new(rebuilt), false, Vec::new()))
+        }
+    }
+
+    /// Swaps in a computed append under the held write lock and
+    /// invalidates the cache (same argument as refresh): shard-local for
+    /// incremental appends, everything otherwise.
+    fn install_append(
+        entry: &StoreEntry,
+        cur: &mut EntryState,
+        dataset: Dataset,
+        label: Arc<Label>,
+        appended: usize,
+        incremental: bool,
+        touched_shards: Vec<u32>,
+    ) -> AppendReport {
         let total_rows = dataset.n_rows() as u64;
         cur.dataset = Arc::new(dataset);
         cur.label = label;
         cur.generation += 1;
-        // Invalidate under the write lock (same argument as refresh):
-        // shard-local for incremental appends, everything otherwise.
         if incremental {
             entry.cache.invalidate_count_shards(&touched_shards);
         } else {
             entry.cache.clear();
         }
-        Ok(AppendReport {
-            appended: rows.len(),
+        AppendReport {
+            appended,
             total_rows,
             generation: cur.generation,
             incremental,
             touched_shards,
-        })
+        }
     }
 
     /// Removes an entry; returns whether it existed.
@@ -679,6 +770,81 @@ mod tests {
             store.append_rows("ghost", &[vec![Some("x")]]),
             Err(EngineError::UnknownDataset(_))
         ));
+    }
+
+    #[test]
+    fn search_policy_refine_ablation_matches_default() {
+        let store = LabelStore::new();
+        store
+            .register("on", figure2_sample(), LabelPolicy::SearchBound(5))
+            .unwrap();
+        store
+            .register(
+                "off",
+                figure2_sample(),
+                LabelPolicy::Search {
+                    bound: 5,
+                    refine: false,
+                },
+            )
+            .unwrap();
+        let on = store.get("on").unwrap().label();
+        let off = store.get("off").unwrap().label();
+        assert_eq!(on.attrs(), off.attrs());
+        assert_eq!(on.pattern_count_size(), off.pattern_count_size());
+    }
+
+    #[test]
+    fn concurrent_appends_all_land() {
+        // Racing appends (some forcing the dictionary-growth rebuild
+        // path, which now computes outside the write lock and retries on
+        // generation conflicts) must each land exactly once.
+        let store = Arc::new(LabelStore::new());
+        store
+            .register(
+                "census",
+                figure2_sample(),
+                LabelPolicy::Attrs(AttrSet::from_indices([1, 3])),
+            )
+            .unwrap();
+        let writers = 6usize;
+        std::thread::scope(|s| {
+            for t in 0..writers {
+                let store = Arc::clone(&store);
+                s.spawn(move || {
+                    // Odd writers introduce a new age-group value (inside
+                    // S → full rebuild); even writers stay incremental.
+                    let age = if t % 2 == 0 {
+                        "20-39".to_string()
+                    } else {
+                        format!("age-{t}")
+                    };
+                    let report = store
+                        .append_rows(
+                            "census",
+                            &[vec![
+                                Some("Female".to_string()),
+                                Some(age),
+                                Some("Caucasian".to_string()),
+                                Some("married".to_string()),
+                            ]],
+                        )
+                        .unwrap();
+                    assert_eq!(report.appended, 1);
+                });
+            }
+        });
+        let entry = store.get("census").unwrap();
+        let (dataset, label, generation) = entry.snapshot();
+        assert_eq!(dataset.n_rows(), 18 + writers);
+        assert_eq!(generation, writers as u64);
+        // The final label equals a from-scratch build over the final data.
+        let full = Label::build(&dataset, AttrSet::from_indices([1, 3]));
+        assert_eq!(label.pattern_count_size(), full.pattern_count_size());
+        for r in 0..dataset.n_rows() {
+            let p = pclabel_core::pattern::Pattern::from_row(&dataset, r);
+            assert_eq!(label.estimate(&p), full.estimate(&p), "row {r}");
+        }
     }
 
     #[test]

@@ -34,8 +34,12 @@
 //! backed by a sharded pattern→estimate cache; and heavy group-bys can run
 //! chunked across threads ([`engine::parallel`],
 //! `GroupCounts::build_parallel`, or `SearchOptions::count_threads` during
-//! search). The `pclabel-serve` binary exposes all of it as a
-//! line-delimited JSON loop over stdin/stdout:
+//! search). Candidate evaluation during a search is lattice-aware by
+//! default (`SearchOptions::refine`, the `EvalContext` partition
+//! refinement/coarsening engine — bit-identical errors, several times
+//! the candidates/sec of the per-candidate rebuild it replaces). The
+//! `pclabel-serve` binary exposes all of it as a line-delimited JSON
+//! loop over stdin/stdout:
 //!
 //! ```
 //! use pclabel::engine::prelude::*;
