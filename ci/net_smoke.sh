@@ -59,3 +59,32 @@ if ! diff -u replay_pool.txt replay_reactor.txt; then
 fi
 rm -f replay_pool.txt replay_reactor.txt
 echo "net smoke ok (pool and reactor responses byte-identical)"
+
+# Telemetry: scrape /metrics at the end of a replay and assert the
+# request counters account for every replayed request — 13 framed + 13
+# HTTP + 1 /healthz = 27 (the shutdown op is intercepted before dispatch
+# and /metrics itself is served without dispatching) — plus exposition
+# format sanity: every sample line parses and no series repeats.
+for model in pool reactor; do
+    start_daemon "$(mktemp)" --model "$model"
+    PCLABEL_REPLAY_METRICS_OUT="metrics_$model.txt" \
+        ./target/release/examples/net_replay "$daemon_addr" >/dev/null
+    wait "$daemon_pid"
+    awk '
+        /^#/ || /^$/ { next }
+        {
+            if (NF < 2) { print "malformed sample line: " $0; exit 1 }
+            series = $0; sub(/ [^ ]*$/, "", series)
+            if (seen[series]++) { print "duplicate series: " series; exit 1 }
+            if ($NF !~ /^[0-9.eE+-]+$/) { print "bad sample value: " $0; exit 1 }
+        }
+        /^pclabel_requests_total\{/ { total += $NF }
+        END {
+            if (total != 27) { print "request counter sum " total " != 27"; exit 1 }
+        }
+    ' "metrics_$model.txt" || { cat "metrics_$model.txt" >&2; exit 1; }
+    # Two client connections (framed + HTTP) were accepted.
+    grep -q '^pclabel_net_accepts_total 2$' "metrics_$model.txt"
+    rm -f "metrics_$model.txt"
+    echo "net smoke ok (--model $model metrics account for all 27 requests)"
+done

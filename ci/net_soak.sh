@@ -33,7 +33,18 @@ if [ -z "$addr" ]; then
     exit 1
 fi
 
-./target/release/examples/net_soak "$addr" "$IDLE" "$DEADLINE_MS"
+soak_out=$(mktemp)
+./target/release/examples/net_soak "$addr" "$IDLE" "$DEADLINE_MS" | tee "$soak_out"
+
+# Telemetry gauges (from the {"op":"server_stats"} wire op): the idle
+# fleet plus the fresh client are all open, nothing is parked waiting
+# for a worker, and nothing was evicted or refused.
+expected="gauges open_connections=$((IDLE + 1)) parked_jobs=0 evictions=0 overloaded=0"
+if ! grep -q "$expected" "$soak_out"; then
+    echo "unexpected transport gauges (wanted: $expected):" >&2
+    cat "$soak_out" >&2
+    exit 1
+fi
 
 # The soak client sent {"op":"shutdown"}; the daemon must exit cleanly,
 # draining the parked connections.

@@ -13,7 +13,10 @@
 //!   `(model, client_threads, idle_conns)` and fail when `req_per_sec`
 //!   drops by more than the threshold; `counting.parallel` rows are
 //!   matched on `(threads, shards)` and fail when `seconds` grows by
-//!   more than the threshold.
+//!   more than the threshold. The current artifact's
+//!   `telemetry_overhead` row is also held to an absolute 3% budget:
+//!   the metrics-enabled dispatch path must keep within that fraction
+//!   of the no-op telemetry handle's req/s, regardless of baseline.
 //! * `counting` (`BENCH_count.json`) — scenario rows are matched on
 //!   `(scenario, mode, threads, shards)` and fail when `build_secs` or
 //!   `merge_secs` grows by more than the threshold.
@@ -34,6 +37,11 @@ use pclabel_engine::json::Json;
 
 /// Comparisons on timings below this many seconds are skipped as noise.
 const MIN_SECONDS: f64 = 0.005;
+
+/// Hard ceiling on the current artifact's `telemetry_overhead` row:
+/// dispatching with live metrics must stay within this percentage of
+/// the no-op telemetry handle's req/s. Absolute, not baseline-relative.
+const MAX_TELEMETRY_OVERHEAD_PCT: f64 = 3.0;
 
 fn usage(message: &str) -> ! {
     eprintln!("bench_trend: {message}");
@@ -231,6 +239,27 @@ fn compare(baseline: &[Metric], current: &[Metric], max_regress: f64) -> (Vec<Re
     (regressions, compared)
 }
 
+/// Gates the current artifact's `telemetry_overhead` row. No baseline
+/// is consulted: the bound is an absolute budget, so a slow creep that
+/// a relative trend check would wave through still fails here. Rows
+/// whose loops sit under the noise floor on either side are skipped.
+fn telemetry_gate(current: &Json) -> Option<Regression> {
+    let row = current.get("telemetry_overhead")?;
+    let on = row.get("on_seconds").and_then(Json::as_f64)?;
+    let off = row.get("off_seconds").and_then(Json::as_f64)?;
+    if on < MIN_SECONDS || off < MIN_SECONDS {
+        return None;
+    }
+    let pct = row.get("overhead_pct").and_then(Json::as_f64)?;
+    (pct > MAX_TELEMETRY_OVERHEAD_PCT).then(|| Regression {
+        key: "telemetry_overhead".into(),
+        name: "overhead_pct",
+        baseline: MAX_TELEMETRY_OVERHEAD_PCT,
+        current: pct,
+        change: (pct - MAX_TELEMETRY_OVERHEAD_PCT) / 100.0,
+    })
+}
+
 fn run(
     baseline_text: &str,
     current_text: &str,
@@ -240,7 +269,8 @@ fn run(
     let current = Json::parse(current_text).map_err(|e| format!("current: {e}"))?;
     let b = metrics_of(&baseline)?;
     let c = metrics_of(&current)?;
-    let (regressions, compared) = compare(&b, &c, max_regress);
+    let (mut regressions, compared) = compare(&b, &c, max_regress);
+    regressions.extend(telemetry_gate(&current));
     println!(
         "bench_trend: compared {compared} metric(s), {} regression(s) beyond {:.0}%",
         regressions.len(),
@@ -312,6 +342,36 @@ mod tests {
         // Improvements never fail.
         let faster = NET_BASE.replace("\"req_per_sec\":1000", "\"req_per_sec\":2000");
         assert!(run(NET_BASE, &faster, 0.30).unwrap().is_empty());
+    }
+
+    fn with_overhead(pct: f64, secs: f64) -> String {
+        format!(
+            concat!(
+                "{{\"benchmark\":\"engine_throughput\",",
+                "\"counting\":{{\"serial_seconds\":1.0,\"parallel\":[]}},",
+                "\"telemetry_overhead\":{{\"requests\":5000,\"on_seconds\":{secs},",
+                "\"off_seconds\":{secs},\"overhead_pct\":{pct}}}}}"
+            ),
+            secs = secs,
+            pct = pct,
+        )
+    }
+
+    #[test]
+    fn telemetry_overhead_gate_is_absolute() {
+        // Over the 3% ceiling: fails with no baseline movement at all.
+        let regressions = run(NET_BASE, &with_overhead(4.5, 0.05), 0.30).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].name, "overhead_pct");
+        assert_eq!(regressions[0].key, "telemetry_overhead");
+        // Within the ceiling: passes.
+        assert!(run(NET_BASE, &with_overhead(1.2, 0.05), 0.30)
+            .unwrap()
+            .is_empty());
+        // Under the noise floor: skipped even when the pct looks wild.
+        assert!(run(NET_BASE, &with_overhead(50.0, 0.001), 0.30)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

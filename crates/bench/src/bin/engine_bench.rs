@@ -48,6 +48,7 @@ use pclabel_engine::json::Json;
 use pclabel_engine::prelude::*;
 use pclabel_net::client::NetClient;
 use pclabel_net::server::{ConnectionModel, NetServer, ServerConfig};
+use pclabel_telemetry::Telemetry;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -184,6 +185,9 @@ fn main() {
     // serve the very same store over loopback.
     let dispatcher = Arc::new(Dispatcher::with_config(EngineConfig::default()));
     let engine = dispatcher.engine();
+    // The telemetry-overhead microbench (--net) needs a second engine
+    // over the same data; keep a copy before `register` takes ownership.
+    let overhead_dataset = net_enabled.then(|| dataset.clone());
     engine
         .store()
         .register("bench", dataset, LabelPolicy::Attrs(attrs))
@@ -231,6 +235,7 @@ fn main() {
 
     // --- network serving (--net): framed TCP req/s over loopback ----------
     let mut net_rows = Vec::new();
+    let mut telemetry_row = String::new();
     if net_enabled {
         let requests_per_client = env_usize("PCLABEL_BENCH_NET_REQS", 200);
         let workers = 8usize;
@@ -245,6 +250,7 @@ fn main() {
         )
         .expect("spawn bench server");
         let addr = server.local_addr();
+        let mut single_client_secs_per_req = f64::NAN;
         for &clients in &[1usize, 2, 4] {
             // The pool model pins one worker per connection, idle or
             // not: an idle fleet of `workers - clients` would already
@@ -315,12 +321,103 @@ fn main() {
             }
             drop(parked);
             let requests = clients * requests_per_client;
+            if clients == 1 {
+                single_client_secs_per_req = secs / requests as f64;
+            }
             net_rows.push(format!(
                 "{{\"model\":\"{model}\",\"client_threads\":{clients},\"idle_conns\":{idle_conns},\"requests\":{requests},\"seconds\":{secs:.6},\"req_per_sec\":{:.0}}}",
                 requests as f64 / secs
             ));
         }
         server.shutdown();
+
+        // --- telemetry overhead: live metrics vs no-op handle -------------
+        // Loopback round-trip times on a shared 1-CPU runner jitter by
+        // far more than telemetry costs, so the per-request cost is
+        // measured where it is stable — the same cached-query stream
+        // pushed straight through `Dispatcher::dispatch_line`, once on
+        // the live-telemetry dispatcher and once on one whose handle is
+        // disabled (single-branch no-ops) — and then expressed against
+        // the single-client serving rate measured above: overhead_pct
+        // is the share of a served request's latency spent on
+        // telemetry. bench_trend hard-fails the artifact above 3%.
+        let overhead_requests = requests_per_client * 25;
+        let overhead_reps = reps.max(9);
+        let lines: Vec<String> = (0..overhead_requests)
+            .map(|i| {
+                format!(
+                    r#"{{"op":"query","dataset":"bench","patterns":[{{"a0":"v{}","a1":"v{}"}}]}}"#,
+                    i % 8,
+                    i % 6
+                )
+            })
+            .collect();
+        let quiet = Dispatcher::with_telemetry(EngineConfig::default(), Telemetry::disabled());
+        quiet
+            .engine()
+            .store()
+            .register(
+                "bench",
+                overhead_dataset.expect("overhead dataset kept for --net"),
+                LabelPolicy::Attrs(attrs),
+            )
+            .expect("register overhead dataset");
+        let pump = |d: &Dispatcher| {
+            for line in &lines {
+                let response = d.dispatch_line(line);
+                assert_eq!(
+                    response.get("ok"),
+                    Some(&Json::Bool(true)),
+                    "overhead query failed: {response}"
+                );
+            }
+        };
+        // Warm both query caches so the timed loops compare steady
+        // states, then interleave the reps (alternating which side goes
+        // first) so machine-level drift lands on both sides alike; the
+        // min over reps discards the disturbed passes.
+        pump(&dispatcher);
+        pump(&quiet);
+        let mut on_secs = f64::INFINITY;
+        let mut off_secs = f64::INFINITY;
+        for rep in 0..overhead_reps {
+            let order: [(&mut f64, &Dispatcher); 2] = if rep % 2 == 0 {
+                [(&mut on_secs, &dispatcher), (&mut off_secs, &quiet)]
+            } else {
+                [(&mut off_secs, &quiet), (&mut on_secs, &dispatcher)]
+            };
+            for (best, d) in order {
+                let (secs, ()) = time_best(1, || pump(d));
+                *best = best.min(secs);
+            }
+        }
+        let delta_per_req = ((on_secs - off_secs) / overhead_requests as f64).max(0.0);
+        // The 1-client net row above ran on the live-telemetry
+        // dispatcher, so its per-request time is the "on" serving cost;
+        // subtracting the measured delta yields the no-op cost.
+        let serve_on = single_client_secs_per_req;
+        let serve_off = serve_on - delta_per_req;
+        let overhead_pct = delta_per_req / serve_on * 100.0;
+        eprintln!(
+            "engine_bench: telemetry overhead {overhead_pct:.2}% of serving \
+             ({:.0} ns/request over {:.1} µs/request; dispatch loops on \
+             {on_secs:.4}s / off {off_secs:.4}s for {overhead_requests} requests)",
+            delta_per_req * 1e9,
+            serve_on * 1e6,
+        );
+        telemetry_row = format!(
+            concat!(
+                "{{\"requests\":{requests},\"on_seconds\":{on:.6},\"off_seconds\":{off:.6},",
+                "\"on_req_per_sec\":{on_rate:.0},\"off_req_per_sec\":{off_rate:.0},",
+                "\"overhead_pct\":{pct:.3}}}"
+            ),
+            requests = overhead_requests,
+            on = on_secs,
+            off = off_secs,
+            on_rate = 1.0 / serve_on,
+            off_rate = 1.0 / serve_off,
+            pct = overhead_pct,
+        );
     }
 
     // --- report -----------------------------------------------------------
@@ -351,7 +448,10 @@ fn main() {
         hot_rate = batch as f64 / hot_secs,
         hot_hits = hot.stats.cache_hits,
         net = if net_enabled {
-            format!(",\"net\":[{}]", net_rows.join(","))
+            format!(
+                ",\"net\":[{}],\"telemetry_overhead\":{telemetry_row}",
+                net_rows.join(",")
+            )
         } else {
             String::new()
         },

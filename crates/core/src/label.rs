@@ -21,7 +21,7 @@ use pclabel_data::dataset::{Dataset, MISSING};
 use pclabel_data::schema::Schema;
 
 use crate::attrset::AttrSet;
-use crate::counting::GroupCounts;
+use crate::counting::{auto_shards, CountingProfile, GroupCounts};
 use crate::hash::FxHashMap;
 use crate::pattern::Pattern;
 
@@ -165,6 +165,29 @@ impl Label {
         let pc = GroupCounts::build_parallel(dataset, None, attrs, threads);
         let vc = Arc::new(ValueCounts::compute(dataset, None));
         Self::assemble(dataset, None, pc, vc)
+    }
+
+    /// [`Label::build_parallel`], additionally reporting the counting
+    /// phase profile so the serving layer can trace builds per request.
+    /// The `VC` computation and final assembly fold into
+    /// `assemble_secs`; the label is identical to [`Label::build_parallel`].
+    pub fn build_parallel_profiled(
+        dataset: &Dataset,
+        attrs: AttrSet,
+        threads: usize,
+    ) -> (Self, CountingProfile) {
+        let (pc, mut profile) = GroupCounts::build_parallel_profiled(
+            dataset,
+            None,
+            attrs,
+            threads,
+            auto_shards(threads),
+        );
+        let t0 = std::time::Instant::now();
+        let vc = Arc::new(ValueCounts::compute(dataset, None));
+        let label = Self::assemble(dataset, None, pc, vc);
+        profile.assemble_secs += t0.elapsed().as_secs_f64();
+        (label, profile)
     }
 
     /// Builds `L_S(D)` from a (possibly compressed) dataset with optional

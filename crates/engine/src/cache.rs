@@ -31,11 +31,12 @@ pub const DEFAULT_SHARDS: usize = 16;
 /// Default per-shard capacity (entries) before the shard is reset.
 pub const DEFAULT_SHARD_CAPACITY: usize = 8_192;
 
-/// Hit/miss counters, cheap enough to bump on the hot path.
+/// Hit/miss/invalidation counters, cheap enough to bump on the hot path.
 #[derive(Debug, Default)]
 pub struct CacheStats {
     hits: AtomicU64,
     misses: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl CacheStats {
@@ -47,6 +48,14 @@ impl CacheStats {
     /// Cache misses since creation (or last [`ShardedCache::clear`]).
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped by refresh/append invalidation since creation.
+    /// Unlike hits/misses this is *not* reset by [`ShardedCache::clear`]
+    /// — clearing is itself an invalidation event, and operators trend
+    /// this counter across refreshes.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
     }
 }
 
@@ -134,6 +143,9 @@ impl ShardedCache {
             shard.retain(|_, (_, tag)| tag.is_some_and(|t| !touched.contains(&t)));
             dropped += before - shard.len();
         }
+        self.stats
+            .invalidations
+            .fetch_add(dropped as u64, Ordering::Relaxed);
         dropped
     }
 
@@ -150,11 +162,19 @@ impl ShardedCache {
         self.len() == 0
     }
 
-    /// Drops every entry and resets the counters (used on label refresh).
+    /// Drops every entry and resets the hit/miss counters (used on label
+    /// refresh). Dropped entries count toward
+    /// [`CacheStats::invalidations`], which survives the reset.
     pub fn clear(&self) {
+        let mut dropped = 0u64;
         for shard in self.shards.iter() {
-            shard.lock().expect("cache shard").clear();
+            let mut shard = shard.lock().expect("cache shard");
+            dropped += shard.len() as u64;
+            shard.clear();
         }
+        self.stats
+            .invalidations
+            .fetch_add(dropped, Ordering::Relaxed);
         self.stats.hits.store(0, Ordering::Relaxed);
         self.stats.misses.store(0, Ordering::Relaxed);
     }
@@ -191,6 +211,9 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.stats().hits(), 0);
+        // clear() dropped one entry; the invalidation counter survives
+        // the hit/miss reset.
+        assert_eq!(c.stats().invalidations(), 1);
     }
 
     #[test]
@@ -216,6 +239,7 @@ mod tests {
         // unpinned one; the shard-7 entry survives.
         let dropped = c.invalidate_count_shards(&[3]);
         assert_eq!(dropped, 2);
+        assert_eq!(c.stats().invalidations(), 2);
         assert_eq!(c.get(&pat(0, 1)), None);
         assert_eq!(c.get(&pat(0, 2)), Some(2.0));
         assert_eq!(c.get(&pat(0, 3)), None);

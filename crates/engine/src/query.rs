@@ -21,6 +21,7 @@ use std::sync::Arc;
 use pclabel_core::label::Label;
 use pclabel_core::pattern::Pattern;
 use pclabel_data::dataset::Dataset;
+use pclabel_telemetry::{Phase, Trace};
 
 use crate::store::{EngineError, LabelStore, StoreEntry};
 
@@ -165,15 +166,30 @@ impl Engine {
     /// version, and a concurrent refresh or append can never leave
     /// stale estimates behind in the cache.
     pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, EngineError> {
+        self.execute_traced(request, None)
+    }
+
+    /// [`Engine::execute`] with an optional request trace: records the
+    /// wait for the entry's snapshot lock and the accumulated
+    /// pattern-cache probe time.
+    pub fn execute_traced(
+        &self,
+        request: &QueryRequest,
+        trace: Option<&Trace>,
+    ) -> Result<QueryResponse, EngineError> {
         let entry = self.store.get(&request.dataset)?;
         let threads = self.config.resolve_threads(request.patterns.len());
 
+        let lock_start = std::time::Instant::now();
         let response = entry.with_snapshot(|dataset, label, generation| {
+            if let Some(trace) = trace {
+                trace.add_phase(Phase::StoreWait, lock_start.elapsed());
+            }
             let results: Vec<PatternEstimate> = if threads <= 1 {
                 request
                     .patterns
                     .iter()
-                    .map(|spec| answer_one(&entry, dataset, label, spec))
+                    .map(|spec| answer_one(&entry, dataset, label, spec, trace))
                     .collect()
             } else {
                 let chunk = request.patterns.len().div_ceil(threads);
@@ -187,7 +203,7 @@ impl Engine {
                             scope.spawn(move || {
                                 specs
                                     .iter()
-                                    .map(|s| answer_one(entry, dataset, label, s))
+                                    .map(|s| answer_one(entry, dataset, label, s, trace))
                                     .collect()
                             })
                         })
@@ -263,6 +279,7 @@ fn answer_one(
     dataset: &Dataset,
     label: &Arc<Label>,
     spec: &PatternSpec,
+    trace: Option<&Trace>,
 ) -> PatternEstimate {
     let terms: Vec<(&str, &str)> = spec
         .terms
@@ -280,7 +297,12 @@ fn answer_one(
             }
         }
     };
-    if let Some(estimate) = entry.cache().get(&pattern) {
+    let probe_start = trace.map(|_| std::time::Instant::now());
+    let cached = entry.cache().get(&pattern);
+    if let (Some(trace), Some(start)) = (trace, probe_start) {
+        trace.add_phase(Phase::CacheLookup, start.elapsed());
+    }
+    if let Some(estimate) = cached {
         let exact = pattern.attrs().is_subset_of(label.attrs());
         return PatternEstimate {
             estimate,

@@ -66,6 +66,7 @@ use pclabel_core::pattern::Pattern;
 use pclabel_data::csv::{read_dataset_from_str, CsvOptions};
 use pclabel_data::dataset::Dataset;
 use pclabel_data::generate::figure2_sample;
+use pclabel_telemetry::{series_key, MetricSnapshot, SnapshotValue, Telemetry, Trace};
 
 use crate::json::Json;
 use crate::query::{label_answer, Engine, EngineConfig, PatternSpec, QueryRequest};
@@ -81,18 +82,30 @@ pub struct ServeSummary {
 }
 
 /// The transport-agnostic dispatch core: owns the [`Engine`] (and with
-/// it the `LabelStore`) and maps one request [`Json`] to one response
-/// [`Json`]. `&Dispatcher` is `Send + Sync`, so network transports share
-/// a single dispatcher across worker threads behind an `Arc`.
-#[derive(Debug, Default)]
+/// it the `LabelStore`) plus the [`Telemetry`] plane, and maps one
+/// request [`Json`] to one response [`Json`]. `&Dispatcher` is
+/// `Send + Sync`, so network transports share a single dispatcher across
+/// worker threads behind an `Arc`.
+#[derive(Debug)]
 pub struct Dispatcher {
     engine: Engine,
+    telemetry: Arc<Telemetry>,
+}
+
+impl Default for Dispatcher {
+    fn default() -> Self {
+        Dispatcher::new(Engine::default())
+    }
 }
 
 impl Dispatcher {
-    /// Wraps an engine (and its store) as the shared dispatch core.
+    /// Wraps an engine (and its store) as the shared dispatch core, with
+    /// telemetry enabled at its defaults.
     pub fn new(engine: Engine) -> Self {
-        Dispatcher { engine }
+        Dispatcher {
+            engine,
+            telemetry: Telemetry::new(),
+        }
     }
 
     /// A dispatcher over a fresh engine with the given tuning.
@@ -100,38 +113,185 @@ impl Dispatcher {
         Dispatcher::new(Engine::new(config))
     }
 
+    /// A dispatcher over a fresh engine with an explicit telemetry
+    /// facade (a configured logger, or [`Telemetry::disabled`]).
+    pub fn with_telemetry(config: EngineConfig, telemetry: Arc<Telemetry>) -> Self {
+        Dispatcher {
+            engine: Engine::new(config),
+            telemetry,
+        }
+    }
+
     /// The underlying engine (store access for setup/inspection).
     pub fn engine(&self) -> &Engine {
         &self.engine
     }
 
+    /// The telemetry plane (transports register their own families in
+    /// its registry so one scrape covers the whole process).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
     /// Handles one raw request line (parse + dispatch), always returning
-    /// a response object.
+    /// a response object. Unparseable lines count as `"other"` errors.
     pub fn dispatch_line(&self, line: &str) -> Json {
         match Json::parse(line) {
             Ok(request) => self.dispatch(&request),
-            Err(e) => error_response(None, &format!("invalid JSON: {e}")),
+            Err(e) => {
+                let trace = self.telemetry.begin("other");
+                let response = error_response(None, &format!("invalid JSON: {e}"));
+                self.telemetry.finish(&trace, false);
+                response
+            }
         }
     }
 
     /// Routes one parsed request to its op handler, always returning a
-    /// response object.
+    /// response object. Every dispatch is traced: request/error counters
+    /// and latency histograms advance per op, and phase spans recorded
+    /// by the store/query layers fold into the phase histograms.
     pub fn dispatch(&self, request: &Json) -> Json {
-        let engine = &self.engine;
         let op = request.get("op").and_then(Json::as_str).map(str::to_string);
-        match op.as_deref() {
-            Some("register") => handle_register(engine, request),
-            Some("query") => handle_query(engine, request),
+        let trace = self.telemetry.begin(op.as_deref().unwrap_or("other"));
+        let response = self.dispatch_traced(request, op.as_deref(), &trace);
+        let ok = response.get("ok").and_then(Json::as_bool) == Some(true);
+        self.telemetry.finish(&trace, ok);
+        response
+    }
+
+    fn dispatch_traced(&self, request: &Json, op: Option<&str>, trace: &Trace) -> Json {
+        let engine = &self.engine;
+        // Hand handlers `None` when telemetry is off so they skip their
+        // own clock reads, not just the recording.
+        let trace = trace.enabled().then_some(trace);
+        match op {
+            Some("register") => handle_register(engine, request, trace),
+            Some("query") => handle_query(engine, request, trace),
             Some("estimate_multi") => handle_estimate_multi(engine, request),
-            Some("append_rows") => handle_append_rows(engine, request),
-            Some("refresh") => handle_refresh(engine, request),
+            Some("append_rows") => handle_append_rows(engine, request, trace),
+            Some("refresh") => handle_refresh(engine, request, trace),
             Some("stats") => handle_stats(engine, request),
             Some("list") => handle_list(engine),
             Some("health") => handle_health(engine),
+            Some("server_stats") => self.handle_server_stats(),
             Some("drop") => handle_drop(engine, request),
             Some(other) => error_response(Some(other), &format!("unknown op {other:?}")),
             None => error_response(None, "missing \"op\" field"),
         }
+    }
+
+    /// Per-dataset cache introspection rows, shared by the JSON and
+    /// Prometheus exposures.
+    fn cache_rows(&self) -> Vec<(String, u64, u64, u64, u64)> {
+        self.engine
+            .store()
+            .list()
+            .iter()
+            .map(|entry| {
+                let stats = entry.cache().stats();
+                (
+                    entry.name().to_string(),
+                    entry.cache().len() as u64,
+                    stats.hits(),
+                    stats.misses(),
+                    stats.invalidations(),
+                )
+            })
+            .collect()
+    }
+
+    /// `server_stats`: the whole metric registry as JSON — the framed
+    /// protocol's equivalent of `GET /metrics`. Counters and gauges are
+    /// flat `series → value` objects keyed like Prometheus series;
+    /// histograms report count/sum and p50/p95/p99; `cache` carries the
+    /// per-dataset hit/miss/invalidation rows.
+    fn handle_server_stats(&self) -> Json {
+        let snapshot = self.telemetry.registry().snapshot();
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for series in &snapshot {
+            let key = series_key(&series.name, &series.labels);
+            match &series.value {
+                SnapshotValue::Counter(v) => counters.push((key, Json::num(*v as f64))),
+                SnapshotValue::Gauge(v) => gauges.push((key, Json::num(*v as f64))),
+                SnapshotValue::Histogram {
+                    count,
+                    sum_secs,
+                    p50,
+                    p95,
+                    p99,
+                    ..
+                } => histograms.push((
+                    key,
+                    Json::obj([
+                        ("count", Json::num(*count as f64)),
+                        ("sum_secs", Json::num(*sum_secs)),
+                        ("p50_secs", Json::num(*p50)),
+                        ("p95_secs", Json::num(*p95)),
+                        ("p99_secs", Json::num(*p99)),
+                    ]),
+                )),
+            }
+        }
+        let cache: Vec<Json> = self
+            .cache_rows()
+            .into_iter()
+            .map(|(dataset, entries, hits, misses, invalidations)| {
+                Json::obj([
+                    ("dataset", Json::str(&dataset)),
+                    ("entries", Json::num(entries as f64)),
+                    ("hits", Json::num(hits as f64)),
+                    ("misses", Json::num(misses as f64)),
+                    ("invalidations", Json::num(invalidations as f64)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("op", Json::str("server_stats")),
+            ("telemetry_enabled", Json::Bool(self.telemetry.is_enabled())),
+            ("counters", Json::Obj(counters)),
+            ("gauges", Json::Obj(gauges)),
+            ("histograms", Json::Obj(histograms)),
+            ("cache", Json::Arr(cache)),
+        ])
+    }
+
+    /// Renders the registry plus the per-dataset cache families in the
+    /// Prometheus text exposition format — the `GET /metrics` body.
+    pub fn metrics_text(&self) -> String {
+        let mut snapshot = self.telemetry.registry().snapshot();
+        for (dataset, entries, hits, misses, invalidations) in self.cache_rows() {
+            let labels = vec![("dataset".to_string(), dataset)];
+            snapshot.push(MetricSnapshot {
+                name: "pclabel_cache_entries".to_string(),
+                help: "Pattern-cache entries currently held, per dataset.".to_string(),
+                labels: labels.clone(),
+                value: SnapshotValue::Gauge(entries),
+            });
+            snapshot.push(MetricSnapshot {
+                name: "pclabel_cache_hits_total".to_string(),
+                help: "Pattern-cache hits since the last refresh, per dataset.".to_string(),
+                labels: labels.clone(),
+                value: SnapshotValue::Counter(hits),
+            });
+            snapshot.push(MetricSnapshot {
+                name: "pclabel_cache_misses_total".to_string(),
+                help: "Pattern-cache misses since the last refresh, per dataset.".to_string(),
+                labels: labels.clone(),
+                value: SnapshotValue::Counter(misses),
+            });
+            snapshot.push(MetricSnapshot {
+                name: "pclabel_cache_invalidations_total".to_string(),
+                help: "Pattern-cache entries dropped by refresh/append invalidation, per dataset."
+                    .to_string(),
+                labels,
+                value: SnapshotValue::Counter(invalidations),
+            });
+        }
+        pclabel_telemetry::render_prometheus(&snapshot)
     }
 }
 
@@ -274,7 +434,7 @@ fn entry_summary(entry: &StoreEntry) -> Vec<(String, Json)> {
     ]
 }
 
-fn handle_register(engine: &Engine, request: &Json) -> Json {
+fn handle_register(engine: &Engine, request: &Json, trace: Option<&Trace>) -> Json {
     let name = match require_dataset_name(request) {
         Ok(n) => n,
         Err(e) => return error_response(Some("register"), &e),
@@ -287,7 +447,7 @@ fn handle_register(engine: &Engine, request: &Json) -> Json {
         Ok(p) => p,
         Err(e) => return error_response(Some("register"), &e),
     };
-    match engine.store().register(name, dataset, policy) {
+    match engine.store().register_traced(name, dataset, policy, trace) {
         Ok(entry) => {
             let mut members = vec![
                 ("ok".to_string(), Json::Bool(true)),
@@ -335,7 +495,7 @@ fn parse_pattern_specs(request: &Json) -> Result<Vec<PatternSpec>, String> {
     Ok(specs)
 }
 
-fn handle_query(engine: &Engine, request: &Json) -> Json {
+fn handle_query(engine: &Engine, request: &Json, trace: Option<&Trace>) -> Json {
     let dataset = match require_dataset_name(request) {
         Ok(n) => n,
         Err(e) => return error_response(Some("query"), &e),
@@ -349,7 +509,7 @@ fn handle_query(engine: &Engine, request: &Json) -> Json {
         dataset,
         patterns: specs,
     };
-    match engine.execute(&query) {
+    match engine.execute_traced(&query, trace) {
         Ok(response) => {
             let results: Vec<Json> = response
                 .results
@@ -575,7 +735,7 @@ fn parse_append_rows(request: &Json) -> Result<Vec<Vec<Option<String>>>, String>
 /// `append_rows`: fold a batch of new rows into a registered dataset and
 /// its label (incrementally when the schema is stable — see
 /// [`crate::store::LabelStore::append_rows`]).
-fn handle_append_rows(engine: &Engine, request: &Json) -> Json {
+fn handle_append_rows(engine: &Engine, request: &Json, trace: Option<&Trace>) -> Json {
     let name = match require_dataset_name(request) {
         Ok(n) => n,
         Err(e) => return error_response(Some("append_rows"), &e),
@@ -584,7 +744,7 @@ fn handle_append_rows(engine: &Engine, request: &Json) -> Json {
         Ok(r) => r,
         Err(e) => return error_response(Some("append_rows"), &e),
     };
-    match engine.store().append_rows(&name, &rows) {
+    match engine.store().append_rows_traced(&name, &rows, trace) {
         Ok(report) => Json::obj([
             ("ok", Json::Bool(true)),
             ("op", Json::str("append_rows")),
@@ -608,7 +768,7 @@ fn handle_append_rows(engine: &Engine, request: &Json) -> Json {
     }
 }
 
-fn handle_refresh(engine: &Engine, request: &Json) -> Json {
+fn handle_refresh(engine: &Engine, request: &Json, trace: Option<&Trace>) -> Json {
     let name = match require_dataset_name(request) {
         Ok(n) => n,
         Err(e) => return error_response(Some("refresh"), &e),
@@ -621,7 +781,7 @@ fn handle_refresh(engine: &Engine, request: &Json) -> Json {
         Ok(p) => p,
         Err(e) => return error_response(Some("refresh"), &e),
     };
-    match engine.store().refresh(&name, policy) {
+    match engine.store().refresh_traced(&name, policy, trace) {
         Ok(_generation) => {
             let mut members = vec![
                 ("ok".to_string(), Json::Bool(true)),
@@ -645,6 +805,10 @@ fn handle_stats(engine: &Engine, request: &Json) -> Json {
                 ("entries", Json::num(entry.cache().len() as f64)),
                 ("hits", Json::num(entry.cache().stats().hits() as f64)),
                 ("misses", Json::num(entry.cache().stats().misses() as f64)),
+                (
+                    "invalidations",
+                    Json::num(entry.cache().stats().invalidations() as f64),
+                ),
             ]);
             let mut members = vec![
                 ("ok".to_string(), Json::Bool(true)),
@@ -989,5 +1153,76 @@ mod tests {
             .and_then(Json::as_array)
             .unwrap();
         assert!(results[0].get("error").is_some());
+    }
+
+    #[test]
+    fn server_stats_reports_request_counters_and_cache() {
+        let dispatcher = Dispatcher::with_config(EngineConfig::default());
+        let lines = concat!(
+            "{\"op\":\"register\",\"dataset\":\"census\",\"generator\":\"figure2\",\"bound\":5}\n",
+            "{\"op\":\"query\",\"dataset\":\"census\",\"patterns\":[{\"gender\":\"Female\"}]}\n",
+            "{\"op\":\"query\",\"dataset\":\"census\",\"patterns\":[{\"gender\":\"Female\"}]}\n",
+            "{\"op\":\"server_stats\"}\n",
+        );
+        let mut out = Vec::new();
+        serve(&dispatcher, lines.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let stats = Json::parse(text.lines().last().unwrap()).unwrap();
+        assert_eq!(stats.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(stats.get("telemetry_enabled"), Some(&Json::Bool(true)));
+        let counters = stats.get("counters").unwrap();
+        assert_eq!(
+            counters
+                .get("pclabel_requests_total{op=\"query\"}")
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            counters
+                .get("pclabel_requests_total{op=\"register\"}")
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        let caches = stats.get("cache").and_then(Json::as_array).unwrap();
+        assert_eq!(caches.len(), 1);
+        assert_eq!(
+            caches[0].get("dataset").and_then(Json::as_str),
+            Some("census")
+        );
+        // The repeated query is a cache hit; the first was a miss.
+        assert_eq!(caches[0].get("hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(caches[0].get("misses").and_then(Json::as_u64), Some(1));
+
+        let histograms = stats.get("histograms").unwrap();
+        let latency = histograms
+            .get("pclabel_request_seconds{op=\"register\"}")
+            .expect("register latency histogram");
+        assert_eq!(latency.get("count").and_then(Json::as_u64), Some(1));
+
+        // The Prometheus rendering covers the same series, well formed.
+        let metrics = dispatcher.metrics_text();
+        assert!(metrics.contains("# TYPE pclabel_requests_total counter"));
+        assert!(metrics.contains("pclabel_requests_total{op=\"query\"} 2"));
+        assert!(metrics.contains("pclabel_cache_hits_total{dataset=\"census\"} 1"));
+        assert!(metrics.contains("# TYPE pclabel_request_seconds histogram"));
+    }
+
+    #[test]
+    fn disabled_telemetry_dispatches_identically() {
+        use pclabel_telemetry::Telemetry;
+        let dispatcher = Dispatcher::with_telemetry(EngineConfig::default(), Telemetry::disabled());
+        let req = "{\"op\":\"register\",\"dataset\":\"a\",\"generator\":\"figure2\",\"bound\":5}";
+        let resp = dispatcher.dispatch_line(req);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        let stats = dispatcher.dispatch_line("{\"op\":\"server_stats\"}");
+        assert_eq!(stats.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(stats.get("telemetry_enabled"), Some(&Json::Bool(false)));
+        let counters = stats.get("counters").unwrap();
+        assert_eq!(
+            counters
+                .get("pclabel_requests_total{op=\"register\"}")
+                .and_then(Json::as_u64),
+            Some(0)
+        );
     }
 }

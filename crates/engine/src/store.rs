@@ -17,11 +17,13 @@ use std::fmt;
 use std::sync::{Arc, RwLock};
 
 use pclabel_core::attrset::AttrSet;
+use pclabel_core::counting::CountingProfile;
 use pclabel_core::hash::FxHashMap;
 use pclabel_core::label::Label;
 use pclabel_core::search::{top_down_search, SearchOptions};
 use pclabel_data::dataset::Dataset;
 use pclabel_data::error::DataError;
+use pclabel_telemetry::{Phase, Trace};
 
 use crate::cache::ShardedCache;
 use crate::parallel::auto_threads;
@@ -200,7 +202,22 @@ impl fmt::Debug for StoreEntry {
     }
 }
 
-fn compute_label(dataset: &Dataset, policy: LabelPolicy) -> Result<Label, EngineError> {
+/// Folds a counting build profile into a request trace, when one is
+/// attached.
+fn record_profile(trace: Option<&Trace>, profile: &CountingProfile) {
+    if let Some(trace) = trace {
+        trace.add_phase_secs(Phase::CountPartition, profile.partition_secs);
+        trace.add_phase_secs(Phase::CountCount, profile.count_secs);
+        trace.add_phase_secs(Phase::CountAssemble, profile.assemble_secs);
+        trace.record_peak_bytes(profile.peak_bytes);
+    }
+}
+
+fn compute_label(
+    dataset: &Dataset,
+    policy: LabelPolicy,
+    trace: Option<&Trace>,
+) -> Result<Label, EngineError> {
     match policy {
         LabelPolicy::Attrs(attrs) => {
             let n = dataset.n_attrs();
@@ -209,14 +226,15 @@ fn compute_label(dataset: &Dataset, policy: LabelPolicy) -> Result<Label, Engine
                     "label attribute index {bad} out of range (dataset has {n} attributes)"
                 )));
             }
-            Ok(Label::build_parallel(
-                dataset,
-                attrs,
-                auto_threads(dataset.n_rows()),
-            ))
+            let (label, profile) =
+                Label::build_parallel_profiled(dataset, attrs, auto_threads(dataset.n_rows()));
+            record_profile(trace, &profile);
+            Ok(label)
         }
-        LabelPolicy::SearchBound(bound) => compute_search_label(dataset, bound, true),
-        LabelPolicy::Search { bound, refine } => compute_search_label(dataset, bound, refine),
+        LabelPolicy::SearchBound(bound) => compute_search_label(dataset, bound, true, trace),
+        LabelPolicy::Search { bound, refine } => {
+            compute_search_label(dataset, bound, refine, trace)
+        }
     }
 }
 
@@ -225,13 +243,22 @@ fn compute_label(dataset: &Dataset, policy: LabelPolicy) -> Result<Label, Engine
 /// and hardware (`auto_threads`), and the lattice-aware refinement
 /// evaluator on by default (`refine: false` is the cold-rebuild
 /// ablation; results are bit-identical either way).
-fn compute_search_label(dataset: &Dataset, bound: u64, refine: bool) -> Result<Label, EngineError> {
+fn compute_search_label(
+    dataset: &Dataset,
+    bound: u64,
+    refine: bool,
+    trace: Option<&Trace>,
+) -> Result<Label, EngineError> {
     let workers = auto_threads(dataset.n_rows());
     let opts = SearchOptions::with_bound(bound)
         .refine(refine)
         .threads(workers)
         .count_threads(workers);
+    let t0 = std::time::Instant::now();
     let outcome = top_down_search(dataset, &opts)?;
+    if let Some(trace) = trace {
+        trace.add_phase(Phase::SearchEval, t0.elapsed());
+    }
     outcome.into_best_label().ok_or_else(|| {
         EngineError::BadRequest(format!("search with bound {bound} produced no label"))
     })
@@ -258,11 +285,23 @@ impl LabelStore {
         dataset: Dataset,
         policy: LabelPolicy,
     ) -> Result<Arc<StoreEntry>, EngineError> {
+        self.register_traced(name, dataset, policy, None)
+    }
+
+    /// [`LabelStore::register`] with an optional request trace recording
+    /// the counting/search phases of the label build.
+    pub fn register_traced(
+        &self,
+        name: impl Into<String>,
+        dataset: Dataset,
+        policy: LabelPolicy,
+        trace: Option<&Trace>,
+    ) -> Result<Arc<StoreEntry>, EngineError> {
         let name = name.into();
         if self.entries.read().expect("store lock").contains_key(&name) {
             return Err(EngineError::AlreadyRegistered(name));
         }
-        let label = compute_label(&dataset, policy)?;
+        let label = compute_label(&dataset, policy, trace)?;
         let entry = Arc::new(StoreEntry {
             name: name.clone().into_boxed_str(),
             state: RwLock::new(EntryState {
@@ -298,12 +337,23 @@ impl LabelStore {
     /// [`StoreEntry::with_snapshot`] finish against their snapshot first,
     /// and no estimate they cached can survive the refresh.
     pub fn refresh(&self, name: &str, policy: LabelPolicy) -> Result<u64, EngineError> {
+        self.refresh_traced(name, policy, None)
+    }
+
+    /// [`LabelStore::refresh`] with an optional request trace recording
+    /// the counting/search phases of the rebuild.
+    pub fn refresh_traced(
+        &self,
+        name: &str,
+        policy: LabelPolicy,
+        trace: Option<&Trace>,
+    ) -> Result<u64, EngineError> {
         let entry = self.get(name)?;
         let mut dataset = entry.dataset();
         // A few optimistic passes: compute outside the lock so
         // lookups/queries never stall behind an expensive search…
         for _ in 0..3 {
-            let label = compute_label(&dataset, policy)?;
+            let label = compute_label(&dataset, policy, trace)?;
             let mut cur = entry.state.write().expect("entry lock");
             // …but since datasets became appendable, the snapshot can go
             // stale mid-compute: installing a label built from the
@@ -320,7 +370,7 @@ impl LabelStore {
         // one label build, but the refresh is guaranteed to land instead
         // of retrying forever.
         let mut cur = entry.state.write().expect("entry lock");
-        let label = compute_label(&Arc::clone(&cur.dataset), policy)?;
+        let label = compute_label(&Arc::clone(&cur.dataset), policy, trace)?;
         Ok(Self::install_refreshed(&entry, &mut cur, label))
     }
 
@@ -365,6 +415,17 @@ impl LabelStore {
         name: &str,
         rows: &[Vec<Option<S>>],
     ) -> Result<AppendReport, EngineError> {
+        self.append_rows_traced(name, rows, None)
+    }
+
+    /// [`LabelStore::append_rows`] with an optional request trace
+    /// recording the label update's counting phases.
+    pub fn append_rows_traced<S: AsRef<str>>(
+        &self,
+        name: &str,
+        rows: &[Vec<Option<S>>],
+        trace: Option<&Trace>,
+    ) -> Result<AppendReport, EngineError> {
         let entry = self.get(name)?;
         if rows.is_empty() {
             return Err(EngineError::BadRequest(
@@ -377,7 +438,7 @@ impl LabelStore {
         for _ in 0..3 {
             let (dataset0, label0, generation0) = entry.snapshot();
             let (dataset, label, incremental, touched) =
-                Self::appended_state(&dataset0, &label0, rows)?;
+                Self::appended_state(&dataset0, &label0, rows, trace)?;
             let mut cur = entry.state.write().expect("entry lock");
             if cur.generation != generation0 {
                 continue;
@@ -396,8 +457,12 @@ impl LabelStore {
         // compute the last one under the write lock so the append is
         // guaranteed to land instead of retrying forever.
         let mut cur = entry.state.write().expect("entry lock");
-        let (dataset, label, incremental, touched) =
-            Self::appended_state(&Arc::clone(&cur.dataset), &Arc::clone(&cur.label), rows)?;
+        let (dataset, label, incremental, touched) = Self::appended_state(
+            &Arc::clone(&cur.dataset),
+            &Arc::clone(&cur.label),
+            rows,
+            trace,
+        )?;
         Ok(Self::install_append(
             &entry,
             &mut cur,
@@ -420,16 +485,27 @@ impl LabelStore {
         base: &Dataset,
         label: &Label,
         rows: &[Vec<Option<S>>],
+        trace: Option<&Trace>,
     ) -> Result<(Dataset, Arc<Label>, bool, Vec<u32>), EngineError> {
         let mut dataset = base.clone();
         let old_rows = dataset.n_rows();
         dataset.append_labeled_rows(rows)?;
         if label.can_append(&dataset) {
+            let t0 = std::time::Instant::now();
             let (label, touched) = label.with_appended(&dataset, old_rows..dataset.n_rows());
+            if let Some(trace) = trace {
+                // The incremental path is a pure counting update: no
+                // partition pass, no reassembly from shard parts.
+                trace.add_phase(Phase::CountCount, t0.elapsed());
+            }
             Ok((dataset, Arc::new(label), true, touched))
         } else {
-            let rebuilt =
-                Label::build_parallel(&dataset, label.attrs(), auto_threads(dataset.n_rows()));
+            let (rebuilt, profile) = Label::build_parallel_profiled(
+                &dataset,
+                label.attrs(),
+                auto_threads(dataset.n_rows()),
+            );
+            record_profile(trace, &profile);
             Ok((dataset, Arc::new(rebuilt), false, Vec::new()))
         }
     }

@@ -59,6 +59,16 @@ fn main() {
     let health = http.request("GET", "/healthz", None).expect("GET /healthz");
     println!("http {} {}", health.status, health.body);
 
+    // Optional telemetry dump for ci/net_smoke.sh: scrape /metrics into
+    // a file, keeping stdout byte-identical across connection models.
+    if let Ok(path) = std::env::var("PCLABEL_REPLAY_METRICS_OUT") {
+        if !path.is_empty() {
+            let scrape = http.request("GET", "/metrics", None).expect("GET /metrics");
+            assert_eq!(scrape.status, 200, "metrics scrape failed");
+            std::fs::write(&path, scrape.body).expect("write metrics dump");
+        }
+    }
+
     let bye = framed
         .request_line(r#"{"op":"shutdown"}"#)
         .expect("shutdown round-trip");

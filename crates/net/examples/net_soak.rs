@@ -96,6 +96,33 @@ fn main() {
         );
     }
 
+    // Transport gauges through the wire op: every parked connection is
+    // idle between requests, so nothing may be waiting for a worker and
+    // nothing may have been evicted. ci/net_soak.sh greps this line.
+    let stats = fresh
+        .request_line(r#"{"op":"server_stats"}"#)
+        .expect("server_stats round-trip");
+    let stats = Json::parse(&stats).expect("server_stats JSON");
+    assert_eq!(
+        stats.get("ok"),
+        Some(&Json::Bool(true)),
+        "server_stats failed: {stats}"
+    );
+    let series = |group: &str, name: &str| {
+        stats
+            .get(group)
+            .and_then(|g| g.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("missing {group} series {name}: {stats}"))
+    };
+    println!(
+        "net_soak: gauges open_connections={} parked_jobs={} evictions={} overloaded={}",
+        series("gauges", "pclabel_net_open_connections"),
+        series("gauges", "pclabel_net_parked_jobs"),
+        series("counters", "pclabel_net_evictions_total"),
+        series("counters", "pclabel_net_overloaded_total"),
+    );
+
     let shutdown = fresh
         .request_line(r#"{"op":"shutdown"}"#)
         .expect("shutdown round-trip");

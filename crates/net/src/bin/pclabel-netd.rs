@@ -9,9 +9,10 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use pclabel_engine::query::{Engine, EngineConfig};
+use pclabel_engine::query::EngineConfig;
 use pclabel_engine::serve::Dispatcher;
 use pclabel_net::server::{ConnectionModel, NetServer, ServerConfig};
+use pclabel_telemetry::{LogLevel, Logger, Telemetry};
 
 const USAGE: &str = "\
 pclabel-netd — serve pattern count-based labels over TCP/HTTP
@@ -49,15 +50,22 @@ options:
   --force-poll             reactor only: use the portable poll(2) backend
                            even where epoll is available (diagnostics)
   --allow-remote-shutdown  honour {\"op\":\"shutdown\"} from clients
+  --log-level LEVEL        structured JSON log verbosity on stderr:
+                           error, warn, info or debug (default info;
+                           debug logs every request with per-phase spans)
+  --slow-query-ms MS       log requests slower than MS as slow_query
+                           warnings with per-phase timing spans
+                           (default 0 = disabled)
   -h, --help               this text
 
 Wire protocols on one port, sniffed from the first bytes:
   framed TCP   u32 big-endian payload length + JSON request, same framing
                back; persistent connections
   HTTP/1.1     POST /query | /register | /append_rows | /refresh | /drop
-               | /estimate_multi with the request JSON as body;
-               GET /stats?dataset=NAME; GET /healthz; POST / with an
-               {\"op\":...} body; keep-alive
+               | /estimate_multi | /server_stats with the request JSON
+               as body; GET /stats?dataset=NAME; GET /healthz;
+               GET /metrics (Prometheus text; HEAD works on all three);
+               POST / with an {\"op\":...} body; keep-alive
 
 environment:
   PCLABEL_QUERY_THREADS    worker threads for large query batches
@@ -76,6 +84,8 @@ fn main() {
         model: ConnectionModel::platform_default(),
         ..ServerConfig::default()
     };
+    let mut log_level = LogLevel::Info;
+    let mut slow_query: Option<Duration> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -138,6 +148,17 @@ fn main() {
                 config.write_timeout = timeout;
             }
             "--allow-remote-shutdown" => config.allow_remote_shutdown = true,
+            "--log-level" => {
+                log_level = value("--log-level")
+                    .parse()
+                    .unwrap_or_else(|e: String| fail(&e))
+            }
+            "--slow-query-ms" => {
+                let ms: u64 = value("--slow-query-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--slow-query-ms needs an integer"));
+                slow_query = (ms > 0).then(|| Duration::from_millis(ms));
+            }
             other => fail(&format!("unknown flag {other:?}")),
         }
     }
@@ -146,10 +167,14 @@ fn main() {
         .ok()
         .and_then(|s| s.parse::<usize>().ok())
         .unwrap_or(0);
-    let dispatcher = Arc::new(Dispatcher::new(Engine::new(EngineConfig {
-        query_threads,
-        ..EngineConfig::default()
-    })));
+    let telemetry = Telemetry::with_logger(Logger::new(log_level, slow_query));
+    let dispatcher = Arc::new(Dispatcher::with_telemetry(
+        EngineConfig {
+            query_threads,
+            ..EngineConfig::default()
+        },
+        telemetry,
+    ));
 
     let workers = config.workers;
     let model = config.model;

@@ -161,7 +161,9 @@ impl HttpClient {
             self.stream.write_all(body.as_bytes())?;
         }
         self.stream.flush()?;
-        self.read_response()
+        // A HEAD response declares the Content-Length its GET twin would
+        // carry but sends no body bytes — reading them would hang.
+        self.read_response(method.eq_ignore_ascii_case("HEAD"))
     }
 
     fn fill(&mut self) -> io::Result<()> {
@@ -177,7 +179,7 @@ impl HttpClient {
         Ok(())
     }
 
-    fn read_response(&mut self) -> io::Result<HttpResponse> {
+    fn read_response(&mut self, head_only: bool) -> io::Result<HttpResponse> {
         let head_end = loop {
             if let Some(pos) = self
                 .carry
@@ -205,11 +207,15 @@ impl HttpClient {
                     .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
             })
             .collect();
-        let content_length = headers
-            .iter()
-            .find(|(k, _)| k == "content-length")
-            .and_then(|(_, v)| v.parse::<usize>().ok())
-            .unwrap_or(0);
+        let content_length = if head_only {
+            0
+        } else {
+            headers
+                .iter()
+                .find(|(k, _)| k == "content-length")
+                .and_then(|(_, v)| v.parse::<usize>().ok())
+                .unwrap_or(0)
+        };
         while self.carry.len() < content_length {
             self.fill()?;
         }

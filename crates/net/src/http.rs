@@ -5,6 +5,13 @@
 //! * `GET /healthz` — liveness probe (the dispatcher's `health` op);
 //! * `GET /stats?dataset=NAME` — per-dataset stats; without a `dataset`
 //!   parameter this degrades to the `list` op;
+//! * `GET /metrics` — the telemetry registry in Prometheus text format
+//!   (`text/plain; version=0.0.4`). Served at the route level without
+//!   dispatching, so a scrape never perturbs the request counters it
+//!   reports;
+//! * `HEAD` on any of the three GET routes — identical status line and
+//!   headers (including the `Content-Length` the GET would carry), no
+//!   body;
 //! * `POST /query`, `POST /register`, `POST /append_rows`,
 //!   `POST /refresh`, `POST /drop`, `POST /estimate_multi`, … — the JSON
 //!   body is the protocol request;
@@ -243,18 +250,62 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Serialises one complete response (head + body). The single
-/// serialisation point for both connection models, so an HTTP exchange
-/// is byte-identical whether a pool worker or the reactor wrote it.
+/// Serialises one complete JSON response (head + body). The single
+/// serialisation point for error paths in both connection models, so an
+/// HTTP exchange is byte-identical whether a pool worker or the reactor
+/// wrote it. Routed responses go through [`routed_bytes`], which
+/// produces the same bytes for JSON non-`HEAD` exchanges.
 pub(crate) fn response_bytes(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
+    routed_bytes(
+        &Routed {
+            status,
+            body: body.to_string(),
+            content_type: "application/json",
+            head_only: false,
+            shutdown: false,
+        },
+        keep_alive,
+    )
+}
+
+/// One routed response before serialisation. `head_only` (a `HEAD`
+/// request) keeps the body for its `Content-Length` header but does not
+/// put it on the wire.
+pub(crate) struct Routed {
+    pub(crate) status: u16,
+    pub(crate) body: String,
+    pub(crate) content_type: &'static str,
+    pub(crate) head_only: bool,
+    pub(crate) shutdown: bool,
+}
+
+impl Routed {
+    fn json(status: u16, body: String, shutdown: bool) -> Routed {
+        Routed {
+            status,
+            body,
+            content_type: "application/json",
+            head_only: false,
+            shutdown,
+        }
+    }
+}
+
+/// Serialises a routed response. The shared serialisation point for
+/// both connection models (byte-identity across pool and reactor).
+pub(crate) fn routed_bytes(routed: &Routed, keep_alive: bool) -> Vec<u8> {
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-        reason(status),
-        body.len(),
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        routed.status,
+        reason(routed.status),
+        routed.content_type,
+        routed.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
     let mut bytes = head.into_bytes();
-    bytes.extend_from_slice(body.as_bytes());
+    if !routed.head_only {
+        bytes.extend_from_slice(routed.body.as_bytes());
+    }
     bytes
 }
 
@@ -330,15 +381,15 @@ fn hex_val(b: Option<&u8>) -> Option<u8> {
     }
 }
 
-/// Routes one request. Returns `(status, body, shutdown_requested)`.
-pub(crate) fn route(request: &Request, shared: &Shared) -> (u16, String, bool) {
+/// Routes one request.
+pub(crate) fn route(request: &Request, shared: &Shared) -> Routed {
     let (path, params) = split_target(&request.target);
-    match (request.method.as_str(), path) {
-        ("GET", "/healthz") => {
+    let mut routed = match (request.method.as_str(), path) {
+        ("GET" | "HEAD", "/healthz") => {
             let response = shared.dispatcher.dispatch_line("{\"op\":\"health\"}");
-            (200, response.to_string(), false)
+            Routed::json(200, response.to_string(), false)
         }
-        ("GET", "/stats") => {
+        ("GET" | "HEAD", "/stats") => {
             let op = match params.iter().find(|(k, _)| k == "dataset") {
                 Some((_, name)) => Json::obj([
                     ("op", Json::str("stats")),
@@ -348,30 +399,53 @@ pub(crate) fn route(request: &Request, shared: &Shared) -> (u16, String, bool) {
             };
             let response = shared.dispatcher.dispatch(&op);
             let ok = response.get("ok") == Some(&Json::Bool(true));
-            (if ok { 200 } else { 400 }, response.to_string(), false)
+            Routed::json(if ok { 200 } else { 400 }, response.to_string(), false)
         }
-        ("POST", path) => {
+        // Served without dispatching: a scrape must not perturb the
+        // request counters it reports.
+        ("GET" | "HEAD", "/metrics") => Routed {
+            status: 200,
+            body: shared.dispatcher.metrics_text(),
+            content_type: "text/plain; version=0.0.4",
+            head_only: false,
+            shutdown: false,
+        },
+        ("POST", path) => 'post: {
             let Ok(body) = std::str::from_utf8(&request.body) else {
-                return (400, error_body("request body is not valid UTF-8"), false);
+                break 'post Routed::json(
+                    400,
+                    error_body("request body is not valid UTF-8"),
+                    false,
+                );
             };
             let (response, shutdown) = match implied_op(path) {
                 None if path == "/" => process_line(body, shared),
-                None => return (404, error_body(&format!("unknown path {path:?}")), false),
+                None => {
+                    break 'post Routed::json(
+                        404,
+                        error_body(&format!("unknown path {path:?}")),
+                        false,
+                    )
+                }
                 Some(op) => match inject_op(body, op) {
                     Ok(request) => process_request(&request, shared),
-                    Err(message) => return (400, error_body(&message), false),
+                    Err(message) => break 'post Routed::json(400, error_body(&message), false),
                 },
             };
             let ok = response.get("ok") == Some(&Json::Bool(true));
-            (if ok { 200 } else { 400 }, response.to_string(), shutdown)
+            Routed::json(if ok { 200 } else { 400 }, response.to_string(), shutdown)
         }
-        ("GET", path) => (404, error_body(&format!("unknown path {path:?}")), false),
-        (method, _) => (
+        ("GET" | "HEAD", path) => {
+            Routed::json(404, error_body(&format!("unknown path {path:?}")), false)
+        }
+        (method, _) => Routed::json(
             405,
             error_body(&format!("method {method:?} is not supported")),
             false,
         ),
-    }
+    };
+    routed.head_only = request.method == "HEAD";
+    routed
 }
 
 /// The protocol op implied by a `POST /<op>` path, if any.
@@ -379,7 +453,7 @@ fn implied_op(path: &str) -> Option<&str> {
     match path.strip_prefix('/') {
         Some(
             op @ ("register" | "query" | "estimate_multi" | "append_rows" | "refresh" | "stats"
-            | "list" | "health" | "drop" | "shutdown"),
+            | "list" | "health" | "drop" | "shutdown" | "server_stats"),
         ) => Some(op),
         _ => None,
     }
@@ -432,12 +506,14 @@ pub(crate) fn serve_connection(stream: TcpStream, first4: [u8; 4], shared: &Shar
                 return;
             }
             ReadRequest::Ok(request) => {
-                let (status, body, shutdown) = route(&request, shared);
-                let keep_alive = request.keep_alive() && !shutdown && !shared.shutting_down();
-                if write_response(&mut conn.stream, status, &body, keep_alive).is_err() {
-                    return;
-                }
-                if !keep_alive {
+                let routed = route(&request, shared);
+                let keep_alive =
+                    request.keep_alive() && !routed.shutdown && !shared.shutting_down();
+                let write = conn
+                    .stream
+                    .write_all(&routed_bytes(&routed, keep_alive))
+                    .and_then(|()| conn.stream.flush());
+                if write.is_err() || !keep_alive {
                     return;
                 }
             }
@@ -502,6 +578,7 @@ mod tests {
             "health",
             "drop",
             "shutdown",
+            "server_stats",
         ] {
             assert_eq!(implied_op(&format!("/{op}")), Some(op));
         }

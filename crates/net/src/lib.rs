@@ -83,6 +83,7 @@
 pub mod client;
 pub mod frame;
 pub mod http;
+pub(crate) mod metrics;
 pub mod pool;
 #[cfg(unix)]
 pub(crate) mod reactor;

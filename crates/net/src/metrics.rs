@@ -1,0 +1,67 @@
+//! Connection-level telemetry for the network front end.
+//!
+//! Both connection models report through the same handles, registered
+//! in the dispatcher's [`Registry`] at server spawn — so one `/metrics`
+//! scrape (or `{"op":"server_stats"}`) covers the engine and the
+//! transport alike, and pool vs reactor runs expose identical series.
+//! When the dispatcher's telemetry is disabled every update below is a
+//! single predictable branch (see `pclabel-telemetry`).
+
+use std::sync::Arc;
+
+use pclabel_telemetry::{Counter, Gauge, Histogram, Registry};
+
+/// Handles shared by the acceptor, the reactor loop and pool workers.
+pub(crate) struct NetMetrics {
+    /// Currently open client connections (reactor: owned state
+    /// machines; pool: connections occupying a worker).
+    pub(crate) open_connections: Arc<Gauge>,
+    /// Requests parked in the reactor because the pool queue was full.
+    pub(crate) parked_jobs: Arc<Gauge>,
+    /// Connections accepted since startup.
+    pub(crate) accepts: Arc<Counter>,
+    /// Idle connections evicted by the reactor's connection cap.
+    pub(crate) evictions: Arc<Counter>,
+    /// Requests refused with `overloaded` (HTTP 429 / framed error).
+    pub(crate) overloaded: Arc<Counter>,
+    /// Reactor loop busy time between two poll waits: how long a poll
+    /// wakeup keeps the one shared thread before it can sleep again.
+    pub(crate) loop_busy: Arc<Histogram>,
+}
+
+impl NetMetrics {
+    pub(crate) fn register(registry: &Registry) -> NetMetrics {
+        NetMetrics {
+            open_connections: registry.gauge(
+                "pclabel_net_open_connections",
+                "Currently open client connections.",
+                &[],
+            ),
+            parked_jobs: registry.gauge(
+                "pclabel_net_parked_jobs",
+                "Requests parked in the reactor waiting for a pool worker.",
+                &[],
+            ),
+            accepts: registry.counter(
+                "pclabel_net_accepts_total",
+                "Connections accepted since startup.",
+                &[],
+            ),
+            evictions: registry.counter(
+                "pclabel_net_evictions_total",
+                "Idle connections evicted by the reactor connection cap.",
+                &[],
+            ),
+            overloaded: registry.counter(
+                "pclabel_net_overloaded_total",
+                "Requests refused for overload (HTTP 429 or framed error).",
+                &[],
+            ),
+            loop_busy: registry.histogram(
+                "pclabel_net_loop_busy_seconds",
+                "Reactor poll-loop busy time between two waits.",
+                &[],
+            ),
+        }
+    }
+}

@@ -516,6 +516,7 @@ pub(crate) fn spawn(shared: Arc<Shared>, listener: TcpListener) -> io::Result<Jo
 impl Reactor {
     fn run(mut self) {
         let mut events: Vec<Event> = Vec::new();
+        let mut busy_since = Instant::now();
         loop {
             self.process_completions();
             self.expire_deadlines();
@@ -526,9 +527,16 @@ impl Reactor {
                 }
             }
             let timeout = self.next_timeout();
+            // How long this wakeup kept the one shared thread busy — the
+            // latency every other ready connection waited through.
+            self.shared
+                .metrics
+                .loop_busy
+                .observe(busy_since.elapsed().as_secs_f64());
             if self.poller.wait(&mut events, Some(timeout)).is_err() {
                 break; // fatal poller failure: drop everything
             }
+            busy_since = Instant::now();
             // `events` is a local, so iterating it does not conflict
             // with the handlers' `&mut self`; the buffer (and its
             // capacity) is reused by the next wait.
@@ -577,7 +585,10 @@ impl Reactor {
         }
         loop {
             match self.listener.accept() {
-                Ok((stream, _)) => self.admit(stream),
+                Ok((stream, _)) => {
+                    self.shared.metrics.accepts.inc();
+                    self.admit(stream);
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 // Persistent accept failure (EMFILE, aborted handshake):
                 // the listener stays level-triggered-readable, so a bare
@@ -607,7 +618,10 @@ impl Reactor {
                 .min_by_key(|(_, c)| c.last_activity)
                 .map(|(&token, _)| token);
             match lru {
-                Some(token) => self.close(token),
+                Some(token) => {
+                    self.shared.metrics.evictions.inc();
+                    self.close(token);
+                }
                 None => return,
             }
         }
@@ -633,6 +647,10 @@ impl Reactor {
             .is_ok()
         {
             self.conns.insert(token, conn);
+            self.shared
+                .metrics
+                .open_connections
+                .set(self.conns.len() as u64);
         }
     }
 
@@ -843,9 +861,9 @@ impl Reactor {
         let shared = Arc::clone(&self.shared);
         let queue = Arc::clone(&self.dispatch);
         let job: Job = Box::new(move || {
-            let (status, body, shutdown) = http::route(&request, &shared);
-            let keep_alive = request.keep_alive() && !shutdown && !shared.shutting_down();
-            let bytes = http::response_bytes(status, &body, keep_alive);
+            let routed = http::route(&request, &shared);
+            let keep_alive = request.keep_alive() && !routed.shutdown && !shared.shutting_down();
+            let bytes = http::routed_bytes(&routed, keep_alive);
             queue.complete(Completion {
                 token,
                 bytes,
@@ -875,6 +893,7 @@ impl Reactor {
             Err(TryExecuteError::Full(job)) => {
                 if self.parked_jobs.len() < self.shared.config.max_parked {
                     self.parked_jobs.push_back(job);
+                    self.note_parked();
                     true
                 } else {
                     false
@@ -889,6 +908,7 @@ impl Reactor {
     /// rejection happened under continues iteratively and flushes once
     /// at its end (no recursion per pipelined request).
     fn reject_overloaded(&mut self, token: u64, bytes: &[u8], close: bool) {
+        self.shared.metrics.overloaded.inc();
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
@@ -927,7 +947,16 @@ impl Reactor {
                     }
                 }
             }
+            self.note_parked();
         }
+    }
+
+    /// Mirrors the parking-lot depth into its gauge after a change.
+    fn note_parked(&self) {
+        self.shared
+            .metrics
+            .parked_jobs
+            .set(self.parked_jobs.len() as u64);
     }
 
     // --- writing ------------------------------------------------------------
@@ -1047,6 +1076,10 @@ impl Reactor {
     fn close(&mut self, token: u64) {
         if let Some(conn) = self.conns.remove(&token) {
             let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            self.shared
+                .metrics
+                .open_connections
+                .set(self.conns.len() as u64);
             // `conn.stream` drops here, closing the socket.
         }
     }

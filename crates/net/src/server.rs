@@ -37,6 +37,7 @@ use crate::frame::{
     read_frame_body, write_frame, FrameError, DEFAULT_MAX_FRAME, MAX_FRAME_CEILING,
 };
 use crate::http;
+use crate::metrics::NetMetrics;
 use crate::pool::ThreadPool;
 
 /// How connections map onto threads.
@@ -170,6 +171,9 @@ impl Default for ServerConfig {
 pub(crate) struct Shared {
     pub(crate) dispatcher: Arc<Dispatcher>,
     pub(crate) config: ServerConfig,
+    /// Transport-level gauges/counters, registered in the dispatcher's
+    /// telemetry registry so both connection models report identically.
+    pub(crate) metrics: NetMetrics,
     local_addr: SocketAddr,
     shutdown: AtomicBool,
     /// Set by the reactor so `trigger_shutdown` can interrupt its
@@ -220,9 +224,11 @@ impl NetServer {
         // firewall or odd bind address could silently swallow.
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let metrics = NetMetrics::register(dispatcher.telemetry().registry());
         let shared = Arc::new(Shared {
             dispatcher,
             config,
+            metrics,
             local_addr,
             shutdown: AtomicBool::new(false),
             #[cfg(unix)]
@@ -271,9 +277,14 @@ impl NetServer {
                     if stream.set_nonblocking(false).is_err() {
                         continue;
                     }
+                    accept_shared.metrics.accepts.inc();
                     let conn_shared = Arc::clone(&accept_shared);
                     if pool
-                        .execute(move || handle_connection(stream, &conn_shared))
+                        .execute(move || {
+                            conn_shared.metrics.open_connections.inc();
+                            handle_connection(stream, &conn_shared);
+                            conn_shared.metrics.open_connections.dec();
+                        })
                         .is_err()
                     {
                         break;

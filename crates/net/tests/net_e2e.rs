@@ -833,6 +833,157 @@ fn reactor_overload_past_parked_cap_answers_overloaded() {
     server.shutdown();
 }
 
+/// Observability end to end: a register→query→append session through
+/// the real binary advances the expected counters; `/metrics` parses as
+/// Prometheus text with no duplicate series; `server_stats` reports the
+/// same numbers over the framed protocol; and `HEAD` mirrors `GET`
+/// status and headers with an empty body.
+#[test]
+fn netd_metrics_and_server_stats_observe_a_session() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pclabel-netd"))
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--timeout-ms",
+            "2000",
+            "--allow-remote-shutdown",
+            "--log-level",
+            "warn",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn pclabel-netd");
+    let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("startup banner");
+    let addr = banner
+        .split_whitespace()
+        .nth(3)
+        .expect("address in banner")
+        .to_string();
+
+    let mut client = NetClient::connect(&addr).expect("connect to binary");
+    let mut send = |line: &str| -> Json {
+        let response = client.request_line(line).expect("round-trip");
+        Json::parse(&response).unwrap_or_else(|e| panic!("bad JSON {e}: {response}"))
+    };
+    let register =
+        r#"{"op":"register","dataset":"t","csv":"a,b\n1,x\n1,y\n2,x\n","label_attrs":["a","b"]}"#;
+    assert_eq!(send(register).get("ok"), Some(&Json::Bool(true)));
+    let query = r#"{"op":"query","dataset":"t","patterns":[{"a":"1","b":"x"}]}"#;
+    for _ in 0..2 {
+        assert_eq!(send(query).get("ok"), Some(&Json::Bool(true)));
+    }
+    let append = r#"{"op":"append_rows","dataset":"t","rows":[["1","x"]]}"#;
+    assert_eq!(send(append).get("ok"), Some(&Json::Bool(true)));
+
+    // The Prometheus scrape covers engine counters, per-dataset cache
+    // series and the transport gauges — and does not count itself.
+    let mut http = HttpClient::connect(&addr).expect("HTTP connect");
+    let metrics = http.request("GET", "/metrics", None).unwrap();
+    assert_eq!(metrics.status, 200);
+    assert_eq!(
+        metrics.header("content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    let text = metrics.body.clone();
+    for needle in [
+        "pclabel_requests_total{op=\"register\"} 1",
+        "pclabel_requests_total{op=\"query\"} 2",
+        "pclabel_requests_total{op=\"append_rows\"} 1",
+        "pclabel_cache_hits_total{dataset=\"t\"} 1",
+        "pclabel_cache_misses_total{dataset=\"t\"} 1",
+        "pclabel_cache_invalidations_total{dataset=\"t\"}",
+        "pclabel_net_accepts_total 2",
+        "pclabel_net_open_connections 2",
+        "# TYPE pclabel_request_seconds histogram",
+        "pclabel_request_seconds_bucket{op=\"query\",le=\"+Inf\"} 2",
+        "# TYPE pclabel_counting_count_seconds histogram",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+
+    // Exposition-format sanity: every sample line is `series value`,
+    // each series appears once, each family gets one TYPE line.
+    let mut series_seen = std::collections::HashSet::new();
+    let mut types_seen = std::collections::HashSet::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let family = rest.split_whitespace().next().unwrap().to_string();
+            assert!(types_seen.insert(family), "duplicate TYPE line: {line}");
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("sample line without a value: {line:?}");
+        });
+        assert!(value.parse::<f64>().is_ok(), "bad sample value: {line:?}");
+        assert!(
+            series_seen.insert(series.to_string()),
+            "duplicate series: {series}"
+        );
+    }
+
+    // HEAD mirrors GET: same status, same Content-Length, no body.
+    let get_health = http.request("GET", "/healthz", None).unwrap();
+    assert_eq!(get_health.status, 200);
+    let head_health = http.request("HEAD", "/healthz", None).unwrap();
+    assert_eq!(head_health.status, 200);
+    assert!(head_health.body.is_empty());
+    assert_eq!(
+        head_health.header("content-length"),
+        Some(get_health.body.len().to_string().as_str())
+    );
+    for path in ["/stats", "/metrics"] {
+        let head = http.request("HEAD", path, None).unwrap();
+        assert_eq!(head.status, 200, "HEAD {path}");
+        assert!(head.body.is_empty(), "HEAD {path} must carry no body");
+        assert!(
+            head.header("content-length")
+                .and_then(|v| v.parse::<usize>().ok())
+                .is_some_and(|n| n > 0),
+            "HEAD {path} must declare the GET body length"
+        );
+        // The keep-alive connection stays in sync after a body-less
+        // exchange: the next request round-trips normally.
+        assert_eq!(http.request("GET", "/healthz", None).unwrap().status, 200);
+    }
+
+    // The framed wire op reports the same counters as the scrape.
+    let stats = send(r#"{"op":"server_stats"}"#);
+    assert_eq!(stats.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(stats.get("telemetry_enabled"), Some(&Json::Bool(true)));
+    let counters = stats.get("counters").expect("counters object");
+    assert_eq!(
+        counters
+            .get("pclabel_requests_total{op=\"query\"}")
+            .and_then(Json::as_u64),
+        Some(2)
+    );
+    let gauges = stats.get("gauges").expect("gauges object");
+    assert_eq!(
+        gauges
+            .get("pclabel_net_open_connections")
+            .and_then(Json::as_u64),
+        Some(2)
+    );
+    let caches = stats.get("cache").and_then(Json::as_array).expect("cache");
+    assert_eq!(caches[0].get("dataset").and_then(Json::as_str), Some("t"));
+    assert_eq!(caches[0].get("hits").and_then(Json::as_u64), Some(1));
+
+    let bye = send(r#"{"op":"shutdown"}"#);
+    assert_eq!(bye.get("ok"), Some(&Json::Bool(true)));
+    assert!(child.wait().expect("netd exits").success());
+}
+
 #[test]
 fn many_sequential_connections_are_served() {
     // Connections beyond the worker count are fine as long as they

@@ -1,0 +1,225 @@
+//! Leveled structured logging: one JSON object per line on stderr.
+//!
+//! The only hot-path cost is a level comparison; formatting happens
+//! only for lines that will actually be emitted. Lines are built by
+//! hand (names and ops are static identifiers, values are numbers) so
+//! the crate stays dependency-free.
+
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Log verbosity, ordered: `Error < Warn < Info < Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Only failures.
+    Error,
+    /// Failures and slow-query warnings.
+    Warn,
+    /// Operational messages (default).
+    Info,
+    /// One line per request.
+    Debug,
+}
+
+impl LogLevel {
+    /// Lowercase name used on the wire and in log lines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LogLevel::Error => "error",
+            LogLevel::Warn => "warn",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+        }
+    }
+}
+
+impl std::str::FromStr for LogLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "error" => Ok(LogLevel::Error),
+            "warn" => Ok(LogLevel::Warn),
+            "info" => Ok(LogLevel::Info),
+            "debug" => Ok(LogLevel::Debug),
+            other => Err(format!(
+                "unknown log level {other:?} (expected error|warn|info|debug)"
+            )),
+        }
+    }
+}
+
+/// Structured logger: a level filter plus an optional slow-query
+/// threshold. Requests slower than the threshold are logged at `warn`
+/// with their span breakdown; at `debug` every request gets a line.
+#[derive(Debug, Clone)]
+pub struct Logger {
+    level: LogLevel,
+    slow_query: Option<Duration>,
+}
+
+impl Default for Logger {
+    /// `info` level, slow-query log disabled.
+    fn default() -> Self {
+        Logger {
+            level: LogLevel::Info,
+            slow_query: None,
+        }
+    }
+}
+
+impl Logger {
+    /// A logger with the given level and optional slow-query threshold.
+    pub fn new(level: LogLevel, slow_query: Option<Duration>) -> Self {
+        Logger { level, slow_query }
+    }
+
+    /// The configured level.
+    pub fn level(&self) -> LogLevel {
+        self.level
+    }
+
+    /// The configured slow-query threshold, if any.
+    pub fn slow_query(&self) -> Option<Duration> {
+        self.slow_query
+    }
+
+    /// Whether a message at `level` passes the filter.
+    pub fn enabled(&self, level: LogLevel) -> bool {
+        level <= self.level
+    }
+
+    /// Logs one finished request: a `slow_query` warning when it blew
+    /// the threshold, otherwise a `request` line at debug.
+    /// `spans` carries `(name, seconds)` pairs for phases that ran.
+    pub fn on_request(
+        &self,
+        request_id: u64,
+        op: &str,
+        ok: bool,
+        elapsed: Duration,
+        spans: &[(&'static str, f64)],
+    ) {
+        let slow = self.slow_query.is_some_and(|t| elapsed >= t);
+        let level = if slow {
+            LogLevel::Warn
+        } else {
+            LogLevel::Debug
+        };
+        if !self.enabled(level) {
+            return;
+        }
+        let event = if slow { "slow_query" } else { "request" };
+        eprintln!(
+            "{}",
+            request_line(level, event, request_id, op, ok, elapsed, spans)
+        );
+    }
+
+    /// Logs a freeform operational message (`{"event": ...,"msg": ...}`).
+    pub fn message(&self, level: LogLevel, event: &str, msg: &str) {
+        if !self.enabled(level) {
+            return;
+        }
+        eprintln!(
+            "{{\"ts_ms\":{},\"level\":\"{}\",\"event\":\"{}\",\"msg\":\"{}\"}}",
+            now_ms(),
+            level.as_str(),
+            escape(event),
+            escape(msg)
+        );
+    }
+}
+
+fn now_ms() -> u128 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn request_line(
+    level: LogLevel,
+    event: &str,
+    request_id: u64,
+    op: &str,
+    ok: bool,
+    elapsed: Duration,
+    spans: &[(&'static str, f64)],
+) -> String {
+    let mut line = format!(
+        "{{\"ts_ms\":{},\"level\":\"{}\",\"event\":\"{event}\",\"request_id\":{request_id},\
+         \"op\":\"{}\",\"ok\":{ok},\"elapsed_ms\":{:.3}",
+        now_ms(),
+        level.as_str(),
+        escape(op),
+        elapsed.as_secs_f64() * 1e3,
+    );
+    if !spans.is_empty() {
+        line.push_str(",\"spans\":[");
+        for (i, (name, secs)) in spans.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("{{\"name\":\"{name}\",\"ms\":{:.3}}}", secs * 1e3));
+        }
+        line.push(']');
+    }
+    line.push('}');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(LogLevel::Error < LogLevel::Debug);
+        assert_eq!("warn".parse::<LogLevel>().unwrap(), LogLevel::Warn);
+        assert!("loud".parse::<LogLevel>().is_err());
+        let logger = Logger::new(LogLevel::Warn, None);
+        assert!(logger.enabled(LogLevel::Error));
+        assert!(logger.enabled(LogLevel::Warn));
+        assert!(!logger.enabled(LogLevel::Info));
+    }
+
+    #[test]
+    fn request_lines_are_valid_shape() {
+        let line = request_line(
+            LogLevel::Warn,
+            "slow_query",
+            42,
+            "query",
+            true,
+            Duration::from_millis(250),
+            &[("store_wait", 0.010), ("cache_lookup", 0.002)],
+        );
+        assert!(line.starts_with("{\"ts_ms\":"));
+        assert!(line.contains("\"event\":\"slow_query\""));
+        assert!(line.contains("\"request_id\":42"));
+        assert!(line.contains("\"op\":\"query\""));
+        assert!(line.contains("\"elapsed_ms\":250.000"));
+        assert!(line.contains("{\"name\":\"store_wait\",\"ms\":10.000}"));
+        assert!(line.ends_with("]}"));
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,691 @@
+//! Lock-free metric primitives and the registry that renders them.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are plain atomics
+//! behind an `Arc`: updating one is a handful of relaxed atomic ops and
+//! never takes a lock, so they are safe to touch from the reactor event
+//! loop and from pool workers alike. The [`Registry`] mutex is only
+//! held while *registering* a series (once, at startup) or while
+//! *rendering* a scrape — never on the request hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of log2 latency buckets. Bucket `i` covers `[2^i, 2^{i+1})`
+/// microseconds (bucket 0 also absorbs sub-microsecond values), so the
+/// last finite boundary sits at `2^27` µs ≈ 134 s — far beyond any
+/// request the server would keep alive.
+pub const HISTOGRAM_BUCKETS: usize = 28;
+
+/// A monotonically increasing counter.
+///
+/// Disabled handles (from a disabled [`Registry`]) turn every update
+/// into a branch on an immutable bool — this is what the benchmark's
+/// "telemetry off" arm measures against.
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+    enabled: bool,
+}
+
+impl Counter {
+    fn new(enabled: bool) -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+            enabled,
+        }
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if self.enabled {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous value (open connections, parked jobs, …).
+#[derive(Debug)]
+pub struct Gauge {
+    value: AtomicU64,
+    enabled: bool,
+}
+
+impl Gauge {
+    fn new(enabled: bool) -> Self {
+        Gauge {
+            value: AtomicU64::new(0),
+            enabled,
+        }
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: u64) {
+        if self.enabled {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        if self.enabled {
+            self.value.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtracts 1, saturating at 0 (a racing `dec` past zero must not
+    /// wrap to 2^64).
+    pub fn dec(&self) {
+        if self.enabled {
+            let _ = self
+                .value
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                    Some(v.saturating_sub(1))
+                });
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed log2-bucket latency histogram over seconds.
+///
+/// Values are bucketed by their microsecond magnitude (see
+/// [`HISTOGRAM_BUCKETS`]); the sum is kept in integer nanoseconds so
+/// concurrent observers need no float CAS loop.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    enabled: bool,
+}
+
+impl Histogram {
+    fn new(enabled: bool) -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            enabled,
+        }
+    }
+
+    /// Bucket index for a duration in microseconds: `floor(log2(us))`,
+    /// clamped into the table (bucket 0 covers `[0, 2)` µs, the last
+    /// bucket is the overflow).
+    pub fn bucket_index(us: u64) -> usize {
+        if us < 2 {
+            0
+        } else {
+            ((63 - us.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i` in seconds
+    /// (`f64::INFINITY` for the overflow bucket).
+    pub fn bucket_upper_secs(i: usize) -> f64 {
+        if i >= HISTOGRAM_BUCKETS - 1 {
+            f64::INFINITY
+        } else {
+            (1u64 << (i + 1)) as f64 / 1e6
+        }
+    }
+
+    /// Records one observation of `secs` seconds.
+    pub fn observe(&self, secs: f64) {
+        if !self.enabled {
+            return;
+        }
+        let secs = if secs.is_finite() && secs > 0.0 {
+            secs
+        } else {
+            0.0
+        };
+        let us = (secs * 1e6) as u64;
+        self.buckets[Self::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos
+            .fetch_add((secs * 1e9) as u64, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values in seconds.
+    pub fn sum_secs(&self) -> f64 {
+        self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Non-cumulative per-bucket counts (index `i` = values in
+    /// `[2^i, 2^{i+1})` µs).
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the first
+    /// bucket whose cumulative count reaches it, in seconds. Returns
+    /// `0.0` for an empty histogram. With log2 buckets this over-reports
+    /// by at most 2×, which is plenty for a p99 trend line.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                if i >= HISTOGRAM_BUCKETS - 1 {
+                    // Overflow bucket: report its (finite) lower bound.
+                    return (1u64 << (HISTOGRAM_BUCKETS - 1)) as f64 / 1e6;
+                }
+                return Self::bucket_upper_secs(i);
+            }
+        }
+        unreachable!("cumulative count reaches total");
+    }
+}
+
+/// The stored value of one registered series.
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Handle {
+    fn kind(&self) -> &'static str {
+        match self {
+            Handle::Counter(_) => "counter",
+            Handle::Gauge(_) => "gauge",
+            Handle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    handle: Handle,
+}
+
+/// A point-in-time copy of one series, for renderers that cannot hold
+/// the registry lock (or live in another crate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Metric family name, e.g. `pclabel_requests_total`.
+    pub name: String,
+    /// One-line help text.
+    pub help: String,
+    /// Label pairs identifying this series within the family.
+    pub labels: Vec<(String, String)>,
+    /// The sampled value.
+    pub value: SnapshotValue,
+}
+
+/// The sampled value of a [`MetricSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(u64),
+    /// Histogram summary plus raw buckets.
+    Histogram {
+        /// Number of observations.
+        count: u64,
+        /// Sum of observations in seconds.
+        sum_secs: f64,
+        /// Median estimate (bucket upper bound).
+        p50: f64,
+        /// 95th-percentile estimate.
+        p95: f64,
+        /// 99th-percentile estimate.
+        p99: f64,
+        /// Non-cumulative bucket counts.
+        buckets: Vec<u64>,
+    },
+}
+
+/// Series identity used for one-line JSON keys: the bare name, or
+/// `name{k="v",…}` when the series carries labels.
+pub fn series_key(name: &str, labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        name.to_string()
+    } else {
+        format!("{name}{{{}}}", render_labels(labels))
+    }
+}
+
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(String, String)]) -> String {
+    labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn render_labels_with(labels: &[(String, String)], extra_key: &str, extra_value: &str) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    parts.push(format!("{extra_key}=\"{extra_value}\""));
+    parts.join(",")
+}
+
+/// Formats an `le` boundary the way Prometheus expects (shortest
+/// decimal form; `+Inf` handled by the caller).
+fn fmt_bound(secs: f64) -> String {
+    format!("{secs}")
+}
+
+/// The metric registry: owns every registered series and renders them.
+///
+/// Registration is idempotent on `(name, labels)` — asking twice for
+/// the same series returns the same handle, so two servers sharing one
+/// dispatcher share counters instead of clashing.
+#[derive(Debug)]
+pub struct Registry {
+    enabled: bool,
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// A live registry: handles record, renders real data.
+    pub fn new() -> Self {
+        Registry {
+            enabled: true,
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A disabled registry: handles are no-ops (every update is a
+    /// single branch), renders zeros.
+    pub fn disabled() -> Self {
+        Registry {
+            enabled: false,
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether handles from this registry record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn lookup(&self, name: &str, labels: &[(String, String)]) -> Option<Handle> {
+        let entries = self.entries.lock().expect("registry lock");
+        entries
+            .iter()
+            .find(|e| e.name == name && e.labels == labels)
+            .map(|e| e.handle.clone())
+    }
+
+    fn register(&self, name: &str, help: &str, labels: &[(String, String)], handle: Handle) {
+        let mut entries = self.entries.lock().expect("registry lock");
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels.to_vec(),
+            handle,
+        });
+    }
+
+    /// Registers (or finds) a counter series.
+    ///
+    /// # Panics
+    /// If `(name, labels)` is already registered as a different type.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let labels = own_labels(labels);
+        if let Some(handle) = self.lookup(name, &labels) {
+            match handle {
+                Handle::Counter(c) => return c,
+                other => panic!("{name} already registered as a {}", other.kind()),
+            }
+        }
+        let counter = Arc::new(Counter::new(self.enabled));
+        self.register(name, help, &labels, Handle::Counter(Arc::clone(&counter)));
+        counter
+    }
+
+    /// Registers (or finds) a gauge series.
+    ///
+    /// # Panics
+    /// If `(name, labels)` is already registered as a different type.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let labels = own_labels(labels);
+        if let Some(handle) = self.lookup(name, &labels) {
+            match handle {
+                Handle::Gauge(g) => return g,
+                other => panic!("{name} already registered as a {}", other.kind()),
+            }
+        }
+        let gauge = Arc::new(Gauge::new(self.enabled));
+        self.register(name, help, &labels, Handle::Gauge(Arc::clone(&gauge)));
+        gauge
+    }
+
+    /// Registers (or finds) a histogram series.
+    ///
+    /// # Panics
+    /// If `(name, labels)` is already registered as a different type.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let labels = own_labels(labels);
+        if let Some(handle) = self.lookup(name, &labels) {
+            match handle {
+                Handle::Histogram(h) => return h,
+                other => panic!("{name} already registered as a {}", other.kind()),
+            }
+        }
+        let histogram = Arc::new(Histogram::new(self.enabled));
+        self.register(
+            name,
+            help,
+            &labels,
+            Handle::Histogram(Arc::clone(&histogram)),
+        );
+        histogram
+    }
+
+    /// Samples every registered series.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let entries = self.entries.lock().expect("registry lock");
+        entries
+            .iter()
+            .map(|e| MetricSnapshot {
+                name: e.name.clone(),
+                help: e.help.clone(),
+                labels: e.labels.clone(),
+                value: match &e.handle {
+                    Handle::Counter(c) => SnapshotValue::Counter(c.get()),
+                    Handle::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                    Handle::Histogram(h) => SnapshotValue::Histogram {
+                        count: h.count(),
+                        sum_secs: h.sum_secs(),
+                        p50: h.quantile(0.50),
+                        p95: h.quantile(0.95),
+                        p99: h.quantile(0.99),
+                        buckets: h.bucket_counts().to_vec(),
+                    },
+                },
+            })
+            .collect()
+    }
+
+    /// Renders every series in the Prometheus text exposition format
+    /// (version 0.0.4). Series of one family are grouped under a single
+    /// `# HELP` / `# TYPE` header, in first-registration order.
+    pub fn render_prometheus(&self) -> String {
+        render_prometheus(&self.snapshot())
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+fn own_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+/// Renders a snapshot (see [`Registry::snapshot`]) as Prometheus text.
+/// Split out so callers can append dynamically-labelled families to the
+/// snapshot before rendering.
+pub fn render_prometheus(snapshot: &[MetricSnapshot]) -> String {
+    let mut out = String::new();
+    let mut rendered: Vec<&str> = Vec::new();
+    for entry in snapshot {
+        if rendered.contains(&entry.name.as_str()) {
+            continue;
+        }
+        rendered.push(&entry.name);
+        let kind = match &entry.value {
+            SnapshotValue::Counter(_) => "counter",
+            SnapshotValue::Gauge(_) => "gauge",
+            SnapshotValue::Histogram { .. } => "histogram",
+        };
+        out.push_str(&format!("# HELP {} {}\n", entry.name, entry.help));
+        out.push_str(&format!("# TYPE {} {kind}\n", entry.name));
+        for series in snapshot.iter().filter(|s| s.name == entry.name) {
+            render_series(&mut out, series);
+        }
+    }
+    out
+}
+
+fn render_series(out: &mut String, series: &MetricSnapshot) {
+    let name = &series.name;
+    let labels = &series.labels;
+    match &series.value {
+        SnapshotValue::Counter(v) | SnapshotValue::Gauge(v) => {
+            if labels.is_empty() {
+                out.push_str(&format!("{name} {v}\n"));
+            } else {
+                out.push_str(&format!("{name}{{{}}} {v}\n", render_labels(labels)));
+            }
+        }
+        SnapshotValue::Histogram {
+            count,
+            sum_secs,
+            buckets,
+            ..
+        } => {
+            let mut cumulative = 0u64;
+            for (i, &c) in buckets.iter().enumerate() {
+                cumulative += c;
+                let bound = if i >= buckets.len() - 1 {
+                    "+Inf".to_string()
+                } else {
+                    fmt_bound(Histogram::bucket_upper_secs(i))
+                };
+                out.push_str(&format!(
+                    "{name}_bucket{{{}}} {cumulative}\n",
+                    render_labels_with(labels, "le", &bound)
+                ));
+            }
+            if labels.is_empty() {
+                out.push_str(&format!("{name}_sum {sum_secs}\n"));
+                out.push_str(&format!("{name}_count {count}\n"));
+            } else {
+                let rendered = render_labels(labels);
+                out.push_str(&format!("{name}_sum{{{rendered}}} {sum_secs}\n"));
+                out.push_str(&format!("{name}_count{{{rendered}}} {count}\n"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_log2_in_microseconds() {
+        // Bucket 0 absorbs [0, 2) µs, bucket i is [2^i, 2^{i+1}) µs.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 1);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(1023), 9);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(1025), 10);
+        // Everything at or past 2^27 µs lands in the overflow bucket.
+        assert_eq!(Histogram::bucket_index(1 << 27), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Upper bounds in seconds match.
+        assert_eq!(Histogram::bucket_upper_secs(0), 2e-6);
+        assert_eq!(Histogram::bucket_upper_secs(9), 1024e-6);
+        assert!(Histogram::bucket_upper_secs(HISTOGRAM_BUCKETS - 1).is_infinite());
+    }
+
+    #[test]
+    fn observe_fills_the_expected_bucket() {
+        let h = Histogram::new(true);
+        h.observe(0.0000015); // 1.5 µs -> bucket 0
+        h.observe(0.001); // 1000 µs -> bucket 9
+        h.observe(0.5); // 500_000 µs -> bucket 18
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[9], 1);
+        assert_eq!(counts[18], 1);
+        assert_eq!(h.count(), 3);
+        assert!((h.sum_secs() - 0.5010015).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_buckets() {
+        let h = Histogram::new(true);
+        for _ in 0..90 {
+            h.observe(0.000003); // bucket 1, upper bound 4 µs
+        }
+        for _ in 0..10 {
+            h.observe(0.01); // bucket 13, upper bound ~16.4 ms
+        }
+        assert_eq!(h.quantile(0.50), 4e-6);
+        assert_eq!(h.quantile(0.90), 4e-6);
+        assert_eq!(h.quantile(0.99), Histogram::bucket_upper_secs(13));
+        // Empty histogram: quantiles are 0.
+        assert_eq!(Histogram::new(true).quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_exact() {
+        let registry = Registry::new();
+        let counter = registry.counter("t_total", "test", &[]);
+        let histogram = registry.histogram("t_seconds", "test", &[]);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let counter = Arc::clone(&counter);
+                let histogram = Arc::clone(&histogram);
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        counter.inc();
+                        histogram.observe(0.000_01);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), 80_000);
+        assert_eq!(histogram.count(), 80_000);
+        assert_eq!(histogram.bucket_counts()[3], 80_000);
+    }
+
+    #[test]
+    fn registration_is_idempotent_per_series() {
+        let registry = Registry::new();
+        let a = registry.counter("x_total", "help", &[("op", "query")]);
+        let b = registry.counter("x_total", "help", &[("op", "query")]);
+        let other = registry.counter("x_total", "help", &[("op", "list")]);
+        a.inc();
+        assert_eq!(b.get(), 1, "same (name, labels) shares the handle");
+        assert_eq!(other.get(), 0, "distinct labels are a distinct series");
+        assert_eq!(registry.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn disabled_registry_handles_are_no_ops() {
+        let registry = Registry::disabled();
+        let c = registry.counter("x_total", "help", &[]);
+        let g = registry.gauge("x", "help", &[]);
+        let h = registry.histogram("x_seconds", "help", &[]);
+        c.inc();
+        g.set(7);
+        g.inc();
+        h.observe(1.0);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn gauge_dec_saturates_at_zero() {
+        let registry = Registry::new();
+        let g = registry.gauge("x", "help", &[]);
+        g.dec();
+        assert_eq!(g.get(), 0);
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+    }
+
+    #[test]
+    fn prometheus_rendering_groups_families_and_escapes_labels() {
+        let registry = Registry::new();
+        registry
+            .counter("req_total", "Requests.", &[("op", "a\"b")])
+            .add(3);
+        registry
+            .counter("req_total", "Requests.", &[("op", "c")])
+            .inc();
+        registry.gauge("open", "Open things.", &[]).set(2);
+        registry
+            .histogram("lat_seconds", "Latency.", &[])
+            .observe(0.001);
+        let text = registry.render_prometheus();
+        assert_eq!(
+            text.matches("# TYPE req_total counter").count(),
+            1,
+            "one TYPE header per family:\n{text}"
+        );
+        assert!(text.contains("req_total{op=\"a\\\"b\"} 3"));
+        assert!(text.contains("req_total{op=\"c\"} 1"));
+        assert!(text.contains("# TYPE open gauge"));
+        assert!(text.contains("open 2"));
+        assert!(text.contains("# TYPE lat_seconds histogram"));
+        assert!(text.contains("lat_seconds_bucket{le=\"0.001024\"} 1"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("lat_seconds_count 1"));
+        // Buckets are cumulative: every bucket past 1 ms also reports 1.
+        assert!(text.contains("lat_seconds_bucket{le=\"0.002048\"} 1"));
+    }
+
+    #[test]
+    fn series_key_formats_identity() {
+        assert_eq!(series_key("x_total", &[]), "x_total");
+        assert_eq!(
+            series_key("x_total", &[("op".into(), "query".into())]),
+            "x_total{op=\"query\"}"
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Per-request tracing: a request id plus a fixed set of phase
+//! accumulators, cheap enough to thread through the serving hot path.
+//!
+//! A [`Trace`] is handed out by `Telemetry::begin` and carried by
+//! reference through the dispatcher into the store / query / counting
+//! layers. Phases are a *fixed enum* rather than free-form span names:
+//! recording one is a single relaxed atomic add (no allocation, no
+//! lock), which is what makes tracing affordable per cache lookup.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// The phases a request can spend time in, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Waiting for the store entry's snapshot lock.
+    StoreWait,
+    /// Pattern-cache probes (accumulated across a batch).
+    CacheLookup,
+    /// Counting build: radix partition pass.
+    CountPartition,
+    /// Counting build: per-shard group counting.
+    CountCount,
+    /// Counting build: label assembly from shard maps.
+    CountAssemble,
+    /// Optimal-label search evaluation.
+    SearchEval,
+}
+
+/// Number of [`Phase`] variants.
+pub const N_PHASES: usize = 6;
+
+impl Phase {
+    /// Every phase, in declaration order (indexable by `as usize`).
+    pub const ALL: [Phase; N_PHASES] = [
+        Phase::StoreWait,
+        Phase::CacheLookup,
+        Phase::CountPartition,
+        Phase::CountCount,
+        Phase::CountAssemble,
+        Phase::SearchEval,
+    ];
+
+    /// Short span name used in slow-query log lines.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            Phase::StoreWait => "store_wait",
+            Phase::CacheLookup => "cache_lookup",
+            Phase::CountPartition => "counting_partition",
+            Phase::CountCount => "counting_count",
+            Phase::CountAssemble => "counting_assemble",
+            Phase::SearchEval => "search_eval",
+        }
+    }
+
+    /// Registry histogram name for this phase.
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            Phase::StoreWait => "pclabel_store_wait_seconds",
+            Phase::CacheLookup => "pclabel_cache_lookup_seconds",
+            Phase::CountPartition => "pclabel_counting_partition_seconds",
+            Phase::CountCount => "pclabel_counting_count_seconds",
+            Phase::CountAssemble => "pclabel_counting_assemble_seconds",
+            Phase::SearchEval => "pclabel_search_eval_seconds",
+        }
+    }
+
+    /// Registry help text for this phase's histogram.
+    pub fn metric_help(self) -> &'static str {
+        match self {
+            Phase::StoreWait => "Seconds spent waiting for a store entry snapshot.",
+            Phase::CacheLookup => "Seconds spent probing the pattern cache, per request.",
+            Phase::CountPartition => "Counting build: radix partition pass seconds.",
+            Phase::CountCount => "Counting build: per-shard counting seconds.",
+            Phase::CountAssemble => "Counting build: label assembly seconds.",
+            Phase::SearchEval => "Optimal-label search evaluation seconds.",
+        }
+    }
+}
+
+/// One in-flight request's trace: id, op, start time, and per-phase
+/// nanosecond accumulators. Shareable across worker threads (`&Trace`
+/// is all atomics).
+#[derive(Debug)]
+pub struct Trace {
+    enabled: bool,
+    id: u64,
+    op_index: usize,
+    start: Instant,
+    phase_nanos: [AtomicU64; N_PHASES],
+    peak_bytes: AtomicU64,
+}
+
+impl Trace {
+    pub(crate) fn new(enabled: bool, id: u64, op_index: usize) -> Self {
+        Trace {
+            enabled,
+            id,
+            op_index,
+            start: Instant::now(),
+            phase_nanos: [const { AtomicU64::new(0) }; N_PHASES],
+            peak_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether this trace records anything (false when telemetry is
+    /// disabled — callers may skip timing work entirely).
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The request id (unique per `Telemetry` instance).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub(crate) fn op_index(&self) -> usize {
+        self.op_index
+    }
+
+    pub(crate) fn start(&self) -> Instant {
+        self.start
+    }
+
+    /// Adds `elapsed` to a phase accumulator.
+    pub fn add_phase(&self, phase: Phase, elapsed: Duration) {
+        self.add_phase_secs(phase, elapsed.as_secs_f64());
+    }
+
+    /// Adds `secs` seconds to a phase accumulator.
+    pub fn add_phase_secs(&self, phase: Phase, secs: f64) {
+        if !self.enabled || secs <= 0.0 {
+            return;
+        }
+        // NaN falls through both guards; `as u64` maps it to 0 nanos.
+        self.phase_nanos[phase as usize].fetch_add((secs * 1e9) as u64, Ordering::Relaxed);
+    }
+
+    /// Records the counting build's peak transient bytes (max across
+    /// builds within one request).
+    pub fn record_peak_bytes(&self, bytes: u64) {
+        if self.enabled {
+            self.peak_bytes.fetch_max(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Accumulated seconds for one phase.
+    pub fn phase_secs(&self, phase: Phase) -> f64 {
+        self.phase_nanos[phase as usize].load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Peak counting bytes recorded on this trace (0 when no build ran).
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_and_peak_takes_max() {
+        let trace = Trace::new(true, 7, 0);
+        trace.add_phase(Phase::StoreWait, Duration::from_micros(500));
+        trace.add_phase_secs(Phase::StoreWait, 0.0005);
+        trace.add_phase_secs(Phase::SearchEval, 0.25);
+        trace.record_peak_bytes(100);
+        trace.record_peak_bytes(40);
+        assert!((trace.phase_secs(Phase::StoreWait) - 0.001).abs() < 1e-9);
+        assert!((trace.phase_secs(Phase::SearchEval) - 0.25).abs() < 1e-9);
+        assert_eq!(trace.phase_secs(Phase::CacheLookup), 0.0);
+        assert_eq!(trace.peak_bytes(), 100);
+        assert_eq!(trace.id(), 7);
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let trace = Trace::new(false, 1, 0);
+        trace.add_phase_secs(Phase::StoreWait, 1.0);
+        trace.record_peak_bytes(9);
+        assert!(!trace.enabled());
+        assert_eq!(trace.phase_secs(Phase::StoreWait), 0.0);
+        assert_eq!(trace.peak_bytes(), 0);
+    }
+}
