@@ -6,7 +6,10 @@
 # the shutdown op and verify a clean exit. Afterwards, replay an
 # identical mixed request script (examples/net_replay.rs) against a
 # fresh daemon of each model and diff the captured responses: the two
-# models must be byte-identical.
+# models must be byte-identical. The metrics pass also dumps the three
+# GET /debug introspection routes (conns, memory, traces) on each model
+# and asserts the conn table, memory accounting and retained traces
+# reflect the replayed session.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -68,6 +71,7 @@ echo "net smoke ok (pool and reactor responses byte-identical)"
 for model in pool reactor; do
     start_daemon "$(mktemp)" --model "$model"
     PCLABEL_REPLAY_METRICS_OUT="metrics_$model.txt" \
+    PCLABEL_REPLAY_DEBUG_OUT="debug_$model.txt" \
         ./target/release/examples/net_replay "$daemon_addr" >/dev/null
     wait "$daemon_pid"
     awk '
@@ -87,4 +91,26 @@ for model in pool reactor; do
     grep -q '^pclabel_net_accepts_total 2$' "metrics_$model.txt"
     rm -f "metrics_$model.txt"
     echo "net smoke ok (--model $model metrics account for all 27 requests)"
+
+    # Introspection plane (dumped by the replay client while both of its
+    # connections were still open): the live connection table must show
+    # exactly that client pair, the deep memory accounting must be
+    # nonzero for the replayed dataset, and the retained-trace ring must
+    # hold the replayed queries.
+    conns=$(grep '^/debug/conns ' "debug_$model.txt")
+    echo "$conns" | grep -q '"open":2' \
+        || { echo "conn table does not show the replay client pair: $conns" >&2; exit 1; }
+    echo "$conns" | grep -q '"protocol":"framed"' \
+        || { echo "framed replay connection missing: $conns" >&2; exit 1; }
+    echo "$conns" | grep -q '"protocol":"http"' \
+        || { echo "HTTP replay connection missing: $conns" >&2; exit 1; }
+    grep '^/debug/memory ' "debug_$model.txt" | grep -qE '"total_bytes":[1-9]' \
+        || { echo "memory accounting empty:" >&2; cat "debug_$model.txt" >&2; exit 1; }
+    traces=$(grep '^/debug/traces?op=query ' "debug_$model.txt")
+    echo "$traces" | grep -q '"dataset":"census"' \
+        || { echo "replayed query traces not retained: $traces" >&2; exit 1; }
+    echo "$traces" | grep -q '"request_id":' \
+        || { echo "retained traces carry no request id: $traces" >&2; exit 1; }
+    rm -f "debug_$model.txt"
+    echo "net smoke ok (--model $model debug endpoints expose conns, memory, traces)"
 done

@@ -4,7 +4,10 @@
 # fresh client still completes a register + query round-trip within 2
 # seconds. This exact scenario deadlocks the thread-pool model (every
 # worker pinned to an idle connection), so it is encoded here as the
-# regression gate for the starvation fix.
+# regression gate for the starvation fix. The daemon runs with a tiny
+# --retained-traces ring, and the soak's request storm must leave both
+# trace rings saturated at exactly that bound (retention stays bounded
+# under load).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,9 +18,12 @@ DEADLINE_MS=2000
 cargo build --release -p pclabel-net --bin pclabel-netd --example net_soak
 
 out=$(mktemp)
+TRACE_RING=4
+
 timeout 60 ./target/release/pclabel-netd \
     --listen 127.0.0.1:0 --workers "$WORKERS" --model reactor \
-    --timeout-ms 5000 --allow-remote-shutdown >"$out" &
+    --timeout-ms 5000 --retained-traces "$TRACE_RING" \
+    --allow-remote-shutdown >"$out" &
 pid=$!
 trap 'kill "$pid" 2>/dev/null || true' EXIT
 
@@ -42,6 +48,16 @@ soak_out=$(mktemp)
 expected="gauges open_connections=$((IDLE + 1)) parked_jobs=0 evictions=0 overloaded=0"
 if ! grep -q "$expected" "$soak_out"; then
     echo "unexpected transport gauges (wanted: $expected):" >&2
+    cat "$soak_out" >&2
+    exit 1
+fi
+
+# Trace retention: the soak pushed 2 × IDLE health requests through the
+# daemon, three times the ring capacity, so both retained-trace rings
+# must have saturated at exactly the bound — never grown past it.
+expected="traces retained_per_op=$TRACE_RING health_requests=$((2 * IDLE)) recent=$TRACE_RING slowest=$TRACE_RING"
+if ! grep -q "$expected" "$soak_out"; then
+    echo "trace rings not saturated at their bound (wanted: $expected):" >&2
     cat "$soak_out" >&2
     exit 1
 fi

@@ -17,6 +17,10 @@
 //!   `telemetry_overhead` row is also held to an absolute 3% budget:
 //!   the metrics-enabled dispatch path must keep within that fraction
 //!   of the no-op telemetry handle's req/s, regardless of baseline.
+//!   The `debug_scrape` row (serving throughput under a concurrent
+//!   `/debug` poller) is trended on `req_per_sec` like any net row, so
+//!   an introspection route that starts stealing serving capacity
+//!   fails the same gate.
 //! * `counting` (`BENCH_count.json`) — scenario rows are matched on
 //!   `(scenario, mode, threads, shards)` and fail when `build_secs` or
 //!   `merge_secs` grows by more than the threshold.
@@ -103,6 +107,20 @@ fn metrics_of(report: &Json) -> Result<Vec<Metric>, String> {
                             value: v,
                         });
                     }
+                }
+            }
+            if let Some(row) = report.get("debug_scrape") {
+                let key = fmt_key(&[
+                    ("debug_scrape/model", field_text(row, "model")),
+                    ("clients", field_text(row, "client_threads")),
+                ]);
+                if let Some(v) = row_f64(row, "req_per_sec") {
+                    out.push(Metric {
+                        key,
+                        name: "req_per_sec",
+                        higher_is_better: true,
+                        value: v,
+                    });
                 }
             }
             if let Some(rows) = report
@@ -326,7 +344,8 @@ mod tests {
 
     const NET_BASE: &str = r#"{"benchmark":"engine_throughput","counting":{"serial_seconds":1.0,"parallel":[
         {"threads":2,"shards":8,"seconds":0.5,"rows_per_sec":400000}]},
-        "net":[{"model":"reactor","client_threads":2,"idle_conns":12,"requests":400,"seconds":1.0,"req_per_sec":1000}]}"#;
+        "net":[{"model":"reactor","client_threads":2,"idle_conns":12,"requests":400,"seconds":1.0,"req_per_sec":1000}],
+        "debug_scrape":{"model":"reactor","client_threads":1,"requests":200,"seconds":0.25,"req_per_sec":800,"scrapes":900,"scrapes_per_sec":3600}}"#;
 
     #[test]
     fn net_req_per_sec_regression_detected() {
@@ -342,6 +361,24 @@ mod tests {
         // Improvements never fail.
         let faster = NET_BASE.replace("\"req_per_sec\":1000", "\"req_per_sec\":2000");
         assert!(run(NET_BASE, &faster, 0.30).unwrap().is_empty());
+    }
+
+    #[test]
+    fn debug_scrape_regression_detected() {
+        // The introspection poller starts stealing serving capacity:
+        // the debug_scrape row fails like any net row.
+        let slower = NET_BASE.replace("\"req_per_sec\":800", "\"req_per_sec\":400");
+        let regressions = run(NET_BASE, &slower, 0.30).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].name, "req_per_sec");
+        assert_eq!(regressions[0].key, "debug_scrape/model=reactor clients=1");
+        // Within tolerance: passes.
+        let ok = NET_BASE.replace("\"req_per_sec\":800", "\"req_per_sec\":700");
+        assert!(run(NET_BASE, &ok, 0.30).unwrap().is_empty());
+        // A baseline without the row (older artifact): nothing compared.
+        let (head, _) = NET_BASE.split_once(",\n        \"debug_scrape\"").unwrap();
+        let without = format!("{head}}}");
+        assert!(run(&without, NET_BASE, 0.30).unwrap().is_empty());
     }
 
     fn with_overhead(pct: f64, secs: f64) -> String {

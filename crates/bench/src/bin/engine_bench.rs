@@ -20,7 +20,10 @@
 //! workload the reactor exists for. With the pool model the idle fleet
 //! is clamped below the worker count, because `workers` idle
 //! connections would deadlock the bench; the clamp is reported in the
-//! row.
+//! row. A final `debug_scrape` row re-measures single-client framed
+//! throughput while a poller hammers the `/debug` introspection routes
+//! over HTTP on the same port, proving inspection does not perturb
+//! serving.
 //!
 //! `--json` is accepted for explicitness; the report is always a single
 //! JSON object on stdout (progress goes to stderr).
@@ -37,6 +40,7 @@
 //!   PCLABEL_BENCH_NET_IDLE   --net parked idle connections (default
 //!                            workers + 4; clamped for --model pool)
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -46,7 +50,7 @@ use pclabel_data::dataset::Dataset;
 use pclabel_data::generate::{independent, AttrSpec};
 use pclabel_engine::json::Json;
 use pclabel_engine::prelude::*;
-use pclabel_net::client::NetClient;
+use pclabel_net::client::{HttpClient, NetClient};
 use pclabel_net::server::{ConnectionModel, NetServer, ServerConfig};
 use pclabel_telemetry::Telemetry;
 
@@ -235,6 +239,7 @@ fn main() {
 
     // --- network serving (--net): framed TCP req/s over loopback ----------
     let mut net_rows = Vec::new();
+    let mut debug_row = String::new();
     let mut telemetry_row = String::new();
     if net_enabled {
         let requests_per_client = env_usize("PCLABEL_BENCH_NET_REQS", 200);
@@ -328,6 +333,59 @@ fn main() {
                 "{{\"model\":\"{model}\",\"client_threads\":{clients},\"idle_conns\":{idle_conns},\"requests\":{requests},\"seconds\":{secs:.6},\"req_per_sec\":{:.0}}}",
                 requests as f64 / secs
             ));
+        }
+        // --- debug scrape: serving under a concurrent introspection poller
+        // The /debug routes are served at the route layer without taking
+        // a pool worker; this row shows what a dashboard polling the
+        // whole introspection plane costs the serving path (compare its
+        // req_per_sec against the 1-client row above).
+        {
+            let stop = AtomicBool::new(false);
+            let requests = requests_per_client;
+            let mut secs = f64::NAN;
+            let mut scrapes = 0u64;
+            eprintln!("engine_bench: --net {model} model, 1 client thread under a /debug poller…");
+            std::thread::scope(|scope| {
+                let poller = scope.spawn(|| {
+                    let mut http = HttpClient::connect(addr).expect("debug poller connects");
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for path in ["/debug/conns", "/debug/memory", "/debug/traces?op=query"] {
+                            let response = http.request("GET", path, None).expect("debug scrape");
+                            assert_eq!(response.status, 200, "debug scrape failed on {path}");
+                            n += 1;
+                        }
+                    }
+                    n
+                });
+                let mut client = NetClient::connect(addr).expect("bench client connects");
+                let start = Instant::now();
+                for i in 0..requests {
+                    let line = format!(
+                        r#"{{"op":"query","dataset":"bench","patterns":[{{"a0":"v{}","a1":"v{}"}}]}}"#,
+                        i % 8,
+                        i % 6
+                    );
+                    let response = client.request_line(&line).expect("bench round-trip");
+                    assert_eq!(
+                        Json::parse(&response).expect("response JSON").get("ok"),
+                        Some(&Json::Bool(true)),
+                        "bench query failed: {response}"
+                    );
+                }
+                secs = start.elapsed().as_secs_f64();
+                stop.store(true, Ordering::Relaxed);
+                scrapes = poller.join().expect("debug poller");
+            });
+            eprintln!(
+                "engine_bench: --net debug_scrape: {:.0} req/s alongside {scrapes} scrapes",
+                requests as f64 / secs
+            );
+            debug_row = format!(
+                "{{\"model\":\"{model}\",\"client_threads\":1,\"requests\":{requests},\"seconds\":{secs:.6},\"req_per_sec\":{:.0},\"scrapes\":{scrapes},\"scrapes_per_sec\":{:.0}}}",
+                requests as f64 / secs,
+                scrapes as f64 / secs
+            );
         }
         server.shutdown();
 
@@ -449,7 +507,7 @@ fn main() {
         hot_hits = hot.stats.cache_hits,
         net = if net_enabled {
             format!(
-                ",\"net\":[{}],\"telemetry_overhead\":{telemetry_row}",
+                ",\"net\":[{}],\"debug_scrape\":{debug_row},\"telemetry_overhead\":{telemetry_row}",
                 net_rows.join(",")
             )
         } else {

@@ -341,6 +341,13 @@ impl<K: Hash + Eq> ShardedCounts<K> {
         self.shards[i].len()
     }
 
+    /// Bytes of the shard handle table itself (the per-shard `Arc`
+    /// pointers); deep memory accounting charges this on top of the
+    /// shard-map bytes.
+    pub fn handle_bytes(&self) -> u64 {
+        (self.shards.len() * std::mem::size_of::<Arc<FxHashMap<K, u64>>>()) as u64
+    }
+
     #[inline]
     fn get<Q>(&self, shard: usize, key: &Q) -> Option<u64>
     where
@@ -952,6 +959,22 @@ impl GroupCounts {
 
 /// Iterator over a group-by's `(values, weight)` entries.
 pub type GroupIter<'a> = Box<dyn Iterator<Item = (Vec<u32>, u64)> + 'a>;
+
+impl pclabel_data::mem::HeapBytes for GroupCounts {
+    /// Shard maps (the same per-slot model as
+    /// [`CountingProfile::peak_bytes`]) plus the shard handle table and
+    /// the codec's per-attribute metadata.
+    fn heap_bytes(&self) -> u64 {
+        let handles = match &self.map {
+            GroupMap::Packed(sc) => sc.handle_bytes(),
+            GroupMap::Wide(sc) => sc.handle_bytes(),
+        };
+        let codec = (self.codec.attrs().len()
+            * (std::mem::size_of::<usize>() + 2 * std::mem::size_of::<u32>()))
+            as u64;
+        self.map_bytes() + handles + codec
+    }
+}
 
 /// The pre-sharding chunk-and-merge parallel build, retained verbatim as
 /// (a) the equivalence oracle the property tests pit the sharded pipeline

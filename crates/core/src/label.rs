@@ -434,6 +434,62 @@ impl Label {
     pub fn estimate_rounded(&self, p: &Pattern) -> u64 {
         self.estimate(p).round().max(0.0) as u64
     }
+
+    /// Heap bytes of the `PC` component (shard maps + handles).
+    pub fn pc_heap_bytes(&self) -> u64 {
+        use pclabel_data::mem::HeapBytes;
+        self.pc.heap_bytes()
+    }
+
+    /// Heap bytes of the `VC` component.
+    pub fn vc_heap_bytes(&self) -> u64 {
+        use pclabel_data::mem::HeapBytes;
+        self.vc.heap_bytes()
+    }
+
+    /// Heap bytes of the lazily-built marginal tables currently cached.
+    pub fn marginal_heap_bytes(&self) -> u64 {
+        let cache = self.marginals.lock().expect("marginal cache lock");
+        let outer = (cache.capacity()
+            * (std::mem::size_of::<AttrSet>()
+                + std::mem::size_of::<Arc<FxHashMap<Box<[u32]>, u64>>>()
+                + 1)) as u64;
+        let inner: u64 = cache
+            .values()
+            .map(|m| {
+                // Same model as the wide group maps: fat key pointer +
+                // weight + control byte per slot, plus the boxed key
+                // heap actually allocated.
+                m.capacity() as u64 * 25 + m.keys().map(|k| 16 + 4 * k.len() as u64).sum::<u64>()
+            })
+            .sum();
+        outer + inner
+    }
+}
+
+impl pclabel_data::mem::HeapBytes for ValueCounts {
+    fn heap_bytes(&self) -> u64 {
+        let tables: u64 = self
+            .counts
+            .iter()
+            .map(|c| (c.capacity() * std::mem::size_of::<u64>()) as u64)
+            .sum();
+        tables
+            + ((self.counts.capacity() * std::mem::size_of::<Vec<u64>>())
+                + self.totals.capacity() * std::mem::size_of::<u64>()) as u64
+    }
+}
+
+impl pclabel_data::mem::HeapBytes for Label {
+    /// `PC` + `VC` + cached marginal tables + the dataset name. The
+    /// schema is *not* counted: the label shares it with its dataset
+    /// via `Arc`, and the dataset is its primary owner.
+    fn heap_bytes(&self) -> u64 {
+        self.pc_heap_bytes()
+            + self.vc_heap_bytes()
+            + self.marginal_heap_bytes()
+            + self.dataset_name.len() as u64
+    }
 }
 
 impl std::fmt::Debug for Label {
@@ -460,6 +516,36 @@ mod tests {
             AttrSet::from_indices(attr_names.iter().map(|n| d.schema().index_of(n).unwrap()));
         let label = Label::build(&d, attrs);
         (d, label)
+    }
+
+    #[test]
+    fn heap_bytes_cross_check_with_counting_profile() {
+        use pclabel_data::mem::HeapBytes;
+        let d = figure2_sample();
+        let (label, profile) = Label::build_parallel_profiled(&d, AttrSet::from_indices([1, 3]), 2);
+        assert!(label.pc_heap_bytes() > 0);
+        assert!(label.vc_heap_bytes() > 0);
+        // The build-time peak models the shard maps *plus* transient
+        // partition buffers with the same per-slot constants, so the
+        // retained PC map bytes can never exceed it.
+        assert!(profile.peak_bytes > 0);
+        assert!(
+            label.pc.map_bytes() <= profile.peak_bytes,
+            "retained PC ({}) exceeds the build peak ({})",
+            label.pc.map_bytes(),
+            profile.peak_bytes
+        );
+        // The label total covers its parts and omits the shared schema.
+        assert!(
+            label.heap_bytes()
+                >= label.pc_heap_bytes() + label.vc_heap_bytes() + label.marginal_heap_bytes()
+        );
+        // Touching a projection materializes a marginal table, which
+        // the accounting must see.
+        assert_eq!(label.marginal_heap_bytes(), 0);
+        let p = Pattern::parse(&d, &[("age group", "20-39")]).unwrap();
+        let _ = label.estimate(&p);
+        assert!(label.marginal_heap_bytes() > 0);
     }
 
     #[test]

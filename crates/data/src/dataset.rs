@@ -67,6 +67,12 @@ impl Dataset {
         &self.columns[attr]
     }
 
+    /// Allocated capacity of `attr`'s column buffer, in elements — what
+    /// the deep memory accounting charges, as opposed to `n_rows`.
+    pub(crate) fn column_capacity(&self, attr: usize) -> usize {
+        self.columns[attr].capacity()
+    }
+
     /// Cell accessor: `None` when the value is missing.
     pub fn value(&self, row: usize, attr: usize) -> Option<u32> {
         let v = self.columns[attr][row];

@@ -35,6 +35,7 @@ pub mod dataset;
 pub mod dictionary;
 pub mod error;
 pub mod generate;
+pub mod mem;
 pub mod sample;
 pub mod schema;
 
@@ -48,6 +49,7 @@ pub mod prelude {
     pub use crate::dictionary::Dictionary;
     pub use crate::error::{DataError, Result};
     pub use crate::generate;
+    pub use crate::mem::HeapBytes;
     pub use crate::sample::{sample_dataset, sample_indices};
     pub use crate::schema::{Attribute, Schema};
 }

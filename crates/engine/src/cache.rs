@@ -191,6 +191,27 @@ impl Default for ShardedCache {
     }
 }
 
+impl pclabel_data::mem::HeapBytes for ShardedCache {
+    /// Per-shard table slots (swiss-table model: key + value + control
+    /// byte per unit of capacity) plus the heap the cached patterns'
+    /// term vectors own.
+    fn heap_bytes(&self) -> u64 {
+        let slot =
+            (std::mem::size_of::<Pattern>() + std::mem::size_of::<CachedEstimate>() + 1) as u64;
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().expect("cache shard");
+                shard.capacity() as u64 * slot
+                    + shard
+                        .keys()
+                        .map(|p| (p.terms().count() * std::mem::size_of::<(u16, u32)>()) as u64)
+                        .sum::<u64>()
+            })
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

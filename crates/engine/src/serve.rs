@@ -66,11 +66,18 @@ use pclabel_core::pattern::Pattern;
 use pclabel_data::csv::{read_dataset_from_str, CsvOptions};
 use pclabel_data::dataset::Dataset;
 use pclabel_data::generate::figure2_sample;
-use pclabel_telemetry::{series_key, MetricSnapshot, SnapshotValue, Telemetry, Trace};
+use pclabel_telemetry::{
+    series_key, tracked_op_index, MetricSnapshot, Phase, RetainedTrace, SnapshotValue, Telemetry,
+    Trace,
+};
 
 use crate::json::Json;
 use crate::query::{label_answer, Engine, EngineConfig, PatternSpec, QueryRequest};
-use crate::store::{EngineError, LabelPolicy, StoreEntry};
+use crate::store::{EngineError, EntryMemory, LabelPolicy, StoreEntry};
+
+/// The workspace version baked into `pclabel_build_info`, `health` and
+/// `server_stats` responses.
+pub const BUILD_VERSION: &str = env!("CARGO_PKG_VERSION");
 
 /// Counters returned by [`serve`] when the input is exhausted.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -154,8 +161,28 @@ impl Dispatcher {
     pub fn dispatch(&self, request: &Json) -> Json {
         let op = request.get("op").and_then(Json::as_str).map(str::to_string);
         let trace = self.telemetry.begin(op.as_deref().unwrap_or("other"));
+        if trace.enabled() {
+            // Annotations ride the trace into the retained ring so a
+            // slow-query id can be tied back to its dataset and batch
+            // size from `/debug/traces` alone.
+            if let Some(name) = request.get("dataset").and_then(Json::as_str) {
+                trace.annotate_dataset(name);
+            }
+            if let Some(items) = request
+                .get("patterns")
+                .or_else(|| request.get("rows"))
+                .and_then(Json::as_array)
+            {
+                trace.record_items(items.len() as u64);
+            }
+        }
         let response = self.dispatch_traced(request, op.as_deref(), &trace);
         let ok = response.get("ok").and_then(Json::as_bool) == Some(true);
+        if trace.enabled() {
+            if let Some(rows) = response.get("rows").and_then(Json::as_u64) {
+                trace.record_rows(rows);
+            }
+        }
         self.telemetry.finish(&trace, ok);
         response
     }
@@ -173,8 +200,9 @@ impl Dispatcher {
             Some("refresh") => handle_refresh(engine, request, trace),
             Some("stats") => handle_stats(engine, request),
             Some("list") => handle_list(engine),
-            Some("health") => handle_health(engine),
+            Some("health") => handle_health(engine, &self.telemetry),
             Some("server_stats") => self.handle_server_stats(),
+            Some("server_debug") => self.server_debug_json(request),
             Some("drop") => handle_drop(engine, request),
             Some(other) => error_response(Some(other), &format!("unknown op {other:?}")),
             None => error_response(None, "missing \"op\" field"),
@@ -199,6 +227,115 @@ impl Dispatcher {
                 )
             })
             .collect()
+    }
+
+    /// Per-dataset deep-memory rows (shared by `/debug/memory`, the
+    /// `stats` op and the `pclabel_dataset_bytes` gauges).
+    fn memory_rows(&self) -> Vec<(String, EntryMemory)> {
+        self.engine
+            .store()
+            .list()
+            .iter()
+            .map(|entry| (entry.name().to_string(), entry.memory()))
+            .collect()
+    }
+
+    /// `/debug/traces`: retained request traces as JSON. `op` narrows to
+    /// one tracked op, `slowest` reads the slowest-N ring instead of the
+    /// most-recent ring, and `id` retrieves a single trace by the
+    /// request id printed in slow-query warn lines.
+    pub fn debug_traces_json(&self, op: Option<&str>, slowest: bool, id: Option<u64>) -> Json {
+        let retention = self.telemetry.retention();
+        let traces: Vec<Arc<RetainedTrace>> = if let Some(id) = id {
+            retention.find(id).into_iter().collect()
+        } else if let Some(op) = op {
+            let Some(index) = tracked_op_index(op) else {
+                return error_response(Some("server_debug"), &format!("unknown op {op:?}"));
+            };
+            if slowest {
+                retention.slowest(index)
+            } else {
+                retention.recent(index)
+            }
+        } else {
+            retention.all(slowest)
+        };
+        let ring = if id.is_some() {
+            "find"
+        } else if slowest {
+            "slowest"
+        } else {
+            "recent"
+        };
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("op", Json::str("server_debug")),
+            ("section", Json::str("traces")),
+            ("retained_per_op", Json::num(retention.capacity() as f64)),
+            ("ring", Json::str(ring)),
+            (
+                "traces",
+                Json::Arr(traces.iter().map(|t| retained_trace_json(t)).collect()),
+            ),
+        ])
+    }
+
+    /// `/debug/memory`: deep heap accounting — per-dataset component
+    /// breakdowns plus the process-wide total. The same bytes back the
+    /// `pclabel_dataset_bytes` gauges and the `stats` op's `memory`
+    /// object, so the three exposures can be cross-checked.
+    pub fn debug_memory_json(&self) -> Json {
+        let rows = self.memory_rows();
+        let total: u64 = rows.iter().map(|(_, m)| m.total()).sum();
+        let datasets: Vec<Json> = rows
+            .iter()
+            .map(|(name, memory)| {
+                let components: Vec<(String, Json)> = memory
+                    .components()
+                    .iter()
+                    .map(|(component, bytes)| (component.to_string(), Json::num(*bytes as f64)))
+                    .collect();
+                Json::obj([
+                    ("dataset", Json::str(name)),
+                    ("total_bytes", Json::num(memory.total() as f64)),
+                    ("components", Json::Obj(components)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("op", Json::str("server_debug")),
+            ("section", Json::str("memory")),
+            ("total_bytes", Json::num(total as f64)),
+            ("datasets", Json::Arr(datasets)),
+        ])
+    }
+
+    /// `{"op":"server_debug"}`: every dispatcher-side introspection
+    /// section in one response. `"trace_op"`, `"slowest"` and `"id"`
+    /// filter the traces section like the `/debug/traces` query
+    /// parameters. Connection state lives in the transport, not here —
+    /// the network servers splice their `"conns"` section into this
+    /// object at the route layer.
+    pub fn server_debug_json(&self, request: &Json) -> Json {
+        let trace_op = request.get("trace_op").and_then(Json::as_str);
+        let slowest = request
+            .get("slowest")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        let id = request.get("id").and_then(Json::as_u64);
+        let traces = self.debug_traces_json(trace_op, slowest, id);
+        if traces.get("ok") != Some(&Json::Bool(true)) {
+            return traces;
+        }
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("op", Json::str("server_debug")),
+            ("uptime_seconds", Json::num(self.telemetry.uptime_secs())),
+            ("version", Json::str(BUILD_VERSION)),
+            ("traces", traces),
+            ("memory", self.debug_memory_json()),
+        ])
     }
 
     /// `server_stats`: the whole metric registry as JSON — the framed
@@ -252,6 +389,8 @@ impl Dispatcher {
             ("ok", Json::Bool(true)),
             ("op", Json::str("server_stats")),
             ("telemetry_enabled", Json::Bool(self.telemetry.is_enabled())),
+            ("uptime_seconds", Json::num(self.telemetry.uptime_secs())),
+            ("version", Json::str(BUILD_VERSION)),
             ("counters", Json::Obj(counters)),
             ("gauges", Json::Obj(gauges)),
             ("histograms", Json::Obj(histograms)),
@@ -291,6 +430,25 @@ impl Dispatcher {
                 value: SnapshotValue::Counter(invalidations),
             });
         }
+        snapshot.push(MetricSnapshot {
+            name: "pclabel_build_info".to_string(),
+            help: "Constant 1, labeled with the server build version.".to_string(),
+            labels: vec![("version".to_string(), BUILD_VERSION.to_string())],
+            value: SnapshotValue::Gauge(1),
+        });
+        for (dataset, memory) in self.memory_rows() {
+            for (component, bytes) in memory.components() {
+                snapshot.push(MetricSnapshot {
+                    name: "pclabel_dataset_bytes".to_string(),
+                    help: "Deep heap bytes held per dataset, by component.".to_string(),
+                    labels: vec![
+                        ("dataset".to_string(), dataset.clone()),
+                        ("component".to_string(), component.to_string()),
+                    ],
+                    value: SnapshotValue::Gauge(bytes),
+                });
+            }
+        }
         pclabel_telemetry::render_prometheus(&snapshot)
     }
 }
@@ -320,6 +478,42 @@ pub fn serve<R: BufRead, W: Write>(
         output.flush()?;
     }
     Ok(summary)
+}
+
+/// One retained trace as a JSON object: identity, outcome, wall time,
+/// annotations and the per-phase span breakdown (zero-duration phases
+/// are omitted, matching the slow-query log line).
+fn retained_trace_json(t: &RetainedTrace) -> Json {
+    let spans: Vec<Json> = Phase::ALL
+        .iter()
+        .filter(|p| t.phase_secs[**p as usize] > 0.0)
+        .map(|p| {
+            Json::obj([
+                ("phase", Json::str(p.span_name())),
+                ("ms", Json::num(t.phase_secs[*p as usize] * 1e3)),
+            ])
+        })
+        .collect();
+    let mut members = vec![
+        ("request_id".to_string(), Json::num(t.id as f64)),
+        ("op".to_string(), Json::str(t.op)),
+        ("ok".to_string(), Json::Bool(t.ok)),
+        ("elapsed_ms".to_string(), Json::num(t.elapsed_secs * 1e3)),
+        ("spans".to_string(), Json::Arr(spans)),
+    ];
+    if let Some(dataset) = &t.dataset {
+        members.push(("dataset".to_string(), Json::str(&**dataset)));
+    }
+    if t.items > 0 {
+        members.push(("items".to_string(), Json::num(t.items as f64)));
+    }
+    if t.rows > 0 {
+        members.push(("rows".to_string(), Json::num(t.rows as f64)));
+    }
+    if t.peak_bytes > 0 {
+        members.push(("peak_bytes".to_string(), Json::num(t.peak_bytes as f64)));
+    }
+    Json::Obj(members)
 }
 
 fn error_response(op: Option<&str>, message: &str) -> Json {
@@ -695,13 +889,16 @@ fn handle_estimate_multi(engine: &Engine, request: &Json) -> Json {
 }
 
 /// `health`: a cheap liveness probe (also the `GET /healthz` body in the
-/// HTTP transport).
-fn handle_health(engine: &Engine) -> Json {
+/// HTTP transport), now carrying uptime and build version so a probe
+/// can tell a restart from a hang.
+fn handle_health(engine: &Engine, telemetry: &Telemetry) -> Json {
     Json::obj([
         ("ok", Json::Bool(true)),
         ("op", Json::str("health")),
         ("status", Json::str("ok")),
         ("datasets", Json::num(engine.store().len() as f64)),
+        ("uptime_seconds", Json::num(telemetry.uptime_secs())),
+        ("version", Json::str(BUILD_VERSION)),
     ])
 }
 
@@ -810,12 +1007,20 @@ fn handle_stats(engine: &Engine, request: &Json) -> Json {
                     Json::num(entry.cache().stats().invalidations() as f64),
                 ),
             ]);
+            let memory = entry.memory();
+            let mut memory_members: Vec<(String, Json)> = memory
+                .components()
+                .iter()
+                .map(|(component, bytes)| (component.to_string(), Json::num(*bytes as f64)))
+                .collect();
+            memory_members.push(("total_bytes".to_string(), Json::num(memory.total() as f64)));
             let mut members = vec![
                 ("ok".to_string(), Json::Bool(true)),
                 ("op".to_string(), Json::str("stats")),
             ];
             members.extend(entry_summary(&entry));
             members.push(("cache".to_string(), cache));
+            members.push(("memory".to_string(), Json::Obj(memory_members)));
             Json::Obj(members)
         }
         Err(e) => engine_error("stats", &e),
@@ -1205,6 +1410,110 @@ mod tests {
         assert!(metrics.contains("pclabel_requests_total{op=\"query\"} 2"));
         assert!(metrics.contains("pclabel_cache_hits_total{dataset=\"census\"} 1"));
         assert!(metrics.contains("# TYPE pclabel_request_seconds histogram"));
+    }
+
+    #[test]
+    fn server_debug_retains_annotated_traces_and_memory() {
+        let dispatcher = Dispatcher::with_config(EngineConfig::default());
+        let lines = concat!(
+            "{\"op\":\"register\",\"dataset\":\"census\",\"generator\":\"figure2\",\"bound\":5}\n",
+            "{\"op\":\"query\",\"dataset\":\"census\",\"patterns\":[{\"gender\":\"Female\"},",
+            "{\"age group\":\"20-39\"}]}\n",
+        );
+        let mut out = Vec::new();
+        serve(&dispatcher, lines.as_bytes(), &mut out).unwrap();
+
+        let debug = dispatcher.dispatch_line("{\"op\":\"server_debug\"}");
+        assert_eq!(debug.get("ok"), Some(&Json::Bool(true)));
+        assert!(debug.get("uptime_seconds").and_then(Json::as_f64).unwrap() >= 0.0);
+        assert_eq!(
+            debug.get("version").and_then(Json::as_str),
+            Some(BUILD_VERSION)
+        );
+
+        // The traces section holds the register and query, oldest first,
+        // with the request's dataset/batch-size annotations attached.
+        let traces = debug
+            .get("traces")
+            .and_then(|t| t.get("traces"))
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].get("op").and_then(Json::as_str), Some("register"));
+        let query = &traces[1];
+        assert_eq!(query.get("op").and_then(Json::as_str), Some("query"));
+        assert_eq!(query.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(query.get("dataset").and_then(Json::as_str), Some("census"));
+        assert_eq!(query.get("items").and_then(Json::as_u64), Some(2));
+        assert_eq!(query.get("rows").and_then(Json::as_u64), Some(18));
+        let id = query.get("request_id").and_then(Json::as_u64).unwrap();
+
+        // A single trace is retrievable by request id (the id slow-query
+        // warn lines print), and op/slowest selectors narrow the rings.
+        let by_id = dispatcher.debug_traces_json(None, false, Some(id));
+        let found = by_id.get("traces").and_then(Json::as_array).unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].get("request_id").and_then(Json::as_u64), Some(id));
+
+        let by_op = dispatcher.debug_traces_json(Some("query"), true, None);
+        assert_eq!(by_op.get("ring").and_then(Json::as_str), Some("slowest"));
+        let slow = by_op.get("traces").and_then(Json::as_array).unwrap();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].get("op").and_then(Json::as_str), Some("query"));
+        assert_eq!(
+            dispatcher
+                .debug_traces_json(Some("teleport"), false, None)
+                .get("ok"),
+            Some(&Json::Bool(false))
+        );
+
+        // The memory section agrees with the stats op's breakdown.
+        let memory = debug.get("memory").unwrap();
+        assert!(memory.get("total_bytes").and_then(Json::as_u64).unwrap() > 0);
+        let per_dataset = memory.get("datasets").and_then(Json::as_array).unwrap();
+        assert_eq!(per_dataset.len(), 1);
+        let components = per_dataset[0].get("components").unwrap();
+        assert!(components.get("dataset").and_then(Json::as_u64).unwrap() > 0);
+        assert!(components.get("label_pc").and_then(Json::as_u64).unwrap() > 0);
+
+        let stats = dispatcher.dispatch_line("{\"op\":\"stats\",\"dataset\":\"census\"}");
+        let stats_memory = stats.get("memory").unwrap();
+        assert_eq!(
+            stats_memory.get("total_bytes"),
+            per_dataset[0].get("total_bytes")
+        );
+        assert_eq!(stats_memory.get("label_pc"), components.get("label_pc"));
+    }
+
+    #[test]
+    fn health_and_metrics_carry_build_info_and_memory_gauges() {
+        let dispatcher = Dispatcher::with_config(EngineConfig::default());
+        let health = dispatcher.dispatch_line("{\"op\":\"health\"}");
+        assert!(health.get("uptime_seconds").and_then(Json::as_f64).unwrap() >= 0.0);
+        assert_eq!(
+            health.get("version").and_then(Json::as_str),
+            Some(BUILD_VERSION)
+        );
+
+        let stats = dispatcher.dispatch_line("{\"op\":\"server_stats\"}");
+        assert_eq!(
+            stats.get("version").and_then(Json::as_str),
+            Some(BUILD_VERSION)
+        );
+        assert!(stats.get("uptime_seconds").and_then(Json::as_f64).is_some());
+
+        dispatcher.dispatch_line(
+            "{\"op\":\"register\",\"dataset\":\"census\",\"generator\":\"figure2\",\"bound\":5}",
+        );
+        let metrics = dispatcher.metrics_text();
+        assert!(metrics.contains(&format!(
+            "pclabel_build_info{{version=\"{BUILD_VERSION}\"}} 1"
+        )));
+        assert!(metrics.contains("# TYPE pclabel_dataset_bytes gauge"));
+        assert!(metrics.contains("pclabel_dataset_bytes{dataset=\"census\",component=\"dataset\"}"));
+        assert!(
+            metrics.contains("pclabel_dataset_bytes{dataset=\"census\",component=\"label_pc\"}")
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@ use pclabel_core::label::Label;
 use pclabel_core::search::{top_down_search, SearchOptions};
 use pclabel_data::dataset::Dataset;
 use pclabel_data::error::DataError;
+use pclabel_data::mem::HeapBytes;
 use pclabel_telemetry::{Phase, Trace};
 
 use crate::cache::ShardedCache;
@@ -100,6 +101,43 @@ pub struct AppendReport {
     pub touched_shards: Vec<u32>,
 }
 
+/// Per-component heap footprint of one store entry, in bytes. The
+/// component names double as the `component` label values of the
+/// `pclabel_dataset_bytes` Prometheus gauges, so the breakdown reads
+/// the same in the `stats` op, `/debug/memory` and a scrape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EntryMemory {
+    /// Dataset columns + schema (dictionaries included — the dataset is
+    /// the schema's primary owner; the label shares it via `Arc`).
+    pub dataset: u64,
+    /// The label's `PC` shard maps.
+    pub label_pc: u64,
+    /// The label's `VC` value-count tables.
+    pub label_vc: u64,
+    /// Lazily-materialized marginal tables cached on the label.
+    pub label_marginals: u64,
+    /// The per-dataset pattern→estimate cache.
+    pub cache: u64,
+}
+
+impl EntryMemory {
+    /// Sum over all components.
+    pub fn total(&self) -> u64 {
+        self.dataset + self.label_pc + self.label_vc + self.label_marginals + self.cache
+    }
+
+    /// `(component, bytes)` pairs in a fixed, stable order.
+    pub fn components(&self) -> [(&'static str, u64); 5] {
+        [
+            ("dataset", self.dataset),
+            ("label_pc", self.label_pc),
+            ("label_vc", self.label_vc),
+            ("label_marginals", self.label_marginals),
+            ("cache", self.cache),
+        ]
+    }
+}
+
 /// One consistent dataset/label/generation triple; the three always
 /// travel together under one lock so readers can never observe a mixed
 /// view (e.g. an appended dataset with the pre-append label).
@@ -169,6 +207,19 @@ impl StoreEntry {
         &self.cache
     }
 
+    /// Deep heap accounting for this entry, broken down by component.
+    /// Reads one consistent snapshot; the cache is measured as-is.
+    pub fn memory(&self) -> EntryMemory {
+        let (dataset, label, _) = self.snapshot();
+        EntryMemory {
+            dataset: dataset.heap_bytes(),
+            label_pc: label.pc_heap_bytes(),
+            label_vc: label.vc_heap_bytes(),
+            label_marginals: label.marginal_heap_bytes(),
+            cache: self.cache.heap_bytes(),
+        }
+    }
+
     /// Attribute names of `label`'s subset `S`, in index order.
     pub fn attr_names(label: &Label) -> Vec<String> {
         label
@@ -187,6 +238,12 @@ impl StoreEntry {
     /// Attribute names of the current label's subset `S`, in index order.
     pub fn label_attr_names(&self) -> Vec<String> {
         Self::attr_names(&self.label())
+    }
+}
+
+impl HeapBytes for StoreEntry {
+    fn heap_bytes(&self) -> u64 {
+        self.name.len() as u64 + self.memory().total()
     }
 }
 
@@ -821,6 +878,58 @@ mod tests {
                 "untouched shard entry survives"
             );
         }
+    }
+
+    #[test]
+    fn entry_memory_accounts_components_and_grows_with_appends() {
+        let store = LabelStore::new();
+        let entry = store
+            .register(
+                "census",
+                figure2_sample(),
+                LabelPolicy::Attrs(AttrSet::from_indices([1, 3])),
+            )
+            .unwrap();
+        let before = entry.memory();
+        assert!(before.dataset > 0, "dataset columns are accounted");
+        assert!(before.label_pc > 0, "PC shard maps are accounted");
+        assert!(before.label_vc > 0, "VC tables are accounted");
+        assert_eq!(
+            before.total(),
+            before.components().iter().map(|(_, b)| b).sum::<u64>()
+        );
+        assert!(entry.heap_bytes() >= before.total());
+
+        // Estimating through the label materializes a marginal table;
+        // caching an answer allocates cache slots. Both must show up.
+        let d = entry.dataset();
+        let p = pclabel_core::pattern::Pattern::parse(&d, &[("age group", "20-39")]).unwrap();
+        let _ = entry.label().estimate(&p);
+        entry.cache().insert(p, 6.0);
+        let warmed = entry.memory();
+        assert!(warmed.label_marginals > 0);
+        assert!(warmed.cache > 0);
+
+        // Appending rows grows the accounted dataset footprint, and the
+        // total never shrinks: the acceptance bar for /debug/memory.
+        let grown_rows: Vec<Vec<Option<&str>>> = (0..64)
+            .map(|_| {
+                vec![
+                    Some("Female"),
+                    Some("20-39"),
+                    Some("Caucasian"),
+                    Some("married"),
+                ]
+            })
+            .collect();
+        store.append_rows("census", &grown_rows).unwrap();
+        let after = entry.memory();
+        assert!(
+            after.dataset > warmed.dataset,
+            "dataset bytes must grow with appended rows ({} -> {})",
+            warmed.dataset,
+            after.dataset
+        );
     }
 
     #[test]

@@ -18,7 +18,25 @@
 //! net_replay 127.0.0.1:7341
 //! ```
 
+use pclabel_engine::json::Json;
 use pclabel_net::client::{HttpClient, NetClient};
+
+/// Zeroes the one legitimately non-deterministic response field
+/// (`health`'s `uptime_seconds`) so the cross-model diff stays
+/// byte-exact; everything else is printed verbatim.
+fn canon(line: &str) -> String {
+    match Json::parse(line) {
+        Ok(Json::Obj(mut members)) => {
+            for (key, value) in members.iter_mut() {
+                if key == "uptime_seconds" {
+                    *value = Json::num(0.0);
+                }
+            }
+            Json::Obj(members).to_string()
+        }
+        _ => line.to_string(),
+    }
+}
 
 fn script() -> Vec<&'static str> {
     vec![
@@ -46,7 +64,7 @@ fn main() {
     let mut framed = NetClient::connect(&addr).expect("framed connect");
     for line in script() {
         let response = framed.request_line(line).expect("framed round-trip");
-        println!("framed {response}");
+        println!("framed {}", canon(&response));
     }
 
     let mut http = HttpClient::connect(&addr).expect("HTTP connect");
@@ -54,10 +72,10 @@ fn main() {
         let response = http
             .request("POST", "/", Some(line))
             .expect("HTTP round-trip");
-        println!("http {} {}", response.status, response.body);
+        println!("http {} {}", response.status, canon(&response.body));
     }
     let health = http.request("GET", "/healthz", None).expect("GET /healthz");
-    println!("http {} {}", health.status, health.body);
+    println!("http {} {}", health.status, canon(&health.body));
 
     // Optional telemetry dump for ci/net_smoke.sh: scrape /metrics into
     // a file, keeping stdout byte-identical across connection models.
@@ -69,8 +87,24 @@ fn main() {
         }
     }
 
+    // Optional introspection dump for ci/net_smoke.sh: fetch the three
+    // /debug routes (conns, memory, retained traces) into a file, one
+    // `PATH BODY` line each, while both replay connections are still
+    // open — so the conn table must see exactly this client pair.
+    if let Ok(path) = std::env::var("PCLABEL_REPLAY_DEBUG_OUT") {
+        if !path.is_empty() {
+            let mut dump = String::new();
+            for route in ["/debug/conns", "/debug/memory", "/debug/traces?op=query"] {
+                let scrape = http.request("GET", route, None).expect("GET debug route");
+                assert_eq!(scrape.status, 200, "debug scrape failed on {route}");
+                dump.push_str(&format!("{route} {}\n", scrape.body));
+            }
+            std::fs::write(&path, dump).expect("write debug dump");
+        }
+    }
+
     let bye = framed
         .request_line(r#"{"op":"shutdown"}"#)
         .expect("shutdown round-trip");
-    println!("framed {bye}");
+    println!("framed {}", canon(&bye));
 }

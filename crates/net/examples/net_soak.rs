@@ -123,6 +123,45 @@ fn main() {
         series("counters", "pclabel_net_overloaded_total"),
     );
 
+    // Trace retention stays bounded: the soak pushed 2 × IDLE_CONNS
+    // health requests through the daemon, far more than the ring
+    // capacity ci/net_soak.sh starts it with, so both rings must sit at
+    // or under `retained_per_op`. The script greps this line.
+    let mut ring_len = |request: &str| -> (u64, usize) {
+        let debug = fresh
+            .request_line(request)
+            .expect("server_debug round-trip");
+        let debug = Json::parse(&debug).expect("server_debug JSON");
+        assert_eq!(
+            debug.get("ok"),
+            Some(&Json::Bool(true)),
+            "server_debug failed: {debug}"
+        );
+        let traces = debug.get("traces").expect("traces section");
+        let capacity = traces
+            .get("retained_per_op")
+            .and_then(Json::as_u64)
+            .expect("retained_per_op");
+        let len = traces
+            .get("traces")
+            .and_then(Json::as_array)
+            .expect("trace array")
+            .len();
+        (capacity, len)
+    };
+    let (capacity, recent) = ring_len(r#"{"op":"server_debug","trace_op":"health"}"#);
+    let (_, slowest) = ring_len(r#"{"op":"server_debug","trace_op":"health","slowest":true}"#);
+    let health_requests = 2 * idle_conns;
+    assert!(
+        recent as u64 <= capacity && slowest as u64 <= capacity,
+        "trace rings exceeded their bound: {recent} recent / {slowest} slowest > {capacity}"
+    );
+    assert!(recent > 0, "no health traces retained");
+    println!(
+        "net_soak: traces retained_per_op={capacity} health_requests={health_requests} \
+         recent={recent} slowest={slowest}"
+    );
+
     let shutdown = fresh
         .request_line(r#"{"op":"shutdown"}"#)
         .expect("shutdown round-trip");

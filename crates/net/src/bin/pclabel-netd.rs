@@ -54,17 +54,29 @@ options:
                            error, warn, info or debug (default info;
                            debug logs every request with per-phase spans)
   --slow-query-ms MS       log requests slower than MS as slow_query
-                           warnings with per-phase timing spans
-                           (default 0 = disabled)
+                           warnings with per-phase timing spans and the
+                           request id, retrievable afterwards from
+                           GET /debug/traces?id=N (default 0 = disabled)
+  --log-sample N           at debug level, log only every Nth request
+                           line (default 1 = all; warnings and errors
+                           are never sampled away)
+  --retained-traces N      finished traces kept per op for
+                           GET /debug/traces — N most recent plus the N
+                           slowest (default 64; 0 = disabled)
   -h, --help               this text
 
 Wire protocols on one port, sniffed from the first bytes:
   framed TCP   u32 big-endian payload length + JSON request, same framing
                back; persistent connections
   HTTP/1.1     POST /query | /register | /append_rows | /refresh | /drop
-               | /estimate_multi | /server_stats with the request JSON
-               as body; GET /stats?dataset=NAME; GET /healthz;
-               GET /metrics (Prometheus text; HEAD works on all three);
+               | /estimate_multi | /server_stats | /server_debug with the
+               request JSON as body; GET /stats?dataset=NAME;
+               GET /healthz; GET /metrics (Prometheus text);
+               GET /debug/traces?op=NAME&slowest=1&id=N (retained
+               traces), GET /debug/memory (per-dataset component bytes),
+               GET /debug/conns (live connection table) — all served
+               without dispatching, so inspection never perturbs what it
+               reports; HEAD works on every GET route;
                POST / with an {\"op\":...} body; keep-alive
 
 environment:
@@ -86,6 +98,8 @@ fn main() {
     };
     let mut log_level = LogLevel::Info;
     let mut slow_query: Option<Duration> = None;
+    let mut log_sample: u64 = 1;
+    let mut retained_traces = pclabel_telemetry::DEFAULT_RETAINED_TRACES;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -159,6 +173,16 @@ fn main() {
                     .unwrap_or_else(|_| fail("--slow-query-ms needs an integer"));
                 slow_query = (ms > 0).then(|| Duration::from_millis(ms));
             }
+            "--log-sample" => {
+                log_sample = value("--log-sample")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--log-sample needs an integer"))
+            }
+            "--retained-traces" => {
+                retained_traces = value("--retained-traces")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--retained-traces needs an integer"))
+            }
             other => fail(&format!("unknown flag {other:?}")),
         }
     }
@@ -167,7 +191,10 @@ fn main() {
         .ok()
         .and_then(|s| s.parse::<usize>().ok())
         .unwrap_or(0);
-    let telemetry = Telemetry::with_logger(Logger::new(log_level, slow_query));
+    let telemetry = Telemetry::with_options(
+        Logger::new(log_level, slow_query).with_sample(log_sample),
+        retained_traces,
+    );
     let dispatcher = Arc::new(Dispatcher::with_telemetry(
         EngineConfig {
             query_threads,

@@ -9,7 +9,12 @@
 //!   (`text/plain; version=0.0.4`). Served at the route level without
 //!   dispatching, so a scrape never perturbs the request counters it
 //!   reports;
-//! * `HEAD` on any of the three GET routes — identical status line and
+//! * `GET /debug/traces?op=NAME&slowest=1&id=N`, `GET /debug/memory`,
+//!   `GET /debug/conns` — the introspection plane: retained request
+//!   traces, per-component memory accounting and the live connection
+//!   table. Served at the route level without dispatching, like
+//!   `/metrics`, so inspection never perturbs what it reports;
+//! * `HEAD` on any of the GET routes — identical status line and
 //!   headers (including the `Content-Length` the GET would carry), no
 //!   body;
 //! * `POST /query`, `POST /register`, `POST /append_rows`,
@@ -36,6 +41,7 @@ use std::net::TcpStream;
 
 use pclabel_engine::json::Json;
 
+use crate::conntrack::{ConnState, ConnTrack};
 use crate::server::{process_line, process_request, Shared};
 
 /// Total byte cap on the request line + headers of one request.
@@ -133,12 +139,13 @@ enum ReadRequest {
 
 /// Buffered connection state; `carry` holds bytes of the next pipelined
 /// request read past the previous one's end.
-struct Conn {
+struct Conn<'a> {
     stream: TcpStream,
     carry: Vec<u8>,
+    track: &'a ConnTrack,
 }
 
-impl Conn {
+impl Conn<'_> {
     /// Pulls more bytes into `carry`. `Ok(false)` means EOF.
     fn fill(&mut self, shared: &Shared, have_partial: bool) -> io::Result<bool> {
         let mut chunk = [0u8; 4096];
@@ -150,6 +157,7 @@ impl Conn {
                 Ok(0) => return Ok(false),
                 Ok(n) => {
                     self.carry.extend_from_slice(&chunk[..n]);
+                    self.track.add_in(n as u64);
                     return Ok(true);
                 }
                 Err(e)
@@ -410,6 +418,35 @@ pub(crate) fn route(request: &Request, shared: &Shared) -> Routed {
             head_only: false,
             shutdown: false,
         },
+        // The rest of the introspection plane, also served without
+        // dispatching: retained traces, deep memory accounting and the
+        // live connection table.
+        ("GET" | "HEAD", "/debug/traces") => {
+            let op = params
+                .iter()
+                .find(|(k, _)| k == "op")
+                .map(|(_, v)| v.as_str())
+                .filter(|v| !v.is_empty());
+            let slowest = params
+                .iter()
+                .find(|(k, _)| k == "slowest")
+                .is_some_and(|(_, v)| v != "0" && v != "false");
+            let id = params
+                .iter()
+                .find(|(k, _)| k == "id")
+                .and_then(|(_, v)| v.parse::<u64>().ok());
+            let response = shared.dispatcher.debug_traces_json(op, slowest, id);
+            let ok = response.get("ok") == Some(&Json::Bool(true));
+            Routed::json(if ok { 200 } else { 400 }, response.to_string(), false)
+        }
+        ("GET" | "HEAD", "/debug/memory") => Routed::json(
+            200,
+            shared.dispatcher.debug_memory_json().to_string(),
+            false,
+        ),
+        ("GET" | "HEAD", "/debug/conns") => {
+            Routed::json(200, crate::server::conns_json(shared).to_string(), false)
+        }
         ("POST", path) => 'post: {
             let Ok(body) = std::str::from_utf8(&request.body) else {
                 break 'post Routed::json(
@@ -453,7 +490,7 @@ fn implied_op(path: &str) -> Option<&str> {
     match path.strip_prefix('/') {
         Some(
             op @ ("register" | "query" | "estimate_multi" | "append_rows" | "refresh" | "stats"
-            | "list" | "health" | "drop" | "shutdown" | "server_stats"),
+            | "list" | "health" | "drop" | "shutdown" | "server_stats" | "server_debug"),
         ) => Some(op),
         _ => None,
     }
@@ -493,12 +530,19 @@ fn inject_op(body: &str, op: &str) -> Result<Json, String> {
 
 /// Serves one HTTP connection until close/error/shutdown. `first4` is
 /// the sniffed method prefix, pushed back onto the buffer.
-pub(crate) fn serve_connection(stream: TcpStream, first4: [u8; 4], shared: &Shared) {
+pub(crate) fn serve_connection(
+    stream: TcpStream,
+    first4: [u8; 4],
+    shared: &Shared,
+    track: &ConnTrack,
+) {
     let mut conn = Conn {
         stream,
         carry: first4.to_vec(),
+        track,
     };
     loop {
+        track.set_state(ConnState::Idle);
         match conn.read_request(shared) {
             ReadRequest::Closed => return,
             ReadRequest::Bad(status, message) => {
@@ -506,13 +550,18 @@ pub(crate) fn serve_connection(stream: TcpStream, first4: [u8; 4], shared: &Shar
                 return;
             }
             ReadRequest::Ok(request) => {
+                track.inc_requests();
+                track.set_state(ConnState::Dispatching);
                 let routed = route(&request, shared);
                 let keep_alive =
                     request.keep_alive() && !routed.shutdown && !shared.shutting_down();
+                track.set_state(ConnState::Writing);
+                let bytes = routed_bytes(&routed, keep_alive);
                 let write = conn
                     .stream
-                    .write_all(&routed_bytes(&routed, keep_alive))
+                    .write_all(&bytes)
                     .and_then(|()| conn.stream.flush());
+                track.add_out(bytes.len() as u64);
                 if write.is_err() || !keep_alive {
                     return;
                 }
@@ -579,6 +628,7 @@ mod tests {
             "drop",
             "shutdown",
             "server_stats",
+            "server_debug",
         ] {
             assert_eq!(implied_op(&format!("/{op}")), Some(op));
         }

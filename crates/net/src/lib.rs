@@ -81,6 +81,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub(crate) mod conntrack;
 pub mod frame;
 pub mod http;
 pub(crate) mod metrics;

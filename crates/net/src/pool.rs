@@ -124,6 +124,25 @@ impl<T> BoundedQueue<T> {
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
+
+    fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+}
+
+/// A cloneable probe of a pool's pending-job queue depth, detached from
+/// the [`ThreadPool`]'s ownership (the pool itself moves into the
+/// acceptor/reactor thread; introspection endpoints keep a probe). See
+/// [`ThreadPool::depth_probe`].
+#[derive(Clone)]
+pub struct QueueDepthProbe(Arc<BoundedQueue<Job>>);
+
+impl QueueDepthProbe {
+    /// Jobs currently waiting in the queue (accepted but not yet claimed
+    /// by a worker).
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
 }
 
 /// A fixed-size pool of worker threads consuming jobs from a bounded
@@ -157,6 +176,13 @@ impl ThreadPool {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// A [`QueueDepthProbe`] onto this pool's queue, for queue-depth
+    /// introspection (`/debug/conns`) after the pool has moved into its
+    /// serving thread.
+    pub fn depth_probe(&self) -> QueueDepthProbe {
+        QueueDepthProbe(Arc::clone(&self.queue))
     }
 
     /// Enqueues a job, blocking while the queue is full. Returns `Err`
@@ -293,6 +319,40 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(ran.load(Ordering::SeqCst), queued + 1);
+    }
+
+    #[test]
+    fn depth_probe_reports_pending_jobs() {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let pool = ThreadPool::new(1, 4);
+        let probe = pool.depth_probe();
+        assert_eq!(probe.depth(), 0);
+        {
+            let gate = Arc::clone(&gate);
+            pool.execute(move || {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            })
+            .unwrap();
+        }
+        // Wait for the single worker to claim the blocker, then the next
+        // jobs can only sit in the queue.
+        while probe.depth() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        pool.execute(|| {}).unwrap();
+        pool.execute(|| {}).unwrap();
+        assert_eq!(probe.depth(), 2);
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        pool.shutdown();
+        assert_eq!(probe.depth(), 0);
     }
 
     #[test]

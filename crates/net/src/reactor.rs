@@ -52,6 +52,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::conntrack::{ConnState, ConnTrack};
 use crate::frame::encode_frame;
 use crate::http::{self, find_subsequence};
 use crate::pool::{Job, ThreadPool, TryExecuteError};
@@ -421,11 +422,34 @@ struct Conn {
     dispatching: bool,
     last_activity: Instant,
     interest: Interest,
+    /// The `/debug/conns` entry; updates are relaxed atomics, so
+    /// mirroring costs the loop nothing observable.
+    track: Arc<ConnTrack>,
 }
 
 impl Conn {
     fn has_pending_write(&self) -> bool {
         self.out_pos < self.out.len()
+    }
+
+    /// Mirrors this connection's coarse state (and sniffed protocol)
+    /// into its conntrack entry for `/debug/conns`.
+    fn mirror(&self) {
+        if let Some(protocol) = self.machine.protocol {
+            self.track.set_protocol(protocol == Protocol::Framed);
+        }
+        let state = if self.dispatching {
+            ConnState::Dispatching
+        } else if self.has_pending_write() {
+            ConnState::Writing
+        } else if self.machine.has_partial() {
+            ConnState::Reading
+        } else if self.machine.protocol.is_none() {
+            ConnState::Sniffing
+        } else {
+            ConnState::Idle
+        };
+        self.track.set_state(state);
     }
 
     /// Idle = safe to evict: between requests with nothing in flight.
@@ -492,6 +516,7 @@ pub(crate) fn spawn(shared: Arc<Shared>, listener: TcpListener) -> io::Result<Jo
     poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
     poller.register(waker.read_fd(), WAKER_TOKEN, Interest::READ)?;
     let pool = ThreadPool::new(shared.config.workers, shared.config.queue_capacity);
+    shared.set_pool_depth(pool.depth_probe());
     let dispatch = Arc::new(DispatchQueue {
         completions: Mutex::new(Vec::new()),
         waker: Arc::clone(&waker),
@@ -631,6 +656,10 @@ impl Reactor {
         let _ = stream.set_nodelay(true);
         let token = self.next_token;
         self.next_token += 1;
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "unknown".to_string());
         let conn = Conn {
             stream,
             machine: Machine::new(self.shared.config.max_frame),
@@ -640,6 +669,7 @@ impl Reactor {
             dispatching: false,
             last_activity: Instant::now(),
             interest: Interest::READ,
+            track: self.shared.conns.register(peer),
         };
         if self
             .poller
@@ -651,6 +681,8 @@ impl Reactor {
                 .metrics
                 .open_connections
                 .set(self.conns.len() as u64);
+        } else {
+            self.shared.conns.deregister(conn.track.id());
         }
     }
 
@@ -720,6 +752,7 @@ impl Reactor {
                 }
                 Ok(n) => {
                     conn.machine.push(&chunk[..n]);
+                    conn.track.add_in(n as u64);
                     conn.last_activity = Instant::now();
                     self.pump(token);
                     let Some(conn) = self.conns.get(&token) else {
@@ -809,6 +842,7 @@ impl Reactor {
             return true;
         };
         conn.dispatching = true;
+        conn.track.inc_requests();
         let shared = Arc::clone(&self.shared);
         let queue = Arc::clone(&self.dispatch);
         let job: Job = Box::new(move || {
@@ -855,6 +889,7 @@ impl Reactor {
             return true;
         };
         conn.dispatching = true;
+        conn.track.inc_requests();
         // Captured before the job takes the request: the 429 path needs
         // to know whether this exchange would have kept the connection.
         let keep_alive_on_reject = request.keep_alive();
@@ -968,13 +1003,16 @@ impl Reactor {
             return;
         };
         if conn.has_pending_write() {
+            let before = conn.out_pos;
             match write_pending(&conn.out, &mut conn.out_pos, &mut conn.stream) {
                 Ok(true) => {
+                    conn.track.add_out((conn.out.len() - before) as u64);
                     conn.out.clear();
                     conn.out_pos = 0;
                     conn.last_activity = Instant::now();
                 }
                 Ok(false) => {
+                    conn.track.add_out((conn.out_pos - before) as u64);
                     conn.last_activity = Instant::now();
                     self.update_interest(token);
                     return; // short write: wait for writability
@@ -1062,6 +1100,7 @@ impl Reactor {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
+        conn.mirror();
         let wanted = conn.wanted_interest();
         if wanted != conn.interest {
             let fd = conn.stream.as_raw_fd();
@@ -1076,6 +1115,7 @@ impl Reactor {
     fn close(&mut self, token: u64) {
         if let Some(conn) = self.conns.remove(&token) {
             let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            self.shared.conns.deregister(conn.track.id());
             self.shared
                 .metrics
                 .open_connections

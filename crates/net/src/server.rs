@@ -26,19 +26,20 @@
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use pclabel_engine::json::Json;
 use pclabel_engine::serve::Dispatcher;
 
+use crate::conntrack::{ConnState, ConnTable, ConnTrack};
 use crate::frame::{
     read_frame_body, write_frame, FrameError, DEFAULT_MAX_FRAME, MAX_FRAME_CEILING,
 };
 use crate::http;
 use crate::metrics::NetMetrics;
-use crate::pool::ThreadPool;
+use crate::pool::{QueueDepthProbe, ThreadPool};
 
 /// How connections map onto threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,6 +175,12 @@ pub(crate) struct Shared {
     /// Transport-level gauges/counters, registered in the dispatcher's
     /// telemetry registry so both connection models report identically.
     pub(crate) metrics: NetMetrics,
+    /// Live connection table feeding `/debug/conns` and the
+    /// `server_debug` op; both connection models register here.
+    pub(crate) conns: ConnTable,
+    /// Queue-depth probe onto the serving pool, set once at spawn (the
+    /// pool itself moves into the acceptor/reactor thread).
+    pool_depth: OnceLock<QueueDepthProbe>,
     local_addr: SocketAddr,
     shutdown: AtomicBool,
     /// Set by the reactor so `trigger_shutdown` can interrupt its
@@ -202,6 +209,12 @@ impl Shared {
     pub(crate) fn set_waker(&self, waker: Arc<crate::sys::Waker>) {
         let _ = self.waker.set(waker);
     }
+
+    /// Registers the serving pool's queue-depth probe (at most once, at
+    /// spawn).
+    pub(crate) fn set_pool_depth(&self, probe: QueueDepthProbe) {
+        let _ = self.pool_depth.set(probe);
+    }
 }
 
 /// How often the acceptor polls for new connections and the shutdown
@@ -229,6 +242,8 @@ impl NetServer {
             dispatcher,
             config,
             metrics,
+            conns: ConnTable::default(),
+            pool_depth: OnceLock::new(),
             local_addr,
             shutdown: AtomicBool::new(false),
             #[cfg(unix)]
@@ -249,6 +264,7 @@ impl NetServer {
         }
 
         let pool = ThreadPool::new(shared.config.workers, shared.config.queue_capacity);
+        shared.set_pool_depth(pool.depth_probe());
 
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
@@ -401,17 +417,26 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(shared.config.read_timeout);
     let _ = stream.set_write_timeout(shared.config.write_timeout);
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
+    let track = shared.conns.register(peer);
     let mut stream = stream;
     match read_prologue(&mut stream, shared) {
         StartRead::Eof | StartRead::Abort => {}
         StartRead::Data(first) => {
+            track.add_in(4);
             if is_http_prefix(&first) {
-                http::serve_connection(stream, first, shared);
+                track.set_protocol(false);
+                http::serve_connection(stream, first, shared, &track);
             } else {
-                serve_framed(stream, u32::from_be_bytes(first), shared);
+                track.set_protocol(true);
+                serve_framed(stream, u32::from_be_bytes(first), shared, &track);
             }
         }
     }
+    shared.conns.deregister(track.id());
 }
 
 /// One raw request line: parse, then [`process_request`]. Returns the
@@ -452,7 +477,79 @@ pub(crate) fn process_request(request: &Json, shared: &Shared) -> (Json, bool) {
             false,
         );
     }
+    if request.get("op").and_then(Json::as_str) == Some("server_debug") {
+        // Served at the transport layer, like `/metrics` over HTTP:
+        // inspection must not perturb the request counters and traces
+        // it reports, and only this layer can see the connection table.
+        return (server_debug_response(request, shared), false);
+    }
     (shared.dispatcher.dispatch(request), false)
+}
+
+/// The `server_debug` op response: the dispatcher's traces + memory +
+/// uptime sections with the transport's live connection table appended.
+pub(crate) fn server_debug_response(request: &Json, shared: &Shared) -> Json {
+    let mut response = shared.dispatcher.server_debug_json(request);
+    if response.get("ok") == Some(&Json::Bool(true)) {
+        if let Json::Obj(members) = &mut response {
+            members.push(("conns".to_string(), conns_json(shared)));
+        }
+    }
+    response
+}
+
+/// The live connection-table snapshot served by `GET /debug/conns` and
+/// embedded in `server_debug` responses. Reads only per-connection
+/// atomics plus the table's admit/close mutex — never the event loop —
+/// so a scrape cannot stall either connection model.
+pub(crate) fn conns_json(shared: &Shared) -> Json {
+    let rows = shared.conns.snapshot();
+    let open = rows.len();
+    let rows: Vec<Json> = rows
+        .into_iter()
+        .map(|row| {
+            // The deadline that applies depends on what the connection
+            // is doing; dispatching requests have no transport deadline.
+            let deadline = match row.state {
+                ConnState::Dispatching => None,
+                ConnState::Writing => shared.config.write_timeout,
+                ConnState::Reading => shared.config.read_timeout,
+                ConnState::Idle | ConnState::Sniffing => shared.config.idle_timeout,
+            };
+            let slack = deadline.map(|d| d.as_secs_f64() - row.since_activity.as_secs_f64());
+            Json::obj([
+                ("id", Json::num(row.id as f64)),
+                ("peer", Json::str(row.peer)),
+                ("protocol", Json::str(row.protocol)),
+                ("state", Json::str(row.state.name())),
+                ("age_seconds", Json::num(row.age.as_secs_f64())),
+                ("idle_seconds", Json::num(row.since_activity.as_secs_f64())),
+                (
+                    "deadline_slack_seconds",
+                    slack.map(Json::num).unwrap_or(Json::Null),
+                ),
+                ("bytes_in", Json::num(row.bytes_in as f64)),
+                ("bytes_out", Json::num(row.bytes_out as f64)),
+                ("requests", Json::num(row.requests as f64)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("server_debug")),
+        ("section", Json::str("conns")),
+        ("model", Json::str(shared.config.model.to_string())),
+        ("open", Json::num(open as f64)),
+        (
+            "queue_depth",
+            shared
+                .pool_depth
+                .get()
+                .map(|p| Json::num(p.depth() as f64))
+                .unwrap_or(Json::Null),
+        ),
+        ("conns", Json::Arr(rows)),
+    ])
 }
 
 /// The framed-protocol error body for an oversized request frame. One
@@ -511,17 +608,24 @@ pub(crate) fn drain(stream: &mut TcpStream, mut remaining: u64) {
 
 /// The length-prefixed protocol loop. `first_len` is the already-sniffed
 /// length of the first frame.
-fn serve_framed(mut stream: TcpStream, first_len: u32, shared: &Shared) {
+fn serve_framed(mut stream: TcpStream, first_len: u32, shared: &Shared, track: &ConnTrack) {
     let max = shared.config.max_frame;
     let mut next_len = Some(first_len);
     loop {
         let len = match next_len.take() {
             Some(len) => len,
-            None => match read_prologue(&mut stream, shared) {
-                StartRead::Data(header) => u32::from_be_bytes(header),
-                StartRead::Eof | StartRead::Abort => return,
-            },
+            None => {
+                track.set_state(ConnState::Idle);
+                match read_prologue(&mut stream, shared) {
+                    StartRead::Data(header) => {
+                        track.add_in(4);
+                        u32::from_be_bytes(header)
+                    }
+                    StartRead::Eof | StartRead::Abort => return,
+                }
+            }
         };
+        track.set_state(ConnState::Reading);
         let payload = match read_frame_body(&mut stream, len, max) {
             Ok(p) => p,
             Err(FrameError::TooLarge { len, max }) => {
@@ -536,21 +640,21 @@ fn serve_framed(mut stream: TcpStream, first_len: u32, shared: &Shared) {
             }
             Err(FrameError::Io(_)) => return,
         };
+        track.add_in(payload.len() as u64);
+        track.inc_requests();
+        track.set_state(ConnState::Dispatching);
         let (response, shutdown) = match std::str::from_utf8(&payload) {
             Ok(line) => process_line(line, shared),
             Err(_) => (utf8_error_json(), false),
         };
         // Responses are always sent whole, even above the request cap:
         // the server never truncates its own output.
-        if write_frame(
-            &mut stream,
-            response.to_string().as_bytes(),
-            MAX_FRAME_CEILING,
-        )
-        .is_err()
-        {
+        track.set_state(ConnState::Writing);
+        let body = response.to_string();
+        if write_frame(&mut stream, body.as_bytes(), MAX_FRAME_CEILING).is_err() {
             return;
         }
+        track.add_out(4 + body.len() as u64);
         if shutdown || shared.shutting_down() {
             return;
         }

@@ -62,6 +62,23 @@ fn script() -> Vec<&'static str> {
     ]
 }
 
+/// Zeroes the non-deterministic `uptime_seconds` member (the `health`
+/// op reports wall-clock uptime, which can never agree across two
+/// replays) so byte-identity assertions compare everything else.
+fn canon(line: &str) -> String {
+    match Json::parse(line) {
+        Ok(Json::Obj(mut members)) => {
+            for (k, v) in members.iter_mut() {
+                if k == "uptime_seconds" {
+                    *v = Json::num(0.0);
+                }
+            }
+            Json::Obj(members).to_string()
+        }
+        _ => line.to_string(),
+    }
+}
+
 /// The script replayed through the in-process serve loop (exactly the
 /// `pclabel-serve` code path).
 fn stdio_responses() -> Vec<String> {
@@ -72,7 +89,7 @@ fn stdio_responses() -> Vec<String> {
     String::from_utf8(out)
         .expect("UTF-8 output")
         .lines()
-        .map(str::to_string)
+        .map(canon)
         .collect()
 }
 
@@ -83,7 +100,7 @@ fn framed_tcp_is_byte_identical_to_serve_loop() {
     let mut client = NetClient::connect(server.local_addr()).unwrap();
     let got: Vec<String> = script()
         .iter()
-        .map(|line| client.request_line(line).expect("framed round-trip"))
+        .map(|line| canon(&client.request_line(line).expect("framed round-trip")))
         .collect();
     server.shutdown();
     assert_eq!(expected, got);
@@ -97,10 +114,12 @@ fn http_generic_post_is_byte_identical_to_serve_loop() {
     let got: Vec<String> = script()
         .iter()
         .map(|line| {
-            client
-                .request("POST", "/", Some(line))
-                .expect("HTTP round-trip")
-                .body
+            canon(
+                &client
+                    .request("POST", "/", Some(line))
+                    .expect("HTTP round-trip")
+                    .body,
+            )
         })
         .collect();
     server.shutdown();
@@ -137,7 +156,7 @@ fn netd_binary_is_byte_identical_to_serve_loop() {
     let mut client = NetClient::connect(&addr).expect("connect to binary");
     let got: Vec<String> = script()
         .iter()
-        .map(|line| client.request_line(line).expect("binary round-trip"))
+        .map(|line| canon(&client.request_line(line).expect("binary round-trip")))
         .collect();
     let bye = client.request_line(r#"{"op":"shutdown"}"#).unwrap();
     assert_eq!(
@@ -165,7 +184,7 @@ fn reactor_framed_and_http_are_byte_identical_to_serve_loop() {
         let mut client = NetClient::connect(server.local_addr()).unwrap();
         let got: Vec<String> = script()
             .iter()
-            .map(|line| client.request_line(line).expect("framed round-trip"))
+            .map(|line| canon(&client.request_line(line).expect("framed round-trip")))
             .collect();
         assert_eq!(expected, got, "framed, force_poll={force_poll}");
         server.shutdown();
@@ -178,10 +197,12 @@ fn reactor_framed_and_http_are_byte_identical_to_serve_loop() {
         let got: Vec<String> = script()
             .iter()
             .map(|line| {
-                client
-                    .request("POST", "/", Some(line))
-                    .expect("HTTP round-trip")
-                    .body
+                canon(
+                    &client
+                        .request("POST", "/", Some(line))
+                        .expect("HTTP round-trip")
+                        .body,
+                )
             })
             .collect();
         assert_eq!(expected, got, "HTTP, force_poll={force_poll}");
@@ -982,6 +1003,266 @@ fn netd_metrics_and_server_stats_observe_a_session() {
     let bye = send(r#"{"op":"shutdown"}"#);
     assert_eq!(bye.get("ok"), Some(&Json::Bool(true)));
     assert!(child.wait().expect("netd exits").success());
+}
+
+/// Reads the transport's open-connections gauge straight off the shared
+/// dispatcher (no connection of its own, so the reading cannot perturb
+/// the count it reports).
+fn open_conns(dispatcher: &Dispatcher) -> u64 {
+    dispatcher
+        .metrics_text()
+        .lines()
+        .find_map(|l| l.strip_prefix("pclabel_net_open_connections "))
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(|v| v as u64)
+        .unwrap_or(u64::MAX)
+}
+
+fn wait_for_open_conns(dispatcher: &Dispatcher, want: u64) -> bool {
+    for _ in 0..250 {
+        if open_conns(dispatcher) == want {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    false
+}
+
+/// The open-connections gauge tracks the true fleet size through LRU
+/// eviction and returns to zero after a graceful drain.
+#[cfg(unix)]
+#[test]
+fn open_connections_gauge_survives_eviction_and_drains_to_zero() {
+    let dispatcher = Arc::new(Dispatcher::with_config(EngineConfig::default()));
+    let server = NetServer::spawn(
+        Arc::clone(&dispatcher),
+        ServerConfig {
+            max_connections: 2,
+            ..reactor_config()
+        },
+    )
+    .expect("spawn capped server");
+
+    let mut a = NetClient::connect(server.local_addr()).unwrap();
+    a.request_line(r#"{"op":"health"}"#).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    let mut b = NetClient::connect(server.local_addr()).unwrap();
+    b.request_line(r#"{"op":"health"}"#).unwrap();
+    assert!(wait_for_open_conns(&dispatcher, 2), "two live connections");
+
+    // A third connection breaches the cap: `a` (LRU idle) is evicted, so
+    // the gauge stays at the cap rather than growing.
+    let mut c = NetClient::connect(server.local_addr()).unwrap();
+    c.request_line(r#"{"op":"health"}"#).unwrap();
+    assert!(
+        wait_for_open_conns(&dispatcher, 2),
+        "gauge must stay at the cap through the eviction, got {}",
+        open_conns(&dispatcher)
+    );
+
+    // Clients hang up; the reactor notices each EOF and the gauge
+    // drains to zero while the server is still running.
+    drop(a);
+    drop(b);
+    drop(c);
+    assert!(
+        wait_for_open_conns(&dispatcher, 0),
+        "gauge must return to zero after the fleet drains, got {}",
+        open_conns(&dispatcher)
+    );
+
+    server.shutdown();
+    assert_eq!(open_conns(&dispatcher), 0, "still zero after shutdown");
+}
+
+/// The introspection plane end to end through the real binary, on both
+/// connection models: a replayed session's traces are retrievable from
+/// `/debug/traces` by op and by request id, `/debug/memory` grows
+/// monotonically across appends and agrees with the `stats` op's
+/// accounting, `/debug/conns` sees the keep-alive fleet, and the framed
+/// `server_debug` op returns all three sections at once.
+#[test]
+fn netd_debug_endpoints_expose_traces_memory_and_conns() {
+    let models: &[&str] = if cfg!(unix) {
+        &["pool", "reactor"]
+    } else {
+        &["pool"]
+    };
+    for model in models {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_pclabel-netd"))
+            .args([
+                "--listen",
+                "127.0.0.1:0",
+                "--model",
+                model,
+                "--workers",
+                "2",
+                "--timeout-ms",
+                "2000",
+                "--retained-traces",
+                "8",
+                "--allow-remote-shutdown",
+                "--log-level",
+                "warn",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn pclabel-netd");
+        let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+        let mut banner = String::new();
+        stdout.read_line(&mut banner).expect("startup banner");
+        let addr = banner
+            .split_whitespace()
+            .nth(3)
+            .expect("address in banner")
+            .to_string();
+
+        let mut client = NetClient::connect(&addr).expect("connect to binary");
+        let mut send = |line: &str| -> Json {
+            let response = client.request_line(line).expect("round-trip");
+            Json::parse(&response).unwrap_or_else(|e| panic!("bad JSON {e}: {response}"))
+        };
+        let register = r#"{"op":"register","dataset":"t","csv":"a,b\n1,x\n1,y\n2,x\n","label_attrs":["a","b"]}"#;
+        assert_eq!(send(register).get("ok"), Some(&Json::Bool(true)));
+        let query = r#"{"op":"query","dataset":"t","patterns":[{"a":"1","b":"x"}]}"#;
+        for _ in 0..2 {
+            assert_eq!(send(query).get("ok"), Some(&Json::Bool(true)));
+        }
+
+        let mut http = HttpClient::connect(&addr).expect("HTTP connect");
+        let get = |http: &mut HttpClient, path: &str| -> (u16, Json) {
+            let response = http.request("GET", path, None).expect("GET round-trip");
+            let body = Json::parse(&response.body)
+                .unwrap_or_else(|e| panic!("bad JSON {e}: {}", response.body));
+            (response.status, body)
+        };
+
+        // Memory accounting is monotonic across an append (no queries in
+        // between, so the cache cannot shrink the total underneath us).
+        let (status, mem1) = get(&mut http, "/debug/memory");
+        assert_eq!(status, 200, "[{model}]");
+        let dataset_bytes = |mem: &Json| -> u64 {
+            let datasets = mem
+                .get("datasets")
+                .and_then(Json::as_array)
+                .expect("datasets");
+            assert_eq!(datasets.len(), 1);
+            assert_eq!(datasets[0].get("dataset").and_then(Json::as_str), Some("t"));
+            datasets[0]
+                .get("components")
+                .and_then(|c| c.get("dataset"))
+                .and_then(Json::as_u64)
+                .expect("dataset component bytes")
+        };
+        assert!(
+            mem1.get("total_bytes").and_then(Json::as_u64).unwrap() > 0,
+            "[{model}] nonzero total"
+        );
+        let before = dataset_bytes(&mem1);
+        let append = format!(
+            r#"{{"op":"append_rows","dataset":"t","rows":[{}]}}"#,
+            vec![r#"["1","x"]"#; 64].join(",")
+        );
+        assert_eq!(send(&append).get("ok"), Some(&Json::Bool(true)));
+        let (_, mem2) = get(&mut http, "/debug/memory");
+        let after = dataset_bytes(&mem2);
+        assert!(
+            after > before,
+            "[{model}] dataset bytes must grow across an append: {before} -> {after}"
+        );
+
+        // The stats op and /debug/memory agree on the same accounting.
+        let stats = send(r#"{"op":"stats","dataset":"t"}"#);
+        let stats_total = stats
+            .get("memory")
+            .and_then(|m| m.get("total_bytes"))
+            .and_then(Json::as_u64)
+            .expect("stats memory.total_bytes");
+        let (_, mem3) = get(&mut http, "/debug/memory");
+        let debug_total = mem3
+            .get("datasets")
+            .and_then(Json::as_array)
+            .and_then(|d| d[0].get("total_bytes"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert_eq!(stats_total, debug_total, "[{model}]");
+
+        // Retained traces: the replayed queries are there, newest last,
+        // and each carries a request id that retrieves its span tree.
+        let (status, traces) = get(&mut http, "/debug/traces?op=query");
+        assert_eq!(status, 200, "[{model}]");
+        let rows = traces
+            .get("traces")
+            .and_then(Json::as_array)
+            .expect("traces");
+        assert_eq!(rows.len(), 2, "[{model}] both queries retained");
+        let first = &rows[0];
+        assert_eq!(first.get("op").and_then(Json::as_str), Some("query"));
+        assert_eq!(first.get("dataset").and_then(Json::as_str), Some("t"));
+        let id = first.get("request_id").and_then(Json::as_u64).expect("id");
+        assert!(
+            !first
+                .get("spans")
+                .and_then(Json::as_array)
+                .unwrap()
+                .is_empty(),
+            "[{model}] span breakdown present"
+        );
+        let (status, by_id) = get(&mut http, &format!("/debug/traces?id={id}"));
+        assert_eq!(status, 200);
+        let found = by_id.get("traces").and_then(Json::as_array).unwrap();
+        assert_eq!(found.len(), 1, "[{model}] trace findable by request id");
+        assert_eq!(found[0].get("request_id").and_then(Json::as_u64), Some(id));
+        let (status, slowest) = get(&mut http, "/debug/traces?op=query&slowest=1");
+        assert_eq!(status, 200);
+        assert_eq!(
+            slowest.get("ring").and_then(Json::as_str),
+            Some("slowest"),
+            "[{model}]"
+        );
+        let (status, _) = get(&mut http, "/debug/traces?op=bogus");
+        assert_eq!(status, 400, "[{model}] unknown op is a client error");
+
+        // The live connection table sees the keep-alive framed client
+        // (idle) and this very scrape (dispatching, http).
+        let (status, conns) = get(&mut http, "/debug/conns");
+        assert_eq!(status, 200, "[{model}]");
+        assert_eq!(conns.get("model").and_then(Json::as_str), Some(*model));
+        assert!(conns.get("open").and_then(Json::as_u64).unwrap() >= 2);
+        let rows = conns.get("conns").and_then(Json::as_array).unwrap();
+        assert!(
+            rows.iter().any(|r| {
+                r.get("protocol").and_then(Json::as_str) == Some("framed")
+                    && r.get("state").and_then(Json::as_str) == Some("idle")
+                    && r.get("requests").and_then(Json::as_u64).unwrap_or(0) >= 4
+            }),
+            "[{model}] idle framed keep-alive client visible in {conns}"
+        );
+        assert!(
+            rows.iter().any(|r| {
+                r.get("protocol").and_then(Json::as_str) == Some("http")
+                    && r.get("state").and_then(Json::as_str) == Some("dispatching")
+            }),
+            "[{model}] the scraping connection sees itself dispatching in {conns}"
+        );
+
+        // The framed server_debug op returns every section at once.
+        let debug = send(r#"{"op":"server_debug"}"#);
+        assert_eq!(debug.get("ok"), Some(&Json::Bool(true)), "[{model}]");
+        assert!(debug.get("uptime_seconds").is_some());
+        assert!(debug.get("version").is_some());
+        for section in ["traces", "memory", "conns"] {
+            assert!(
+                debug.get(section).is_some(),
+                "[{model}] server_debug carries {section}"
+            );
+        }
+
+        let bye = send(r#"{"op":"shutdown"}"#);
+        assert_eq!(bye.get("ok"), Some(&Json::Bool(true)));
+        assert!(child.wait().expect("netd exits").success());
+    }
 }
 
 #[test]

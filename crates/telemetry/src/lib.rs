@@ -22,21 +22,24 @@
 
 pub mod logging;
 pub mod metrics;
+pub mod retain;
 pub mod trace;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 pub use logging::{LogLevel, Logger};
 pub use metrics::{
     render_prometheus, series_key, Counter, Gauge, Histogram, MetricSnapshot, Registry,
     SnapshotValue,
 };
+pub use retain::{RetainedTrace, TraceRetention};
 pub use trace::{Phase, Trace, N_PHASES};
 
 /// Wire ops tracked with their own `op` label. Unknown ops (and
 /// unparseable requests) fold into the trailing `"other"` slot.
-pub const TRACKED_OPS: [&str; 12] = [
+pub const TRACKED_OPS: [&str; 13] = [
     "register",
     "query",
     "estimate_multi",
@@ -48,10 +51,19 @@ pub const TRACKED_OPS: [&str; 12] = [
     "drop",
     "shutdown",
     "server_stats",
+    "server_debug",
     "other",
 ];
 
 const OTHER_OP: usize = TRACKED_OPS.len() - 1;
+
+/// Traces each ring keeps per op unless configured otherwise.
+pub const DEFAULT_RETAINED_TRACES: usize = 64;
+
+/// Resolves a tracked op name to its index in [`TRACKED_OPS`].
+pub fn tracked_op_index(op: &str) -> Option<usize> {
+    TRACKED_OPS.iter().position(|o| *o == op)
+}
 
 struct OpMetrics {
     requests: Arc<Counter>,
@@ -69,6 +81,8 @@ pub struct Telemetry {
     ops: Vec<OpMetrics>,
     phases: Vec<Arc<Histogram>>,
     counting_peak_bytes: Arc<Gauge>,
+    retention: TraceRetention,
+    started: Instant,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -86,19 +100,31 @@ impl Telemetry {
         Self::with_logger(Logger::default())
     }
 
-    /// An enabled facade with the given logger configuration.
+    /// An enabled facade with the given logger configuration and the
+    /// default trace retention ([`DEFAULT_RETAINED_TRACES`] per ring).
     pub fn with_logger(logger: Logger) -> Arc<Self> {
-        Self::build(Arc::new(Registry::new()), logger, true)
+        Self::with_options(logger, DEFAULT_RETAINED_TRACES)
+    }
+
+    /// An enabled facade with the given logger and per-ring retained
+    /// trace capacity (0 disables retention).
+    pub fn with_options(logger: Logger, retained_traces: usize) -> Arc<Self> {
+        Self::build(Arc::new(Registry::new()), logger, true, retained_traces)
     }
 
     /// A facade whose every recording call is a no-op; scrapes render
     /// zeros. Used as the benchmark baseline and available to embedders
     /// that want the serving stack without the bookkeeping.
     pub fn disabled() -> Arc<Self> {
-        Self::build(Arc::new(Registry::disabled()), Logger::default(), false)
+        Self::build(Arc::new(Registry::disabled()), Logger::default(), false, 0)
     }
 
-    fn build(registry: Arc<Registry>, logger: Logger, enabled: bool) -> Arc<Self> {
+    fn build(
+        registry: Arc<Registry>,
+        logger: Logger,
+        enabled: bool,
+        retained_traces: usize,
+    ) -> Arc<Self> {
         let ops = TRACKED_OPS
             .iter()
             .map(|op| OpMetrics {
@@ -136,6 +162,8 @@ impl Telemetry {
             ops,
             phases,
             counting_peak_bytes,
+            retention: TraceRetention::new(TRACKED_OPS.len(), retained_traces),
+            started: Instant::now(),
         })
     }
 
@@ -153,6 +181,17 @@ impl Telemetry {
     /// The logger configuration.
     pub fn logger(&self) -> &Logger {
         &self.logger
+    }
+
+    /// The retained-trace rings (empty rings when retention is off).
+    pub fn retention(&self) -> &TraceRetention {
+        &self.retention
+    }
+
+    /// Seconds since this facade was built — process uptime, for all
+    /// practical purposes, since the serving stack builds it at boot.
+    pub fn uptime_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
     }
 
     /// Starts a trace for one request. `op` selects the per-op series;
@@ -200,12 +239,37 @@ impl Telemetry {
         if trace.peak_bytes() > 0 {
             self.counting_peak_bytes.set(trace.peak_bytes());
         }
+        // Retention happens here, after the response is already
+        // determined — off the request's critical path, one short
+        // per-op mutex section.
+        let retained = self.retention.is_enabled();
+        if retained {
+            let mut phase_secs = [0.0f64; N_PHASES];
+            for phase in Phase::ALL {
+                phase_secs[phase as usize] = trace.phase_secs(phase);
+            }
+            self.retention.record(
+                op_index,
+                RetainedTrace {
+                    id: trace.id(),
+                    op: TRACKED_OPS[op_index],
+                    ok,
+                    elapsed_secs: elapsed.as_secs_f64(),
+                    phase_secs,
+                    peak_bytes: trace.peak_bytes(),
+                    dataset: trace.dataset(),
+                    rows: trace.rows(),
+                    items: trace.items(),
+                },
+            );
+        }
         self.logger.on_request(
             trace.id(),
             TRACKED_OPS[op_index],
             ok,
             elapsed,
             &spans[..n_spans],
+            retained,
         );
     }
 }
@@ -265,6 +329,45 @@ mod tests {
             .find(|s| s.name == "pclabel_counting_peak_bytes")
             .expect("gauge registered");
         assert_eq!(peak.value, SnapshotValue::Gauge(4096));
+    }
+
+    #[test]
+    fn finish_retains_annotated_traces() {
+        let telemetry = Telemetry::new();
+        let trace = telemetry.begin("query");
+        trace.annotate_dataset("census");
+        trace.record_items(3);
+        trace.add_phase_secs(Phase::CacheLookup, 0.002);
+        let id = trace.id();
+        telemetry.finish(&trace, true);
+
+        let idx = tracked_op_index("query").unwrap();
+        let recent = telemetry.retention().recent(idx);
+        assert_eq!(recent.len(), 1);
+        assert_eq!(recent[0].id, id);
+        assert_eq!(recent[0].op, "query");
+        assert_eq!(recent[0].dataset.as_deref(), Some("census"));
+        assert_eq!(recent[0].items, 3);
+        assert!(recent[0].phase_secs[Phase::CacheLookup as usize] > 0.0);
+        assert!(telemetry.retention().find(id).is_some());
+        assert!(telemetry.uptime_secs() >= 0.0);
+    }
+
+    #[test]
+    fn disabled_facade_retains_nothing() {
+        let disabled = Telemetry::disabled();
+        let trace = disabled.begin("query");
+        disabled.finish(&trace, true);
+        assert!(!disabled.retention().is_enabled());
+        let idx = tracked_op_index("query").unwrap();
+        assert!(disabled.retention().recent(idx).is_empty());
+    }
+
+    #[test]
+    fn server_debug_is_a_tracked_op() {
+        assert!(tracked_op_index("server_debug").is_some());
+        assert_eq!(tracked_op_index("other"), Some(TRACKED_OPS.len() - 1));
+        assert_eq!(tracked_op_index("nonsense"), None);
     }
 
     #[test]

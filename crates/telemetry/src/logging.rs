@@ -5,6 +5,8 @@
 //! hand (names and ops are static identifiers, values are numbers) so
 //! the crate stays dependency-free.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 /// Log verbosity, ordered: `Error < Warn < Info < Debug`.
@@ -50,27 +52,48 @@ impl std::str::FromStr for LogLevel {
 
 /// Structured logger: a level filter plus an optional slow-query
 /// threshold. Requests slower than the threshold are logged at `warn`
-/// with their span breakdown; at `debug` every request gets a line.
+/// with their span breakdown; at `debug` every request gets a line —
+/// or every `sample`-th one, so `--log-level debug` under hammer load
+/// doesn't turn stderr into the bottleneck.
 #[derive(Debug, Clone)]
 pub struct Logger {
     level: LogLevel,
     slow_query: Option<Duration>,
+    sample: u64,
+    // Shared across clones so sampling stays uniform no matter how
+    // many handles the serving stack holds.
+    seen: Arc<AtomicU64>,
 }
 
 impl Default for Logger {
-    /// `info` level, slow-query log disabled.
+    /// `info` level, slow-query log disabled, no sampling.
     fn default() -> Self {
-        Logger {
-            level: LogLevel::Info,
-            slow_query: None,
-        }
+        Logger::new(LogLevel::Info, None)
     }
 }
 
 impl Logger {
     /// A logger with the given level and optional slow-query threshold.
     pub fn new(level: LogLevel, slow_query: Option<Duration>) -> Self {
-        Logger { level, slow_query }
+        Logger {
+            level,
+            slow_query,
+            sample: 1,
+            seen: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Emits only every `n`-th per-request *debug* line (slow-query
+    /// warnings are never sampled away). `0` and `1` both mean "every
+    /// request".
+    pub fn with_sample(mut self, n: u64) -> Self {
+        self.sample = n.max(1);
+        self
+    }
+
+    /// The debug-line sampling interval (1 = every request).
+    pub fn sample(&self) -> u64 {
+        self.sample
     }
 
     /// The configured level.
@@ -89,8 +112,11 @@ impl Logger {
     }
 
     /// Logs one finished request: a `slow_query` warning when it blew
-    /// the threshold, otherwise a `request` line at debug.
-    /// `spans` carries `(name, seconds)` pairs for phases that ran.
+    /// the threshold, otherwise a `request` line at debug (subject to
+    /// the sampling interval). `spans` carries `(name, seconds)` pairs
+    /// for phases that ran; `retained` says whether the full trace is
+    /// retrievable afterwards (`/debug/traces?id=<request_id>`), which
+    /// the slow-query warn line advertises.
     pub fn on_request(
         &self,
         request_id: u64,
@@ -98,6 +124,7 @@ impl Logger {
         ok: bool,
         elapsed: Duration,
         spans: &[(&'static str, f64)],
+        retained: bool,
     ) {
         let slow = self.slow_query.is_some_and(|t| elapsed >= t);
         let level = if slow {
@@ -108,11 +135,37 @@ impl Logger {
         if !self.enabled(level) {
             return;
         }
-        let event = if slow { "slow_query" } else { "request" };
-        eprintln!(
-            "{}",
-            request_line(level, event, request_id, op, ok, elapsed, spans)
+        if !slow && !self.sample_pass() {
+            return;
+        }
+        let mut line = request_line(
+            level,
+            if slow { "slow_query" } else { "request" },
+            request_id,
+            op,
+            ok,
+            elapsed,
+            spans,
         );
+        if slow {
+            // Splice the retrievability marker in before the closing
+            // brace, keeping request_line's shape untouched for tests.
+            line.truncate(line.len() - 1);
+            line.push_str(&format!(",\"retained\":{retained}}}"));
+        }
+        eprintln!("{line}");
+    }
+
+    /// Whether the next per-request debug line passes the sampling
+    /// filter (always true at the default interval of 1).
+    fn sample_pass(&self) -> bool {
+        if self.sample <= 1 {
+            return true;
+        }
+        // Relaxed is fine: sampling needs uniformity, not ordering.
+        self.seen
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(self.sample)
     }
 
     /// Logs a freeform operational message (`{"event": ...,"msg": ...}`).
@@ -215,6 +268,24 @@ mod tests {
         assert!(line.contains("\"elapsed_ms\":250.000"));
         assert!(line.contains("{\"name\":\"store_wait\",\"ms\":10.000}"));
         assert!(line.ends_with("]}"));
+    }
+
+    #[test]
+    fn sampling_passes_every_nth_debug_line() {
+        let logger = Logger::new(LogLevel::Debug, None).with_sample(3);
+        assert_eq!(logger.sample(), 3);
+        let passes: Vec<bool> = (0..7).map(|_| logger.sample_pass()).collect();
+        assert_eq!(
+            passes,
+            vec![true, false, false, true, false, false, true],
+            "every 3rd request line passes"
+        );
+        // Clones share the counter: the fleet samples uniformly.
+        let clone = logger.clone();
+        assert!(!clone.sample_pass(), "clone continues the shared stride");
+        // Interval 0/1 means no sampling at all.
+        let all = Logger::new(LogLevel::Debug, None).with_sample(0);
+        assert!((0..5).all(|_| all.sample_pass()));
     }
 
     #[test]

@@ -589,6 +589,29 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_recover_on_empty_and_single_sample_histograms() {
+        // Empty: every quantile (including the q=0 and q=1 extremes,
+        // and out-of-range inputs) must be 0, never NaN or a bucket
+        // bound hallucinated from a zero count.
+        let empty = Histogram::new(true);
+        for q in [0.0, 0.5, 0.99, 1.0, -3.0, 42.0, f64::NAN] {
+            let v = empty.quantile(q);
+            assert_eq!(v, 0.0, "empty histogram quantile({q}) = {v}");
+        }
+        // A single sample is every quantile: all of them land in its
+        // bucket's upper bound.
+        let single = Histogram::new(true);
+        single.observe(0.000003); // 3 µs -> bucket 1, upper bound 4 µs
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(single.quantile(q), 4e-6, "single-sample quantile({q})");
+        }
+        // Disabled histograms observe nothing and stay at 0.
+        let disabled = Histogram::new(false);
+        disabled.observe(1.0);
+        assert_eq!(disabled.quantile(0.5), 0.0);
+    }
+
+    #[test]
     fn concurrent_counter_increments_are_exact() {
         let registry = Registry::new();
         let counter = registry.counter("t_total", "test", &[]);

@@ -1,0 +1,289 @@
+//! Retained traces: bounded per-op ring buffers of finished requests.
+//!
+//! Metrics aggregate; logs sample. Neither can answer "*why* was
+//! request 4711 slow, ten seconds after the fact?" — that takes the
+//! request's own span breakdown, kept around for a while. This module
+//! retains, per tracked op, the **last N** finished traces (a sliding
+//! window of recent traffic) and the **slowest N** ever recorded (the
+//! hall of shame a slow-query warn line points into).
+//!
+//! Recording happens in `Telemetry::finish`, *after* the request's
+//! response bytes are already determined — one short per-op mutex
+//! section off the hot path, so the live-vs-disabled overhead gate of
+//! the telemetry bench still holds. Snapshots clone `Arc`s out of the
+//! rings; readers never block recorders for longer than a memcpy.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::trace::N_PHASES;
+
+/// One finished request, frozen for post-hoc inspection.
+#[derive(Debug, Clone)]
+pub struct RetainedTrace {
+    /// The request id (matches the `request_id` of log lines).
+    pub id: u64,
+    /// The tracked op name.
+    pub op: &'static str,
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// End-to-end latency in seconds.
+    pub elapsed_secs: f64,
+    /// Per-phase seconds, indexed by `Phase as usize` (zeros for
+    /// phases that did not run).
+    pub phase_secs: [f64; N_PHASES],
+    /// Peak transient counting bytes recorded on the trace.
+    pub peak_bytes: u64,
+    /// Dataset the request touched, when the handler annotated one.
+    pub dataset: Option<Box<str>>,
+    /// Rows in play (dataset rows after the op, or rows appended).
+    pub rows: u64,
+    /// Items in the request batch (patterns queried, rows posted, …).
+    pub items: u64,
+}
+
+/// One op's two rings.
+struct OpRing {
+    /// Sliding window: the last `capacity` finished traces, oldest first.
+    recent: VecDeque<Arc<RetainedTrace>>,
+    /// All-time slowest `capacity` traces, sorted slowest-first.
+    slowest: Vec<Arc<RetainedTrace>>,
+}
+
+impl OpRing {
+    fn new() -> Self {
+        OpRing {
+            recent: VecDeque::new(),
+            slowest: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, trace: Arc<RetainedTrace>, capacity: usize) {
+        if self.recent.len() == capacity {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(Arc::clone(&trace));
+        // Keep `slowest` the *true* top-N of everything ever recorded:
+        // a binary search keeps it sorted, the tail pops when full.
+        // N is small (a config knob, default 64), so this stays cheap.
+        let at = self
+            .slowest
+            .partition_point(|t| t.elapsed_secs >= trace.elapsed_secs);
+        if at < capacity {
+            self.slowest.insert(at, trace);
+            self.slowest.truncate(capacity);
+        }
+    }
+}
+
+/// Bounded retention of finished traces, one pair of rings per op.
+pub struct TraceRetention {
+    capacity: usize,
+    ops: Vec<Mutex<OpRing>>,
+}
+
+impl std::fmt::Debug for TraceRetention {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRetention")
+            .field("capacity", &self.capacity)
+            .field("ops", &self.ops.len())
+            .finish()
+    }
+}
+
+impl TraceRetention {
+    /// Rings for `n_ops` ops, each keeping `capacity` recent and
+    /// `capacity` slowest traces. Capacity 0 disables retention.
+    pub fn new(n_ops: usize, capacity: usize) -> Self {
+        TraceRetention {
+            capacity,
+            ops: (0..n_ops).map(|_| Mutex::new(OpRing::new())).collect(),
+        }
+    }
+
+    /// The per-ring bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether any trace would be kept.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Folds one finished trace into its op's rings.
+    pub fn record(&self, op_index: usize, trace: RetainedTrace) {
+        if self.capacity == 0 || op_index >= self.ops.len() {
+            return;
+        }
+        let trace = Arc::new(trace);
+        let mut ring = self.ops[op_index].lock().expect("retention lock");
+        ring.record(trace, self.capacity);
+    }
+
+    /// Recent traces for one op, oldest first.
+    pub fn recent(&self, op_index: usize) -> Vec<Arc<RetainedTrace>> {
+        match self.ops.get(op_index) {
+            Some(ring) => ring
+                .lock()
+                .expect("retention lock")
+                .recent
+                .iter()
+                .cloned()
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Slowest traces for one op, slowest first.
+    pub fn slowest(&self, op_index: usize) -> Vec<Arc<RetainedTrace>> {
+        match self.ops.get(op_index) {
+            Some(ring) => ring.lock().expect("retention lock").slowest.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// All retained traces across ops: recent (oldest first) or
+    /// slowest (slowest first, merged across ops).
+    pub fn all(&self, slowest: bool) -> Vec<Arc<RetainedTrace>> {
+        let mut out = Vec::new();
+        for i in 0..self.ops.len() {
+            out.extend(if slowest {
+                self.slowest(i)
+            } else {
+                self.recent(i)
+            });
+        }
+        if slowest {
+            out.sort_by(|a, b| {
+                b.elapsed_secs
+                    .partial_cmp(&a.elapsed_secs)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        } else {
+            out.sort_by_key(|t| t.id);
+        }
+        out
+    }
+
+    /// Looks a retained trace up by request id (either ring, any op).
+    pub fn find(&self, id: u64) -> Option<Arc<RetainedTrace>> {
+        for ring in &self.ops {
+            let ring = ring.lock().expect("retention lock");
+            if let Some(t) = ring.recent.iter().find(|t| t.id == id) {
+                return Some(Arc::clone(t));
+            }
+            if let Some(t) = ring.slowest.iter().find(|t| t.id == id) {
+                return Some(Arc::clone(t));
+            }
+        }
+        None
+    }
+
+    /// `(recent_len, slowest_len)` for one op — both must stay within
+    /// [`TraceRetention::capacity`] forever.
+    pub fn ring_lens(&self, op_index: usize) -> (usize, usize) {
+        match self.ops.get(op_index) {
+            Some(ring) => {
+                let ring = ring.lock().expect("retention lock");
+                (ring.recent.len(), ring.slowest.len())
+            }
+            None => (0, 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: u64, elapsed: f64) -> RetainedTrace {
+        RetainedTrace {
+            id,
+            op: "query",
+            ok: true,
+            elapsed_secs: elapsed,
+            phase_secs: [0.0; N_PHASES],
+            peak_bytes: 0,
+            dataset: None,
+            rows: 0,
+            items: 0,
+        }
+    }
+
+    #[test]
+    fn recent_ring_slides_and_stays_bounded() {
+        let retention = TraceRetention::new(2, 3);
+        for id in 1..=10 {
+            retention.record(0, t(id, 0.001 * id as f64));
+        }
+        let recent = retention.recent(0);
+        assert_eq!(
+            recent.iter().map(|t| t.id).collect::<Vec<_>>(),
+            vec![8, 9, 10],
+            "last-N window, oldest first"
+        );
+        let (r, s) = retention.ring_lens(0);
+        assert_eq!((r, s), (3, 3));
+        assert!(retention.recent(1).is_empty());
+    }
+
+    #[test]
+    fn slowest_ring_keeps_true_top_n_under_churn() {
+        let retention = TraceRetention::new(1, 3);
+        // Interleave so the slowest arrive early, late and mid-stream:
+        // a naive "slowest of the window" would lose the early one.
+        let order = [
+            (1, 0.900),
+            (2, 0.010),
+            (3, 0.020),
+            (4, 0.005),
+            (5, 0.700),
+            (6, 0.015),
+            (7, 0.800),
+            (8, 0.001),
+        ];
+        for (id, secs) in order {
+            retention.record(0, t(id, secs));
+        }
+        let slowest = retention.slowest(0);
+        assert_eq!(
+            slowest.iter().map(|t| t.id).collect::<Vec<_>>(),
+            vec![1, 7, 5],
+            "true top-3 by latency, slowest first"
+        );
+        // The recent window has already slid past id 1; the slowest
+        // ring still has it, and find() can still retrieve it.
+        assert!(retention.recent(0).iter().all(|t| t.id != 1));
+        assert_eq!(retention.find(1).unwrap().elapsed_secs, 0.900);
+        assert!(retention.find(99).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_retention() {
+        let retention = TraceRetention::new(1, 0);
+        assert!(!retention.is_enabled());
+        retention.record(0, t(1, 1.0));
+        assert!(retention.recent(0).is_empty());
+        assert!(retention.slowest(0).is_empty());
+        assert_eq!(retention.ring_lens(0), (0, 0));
+    }
+
+    #[test]
+    fn all_merges_across_ops() {
+        let retention = TraceRetention::new(2, 4);
+        retention.record(0, t(1, 0.5));
+        retention.record(1, t(2, 0.9));
+        retention.record(0, t(3, 0.1));
+        let recent = retention.all(false);
+        assert_eq!(
+            recent.iter().map(|t| t.id).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        let slowest = retention.all(true);
+        assert_eq!(
+            slowest.iter().map(|t| t.id).collect::<Vec<_>>(),
+            vec![2, 1, 3]
+        );
+    }
+}

@@ -8,6 +8,7 @@
 //! lock), which is what makes tracing affordable per cache lookup.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// The phases a request can spend time in, in pipeline order.
@@ -89,6 +90,11 @@ pub struct Trace {
     start: Instant,
     phase_nanos: [AtomicU64; N_PHASES],
     peak_bytes: AtomicU64,
+    rows: AtomicU64,
+    items: AtomicU64,
+    // Set at most once per request by the dispatch layer, never on the
+    // per-probe hot path, so a mutex (not an atomic) is fine here.
+    dataset: Mutex<Option<Box<str>>>,
 }
 
 impl Trace {
@@ -100,6 +106,9 @@ impl Trace {
             start: Instant::now(),
             phase_nanos: [const { AtomicU64::new(0) }; N_PHASES],
             peak_bytes: AtomicU64::new(0),
+            rows: AtomicU64::new(0),
+            items: AtomicU64::new(0),
+            dataset: Mutex::new(None),
         }
     }
 
@@ -144,6 +153,45 @@ impl Trace {
         }
     }
 
+    /// Names the dataset this request touched; retained traces carry
+    /// it so a slow query can be tied back to its data.
+    pub fn annotate_dataset(&self, name: &str) {
+        if self.enabled {
+            *self.dataset.lock().expect("trace dataset") = Some(name.into());
+        }
+    }
+
+    /// Records how many rows were in play (dataset rows after the op,
+    /// or rows appended — whichever the handler finds most telling).
+    pub fn record_rows(&self, rows: u64) {
+        if self.enabled {
+            self.rows.fetch_max(rows, Ordering::Relaxed);
+        }
+    }
+
+    /// Records the request's batch size (patterns queried, rows
+    /// posted, entries listed, …).
+    pub fn record_items(&self, items: u64) {
+        if self.enabled {
+            self.items.fetch_max(items, Ordering::Relaxed);
+        }
+    }
+
+    /// The annotated dataset name, if any.
+    pub fn dataset(&self) -> Option<Box<str>> {
+        self.dataset.lock().expect("trace dataset").clone()
+    }
+
+    /// Rows recorded on this trace (0 when unannotated).
+    pub fn rows(&self) -> u64 {
+        self.rows.load(Ordering::Relaxed)
+    }
+
+    /// Batch items recorded on this trace (0 when unannotated).
+    pub fn items(&self) -> u64 {
+        self.items.load(Ordering::Relaxed)
+    }
+
     /// Accumulated seconds for one phase.
     pub fn phase_secs(&self, phase: Phase) -> f64 {
         self.phase_nanos[phase as usize].load(Ordering::Relaxed) as f64 / 1e9
@@ -175,12 +223,30 @@ mod tests {
     }
 
     #[test]
+    fn annotations_stick_to_the_trace() {
+        let trace = Trace::new(true, 3, 0);
+        trace.annotate_dataset("census");
+        trace.record_rows(18);
+        trace.record_rows(12); // fetch_max: smaller later value loses
+        trace.record_items(4);
+        assert_eq!(trace.dataset().as_deref(), Some("census"));
+        assert_eq!(trace.rows(), 18);
+        assert_eq!(trace.items(), 4);
+    }
+
+    #[test]
     fn disabled_trace_records_nothing() {
         let trace = Trace::new(false, 1, 0);
         trace.add_phase_secs(Phase::StoreWait, 1.0);
         trace.record_peak_bytes(9);
+        trace.annotate_dataset("census");
+        trace.record_rows(5);
+        trace.record_items(5);
         assert!(!trace.enabled());
         assert_eq!(trace.phase_secs(Phase::StoreWait), 0.0);
         assert_eq!(trace.peak_bytes(), 0);
+        assert_eq!(trace.dataset(), None);
+        assert_eq!(trace.rows(), 0);
+        assert_eq!(trace.items(), 0);
     }
 }
