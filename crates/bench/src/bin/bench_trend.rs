@@ -20,7 +20,10 @@
 //!   The `debug_scrape` row (serving throughput under a concurrent
 //!   `/debug` poller) is trended on `req_per_sec` like any net row, so
 //!   an introspection route that starts stealing serving capacity
-//!   fails the same gate.
+//!   fails the same gate. The `durability_overhead` row is trended on
+//!   `durable_req_per_sec` — appends/sec with the write-ahead log
+//!   attached — and skipped when either timed loop sits under the
+//!   noise floor.
 //! * `counting` (`BENCH_count.json`) — scenario rows are matched on
 //!   `(scenario, mode, threads, shards)` and fail when `build_secs` or
 //!   `merge_secs` grows by more than the threshold.
@@ -121,6 +124,23 @@ fn metrics_of(report: &Json) -> Result<Vec<Metric>, String> {
                         higher_is_better: true,
                         value: v,
                     });
+                }
+            }
+            if let Some(row) = report.get("durability_overhead") {
+                // Appends/sec with the WAL sink attached, trended like
+                // any throughput row. Rates derived from sub-noise-floor
+                // loops carry no signal on shared runners; skip those.
+                let above_floor = |field| row_f64(row, field).is_some_and(|s| s >= MIN_SECONDS);
+                if above_floor("plain_seconds") && above_floor("durable_seconds") {
+                    let key = fmt_key(&[("durability_overhead/fsync", field_text(row, "fsync"))]);
+                    if let Some(v) = row_f64(row, "durable_req_per_sec") {
+                        out.push(Metric {
+                            key,
+                            name: "durable_req_per_sec",
+                            higher_is_better: true,
+                            value: v,
+                        });
+                    }
                 }
             }
             if let Some(rows) = report
@@ -345,7 +365,8 @@ mod tests {
     const NET_BASE: &str = r#"{"benchmark":"engine_throughput","counting":{"serial_seconds":1.0,"parallel":[
         {"threads":2,"shards":8,"seconds":0.5,"rows_per_sec":400000}]},
         "net":[{"model":"reactor","client_threads":2,"idle_conns":12,"requests":400,"seconds":1.0,"req_per_sec":1000}],
-        "debug_scrape":{"model":"reactor","client_threads":1,"requests":200,"seconds":0.25,"req_per_sec":800,"scrapes":900,"scrapes_per_sec":3600}}"#;
+        "debug_scrape":{"model":"reactor","client_threads":1,"requests":200,"seconds":0.25,"req_per_sec":800,"scrapes":900,"scrapes_per_sec":3600},
+        "durability_overhead":{"requests":1000,"fsync":"batch","plain_seconds":0.2,"durable_seconds":0.25,"plain_req_per_sec":5000,"durable_req_per_sec":4000,"overhead_pct":25.0}}"#;
 
     #[test]
     fn net_req_per_sec_regression_detected() {
@@ -377,6 +398,38 @@ mod tests {
         assert!(run(NET_BASE, &ok, 0.30).unwrap().is_empty());
         // A baseline without the row (older artifact): nothing compared.
         let (head, _) = NET_BASE.split_once(",\n        \"debug_scrape\"").unwrap();
+        let without = format!("{head}}}");
+        assert!(run(&without, NET_BASE, 0.30).unwrap().is_empty());
+    }
+
+    #[test]
+    fn durability_overhead_regression_detected() {
+        // The WAL-attached append rate collapsing fails like any
+        // throughput row.
+        let slower = NET_BASE.replace(
+            "\"durable_req_per_sec\":4000",
+            "\"durable_req_per_sec\":2000",
+        );
+        let regressions = run(NET_BASE, &slower, 0.30).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].name, "durable_req_per_sec");
+        assert_eq!(regressions[0].key, "durability_overhead/fsync=batch");
+        // Within tolerance: passes.
+        let ok = NET_BASE.replace(
+            "\"durable_req_per_sec\":4000",
+            "\"durable_req_per_sec\":3500",
+        );
+        assert!(run(NET_BASE, &ok, 0.30).unwrap().is_empty());
+        // Sub-noise-floor loops: the row is skipped on both sides even
+        // when the rate looks catastrophic.
+        let noisy_base = NET_BASE.replace("\"durable_seconds\":0.25", "\"durable_seconds\":0.001");
+        let noisy_slow =
+            noisy_base.replace("\"durable_req_per_sec\":4000", "\"durable_req_per_sec\":10");
+        assert!(run(&noisy_base, &noisy_slow, 0.30).unwrap().is_empty());
+        // A baseline without the row (older artifact): nothing compared.
+        let (head, _) = NET_BASE
+            .split_once(",\n        \"durability_overhead\"")
+            .unwrap();
         let without = format!("{head}}}");
         assert!(run(&without, NET_BASE, 0.30).unwrap().is_empty());
     }

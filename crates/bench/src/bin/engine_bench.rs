@@ -23,7 +23,10 @@
 //! row. A final `debug_scrape` row re-measures single-client framed
 //! throughput while a poller hammers the `/debug` introspection routes
 //! over HTTP on the same port, proving inspection does not perturb
-//! serving.
+//! serving. A `durability_overhead` row times the same append_rows
+//! stream against an in-memory store and against one logging every
+//! mutation to a write-ahead log under the default `--fsync batch`
+//! policy, reporting appends/sec on each side.
 //!
 //! `--json` is accepted for explicitness; the report is always a single
 //! JSON object on stdout (progress goes to stderr).
@@ -241,6 +244,7 @@ fn main() {
     let mut net_rows = Vec::new();
     let mut debug_row = String::new();
     let mut telemetry_row = String::new();
+    let mut durability_row = String::new();
     if net_enabled {
         let requests_per_client = env_usize("PCLABEL_BENCH_NET_REQS", 200);
         let workers = 8usize;
@@ -476,6 +480,102 @@ fn main() {
             off_rate = 1.0 / serve_off,
             pct = overhead_pct,
         );
+
+        // --- durability overhead: WAL-logged appends vs in-memory ---------
+        // The write path is where the durability plane costs anything:
+        // every mutation is encoded, CRC'd and (batch-)fsynced before it
+        // is acknowledged. Pump the same append_rows stream through two
+        // otherwise identical dispatchers — one with a WAL sink under
+        // the default `--fsync batch` policy, one purely in-memory —
+        // and report the appends/sec on each side. bench_trend trends
+        // the durable rate like any throughput row.
+        {
+            let dur_requests = requests_per_client * 5;
+            let dur_rows = 10_000;
+            eprintln!(
+                "engine_bench: durability overhead, {dur_requests} appends \
+                 on a {dur_rows}-row dataset (fsync batch)…"
+            );
+            let lines: Vec<String> = (0..dur_requests)
+                .map(|i| {
+                    format!(
+                        r#"{{"op":"append_rows","dataset":"bench","rows":[["v{}","v{}","v{}","v{}","v{}","v{}"]]}}"#,
+                        i % 8,
+                        i % 6,
+                        i % 4,
+                        i % 5,
+                        i % 3,
+                        i % 7
+                    )
+                })
+                .collect();
+            let pump = |d: &Dispatcher| {
+                let start = Instant::now();
+                for line in &lines {
+                    let response = d.dispatch_line(line);
+                    assert_eq!(
+                        response.get("ok"),
+                        Some(&Json::Bool(true)),
+                        "bench append failed: {response}"
+                    );
+                }
+                start.elapsed().as_secs_f64()
+            };
+
+            let plain = Dispatcher::with_telemetry(EngineConfig::default(), Telemetry::disabled());
+            plain
+                .engine()
+                .store()
+                .register("bench", synthetic(dur_rows), LabelPolicy::Attrs(attrs))
+                .expect("register plain append dataset");
+            let plain_secs = pump(&plain);
+
+            let dur_dir = std::env::temp_dir().join(format!(
+                "pclabel-engine-bench-durability-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dur_dir);
+            let durable =
+                Dispatcher::with_telemetry(EngineConfig::default(), Telemetry::disabled());
+            let durability = Durability::open(
+                &dur_dir,
+                DurabilityOptions::default(),
+                durable.engine().store_arc(),
+                &pclabel_telemetry::Registry::new(),
+            )
+            .expect("open bench durability dir");
+            durable
+                .engine()
+                .store()
+                .register("bench", synthetic(dur_rows), LabelPolicy::Attrs(attrs))
+                .expect("register durable append dataset");
+            let durable_secs = pump(&durable);
+            drop(durability);
+            let _ = std::fs::remove_dir_all(&dur_dir);
+
+            let overhead_pct = (durable_secs - plain_secs) / plain_secs * 100.0;
+            eprintln!(
+                "engine_bench: durability overhead {overhead_pct:.1}% \
+                 ({:.0} durable vs {:.0} plain appends/sec)",
+                dur_requests as f64 / durable_secs,
+                dur_requests as f64 / plain_secs,
+            );
+            durability_row = format!(
+                concat!(
+                    "{{\"requests\":{requests},\"fsync\":\"batch\",",
+                    "\"plain_seconds\":{plain:.6},\"durable_seconds\":{durable:.6},",
+                    "\"plain_req_per_sec\":{plain_rate:.0},",
+                    "\"durable_req_per_sec\":{durable_rate:.0},",
+                    "\"overhead_pct\":{pct:.3}}}"
+                ),
+                requests = dur_requests,
+                plain = plain_secs,
+                durable = durable_secs,
+                plain_rate = dur_requests as f64 / plain_secs,
+                durable_rate = dur_requests as f64 / durable_secs,
+                pct = overhead_pct,
+            );
+        }
     }
 
     // --- report -----------------------------------------------------------
@@ -507,7 +607,7 @@ fn main() {
         hot_hits = hot.stats.cache_hits,
         net = if net_enabled {
             format!(
-                ",\"net\":[{}],\"debug_scrape\":{debug_row},\"telemetry_overhead\":{telemetry_row}",
+                ",\"net\":[{}],\"debug_scrape\":{debug_row},\"telemetry_overhead\":{telemetry_row},\"durability_overhead\":{durability_row}",
                 net_rows.join(",")
             )
         } else {

@@ -5,7 +5,7 @@
 //! actual contribution of *Patterns Count-Based Labels for Datasets*.
 //! For each scenario it runs the greedy and top-down walks twice:
 //!
-//! * `mode: "refine"` — the lattice-aware [`EvalContext`] (partition
+//! * `mode: "refine"` — the lattice-aware `EvalContext` (partition
 //!   refinement + marginal coarsening; `SearchOptions::refine(true)`,
 //!   the default);
 //! * `mode: "cold"` — the per-candidate `GroupCounts` rebuild baseline

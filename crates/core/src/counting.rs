@@ -40,7 +40,7 @@
 //! Sharded and serial builds are *bit-identical*: same groups, same
 //! weights, same empty-group weight, for every shard count (enforced by
 //! the property tests). The pre-sharding chunk-and-merge strategy is
-//! retained in [`reference`] as the equivalence oracle and the baseline
+//! retained in [`mod@reference`] as the equivalence oracle and the baseline
 //! the counting microbenchmark measures the win against.
 //!
 //! Missing cells are first-class: a row's projection onto `S` keeps only

@@ -21,6 +21,11 @@
 //!   otherwise;
 //! * [`cache`] — a sharded pattern→estimate cache with hit/miss counters,
 //!   one per stored dataset, invalidated on label refresh;
+//! * [`durability`] — the optional durability plane: crash recovery
+//!   from snapshot + write-ahead-log replay, append-before-publish
+//!   logging of every store mutation, and background snapshotting with
+//!   WAL truncation (formats in the `pclabel-wal` crate, byte-level
+//!   spec in `docs/ONDISK_FORMAT.md`);
 //! * [`json`] — a dependency-free JSON reader/writer for the wire format;
 //! * [`serve`] — the transport-agnostic [`serve::Dispatcher`] (request
 //!   JSON in → response JSON out) plus the thin stdin/stdout driver
@@ -64,6 +69,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod durability;
 pub mod json;
 pub mod parallel;
 pub mod query;
@@ -73,6 +79,7 @@ pub mod store;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::cache::{CacheStats, ShardedCache};
+    pub use crate::durability::{Durability, DurabilityOptions, DurabilityStats, RecoveryReport};
     pub use crate::parallel::{auto_threads, group_counts, CountingOptions};
     pub use crate::query::{
         Engine, EngineConfig, PatternEstimate, PatternSpec, QueryRequest, QueryResponse, QueryStats,

@@ -139,22 +139,41 @@ impl EngineConfig {
 /// The serving engine: a [`LabelStore`] plus batch execution.
 #[derive(Debug, Default)]
 pub struct Engine {
-    store: LabelStore,
+    store: Arc<LabelStore>,
     config: EngineConfig,
+    durability: std::sync::OnceLock<Arc<crate::durability::Durability>>,
 }
 
 impl Engine {
     /// Creates an engine with the given tuning.
     pub fn new(config: EngineConfig) -> Self {
         Engine {
-            store: LabelStore::new(),
+            store: Arc::new(LabelStore::new()),
             config,
+            durability: std::sync::OnceLock::new(),
         }
     }
 
     /// The underlying dataset/label registry.
     pub fn store(&self) -> &LabelStore {
         &self.store
+    }
+
+    /// A shareable handle to the registry (what
+    /// [`crate::durability::Durability::open`] takes).
+    pub fn store_arc(&self) -> Arc<LabelStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// Attaches an opened durability plane so transports can expose its
+    /// stats. First attach wins; later calls are ignored.
+    pub fn attach_durability(&self, durability: Arc<crate::durability::Durability>) {
+        let _ = self.durability.set(durability);
+    }
+
+    /// The attached durability plane, if the process runs with one.
+    pub fn durability(&self) -> Option<&Arc<crate::durability::Durability>> {
+        self.durability.get()
     }
 
     /// Executes a batch. Fails only when the dataset itself is unknown;

@@ -123,10 +123,14 @@ impl Dispatcher {
     /// A dispatcher over a fresh engine with an explicit telemetry
     /// facade (a configured logger, or [`Telemetry::disabled`]).
     pub fn with_telemetry(config: EngineConfig, telemetry: Arc<Telemetry>) -> Self {
-        Dispatcher {
-            engine: Engine::new(config),
-            telemetry,
-        }
+        Dispatcher::with_engine(Engine::new(config), telemetry)
+    }
+
+    /// A dispatcher over a caller-built engine (e.g. one whose store was
+    /// recovered and wired by [`crate::durability::Durability::open`])
+    /// with an explicit telemetry facade.
+    pub fn with_engine(engine: Engine, telemetry: Arc<Telemetry>) -> Self {
+        Dispatcher { engine, telemetry }
     }
 
     /// The underlying engine (store access for setup/inspection).
@@ -385,17 +389,40 @@ impl Dispatcher {
                 ])
             })
             .collect();
-        Json::obj([
-            ("ok", Json::Bool(true)),
-            ("op", Json::str("server_stats")),
-            ("telemetry_enabled", Json::Bool(self.telemetry.is_enabled())),
-            ("uptime_seconds", Json::num(self.telemetry.uptime_secs())),
-            ("version", Json::str(BUILD_VERSION)),
-            ("counters", Json::Obj(counters)),
-            ("gauges", Json::Obj(gauges)),
-            ("histograms", Json::Obj(histograms)),
-            ("cache", Json::Arr(cache)),
-        ])
+        let mut members = vec![
+            ("ok".to_string(), Json::Bool(true)),
+            ("op".to_string(), Json::str("server_stats")),
+            (
+                "telemetry_enabled".to_string(),
+                Json::Bool(self.telemetry.is_enabled()),
+            ),
+            (
+                "uptime_seconds".to_string(),
+                Json::num(self.telemetry.uptime_secs()),
+            ),
+            ("version".to_string(), Json::str(BUILD_VERSION)),
+            ("counters".to_string(), Json::Obj(counters)),
+            ("gauges".to_string(), Json::Obj(gauges)),
+            ("histograms".to_string(), Json::Obj(histograms)),
+            ("cache".to_string(), Json::Arr(cache)),
+        ];
+        if let Some(durability) = self.engine.durability() {
+            let stats = durability.stats();
+            members.push((
+                "durability".to_string(),
+                Json::obj([
+                    ("data_dir", Json::str(stats.data_dir.display().to_string())),
+                    ("fsync", Json::str(stats.fsync.to_string())),
+                    ("last_lsn", Json::num(stats.last_lsn as f64)),
+                    ("snapshot_lsn", Json::num(stats.snapshot_lsn as f64)),
+                    ("snapshot_age_seconds", Json::num(stats.snapshot_age_secs)),
+                    ("wal_bytes", Json::num(stats.wal_bytes as f64)),
+                    ("wal_segments", Json::num(stats.segments as f64)),
+                    ("snapshots", Json::num(stats.snapshots as f64)),
+                ]),
+            ));
+        }
+        Json::Obj(members)
     }
 
     /// Renders the registry plus the per-dataset cache families in the
@@ -1019,6 +1046,12 @@ fn handle_stats(engine: &Engine, request: &Json) -> Json {
                 ("op".to_string(), Json::str("stats")),
             ];
             members.extend(entry_summary(&entry));
+            // LSN of the WAL record that produced the entry's current
+            // state (0 when the server runs without --data-dir).
+            members.push((
+                "applied_lsn".to_string(),
+                Json::num(entry.applied_lsn() as f64),
+            ));
             members.push(("cache".to_string(), cache));
             members.push(("memory".to_string(), Json::Obj(memory_members)));
             Json::Obj(members)
@@ -1046,12 +1079,14 @@ fn handle_drop(engine: &Engine, request: &Json) -> Json {
         Ok(n) => n,
         Err(e) => return error_response(Some("drop"), &e),
     };
-    let dropped = engine.store().remove(&name);
-    Json::obj([
-        ("ok", Json::Bool(true)),
-        ("op", Json::str("drop")),
-        ("dropped", Json::Bool(dropped)),
-    ])
+    match engine.store().remove(&name) {
+        Ok(dropped) => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("op", Json::str("drop")),
+            ("dropped", Json::Bool(dropped)),
+        ]),
+        Err(e) => error_response(Some("drop"), &e.to_string()),
+    }
 }
 
 #[cfg(test)]

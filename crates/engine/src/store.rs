@@ -12,9 +12,8 @@
 //! counter and clears its estimate cache, so stale cached answers can
 //! never be served.
 
-use std::collections::hash_map::Entry;
 use std::fmt;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use pclabel_core::attrset::AttrSet;
 use pclabel_core::counting::CountingProfile;
@@ -25,8 +24,10 @@ use pclabel_data::dataset::Dataset;
 use pclabel_data::error::DataError;
 use pclabel_data::mem::HeapBytes;
 use pclabel_telemetry::{Phase, Trace};
+use pclabel_wal::record::{DatasetImage, PolicyRepr, WalOp};
 
 use crate::cache::ShardedCache;
+use crate::durability::WalSink;
 use crate::parallel::auto_threads;
 
 /// Errors surfaced by the engine layers.
@@ -40,6 +41,9 @@ pub enum EngineError {
     BadRequest(String),
     /// An underlying data/search error.
     Data(DataError),
+    /// The durability plane failed (WAL append, fsync, snapshot or
+    /// recovery). Mutations fail rather than run unlogged.
+    Durability(String),
 }
 
 impl fmt::Display for EngineError {
@@ -51,6 +55,7 @@ impl fmt::Display for EngineError {
             }
             EngineError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             EngineError::Data(e) => write!(f, "{e}"),
+            EngineError::Durability(msg) => write!(f, "durability error: {msg}"),
         }
     }
 }
@@ -83,6 +88,25 @@ pub enum LabelPolicy {
         /// [`SearchOptions::refine`](pclabel_core::search::SearchOptions)).
         refine: bool,
     },
+}
+
+/// The policy's wire/WAL representation (engine-agnostic, defined in
+/// `pclabel-wal` so the on-disk format does not depend on this crate).
+pub(crate) fn policy_repr(policy: LabelPolicy) -> PolicyRepr {
+    match policy {
+        LabelPolicy::Attrs(attrs) => PolicyRepr::Attrs(attrs.iter().map(|a| a as u32).collect()),
+        LabelPolicy::SearchBound(bound) => PolicyRepr::Search {
+            bound,
+            refine: true,
+        },
+        LabelPolicy::Search { bound, refine } => PolicyRepr::Search { bound, refine },
+    }
+}
+
+/// The label's selected attribute indices as logged in WAL records and
+/// snapshots.
+pub(crate) fn sel_of(label: &Label) -> Vec<u32> {
+    label.attrs().iter().map(|a| a as u32).collect()
 }
 
 /// What [`LabelStore::append_rows`] did.
@@ -145,6 +169,11 @@ struct EntryState {
     dataset: Arc<Dataset>,
     label: Arc<Label>,
     generation: u64,
+    /// LSN of the WAL record that produced this state (0 when the
+    /// store runs without durability). Replay applies an op to an
+    /// entry only when the op's LSN exceeds this, which is what makes
+    /// replay idempotent without a store-wide barrier.
+    applied_lsn: u64,
 }
 
 /// One registered dataset: the data, its current label version and the
@@ -187,6 +216,24 @@ impl StoreEntry {
             Arc::clone(&cur.dataset),
             Arc::clone(&cur.label),
             cur.generation,
+        )
+    }
+
+    /// LSN of the WAL record that produced the current state (0 when
+    /// the store runs without durability).
+    pub fn applied_lsn(&self) -> u64 {
+        self.state.read().expect("entry lock").applied_lsn
+    }
+
+    /// One consistent `(dataset, label, generation, applied_lsn)`
+    /// quadruple — what the background snapshotter captures.
+    pub(crate) fn durable_snapshot(&self) -> (Arc<Dataset>, Arc<Label>, u64, u64) {
+        let cur = self.state.read().expect("entry lock");
+        (
+            Arc::clone(&cur.dataset),
+            Arc::clone(&cur.label),
+            cur.generation,
+            cur.applied_lsn,
         )
     }
 
@@ -321,16 +368,54 @@ fn compute_search_label(
     })
 }
 
+/// Everything guarded by the store's one registry lock. `entries` and
+/// `retired` live under the same lock so a remove + re-register of the
+/// same name can never race into a non-monotone generation.
+#[derive(Debug, Default)]
+struct StoreInner {
+    entries: FxHashMap<String, Arc<StoreEntry>>,
+    /// Generations of removed names: `name → (generation at removal,
+    /// LSN of the remove record)`. A re-registration under the same
+    /// name resumes *above* the retired generation, which keeps the
+    /// `(name, generation)` pair unique across the store's whole
+    /// history — the property WAL replay and response caching rely on.
+    retired: FxHashMap<String, (u64, u64)>,
+}
+
 /// Concurrent registry of named datasets and their labels.
+///
+/// When a `WalSink` is attached (the daemon runs with `--data-dir`),
+/// every mutating path — register, refresh, append, remove — appends
+/// its WAL record **before** the state change becomes visible to
+/// readers, and fails the mutation if the append fails. A store
+/// without a sink behaves exactly as before (pure in-memory).
 #[derive(Debug, Default)]
 pub struct LabelStore {
-    entries: RwLock<FxHashMap<String, Arc<StoreEntry>>>,
+    inner: RwLock<StoreInner>,
+    sink: OnceLock<Arc<WalSink>>,
 }
 
 impl LabelStore {
     /// An empty store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches the WAL sink. Called once by the durability layer
+    /// after recovery, before the store is exposed to traffic; later
+    /// calls are ignored.
+    pub(crate) fn set_sink(&self, sink: Arc<WalSink>) {
+        let _ = self.sink.set(sink);
+    }
+
+    /// The retired generation recorded for a removed name, if any.
+    pub fn retired_generation(&self, name: &str) -> Option<u64> {
+        self.inner
+            .read()
+            .expect("store lock")
+            .retired
+            .get(name)
+            .map(|&(generation, _)| generation)
     }
 
     /// Registers `dataset` under `name`, computing its label according to
@@ -355,26 +440,53 @@ impl LabelStore {
         trace: Option<&Trace>,
     ) -> Result<Arc<StoreEntry>, EngineError> {
         let name = name.into();
-        if self.entries.read().expect("store lock").contains_key(&name) {
+        if self
+            .inner
+            .read()
+            .expect("store lock")
+            .entries
+            .contains_key(&name)
+        {
             return Err(EngineError::AlreadyRegistered(name));
         }
         let label = compute_label(&dataset, policy, trace)?;
+        // The WAL payload is captured outside the registry lock (the
+        // dataset image is a full column copy); the append itself runs
+        // under it, so the record order matches the publication order.
+        let image = self
+            .sink
+            .get()
+            .map(|_| DatasetImage::from_dataset(&dataset));
+        let sel = sel_of(&label);
+        let mut inner = self.inner.write().expect("store lock");
+        if inner.entries.contains_key(&name) {
+            return Err(EngineError::AlreadyRegistered(name));
+        }
+        // Resume above the retired generation (if any) so `(name,
+        // generation)` stays unique across remove/re-register cycles.
+        let generation = inner.retired.get(&name).map(|&(g, _)| g + 1).unwrap_or(0);
+        let mut applied_lsn = 0;
+        if let Some(sink) = self.sink.get() {
+            applied_lsn = sink.append(&WalOp::Register {
+                name: name.clone(),
+                generation,
+                policy: policy_repr(policy),
+                sel,
+                dataset: image.expect("image captured when sink present"),
+            })?;
+        }
         let entry = Arc::new(StoreEntry {
             name: name.clone().into_boxed_str(),
             state: RwLock::new(EntryState {
                 dataset: Arc::new(dataset),
                 label: Arc::new(label),
-                generation: 0,
+                generation,
+                applied_lsn,
             }),
             cache: ShardedCache::default(),
         });
-        match self.entries.write().expect("store lock").entry(name) {
-            Entry::Occupied(e) => Err(EngineError::AlreadyRegistered(e.key().clone())),
-            Entry::Vacant(v) => {
-                v.insert(Arc::clone(&entry));
-                Ok(entry)
-            }
-        }
+        inner.entries.insert(name, Arc::clone(&entry));
+        Ok(entry)
     }
 
     /// Resolves a name, or errors with [`EngineError::UnknownDataset`].
@@ -385,7 +497,12 @@ impl LabelStore {
 
     /// Resolves a name if registered.
     pub fn try_get(&self, name: &str) -> Option<Arc<StoreEntry>> {
-        self.entries.read().expect("store lock").get(name).cloned()
+        self.inner
+            .read()
+            .expect("store lock")
+            .entries
+            .get(name)
+            .cloned()
     }
 
     /// Recomputes an entry's label under a (possibly different) policy,
@@ -420,7 +537,7 @@ impl LabelStore {
                 dataset = Arc::clone(&cur.dataset);
                 continue;
             }
-            return Ok(Self::install_refreshed(&entry, &mut cur, label));
+            return self.install_refreshed(&entry, &mut cur, policy, label);
         }
         // A sustained append stream outpaced every optimistic pass:
         // compute the last one under the write lock. Readers stall for
@@ -428,18 +545,34 @@ impl LabelStore {
         // of retrying forever.
         let mut cur = entry.state.write().expect("entry lock");
         let label = compute_label(&Arc::clone(&cur.dataset), policy, trace)?;
-        Ok(Self::install_refreshed(&entry, &mut cur, label))
+        self.install_refreshed(&entry, &mut cur, policy, label)
     }
 
-    /// Swaps in a freshly computed label under the held write lock.
-    /// Clearing the cache here is sound: query batches only touch the
-    /// cache under the read lock, so everything cleared is old-label and
-    /// nothing old-label can be inserted afterwards.
-    fn install_refreshed(entry: &StoreEntry, cur: &mut EntryState, label: Label) -> u64 {
+    /// Swaps in a freshly computed label under the held write lock,
+    /// logging the refresh first (append-before-publish). Clearing the
+    /// cache here is sound: query batches only touch the cache under
+    /// the read lock, so everything cleared is old-label and nothing
+    /// old-label can be inserted afterwards.
+    fn install_refreshed(
+        &self,
+        entry: &StoreEntry,
+        cur: &mut EntryState,
+        policy: LabelPolicy,
+        label: Label,
+    ) -> Result<u64, EngineError> {
+        let generation = cur.generation + 1;
+        if let Some(sink) = self.sink.get() {
+            cur.applied_lsn = sink.append(&WalOp::Refresh {
+                name: entry.name.to_string(),
+                generation,
+                policy: policy_repr(policy),
+                sel: sel_of(&label),
+            })?;
+        }
         cur.label = Arc::new(label);
-        cur.generation += 1;
+        cur.generation = generation;
         entry.cache.clear();
-        cur.generation
+        Ok(generation)
     }
 
     /// Appends a batch of rows to a registered dataset and brings its
@@ -500,15 +633,15 @@ impl LabelStore {
             if cur.generation != generation0 {
                 continue;
             }
-            return Ok(Self::install_append(
+            return self.install_append(
                 &entry,
                 &mut cur,
                 dataset,
                 label,
-                rows.len(),
+                rows,
                 incremental,
                 touched,
-            ));
+            );
         }
         // A sustained write stream outpaced every optimistic pass:
         // compute the last one under the write lock so the append is
@@ -520,15 +653,7 @@ impl LabelStore {
             rows,
             trace,
         )?;
-        Ok(Self::install_append(
-            &entry,
-            &mut cur,
-            dataset,
-            label,
-            rows.len(),
-            incremental,
-            touched,
-        ))
+        self.install_append(&entry, &mut cur, dataset, label, rows, incremental, touched)
     }
 
     /// Computes the post-append `(dataset, label)` pair from a snapshot.
@@ -567,51 +692,97 @@ impl LabelStore {
         }
     }
 
-    /// Swaps in a computed append under the held write lock and
-    /// invalidates the cache (same argument as refresh): shard-local for
-    /// incremental appends, everything otherwise.
-    fn install_append(
+    /// Swaps in a computed append under the held write lock, logging
+    /// the row batch first (append-before-publish), and invalidates the
+    /// cache (same argument as refresh): shard-local for incremental
+    /// appends, everything otherwise.
+    #[allow(clippy::too_many_arguments)]
+    fn install_append<S: AsRef<str>>(
+        &self,
         entry: &StoreEntry,
         cur: &mut EntryState,
         dataset: Dataset,
         label: Arc<Label>,
-        appended: usize,
+        rows: &[Vec<Option<S>>],
         incremental: bool,
         touched_shards: Vec<u32>,
-    ) -> AppendReport {
+    ) -> Result<AppendReport, EngineError> {
+        let generation = cur.generation + 1;
+        if let Some(sink) = self.sink.get() {
+            cur.applied_lsn = sink.append(&WalOp::AppendRows {
+                name: entry.name.to_string(),
+                generation,
+                rows: rows
+                    .iter()
+                    .map(|row| {
+                        row.iter()
+                            .map(|cell| cell.as_ref().map(|s| s.as_ref().to_string()))
+                            .collect()
+                    })
+                    .collect(),
+            })?;
+        }
         let total_rows = dataset.n_rows() as u64;
         cur.dataset = Arc::new(dataset);
         cur.label = label;
-        cur.generation += 1;
+        cur.generation = generation;
         if incremental {
             entry.cache.invalidate_count_shards(&touched_shards);
         } else {
             entry.cache.clear();
         }
-        AppendReport {
-            appended,
+        Ok(AppendReport {
+            appended: rows.len(),
             total_rows,
-            generation: cur.generation,
+            generation,
             incremental,
             touched_shards,
-        }
+        })
     }
 
     /// Removes an entry; returns whether it existed.
-    pub fn remove(&self, name: &str) -> bool {
-        self.entries
-            .write()
-            .expect("store lock")
-            .remove(name)
-            .is_some()
+    ///
+    /// # Semantics
+    ///
+    /// Removal unlinks the name from the registry — it does **not**
+    /// invalidate handles: an [`Arc<StoreEntry>`] obtained earlier (via
+    /// [`LabelStore::get`] or a [`LabelStore::list`] snapshot) keeps
+    /// working against the removed entry's final state until dropped.
+    /// The removed entry's generation is *retired*, not forgotten: a
+    /// later [`LabelStore::register`] under the same name starts at
+    /// `retired_generation + 1`, so generations observed for a name are
+    /// strictly monotone across the store's whole history — clients
+    /// that cache `(name, generation)`-keyed answers can never collide
+    /// a pre-remove generation with a post-re-register one.
+    ///
+    /// With durability attached, the `remove` record is logged before
+    /// the name disappears; a WAL failure leaves the entry registered
+    /// and returns [`EngineError::Durability`].
+    pub fn remove(&self, name: &str) -> Result<bool, EngineError> {
+        let mut inner = self.inner.write().expect("store lock");
+        let Some(entry) = inner.entries.get(name) else {
+            return Ok(false);
+        };
+        let generation = entry.generation();
+        let mut lsn = 0;
+        if let Some(sink) = self.sink.get() {
+            lsn = sink.append(&WalOp::Remove {
+                name: name.to_string(),
+                generation,
+            })?;
+        }
+        inner.entries.remove(name);
+        inner.retired.insert(name.to_string(), (generation, lsn));
+        Ok(true)
     }
 
     /// All entries, sorted by name.
     pub fn list(&self) -> Vec<Arc<StoreEntry>> {
         let mut out: Vec<Arc<StoreEntry>> = self
-            .entries
+            .inner
             .read()
             .expect("store lock")
+            .entries
             .values()
             .cloned()
             .collect();
@@ -621,12 +792,221 @@ impl LabelStore {
 
     /// Number of registered datasets.
     pub fn len(&self) -> usize {
-        self.entries.read().expect("store lock").len()
+        self.inner.read().expect("store lock").entries.len()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    // ---- durability hooks (pub(crate): driven by `crate::durability`) ----
+}
+
+/// One retired-generation record: `(name, retired_generation, remove_lsn)`.
+pub(crate) type RetiredRecord = (String, u64, u64);
+
+impl LabelStore {
+    /// One consistent capture for the background snapshotter: all live
+    /// entries (sorted by name) plus the retired-generation table. Each
+    /// entry is an `Arc` — the snapshotter reads its state afterwards
+    /// via [`StoreEntry::durable_snapshot`], per-entry-consistent, which
+    /// is all the on-disk format needs (per-entry `applied_lsn` makes
+    /// replay idempotent without a store-wide barrier).
+    pub(crate) fn capture_durable(&self) -> (Vec<Arc<StoreEntry>>, Vec<RetiredRecord>) {
+        let inner = self.inner.read().expect("store lock");
+        let mut entries: Vec<Arc<StoreEntry>> = inner.entries.values().cloned().collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut retired: Vec<RetiredRecord> = inner
+            .retired
+            .iter()
+            .map(|(name, &(generation, lsn))| (name.clone(), generation, lsn))
+            .collect();
+        retired.sort();
+        (entries, retired)
+    }
+
+    /// Installs an entry rebuilt from a snapshot during recovery. The
+    /// store must not be serving yet; an existing name is a recovery
+    /// bug and panics.
+    pub(crate) fn install_recovered(
+        &self,
+        name: String,
+        dataset: Arc<Dataset>,
+        label: Arc<Label>,
+        generation: u64,
+        applied_lsn: u64,
+    ) {
+        let entry = Arc::new(StoreEntry {
+            name: name.clone().into_boxed_str(),
+            state: RwLock::new(EntryState {
+                dataset,
+                label,
+                generation,
+                applied_lsn,
+            }),
+            cache: ShardedCache::default(),
+        });
+        let prev = self
+            .inner
+            .write()
+            .expect("store lock")
+            .entries
+            .insert(name, entry);
+        assert!(prev.is_none(), "install_recovered over a live entry");
+    }
+
+    /// Installs the retired-generation table from a snapshot during
+    /// recovery.
+    pub(crate) fn install_retired(&self, retired: impl IntoIterator<Item = (String, u64, u64)>) {
+        let mut inner = self.inner.write().expect("store lock");
+        for (name, generation, lsn) in retired {
+            inner.retired.insert(name, (generation, lsn));
+        }
+    }
+
+    /// Whether a replayed op at `lsn` targets a name whose *later*
+    /// remove is already reflected in the store (the recovery snapshot
+    /// postdates the remove). Such ops are stale history — skipping
+    /// them is correct because nothing of the removed entry survives.
+    fn superseded_by_remove(&self, name: &str, lsn: u64) -> bool {
+        self.inner
+            .read()
+            .expect("store lock")
+            .retired
+            .get(name)
+            .is_some_and(|&(_, removed_at)| removed_at >= lsn)
+    }
+
+    /// Applies one replayed WAL record during recovery. Idempotent via
+    /// per-entry `applied_lsn`: records at or below an entry's LSN (it
+    /// came out of a snapshot taken after them) are skipped. Generation
+    /// mismatches beyond that are corruption — the WAL's dense-LSN
+    /// check should have caught any gap — and fail recovery rather
+    /// than rebuild a silently different store.
+    pub(crate) fn replay(&self, lsn: u64, op: &WalOp) -> Result<(), EngineError> {
+        let stale = |cur_generation: u64, op_generation: u64, what: &str| {
+            EngineError::Durability(format!(
+                "replay lsn {lsn}: {what} {:?} expects generation {op_generation}, \
+                 store has {cur_generation}",
+                op.name()
+            ))
+        };
+        match op {
+            WalOp::Register {
+                name,
+                generation,
+                sel,
+                dataset,
+                ..
+            } => {
+                {
+                    let inner = self.inner.read().expect("store lock");
+                    if let Some(entry) = inner.entries.get(name) {
+                        if entry.applied_lsn() >= lsn {
+                            return Ok(());
+                        }
+                        return Err(EngineError::Durability(format!(
+                            "replay lsn {lsn}: register of live dataset {name:?}"
+                        )));
+                    }
+                    if let Some(&(retired_generation, retired_lsn)) = inner.retired.get(name) {
+                        if retired_lsn >= lsn {
+                            return Ok(()); // register superseded by a later remove
+                        }
+                        if retired_generation + 1 != *generation {
+                            return Err(stale(retired_generation + 1, *generation, "register"));
+                        }
+                    } else if *generation != 0 {
+                        return Err(stale(0, *generation, "register"));
+                    }
+                }
+                let dataset = Arc::new(dataset.clone().into_dataset()?);
+                let attrs = AttrSet::from_indices(sel.iter().map(|&a| a as usize));
+                let label = Label::build_parallel(&dataset, attrs, auto_threads(dataset.n_rows()));
+                self.install_recovered(name.clone(), dataset, Arc::new(label), *generation, lsn);
+                Ok(())
+            }
+            WalOp::Refresh {
+                name,
+                generation,
+                sel,
+                ..
+            } => {
+                let Some(entry) = self.try_get(name) else {
+                    if self.superseded_by_remove(name, lsn) {
+                        return Ok(());
+                    }
+                    return Err(EngineError::Durability(format!(
+                        "replay lsn {lsn}: refresh of unknown dataset {name:?}"
+                    )));
+                };
+                let mut cur = entry.state.write().expect("entry lock");
+                if cur.applied_lsn >= lsn {
+                    return Ok(());
+                }
+                if cur.generation + 1 != *generation {
+                    return Err(stale(cur.generation + 1, *generation, "refresh"));
+                }
+                let attrs = AttrSet::from_indices(sel.iter().map(|&a| a as usize));
+                let label =
+                    Label::build_parallel(&cur.dataset, attrs, auto_threads(cur.dataset.n_rows()));
+                cur.label = Arc::new(label);
+                cur.generation = *generation;
+                cur.applied_lsn = lsn;
+                Ok(())
+            }
+            WalOp::AppendRows {
+                name,
+                generation,
+                rows,
+            } => {
+                let Some(entry) = self.try_get(name) else {
+                    if self.superseded_by_remove(name, lsn) {
+                        return Ok(());
+                    }
+                    return Err(EngineError::Durability(format!(
+                        "replay lsn {lsn}: append to unknown dataset {name:?}"
+                    )));
+                };
+                let mut cur = entry.state.write().expect("entry lock");
+                if cur.applied_lsn >= lsn {
+                    return Ok(());
+                }
+                if cur.generation + 1 != *generation {
+                    return Err(stale(cur.generation + 1, *generation, "append_rows"));
+                }
+                let (dataset, label, _, _) =
+                    Self::appended_state(&cur.dataset, &cur.label, rows, None)?;
+                cur.dataset = Arc::new(dataset);
+                cur.label = label;
+                cur.generation = *generation;
+                cur.applied_lsn = lsn;
+                Ok(())
+            }
+            WalOp::Remove { name, generation } => {
+                let mut inner = self.inner.write().expect("store lock");
+                let Some(entry) = inner.entries.get(name) else {
+                    // Already absent: either the snapshot postdates the
+                    // remove (retired table knows it) or this is a replay
+                    // rerun; both are fine.
+                    return Ok(());
+                };
+                let (cur_generation, cur_lsn) = {
+                    let cur = entry.state.read().expect("entry lock");
+                    (cur.generation, cur.applied_lsn)
+                };
+                if cur_lsn >= lsn {
+                    return Ok(());
+                }
+                if cur_generation != *generation {
+                    return Err(stale(cur_generation, *generation, "remove"));
+                }
+                inner.entries.remove(name);
+                inner.retired.insert(name.clone(), (*generation, lsn));
+                Ok(())
+            }
+        }
     }
 }
 
@@ -661,12 +1041,62 @@ mod tests {
         assert_eq!(entry.label().attrs(), AttrSet::from_indices([0, 1]));
         assert_eq!(entry.label_attr_names(), vec!["gender", "age group"]);
 
-        assert!(store.remove("census"));
-        assert!(!store.remove("census"));
+        assert!(store.remove("census").unwrap());
+        assert!(!store.remove("census").unwrap());
         assert!(matches!(
             store.get("census"),
             Err(EngineError::UnknownDataset(_))
         ));
+    }
+
+    #[test]
+    fn remove_and_reregister_keeps_generations_monotone() {
+        let store = LabelStore::new();
+        store
+            .register(
+                "census",
+                figure2_sample(),
+                LabelPolicy::Attrs(AttrSet::from_indices([1, 3])),
+            )
+            .unwrap();
+        // Walk the generation up: one refresh + one append → generation 2.
+        store
+            .refresh("census", LabelPolicy::Attrs(AttrSet::from_indices([0, 1])))
+            .unwrap();
+        let report = store
+            .append_rows(
+                "census",
+                &[vec![
+                    Some("Female"),
+                    Some("20-39"),
+                    Some("Caucasian"),
+                    Some("married"),
+                ]],
+            )
+            .unwrap();
+        assert_eq!(report.generation, 2);
+
+        assert!(store.remove("census").unwrap());
+        assert_eq!(store.retired_generation("census"), Some(2));
+
+        // Re-registering the same name resumes above the retired
+        // generation — (name, generation) pairs never repeat.
+        let entry = store
+            .register("census", figure2_sample(), LabelPolicy::SearchBound(5))
+            .unwrap();
+        assert_eq!(entry.generation(), 3);
+        let generation = store
+            .refresh("census", LabelPolicy::SearchBound(100))
+            .unwrap();
+        assert_eq!(generation, 4);
+
+        // A second remove/re-register cycle keeps climbing.
+        assert!(store.remove("census").unwrap());
+        assert_eq!(store.retired_generation("census"), Some(4));
+        let entry = store
+            .register("census", figure2_sample(), LabelPolicy::SearchBound(5))
+            .unwrap();
+        assert_eq!(entry.generation(), 5);
     }
 
     #[test]

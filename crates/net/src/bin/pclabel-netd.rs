@@ -9,7 +9,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use pclabel_engine::query::EngineConfig;
+use pclabel_engine::durability::{Durability, DurabilityOptions};
+use pclabel_engine::query::{Engine, EngineConfig};
 use pclabel_engine::serve::Dispatcher;
 use pclabel_net::server::{ConnectionModel, NetServer, ServerConfig};
 use pclabel_telemetry::{LogLevel, Logger, Telemetry};
@@ -63,6 +64,20 @@ options:
   --retained-traces N      finished traces kept per op for
                            GET /debug/traces — N most recent plus the N
                            slowest (default 64; 0 = disabled)
+  --data-dir DIR           durable mode: recover the store from DIR's
+                           newest valid snapshot + WAL replay on boot,
+                           then log every mutation (register, refresh,
+                           append_rows, drop) before acknowledging it.
+                           Without this flag the store is in-memory only.
+                           On-disk format: docs/ONDISK_FORMAT.md;
+                           operations: docs/OPERATIONS.md
+  --fsync always|batch|off WAL fsync policy (default batch): always =
+                           fsync per record; batch = fsync at 64 KiB or
+                           25 ms of unsynced records, whichever first;
+                           off = leave flushing to the OS
+  --snapshot-wal-bytes N   write a snapshot (and truncate covered WAL
+                           segments) once N unsnapshotted WAL bytes have
+                           accumulated (default 4194304)
   -h, --help               this text
 
 Wire protocols on one port, sniffed from the first bytes:
@@ -100,6 +115,8 @@ fn main() {
     let mut slow_query: Option<Duration> = None;
     let mut log_sample: u64 = 1;
     let mut retained_traces = pclabel_telemetry::DEFAULT_RETAINED_TRACES;
+    let mut data_dir: Option<String> = None;
+    let mut durability_options = DurabilityOptions::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -183,6 +200,17 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| fail("--retained-traces needs an integer"))
             }
+            "--data-dir" => data_dir = Some(value("--data-dir")),
+            "--fsync" => {
+                durability_options.fsync = value("--fsync")
+                    .parse()
+                    .unwrap_or_else(|e: String| fail(&e))
+            }
+            "--snapshot-wal-bytes" => {
+                durability_options.snapshot_wal_bytes = value("--snapshot-wal-bytes")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--snapshot-wal-bytes needs an integer"))
+            }
             other => fail(&format!("unknown flag {other:?}")),
         }
     }
@@ -195,13 +223,47 @@ fn main() {
         Logger::new(log_level, slow_query).with_sample(log_sample),
         retained_traces,
     );
-    let dispatcher = Arc::new(Dispatcher::with_telemetry(
-        EngineConfig {
-            query_threads,
-            ..EngineConfig::default()
-        },
-        telemetry,
-    ));
+    let engine = Engine::new(EngineConfig {
+        query_threads,
+        ..EngineConfig::default()
+    });
+    // `_durability` owns the background flusher/snapshotter threads;
+    // keeping it alive until after server.wait() is what flushes the
+    // final batch on clean shutdown.
+    let _durability = data_dir.map(|dir| {
+        let durability = Durability::open(
+            &dir,
+            durability_options,
+            engine.store_arc(),
+            telemetry.registry(),
+        )
+        .unwrap_or_else(|e| fail(&format!("recovery from {dir}: {e}")));
+        let report = durability.recovery();
+        // Boot summary on stderr alongside the structured logs: what
+        // recovery trusted and where it stopped.
+        eprintln!(
+            "pclabel-netd: recovered {} dataset(s) to lsn {} from {dir} \
+             (snapshot lsn {}, {} WAL record(s) replayed)",
+            report.datasets,
+            report.recovered_lsn,
+            report
+                .snapshot_lsn
+                .map_or("none".to_string(), |l| l.to_string()),
+            report.replayed_records,
+        );
+        for (path, reason) in &report.rejected_snapshots {
+            eprintln!(
+                "pclabel-netd: rejected snapshot {}: {reason}",
+                path.display()
+            );
+        }
+        if let Some(reason) = &report.stopped {
+            eprintln!("pclabel-netd: WAL replay stopped early: {reason}");
+        }
+        engine.attach_durability(Arc::clone(&durability));
+        durability
+    });
+    let dispatcher = Arc::new(Dispatcher::with_engine(engine, telemetry));
 
     let workers = config.workers;
     let model = config.model;

@@ -6,7 +6,7 @@
 //! `"POST"`, …) — in which case the connection is handed to the
 //! [`crate::http`] adapter — or the big-endian length of the first
 //! frame. The two cannot collide because frame lengths are capped at
-//! [`MAX_FRAME_CEILING`](crate::frame::MAX_FRAME_CEILING), far below the
+//! [`MAX_FRAME_CEILING`], far below the
 //! smallest method-prefix value.
 //!
 //! ## Shutdown

@@ -1,0 +1,90 @@
+//! Writes a minimal data directory — one WAL segment with two records
+//! and one snapshot — and hexdumps both files, so the worked examples
+//! in `docs/ONDISK_FORMAT.md` can be regenerated from real bytes:
+//!
+//! ```text
+//! cargo run -p pclabel-wal --example wal_demo [DIR]
+//! ```
+//!
+//! With no argument the files go to a temp directory. The content is
+//! fixed (a two-attribute, three-row dataset registered and then
+//! removed), so the output is byte-identical across runs.
+
+use pclabel_wal::record::{DatasetImage, PolicyRepr, WalOp};
+use pclabel_wal::snapshot::{write_snapshot, SnapshotData};
+use pclabel_wal::wal::WalWriter;
+
+fn tiny_image() -> DatasetImage {
+    DatasetImage {
+        name: "adult".into(),
+        attrs: vec![
+            ("gender".into(), vec!["f".into(), "m".into()]),
+            ("age".into(), vec!["u20".into(), "o20".into()]),
+        ],
+        n_rows: 3,
+        columns: vec![vec![0, 1, 0], vec![1, 1, 0]],
+    }
+}
+
+fn hexdump(label: &str, bytes: &[u8]) {
+    println!("== {label} ({} bytes)", bytes.len());
+    for (i, chunk) in bytes.chunks(16).enumerate() {
+        let hex: Vec<String> = chunk.iter().map(|b| format!("{b:02x}")).collect();
+        let ascii: String = chunk
+            .iter()
+            .map(|&b| {
+                if (0x20..0x7f).contains(&b) {
+                    b as char
+                } else {
+                    '.'
+                }
+            })
+            .collect();
+        println!("{:08x}  {:<47}  |{ascii}|", i * 16, hex.join(" "));
+    }
+}
+
+fn main() {
+    let dir = std::env::args().nth(1).map_or_else(
+        || std::env::temp_dir().join(format!("pclabel-wal-demo-{}", std::process::id())),
+        std::path::PathBuf::from,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create demo dir");
+
+    let mut writer = WalWriter::create(&dir, 0).expect("create segment");
+    let register = WalOp::Register {
+        name: "adult".into(),
+        generation: 0,
+        policy: PolicyRepr::Attrs(vec![0]),
+        sel: vec![0],
+        dataset: tiny_image(),
+    };
+    writer.append(&register).expect("append register");
+    writer
+        .append(&WalOp::Remove {
+            name: "adult".into(),
+            generation: 0,
+        })
+        .expect("append remove");
+    writer.sync().expect("sync segment");
+
+    let snapshot = SnapshotData {
+        last_lsn: 2,
+        min_required_lsn: 2,
+        entries: Vec::new(),
+        retired: vec![("adult".into(), 0, 2)],
+    };
+    let snapshot_path = write_snapshot(&dir, &snapshot).expect("write snapshot");
+
+    println!("demo data dir: {}", dir.display());
+    hexdump(
+        &writer.path().file_name().unwrap().to_string_lossy(),
+        &std::fs::read(writer.path()).expect("read segment"),
+    );
+    println!();
+    hexdump(
+        &snapshot_path.file_name().unwrap().to_string_lossy(),
+        &std::fs::read(&snapshot_path).expect("read snapshot"),
+    );
+}

@@ -1,0 +1,193 @@
+//! Little-endian primitive encoding shared by WAL records and snapshot
+//! sections.
+//!
+//! Everything on disk is built from four shapes: fixed-width
+//! little-endian integers (`u8`/`u32`/`u64`), length-prefixed UTF-8
+//! strings (`u32` byte length + bytes), length-prefixed `u32` arrays
+//! and length-prefixed `u64` arrays. The reader is bounds-checked
+//! everywhere and returns [`FormatError::Corrupt`] instead of
+//! panicking, because it runs against possibly-torn bytes.
+
+use crate::{FormatError, Result};
+
+/// Appends a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a `u32` little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed UTF-8 string (`u32` byte length + bytes).
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Appends a length-prefixed `u32` array.
+pub fn put_u32s(out: &mut Vec<u8>, vs: &[u32]) {
+    put_u32(out, vs.len() as u32);
+    for &v in vs {
+        put_u32(out, v);
+    }
+}
+
+/// Appends a length-prefixed `u64` array.
+pub fn put_u64s(out: &mut Vec<u8>, vs: &[u64]) {
+    put_u32(out, vs.len() as u32);
+    for &v in vs {
+        put_u64(out, v);
+    }
+}
+
+/// Bounds-checked cursor over an encoded payload.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a payload buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Errors unless the payload was consumed exactly.
+    pub fn expect_end(&self, what: &str) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(FormatError::Corrupt(format!(
+                "{what}: {} trailing bytes",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(FormatError::Corrupt(format!(
+                "{what}: wanted {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, what: &str) -> Result<u32> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, what: &str) -> Result<u64> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &str) -> Result<String> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| FormatError::Corrupt(format!("{what}: invalid UTF-8")))
+    }
+
+    /// Reads a length-prefixed `u32` array.
+    pub fn u32s(&mut self, what: &str) -> Result<Vec<u32>> {
+        let len = self.u32(what)? as usize;
+        // Guard the allocation against a corrupt length prefix.
+        if self.remaining() < len.saturating_mul(4) {
+            return Err(FormatError::Corrupt(format!(
+                "{what}: array length {len} exceeds payload"
+            )));
+        }
+        (0..len).map(|_| self.u32(what)).collect()
+    }
+
+    /// Reads a length-prefixed `u64` array.
+    pub fn u64s(&mut self, what: &str) -> Result<Vec<u64>> {
+        let len = self.u32(what)? as usize;
+        if self.remaining() < len.saturating_mul(8) {
+            return Err(FormatError::Corrupt(format!(
+                "{what}: array length {len} exceeds payload"
+            )));
+        }
+        (0..len).map(|_| self.u64(what)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_shapes() {
+        let mut out = Vec::new();
+        put_u8(&mut out, 7);
+        put_u32(&mut out, 0xDEAD_BEEF);
+        put_u64(&mut out, u64::MAX - 1);
+        put_str(&mut out, "héllo wörld");
+        put_str(&mut out, "");
+        put_u32s(&mut out, &[1, u32::MAX, 3]);
+        put_u64s(&mut out, &[]);
+
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u8("t").unwrap(), 7);
+        assert_eq!(r.u32("t").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("t").unwrap(), u64::MAX - 1);
+        assert_eq!(r.str("t").unwrap(), "héllo wörld");
+        assert_eq!(r.str("t").unwrap(), "");
+        assert_eq!(r.u32s("t").unwrap(), vec![1, u32::MAX, 3]);
+        assert_eq!(r.u64s("t").unwrap(), Vec::<u64>::new());
+        r.expect_end("t").unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut out = Vec::new();
+        put_str(&mut out, "hello");
+        for cut in 0..out.len() {
+            let mut r = Reader::new(&out[..cut]);
+            assert!(r.str("t").is_err(), "cut at {cut} should fail");
+        }
+        // A corrupt length prefix claiming more than the buffer holds.
+        let mut r = Reader::new(&[0xFF, 0xFF, 0xFF, 0xFF, b'x']);
+        assert!(r.str("t").is_err());
+        let mut r = Reader::new(&[0xFF, 0xFF, 0xFF, 0x7F]);
+        assert!(r.u32s("t").is_err());
+        assert!(Reader::new(&[1, 0, 0, 0]).u64s("t").is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut out = Vec::new();
+        put_u32(&mut out, 1);
+        put_u8(&mut out, 0);
+        let mut r = Reader::new(&out);
+        r.u32("t").unwrap();
+        assert!(r.expect_end("t").is_err());
+    }
+}

@@ -1,0 +1,335 @@
+//! Data-directory layout: which files live in `--data-dir`, how the
+//! newest valid snapshot is chosen, and when old files are deleted.
+//!
+//! A data directory contains only two kinds of live files:
+//!
+//! * `wal-<base_lsn, 020d>.log` — WAL segments ([`crate::wal`]);
+//! * `snapshot-<last_lsn, 020d>.snap` — snapshots ([`crate::snapshot`]).
+//!
+//! `*.tmp` files are in-flight snapshots that crashed before their
+//! rename; they are ignored by recovery and deleted on open. Unknown
+//! file names are left untouched.
+//!
+//! ## Retention
+//!
+//! The two newest snapshots are retained so that a snapshot that fails
+//! validation (torn footer, CRC mismatch, rebuild divergence) still
+//! leaves a recovery path through its predecessor. WAL segments are
+//! deleted only when *every* record they hold is at or below the
+//! `min_required_lsn` of the **oldest retained** snapshot — never just
+//! the newest — so each retained snapshot plus the remaining segments
+//! reproduces the full store.
+
+use std::path::{Path, PathBuf};
+
+use crate::snapshot::{parse_snapshot_name, read_snapshot, SnapshotData};
+use crate::wal::parse_segment_name;
+use crate::Result;
+
+/// Number of snapshots kept on disk.
+pub const RETAINED_SNAPSHOTS: usize = 2;
+
+/// A handle to an opened (and created if absent) data directory.
+#[derive(Debug, Clone)]
+pub struct DataDir {
+    path: PathBuf,
+}
+
+/// A snapshot that recovery rejected, with the reason.
+#[derive(Debug)]
+pub struct RejectedSnapshot {
+    /// The snapshot file.
+    pub path: PathBuf,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+/// Outcome of picking the newest snapshot that passes validation.
+#[derive(Debug)]
+pub struct SnapshotPick {
+    /// The chosen snapshot, if any passed.
+    pub chosen: Option<(PathBuf, SnapshotData)>,
+    /// Newer snapshots that failed validation and were skipped.
+    pub rejected: Vec<RejectedSnapshot>,
+}
+
+impl DataDir {
+    /// Opens `path`, creating the directory if needed, and sweeps any
+    /// `*.tmp` leftovers from a snapshot that crashed mid-write.
+    pub fn open(path: impl Into<PathBuf>) -> Result<DataDir> {
+        let path = path.into();
+        std::fs::create_dir_all(&path)?;
+        let dir = DataDir { path };
+        for entry in std::fs::read_dir(&dir.path)? {
+            let entry = entry?;
+            if entry.file_name().to_string_lossy().ends_with(".tmp") {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+        Ok(dir)
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn list_by<F: Fn(&str) -> Option<u64>>(&self, parse: F) -> Result<Vec<(u64, PathBuf)>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.path)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            if let Some(key) = parse(&name.to_string_lossy()) {
+                out.push((key, entry.path()));
+            }
+        }
+        out.sort_by_key(|(key, _)| *key);
+        Ok(out)
+    }
+
+    /// WAL segments as `(base_lsn, path)`, ascending by base LSN.
+    pub fn list_segments(&self) -> Result<Vec<(u64, PathBuf)>> {
+        self.list_by(parse_segment_name)
+    }
+
+    /// Snapshots as `(last_lsn, path)`, ascending by LSN.
+    pub fn list_snapshots(&self) -> Result<Vec<(u64, PathBuf)>> {
+        self.list_by(parse_snapshot_name)
+    }
+
+    /// Total bytes across all WAL segments.
+    pub fn wal_bytes(&self) -> Result<u64> {
+        let mut total = 0;
+        for (_, path) in self.list_segments()? {
+            total += std::fs::metadata(&path)?.len();
+        }
+        Ok(total)
+    }
+
+    /// Tries snapshots newest-first until one passes full validation
+    /// (`validate` is the caller's semantic check on top of the format
+    /// checks — pass `|_| Ok(())` for format-only).
+    pub fn pick_snapshot<F>(&self, mut validate: F) -> Result<SnapshotPick>
+    where
+        F: FnMut(&SnapshotData) -> std::result::Result<(), String>,
+    {
+        let mut rejected = Vec::new();
+        for (_, path) in self.list_snapshots()?.into_iter().rev() {
+            match read_snapshot(&path) {
+                Ok(data) => match validate(&data) {
+                    Ok(()) => {
+                        return Ok(SnapshotPick {
+                            chosen: Some((path, data)),
+                            rejected,
+                        })
+                    }
+                    Err(reason) => rejected.push(RejectedSnapshot { path, reason }),
+                },
+                Err(e) => rejected.push(RejectedSnapshot {
+                    path,
+                    reason: e.to_string(),
+                }),
+            }
+        }
+        Ok(SnapshotPick {
+            chosen: None,
+            rejected,
+        })
+    }
+
+    /// Deletes all but the [`RETAINED_SNAPSHOTS`] newest snapshots.
+    /// Returns the deleted paths.
+    pub fn retire_old_snapshots(&self) -> Result<Vec<PathBuf>> {
+        let snapshots = self.list_snapshots()?;
+        let mut deleted = Vec::new();
+        if snapshots.len() > RETAINED_SNAPSHOTS {
+            for (_, path) in &snapshots[..snapshots.len() - RETAINED_SNAPSHOTS] {
+                std::fs::remove_file(path)?;
+                deleted.push(path.clone());
+            }
+        }
+        Ok(deleted)
+    }
+
+    /// Smallest `min_required_lsn` across the retained snapshots, i.e.
+    /// the truncation floor. `None` when no snapshot validates.
+    pub fn truncation_floor(&self) -> Result<Option<u64>> {
+        let snapshots = self.list_snapshots()?;
+        let start = snapshots.len().saturating_sub(RETAINED_SNAPSHOTS);
+        let mut floor: Option<u64> = None;
+        for (_, path) in &snapshots[start..] {
+            if let Ok(data) = read_snapshot(path) {
+                floor = Some(match floor {
+                    Some(f) => f.min(data.min_required_lsn),
+                    None => data.min_required_lsn,
+                });
+            }
+        }
+        Ok(floor)
+    }
+
+    /// Deletes WAL segments every record of which has
+    /// `lsn <= min_required_lsn`.
+    ///
+    /// A segment with base LSN `b` holds records `b+1 ..= next_base`
+    /// where `next_base` is the following segment's base LSN (rotation
+    /// opens the new segment at the last written LSN), so a segment is
+    /// deletable exactly when a *later* segment exists with
+    /// `base <= min_required_lsn`. The newest segment is never deleted.
+    /// Returns the deleted paths.
+    pub fn prune_segments(&self, min_required_lsn: u64) -> Result<Vec<PathBuf>> {
+        let segments = self.list_segments()?;
+        let mut deleted = Vec::new();
+        for window in segments.windows(2) {
+            let (_, ref path) = window[0];
+            let (next_base, _) = window[1];
+            if next_base <= min_required_lsn {
+                std::fs::remove_file(path)?;
+                deleted.push(path.clone());
+            }
+        }
+        Ok(deleted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::write_snapshot;
+    use crate::wal::WalWriter;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pclabel-dir-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn snap(lsn: u64) -> SnapshotData {
+        SnapshotData {
+            last_lsn: lsn,
+            min_required_lsn: lsn,
+            entries: vec![],
+            retired: vec![],
+        }
+    }
+
+    #[test]
+    fn open_creates_and_sweeps_tmp() {
+        let root = temp_dir("open");
+        std::fs::create_dir_all(&root).unwrap();
+        std::fs::write(root.join("snapshot-x.snap.tmp"), b"junk").unwrap();
+        std::fs::write(root.join("unrelated.txt"), b"keep me").unwrap();
+        let dir = DataDir::open(&root).unwrap();
+        assert!(!root.join("snapshot-x.snap.tmp").exists());
+        assert!(root.join("unrelated.txt").exists());
+        assert!(dir.list_segments().unwrap().is_empty());
+        assert!(dir.list_snapshots().unwrap().is_empty());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn pick_skips_invalid_newest() {
+        let root = temp_dir("pick");
+        let dir = DataDir::open(&root).unwrap();
+        write_snapshot(dir.path(), &snap(5)).unwrap();
+        write_snapshot(dir.path(), &snap(9)).unwrap();
+        // Corrupt the newest snapshot.
+        let newest = dir.list_snapshots().unwrap().pop().unwrap().1;
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let pick = dir.pick_snapshot(|_| Ok(())).unwrap();
+        let (path, data) = pick.chosen.expect("fallback snapshot");
+        assert_eq!(data.last_lsn, 5);
+        assert!(path.to_string_lossy().contains("00000000000000000005"));
+        assert_eq!(pick.rejected.len(), 1);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn pick_applies_semantic_validation() {
+        let root = temp_dir("semantic");
+        let dir = DataDir::open(&root).unwrap();
+        write_snapshot(dir.path(), &snap(5)).unwrap();
+        write_snapshot(dir.path(), &snap(9)).unwrap();
+        let pick = dir
+            .pick_snapshot(|d| {
+                if d.last_lsn == 9 {
+                    Err("label rebuild diverged".into())
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap();
+        assert_eq!(pick.chosen.unwrap().1.last_lsn, 5);
+        assert_eq!(pick.rejected.len(), 1);
+        assert!(pick.rejected[0].reason.contains("diverged"));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn retention_keeps_two_newest() {
+        let root = temp_dir("retain");
+        let dir = DataDir::open(&root).unwrap();
+        for lsn in [3, 7, 11, 15] {
+            write_snapshot(dir.path(), &snap(lsn)).unwrap();
+        }
+        let deleted = dir.retire_old_snapshots().unwrap();
+        assert_eq!(deleted.len(), 2);
+        let kept: Vec<u64> = dir
+            .list_snapshots()
+            .unwrap()
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect();
+        assert_eq!(kept, vec![11, 15]);
+        assert_eq!(dir.truncation_floor().unwrap(), Some(11));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn prune_only_fully_covered_segments() {
+        let root = temp_dir("prune");
+        let dir = DataDir::open(&root).unwrap();
+        // Three segments: bases 0, 10, 20 — so they hold (0,10], (10,20], (20,..].
+        for base in [0, 10, 20] {
+            WalWriter::create(dir.path(), base).unwrap();
+        }
+        // Floor 10: only the first segment (records 1..=10) is covered.
+        let deleted = dir.prune_segments(10).unwrap();
+        assert_eq!(deleted.len(), 1);
+        let bases: Vec<u64> = dir
+            .list_segments()
+            .unwrap()
+            .into_iter()
+            .map(|(b, _)| b)
+            .collect();
+        assert_eq!(bases, vec![10, 20]);
+        // Floor 9 deletes nothing further; newest is never deleted
+        // even with a huge floor.
+        assert!(dir.prune_segments(9).unwrap().is_empty());
+        let deleted = dir.prune_segments(u64::MAX).unwrap();
+        assert_eq!(deleted.len(), 1);
+        assert_eq!(dir.list_segments().unwrap().len(), 1);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn wal_bytes_sums_segments() {
+        let root = temp_dir("bytes");
+        let dir = DataDir::open(&root).unwrap();
+        assert_eq!(dir.wal_bytes().unwrap(), 0);
+        let mut w = WalWriter::create(dir.path(), 0).unwrap();
+        w.append(&crate::record::WalOp::Remove {
+            name: "d".into(),
+            generation: 1,
+        })
+        .unwrap();
+        w.sync().unwrap();
+        assert_eq!(dir.wal_bytes().unwrap(), w.bytes_written());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

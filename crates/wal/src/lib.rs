@@ -1,0 +1,104 @@
+//! # pclabel-wal
+//!
+//! The durability plane of the `pclabel` workspace: the on-disk
+//! **snapshot** and **write-ahead log (WAL)** formats that let a
+//! `pclabel-netd --data-dir DIR` survive a crash and recover to the
+//! exact pre-crash label-store state.
+//!
+//! This crate owns only the *bytes and files* — records, sections,
+//! CRCs, fsync policy, segment rotation, torn-tail recovery and the
+//! data-directory layout. It knows how to encode a [`record::WalOp`]
+//! (one mutating store operation) and a [`snapshot::SnapshotEntry`]
+//! (one registered dataset with its label metadata), but the *engine
+//! semantics* — replaying an op against a live `LabelStore`, rebuilding
+//! a `Label` from a recovered dataset — live in
+//! `pclabel_engine::durability`, which drives this crate.
+//!
+//! The byte-level layouts are specified (normatively) in
+//! `docs/ONDISK_FORMAT.md` at the repository root; the rustdoc here
+//! restates the invariants each module enforces.
+//!
+//! ## Core invariants
+//!
+//! * **Append-before-publish.** A mutating operation's WAL record is
+//!   written (and, per [`wal::FsyncPolicy`], synced) *before* the
+//!   in-memory state change becomes visible to readers. Recovery may
+//!   therefore observe an op that was never acknowledged, but never the
+//!   reverse: every acknowledged op is in the log.
+//! * **LSNs are dense and monotone.** Every record carries a log
+//!   sequence number, assigned 1, 2, 3, … with no gaps across segment
+//!   boundaries. A record whose LSN is not exactly `previous + 1` ends
+//!   replay (torn-tail rule).
+//! * **Snapshot-LSN truncation.** A snapshot persists every entry
+//!   together with the LSN of the last op applied to it. WAL segments
+//!   whose records all have `lsn <= min_required_lsn` of the *oldest
+//!   retained* snapshot are deleted; everything newer is kept so that
+//!   any retained snapshot plus the remaining segments reproduces the
+//!   full state.
+//! * **Corruption never panics.** Every decode path returns
+//!   [`FormatError`]; a torn or corrupt WAL tail ends replay cleanly,
+//!   and a snapshot that fails any CRC (or lacks its footer) is
+//!   rejected so recovery can fall back to the previous snapshot.
+
+#![deny(missing_docs)]
+
+pub mod codec;
+pub mod crc;
+pub mod dir;
+pub mod record;
+pub mod snapshot;
+pub mod wal;
+
+use std::fmt;
+
+/// Errors from encoding, decoding or file handling in the durability
+/// plane.
+#[derive(Debug)]
+pub enum FormatError {
+    /// A file header's magic bytes or format version were not
+    /// recognized.
+    BadMagic(String),
+    /// A structural decode failure: truncated buffer, impossible
+    /// length, unknown tag.
+    Corrupt(String),
+    /// A CRC-32 check failed (stored vs computed).
+    CrcMismatch {
+        /// What was being checked (record, section name, …).
+        what: String,
+        /// CRC stored on disk.
+        stored: u32,
+        /// CRC computed over the payload read back.
+        computed: u32,
+    },
+    /// An underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::BadMagic(what) => write!(f, "bad magic/version: {what}"),
+            FormatError::Corrupt(what) => write!(f, "corrupt durability data: {what}"),
+            FormatError::CrcMismatch {
+                what,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "CRC mismatch in {what}: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            FormatError::Io(e) => write!(f, "durability I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl From<std::io::Error> for FormatError {
+    fn from(e: std::io::Error) -> Self {
+        FormatError::Io(e)
+    }
+}
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, FormatError>;

@@ -76,3 +76,4 @@ pub use pclabel_data as data;
 pub use pclabel_engine as engine;
 pub use pclabel_net as net;
 pub use pclabel_report as report;
+pub use pclabel_wal as wal;

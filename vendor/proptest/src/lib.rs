@@ -273,7 +273,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specifications accepted by [`vec`].
+    /// Length specifications accepted by [`vec()`].
     pub trait IntoSizeBounds {
         /// Inclusive `(min, max)` length bounds.
         fn bounds(&self) -> (usize, usize);
