@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# CI smoke for the network front end, run once per connection model
-# (--model pool, --model reactor): build release, start pclabel-netd on
+# CI smoke for the network front end, run per connection model and
+# readiness backend (--model pool; --model reactor --reactors 2 on both
+# the default epoll backend and --force-poll): build release, start
+# pclabel-netd on
 # an ephemeral loopback port, round-trip register + query + /healthz
 # through the real clients (examples/net_smoke.rs), then shut down via
 # the shutdown op and verify a clean exit. Afterwards, replay an
@@ -40,28 +42,45 @@ start_daemon() {
 
 trap 'kill $(jobs -p) 2>/dev/null || true' EXIT
 
-for model in pool reactor; do
-    start_daemon "$(mktemp)" --model "$model"
+# The reactor runs use two event loops, on both readiness backends: the
+# default (epoll on Linux, with a SO_REUSEPORT listener group) and
+# --force-poll (portable poll(2), where loop 0 accepts and hands
+# connections off round-robin).
+run_smoke() {
+    local model="$1"; shift
+    start_daemon "$(mktemp)" --model "$model" "$@"
     ./target/release/examples/net_smoke "$daemon_addr"
     # The smoke client sent {"op":"shutdown"}; the daemon must exit 0 on
     # its own (the surrounding `timeout 60` turns a hang into a failure).
     wait "$daemon_pid"
-    echo "net smoke ok (--model $model, $daemon_addr)"
-done
+    echo "net smoke ok (--model $model $* $daemon_addr)"
+}
+run_smoke pool
+run_smoke reactor --reactors 2
+run_smoke reactor --reactors 2 --force-poll
 
-# Byte-identity across models: one mixed framed+HTTP script, replayed
-# against a fresh daemon per model, must produce identical output.
-for model in pool reactor; do
-    start_daemon "$(mktemp)" --model "$model"
-    ./target/release/examples/net_replay "$daemon_addr" >"replay_$model.txt"
-    wait "$daemon_pid"
+# Byte-identity across models and reactor counts: one mixed framed+HTTP
+# script, replayed against a fresh daemon per variant, must produce
+# identical output. The reactor side runs four event loops — the replay
+# oracle is what pins the multi-reactor plane to the pool model's
+# responses.
+start_daemon "$(mktemp)" --model pool
+./target/release/examples/net_replay "$daemon_addr" >replay_pool.txt
+wait "$daemon_pid"
+start_daemon "$(mktemp)" --model reactor --reactors 4
+./target/release/examples/net_replay "$daemon_addr" >replay_reactor.txt
+wait "$daemon_pid"
+start_daemon "$(mktemp)" --model reactor --reactors 2 --force-poll
+./target/release/examples/net_replay "$daemon_addr" >replay_reactor_poll.txt
+wait "$daemon_pid"
+for variant in reactor reactor_poll; do
+    if ! diff -u replay_pool.txt "replay_$variant.txt"; then
+        echo "pool and $variant responses diverged" >&2
+        exit 1
+    fi
 done
-if ! diff -u replay_pool.txt replay_reactor.txt; then
-    echo "pool and reactor responses diverged" >&2
-    exit 1
-fi
-rm -f replay_pool.txt replay_reactor.txt
-echo "net smoke ok (pool and reactor responses byte-identical)"
+rm -f replay_pool.txt replay_reactor.txt replay_reactor_poll.txt
+echo "net smoke ok (pool, 4-reactor and poll-backend responses byte-identical)"
 
 # Telemetry: scrape /metrics at the end of a replay and assert the
 # request counters account for every replayed request — 13 framed + 13
@@ -69,7 +88,9 @@ echo "net smoke ok (pool and reactor responses byte-identical)"
 # and /metrics itself is served without dispatching) — plus exposition
 # format sanity: every sample line parses and no series repeats.
 for model in pool reactor; do
-    start_daemon "$(mktemp)" --model "$model"
+    flags=()
+    [ "$model" = reactor ] && flags=(--reactors 2)
+    start_daemon "$(mktemp)" --model "$model" ${flags[@]+"${flags[@]}"}
     PCLABEL_REPLAY_METRICS_OUT="metrics_$model.txt" \
     PCLABEL_REPLAY_DEBUG_OUT="debug_$model.txt" \
         ./target/release/examples/net_replay "$daemon_addr" >/dev/null

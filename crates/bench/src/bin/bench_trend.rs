@@ -10,8 +10,14 @@
 //! The file kind is sniffed from the `"benchmark"` field:
 //!
 //! * `engine_throughput` (`BENCH_net.json`) — `net` rows are matched on
-//!   `(model, client_threads, idle_conns)` and fail when `req_per_sec`
-//!   drops by more than the threshold; `counting.parallel` rows are
+//!   `(model, client_threads, idle_conns, reactors)` and fail when
+//!   `req_per_sec` drops by more than the threshold. A row without the
+//!   `reactors` field (an older artifact) counts as 1 reactor under the
+//!   reactor model and 0 under the pool model, so baselines from before
+//!   the multi-reactor plane keep gating the single-loop rows. Rows
+//!   with more than one reactor are never gated: the scaling grid only
+//!   carries signal on many-core runners, and shared single-CPU CI
+//!   boxes would trend pure scheduler jitter; `counting.parallel` rows are
 //!   matched on `(threads, shards)` and fail when `seconds` grows by
 //!   more than the threshold. The current artifact's
 //!   `telemetry_overhead` row is also held to an absolute 3% budget:
@@ -97,10 +103,27 @@ fn metrics_of(report: &Json) -> Result<Vec<Metric>, String> {
         "engine_throughput" => {
             if let Some(rows) = report.get("net").and_then(Json::as_array) {
                 for row in rows {
+                    // Older artifacts predate the `reactors` field: they
+                    // were measured on one event loop (reactor model) or
+                    // none (pool model), so default accordingly to keep
+                    // the single-loop rows comparable across the
+                    // transition.
+                    let reactors = match row_f64(row, "reactors") {
+                        Some(n) => n,
+                        None if field_text(row, "model") == "reactor" => 1.0,
+                        None => 0.0,
+                    };
+                    if reactors > 1.0 {
+                        // Multi-reactor grid rows are informational:
+                        // their throughput only moves with core count,
+                        // which a shared runner cannot hold steady.
+                        continue;
+                    }
                     let key = fmt_key(&[
                         ("net/model", field_text(row, "model")),
                         ("clients", field_text(row, "client_threads")),
                         ("idle", field_text(row, "idle_conns")),
+                        ("reactors", format!("{}", reactors as u64)),
                     ]);
                     if let Some(v) = row_f64(row, "req_per_sec") {
                         out.push(Metric {
@@ -364,7 +387,8 @@ mod tests {
 
     const NET_BASE: &str = r#"{"benchmark":"engine_throughput","counting":{"serial_seconds":1.0,"parallel":[
         {"threads":2,"shards":8,"seconds":0.5,"rows_per_sec":400000}]},
-        "net":[{"model":"reactor","client_threads":2,"idle_conns":12,"requests":400,"seconds":1.0,"req_per_sec":1000}],
+        "net":[{"model":"reactor","client_threads":2,"idle_conns":12,"reactors":1,"requests":400,"seconds":1.0,"req_per_sec":1000},
+               {"model":"reactor","client_threads":4,"idle_conns":12,"reactors":4,"requests":800,"seconds":1.0,"req_per_sec":4000}],
         "debug_scrape":{"model":"reactor","client_threads":1,"requests":200,"seconds":0.25,"req_per_sec":800,"scrapes":900,"scrapes_per_sec":3600},
         "durability_overhead":{"requests":1000,"fsync":"batch","plain_seconds":0.2,"durable_seconds":0.25,"plain_req_per_sec":5000,"durable_req_per_sec":4000,"overhead_pct":25.0}}"#;
 
@@ -382,6 +406,31 @@ mod tests {
         // Improvements never fail.
         let faster = NET_BASE.replace("\"req_per_sec\":1000", "\"req_per_sec\":2000");
         assert!(run(NET_BASE, &faster, 0.30).unwrap().is_empty());
+    }
+
+    #[test]
+    fn multi_reactor_rows_are_informational_not_gated() {
+        // The 4-reactor grid row collapsing must not fail: a shared
+        // runner cannot hold multi-loop scaling steady.
+        let collapsed = NET_BASE.replace("\"req_per_sec\":4000", "\"req_per_sec\":100");
+        assert!(run(NET_BASE, &collapsed, 0.30).unwrap().is_empty());
+    }
+
+    #[test]
+    fn baselines_without_the_reactors_field_still_gate_single_loop_rows() {
+        // An artifact from before the multi-reactor plane carries no
+        // `reactors` field but was measured on one event loop, so it
+        // must keep matching current `"reactors":1` rows.
+        let old = NET_BASE.replace(",\"reactors\":1", "");
+        let slower = NET_BASE.replace("\"req_per_sec\":1000", "\"req_per_sec\":600");
+        let regressions = run(&old, &slower, 0.30).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].name, "req_per_sec");
+        assert!(
+            regressions[0].key.contains("reactors=1"),
+            "{}",
+            regressions[0].key
+        );
     }
 
     #[test]

@@ -20,7 +20,12 @@
 //! workload the reactor exists for. With the pool model the idle fleet
 //! is clamped below the worker count, because `workers` idle
 //! connections would deadlock the bench; the clamp is reported in the
-//! row. A final `debug_scrape` row re-measures single-client framed
+//! row. Every net row carries a `reactors` field (event loops serving
+//! the listener; 0 under the pool model), and for the reactor model a
+//! scaling grid re-runs the 4-client storm against 2 and 4 event loops
+//! — bench_trend gates only the 1-reactor rows, so the grid is
+//! informational on single-CPU runners. A final `debug_scrape` row
+//! re-measures single-client framed
 //! throughput while a poller hammers the `/debug` introspection routes
 //! over HTTP on the same port, proving inspection does not perturb
 //! serving. A `durability_overhead` row times the same append_rows
@@ -84,6 +89,64 @@ fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
         result = Some(out);
     }
     (best, result.expect("at least one rep"))
+}
+
+/// Parks `n` proven-live idle keep-alive connections on `addr`.
+fn park_idle(addr: std::net::SocketAddr, n: usize) -> Vec<NetClient> {
+    (0..n)
+        .map(|_| {
+            let mut client = NetClient::connect(addr).expect("idle connection connects");
+            let response = client
+                .request_line(r#"{"op":"health"}"#)
+                .expect("idle connection health");
+            assert_eq!(
+                Json::parse(&response).expect("health JSON").get("ok"),
+                Some(&Json::Bool(true))
+            );
+            client
+        })
+        .collect()
+}
+
+/// Every parked connection must still answer after a measurement (the
+/// fleet must survive the storm, not be dropped).
+fn assert_fleet_alive(parked: &mut [NetClient]) {
+    for client in parked.iter_mut() {
+        let response = client
+            .request_line(r#"{"op":"health"}"#)
+            .expect("idle connection survived the measurement");
+        assert_eq!(
+            Json::parse(&response).expect("health JSON").get("ok"),
+            Some(&Json::Bool(true))
+        );
+    }
+}
+
+/// Framed query storm against the `bench` dataset: `clients` threads ×
+/// `requests_per_client` round-trips each. Returns wall-clock seconds.
+fn measure_framed(addr: std::net::SocketAddr, clients: usize, requests_per_client: usize) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            scope.spawn(move || {
+                let mut client = NetClient::connect(addr).expect("bench client connects");
+                for i in 0..requests_per_client {
+                    let line = format!(
+                        r#"{{"op":"query","dataset":"bench","patterns":[{{"a0":"v{}","a1":"v{}"}}]}}"#,
+                        (c + i) % 8,
+                        i % 6
+                    );
+                    let response = client.request_line(&line).expect("bench round-trip");
+                    assert_eq!(
+                        Json::parse(&response).expect("response JSON").get("ok"),
+                        Some(&Json::Bool(true)),
+                        "bench query failed: {response}"
+                    );
+                }
+            });
+        }
+    });
+    start.elapsed().as_secs_f64()
 }
 
 fn synthetic(rows: usize) -> Dataset {
@@ -282,59 +345,21 @@ fn main() {
             );
             // Park the idle keep-alive fleet (each proven live with one
             // request) for the duration of the measurement.
-            let mut parked: Vec<NetClient> = (0..idle_conns)
-                .map(|_| {
-                    let mut client = NetClient::connect(addr).expect("idle connection connects");
-                    let response = client
-                        .request_line(r#"{"op":"health"}"#)
-                        .expect("idle connection health");
-                    assert_eq!(
-                        Json::parse(&response).expect("health JSON").get("ok"),
-                        Some(&Json::Bool(true))
-                    );
-                    client
-                })
-                .collect();
-            let start = Instant::now();
-            std::thread::scope(|scope| {
-                for c in 0..clients {
-                    scope.spawn(move || {
-                        let mut client = NetClient::connect(addr).expect("bench client connects");
-                        for i in 0..requests_per_client {
-                            let line = format!(
-                                r#"{{"op":"query","dataset":"bench","patterns":[{{"a0":"v{}","a1":"v{}"}}]}}"#,
-                                (c + i) % 8,
-                                i % 6
-                            );
-                            let response =
-                                client.request_line(&line).expect("bench round-trip");
-                            assert_eq!(
-                                Json::parse(&response).expect("response JSON").get("ok"),
-                                Some(&Json::Bool(true)),
-                                "bench query failed: {response}"
-                            );
-                        }
-                    });
-                }
-            });
-            let secs = start.elapsed().as_secs_f64();
-            // The fleet must have survived the storm, not been dropped.
-            for client in parked.iter_mut() {
-                let response = client
-                    .request_line(r#"{"op":"health"}"#)
-                    .expect("idle connection survived the measurement");
-                assert_eq!(
-                    Json::parse(&response).expect("health JSON").get("ok"),
-                    Some(&Json::Bool(true))
-                );
-            }
+            let mut parked = park_idle(addr, idle_conns);
+            let secs = measure_framed(addr, clients, requests_per_client);
+            assert_fleet_alive(&mut parked);
             drop(parked);
             let requests = clients * requests_per_client;
             if clients == 1 {
                 single_client_secs_per_req = secs / requests as f64;
             }
+            let sweep_reactors = if model == ConnectionModel::Reactor {
+                1
+            } else {
+                0
+            };
             net_rows.push(format!(
-                "{{\"model\":\"{model}\",\"client_threads\":{clients},\"idle_conns\":{idle_conns},\"requests\":{requests},\"seconds\":{secs:.6},\"req_per_sec\":{:.0}}}",
+                "{{\"model\":\"{model}\",\"client_threads\":{clients},\"idle_conns\":{idle_conns},\"reactors\":{sweep_reactors},\"requests\":{requests},\"seconds\":{secs:.6},\"req_per_sec\":{:.0}}}",
                 requests as f64 / secs
             ));
         }
@@ -392,6 +417,42 @@ fn main() {
             );
         }
         server.shutdown();
+
+        // --- reactor scaling grid: the same storm on 2 and 4 event loops
+        // (the sweep above produced the 1-loop rows). On a many-core
+        // runner these rows show accept/readiness scaling across the
+        // SO_REUSEPORT listener group; on a 1-CPU box they are
+        // informational only — bench_trend gates the 1-reactor rows and
+        // never compares multi-reactor ones.
+        if model == ConnectionModel::Reactor {
+            for &reactors in &[2usize, 4] {
+                eprintln!(
+                    "engine_bench: --net {model} model, {reactors} reactors, 4 client \
+                     thread(s), {idle_requested} idle connection(s)…"
+                );
+                let server = NetServer::spawn(
+                    Arc::clone(&dispatcher),
+                    ServerConfig {
+                        model,
+                        workers,
+                        reactors,
+                        ..ServerConfig::default()
+                    },
+                )
+                .expect("spawn reactor-grid server");
+                let addr = server.local_addr();
+                let mut parked = park_idle(addr, idle_requested);
+                let secs = measure_framed(addr, 4, requests_per_client);
+                assert_fleet_alive(&mut parked);
+                drop(parked);
+                server.shutdown();
+                let requests = 4 * requests_per_client;
+                net_rows.push(format!(
+                    "{{\"model\":\"{model}\",\"client_threads\":4,\"idle_conns\":{idle_requested},\"reactors\":{reactors},\"requests\":{requests},\"seconds\":{secs:.6},\"req_per_sec\":{:.0}}}",
+                    requests as f64 / secs
+                ));
+            }
+        }
 
         // --- telemetry overhead: live metrics vs no-op handle -------------
         // Loopback round-trip times on a shared 1-CPU runner jitter by

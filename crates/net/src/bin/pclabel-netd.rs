@@ -38,8 +38,21 @@ options:
                            before new ones are refused with HTTP 429 / a
                            framed {\"error\":\"overloaded\"} (default 256;
                            0 = never park)
-  --max-conns N            reactor only: simultaneous connection cap;
-                           at the cap the least-recently-active idle
+  --reactors N             reactor only: event loops serving the
+                           listener (default: CPU count; 0 = 1). On
+                           Linux with epoll each loop accepts from its
+                           own SO_REUSEPORT listener and the kernel
+                           balances accepts; with --force-poll or on
+                           other Unixes loop 0 accepts and hands
+                           sockets to its peers round-robin. All loops
+                           share one --workers dispatch pool
+  --write-watermark BYTES  reactor only: per-connection cap on queued
+                           unsent response bytes; at the cap the loop
+                           stops reading from that connection until the
+                           peer drains its responses (default 262144)
+  --max-conns N            reactor only: simultaneous connection cap,
+                           split evenly across the event loops; at the
+                           cap the least-recently-active idle
                            connection is evicted (default 1024)
   --idle-ms MS             reactor only: close connections idle between
                            requests for MS (default 0 = never)
@@ -109,6 +122,9 @@ fn main() {
     let mut config = ServerConfig {
         addr: "127.0.0.1:7341".to_string(),
         model: ConnectionModel::platform_default(),
+        // The daemon (unlike the library's single-loop default) scales
+        // the reactor plane to the machine out of the box.
+        reactors: std::thread::available_parallelism().map_or(1, |n| n.get()),
         ..ServerConfig::default()
     };
     let mut log_level = LogLevel::Info;
@@ -137,6 +153,16 @@ fn main() {
                 if config.model == ConnectionModel::Reactor && !cfg!(unix) {
                     fail("the reactor model needs epoll/poll(2); this platform has neither");
                 }
+            }
+            "--reactors" => {
+                config.reactors = value("--reactors")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--reactors needs an integer"))
+            }
+            "--write-watermark" => {
+                config.write_watermark = value("--write-watermark")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--write-watermark needs an integer"))
             }
             "--max-conns" => {
                 config.max_connections = value("--max-conns")
@@ -267,6 +293,11 @@ fn main() {
 
     let workers = config.workers;
     let model = config.model;
+    let reactors = if model == ConnectionModel::Reactor && cfg!(unix) {
+        config.reactors.max(1)
+    } else {
+        0
+    };
     let server = match NetServer::spawn(dispatcher, config) {
         Ok(server) => server,
         Err(e) => fail(&format!("failed to start: {e}")),
@@ -274,10 +305,17 @@ fn main() {
     // Startup line on stdout so supervisors (and the CI smoke script)
     // can discover the resolved ephemeral port. The address stays the
     // fourth whitespace-separated field — scripts parse it.
-    println!(
-        "pclabel-netd: listening on {} ({workers} workers, {model} model)",
-        server.local_addr()
-    );
+    if reactors > 0 {
+        println!(
+            "pclabel-netd: listening on {} ({workers} workers, {model} model, {reactors} reactors)",
+            server.local_addr()
+        );
+    } else {
+        println!(
+            "pclabel-netd: listening on {} ({workers} workers, {model} model)",
+            server.local_addr()
+        );
+    }
     server.wait();
     println!("pclabel-netd: shut down");
 }

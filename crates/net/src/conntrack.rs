@@ -69,6 +69,11 @@ pub(crate) struct ConnTrack {
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
     requests: AtomicU64,
+    /// Bytes currently buffered for this connection (unconsumed read
+    /// bytes + queued unsent output). The reactor keeps this bounded by
+    /// the write watermark plus one read chunk; `/debug/conns` exposes
+    /// it so tests can assert streaming stays O(watermark), not O(body).
+    buffered: AtomicU64,
 }
 
 impl ConnTrack {
@@ -108,6 +113,11 @@ impl ConnTrack {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.touch();
     }
+
+    /// Records the bytes currently buffered for this connection.
+    pub(crate) fn set_buffered(&self, n: u64) {
+        self.buffered.store(n, Ordering::Relaxed);
+    }
 }
 
 /// One row of a [`ConnTable::snapshot`].
@@ -122,6 +132,7 @@ pub(crate) struct ConnRow {
     pub(crate) bytes_in: u64,
     pub(crate) bytes_out: u64,
     pub(crate) requests: u64,
+    pub(crate) buffered: u64,
 }
 
 /// The process-wide table of live connections.
@@ -146,6 +157,7 @@ impl ConnTable {
             bytes_in: AtomicU64::new(0),
             bytes_out: AtomicU64::new(0),
             requests: AtomicU64::new(0),
+            buffered: AtomicU64::new(0),
         });
         self.conns
             .lock()
@@ -186,6 +198,7 @@ impl ConnTable {
                     bytes_in: t.bytes_in.load(Ordering::Relaxed),
                     bytes_out: t.bytes_out.load(Ordering::Relaxed),
                     requests: t.requests.load(Ordering::Relaxed),
+                    buffered: t.buffered.load(Ordering::Relaxed),
                 }
             })
             .collect();
@@ -209,6 +222,7 @@ mod tests {
         a.add_in(17);
         a.add_out(40);
         a.inc_requests();
+        a.set_buffered(9);
         b.set_protocol(false);
 
         let rows = table.snapshot();
@@ -219,6 +233,7 @@ mod tests {
         assert_eq!(rows[0].bytes_in, 17);
         assert_eq!(rows[0].bytes_out, 40);
         assert_eq!(rows[0].requests, 1);
+        assert_eq!(rows[0].buffered, 9);
         assert_eq!(rows[1].protocol, "http");
         assert_eq!(rows[1].state, ConnState::Sniffing);
 

@@ -31,10 +31,12 @@
 //! (unknown path, bad framing, oversized body) use conventional 4xx
 //! codes with a JSON error body of the same shape.
 //!
-//! `Content-Length` is required on bodied requests (no chunked
-//! transfer-coding) and connections are keep-alive per HTTP/1.1
-//! defaults: `Connection: close` — or any transport error — ends the
-//! connection.
+//! Bodied requests are framed by `Content-Length` or by
+//! `Transfer-Encoding: chunked` (decoded incrementally by
+//! [`ChunkedDecoder`]; chunk extensions are ignored and trailers
+//! tolerated); other transfer-codings are rejected with 501.
+//! Connections are keep-alive per HTTP/1.1 defaults: `Connection:
+//! close` — or any transport error — ends the connection.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -113,17 +115,168 @@ pub(crate) fn parse_head(head: &str) -> Result<Request, (u16, &'static str)> {
     })
 }
 
-/// The declared body length of `request`, rejecting transfer-codings
-/// this adapter does not speak.
-pub(crate) fn body_length(request: &Request) -> Result<usize, (u16, &'static str)> {
-    if request.header("transfer-encoding").is_some() {
+/// How a request's body is delimited on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BodyFraming {
+    /// A fixed `Content-Length` (0 when the header is absent).
+    Length(usize),
+    /// `Transfer-Encoding: chunked`, decoded incrementally by
+    /// [`ChunkedDecoder`].
+    Chunked,
+}
+
+/// The declared body framing of `request`, rejecting transfer-codings
+/// this adapter does not speak (anything other than a sole `chunked`).
+pub(crate) fn body_framing(request: &Request) -> Result<BodyFraming, (u16, &'static str)> {
+    if let Some(te) = request.header("transfer-encoding") {
+        if te.trim().eq_ignore_ascii_case("chunked") {
+            return Ok(BodyFraming::Chunked);
+        }
         return Err((501, "transfer-encoding is not supported"));
     }
     match request.header("content-length") {
-        None => Ok(0),
+        None => Ok(BodyFraming::Length(0)),
         Some(v) => v
             .parse::<usize>()
+            .map(BodyFraming::Length)
             .map_err(|_| (400, "invalid Content-Length")),
+    }
+}
+
+/// Longest tolerated chunk-size line (hex size + optional extensions).
+const MAX_CHUNK_LINE: usize = 1024;
+
+enum ChunkState {
+    /// Expecting a `SIZE[;ext]\r\n` line.
+    SizeLine,
+    /// Inside a chunk's data, `remaining` bytes still owed.
+    Data {
+        remaining: usize,
+    },
+    /// Expecting the `\r\n` that terminates a chunk's data.
+    DataCrlf,
+    /// After the `0\r\n` chunk: tolerate trailer lines until a blank
+    /// line; `seen` caps their total size.
+    Trailers {
+        seen: usize,
+    },
+    Done,
+}
+
+/// Incremental `Transfer-Encoding: chunked` decoder shared by both
+/// connection models. Feed it raw bytes as they arrive; it consumes
+/// what it can from the front of the buffer and accumulates the decoded
+/// body, so the raw buffer never holds more than one partial chunk's
+/// worth of unconsumed bytes.
+pub(crate) struct ChunkedDecoder {
+    state: ChunkState,
+    body: Vec<u8>,
+    /// Decoded-body cap (the frame/body size limit); exceeding it is a
+    /// 413, reported before the offending chunk's data is buffered.
+    max: usize,
+}
+
+impl ChunkedDecoder {
+    pub(crate) fn new(max: usize) -> ChunkedDecoder {
+        ChunkedDecoder {
+            state: ChunkState::SizeLine,
+            body: Vec::new(),
+            max,
+        }
+    }
+
+    /// The decoded body, once [`ChunkedDecoder::decode`] returned
+    /// `Ok(true)`.
+    pub(crate) fn into_body(self) -> Vec<u8> {
+        self.body
+    }
+
+    /// Consumes as much of `buf` as possible. `Ok(true)` = the body is
+    /// complete (trailers included); `Ok(false)` = more bytes needed;
+    /// `Err` = protocol error or body-too-large, `(status, message)`
+    /// shaped like every other transport error. Errors are terminal —
+    /// with an indeterminate stream position the connection must close.
+    pub(crate) fn decode(&mut self, buf: &mut Vec<u8>) -> Result<bool, (u16, &'static str)> {
+        let mut pos = 0usize;
+        let result = loop {
+            match self.state {
+                ChunkState::Done => break Ok(true),
+                ChunkState::SizeLine => {
+                    let Some(rel) = find_subsequence(&buf[pos..], b"\r\n") else {
+                        if buf.len() - pos > MAX_CHUNK_LINE {
+                            break Err((400, "chunk size line too long"));
+                        }
+                        break Ok(false);
+                    };
+                    if rel > MAX_CHUNK_LINE {
+                        break Err((400, "chunk size line too long"));
+                    }
+                    let line = &buf[pos..pos + rel];
+                    // Chunk extensions (`;name=value`) are ignored.
+                    let size_part = line.split(|&b| b == b';').next().unwrap_or(&[]);
+                    let size = std::str::from_utf8(size_part)
+                        .ok()
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .and_then(|s| usize::from_str_radix(s, 16).ok());
+                    let Some(size) = size else {
+                        break Err((400, "invalid chunk size"));
+                    };
+                    pos += rel + 2;
+                    if size == 0 {
+                        self.state = ChunkState::Trailers { seen: 0 };
+                    } else if self.body.len().saturating_add(size) > self.max {
+                        break Err((413, "request body exceeds the frame size limit"));
+                    } else {
+                        self.state = ChunkState::Data { remaining: size };
+                    }
+                }
+                ChunkState::Data { remaining } => {
+                    let take = (buf.len() - pos).min(remaining);
+                    self.body.extend_from_slice(&buf[pos..pos + take]);
+                    pos += take;
+                    if take == remaining {
+                        self.state = ChunkState::DataCrlf;
+                    } else {
+                        self.state = ChunkState::Data {
+                            remaining: remaining - take,
+                        };
+                        break Ok(false);
+                    }
+                }
+                ChunkState::DataCrlf => {
+                    if buf.len() - pos < 2 {
+                        break Ok(false);
+                    }
+                    if &buf[pos..pos + 2] != b"\r\n" {
+                        break Err((400, "chunk data is not CRLF-terminated"));
+                    }
+                    pos += 2;
+                    self.state = ChunkState::SizeLine;
+                }
+                ChunkState::Trailers { seen } => {
+                    let Some(rel) = find_subsequence(&buf[pos..], b"\r\n") else {
+                        if seen + (buf.len() - pos) > MAX_HEAD_BYTES {
+                            break Err((431, "trailers too large"));
+                        }
+                        break Ok(false);
+                    };
+                    pos += rel + 2;
+                    if rel == 0 {
+                        self.state = ChunkState::Done;
+                        break Ok(true);
+                    }
+                    let seen = seen + rel + 2;
+                    if seen > MAX_HEAD_BYTES {
+                        break Err((431, "trailers too large"));
+                    }
+                    // Trailer fields are tolerated and discarded.
+                    self.state = ChunkState::Trailers { seen };
+                }
+            }
+        };
+        buf.drain(..pos);
+        result
     }
 }
 
@@ -202,8 +355,9 @@ impl Conn<'_> {
             Ok(request) => request,
             Err((status, message)) => return ReadRequest::Bad(status, message),
         };
-        let content_length = match body_length(&request) {
-            Ok(n) => n,
+        let content_length = match body_framing(&request) {
+            Ok(BodyFraming::Length(n)) => n,
+            Ok(BodyFraming::Chunked) => return self.read_chunked_body(shared, request),
             Err((status, message)) => return ReadRequest::Bad(status, message),
         };
         if content_length > shared.config.max_frame as usize {
@@ -234,6 +388,38 @@ impl Conn<'_> {
             }
         }
         request.body = self.carry.drain(..content_length).collect();
+        ReadRequest::Ok(request)
+    }
+
+    /// Reads a `Transfer-Encoding: chunked` body through the shared
+    /// incremental decoder (the same one the reactor state machine
+    /// uses, keeping error responses byte-identical across models).
+    fn read_chunked_body(&mut self, shared: &Shared, mut request: Request) -> ReadRequest {
+        // Chunked senders with `Expect: 100-continue` hold the body
+        // back until the interim response; with no declared length
+        // there is no "already buffered" shortcut, so always answer.
+        if request.expects_continue() {
+            let _ = self.stream.write_all(CONTINUE);
+            let _ = self.stream.flush();
+        }
+        let mut decoder = ChunkedDecoder::new(shared.config.max_frame as usize);
+        loop {
+            match decoder.decode(&mut self.carry) {
+                Ok(true) => break,
+                Ok(false) => match self.fill(shared, true) {
+                    Ok(true) => {}
+                    Ok(false) | Err(_) => return ReadRequest::Bad(400, "truncated request body"),
+                },
+                // Terminal: the stream position is indeterminate (no
+                // way to drain "the rest"), so the connection closes
+                // right after the error response.
+                Err((status, message)) => {
+                    self.carry.clear();
+                    return ReadRequest::Bad(status, message);
+                }
+            }
+        }
+        request.body = decoder.into_body();
         ReadRequest::Ok(request)
     }
 }
@@ -612,6 +798,146 @@ mod tests {
         assert!(inject_op("{\"op\":\"drop\"}", "stats").is_err());
         assert!(inject_op("[1,2]", "stats").is_err());
         assert!(inject_op("{broken", "stats").is_err());
+    }
+
+    /// Feeds `wire` to a decoder in `step`-byte slices, asserting the
+    /// decoded body.
+    fn decode_in_steps(
+        wire: &[u8],
+        step: usize,
+        max: usize,
+    ) -> Result<Vec<u8>, (u16, &'static str)> {
+        let mut decoder = ChunkedDecoder::new(max);
+        let mut buf = Vec::new();
+        for piece in wire.chunks(step) {
+            buf.extend_from_slice(piece);
+            if decoder.decode(&mut buf)? {
+                assert!(buf.is_empty(), "decoder left bytes after completion");
+                return Ok(decoder.into_body());
+            }
+        }
+        panic!("decoder never completed on {wire:?}");
+    }
+
+    #[test]
+    fn chunked_decoder_handles_incremental_feeds() {
+        let wire = b"4\r\nWiki\r\n5\r\npedia\r\nE\r\n in\r\n\r\nchunks.\r\n0\r\n\r\n";
+        // Whole-buffer and every pathological split down to 1 byte.
+        for step in [wire.len(), 7, 3, 2, 1] {
+            assert_eq!(
+                decode_in_steps(wire, step, 1 << 20).unwrap(),
+                b"Wikipedia in\r\n\r\nchunks.",
+                "step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_decoder_ignores_extensions_and_tolerates_trailers() {
+        let wire = b"5;ext=\"a;b\"\r\nhello\r\n0;last\r\nTrailer-One: x\r\nTrailer-Two: y\r\n\r\n";
+        for step in [wire.len(), 1] {
+            assert_eq!(decode_in_steps(wire, step, 1 << 20).unwrap(), b"hello");
+        }
+        // Uppercase hex and a sole-chunked TE header survive trimming.
+        assert_eq!(
+            decode_in_steps(b"A\r\n0123456789\r\n0\r\n\r\n", 1, 64)
+                .unwrap()
+                .len(),
+            10
+        );
+    }
+
+    #[test]
+    fn chunked_decoder_leaves_pipelined_bytes_alone() {
+        let mut decoder = ChunkedDecoder::new(64);
+        let mut buf = b"3\r\nabc\r\n0\r\n\r\nGET /next".to_vec();
+        assert!(decoder.decode(&mut buf).unwrap());
+        assert_eq!(decoder.into_body(), b"abc");
+        assert_eq!(buf, b"GET /next");
+    }
+
+    #[test]
+    fn chunked_decoder_rejects_oversize_and_garbage() {
+        // A chunk whose declared size alone busts the cap fails fast,
+        // before any of its data arrives.
+        let mut decoder = ChunkedDecoder::new(8);
+        let mut buf = b"FF\r\n".to_vec();
+        assert_eq!(
+            decoder.decode(&mut buf).unwrap_err(),
+            (413, "request body exceeds the frame size limit")
+        );
+        // Accumulation across chunks is capped too.
+        let mut decoder = ChunkedDecoder::new(8);
+        let mut buf = b"6\r\nsixsix\r\n6\r\nsixsix\r\n0\r\n\r\n".to_vec();
+        assert_eq!(decoder.decode(&mut buf).unwrap_err().0, 413);
+        // Non-hex sizes, missing CRLF after data, and runaway size
+        // lines are 400s.
+        let mut decoder = ChunkedDecoder::new(64);
+        assert_eq!(
+            decoder.decode(&mut b"zz\r\n".to_vec()).unwrap_err(),
+            (400, "invalid chunk size")
+        );
+        let mut decoder = ChunkedDecoder::new(64);
+        assert_eq!(
+            decoder.decode(&mut b"3\r\nabcXY".to_vec()).unwrap_err(),
+            (400, "chunk data is not CRLF-terminated")
+        );
+        let mut decoder = ChunkedDecoder::new(64);
+        let mut runaway = vec![b'1'; MAX_CHUNK_LINE + 2];
+        assert_eq!(
+            decoder.decode(&mut runaway).unwrap_err(),
+            (400, "chunk size line too long")
+        );
+    }
+
+    #[test]
+    fn chunked_decoder_caps_trailers() {
+        let mut decoder = ChunkedDecoder::new(64);
+        let mut buf = b"0\r\n".to_vec();
+        for _ in 0..MAX_HEAD_BYTES / 8 + 8 {
+            buf.extend_from_slice(b"T: vvv\r\n");
+        }
+        assert_eq!(
+            decoder.decode(&mut buf).unwrap_err(),
+            (431, "trailers too large")
+        );
+    }
+
+    #[test]
+    fn body_framing_recognises_chunked_and_rejects_others() {
+        let framed = |headers: &[(&str, &str)]| {
+            body_framing(&Request {
+                method: "POST".into(),
+                target: "/".into(),
+                version: "HTTP/1.1".into(),
+                headers: headers
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+                body: Vec::new(),
+            })
+        };
+        assert_eq!(framed(&[]), Ok(BodyFraming::Length(0)));
+        assert_eq!(
+            framed(&[("content-length", "12")]),
+            Ok(BodyFraming::Length(12))
+        );
+        assert_eq!(
+            framed(&[("transfer-encoding", "chunked")]),
+            Ok(BodyFraming::Chunked)
+        );
+        assert_eq!(
+            framed(&[("transfer-encoding", " Chunked ")]),
+            Ok(BodyFraming::Chunked)
+        );
+        assert_eq!(
+            framed(&[("transfer-encoding", "gzip, chunked")]),
+            Err((501, "transfer-encoding is not supported"))
+        );
+        assert_eq!(
+            framed(&[("content-length", "nope")]),
+            Err((400, "invalid Content-Length"))
+        );
     }
 
     #[test]

@@ -6,17 +6,24 @@
 //! transport alike, and pool vs reactor runs expose identical series.
 //! When the dispatcher's telemetry is disabled every update below is a
 //! single predictable branch (see `pclabel-telemetry`).
+//!
+//! With the multi-reactor plane, the unlabeled gauges/counters stay
+//! process-wide totals (updated by inc/dec from whichever loop touched
+//! the connection, so they always sum to the truth), while each event
+//! loop additionally registers a `loop="N"`-labeled slice via
+//! [`LoopMetrics::register`]: per-loop open connections and the
+//! per-loop busy-time histogram.
 
 use std::sync::Arc;
 
 use pclabel_telemetry::{Counter, Gauge, Histogram, Registry};
 
-/// Handles shared by the acceptor, the reactor loop and pool workers.
+/// Handles shared by the acceptor, every reactor loop and pool workers.
 pub(crate) struct NetMetrics {
-    /// Currently open client connections (reactor: owned state
-    /// machines; pool: connections occupying a worker).
+    /// Currently open client connections across all loops (reactor:
+    /// owned state machines; pool: connections occupying a worker).
     pub(crate) open_connections: Arc<Gauge>,
-    /// Requests parked in the reactor because the pool queue was full.
+    /// Requests parked because the pool queue was full (all loops).
     pub(crate) parked_jobs: Arc<Gauge>,
     /// Connections accepted since startup.
     pub(crate) accepts: Arc<Counter>,
@@ -24,9 +31,8 @@ pub(crate) struct NetMetrics {
     pub(crate) evictions: Arc<Counter>,
     /// Requests refused with `overloaded` (HTTP 429 / framed error).
     pub(crate) overloaded: Arc<Counter>,
-    /// Reactor loop busy time between two poll waits: how long a poll
-    /// wakeup keeps the one shared thread before it can sleep again.
-    pub(crate) loop_busy: Arc<Histogram>,
+    /// Event loops serving this listener (0 in the pool model).
+    pub(crate) reactors: Arc<Gauge>,
 }
 
 impl NetMetrics {
@@ -57,10 +63,40 @@ impl NetMetrics {
                 "Requests refused for overload (HTTP 429 or framed error).",
                 &[],
             ),
-            loop_busy: registry.histogram(
+            reactors: registry.gauge(
+                "pclabel_net_reactors",
+                "Reactor event loops serving this listener (0 = pool model).",
+                &[],
+            ),
+        }
+    }
+}
+
+/// Per-event-loop telemetry slice, labeled `loop="N"`. Registered by
+/// each reactor loop at spawn; the unlabeled totals in [`NetMetrics`]
+/// remain the authoritative sums.
+pub(crate) struct LoopMetrics {
+    /// Connections currently owned by this loop.
+    pub(crate) open_connections: Arc<Gauge>,
+    /// This loop's busy time between two poll waits: how long a wakeup
+    /// keeps the loop thread before it can sleep again.
+    pub(crate) busy: Arc<Histogram>,
+}
+
+impl LoopMetrics {
+    pub(crate) fn register(registry: &Registry, loop_id: usize) -> LoopMetrics {
+        let label = loop_id.to_string();
+        let labels = [("loop", label.as_str())];
+        LoopMetrics {
+            open_connections: registry.gauge(
+                "pclabel_net_loop_open_connections",
+                "Connections currently owned by one reactor event loop.",
+                &labels,
+            ),
+            busy: registry.histogram(
                 "pclabel_net_loop_busy_seconds",
                 "Reactor poll-loop busy time between two waits.",
-                &[],
+                &labels,
             ),
         }
     }

@@ -149,7 +149,11 @@ impl QueueDepthProbe {
 /// queue.
 pub struct ThreadPool {
     queue: Arc<BoundedQueue<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    // Behind a mutex so `shutdown` works through a shared reference:
+    // several reactor loops share one pool via `Arc`, and whichever
+    // loop exits last gets to join the workers.
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    count: usize,
 }
 
 impl ThreadPool {
@@ -157,7 +161,7 @@ impl ThreadPool {
     /// `queue_capacity` pending jobs (min 1).
     pub fn new(workers: usize, queue_capacity: usize) -> Self {
         let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(queue_capacity));
-        let workers: Vec<JoinHandle<()>> = (0..workers.max(1))
+        let handles: Vec<JoinHandle<()>> = (0..workers.max(1))
             .map(|i| {
                 let queue = Arc::clone(&queue);
                 std::thread::Builder::new()
@@ -170,12 +174,16 @@ impl ThreadPool {
                     .expect("spawn pool worker")
             })
             .collect();
-        ThreadPool { queue, workers }
+        ThreadPool {
+            queue,
+            count: handles.len(),
+            workers: Mutex::new(handles),
+        }
     }
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.count
     }
 
     /// A [`QueueDepthProbe`] onto this pool's queue, for queue-depth
@@ -206,10 +214,13 @@ impl ThreadPool {
     }
 
     /// Closes the queue, lets workers drain the remaining jobs, and
-    /// joins them.
-    pub fn shutdown(mut self) {
+    /// joins them. Safe to call from several owners of a shared pool:
+    /// the first caller joins, later calls find nothing left to do.
+    pub fn shutdown(&self) {
         self.queue.close();
-        for handle in self.workers.drain(..) {
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.workers.lock().expect("pool workers"));
+        for handle in handles {
             let _ = handle.join();
         }
     }

@@ -1,6 +1,6 @@
-//! The event-driven connection model: one reactor thread owns every
-//! connection as a non-blocking state machine and multiplexes them over
-//! [`crate::sys::Poller`] (epoll on Linux, `poll(2)` elsewhere).
+//! The event-driven connection model: N reactor threads each own a
+//! slice of the connections as non-blocking state machines multiplexed
+//! over [`crate::sys::Poller`] (epoll on Linux, `poll(2)` elsewhere).
 //!
 //! ## Why
 //!
@@ -9,45 +9,66 @@
 //! server is doing no work. The reactor pins workers per *request*
 //! instead: connections cost a file descriptor and a small buffer while
 //! idle, and only occupy a pool worker for the duration of one dispatch.
-//! N idle connections no longer block the N+1st client.
+//! N idle connections no longer block the N+1st client. One loop can
+//! still bottleneck on parse/flush CPU, so
+//! [`ServerConfig::reactors`](crate::server::ServerConfig) scales the
+//! plane to N loops with private connection tables: on Linux (epoll
+//! backend) every loop accepts from its own `SO_REUSEPORT` listener and
+//! the kernel balances accepts; everywhere else loop 0 accepts and
+//! hands fds to its peers round-robin through per-loop [`Inbox`]es.
+//! All loops feed the one shared [`ThreadPool`], so dispatch
+//! backpressure stays a process-wide property.
 //!
 //! ## Anatomy
 //!
 //! * [`Machine`] — the incremental protocol state machine: it consumes
 //!   raw bytes (in whatever slices the socket delivers them) and emits
-//!   complete framed or HTTP requests, reusing the exact parsing,
+//!   complete framed or HTTP requests — including incrementally decoded
+//!   `Transfer-Encoding: chunked` bodies — reusing the exact parsing,
 //!   routing and serialisation helpers of the blocking adapters so
 //!   responses stay byte-identical between the two connection models.
-//! * The reactor loop — accepts, reads, and writes without ever
-//!   blocking; fully-read requests are handed to the shared
-//!   [`ThreadPool`] (dispatch can be arbitrarily slow — it must not
-//!   stall the loop), and finished responses come back through a
-//!   completion queue plus a [`Waker`] pipe.
+//! * [`WriteQueue`] — responses are queued as byte *segments* and
+//!   flushed with one `writev` per readiness (up to
+//!   [`crate::sys::MAX_IOVECS`] segments a call), so a framed response
+//!   ships its length prefix and payload without a concatenation copy.
+//!   At [`ServerConfig::write_watermark`](crate::server::ServerConfig)
+//!   queued bytes the loop stops *reading* from that connection until
+//!   the peer drains its responses: per-connection memory is bounded by
+//!   the watermark plus one read chunk, not by body size.
+//! * Each loop — accepts, reads, and writes without ever blocking;
+//!   fully-read requests are handed to the shared [`ThreadPool`]
+//!   (dispatch can be arbitrarily slow — it must not stall the loop),
+//!   and finished responses come back through the loop's completion
+//!   queue plus its [`Waker`] pipe.
 //! * Deadlines — each connection derives one deadline from its state
 //!   (write-stalled → `write_timeout`, mid-request → `read_timeout`,
 //!   idle → `idle_timeout`); the nearest deadline bounds the poll
 //!   timeout and expired connections are aborted (or, for idle ones,
 //!   quietly evicted).
-//! * Connection cap — beyond
-//!   [`ServerConfig::max_connections`](crate::server::ServerConfig), the
-//!   least-recently-active *idle* connection is evicted to admit the
-//!   newcomer; if every connection is mid-request, the newcomer is
-//!   refused instead (bounded memory beats unbounded acceptance).
+//! * Connection cap —
+//!   [`ServerConfig::max_connections`](crate::server::ServerConfig) is
+//!   split evenly across the loops (remainder to loop 0); past a loop's
+//!   budget, its least-recently-active *idle* connection is evicted to
+//!   admit the newcomer; if every connection is mid-request, the
+//!   newcomer is refused instead (bounded memory beats unbounded
+//!   acceptance).
 //! * Dispatch backpressure — when the pool's bounded queue is full,
-//!   ready requests park in the reactor, but only up to
-//!   [`ServerConfig::max_parked`](crate::server::ServerConfig): past the
-//!   cap the request is answered immediately with HTTP `429` or a framed
-//!   `{"ok":false,"error":"overloaded"}` and the connection stays open,
-//!   so a worker stall bounds queued-request memory instead of growing a
-//!   `VecDeque` without limit.
-//! * Graceful shutdown — the acceptor deregisters, idle and mid-read
-//!   connections close immediately, and in-flight dispatches drain:
-//!   their responses are still written before the loop exits.
+//!   ready requests park in the owning loop, but only up to
+//!   [`ServerConfig::max_parked`](crate::server::ServerConfig) per loop:
+//!   past the cap the request is answered immediately with HTTP `429`
+//!   or a framed `{"ok":false,"error":"overloaded"}` and the connection
+//!   stays open, so a worker stall bounds queued-request memory instead
+//!   of growing a `VecDeque` without limit.
+//! * Graceful shutdown — every loop is woken, acceptors deregister,
+//!   idle and mid-read connections close immediately, and in-flight
+//!   dispatches drain: their responses are still written before the
+//!   loops exit. The last loop out shuts the shared pool down.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -55,12 +76,13 @@ use std::time::{Duration, Instant};
 use crate::conntrack::{ConnState, ConnTrack};
 use crate::frame::encode_frame;
 use crate::http::{self, find_subsequence};
+use crate::metrics::LoopMetrics;
 use crate::pool::{Job, ThreadPool, TryExecuteError};
 use crate::server::{
     is_http_prefix, overloaded_error_json, oversize_error_json, process_line, utf8_error_json,
     Shared,
 };
-use crate::sys::{Backend, Event, Interest, Poller, Waker};
+use crate::sys::{self, Backend, Event, Interest, Poller, Waker};
 
 // --- the protocol state machine --------------------------------------------
 
@@ -86,6 +108,14 @@ pub(crate) enum Oversize {
     HttpBody,
 }
 
+/// How an HTTP request's body arrives after its head.
+enum BodyPlan {
+    /// `Content-Length: n` — n raw bytes follow.
+    Length(usize),
+    /// `Transfer-Encoding: chunked` — decoded incrementally.
+    Chunked,
+}
+
 enum MState {
     /// Waiting for the 4-byte prologue: a protocol sniff on the first
     /// one, a frame length on every later one.
@@ -95,16 +125,20 @@ enum MState {
     /// Accumulating an HTTP request head (until `\r\n\r\n`); `scanned`
     /// marks how far the terminator search has already looked.
     HttpHead { scanned: usize },
-    /// Head parsed with `Expect: 100-continue` and an incomplete body:
-    /// emit the interim response once, then read the body.
-    HttpContinue {
-        head: http::Request,
-        content_length: usize,
-    },
+    /// Head parsed with `Expect: 100-continue` and the body still to
+    /// come: emit the interim response once, then read the body.
+    HttpContinue { head: http::Request, plan: BodyPlan },
     /// Reading an HTTP body of known length.
     HttpBody {
         head: http::Request,
         content_length: usize,
+    },
+    /// Decoding a chunked HTTP body incrementally: the raw buffer only
+    /// ever holds undecoded wire bytes, so an 8 MiB upload never sits
+    /// in `buf` — decoded chunks move to the decoder as they complete.
+    HttpChunked {
+        head: http::Request,
+        decoder: http::ChunkedDecoder,
     },
     /// Consuming an oversized payload so the error response is not
     /// destroyed by a connection reset (see `server::drain`).
@@ -159,6 +193,13 @@ impl Machine {
         self.buf.extend_from_slice(bytes);
     }
 
+    /// Raw bytes read off the socket but not yet consumed into a
+    /// request; feeds the per-connection buffered-bytes accounting in
+    /// `/debug/conns`.
+    pub(crate) fn raw_buffered(&self) -> usize {
+        self.buf.len()
+    }
+
     /// `true` while a request is partially read: a stalled peer should
     /// be aborted on `read_timeout`, not treated as idle.
     pub(crate) fn has_partial(&self) -> bool {
@@ -166,6 +207,7 @@ impl Machine {
             MState::FrameBody { .. }
             | MState::HttpContinue { .. }
             | MState::HttpBody { .. }
+            | MState::HttpChunked { .. }
             | MState::Drain { .. } => true,
             MState::Prologue | MState::HttpHead { .. } => !self.buf.is_empty(),
             MState::Paused | MState::Closed => false,
@@ -191,6 +233,12 @@ impl Machine {
     /// fully written (keep-alive).
     pub(crate) fn resume(&mut self) {
         debug_assert!(self.is_paused());
+        // A large Content-Length body grows `buf` to the body size;
+        // give the capacity back between requests so an idle keep-alive
+        // connection does not pin its largest-ever request forever.
+        if self.buf.capacity() > 64 * 1024 {
+            self.buf.shrink_to(16 * 1024);
+        }
         self.state = match self.protocol {
             Some(Protocol::Http) => MState::HttpHead { scanned: 0 },
             _ => MState::Prologue,
@@ -274,39 +322,65 @@ impl Machine {
                         Err((status, message)) => return Step::HttpError { status, message },
                     };
                     self.buf.drain(..pos + 4);
-                    let content_length = match http::body_length(&head) {
-                        Ok(n) => n,
+                    let framing = match http::body_framing(&head) {
+                        Ok(framing) => framing,
                         Err((status, message)) => return Step::HttpError { status, message },
                     };
-                    if content_length > self.max_frame as usize {
-                        let remaining = content_length.saturating_sub(self.buf.len()) as u64;
-                        self.buf.clear();
-                        self.state = MState::Drain {
-                            remaining,
-                            then: Oversize::HttpBody,
-                        };
-                        continue;
+                    match framing {
+                        http::BodyFraming::Chunked => {
+                            if head.expects_continue() {
+                                // A chunked body's length is unknown, so
+                                // unlike Content-Length it can never be
+                                // "already buffered": the interim
+                                // response always precedes it (matching
+                                // the blocking adapter).
+                                self.state = MState::HttpContinue {
+                                    head,
+                                    plan: BodyPlan::Chunked,
+                                };
+                                return Step::SendContinue;
+                            }
+                            self.state = MState::HttpChunked {
+                                head,
+                                decoder: http::ChunkedDecoder::new(self.max_frame as usize),
+                            };
+                        }
+                        http::BodyFraming::Length(content_length) => {
+                            if content_length > self.max_frame as usize {
+                                let remaining =
+                                    content_length.saturating_sub(self.buf.len()) as u64;
+                                self.buf.clear();
+                                self.state = MState::Drain {
+                                    remaining,
+                                    then: Oversize::HttpBody,
+                                };
+                                continue;
+                            }
+                            if head.expects_continue() && self.buf.len() < content_length {
+                                self.state = MState::HttpContinue {
+                                    head,
+                                    plan: BodyPlan::Length(content_length),
+                                };
+                                return Step::SendContinue;
+                            }
+                            self.state = MState::HttpBody {
+                                head,
+                                content_length,
+                            };
+                        }
                     }
-                    if head.expects_continue() && self.buf.len() < content_length {
-                        self.state = MState::HttpContinue {
+                }
+                MState::HttpContinue { head, plan } => {
+                    // The interim response was queued by the caller.
+                    self.state = match plan {
+                        BodyPlan::Length(content_length) => MState::HttpBody {
                             head,
                             content_length,
-                        };
-                        return Step::SendContinue;
-                    }
-                    self.state = MState::HttpBody {
-                        head,
-                        content_length,
-                    };
-                }
-                MState::HttpContinue {
-                    head,
-                    content_length,
-                } => {
-                    // The interim response was queued by the caller.
-                    self.state = MState::HttpBody {
-                        head,
-                        content_length,
+                        },
+                        BodyPlan::Chunked => MState::HttpChunked {
+                            head,
+                            decoder: http::ChunkedDecoder::new(self.max_frame as usize),
+                        },
                     };
                 }
                 MState::HttpBody {
@@ -323,6 +397,27 @@ impl Machine {
                     head.body = self.buf.drain(..content_length).collect();
                     self.state = MState::Paused;
                     return Step::HttpRequest(Box::new(head));
+                }
+                MState::HttpChunked {
+                    mut head,
+                    mut decoder,
+                } => {
+                    match decoder.decode(&mut self.buf) {
+                        Ok(true) => {
+                            head.body = decoder.into_body();
+                            self.state = MState::Paused;
+                            return Step::HttpRequest(Box::new(head));
+                        }
+                        Ok(false) => {
+                            self.state = MState::HttpChunked { head, decoder };
+                            return Step::NeedMore;
+                        }
+                        // Terminal (bad framing, oversize body, huge
+                        // trailers): the stream cannot be
+                        // re-synchronised; error response, then close —
+                        // the same bytes the blocking adapter sends.
+                        Err((status, message)) => return Step::HttpError { status, message },
+                    }
                 }
                 MState::Drain { remaining, then } => {
                     let take = (self.buf.len() as u64).min(remaining) as usize;
@@ -346,28 +441,118 @@ impl Machine {
     }
 }
 
-// --- non-blocking write helper ---------------------------------------------
+// --- the vectored write queue ----------------------------------------------
 
-/// Writes as much of `out[*pos..]` as the sink accepts right now.
-/// `Ok(true)` = fully flushed; `Ok(false)` = the sink would block
-/// (short write). Separated from the reactor so short-write handling is
-/// unit-testable with a throttled sink.
-pub(crate) fn write_pending<W: Write>(out: &[u8], pos: &mut usize, w: &mut W) -> io::Result<bool> {
-    while *pos < out.len() {
-        match w.write(&out[*pos..]) {
-            Ok(0) => {
-                return Err(io::Error::new(
-                    io::ErrorKind::WriteZero,
-                    "peer stopped accepting bytes",
-                ))
-            }
-            Ok(n) => *pos += n,
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
+/// The sink a [`WriteQueue`] flushes into — `writev` semantics (write
+/// as much of the gathered slices as fits right now). A trait so
+/// short-write and iovec-boundary handling is unit-testable without
+/// sockets.
+pub(crate) trait WritevSink {
+    fn writev(&mut self, bufs: &[&[u8]]) -> io::Result<usize>;
+}
+
+/// The real sink: `writev(2)` on the connection's socket.
+struct StreamSink<'a>(&'a TcpStream);
+
+impl WritevSink for StreamSink<'_> {
+    fn writev(&mut self, bufs: &[&[u8]]) -> io::Result<usize> {
+        sys::vectored_write(self.0.as_raw_fd(), bufs)
+    }
+}
+
+/// Pending output as a queue of byte segments, flushed with gathered
+/// writes. Responses are queued as the segments their producers already
+/// own (a framed response is its 4-byte prefix plus the payload) and
+/// stitched back together by `writev` — no concatenation copy, and a
+/// partial write never loses its position.
+pub(crate) struct WriteQueue {
+    segs: VecDeque<Vec<u8>>,
+    /// How far into `segs[0]` earlier flushes already got.
+    front_pos: usize,
+    /// Total unsent bytes across all segments.
+    queued: usize,
+}
+
+impl WriteQueue {
+    pub(crate) fn new() -> WriteQueue {
+        WriteQueue {
+            segs: VecDeque::new(),
+            front_pos: 0,
+            queued: 0,
         }
     }
-    Ok(true)
+
+    /// Queues one owned segment; empty segments are dropped.
+    pub(crate) fn push(&mut self, seg: Vec<u8>) {
+        if seg.is_empty() {
+            return;
+        }
+        self.queued += seg.len();
+        self.segs.push_back(seg);
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.queued == 0
+    }
+
+    /// Unsent bytes currently queued (the backpressure watermark input).
+    pub(crate) fn queued(&self) -> usize {
+        self.queued
+    }
+
+    /// Writes as much as the sink accepts right now, gathering up to
+    /// [`sys::MAX_IOVECS`] segments per call. Returns `(bytes_written,
+    /// fully_drained)`; `fully_drained == false` means the sink would
+    /// block (wait for writability).
+    pub(crate) fn flush<S: WritevSink>(&mut self, sink: &mut S) -> io::Result<(usize, bool)> {
+        let mut total = 0usize;
+        loop {
+            if self.queued == 0 {
+                return Ok((total, true));
+            }
+            let mut bufs: Vec<&[u8]> = Vec::with_capacity(self.segs.len().min(sys::MAX_IOVECS));
+            for (i, seg) in self.segs.iter().take(sys::MAX_IOVECS).enumerate() {
+                if i == 0 {
+                    bufs.push(&seg[self.front_pos..]);
+                } else {
+                    bufs.push(seg);
+                }
+            }
+            match sink.writev(&bufs) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "peer stopped accepting bytes",
+                    ))
+                }
+                Ok(n) => {
+                    total += n;
+                    self.advance(n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok((total, false)),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Consumes `n` written bytes off the front of the queue, freeing
+    /// fully-sent segments.
+    fn advance(&mut self, mut n: usize) {
+        debug_assert!(n <= self.queued);
+        self.queued -= n;
+        while n > 0 {
+            let front_len = self.segs[0].len() - self.front_pos;
+            if n >= front_len {
+                n -= front_len;
+                self.segs.pop_front();
+                self.front_pos = 0;
+            } else {
+                self.front_pos += n;
+                n = 0;
+            }
+        }
+    }
 }
 
 // --- the reactor ------------------------------------------------------------
@@ -380,14 +565,17 @@ const FIRST_CONN_TOKEN: u64 = 2;
 /// (which should never happen) degrades to 1 s of latency, not a hang.
 const MAX_POLL: Duration = Duration::from_secs(1);
 
-/// A finished dispatch travelling from a pool worker back to the loop.
+/// A finished dispatch travelling from a pool worker back to its loop.
+/// The response rides as the segments the worker produced (prefix +
+/// payload for framed; one segment for HTTP) and is reassembled by the
+/// loop's `writev`.
 struct Completion {
     token: u64,
-    bytes: Vec<u8>,
+    segs: Vec<Vec<u8>>,
     close: bool,
 }
 
-/// Worker-side half of the completion channel.
+/// Worker-side half of one loop's completion channel.
 struct DispatchQueue {
     completions: Mutex<Vec<Completion>>,
     waker: Arc<Waker>,
@@ -411,12 +599,38 @@ impl DispatchQueue {
     }
 }
 
+/// Accepted sockets in transit from loop 0 to a peer loop (the
+/// fd-handoff fallback where `SO_REUSEPORT` is unavailable: poll
+/// backend, non-Linux, or a bind that refused the group).
+struct Inbox {
+    streams: Mutex<Vec<(TcpStream, SocketAddr)>>,
+    /// The owning loop's waker: a handoff must interrupt its poll.
+    waker: Arc<Waker>,
+}
+
+impl Inbox {
+    fn push(&self, stream: TcpStream, peer: SocketAddr) {
+        self.streams
+            .lock()
+            .expect("inbox lock")
+            .push((stream, peer));
+        self.waker.wake();
+    }
+
+    fn take(&self) -> Vec<(TcpStream, SocketAddr)> {
+        std::mem::take(&mut *self.streams.lock().expect("inbox lock"))
+    }
+
+    fn is_empty(&self) -> bool {
+        self.streams.lock().expect("inbox lock").is_empty()
+    }
+}
+
 /// One owned connection.
 struct Conn {
     stream: TcpStream,
     machine: Machine,
-    out: Vec<u8>,
-    out_pos: usize,
+    out: WriteQueue,
     close_after_write: bool,
     /// A request is at a pool worker; reads pause until its response.
     dispatching: bool,
@@ -429,15 +643,17 @@ struct Conn {
 
 impl Conn {
     fn has_pending_write(&self) -> bool {
-        self.out_pos < self.out.len()
+        !self.out.is_empty()
     }
 
-    /// Mirrors this connection's coarse state (and sniffed protocol)
-    /// into its conntrack entry for `/debug/conns`.
+    /// Mirrors this connection's coarse state (sniffed protocol and
+    /// buffered-byte count) into its conntrack entry for `/debug/conns`.
     fn mirror(&self) {
         if let Some(protocol) = self.machine.protocol {
             self.track.set_protocol(protocol == Protocol::Framed);
         }
+        self.track
+            .set_buffered((self.machine.raw_buffered() + self.out.queued()) as u64);
         let state = if self.dispatching {
             ConnState::Dispatching
         } else if self.has_pending_write() {
@@ -457,10 +673,15 @@ impl Conn {
         !self.dispatching && !self.has_pending_write() && !self.machine.has_partial()
     }
 
-    /// The readiness this connection currently needs.
-    fn wanted_interest(&self) -> Interest {
+    /// The readiness this connection currently needs. Read interest
+    /// drops while a dispatch is in flight, while closing, and — the
+    /// backpressure half — while queued output sits at or above the
+    /// write watermark (a peer that is not draining responses must not
+    /// grow our memory); level-triggered polling re-reports buffered
+    /// input the moment interest returns.
+    fn wanted_interest(&self, watermark: usize) -> Interest {
         Interest {
-            read: !self.dispatching && !self.close_after_write,
+            read: !self.dispatching && !self.close_after_write && self.out.queued() < watermark,
             write: self.has_pending_write(),
         }
     }
@@ -483,59 +704,140 @@ impl Conn {
         }
     }
 
-    fn queue_write(&mut self, bytes: &[u8]) {
-        self.out.extend_from_slice(bytes);
+    fn queue_write(&mut self, bytes: Vec<u8>) {
+        self.out.push(bytes);
     }
 }
 
 struct Reactor {
     shared: Arc<Shared>,
+    loop_id: usize,
     poller: Poller,
-    listener: TcpListener,
+    /// This loop's own listener (reuseport: every loop; handoff: loop 0
+    /// only — its peers accept through their inbox instead).
+    listener: Option<TcpListener>,
     waker: Arc<Waker>,
-    pool: ThreadPool,
+    pool: Arc<ThreadPool>,
+    /// Loops still running; the last one out shuts the pool down.
+    live_loops: Arc<AtomicUsize>,
     dispatch: Arc<DispatchQueue>,
+    /// Handoff mode, loops ≥ 1: sockets loop 0 accepted for us.
+    inbox: Option<Arc<Inbox>>,
+    /// Handoff mode, loop 0: the peers' inboxes, fed round-robin.
+    peers: Vec<Arc<Inbox>>,
+    /// Round-robin cursor over `[self, peers...]`.
+    rr: usize,
     /// Jobs the bounded pool queue rejected; retried on completions.
     parked_jobs: VecDeque<Job>,
+    /// This loop's last contribution to the parked-jobs gauge (the
+    /// gauge is a cross-loop sum, so updates must be deltas).
+    noted_parked: usize,
     conns: HashMap<u64, Conn>,
     next_token: u64,
+    /// This loop's slice of `max_connections`.
+    budget: usize,
     accepting: bool,
+    loop_metrics: LoopMetrics,
 }
 
-/// Spawns the reactor thread. The listener must already be bound and
-/// non-blocking.
-pub(crate) fn spawn(shared: Arc<Shared>, listener: TcpListener) -> io::Result<JoinHandle<()>> {
+/// Spawns the reactor loops. `listeners` is either one listener (shared
+/// via fd handoff) or one pre-bound `SO_REUSEPORT` listener per loop;
+/// all must already be non-blocking.
+pub(crate) fn spawn(
+    shared: Arc<Shared>,
+    listeners: Vec<TcpListener>,
+) -> io::Result<Vec<JoinHandle<()>>> {
+    let n = shared.config.reactors.max(1);
+    let pool = Arc::new(ThreadPool::new(
+        shared.config.workers,
+        shared.config.queue_capacity,
+    ));
+    shared.set_pool_depth(pool.depth_probe());
+    let live_loops = Arc::new(AtomicUsize::new(n));
+    let max_conns = shared.config.max_connections.max(1);
+
+    // Every loop gets a waker up front so `trigger_shutdown` can
+    // interrupt all of them, and so loop 0 can poke a peer's inbox.
+    let mut wakers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let waker = Arc::new(Waker::new()?);
+        shared.add_waker(Arc::clone(&waker));
+        wakers.push(waker);
+    }
+    let handoff = listeners.len() < n;
+    let inboxes: Vec<Arc<Inbox>> = if handoff {
+        (1..n)
+            .map(|i| {
+                Arc::new(Inbox {
+                    streams: Mutex::new(Vec::new()),
+                    waker: Arc::clone(&wakers[i]),
+                })
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     let backend = if shared.config.force_poll_backend {
         Backend::Poll
     } else {
         Backend::Auto
     };
-    let mut poller = Poller::with_backend(backend)?;
-    let waker = Arc::new(Waker::new()?);
-    shared.set_waker(Arc::clone(&waker));
-    poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
-    poller.register(waker.read_fd(), WAKER_TOKEN, Interest::READ)?;
-    let pool = ThreadPool::new(shared.config.workers, shared.config.queue_capacity);
-    shared.set_pool_depth(pool.depth_probe());
-    let dispatch = Arc::new(DispatchQueue {
-        completions: Mutex::new(Vec::new()),
-        waker: Arc::clone(&waker),
-    });
-    let reactor = Reactor {
-        shared,
-        poller,
-        listener,
-        waker,
-        pool,
-        dispatch,
-        parked_jobs: VecDeque::new(),
-        conns: HashMap::new(),
-        next_token: FIRST_CONN_TOKEN,
-        accepting: true,
-    };
-    std::thread::Builder::new()
-        .name("pclabel-net-reactor".to_string())
-        .spawn(move || reactor.run())
+    let mut listeners = listeners.into_iter();
+    let mut reactors = Vec::with_capacity(n);
+    for (loop_id, waker) in wakers.into_iter().enumerate() {
+        let mut poller = Poller::with_backend(backend)?;
+        let listener = listeners.next();
+        if let Some(listener) = &listener {
+            poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
+        }
+        poller.register(waker.read_fd(), WAKER_TOKEN, Interest::READ)?;
+        let dispatch = Arc::new(DispatchQueue {
+            completions: Mutex::new(Vec::new()),
+            waker: Arc::clone(&waker),
+        });
+        // Split the connection cap evenly; loop 0 takes the remainder.
+        let budget = (max_conns / n + if loop_id == 0 { max_conns % n } else { 0 }).max(1);
+        let loop_metrics = LoopMetrics::register(shared.dispatcher.telemetry().registry(), loop_id);
+        let accepting = listener.is_some();
+        reactors.push(Reactor {
+            shared: Arc::clone(&shared),
+            loop_id,
+            poller,
+            listener,
+            waker,
+            pool: Arc::clone(&pool),
+            live_loops: Arc::clone(&live_loops),
+            dispatch,
+            inbox: if handoff && loop_id > 0 {
+                Some(Arc::clone(&inboxes[loop_id - 1]))
+            } else {
+                None
+            },
+            peers: if handoff && loop_id == 0 {
+                inboxes.clone()
+            } else {
+                Vec::new()
+            },
+            rr: 0,
+            parked_jobs: VecDeque::new(),
+            noted_parked: 0,
+            conns: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            budget,
+            accepting,
+            loop_metrics,
+        });
+    }
+    let mut handles = Vec::with_capacity(n);
+    for reactor in reactors {
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("pclabel-net-reactor-{}", reactor.loop_id))
+                .spawn(move || reactor.run())?,
+        );
+    }
+    Ok(handles)
 }
 
 impl Reactor {
@@ -543,6 +845,7 @@ impl Reactor {
         let mut events: Vec<Event> = Vec::new();
         let mut busy_since = Instant::now();
         loop {
+            self.process_inbox();
             self.process_completions();
             self.expire_deadlines();
             if self.shared.shutting_down() {
@@ -552,11 +855,10 @@ impl Reactor {
                 }
             }
             let timeout = self.next_timeout();
-            // How long this wakeup kept the one shared thread busy — the
-            // latency every other ready connection waited through.
-            self.shared
-                .metrics
-                .loop_busy
+            // How long this wakeup kept the loop thread busy — the
+            // latency every other ready connection on it waited through.
+            self.loop_metrics
+                .busy
                 .observe(busy_since.elapsed().as_secs_f64());
             if self.poller.wait(&mut events, Some(timeout)).is_err() {
                 break; // fatal poller failure: drop everything
@@ -573,15 +875,21 @@ impl Reactor {
                 }
             }
         }
-        // Workers may still be running dispatches for connections that
-        // are already gone; let them finish cleanly.
-        self.pool.shutdown();
+        // The last loop out shuts the shared pool down; workers may
+        // still be running dispatches for connections that are already
+        // gone, and they finish cleanly.
+        if self.live_loops.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.pool.shutdown();
+        }
     }
 
     /// No work can ever arrive again once shutdown has shed idle
-    /// connections and the in-flight pipeline is empty.
+    /// connections and this loop's in-flight pipeline is empty.
     fn drained(&self) -> bool {
-        self.conns.is_empty() && self.parked_jobs.is_empty() && self.dispatch.is_empty()
+        self.conns.is_empty()
+            && self.parked_jobs.is_empty()
+            && self.dispatch.is_empty()
+            && self.inbox.as_ref().is_none_or(|inbox| inbox.is_empty())
     }
 
     /// The nearest connection deadline, clamped to [0, MAX_POLL].
@@ -604,17 +912,43 @@ impl Reactor {
 
     // --- accepting ---------------------------------------------------------
 
+    /// Adopts sockets loop 0 accepted on this loop's behalf (handoff
+    /// mode only).
+    fn process_inbox(&mut self) {
+        let handed = match &self.inbox {
+            Some(inbox) => inbox.take(),
+            None => return,
+        };
+        for (stream, peer) in handed {
+            self.admit(stream, peer);
+        }
+    }
+
     fn accept_ready(&mut self) {
         if !self.accepting {
             return;
         }
         loop {
-            match self.listener.accept() {
-                Ok((stream, _)) => {
+            let accepted = match &self.listener {
+                Some(listener) => sys::accept_nonblocking(listener),
+                None => return,
+            };
+            match accepted {
+                Ok(Some((stream, peer))) => {
                     self.shared.metrics.accepts.inc();
-                    self.admit(stream);
+                    // Reuseport mode: `peers` is empty and every socket
+                    // is ours. Handoff mode: deal round-robin across
+                    // [self, peers...] so the fleet stays balanced.
+                    let total = self.peers.len() + 1;
+                    let target = self.rr % total;
+                    self.rr = self.rr.wrapping_add(1);
+                    if target == 0 {
+                        self.admit(stream, peer);
+                    } else {
+                        self.peers[target - 1].push(stream, peer);
+                    }
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Ok(None) => break,
                 // Persistent accept failure (EMFILE, aborted handshake):
                 // the listener stays level-triggered-readable, so a bare
                 // break would re-poll instantly and livelock the loop at
@@ -629,11 +963,11 @@ impl Reactor {
         }
     }
 
-    fn admit(&mut self, stream: TcpStream) {
+    fn admit(&mut self, stream: TcpStream, peer: SocketAddr) {
         if self.shared.shutting_down() {
             return; // drop: no new work during drain
         }
-        if self.conns.len() >= self.shared.config.max_connections.max(1) {
+        if self.conns.len() >= self.budget {
             // Evict the least-recently-active idle connection; if every
             // connection is mid-request, refuse the newcomer instead.
             let lru = self
@@ -650,26 +984,20 @@ impl Reactor {
                 None => return,
             }
         }
-        if stream.set_nonblocking(true).is_err() {
-            return;
-        }
+        // `accept4` (or the accept fallback) already made it
+        // non-blocking; only Nagle needs switching off.
         let _ = stream.set_nodelay(true);
         let token = self.next_token;
         self.next_token += 1;
-        let peer = stream
-            .peer_addr()
-            .map(|a| a.to_string())
-            .unwrap_or_else(|_| "unknown".to_string());
         let conn = Conn {
             stream,
             machine: Machine::new(self.shared.config.max_frame),
-            out: Vec::new(),
-            out_pos: 0,
+            out: WriteQueue::new(),
             close_after_write: false,
             dispatching: false,
             last_activity: Instant::now(),
             interest: Interest::READ,
-            track: self.shared.conns.register(peer),
+            track: self.shared.conns.register(peer.to_string()),
         };
         if self
             .poller
@@ -677,8 +1005,9 @@ impl Reactor {
             .is_ok()
         {
             self.conns.insert(token, conn);
-            self.shared
-                .metrics
+            // Deltas, not `set`: the gauge sums every loop's slice.
+            self.shared.metrics.open_connections.inc();
+            self.loop_metrics
                 .open_connections
                 .set(self.conns.len() as u64);
         } else {
@@ -731,15 +1060,18 @@ impl Reactor {
     }
 
     fn read_ready(&mut self, token: u64) {
+        let watermark = self.shared.config.write_watermark.max(1);
         loop {
             let Some(conn) = self.conns.get_mut(&token) else {
                 return;
             };
-            if conn.has_pending_write() {
-                // The peer is not draining responses (e.g. a flood of
-                // overload rejections, which answer without occupying a
-                // worker): stop consuming input so the out-buffer stays
-                // bounded by one read chunk's worth of requests.
+            if conn.out.queued() >= watermark {
+                // The peer is not draining responses (a flood of
+                // pipelined requests, or overload rejections that answer
+                // without occupying a worker): stop consuming input so
+                // buffered output stays bounded by the watermark plus
+                // one read chunk. The interest update below drops read
+                // interest until the queue drains.
                 break;
             }
             let mut chunk = [0u8; 8192];
@@ -787,7 +1119,7 @@ impl Reactor {
             match conn.machine.next() {
                 Step::NeedMore => break,
                 Step::SendContinue => {
-                    conn.queue_write(http::CONTINUE);
+                    conn.queue_write(http::CONTINUE.to_vec());
                     continue;
                 }
                 Step::FramedRequest(payload) => {
@@ -816,13 +1148,13 @@ impl Reactor {
                 }
                 Step::Oversized(oversize) => {
                     let bytes = oversize_response(oversize);
-                    conn.queue_write(&bytes);
+                    conn.queue_write(bytes);
                     conn.close_after_write = true;
                     break;
                 }
                 Step::HttpError { status, message } => {
                     let bytes = http::response_bytes(status, &http::error_body(message), false);
-                    conn.queue_write(&bytes);
+                    conn.queue_write(bytes);
                     conn.close_after_write = true;
                     break;
                 }
@@ -851,22 +1183,21 @@ impl Reactor {
                 Err(_) => (utf8_error_json(), false),
             };
             // Responses are always sent whole, even above the request
-            // cap (same as the blocking model); encode_frame can only
-            // fail beyond MAX_FRAME_CEILING, where closing is all that
-            // is left.
-            let (bytes, broken) = match encode_frame(
-                response.to_string().as_bytes(),
-                crate::frame::MAX_FRAME_CEILING,
-            ) {
-                Ok(bytes) => (bytes, false),
-                Err(_) => (Vec::new(), true),
+            // cap (same as the blocking model). The length prefix and
+            // payload travel as two segments stitched back together by
+            // one `writev` on the loop — byte-identical to the old
+            // concatenated path, without the copy. Past
+            // MAX_FRAME_CEILING (where `encode_frame` would refuse),
+            // closing is all that is left.
+            let body = response.to_string().into_bytes();
+            let (segs, broken) = match u32::try_from(body.len()) {
+                Ok(len) if len <= crate::frame::MAX_FRAME_CEILING => {
+                    (vec![len.to_be_bytes().to_vec(), body], false)
+                }
+                _ => (Vec::new(), true),
             };
             let close = shutdown || broken || shared.shutting_down();
-            queue.complete(Completion {
-                token,
-                bytes,
-                close,
-            });
+            queue.complete(Completion { token, segs, close });
         });
         if self.try_submit(job) {
             return true;
@@ -878,7 +1209,7 @@ impl Reactor {
             crate::frame::MAX_FRAME_CEILING,
         )
         .expect("overload frame is tiny");
-        self.reject_overloaded(token, &bytes, false);
+        self.reject_overloaded(token, bytes, false);
         false
     }
 
@@ -901,7 +1232,7 @@ impl Reactor {
             let bytes = http::routed_bytes(&routed, keep_alive);
             queue.complete(Completion {
                 token,
-                bytes,
+                segs: vec![bytes],
                 close: !keep_alive,
             });
         });
@@ -910,7 +1241,7 @@ impl Reactor {
         }
         let body = overloaded_error_json().to_string();
         let bytes = http::response_bytes(429, &body, keep_alive_on_reject);
-        self.reject_overloaded(token, &bytes, !keep_alive_on_reject);
+        self.reject_overloaded(token, bytes, !keep_alive_on_reject);
         false
     }
 
@@ -942,7 +1273,7 @@ impl Reactor {
     /// pool. Deliberately does NOT flush or resume: the pump loop the
     /// rejection happened under continues iteratively and flushes once
     /// at its end (no recursion per pipelined request).
-    fn reject_overloaded(&mut self, token: u64, bytes: &[u8], close: bool) {
+    fn reject_overloaded(&mut self, token: u64, bytes: Vec<u8>, close: bool) {
         self.shared.metrics.overloaded.inc();
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
@@ -964,7 +1295,9 @@ impl Reactor {
             };
             conn.dispatching = false;
             conn.close_after_write |= completion.close;
-            conn.queue_write(&completion.bytes);
+            for seg in completion.segs {
+                conn.out.push(seg);
+            }
             conn.last_activity = Instant::now();
             self.flush(completion.token);
         }
@@ -986,36 +1319,40 @@ impl Reactor {
         }
     }
 
-    /// Mirrors the parking-lot depth into its gauge after a change.
-    fn note_parked(&self) {
-        self.shared
-            .metrics
-            .parked_jobs
-            .set(self.parked_jobs.len() as u64);
+    /// Mirrors this loop's parking-lot depth into the shared gauge.
+    /// The gauge is a sum across loops, so the update is the delta
+    /// against what this loop last reported, never an absolute `set`.
+    fn note_parked(&mut self) {
+        let now = self.parked_jobs.len();
+        for _ in self.noted_parked..now {
+            self.shared.metrics.parked_jobs.inc();
+        }
+        for _ in now..self.noted_parked {
+            self.shared.metrics.parked_jobs.dec();
+        }
+        self.noted_parked = now;
     }
 
     // --- writing ------------------------------------------------------------
 
-    /// Pushes pending output; on completion either closes or re-arms
-    /// the machine for the next (possibly already-buffered) request.
+    /// Pushes pending output via `writev`; on completion either closes
+    /// or re-arms the machine for the next (possibly already-buffered)
+    /// request.
     fn flush(&mut self, token: u64) {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
         if conn.has_pending_write() {
-            let before = conn.out_pos;
-            match write_pending(&conn.out, &mut conn.out_pos, &mut conn.stream) {
-                Ok(true) => {
-                    conn.track.add_out((conn.out.len() - before) as u64);
-                    conn.out.clear();
-                    conn.out_pos = 0;
-                    conn.last_activity = Instant::now();
-                }
-                Ok(false) => {
-                    conn.track.add_out((conn.out_pos - before) as u64);
-                    conn.last_activity = Instant::now();
-                    self.update_interest(token);
-                    return; // short write: wait for writability
+            match conn.out.flush(&mut StreamSink(&conn.stream)) {
+                Ok((written, done)) => {
+                    if written > 0 {
+                        conn.track.add_out(written as u64);
+                        conn.last_activity = Instant::now();
+                    }
+                    if !done {
+                        self.update_interest(token);
+                        return; // short write: wait for writability
+                    }
                 }
                 Err(_) => {
                     self.close(token);
@@ -1023,6 +1360,9 @@ impl Reactor {
                 }
             }
         }
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
         if conn.close_after_write && !conn.has_pending_write() {
             self.close(token);
             return;
@@ -1066,7 +1406,7 @@ impl Reactor {
             // timeout-bounded drain; everything else is aborted.
             if let Some(oversize) = conn.machine.abandon_drain() {
                 let bytes = oversize_response(oversize);
-                conn.queue_write(&bytes);
+                conn.queue_write(bytes);
                 conn.close_after_write = true;
                 conn.last_activity = now;
                 self.flush(token);
@@ -1080,7 +1420,9 @@ impl Reactor {
     /// not owed a response; dispatching/writing connections drain.
     fn shed_for_drain(&mut self) {
         if self.accepting {
-            let _ = self.poller.deregister(self.listener.as_raw_fd());
+            if let Some(listener) = &self.listener {
+                let _ = self.poller.deregister(listener.as_raw_fd());
+            }
             self.accepting = false;
         }
         let doomed: Vec<u64> = self
@@ -1097,11 +1439,12 @@ impl Reactor {
     // --- bookkeeping --------------------------------------------------------
 
     fn update_interest(&mut self, token: u64) {
+        let watermark = self.shared.config.write_watermark.max(1);
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
         conn.mirror();
-        let wanted = conn.wanted_interest();
+        let wanted = conn.wanted_interest(watermark);
         if wanted != conn.interest {
             let fd = conn.stream.as_raw_fd();
             if self.poller.modify(fd, token, wanted).is_ok() {
@@ -1116,8 +1459,9 @@ impl Reactor {
         if let Some(conn) = self.conns.remove(&token) {
             let _ = self.poller.deregister(conn.stream.as_raw_fd());
             self.shared.conns.deregister(conn.track.id());
-            self.shared
-                .metrics
+            // Deltas, not `set`: the gauge sums every loop's slice.
+            self.shared.metrics.open_connections.dec();
+            self.loop_metrics
                 .open_connections
                 .set(self.conns.len() as u64);
             // `conn.stream` drops here, closing the socket.
@@ -1286,6 +1630,83 @@ mod tests {
         assert!(matches!(machine.next(), Step::HttpRequest(_)));
     }
 
+    // -- Machine: chunked transfer encoding ---------------------------------
+
+    #[test]
+    fn http_chunked_body_assembled_at_any_chunking() {
+        let wire = b"POST /query HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\n\
+                     4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n\
+                     GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+        for chunk in [1usize, 3, 7, wire.len()] {
+            assert_eq!(
+                run_chunked(wire, chunk, 1 << 20),
+                vec![
+                    "http:POST /query body:Wikipedia".to_string(),
+                    "http:GET /healthz body:".to_string(),
+                ],
+                "chunk size {chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn http_chunked_expect_continue_always_interim_first() {
+        // A chunked body has no length to pre-buffer, so the interim
+        // response precedes it even when the whole body arrived with
+        // the head (matching the blocking adapter).
+        let wire = b"POST / HTTP/1.1\r\nHost: x\r\nExpect: 100-continue\r\n\
+                     Transfer-Encoding: chunked\r\n\r\n2\r\nok\r\n0\r\n\r\n";
+        let mut machine = Machine::new(1 << 20);
+        machine.push(wire);
+        assert!(matches!(machine.next(), Step::SendContinue));
+        match machine.next() {
+            Step::HttpRequest(r) => assert_eq!(r.body, b"ok"),
+            _ => panic!("expected the chunked request after the interim"),
+        }
+    }
+
+    #[test]
+    fn http_chunked_oversize_is_413_and_terminal() {
+        // Declared chunk sizes exceeding max_frame fail at the size
+        // line, before the data is buffered.
+        let mut machine = Machine::new(8);
+        machine.push(b"POST / HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\n40\r\n");
+        assert!(matches!(
+            machine.next(),
+            Step::HttpError { status: 413, .. }
+        ));
+        assert!(!machine.has_partial(), "terminal error: connection closes");
+    }
+
+    #[test]
+    fn http_chunked_incremental_decode_keeps_raw_buffer_small() {
+        // The raw buffer holds only undecoded wire bytes: decoded
+        // chunks move out as they complete, so a big streamed body
+        // never accumulates in `buf` the way a Content-Length body
+        // must.
+        let mut machine = Machine::new(1 << 20);
+        machine.push(b"POST / HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\n");
+        assert!(matches!(machine.next(), Step::NeedMore));
+        let mut total = 0usize;
+        for _ in 0..64 {
+            machine.push(b"400\r\n");
+            machine.push(&[b'z'; 0x400]);
+            machine.push(b"\r\n");
+            total += 0x400;
+            assert!(matches!(machine.next(), Step::NeedMore));
+            assert!(
+                machine.raw_buffered() < 64,
+                "decoded chunks must leave the raw buffer (len {})",
+                machine.raw_buffered()
+            );
+        }
+        machine.push(b"0\r\n\r\n");
+        match machine.next() {
+            Step::HttpRequest(r) => assert_eq!(r.body.len(), total),
+            _ => panic!("expected the assembled chunked request"),
+        }
+    }
+
     #[test]
     fn http_malformed_and_oversized_requests() {
         // Missing parts of the request line.
@@ -1305,9 +1726,9 @@ mod tests {
             Step::HttpError { status: 431, .. }
         ));
 
-        // Transfer-encoding unsupported.
+        // Transfer-encodings other than chunked are unimplemented.
         let mut machine = Machine::new(1 << 20);
-        machine.push(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+        machine.push(b"POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n");
         assert!(matches!(
             machine.next(),
             Step::HttpError { status: 501, .. }
@@ -1342,66 +1763,172 @@ mod tests {
         }
     }
 
-    // -- write path: short writes -------------------------------------------
+    // -- write path: the vectored queue under short writes ------------------
 
-    /// A sink that accepts at most `per_call` bytes, then signals
-    /// WouldBlock every other call — a worst-case slow peer.
+    /// A sink that accepts at most `per_call` bytes per `writev`, then
+    /// signals WouldBlock every other call — a worst-case slow peer.
     struct Throttled {
         accepted: Vec<u8>,
         per_call: usize,
         block_next: bool,
     }
 
-    impl Write for Throttled {
-        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+    impl WritevSink for Throttled {
+        fn writev(&mut self, bufs: &[&[u8]]) -> io::Result<usize> {
             if self.block_next {
                 self.block_next = false;
                 return Err(io::Error::new(io::ErrorKind::WouldBlock, "slow peer"));
             }
             self.block_next = true;
-            let n = buf.len().min(self.per_call);
-            self.accepted.extend_from_slice(&buf[..n]);
-            Ok(n)
+            let mut room = self.per_call;
+            let mut written = 0usize;
+            for buf in bufs {
+                if room == 0 {
+                    break;
+                }
+                let take = buf.len().min(room);
+                self.accepted.extend_from_slice(&buf[..take]);
+                written += take;
+                room -= take;
+            }
+            Ok(written)
         }
-        fn flush(&mut self) -> io::Result<()> {
-            Ok(())
+    }
+
+    /// Drains `queue` through `sink`, simulating the reactor's
+    /// wait-for-writability loop; panics if no progress is made.
+    fn drain_queue(queue: &mut WriteQueue, sink: &mut Throttled) {
+        let mut rounds = 0usize;
+        loop {
+            match queue.flush(sink).unwrap() {
+                (_, true) => break,
+                (_, false) => {
+                    rounds += 1; // reactor would wait for writability here
+                    assert!(rounds < 100_000, "no progress");
+                }
+            }
         }
     }
 
     #[test]
-    fn short_writes_of_a_large_response_complete_incrementally() {
-        let response: Vec<u8> = (0..u8::MAX).cycle().take(10_000).collect();
+    fn short_writes_of_a_segmented_response_complete_incrementally() {
+        let segments: Vec<Vec<u8>> = vec![
+            (0..u8::MAX).cycle().take(4).collect(),
+            (0..u8::MAX).cycle().take(5_000).collect(),
+            vec![0xAB; 1],
+            (0..u8::MAX).cycle().take(4_995).collect(),
+        ];
+        let expected: Vec<u8> = segments.iter().flatten().copied().collect();
+        // Split at every size from 1 byte per call upward: covers
+        // 1-byte writes, every iovec boundary, straddles, and whole-
+        // queue writes.
+        for per_call in [1usize, 3, 4, 5, 9, 333, 5_004, 10_000, 20_000] {
+            let mut queue = WriteQueue::new();
+            for seg in &segments {
+                queue.push(seg.clone());
+            }
+            assert_eq!(queue.queued(), expected.len());
+            let mut sink = Throttled {
+                accepted: Vec::new(),
+                per_call,
+                block_next: false,
+            };
+            drain_queue(&mut queue, &mut sink);
+            assert_eq!(sink.accepted, expected, "per_call {per_call}");
+            assert!(queue.is_empty());
+            assert_eq!(queue.queued(), 0);
+        }
+    }
+
+    #[test]
+    fn writes_split_exactly_at_each_iovec_boundary() {
+        let segments: Vec<Vec<u8>> = vec![vec![1; 4], vec![2; 7], vec![3; 2], vec![4; 11]];
+        let expected: Vec<u8> = segments.iter().flatten().copied().collect();
+        // per_call landing exactly on each segment boundary: the next
+        // flush must start cleanly at the following segment.
+        let mut boundary = 0usize;
+        for seg in &segments[..segments.len() - 1] {
+            boundary += seg.len();
+            let mut queue = WriteQueue::new();
+            for s in &segments {
+                queue.push(s.clone());
+            }
+            let mut sink = Throttled {
+                accepted: Vec::new(),
+                per_call: boundary,
+                block_next: false,
+            };
+            drain_queue(&mut queue, &mut sink);
+            assert_eq!(sink.accepted, expected, "boundary {boundary}");
+        }
+    }
+
+    #[test]
+    fn framed_prefix_and_payload_segments_stitch_back_together() {
+        // The two-segment framed completion must produce exactly the
+        // bytes `encode_frame` would have — the replay diff depends on
+        // it — even through 1-byte writes.
+        let payload = br#"{"ok":true,"op":"list"}"#;
+        let expected = encode_frame(payload, crate::frame::MAX_FRAME_CEILING).unwrap();
+        let mut queue = WriteQueue::new();
+        queue.push((payload.len() as u32).to_be_bytes().to_vec());
+        queue.push(payload.to_vec());
         let mut sink = Throttled {
             accepted: Vec::new(),
-            per_call: 333,
+            per_call: 1,
             block_next: false,
         };
-        let mut pos = 0usize;
-        let mut rounds = 0usize;
-        loop {
-            match write_pending(&response, &mut pos, &mut sink).unwrap() {
-                true => break,
-                false => {
-                    rounds += 1; // reactor would wait for writability here
-                    assert!(rounds < 10_000, "no progress");
-                }
-            }
+        drain_queue(&mut queue, &mut sink);
+        assert_eq!(sink.accepted, expected);
+    }
+
+    #[test]
+    fn write_queue_batches_past_max_iovecs() {
+        // More segments than one writev can gather: flush keeps going
+        // in MAX_IOVECS batches within a single call.
+        let mut queue = WriteQueue::new();
+        for i in 0..(sys::MAX_IOVECS * 2 + 10) {
+            queue.push(vec![i as u8]);
         }
-        assert_eq!(sink.accepted, response);
+        let total = queue.queued();
+        let mut sink = Throttled {
+            accepted: Vec::new(),
+            per_call: usize::MAX,
+            block_next: false,
+        };
+        drain_queue(&mut queue, &mut sink);
+        assert_eq!(sink.accepted.len(), total);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn empty_segments_are_dropped_not_queued() {
+        let mut queue = WriteQueue::new();
+        queue.push(Vec::new());
+        assert!(queue.is_empty());
+        queue.push(b"ab".to_vec());
+        queue.push(Vec::new());
+        queue.push(b"cd".to_vec());
+        assert_eq!(queue.queued(), 4);
+        let mut sink = Throttled {
+            accepted: Vec::new(),
+            per_call: usize::MAX,
+            block_next: false,
+        };
+        drain_queue(&mut queue, &mut sink);
+        assert_eq!(sink.accepted, b"abcd");
     }
 
     #[test]
     fn write_zero_is_an_error_not_a_spin() {
         struct Dead;
-        impl Write for Dead {
-            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+        impl WritevSink for Dead {
+            fn writev(&mut self, _bufs: &[&[u8]]) -> io::Result<usize> {
                 Ok(0)
             }
-            fn flush(&mut self) -> io::Result<()> {
-                Ok(())
-            }
         }
-        let mut pos = 0;
-        assert!(write_pending(b"abc", &mut pos, &mut Dead).is_err());
+        let mut queue = WriteQueue::new();
+        queue.push(b"abc".to_vec());
+        assert!(queue.flush(&mut Dead).is_err());
     }
 }

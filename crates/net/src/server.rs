@@ -142,8 +142,25 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// Reactor model only: force the portable `poll(2)` backend even
     /// where epoll is available (diagnostics; lets tests exercise the
-    /// fallback on Linux).
+    /// fallback on Linux). Also disables the `SO_REUSEPORT` listener
+    /// group, so multi-reactor runs exercise the fd-handoff path.
     pub force_poll_backend: bool,
+    /// Reactor model only: number of event loops. Each loop owns a
+    /// private connection table, deadline bookkeeping and completion
+    /// queue. Where the platform allows it (Linux, epoll backend) every
+    /// loop accepts from its own `SO_REUSEPORT` listener and the kernel
+    /// balances accepts; elsewhere loop 0 accepts and hands sockets to
+    /// its peers round-robin. `0` is treated as 1. All loops share one
+    /// dispatch [`ThreadPool`] (`workers`/`queue_capacity` stay
+    /// process-wide).
+    pub reactors: usize,
+    /// Reactor model only: per-connection cap on queued unsent response
+    /// bytes. At or above the cap the owning loop stops *reading* from
+    /// that connection (its peer is not draining responses) until the
+    /// queue sinks below the cap again — so per-connection memory is
+    /// bounded by the watermark plus one read chunk instead of growing
+    /// with response volume. `0` is treated as 1.
+    pub write_watermark: usize,
     /// Honour `{"op":"shutdown"}` from clients (off by default; meant
     /// for tests and supervised smoke runs).
     pub allow_remote_shutdown: bool,
@@ -163,6 +180,8 @@ impl Default for ServerConfig {
             idle_timeout: None,
             max_connections: 1024,
             force_poll_backend: false,
+            reactors: 1,
+            write_watermark: 256 * 1024,
             allow_remote_shutdown: false,
         }
     }
@@ -183,10 +202,11 @@ pub(crate) struct Shared {
     pool_depth: OnceLock<QueueDepthProbe>,
     local_addr: SocketAddr,
     shutdown: AtomicBool,
-    /// Set by the reactor so `trigger_shutdown` can interrupt its
-    /// blocked poll immediately (the pool acceptor just polls the flag).
+    /// One waker per reactor loop, so `trigger_shutdown` can interrupt
+    /// every blocked poll immediately (the pool acceptor just polls the
+    /// flag).
     #[cfg(unix)]
-    waker: std::sync::OnceLock<Arc<crate::sys::Waker>>,
+    wakers: std::sync::Mutex<Vec<Arc<crate::sys::Waker>>>,
 }
 
 impl Shared {
@@ -195,19 +215,21 @@ impl Shared {
     }
 
     /// Flips the shutdown flag; the polling acceptor notices it within
-    /// one poll interval, and a reactor is woken out of its poll.
+    /// one poll interval, and every reactor loop is woken out of its
+    /// poll.
     pub(crate) fn trigger_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         #[cfg(unix)]
-        if let Some(waker) = self.waker.get() {
+        for waker in self.wakers.lock().expect("wakers").iter() {
             waker.wake();
         }
     }
 
-    /// Registers the reactor's waker (at most once, at reactor start).
+    /// Registers one reactor loop's waker (at spawn, before the loops
+    /// start).
     #[cfg(unix)]
-    pub(crate) fn set_waker(&self, waker: Arc<crate::sys::Waker>) {
-        let _ = self.waker.set(waker);
+    pub(crate) fn add_waker(&self, waker: Arc<crate::sys::Waker>) {
+        self.wakers.lock().expect("wakers").push(waker);
     }
 
     /// Registers the serving pool's queue-depth probe (at most once, at
@@ -231,12 +253,31 @@ impl NetServer {
     pub fn spawn(dispatcher: Arc<Dispatcher>, config: ServerConfig) -> io::Result<ServerHandle> {
         let mut config = config;
         config.max_frame = config.max_frame.min(MAX_FRAME_CEILING);
-        let listener = TcpListener::bind(&config.addr)?;
-        // Non-blocking accept + short poll: shutdown is observed within
-        // one poll interval without relying on a wake connection that a
-        // firewall or odd bind address could silently swallow.
-        listener.set_nonblocking(true)?;
-        let local_addr = listener.local_addr()?;
+        let mut listeners: Vec<TcpListener> = Vec::new();
+        #[cfg(unix)]
+        if config.model == ConnectionModel::Reactor
+            && config.reactors > 1
+            && !config.force_poll_backend
+        {
+            // Multi-reactor on the epoll backend: try an `SO_REUSEPORT`
+            // group — one listener per loop, accepts balanced by the
+            // kernel. Any refusal (non-Linux, odd address, kernel
+            // policy) falls back to one listener that loop 0 accepts on
+            // and shares via fd handoff, so `--reactors N` always works.
+            if let Ok(group) = bind_reuseport_group(&config.addr, config.reactors) {
+                listeners = group;
+            }
+        }
+        if listeners.is_empty() {
+            listeners.push(TcpListener::bind(&config.addr)?);
+        }
+        // Non-blocking accept + wakers/short poll: shutdown is observed
+        // promptly without relying on a wake connection that a firewall
+        // or odd bind address could silently swallow.
+        for listener in &listeners {
+            listener.set_nonblocking(true)?;
+        }
+        let local_addr = listeners[0].local_addr()?;
         let metrics = NetMetrics::register(dispatcher.telemetry().registry());
         let shared = Arc::new(Shared {
             dispatcher,
@@ -247,21 +288,27 @@ impl NetServer {
             local_addr,
             shutdown: AtomicBool::new(false),
             #[cfg(unix)]
-            waker: std::sync::OnceLock::new(),
+            wakers: std::sync::Mutex::new(Vec::new()),
         });
 
         if shared.config.model == ConnectionModel::Reactor {
             #[cfg(unix)]
             {
-                let accept = crate::reactor::spawn(Arc::clone(&shared), listener)?;
-                return Ok(ServerHandle {
-                    shared,
-                    accept: Some(accept),
-                });
+                shared
+                    .metrics
+                    .reactors
+                    .set(shared.config.reactors.max(1) as u64);
+                let accept = crate::reactor::spawn(Arc::clone(&shared), listeners)?;
+                return Ok(ServerHandle { shared, accept });
             }
             // Non-Unix: the readiness syscalls are unavailable; fall
             // through to the thread-pool model.
         }
+
+        let listener = listeners
+            .into_iter()
+            .next()
+            .expect("at least one listener was bound");
 
         let pool = ThreadPool::new(shared.config.workers, shared.config.queue_capacity);
         shared.set_pool_depth(pool.depth_probe());
@@ -312,7 +359,7 @@ impl NetServer {
 
         Ok(ServerHandle {
             shared,
-            accept: Some(accept),
+            accept: vec![accept],
         })
     }
 }
@@ -320,7 +367,8 @@ impl NetServer {
 /// Owner handle for a running server.
 pub struct ServerHandle {
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    /// The acceptor thread (pool model) or every reactor loop thread.
+    accept: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -343,7 +391,7 @@ impl ServerHandle {
     }
 
     fn join(&mut self) {
-        if let Some(handle) = self.accept.take() {
+        for handle in self.accept.drain(..) {
             let _ = handle.join();
         }
     }
@@ -354,6 +402,26 @@ impl Drop for ServerHandle {
         self.shared.trigger_shutdown();
         self.join();
     }
+}
+
+/// Binds `n` `SO_REUSEPORT` listeners on the same address — one per
+/// reactor loop, accepts balanced by the kernel. Port 0 resolves
+/// through the first bind, and the remaining n−1 join its chosen port.
+/// Errors (non-Linux, kernel refusal) make the caller fall back to a
+/// single shared listener.
+#[cfg(unix)]
+fn bind_reuseport_group(addr: &str, n: usize) -> io::Result<Vec<TcpListener>> {
+    use std::net::ToSocketAddrs;
+    let first_addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+    })?;
+    let first = crate::sys::bind_reuseport(&first_addr)?;
+    let resolved = first.local_addr()?;
+    let mut listeners = vec![first];
+    for _ in 1..n {
+        listeners.push(crate::sys::bind_reuseport(&resolved)?);
+    }
+    Ok(listeners)
 }
 
 /// Outcome of reading a fixed-size chunk with idle/shutdown awareness.
@@ -531,6 +599,7 @@ pub(crate) fn conns_json(shared: &Shared) -> Json {
                 ("bytes_in", Json::num(row.bytes_in as f64)),
                 ("bytes_out", Json::num(row.bytes_out as f64)),
                 ("requests", Json::num(row.requests as f64)),
+                ("buffered_bytes", Json::num(row.buffered as f64)),
             ])
         })
         .collect();
@@ -539,6 +608,16 @@ pub(crate) fn conns_json(shared: &Shared) -> Json {
         ("op", Json::str("server_debug")),
         ("section", Json::str("conns")),
         ("model", Json::str(shared.config.model.to_string())),
+        (
+            "reactors",
+            Json::num(
+                if cfg!(unix) && shared.config.model == ConnectionModel::Reactor {
+                    shared.config.reactors.max(1) as f64
+                } else {
+                    0.0
+                },
+            ),
+        ),
         ("open", Json::num(open as f64)),
         (
             "queue_depth",

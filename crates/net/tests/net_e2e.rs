@@ -793,13 +793,13 @@ fn reactor_overload_past_parked_cap_answers_overloaded() {
         .unwrap();
     assert_eq!(Json::parse(&ok).unwrap().get("ok"), Some(&Json::Bool(true)));
 
-    // ~25k-pattern batch: hundreds of ms (release) to tens of seconds
+    // ~300k-pattern batch: hundreds of ms (release) to tens of seconds
     // (debug) of serial dispatch each.
     let heavy = {
         let one = r#"{"gender":"Female","age group":"20-39"}"#;
         format!(
             r#"{{"op":"query","dataset":"census","patterns":[{}]}}"#,
-            vec![one; 25_000].join(",")
+            vec![one; 300_000].join(",")
         )
     };
 
@@ -1263,6 +1263,455 @@ fn netd_debug_endpoints_expose_traces_memory_and_conns() {
         assert_eq!(bye.get("ok"), Some(&Json::Bool(true)));
         assert!(child.wait().expect("netd exits").success());
     }
+}
+
+/// A raw HTTP/1.1 POST with `Transfer-Encoding: chunked`: the body is
+/// written as `chunk_size`-byte chunks (a chunk extension on the first
+/// size line and a trailer after the last chunk, both of which the
+/// server must tolerate), then the response is read to EOF
+/// (`Connection: close`). Returns the full response text.
+fn chunked_post(
+    addr: std::net::SocketAddr,
+    path: &str,
+    body: &[u8],
+    chunk_size: usize,
+    pace: Option<Duration>,
+) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("chunked connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\nTransfer-Encoding: chunked\r\n\r\n"
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    for (i, chunk) in body.chunks(chunk_size.max(1)).enumerate() {
+        let ext = if i == 0 { ";traced=yes" } else { "" };
+        stream
+            .write_all(format!("{:x}{ext}\r\n", chunk.len()).as_bytes())
+            .unwrap();
+        stream.write_all(chunk).unwrap();
+        stream.write_all(b"\r\n").unwrap();
+        if let Some(pause) = pace {
+            std::thread::sleep(pause);
+        }
+    }
+    stream.write_all(b"0\r\nX-Body-Done: yes\r\n\r\n").unwrap();
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("chunked response");
+    String::from_utf8(response).expect("UTF-8 response")
+}
+
+/// The body of a raw HTTP response (everything after the blank line).
+fn http_body(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body)
+        .unwrap_or("")
+}
+
+/// The multi-reactor acceptance matrix: with four event loops — a
+/// `SO_REUSEPORT` listener group on the epoll backend, the loop-0
+/// accept-and-hand-off fallback on the poll backend — the replay script
+/// must stay byte-identical to the stdin/stdout serve loop on both
+/// transports, with live connections parked across the loops while it
+/// runs.
+#[cfg(unix)]
+#[test]
+fn multi_reactor_replay_is_byte_identical_on_both_backends() {
+    let expected = stdio_responses();
+    for force_poll in [false, true] {
+        for transport in ["framed", "http"] {
+            let server = spawn_server(ServerConfig {
+                reactors: 4,
+                force_poll_backend: force_poll,
+                ..reactor_config()
+            });
+            // Park one proven-live connection per loop so the replay
+            // runs while every loop owns state.
+            let mut parked = Vec::new();
+            for i in 0..4 {
+                let mut client = NetClient::connect(server.local_addr()).unwrap();
+                let ok = client.request_line(r#"{"op":"health"}"#).unwrap();
+                assert_eq!(
+                    Json::parse(&ok).unwrap().get("ok"),
+                    Some(&Json::Bool(true)),
+                    "parked conn {i}, force_poll={force_poll}"
+                );
+                parked.push(client);
+            }
+
+            let got: Vec<String> = if transport == "framed" {
+                let mut client = NetClient::connect(server.local_addr()).unwrap();
+                script()
+                    .iter()
+                    .map(|line| canon(&client.request_line(line).expect("framed round-trip")))
+                    .collect()
+            } else {
+                let mut client = HttpClient::connect(server.local_addr()).unwrap();
+                script()
+                    .iter()
+                    .map(|line| {
+                        canon(
+                            &client
+                                .request("POST", "/", Some(line))
+                                .expect("HTTP round-trip")
+                                .body,
+                        )
+                    })
+                    .collect()
+            };
+            assert_eq!(expected, got, "{transport}, force_poll={force_poll}");
+
+            // The parked fleet survived the replay.
+            for client in parked.iter_mut() {
+                let ok = client.request_line(r#"{"op":"health"}"#).unwrap();
+                assert_eq!(Json::parse(&ok).unwrap().get("ok"), Some(&Json::Bool(true)));
+            }
+            server.shutdown();
+        }
+    }
+}
+
+/// The connection cap is split into per-loop budgets, and eviction is a
+/// per-loop decision. `force_poll_backend` disables `SO_REUSEPORT`, so
+/// loop 0 accepts and hands connections round-robin: A→loop 0, B→loop 1,
+/// C→loop 0. With `max_connections: 2` split 1/1, C breaches loop 0's
+/// budget and must evict A (loop 0's LRU idle) — never B, which a
+/// different loop owns.
+#[cfg(unix)]
+#[test]
+fn per_loop_budgets_evict_within_the_owning_loop() {
+    let server = spawn_server(ServerConfig {
+        reactors: 2,
+        max_connections: 2,
+        force_poll_backend: true,
+        ..reactor_config()
+    });
+    let mut a = NetClient::connect(server.local_addr()).unwrap();
+    a.request_line(r#"{"op":"health"}"#).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    let mut b = NetClient::connect(server.local_addr()).unwrap();
+    b.request_line(r#"{"op":"health"}"#).unwrap();
+
+    let mut c = NetClient::connect(server.local_addr()).unwrap();
+    let ok = c.request_line(r#"{"op":"health"}"#).unwrap();
+    assert_eq!(Json::parse(&ok).unwrap().get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(
+        Json::parse(&b.request_line(r#"{"op":"health"}"#).unwrap())
+            .unwrap()
+            .get("ok"),
+        Some(&Json::Bool(true)),
+        "the other loop's connection must not be evicted for loop 0's budget"
+    );
+    assert!(
+        a.request_line(r#"{"op":"health"}"#).is_err(),
+        "loop 0's LRU idle connection should have been evicted"
+    );
+    server.shutdown();
+}
+
+/// With two event loops the `loop="N"` gauge slices must sum to the
+/// unlabeled total at all times, `pclabel_net_reactors` reports the loop
+/// count, `/debug/conns` carries the reactors count and per-connection
+/// buffer accounting — and everything drains back to zero when the
+/// fleet hangs up.
+#[cfg(unix)]
+#[test]
+fn per_loop_gauges_sum_to_the_total_and_drain_to_zero() {
+    let dispatcher = Arc::new(Dispatcher::with_config(EngineConfig::default()));
+    let server = NetServer::spawn(
+        Arc::clone(&dispatcher),
+        ServerConfig {
+            reactors: 2,
+            ..reactor_config()
+        },
+    )
+    .expect("spawn two-loop server");
+
+    let loop_slices = |dispatcher: &Dispatcher| -> (u64, usize) {
+        let text = dispatcher.metrics_text();
+        let mut sum = 0u64;
+        let mut loops = 0usize;
+        for line in text.lines() {
+            if line.starts_with("pclabel_net_loop_open_connections{") {
+                let value = line.rsplit(' ').next().unwrap();
+                sum += value.parse::<f64>().unwrap() as u64;
+                loops += 1;
+            }
+        }
+        (sum, loops)
+    };
+    let settle = |dispatcher: &Dispatcher, want: u64| -> bool {
+        for _ in 0..250 {
+            let (sum, loops) = loop_slices(dispatcher);
+            if loops == 2 && sum == want && open_conns(dispatcher) == want {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        false
+    };
+
+    let mut fleet = Vec::new();
+    for _ in 0..4 {
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        client.request_line(r#"{"op":"health"}"#).unwrap();
+        fleet.push(client);
+    }
+    assert!(
+        settle(&dispatcher, 4),
+        "per-loop slices must sum to the global gauge, got {:?} vs total {}",
+        loop_slices(&dispatcher),
+        open_conns(&dispatcher)
+    );
+    assert!(
+        dispatcher
+            .metrics_text()
+            .lines()
+            .any(|l| l == "pclabel_net_reactors 2"),
+        "reactors gauge must report the loop count"
+    );
+
+    let mut http = HttpClient::connect(server.local_addr()).unwrap();
+    let conns = http.request("GET", "/debug/conns", None).unwrap();
+    assert_eq!(conns.status, 200);
+    let parsed = Json::parse(&conns.body).unwrap();
+    assert_eq!(parsed.get("reactors").and_then(Json::as_u64), Some(2));
+    let rows = parsed.get("conns").and_then(Json::as_array).unwrap();
+    assert!(rows.len() >= 5, "fleet + scraper visible: {}", conns.body);
+    assert!(
+        rows.iter()
+            .all(|r| r.get("buffered_bytes").and_then(Json::as_u64).is_some()),
+        "every row carries buffer accounting: {}",
+        conns.body
+    );
+    drop(http);
+
+    drop(fleet);
+    assert!(
+        settle(&dispatcher, 0),
+        "gauges must drain to zero, got {:?} vs total {}",
+        loop_slices(&dispatcher),
+        open_conns(&dispatcher)
+    );
+    server.shutdown();
+    assert_eq!(
+        loop_slices(&dispatcher),
+        (0, 2),
+        "still zero after shutdown"
+    );
+}
+
+/// The streaming acceptance path: an 8 MiB `append_rows` body arrives
+/// `Transfer-Encoding: chunked` and is decoded incrementally — the
+/// connection's raw staging buffer (`buffered_bytes` in the live
+/// connection table) stays bounded by the write watermark the whole
+/// time, even as megabytes of wire bytes are consumed before the
+/// request dispatches.
+#[cfg(unix)]
+#[test]
+fn chunked_append_rows_streams_an_8mib_body_within_the_watermark() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let watermark = ServerConfig::default().write_watermark as u64;
+    let server = spawn_server(ServerConfig {
+        max_frame: 32 << 20,
+        ..reactor_config()
+    });
+    let addr = server.local_addr();
+
+    let mut setup = NetClient::connect(addr).unwrap();
+    let register = r#"{"op":"register","dataset":"big","csv":"c0,c1,c2,c3\nv0,v1,v2,v3\n","label_attrs":["c0","c1"]}"#;
+    let ok = setup.request_line(register).unwrap();
+    assert_eq!(Json::parse(&ok).unwrap().get("ok"), Some(&Json::Bool(true)));
+
+    // ~8.4 MiB body: 2048 rows of one 4 KiB value (a single dictionary
+    // entry, so the engine-side append stays cheap).
+    let pad = "p".repeat(4096);
+    let row = format!(r#"["{pad}","v1","v2","v3"]"#);
+    let body = format!(
+        r#"{{"op":"append_rows","dataset":"big","rows":[{}]}}"#,
+        vec![row; 2048].join(",")
+    );
+    assert!(body.len() >= 8 << 20, "body is at least 8 MiB");
+
+    let peak_buffered = AtomicU64::new(0);
+    let deepest_read = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        let body = body.as_bytes();
+        let sender = scope
+            .spawn(move || chunked_post(addr, "/", body, 64 << 10, Some(Duration::from_millis(2))));
+
+        // Watch the upload from a second connection: the table must show
+        // the receiving connection consuming wire bytes while its raw
+        // buffer stays small.
+        let mut http = HttpClient::connect(addr).expect("observer connects");
+        while !sender.is_finished() {
+            let snap = http
+                .request("GET", "/debug/conns", None)
+                .expect("observer scrape");
+            let Ok(parsed) = Json::parse(&snap.body) else {
+                continue;
+            };
+            let Some(rows) = parsed.get("conns").and_then(Json::as_array) else {
+                continue;
+            };
+            for row in rows {
+                let buffered = row
+                    .get("buffered_bytes")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0);
+                peak_buffered.fetch_max(buffered, Ordering::Relaxed);
+                if row.get("protocol").and_then(Json::as_str) == Some("http")
+                    && row.get("state").and_then(Json::as_str) == Some("reading")
+                {
+                    let bytes_in = row.get("bytes_in").and_then(Json::as_u64).unwrap_or(0);
+                    deepest_read.fetch_max(bytes_in, Ordering::Relaxed);
+                }
+            }
+        }
+
+        let response = sender.join().expect("sender thread");
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        let parsed = Json::parse(http_body(&response)).expect("append response JSON");
+        assert_eq!(parsed.get("ok"), Some(&Json::Bool(true)), "{response}");
+        assert_eq!(parsed.get("rows").and_then(Json::as_u64), Some(2049));
+    });
+
+    let peak = peak_buffered.load(Ordering::Relaxed);
+    let deepest = deepest_read.load(Ordering::Relaxed);
+    assert!(
+        deepest >= 1 << 20,
+        "observer must catch the connection mid-body with ≥1 MiB consumed, saw {deepest}"
+    );
+    assert!(
+        peak <= watermark,
+        "raw buffered bytes must stay within the watermark: {peak} > {watermark}"
+    );
+
+    // The streamed append is queryable like any other.
+    let probe = setup
+        .request_line(&format!(
+            r#"{{"op":"query","dataset":"big","patterns":[{{"c0":"{pad}"}}]}}"#
+        ))
+        .unwrap();
+    let estimate = Json::parse(&probe)
+        .unwrap()
+        .get("results")
+        .and_then(Json::as_array)
+        .and_then(|r| r[0].get("estimate"))
+        .and_then(Json::as_f64);
+    assert_eq!(estimate, Some(2048.0));
+    server.shutdown();
+}
+
+/// Framing equivalence through the real binary, running two reactors: an
+/// `append_rows` delivered `Transfer-Encoding: chunked` (odd-sized
+/// chunks, extension, trailer) must leave the dataset in exactly the
+/// state a `Content-Length` delivery of the same payload does.
+#[test]
+fn netd_chunked_append_rows_equals_content_length() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pclabel-netd"))
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--reactors",
+            "2",
+            "--timeout-ms",
+            "2000",
+            "--allow-remote-shutdown",
+            "--log-level",
+            "warn",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn pclabel-netd");
+    let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("startup banner");
+    if cfg!(unix) {
+        assert!(
+            banner.contains("2 reactors"),
+            "banner reports the loop count: {banner}"
+        );
+    }
+    let addr = banner
+        .split_whitespace()
+        .nth(3)
+        .expect("address in banner")
+        .to_string();
+    let sock_addr: std::net::SocketAddr = addr.parse().expect("banner address parses");
+
+    let mut client = NetClient::connect(&addr).expect("connect to binary");
+    let mut send = |line: &str| -> Json {
+        let response = client.request_line(line).expect("round-trip");
+        Json::parse(&response).unwrap_or_else(|e| panic!("bad JSON {e}: {response}"))
+    };
+    let csv = "c0,c1,c2\\nv0,v1,v2\\nv3,v4,v5\\n";
+    for name in ["cl", "ch"] {
+        let register = format!(
+            r#"{{"op":"register","dataset":"{name}","csv":"{csv}","label_attrs":["c0","c1"]}}"#
+        );
+        assert_eq!(send(&register).get("ok"), Some(&Json::Bool(true)));
+    }
+
+    let rows: Vec<String> = (0..200)
+        .map(|r| format!(r#"["v{}","v{}","v{}"]"#, r % 7, r % 5, r % 3))
+        .collect();
+    let payload = |name: &str| {
+        format!(
+            r#"{{"op":"append_rows","dataset":"{name}","rows":[{}]}}"#,
+            rows.join(",")
+        )
+    };
+
+    // Content-Length delivery to "cl"…
+    let mut http = HttpClient::connect(&addr).expect("HTTP connect");
+    let with_length = http
+        .request("POST", "/", Some(&payload("cl")))
+        .expect("Content-Length append");
+    assert_eq!(with_length.status, 200, "{}", with_length.body);
+    // …chunked delivery of the same rows to "ch", in awkward 7-byte
+    // chunks with an extension and a trailer.
+    let chunked = chunked_post(sock_addr, "/", payload("ch").as_bytes(), 7, None);
+    assert!(chunked.starts_with("HTTP/1.1 200"), "{chunked}");
+    let chunked_json = Json::parse(http_body(&chunked)).expect("chunked response JSON");
+    let length_json = Json::parse(&with_length.body).expect("CL response JSON");
+    assert_eq!(
+        chunked_json.get("rows").and_then(Json::as_u64),
+        length_json.get("rows").and_then(Json::as_u64),
+        "both deliveries append the same row count"
+    );
+
+    // Every query answers identically on both datasets.
+    let patterns =
+        r#"{"c0":"v0"},{"c0":"v1","c1":"v1"},{"c1":"v4","c2":"v2"},{"c2":"v0"},{"c0":"ghost"}"#;
+    let results = |name: &str, send: &mut dyn FnMut(&str) -> Json| {
+        send(&format!(
+            r#"{{"op":"query","dataset":"{name}","patterns":[{patterns}]}}"#
+        ))
+        .get("results")
+        .expect("results array")
+        .clone()
+    };
+    let cl_results = results("cl", &mut send);
+    let ch_results = results("ch", &mut send);
+    assert_eq!(cl_results, ch_results);
+    let cl_stats = send(r#"{"op":"stats","dataset":"cl"}"#);
+    let ch_stats = send(r#"{"op":"stats","dataset":"ch"}"#);
+    assert_eq!(
+        cl_stats.get("label_size").and_then(Json::as_u64),
+        ch_stats.get("label_size").and_then(Json::as_u64)
+    );
+
+    let bye = send(r#"{"op":"shutdown"}"#);
+    assert_eq!(bye.get("ok"), Some(&Json::Bool(true)));
+    assert!(child.wait().expect("netd exits").success());
 }
 
 #[test]
