@@ -166,6 +166,24 @@ fn metrics_of(report: &Json) -> Result<Vec<Metric>, String> {
                     }
                 }
             }
+            if let Some(row) = report.get("faults_disabled_overhead") {
+                // The fault-injection seam must stay ~free when unset:
+                // trend the inert durable-append rate so a regression in
+                // the two-atomic-load fast path shows up like any other
+                // throughput drop. Same noise-floor rule as above.
+                let above_floor = |field| row_f64(row, field).is_some_and(|s| s >= MIN_SECONDS);
+                if above_floor("inert_seconds") && above_floor("armed_seconds") {
+                    let key = fmt_key(&[("faults_disabled/fsync", field_text(row, "fsync"))]);
+                    if let Some(v) = row_f64(row, "inert_req_per_sec") {
+                        out.push(Metric {
+                            key,
+                            name: "inert_req_per_sec",
+                            higher_is_better: true,
+                            value: v,
+                        });
+                    }
+                }
+            }
             if let Some(rows) = report
                 .get("counting")
                 .and_then(|c| c.get("parallel"))

@@ -308,6 +308,7 @@ fn main() {
     let mut debug_row = String::new();
     let mut telemetry_row = String::new();
     let mut durability_row = String::new();
+    let mut faults_row = String::new();
     if net_enabled {
         let requests_per_client = env_usize("PCLABEL_BENCH_NET_REQS", 200);
         let workers = 8usize;
@@ -637,6 +638,102 @@ fn main() {
                 pct = overhead_pct,
             );
         }
+
+        // --- fault-plan seam cost: inert vs armed-but-never-firing --------
+        // The injection seam sits on every WAL write/fsync, so its
+        // disabled cost must stay ~0%: two checks measure it — fully
+        // inert (no plan, two atomic loads per I/O) and armed with a
+        // plan whose window never opens (adds the occurrence counter and
+        // rule scan). Same durable append pump as the row above.
+        {
+            let fault_requests = requests_per_client * 5;
+            let fault_rows = 10_000;
+            eprintln!(
+                "engine_bench: fault-seam overhead, {fault_requests} durable \
+                 appends inert vs armed-never-firing…"
+            );
+            let lines: Vec<String> = (0..fault_requests)
+                .map(|i| {
+                    format!(
+                        r#"{{"op":"append_rows","dataset":"bench","rows":[["v{}","v{}","v{}","v{}","v{}","v{}"]]}}"#,
+                        i % 8,
+                        i % 6,
+                        i % 4,
+                        i % 5,
+                        i % 3,
+                        i % 7
+                    )
+                })
+                .collect();
+            let pump_durable = |tag: &str| {
+                let dur_dir = std::env::temp_dir().join(format!(
+                    "pclabel-engine-bench-faults-{tag}-{}",
+                    std::process::id()
+                ));
+                let _ = std::fs::remove_dir_all(&dur_dir);
+                let dispatcher =
+                    Dispatcher::with_telemetry(EngineConfig::default(), Telemetry::disabled());
+                let durability = Durability::open(
+                    &dur_dir,
+                    DurabilityOptions::default(),
+                    dispatcher.engine().store_arc(),
+                    &pclabel_telemetry::Registry::new(),
+                )
+                .expect("open bench faults dir");
+                dispatcher
+                    .engine()
+                    .store()
+                    .register("bench", synthetic(fault_rows), LabelPolicy::Attrs(attrs))
+                    .expect("register faults bench dataset");
+                let start = Instant::now();
+                for line in &lines {
+                    let response = dispatcher.dispatch_line(line);
+                    assert_eq!(
+                        response.get("ok"),
+                        Some(&Json::Bool(true)),
+                        "bench append failed: {response}"
+                    );
+                }
+                let secs = start.elapsed().as_secs_f64();
+                drop(durability);
+                let _ = std::fs::remove_dir_all(&dur_dir);
+                secs
+            };
+
+            pclabel_wal::faults::install(None);
+            let inert_secs = pump_durable("inert");
+            // A plan whose only window opens at occurrence u64::MAX-ish:
+            // armed (counters tick, rules scan) but never fires.
+            let never =
+                pclabel_wal::faults::FaultPlan::parse("seed=1;wal.write=eio@900000000000000000..")
+                    .expect("never-firing plan parses");
+            pclabel_wal::faults::install(Some(std::sync::Arc::new(never)));
+            let armed_secs = pump_durable("armed");
+            pclabel_wal::faults::install(None);
+
+            let overhead_pct = (armed_secs - inert_secs) / inert_secs * 100.0;
+            eprintln!(
+                "engine_bench: fault-seam disabled overhead {overhead_pct:.1}% \
+                 ({:.0} armed vs {:.0} inert appends/sec)",
+                fault_requests as f64 / armed_secs,
+                fault_requests as f64 / inert_secs,
+            );
+            faults_row = format!(
+                concat!(
+                    "{{\"requests\":{requests},\"fsync\":\"batch\",",
+                    "\"inert_seconds\":{inert:.6},\"armed_seconds\":{armed:.6},",
+                    "\"inert_req_per_sec\":{inert_rate:.0},",
+                    "\"armed_req_per_sec\":{armed_rate:.0},",
+                    "\"overhead_pct\":{pct:.3}}}"
+                ),
+                requests = fault_requests,
+                inert = inert_secs,
+                armed = armed_secs,
+                inert_rate = fault_requests as f64 / inert_secs,
+                armed_rate = fault_requests as f64 / armed_secs,
+                pct = overhead_pct,
+            );
+        }
     }
 
     // --- report -----------------------------------------------------------
@@ -668,7 +765,7 @@ fn main() {
         hot_hits = hot.stats.cache_hits,
         net = if net_enabled {
             format!(
-                ",\"net\":[{}],\"debug_scrape\":{debug_row},\"telemetry_overhead\":{telemetry_row},\"durability_overhead\":{durability_row}",
+                ",\"net\":[{}],\"debug_scrape\":{debug_row},\"telemetry_overhead\":{telemetry_row},\"durability_overhead\":{durability_row},\"faults_disabled_overhead\":{faults_row}",
                 net_rows.join(",")
             )
         } else {

@@ -41,6 +41,7 @@ use pclabel_wal::wal::{
     read_segment, FsyncPolicy, TailState, WalWriter, BATCH_BYTES, BATCH_INTERVAL_MS, WAL_HEADER_LEN,
 };
 
+use crate::health::Health;
 use crate::parallel::auto_threads;
 use crate::store::{sel_of, EngineError, LabelStore, StoreEntry};
 
@@ -124,6 +125,7 @@ pub struct DurabilityStats {
 pub(crate) struct WalSink {
     writer: Mutex<WalWriter>,
     policy: FsyncPolicy,
+    health: Arc<Health>,
     last_lsn: AtomicU64,
     /// Bytes appended since the last snapshot, driving the background
     /// snapshot trigger.
@@ -144,11 +146,17 @@ impl std::fmt::Debug for WalSink {
 }
 
 impl WalSink {
-    fn new(writer: WalWriter, policy: FsyncPolicy, registry: &Registry) -> WalSink {
+    fn new(
+        writer: WalWriter,
+        policy: FsyncPolicy,
+        registry: &Registry,
+        health: Arc<Health>,
+    ) -> WalSink {
         let last_lsn = writer.next_lsn().saturating_sub(1);
         WalSink {
             writer: Mutex::new(writer),
             policy,
+            health,
             last_lsn: AtomicU64::new(last_lsn),
             unsnapshotted_bytes: AtomicU64::new(0),
             records_total: registry.counter(
@@ -172,22 +180,51 @@ impl WalSink {
 
     /// Appends one op, syncing per the fsync policy, and returns its
     /// LSN. An I/O failure is returned to the mutator, which must not
-    /// publish its change.
+    /// publish its change — and flips the store into read-only degraded
+    /// mode until the probe thread heals the data directory.
     pub(crate) fn append(&self, op: &WalOp) -> Result<u64, EngineError> {
         let mut writer = self.writer.lock().expect("wal mutex");
+        // Checked *under the writer lock*: a concurrent mutator that
+        // just failed (and rolled back) marks degraded before releasing
+        // the lock, so no append can land between a rollback and the
+        // heal's truncation.
+        if let Some(reason) = self.health.degraded_reason() {
+            return Err(EngineError::Degraded(reason));
+        }
         let before = writer.bytes_written();
-        let lsn = writer
-            .append(op)
-            .map_err(|e| EngineError::Durability(format!("WAL append: {e}")))?;
+        let lsn = match writer.append(op) {
+            Ok(lsn) => lsn,
+            Err(e) => {
+                // A failed (possibly partial) append leaves the
+                // writer's counters untouched, so the torn bytes sit
+                // beyond the trusted prefix and sanitize removes them.
+                let reason = format!("WAL append: {e}");
+                self.health.note_append_failure(&reason);
+                return Err(EngineError::Degraded(reason));
+            }
+        };
         let appended = writer.bytes_written() - before;
-        match self.policy {
-            FsyncPolicy::Always => self.timed_sync(&mut writer)?,
+        let synced = match self.policy {
+            FsyncPolicy::Always => self.timed_sync(&mut writer),
             FsyncPolicy::Batch => {
                 if writer.unsynced_bytes() >= BATCH_BYTES {
-                    self.timed_sync(&mut writer)?;
+                    self.timed_sync(&mut writer)
+                } else {
+                    Ok(())
                 }
             }
-            FsyncPolicy::Off => {}
+            FsyncPolicy::Off => Ok(()),
+        };
+        if let Err(e) = synced {
+            // The record reached the file but not the platter, and the
+            // mutator will not publish or acknowledge it. Un-count it
+            // so sanitize truncates it during heal — otherwise an
+            // unacknowledged op would replay on the next boot (and a
+            // client retrying the degraded error would apply it twice).
+            writer.rollback_last(appended);
+            let reason = e.to_string();
+            self.health.note_append_failure(&reason);
+            return Err(EngineError::Degraded(reason));
         }
         drop(writer);
         self.last_lsn.store(lsn, Ordering::Release);
@@ -226,6 +263,16 @@ impl WalSink {
         Ok(())
     }
 
+    /// Truncates the live segment back to its trusted prefix and fsyncs
+    /// it — the first step of a degraded-mode heal (removes torn bytes
+    /// from partial appends and rolled-back ghost records).
+    fn sanitize(&self) -> Result<(), EngineError> {
+        let mut writer = self.writer.lock().expect("wal mutex");
+        writer
+            .sanitize()
+            .map_err(|e| EngineError::Durability(format!("WAL sanitize: {e}")))
+    }
+
     /// Syncs the current segment and opens a fresh one whose base is
     /// the last written LSN. Skipped (returning `false`) when the
     /// current segment holds no records — rotation would recreate the
@@ -253,6 +300,7 @@ pub struct Durability {
     options: DurabilityOptions,
     store: Arc<LabelStore>,
     sink: Arc<WalSink>,
+    health: Arc<Health>,
     report: RecoveryReport,
     snapshot_mutex: Mutex<()>,
     last_snapshot_lsn: AtomicU64,
@@ -364,13 +412,28 @@ impl Durability {
         }
         report.recovered_lsn = cursor;
         report.datasets = store.len();
+        registry
+            .counter(
+                "pclabel_wal_quarantined_total",
+                "WAL segments quarantined (renamed to *.torn) by boot recovery",
+                &[],
+            )
+            .add(report.quarantined.len() as u64);
 
         // Phase 3: go live. A fresh segment at the recovered LSN —
-        // never append to old files — and the sink into the store.
+        // never append to old files — the health state machine, and the
+        // sink into the store.
         let writer = WalWriter::create(dir.path(), cursor)
             .map_err(|e| EngineError::Durability(format!("create WAL segment: {e}")))?;
-        let sink = Arc::new(WalSink::new(writer, options.fsync, registry));
+        let health = Health::new(registry);
+        let sink = Arc::new(WalSink::new(
+            writer,
+            options.fsync,
+            registry,
+            Arc::clone(&health),
+        ));
         store.set_sink(Arc::clone(&sink));
+        store.set_health(Arc::clone(&health));
 
         let snapshot_lsn = dir
             .list_snapshots()
@@ -382,6 +445,7 @@ impl Durability {
             options,
             store,
             sink,
+            health,
             report,
             snapshot_mutex: Mutex::new(()),
             last_snapshot_lsn: AtomicU64::new(snapshot_lsn),
@@ -413,6 +477,7 @@ impl Durability {
         let mut threads = self.threads.lock().expect("threads lock");
         if self.options.fsync == FsyncPolicy::Batch {
             let sink = Arc::clone(&self.sink);
+            let health = Arc::clone(&self.health);
             let stop = Arc::clone(&self.stop);
             threads.push(
                 std::thread::Builder::new()
@@ -420,10 +485,15 @@ impl Durability {
                     .spawn(move || {
                         while !stop.load(Ordering::Relaxed) {
                             std::thread::sleep(Duration::from_millis(BATCH_INTERVAL_MS / 2 + 1));
-                            // An fsync failure here surfaces on the next
-                            // appending request; nothing to do in the
-                            // background but keep trying.
-                            let _ = sink.flush_if_due();
+                            // While degraded the probe thread owns the
+                            // disk; pending acked-unsynced bytes reach
+                            // the platter via the heal's sanitize+fsync.
+                            if health.is_degraded() {
+                                continue;
+                            }
+                            if let Err(e) = sink.flush_if_due() {
+                                health.note_flush_failure(&e.to_string());
+                            }
                         }
                         let _ = sink.flush_if_due();
                     })
@@ -438,14 +508,84 @@ impl Durability {
                 .spawn(move || {
                     while !stop.load(Ordering::Relaxed) {
                         std::thread::sleep(Duration::from_millis(200));
+                        if this.health.is_degraded() {
+                            continue;
+                        }
                         let pending = this.sink.unsnapshotted_bytes.load(Ordering::Relaxed);
                         if pending >= this.options.snapshot_wal_bytes {
-                            let _ = this.snapshot_now();
+                            if let Err(e) = this.snapshot_now() {
+                                this.health.note_snapshot_failure(&e.to_string());
+                            }
                         }
                     }
                 })
                 .expect("spawn snapshotter"),
         );
+        let this = Arc::clone(self);
+        let stop = Arc::clone(&self.stop);
+        threads.push(
+            std::thread::Builder::new()
+                .name("pclabel-health-probe".into())
+                .spawn(move || {
+                    // Seeded LCG drives the jitter; it only shapes retry
+                    // pacing, never correctness.
+                    let mut rng: u64 = 0x243f_6a88_85a3_08d3;
+                    let mut attempt: u32 = 0;
+                    while !stop.load(Ordering::Relaxed) {
+                        if !this.health.is_degraded() {
+                            attempt = 0;
+                            std::thread::sleep(Duration::from_millis(25));
+                            continue;
+                        }
+                        this.health.tick();
+                        // Jittered exponential backoff: 100ms·2^attempt
+                        // capped at 5s, scaled to 50–100%.
+                        let exp = Duration::from_millis(100u64 << attempt.min(6))
+                            .min(Duration::from_secs(5));
+                        rng = rng
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let frac = ((rng >> 33) % 1000) as f64 / 1000.0;
+                        let backoff = exp.mul_f64(0.5 + frac / 2.0);
+                        // Sleep in slices so shutdown stays prompt.
+                        let until = Instant::now() + backoff;
+                        while Instant::now() < until && !stop.load(Ordering::Relaxed) {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        if stop.load(Ordering::Relaxed) || !this.health.is_degraded() {
+                            continue;
+                        }
+                        this.health.count_recovery_attempt();
+                        if this.try_heal().is_ok() {
+                            attempt = 0;
+                        } else {
+                            attempt = attempt.saturating_add(1);
+                        }
+                    }
+                })
+                .expect("spawn health probe"),
+        );
+    }
+
+    /// One degraded-mode recovery attempt: truncate the live segment
+    /// back to its trusted prefix (removing torn bytes from partial or
+    /// rolled-back appends) and fsync the clean tail, then run a full
+    /// snapshot — which re-persists every published entry to a brand-new
+    /// file, rotates to a fresh segment and prunes — and only then
+    /// restore read-write. The fresh snapshot is the recovery-style
+    /// revalidation: even if the old segment silently lost dirty pages
+    /// to the failed fsync, replay starts from the new snapshot, so
+    /// nothing acknowledged depends on the suspect tail.
+    fn try_heal(&self) -> Result<(), EngineError> {
+        self.sink.sanitize()?;
+        self.snapshot_now()?;
+        self.health.mark_healthy();
+        Ok(())
+    }
+
+    /// The shared health state machine (degraded/read-only status).
+    pub fn health(&self) -> &Arc<Health> {
+        &self.health
     }
 
     /// The recovery report from boot.

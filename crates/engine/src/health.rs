@@ -1,0 +1,290 @@
+//! The engine health state machine: read-only degraded mode.
+//!
+//! A store wired to a WAL must not acknowledge mutations it cannot
+//! log. Before this module, a failing disk surfaced as an opaque
+//! per-request durability error — and background flush/snapshot thread
+//! errors surfaced as nothing at all. [`Health`] turns persistent WAL
+//! failure into an explicit state:
+//!
+//! * Any WAL append/fsync failure (foreground or background) calls one
+//!   of the `note_*` methods, which counts the failure and flips the
+//!   state to **degraded**. The first failure's reason is retained as
+//!   the root cause until recovery.
+//! * While degraded, mutators fail fast with
+//!   [`EngineError::Degraded`](crate::store::EngineError) *before*
+//!   touching the WAL (the wire shape is
+//!   `{"ok":false,"error":"degraded","reason":...}`); queries keep
+//!   serving the published in-memory state untouched.
+//! * The durability plane's probe thread retries the data directory
+//!   with jittered exponential backoff and calls [`Health::mark_healthy`]
+//!   once a sanitize + fresh snapshot round-trip succeeds, atomically
+//!   restoring read-write.
+//!
+//! Exposure: `pclabel_health_state` (0 healthy / 1 degraded),
+//! `pclabel_wal_append_failures_total`,
+//! `pclabel_wal_flush_failures_total`,
+//! `pclabel_snapshot_failures_total`,
+//! `pclabel_degraded_seconds_total` and
+//! `pclabel_recovery_attempts_total`, plus the `health` section in the
+//! `health` / `server_stats` ops and the 503 on `GET /healthz`.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use pclabel_telemetry::{Counter, Gauge, Registry};
+
+/// Degraded-time bookkeeping behind one mutex (all on slow paths).
+#[derive(Debug, Default)]
+struct Detail {
+    /// Root-cause reason of the current degraded window (empty when
+    /// healthy).
+    reason: String,
+    /// When the current degraded window began.
+    since: Option<Instant>,
+    /// Total degraded time across *completed* windows.
+    completed: Duration,
+    /// Whole seconds already credited to the Prometheus counter.
+    credited_secs: u64,
+}
+
+/// A point-in-time health view for `health` / `server_stats`.
+#[derive(Debug, Clone)]
+pub struct HealthSnapshot {
+    /// Whether the store is in read-only degraded mode.
+    pub degraded: bool,
+    /// Root cause of the current degraded window, if any.
+    pub reason: Option<String>,
+    /// Seconds spent in the current degraded window (0 when healthy).
+    pub degraded_for_secs: f64,
+    /// Total seconds spent degraded since boot, all windows.
+    pub degraded_total_secs: f64,
+    /// Recovery attempts made by the probe thread since boot.
+    pub recovery_attempts: u64,
+}
+
+/// The shared health state machine (see the module docs).
+#[derive(Debug)]
+pub struct Health {
+    /// 0 = healthy, 1 = degraded. The only hot-path read.
+    state: AtomicU8,
+    detail: Mutex<Detail>,
+    state_gauge: Arc<Gauge>,
+    append_failures: Arc<Counter>,
+    flush_failures: Arc<Counter>,
+    snapshot_failures: Arc<Counter>,
+    degraded_seconds: Arc<Counter>,
+    recovery_attempts: Arc<Counter>,
+}
+
+impl Health {
+    /// Creates a healthy state machine with its metrics registered.
+    pub fn new(registry: &Registry) -> Arc<Health> {
+        Arc::new(Health {
+            state: AtomicU8::new(0),
+            detail: Mutex::new(Detail::default()),
+            state_gauge: registry.gauge(
+                "pclabel_health_state",
+                "Store health: 0 healthy, 1 read-only degraded",
+                &[],
+            ),
+            append_failures: registry.counter(
+                "pclabel_wal_append_failures_total",
+                "WAL append/fsync failures on the mutation path",
+                &[],
+            ),
+            flush_failures: registry.counter(
+                "pclabel_wal_flush_failures_total",
+                "Background WAL batch-flush failures",
+                &[],
+            ),
+            snapshot_failures: registry.counter(
+                "pclabel_snapshot_failures_total",
+                "Snapshot attempts that failed (background or heal)",
+                &[],
+            ),
+            degraded_seconds: registry.counter(
+                "pclabel_degraded_seconds_total",
+                "Total seconds spent in read-only degraded mode",
+                &[],
+            ),
+            recovery_attempts: registry.counter(
+                "pclabel_recovery_attempts_total",
+                "Degraded-mode recovery attempts by the probe thread",
+                &[],
+            ),
+        })
+    }
+
+    /// Whether the store is degraded — the mutators' fast-path check.
+    pub fn is_degraded(&self) -> bool {
+        self.state.load(Ordering::Relaxed) == 1
+    }
+
+    /// The current degraded reason, if degraded.
+    pub fn degraded_reason(&self) -> Option<String> {
+        if !self.is_degraded() {
+            return None;
+        }
+        let detail = self.detail.lock().expect("health lock");
+        Some(detail.reason.clone())
+    }
+
+    /// Flips to degraded (idempotent: the first caller's reason is the
+    /// retained root cause; later failures only count).
+    pub fn mark_degraded(&self, reason: &str) {
+        let mut detail = self.detail.lock().expect("health lock");
+        if self.state.swap(1, Ordering::SeqCst) == 0 {
+            detail.reason = reason.to_string();
+            detail.since = Some(Instant::now());
+            self.state_gauge.set(1);
+        }
+    }
+
+    /// A WAL append or foreground fsync failed: count it and degrade.
+    pub fn note_append_failure(&self, reason: &str) {
+        self.append_failures.inc();
+        self.mark_degraded(reason);
+    }
+
+    /// The background batch flusher failed an fsync: count and degrade.
+    pub fn note_flush_failure(&self, reason: &str) {
+        self.flush_failures.inc();
+        self.mark_degraded(reason);
+    }
+
+    /// A snapshot attempt failed: count and degrade (a disk that cannot
+    /// take snapshots is a disk about to fail the WAL too, and healing
+    /// requires a snapshot anyway).
+    pub fn note_snapshot_failure(&self, reason: &str) {
+        self.snapshot_failures.inc();
+        self.mark_degraded(reason);
+    }
+
+    /// Counts one probe-thread recovery attempt.
+    pub fn count_recovery_attempt(&self) {
+        self.recovery_attempts.inc();
+    }
+
+    /// Atomically restores read-write: closes the degraded window,
+    /// credits its final seconds, clears the reason.
+    pub fn mark_healthy(&self) {
+        let mut detail = self.detail.lock().expect("health lock");
+        if let Some(since) = detail.since.take() {
+            detail.completed += since.elapsed();
+        }
+        Self::credit(&self.degraded_seconds, &mut detail);
+        detail.reason.clear();
+        self.state.store(0, Ordering::SeqCst);
+        self.state_gauge.set(0);
+    }
+
+    /// Rolls elapsed degraded time into `pclabel_degraded_seconds_total`
+    /// (whole seconds; called periodically by the probe thread so the
+    /// counter rises *during* an outage, not just after it).
+    pub fn tick(&self) {
+        let mut detail = self.detail.lock().expect("health lock");
+        Self::credit(&self.degraded_seconds, &mut detail);
+    }
+
+    fn credit(counter: &Counter, detail: &mut Detail) {
+        let total = detail.completed
+            + detail
+                .since
+                .map(|since| since.elapsed())
+                .unwrap_or(Duration::ZERO);
+        let secs = total.as_secs();
+        if secs > detail.credited_secs {
+            counter.add(secs - detail.credited_secs);
+            detail.credited_secs = secs;
+        }
+    }
+
+    /// A point-in-time view for the `health`/`server_stats` ops.
+    pub fn snapshot(&self) -> HealthSnapshot {
+        let degraded = self.is_degraded();
+        let detail = self.detail.lock().expect("health lock");
+        let current = detail
+            .since
+            .map(|since| since.elapsed())
+            .unwrap_or(Duration::ZERO);
+        HealthSnapshot {
+            degraded,
+            reason: degraded.then(|| detail.reason.clone()),
+            degraded_for_secs: current.as_secs_f64(),
+            degraded_total_secs: (detail.completed + current).as_secs_f64(),
+            recovery_attempts: self.recovery_attempts.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrade_heal_cycle_tracks_state_and_reason() {
+        let registry = Registry::new();
+        let health = Health::new(&registry);
+        assert!(!health.is_degraded());
+        assert_eq!(health.degraded_reason(), None);
+
+        health.note_append_failure("WAL append: no space left on device");
+        assert!(health.is_degraded());
+        // The first failure's reason is the retained root cause.
+        health.note_flush_failure("later fsync error");
+        assert_eq!(
+            health.degraded_reason().as_deref(),
+            Some("WAL append: no space left on device")
+        );
+        assert_eq!(health.append_failures.get(), 1);
+        assert_eq!(health.flush_failures.get(), 1);
+        assert_eq!(health.state_gauge.get(), 1);
+
+        let snap = health.snapshot();
+        assert!(snap.degraded);
+        assert!(snap.reason.is_some());
+
+        health.mark_healthy();
+        assert!(!health.is_degraded());
+        assert_eq!(health.degraded_reason(), None);
+        assert_eq!(health.state_gauge.get(), 0);
+        let snap = health.snapshot();
+        assert!(!snap.degraded);
+        assert_eq!(snap.degraded_for_secs, 0.0);
+    }
+
+    #[test]
+    fn degraded_seconds_credit_is_monotone_across_windows() {
+        let registry = Registry::new();
+        let health = Health::new(&registry);
+        health.mark_degraded("window 1");
+        {
+            // Backdate the window so whole seconds accrue without
+            // sleeping in the test.
+            let mut detail = health.detail.lock().unwrap();
+            detail.since = Some(Instant::now() - Duration::from_secs(3));
+        }
+        health.tick();
+        assert_eq!(health.degraded_seconds.get(), 3);
+        health.tick();
+        assert_eq!(
+            health.degraded_seconds.get(),
+            3,
+            "tick must not double-credit"
+        );
+        health.mark_healthy();
+        assert!(health.degraded_seconds.get() >= 3);
+        let total_after_first = health.snapshot().degraded_total_secs;
+        assert!(total_after_first >= 3.0);
+
+        health.mark_degraded("window 2");
+        {
+            let mut detail = health.detail.lock().unwrap();
+            detail.since = Some(Instant::now() - Duration::from_secs(2));
+        }
+        health.mark_healthy();
+        assert!(health.degraded_seconds.get() >= 5);
+        assert!(health.snapshot().degraded_total_secs >= 5.0);
+    }
+}

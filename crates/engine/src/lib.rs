@@ -70,6 +70,7 @@
 
 pub mod cache;
 pub mod durability;
+pub mod health;
 pub mod json;
 pub mod parallel;
 pub mod query;
@@ -80,6 +81,7 @@ pub mod store;
 pub mod prelude {
     pub use crate::cache::{CacheStats, ShardedCache};
     pub use crate::durability::{Durability, DurabilityOptions, DurabilityStats, RecoveryReport};
+    pub use crate::health::{Health, HealthSnapshot};
     pub use crate::parallel::{auto_threads, group_counts, CountingOptions};
     pub use crate::query::{
         Engine, EngineConfig, PatternEstimate, PatternSpec, QueryRequest, QueryResponse, QueryStats,

@@ -421,6 +421,7 @@ impl Dispatcher {
                     ("snapshots", Json::num(stats.snapshots as f64)),
                 ]),
             ));
+            members.push(("health".to_string(), health_json(durability.health())));
         }
         Json::Obj(members)
     }
@@ -555,7 +556,43 @@ fn error_response(op: Option<&str>, message: &str) -> Json {
 }
 
 fn engine_error(op: &str, e: &EngineError) -> Json {
+    // Degraded mode gets a typed shape — `error` is the stable string
+    // `"degraded"` so clients and the HTTP adapter can branch on it
+    // (503, retry-after-heal) without parsing prose; the root cause
+    // rides in `reason`.
+    if let EngineError::Degraded(reason) = e {
+        return Json::obj([
+            ("ok", Json::Bool(false)),
+            ("error", Json::str("degraded")),
+            ("reason", Json::str(reason)),
+            ("op", Json::str(op)),
+        ]);
+    }
     error_response(Some(op), &e.to_string())
+}
+
+/// The `health` section shared by the `health` and `server_stats` ops.
+fn health_json(health: &crate::health::Health) -> Json {
+    let snap = health.snapshot();
+    Json::obj([
+        (
+            "state",
+            Json::str(if snap.degraded { "degraded" } else { "ok" }),
+        ),
+        (
+            "reason",
+            snap.reason.as_deref().map(Json::str).unwrap_or(Json::Null),
+        ),
+        ("degraded_for_seconds", Json::num(snap.degraded_for_secs)),
+        (
+            "degraded_seconds_total",
+            Json::num(snap.degraded_total_secs),
+        ),
+        (
+            "recovery_attempts",
+            Json::num(snap.recovery_attempts as f64),
+        ),
+    ])
 }
 
 fn require_dataset_name(request: &Json) -> Result<String, String> {
@@ -916,17 +953,35 @@ fn handle_estimate_multi(engine: &Engine, request: &Json) -> Json {
 }
 
 /// `health`: a cheap liveness probe (also the `GET /healthz` body in the
-/// HTTP transport), now carrying uptime and build version so a probe
-/// can tell a restart from a hang.
+/// HTTP transport), carrying uptime and build version so a probe can
+/// tell a restart from a hang. When the durability plane has flipped the
+/// store into read-only degraded mode, `status` becomes `"degraded"`
+/// (the HTTP adapter turns that into a 503) and a `health` section
+/// carries the root cause and recovery progress.
 fn handle_health(engine: &Engine, telemetry: &Telemetry) -> Json {
-    Json::obj([
-        ("ok", Json::Bool(true)),
-        ("op", Json::str("health")),
-        ("status", Json::str("ok")),
-        ("datasets", Json::num(engine.store().len() as f64)),
-        ("uptime_seconds", Json::num(telemetry.uptime_secs())),
-        ("version", Json::str(BUILD_VERSION)),
-    ])
+    let health = engine.durability().map(|d| Arc::clone(d.health()));
+    let degraded = health.as_ref().map(|h| h.is_degraded()).unwrap_or(false);
+    let mut members = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("op".to_string(), Json::str("health")),
+        (
+            "status".to_string(),
+            Json::str(if degraded { "degraded" } else { "ok" }),
+        ),
+        (
+            "datasets".to_string(),
+            Json::num(engine.store().len() as f64),
+        ),
+        (
+            "uptime_seconds".to_string(),
+            Json::num(telemetry.uptime_secs()),
+        ),
+        ("version".to_string(), Json::str(BUILD_VERSION)),
+    ];
+    if let Some(health) = &health {
+        members.push(("health".to_string(), health_json(health)));
+    }
+    Json::Obj(members)
 }
 
 /// Parses the `"rows"` array of an `append_rows` request: arrays of

@@ -28,6 +28,7 @@ use pclabel_wal::record::{DatasetImage, PolicyRepr, WalOp};
 
 use crate::cache::ShardedCache;
 use crate::durability::WalSink;
+use crate::health::Health;
 use crate::parallel::auto_threads;
 
 /// Errors surfaced by the engine layers.
@@ -44,6 +45,10 @@ pub enum EngineError {
     /// The durability plane failed (WAL append, fsync, snapshot or
     /// recovery). Mutations fail rather than run unlogged.
     Durability(String),
+    /// The store is in read-only degraded mode: the disk is failing,
+    /// queries keep serving, mutations are rejected until the probe
+    /// thread restores read-write. Carries the root-cause reason.
+    Degraded(String),
 }
 
 impl fmt::Display for EngineError {
@@ -56,6 +61,9 @@ impl fmt::Display for EngineError {
             EngineError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             EngineError::Data(e) => write!(f, "{e}"),
             EngineError::Durability(msg) => write!(f, "durability error: {msg}"),
+            EngineError::Degraded(reason) => {
+                write!(f, "store is read-only (degraded): {reason}")
+            }
         }
     }
 }
@@ -393,6 +401,7 @@ struct StoreInner {
 pub struct LabelStore {
     inner: RwLock<StoreInner>,
     sink: OnceLock<Arc<WalSink>>,
+    health: OnceLock<Arc<Health>>,
 }
 
 impl LabelStore {
@@ -406,6 +415,23 @@ impl LabelStore {
     /// calls are ignored.
     pub(crate) fn set_sink(&self, sink: Arc<WalSink>) {
         let _ = self.sink.set(sink);
+    }
+
+    /// Attaches the health state machine alongside the sink, so
+    /// mutators can fail fast while the store is degraded.
+    pub(crate) fn set_health(&self, health: Arc<Health>) {
+        let _ = self.health.set(health);
+    }
+
+    /// Rejects mutations while degraded — checked at the top of every
+    /// mutating op, before any work or lock. Queries never come here.
+    fn check_writable(&self) -> Result<(), EngineError> {
+        if let Some(health) = self.health.get() {
+            if let Some(reason) = health.degraded_reason() {
+                return Err(EngineError::Degraded(reason));
+            }
+        }
+        Ok(())
     }
 
     /// The retired generation recorded for a removed name, if any.
@@ -439,6 +465,7 @@ impl LabelStore {
         policy: LabelPolicy,
         trace: Option<&Trace>,
     ) -> Result<Arc<StoreEntry>, EngineError> {
+        self.check_writable()?;
         let name = name.into();
         if self
             .inner
@@ -522,6 +549,7 @@ impl LabelStore {
         policy: LabelPolicy,
         trace: Option<&Trace>,
     ) -> Result<u64, EngineError> {
+        self.check_writable()?;
         let entry = self.get(name)?;
         let mut dataset = entry.dataset();
         // A few optimistic passes: compute outside the lock so
@@ -616,6 +644,7 @@ impl LabelStore {
         rows: &[Vec<Option<S>>],
         trace: Option<&Trace>,
     ) -> Result<AppendReport, EngineError> {
+        self.check_writable()?;
         let entry = self.get(name)?;
         if rows.is_empty() {
             return Err(EngineError::BadRequest(
@@ -759,6 +788,7 @@ impl LabelStore {
     /// the name disappears; a WAL failure leaves the entry registered
     /// and returns [`EngineError::Durability`].
     pub fn remove(&self, name: &str) -> Result<bool, EngineError> {
+        self.check_writable()?;
         let mut inner = self.inner.write().expect("store lock");
         let Some(entry) = inner.entries.get(name) else {
             return Ok(false);

@@ -1,0 +1,334 @@
+//! Chaos client for a durable `pclabel-netd` under fault injection
+//! (used by `ci/chaos_soak.sh`).
+//!
+//! The harness boots the daemon with `PCLABEL_FAULT_PLAN` opening an
+//! ENOSPC/EIO window a moment into the run; this client drives each
+//! phase and asserts graceful degradation end to end:
+//!
+//! ```text
+//! net_chaos prepare ADDR           register census (figure2, bound 5)
+//! net_chaos soak ADDR SECONDS      run SECONDS of concurrent load:
+//!                                  a writer appending one row per
+//!                                  request through a RetryingClient
+//!                                  (prints "acked N" per acknowledged
+//!                                  append), an HTTP query thread
+//!                                  asserting every read answers 200
+//!                                  throughout, and a /healthz poller.
+//!                                  Asserts the fault window was
+//!                                  observed (degraded rejections and a
+//!                                  503 /healthz) and that the store
+//!                                  returned to read-write on its own
+//!                                  after the window closed.
+//! net_chaos verify ADDR ACKED     after a fresh reboot: exactly
+//!                                  18+ACKED rows survived (no acked
+//!                                  mutation lost, no unacked ghost
+//!                                  replayed), queries answer, and the
+//!                                  health section reports "ok".
+//! net_chaos dump ADDR              deterministic state dump + shutdown
+//!                                  (byte-identical across two fresh
+//!                                  boots of the same directory).
+//! net_chaos shutdown ADDR          ask the daemon to shut down.
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pclabel_engine::json::Json;
+use pclabel_net::client::{HttpClient, NetClient, RetryPolicy, RetryingClient};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: net_chaos prepare|dump|shutdown ADDR | soak ADDR SECONDS | verify ADDR ACKED"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, addr) = match (args.first(), args.get(1)) {
+        (Some(cmd), Some(addr)) => (cmd.as_str(), addr.as_str()),
+        _ => usage(),
+    };
+    match cmd {
+        "prepare" => prepare(addr),
+        "soak" => {
+            let secs = args
+                .get(2)
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or_else(|| usage());
+            soak(addr, secs);
+        }
+        "verify" => {
+            let acked = args
+                .get(2)
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or_else(|| usage());
+            verify(addr, acked);
+        }
+        "dump" => dump(addr),
+        "shutdown" => {
+            let mut client = NetClient::connect(addr).expect("connect to pclabel-netd");
+            shutdown(&mut client);
+        }
+        _ => usage(),
+    }
+}
+
+fn shutdown(client: &mut NetClient) {
+    let response = client
+        .request_line(r#"{"op":"shutdown"}"#)
+        .expect("shutdown round-trip");
+    let parsed = Json::parse(&response).expect("shutdown response JSON");
+    assert_eq!(
+        parsed.get("ok"),
+        Some(&Json::Bool(true)),
+        "shutdown refused: {response}"
+    );
+}
+
+fn prepare(addr: &str) {
+    let mut client = NetClient::connect(addr).expect("connect to pclabel-netd");
+    let response = client
+        .request_line(r#"{"op":"register","dataset":"census","generator":"figure2","bound":5}"#)
+        .expect("register round-trip");
+    let parsed = Json::parse(&response).expect("register response JSON");
+    assert_eq!(
+        parsed.get("ok"),
+        Some(&Json::Bool(true)),
+        "register failed: {response}"
+    );
+    println!("net_chaos: prepared (census registered)");
+}
+
+/// The soak: concurrent mutate + query load across the fault window.
+///
+/// Writer rules: an acknowledged append is printed as "acked N" (the
+/// harness counts these as the durable floor); a typed degraded
+/// rejection is expected during the window and simply retried later;
+/// anything else is a failure. Queries must answer 200 the whole time —
+/// read availability through the outage is the point of degraded mode.
+fn soak(addr: &str, secs: u64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let saw_degraded = Arc::new(AtomicBool::new(false));
+    let saw_503 = Arc::new(AtomicBool::new(false));
+    let queries_ok = Arc::new(AtomicU64::new(0));
+
+    // /healthz poller: flips saw_503 during the outage; never 5xx other
+    // than the expected 503-while-degraded.
+    let health_thread = {
+        let stop = Arc::clone(&stop);
+        let saw_503 = Arc::clone(&saw_503);
+        let addr = addr.to_string();
+        std::thread::spawn(move || {
+            let mut http = HttpClient::connect(&addr).expect("healthz connect");
+            while !stop.load(Ordering::Relaxed) {
+                let response = match http.request("GET", "/healthz", None) {
+                    Ok(response) => response,
+                    Err(_) => {
+                        // Reconnect once; the daemon must stay up.
+                        http = HttpClient::connect(&addr).expect("healthz reconnect");
+                        continue;
+                    }
+                };
+                match response.status {
+                    200 => {}
+                    503 => {
+                        assert!(
+                            response.body.contains("degraded"),
+                            "503 without a degraded body: {}",
+                            response.body
+                        );
+                        saw_503.store(true, Ordering::Relaxed);
+                    }
+                    other => panic!("/healthz answered {other}: {}", response.body),
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        })
+    };
+
+    // Query thread: reads must be served for the entire soak, degraded
+    // or not — any non-200 fails the gate.
+    let query_thread = {
+        let stop = Arc::clone(&stop);
+        let queries_ok = Arc::clone(&queries_ok);
+        let addr = addr.to_string();
+        std::thread::spawn(move || {
+            let mut http = HttpClient::connect(&addr).expect("query connect");
+            while !stop.load(Ordering::Relaxed) {
+                let response = match http.request("GET", "/stats?dataset=census", None) {
+                    Ok(response) => response,
+                    Err(_) => {
+                        http = HttpClient::connect(&addr).expect("query reconnect");
+                        continue;
+                    }
+                };
+                assert_eq!(
+                    response.status, 200,
+                    "query failed during soak: {}",
+                    response.body
+                );
+                queries_ok.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        })
+    };
+
+    // Writer: short retry budget so the loop observes the degraded
+    // window instead of blocking inside one request.
+    let policy = RetryPolicy {
+        max_attempts: 4,
+        base_backoff: Duration::from_millis(25),
+        max_backoff: Duration::from_millis(200),
+        deadline: Duration::from_millis(600),
+        seed: 0xc4a05,
+    };
+    let mut writer = RetryingClient::new(addr, policy);
+    let request = Json::parse(
+        r#"{"op":"append_rows","dataset":"census","rows":[["Female","20-39","Caucasian","married"]]}"#,
+    )
+    .expect("append request JSON");
+    let mut acked: u64 = 0;
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while Instant::now() < deadline {
+        let response = writer.request(&request).expect("append transport");
+        if response.get("ok") == Some(&Json::Bool(true)) {
+            acked += 1;
+            println!("acked {acked}");
+            // Throttle: the gate needs coverage of the window, not a
+            // throughput record — an unthrottled writer acks tens of
+            // thousands of rows and bloats the reboot replay.
+            std::thread::sleep(Duration::from_millis(2));
+        } else if response.get("error") == Some(&Json::str("degraded")) {
+            saw_degraded.store(true, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(25));
+        } else {
+            panic!("append refused outside degraded mode: {response}");
+        }
+    }
+
+    // The window is closed: the store must return to read-write on its
+    // own (probe thread heals; no operator action).
+    let recovered_by = Instant::now() + Duration::from_secs(30);
+    loop {
+        let response = writer.request(&request).expect("append transport");
+        if response.get("ok") == Some(&Json::Bool(true)) {
+            acked += 1;
+            println!("acked {acked}");
+            break;
+        }
+        assert!(
+            Instant::now() < recovered_by,
+            "store did not return to read-write after the fault window: {response}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    health_thread.join().expect("healthz thread");
+    query_thread.join().expect("query thread");
+
+    assert!(
+        saw_degraded.load(Ordering::Relaxed),
+        "the fault window was never observed by the writer — the soak proved nothing"
+    );
+    assert!(
+        saw_503.load(Ordering::Relaxed),
+        "/healthz never answered 503 during the fault window"
+    );
+    let reads = queries_ok.load(Ordering::Relaxed);
+    assert!(reads > 0, "no successful reads during the soak");
+    println!(
+        "net_chaos: soak done acked={acked} reads={reads} retries={}",
+        writer.retries()
+    );
+}
+
+fn verify(addr: &str, acked: u64) {
+    // figure2_sample has 18 rows. No kill is involved in the chaos
+    // soak, so the count is exact: every acked append survived and no
+    // unacknowledged (rolled-back) append replayed.
+    let want_rows = 18 + acked;
+    let mut http = HttpClient::connect(addr).expect("HTTP connect");
+
+    let stats = http
+        .request("GET", "/stats?dataset=census", None)
+        .expect("GET /stats");
+    assert_eq!(stats.status, 200, "stats: {}", stats.body);
+    let parsed = Json::parse(&stats.body).expect("stats JSON");
+    let rows = parsed
+        .get("rows")
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("stats carries no row count: {}", stats.body));
+    assert_eq!(
+        rows, want_rows,
+        "recovered {rows} rows; {acked} acked appends over 18 base rows demand exactly {want_rows}"
+    );
+
+    // The recovered label answers queries.
+    let mut client = NetClient::connect(addr).expect("framed connect");
+    let response = client
+        .request_line(
+            r#"{"op":"query","dataset":"census","patterns":[{"gender":"Male","age group":"under 20"}]}"#,
+        )
+        .expect("query round-trip");
+    let parsed = Json::parse(&response).expect("query response JSON");
+    let estimate = parsed
+        .get("results")
+        .and_then(Json::as_array)
+        .and_then(|r| r[0].get("estimate"))
+        .and_then(Json::as_f64);
+    assert!(
+        estimate.is_some_and(|e| e.is_finite()),
+        "recovered label cannot answer queries: {response}"
+    );
+
+    // Health is clean on the fresh boot and the durability plane is
+    // reporting a plausible LSN floor.
+    let server_stats = http
+        .request("POST", "/server_stats", Some("{}"))
+        .expect("POST /server_stats");
+    assert_eq!(
+        server_stats.status, 200,
+        "server_stats: {}",
+        server_stats.body
+    );
+    let parsed = Json::parse(&server_stats.body).expect("server_stats JSON");
+    let health = parsed
+        .get("health")
+        .unwrap_or_else(|| panic!("no health section: {}", server_stats.body));
+    assert_eq!(
+        health.get("state"),
+        Some(&Json::str("ok")),
+        "fresh boot is not healthy: {health}"
+    );
+    let durability = parsed
+        .get("durability")
+        .unwrap_or_else(|| panic!("no durability section: {}", server_stats.body));
+    let last_lsn = durability
+        .get("last_lsn")
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("no last_lsn: {}", server_stats.body));
+    let lsn_floor = 1 + acked;
+    assert!(
+        last_lsn >= lsn_floor,
+        "last_lsn {last_lsn} below the acked floor {lsn_floor}"
+    );
+
+    println!("net_chaos: verified ({rows} rows recovered, last_lsn {last_lsn})");
+}
+
+/// Deterministic state dump (same shape as `net_crash dump`): the same
+/// requests from a fresh recovery must print the same bytes every time.
+fn dump(addr: &str) {
+    let mut client = NetClient::connect(addr).expect("connect to pclabel-netd");
+    for request in [
+        r#"{"op":"query","dataset":"census","patterns":[{"gender":"Female","age group":"20-39","marital status":"married"},{"gender":"Male"},{"race":"Hispanic","marital status":"single"}]}"#,
+        r#"{"op":"stats","dataset":"census"}"#,
+    ] {
+        let response = client.request_line(request).expect("dump round-trip");
+        println!("{response}");
+    }
+    shutdown(&mut client);
+}

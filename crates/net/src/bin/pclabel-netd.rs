@@ -286,6 +286,18 @@ fn main() {
         if let Some(reason) = &report.stopped {
             eprintln!("pclabel-netd: WAL replay stopped early: {reason}");
         }
+        if !report.quarantined.is_empty() {
+            let names: Vec<String> = report
+                .quarantined
+                .iter()
+                .map(|p| p.display().to_string())
+                .collect();
+            eprintln!(
+                "pclabel-netd: quarantined {} WAL file(s): {}",
+                names.len(),
+                names.join(", ")
+            );
+        }
         engine.attach_durability(Arc::clone(&durability));
         durability
     });

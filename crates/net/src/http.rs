@@ -440,6 +440,7 @@ fn reason(status: u16) -> &'static str {
         429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         501 => "Not Implemented",
+        503 => "Service Unavailable",
         _ => "Error",
     }
 }
@@ -581,7 +582,15 @@ pub(crate) fn route(request: &Request, shared: &Shared) -> Routed {
     let mut routed = match (request.method.as_str(), path) {
         ("GET" | "HEAD", "/healthz") => {
             let response = shared.dispatcher.dispatch_line("{\"op\":\"health\"}");
-            Routed::json(200, response.to_string(), false)
+            // Read-only degraded mode answers 503 so load balancers and
+            // probes fail writes over, while the JSON body still carries
+            // the root cause and recovery progress.
+            let degraded = response.get("status") == Some(&Json::str("degraded"));
+            Routed::json(
+                if degraded { 503 } else { 200 },
+                response.to_string(),
+                false,
+            )
         }
         ("GET" | "HEAD", "/stats") => {
             let op = match params.iter().find(|(k, _)| k == "dataset") {
@@ -656,7 +665,18 @@ pub(crate) fn route(request: &Request, shared: &Shared) -> Routed {
                 },
             };
             let ok = response.get("ok") == Some(&Json::Bool(true));
-            Routed::json(if ok { 200 } else { 400 }, response.to_string(), shutdown)
+            // Mutations rejected by read-only degraded mode are a
+            // server-side condition, not a bad request: 503, so clients
+            // and proxies know to retry after recovery.
+            let degraded = !ok && response.get("error") == Some(&Json::str("degraded"));
+            let status = if ok {
+                200
+            } else if degraded {
+                503
+            } else {
+                400
+            };
+            Routed::json(status, response.to_string(), shutdown)
         }
         ("GET" | "HEAD", path) => {
             Routed::json(404, error_body(&format!("unknown path {path:?}")), false)

@@ -94,7 +94,7 @@ pub(crate) mod sys;
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::client::{HttpClient, NetClient};
+    pub use crate::client::{HttpClient, NetClient, RetryPolicy, RetryingClient};
     pub use crate::frame::{encode_frame, read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
     pub use crate::pool::ThreadPool;
     pub use crate::server::{ConnectionModel, NetServer, ServerConfig, ServerHandle};

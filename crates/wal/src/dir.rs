@@ -22,9 +22,19 @@
 
 use std::path::{Path, PathBuf};
 
+use crate::faults::{self, FaultPoint};
 use crate::snapshot::{parse_snapshot_name, read_snapshot, SnapshotData};
 use crate::wal::parse_segment_name;
 use crate::Result;
+
+/// Deletes one retired/pruned file through the fault seam.
+fn remove_file(path: &Path) -> Result<()> {
+    if let Some(injected) = faults::check(FaultPoint::DirRemove) {
+        return Err(injected.error.into());
+    }
+    std::fs::remove_file(path)?;
+    Ok(())
+}
 
 /// Number of snapshots kept on disk.
 pub const RETAINED_SNAPSHOTS: usize = 2;
@@ -144,7 +154,7 @@ impl DataDir {
         let mut deleted = Vec::new();
         if snapshots.len() > RETAINED_SNAPSHOTS {
             for (_, path) in &snapshots[..snapshots.len() - RETAINED_SNAPSHOTS] {
-                std::fs::remove_file(path)?;
+                remove_file(path)?;
                 deleted.push(path.clone());
             }
         }
@@ -184,7 +194,7 @@ impl DataDir {
             let (_, ref path) = window[0];
             let (next_base, _) = window[1];
             if next_base <= min_required_lsn {
-                std::fs::remove_file(path)?;
+                remove_file(path)?;
                 deleted.push(path.clone());
             }
         }

@@ -1,0 +1,453 @@
+//! Deterministic fault injection for the durability plane's I/O seams.
+//!
+//! A [`FaultPlan`] is a seeded, schedule-driven list of rules that make
+//! specific I/O operations fail on purpose — ENOSPC or EIO on writes,
+//! fsyncs, creates and renames, or a *partial* write that leaves a
+//! genuinely torn tail on disk. The write/fsync/rename paths in
+//! [`crate::wal`], [`crate::snapshot`] and [`crate::dir`] each consult
+//! [`check`] at the point where the real syscall would run, so an
+//! injected ENOSPC is indistinguishable from the disk actually filling
+//! up: same `io::Error` kind, same raw OS errno, same partial bytes on
+//! disk.
+//!
+//! ## Arming a plan
+//!
+//! * **Production binaries** — set `PCLABEL_FAULT_PLAN` in the
+//!   environment before the process starts. The plan is parsed once, on
+//!   the first I/O the seam guards; a malformed plan is reported on
+//!   stderr and ignored (the process runs fault-free rather than
+//!   half-chaos). This is what `ci/chaos_soak.sh` uses to drive a real
+//!   `pclabel-netd` through a disk-full window.
+//! * **In-process tests** — call [`install`] with a parsed plan, and
+//!   [`install`]`(None)` to disarm. The global is process-wide, so
+//!   tests that install plans must not run concurrently with tests
+//!   doing real durability I/O (keep them in their own integration-test
+//!   binary, serialized by a mutex).
+//!
+//! ## Zero cost when unset
+//!
+//! The hot path ([`check`]) is two relaxed atomic loads when no plan is
+//! armed — no locks, no allocation, no branching on rule lists. The
+//! `faults_disabled_overhead` row in `engine_bench` trends this.
+//!
+//! ## Plan grammar
+//!
+//! ```text
+//! plan  := term (';' term)*
+//! term  := 'seed=' u64 | rule
+//! rule  := point '=' fault '@' window [':p' percent]
+//! point := wal.write | wal.fsync | wal.create
+//!        | snap.write | snap.fsync | snap.rename
+//!        | dir.fsync | dir.remove
+//! fault := enospc | eio | partial:<bytes>
+//! window:= N | N..M | N.. | tS..tE | tS..
+//! ```
+//!
+//! A count window `N..M` covers zero-based *occurrences* of that point
+//! (each call to [`check`] for the point is one occurrence); a time
+//! window `tS..tE` covers seconds since the plan was armed, which is
+//! what a chaos drill wants — the window closes even while the engine
+//! is degraded and no longer reaching the faulted point. `:pP` fires
+//! the rule with probability `P`% per matching occurrence, decided by
+//! the plan's seeded generator so a given seed replays the same
+//! schedule.
+//!
+//! Example — a disk-full window from 1.5s to 4s after boot:
+//!
+//! ```text
+//! seed=7;wal.write=enospc@t1.5..t4;wal.fsync=enospc@t1.5..t4;snap.write=enospc@t1.5..t4
+//! ```
+
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Once};
+use std::time::Instant;
+
+/// Raw OS errno for "no space left on device".
+const ENOSPC: i32 = 28;
+/// Raw OS errno for "input/output error".
+const EIO: i32 = 5;
+
+/// An I/O operation the fault seam guards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// A WAL record frame write ([`crate::wal::WalWriter::append_payload`]).
+    WalWrite,
+    /// A WAL segment fsync ([`crate::wal::WalWriter::sync`]).
+    WalFsync,
+    /// Creating a fresh WAL segment ([`crate::wal::WalWriter::create`]).
+    WalCreate,
+    /// Writing a snapshot's bytes ([`crate::snapshot::write_snapshot`]).
+    SnapWrite,
+    /// Fsyncing a snapshot tmp file before its rename.
+    SnapFsync,
+    /// Renaming a snapshot tmp file into place.
+    SnapRename,
+    /// Fsyncing the data directory ([`crate::wal::sync_dir`]).
+    DirFsync,
+    /// Deleting a retired snapshot or pruned segment ([`crate::dir`]).
+    DirRemove,
+}
+
+/// All points, for per-point occurrence counters.
+const POINTS: usize = 8;
+
+impl FaultPoint {
+    fn index(self) -> usize {
+        match self {
+            FaultPoint::WalWrite => 0,
+            FaultPoint::WalFsync => 1,
+            FaultPoint::WalCreate => 2,
+            FaultPoint::SnapWrite => 3,
+            FaultPoint::SnapFsync => 4,
+            FaultPoint::SnapRename => 5,
+            FaultPoint::DirFsync => 6,
+            FaultPoint::DirRemove => 7,
+        }
+    }
+
+    fn parse(s: &str) -> Option<FaultPoint> {
+        Some(match s {
+            "wal.write" => FaultPoint::WalWrite,
+            "wal.fsync" => FaultPoint::WalFsync,
+            "wal.create" => FaultPoint::WalCreate,
+            "snap.write" => FaultPoint::SnapWrite,
+            "snap.fsync" => FaultPoint::SnapFsync,
+            "snap.rename" => FaultPoint::SnapRename,
+            "dir.fsync" => FaultPoint::DirFsync,
+            "dir.remove" => FaultPoint::DirRemove,
+            _ => return None,
+        })
+    }
+}
+
+/// The failure a rule injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// `io::Error` with raw OS errno 28 (no space left on device).
+    Enospc,
+    /// `io::Error` with raw OS errno 5 (input/output error).
+    Eio,
+    /// Write this many prefix bytes for real, then fail with EIO — the
+    /// on-disk result is a genuinely torn tail.
+    Partial(usize),
+}
+
+impl FaultKind {
+    fn parse(s: &str) -> Option<FaultKind> {
+        if let Some(bytes) = s.strip_prefix("partial:") {
+            return bytes.parse().ok().map(FaultKind::Partial);
+        }
+        Some(match s {
+            "enospc" => FaultKind::Enospc,
+            "eio" => FaultKind::Eio,
+            _ => return None,
+        })
+    }
+}
+
+/// When a rule applies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Window {
+    /// Zero-based occurrence range `[from, to)` of the rule's point
+    /// (`to == u64::MAX` for open-ended).
+    Count { from: u64, to: u64 },
+    /// Seconds since the plan was armed, `[from, to)`.
+    Time { from: f64, to: f64 },
+}
+
+impl Window {
+    fn parse(s: &str) -> Option<Window> {
+        if let Some(rest) = s.strip_prefix('t') {
+            let (from, to) = match rest.split_once("..") {
+                Some((a, b)) => (
+                    a.parse().ok()?,
+                    if b.is_empty() {
+                        f64::INFINITY
+                    } else {
+                        b.strip_prefix('t').unwrap_or(b).parse().ok()?
+                    },
+                ),
+                None => {
+                    let at: f64 = rest.parse().ok()?;
+                    (at, f64::INFINITY)
+                }
+            };
+            return Some(Window::Time { from, to });
+        }
+        let (from, to) = match s.split_once("..") {
+            Some((a, b)) => (
+                a.parse().ok()?,
+                if b.is_empty() {
+                    u64::MAX
+                } else {
+                    b.parse().ok()?
+                },
+            ),
+            None => {
+                let at: u64 = s.parse().ok()?;
+                (at, at.saturating_add(1))
+            }
+        };
+        Some(Window::Count { from, to })
+    }
+}
+
+/// One `point=fault@window[:pP]` rule.
+#[derive(Debug, Clone, PartialEq)]
+struct FaultRule {
+    point: FaultPoint,
+    kind: FaultKind,
+    window: Window,
+    /// Fire probability in percent (100 = always).
+    percent: u8,
+}
+
+/// A parsed, armed schedule of injected faults.
+#[derive(Debug)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+    /// Per-point occurrence counters (calls to [`check`]).
+    occurrences: [AtomicU64; POINTS],
+    /// Seeded LCG state for `:pP` probabilistic rules.
+    rng: AtomicU64,
+    armed_at: Instant,
+}
+
+/// What an injection site must do: optionally write `partial` prefix
+/// bytes for real, then fail with `error`.
+#[derive(Debug)]
+pub struct Injected {
+    /// Prefix bytes to actually write before failing (partial-write
+    /// faults); `None` fails without touching the file.
+    pub partial: Option<usize>,
+    /// The error to surface, built from the real OS errno.
+    pub error: io::Error,
+}
+
+impl FaultPlan {
+    /// Parses the plan grammar (see the module docs). Errors carry the
+    /// offending term.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut rules = Vec::new();
+        for term in spec.split(';') {
+            let term = term.trim();
+            if term.is_empty() {
+                continue;
+            }
+            if let Some(s) = term.strip_prefix("seed=") {
+                seed = s.parse().map_err(|_| format!("bad seed in {term:?}"))?;
+                continue;
+            }
+            let (point, rest) = term
+                .split_once('=')
+                .ok_or_else(|| format!("expected point=fault@window, got {term:?}"))?;
+            let point = FaultPoint::parse(point.trim())
+                .ok_or_else(|| format!("unknown fault point {point:?}"))?;
+            let (fault, rest) = rest
+                .split_once('@')
+                .ok_or_else(|| format!("missing @window in {term:?}"))?;
+            let kind = FaultKind::parse(fault.trim())
+                .ok_or_else(|| format!("unknown fault kind {fault:?}"))?;
+            let (window, percent) = match rest.split_once(":p") {
+                Some((w, p)) => (
+                    w,
+                    p.parse::<u8>()
+                        .ok()
+                        .filter(|&p| p <= 100)
+                        .ok_or_else(|| format!("bad probability in {term:?}"))?,
+                ),
+                None => (rest, 100),
+            };
+            let window =
+                Window::parse(window.trim()).ok_or_else(|| format!("bad window in {term:?}"))?;
+            rules.push(FaultRule {
+                point,
+                kind,
+                window,
+                percent,
+            });
+        }
+        Ok(FaultPlan {
+            rules,
+            occurrences: Default::default(),
+            rng: AtomicU64::new(seed),
+            armed_at: Instant::now(),
+        })
+    }
+
+    /// Records one occurrence of `point` and returns the injection the
+    /// first matching rule demands, if any.
+    fn hit(&self, point: FaultPoint) -> Option<Injected> {
+        let n = self.occurrences[point.index()].fetch_add(1, Ordering::Relaxed);
+        let elapsed = self.armed_at.elapsed().as_secs_f64();
+        for rule in &self.rules {
+            if rule.point != point {
+                continue;
+            }
+            let in_window = match rule.window {
+                Window::Count { from, to } => n >= from && n < to,
+                Window::Time { from, to } => elapsed >= from && elapsed < to,
+            };
+            if !in_window {
+                continue;
+            }
+            if rule.percent < 100 {
+                // One LCG step per probabilistic draw; deterministic for
+                // a given seed and check sequence.
+                let state = self
+                    .rng
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                        Some(
+                            s.wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407),
+                        )
+                    })
+                    .unwrap_or(0);
+                if (state >> 33) % 100 >= rule.percent as u64 {
+                    continue;
+                }
+            }
+            let (partial, errno) = match rule.kind {
+                FaultKind::Enospc => (None, ENOSPC),
+                FaultKind::Eio => (None, EIO),
+                FaultKind::Partial(bytes) => (Some(bytes), EIO),
+            };
+            return Some(Injected {
+                partial,
+                error: io::Error::from_raw_os_error(errno),
+            });
+        }
+        None
+    }
+
+    /// Occurrences of `point` recorded so far (testing/introspection).
+    pub fn occurrences(&self, point: FaultPoint) -> u64 {
+        self.occurrences[point.index()].load(Ordering::Relaxed)
+    }
+}
+
+/// Fast inert flag: false means [`check`] returns `None` without
+/// touching the plan mutex.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static INIT: Once = Once::new();
+static PLAN: Mutex<Option<Arc<FaultPlan>>> = Mutex::new(None);
+
+fn load_env_plan() {
+    INIT.call_once(|| {
+        if let Ok(spec) = std::env::var("PCLABEL_FAULT_PLAN") {
+            // An empty value means unset (harness scripts pass "" for
+            // clean boots), not an armed-but-empty plan.
+            if spec.trim().is_empty() {
+                return;
+            }
+            match FaultPlan::parse(&spec) {
+                Ok(plan) => {
+                    *PLAN.lock().expect("fault plan lock") = Some(Arc::new(plan));
+                    ACTIVE.store(true, Ordering::Release);
+                    eprintln!("pclabel-wal: fault plan armed: {spec}");
+                }
+                Err(e) => {
+                    eprintln!("pclabel-wal: ignoring malformed PCLABEL_FAULT_PLAN: {e}");
+                }
+            }
+        }
+    });
+}
+
+/// Arms (or with `None` disarms) a fault plan in-process, overriding
+/// any environment plan. Test/bench hook; process-wide.
+pub fn install(plan: Option<Arc<FaultPlan>>) {
+    // Make sure the env path has run first so a later lazy env load
+    // cannot resurrect a plan a test just disarmed.
+    load_env_plan();
+    let active = plan.is_some();
+    *PLAN.lock().expect("fault plan lock") = plan;
+    ACTIVE.store(active, Ordering::Release);
+}
+
+/// The seam every guarded I/O site calls. Returns `None` (inert) when
+/// no plan is armed — two atomic loads, nothing else.
+pub fn check(point: FaultPoint) -> Option<Injected> {
+    load_env_plan();
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    let plan = PLAN.lock().expect("fault plan lock").clone()?;
+    plan.hit(point)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_count_windows_and_kinds() {
+        let plan = FaultPlan::parse("seed=42;wal.write=enospc@3..5;snap.rename=eio@7").unwrap();
+        assert_eq!(plan.rules.len(), 2);
+        assert_eq!(plan.rules[0].point, FaultPoint::WalWrite);
+        assert_eq!(plan.rules[0].kind, FaultKind::Enospc);
+        assert_eq!(plan.rules[0].window, Window::Count { from: 3, to: 5 });
+        assert_eq!(plan.rules[1].window, Window::Count { from: 7, to: 8 });
+        // Occurrences 0..3 pass, 3 and 4 fail, 5.. pass again.
+        for _ in 0..3 {
+            assert!(plan.hit(FaultPoint::WalWrite).is_none());
+        }
+        for _ in 3..5 {
+            let injected = plan.hit(FaultPoint::WalWrite).expect("in window");
+            assert_eq!(injected.error.raw_os_error(), Some(ENOSPC));
+            assert!(injected.partial.is_none());
+        }
+        assert!(plan.hit(FaultPoint::WalWrite).is_none());
+        // Other points are independent.
+        assert!(plan.hit(FaultPoint::WalFsync).is_none());
+    }
+
+    #[test]
+    fn parses_partial_and_open_windows() {
+        let plan = FaultPlan::parse("wal.write=partial:10@1..").unwrap();
+        assert!(plan.hit(FaultPoint::WalWrite).is_none());
+        for _ in 0..5 {
+            let injected = plan.hit(FaultPoint::WalWrite).expect("open window");
+            assert_eq!(injected.partial, Some(10));
+            assert_eq!(injected.error.raw_os_error(), Some(EIO));
+        }
+    }
+
+    #[test]
+    fn parses_time_windows() {
+        // A window starting now and one far in the future.
+        let plan = FaultPlan::parse("wal.fsync=eio@t0..t3600;snap.write=eio@t3600..").unwrap();
+        assert!(plan.hit(FaultPoint::WalFsync).is_some());
+        assert!(plan.hit(FaultPoint::SnapWrite).is_none());
+    }
+
+    #[test]
+    fn seeded_probability_replays_identically() {
+        let draws = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::parse(&format!("seed={seed};wal.write=eio@0..:p50")).unwrap();
+            (0..64)
+                .map(|_| plan.hit(FaultPoint::WalWrite).is_some())
+                .collect()
+        };
+        let a = draws(7);
+        assert_eq!(a, draws(7), "same seed must replay the same schedule");
+        assert_ne!(a, draws(8), "different seeds should diverge");
+        let fired = a.iter().filter(|&&f| f).count();
+        assert!((10..=54).contains(&fired), "p50 fired {fired}/64");
+    }
+
+    #[test]
+    fn rejects_malformed_terms() {
+        assert!(FaultPlan::parse("wal.write=enospc").is_err());
+        assert!(FaultPlan::parse("nope.write=enospc@0").is_err());
+        assert!(FaultPlan::parse("wal.write=explode@0").is_err());
+        assert!(FaultPlan::parse("wal.write=eio@x..y").is_err());
+        assert!(FaultPlan::parse("wal.write=eio@0:p101").is_err());
+        assert!(FaultPlan::parse("seed=notanumber").is_err());
+        // Empty terms and whitespace are fine.
+        assert!(FaultPlan::parse(" ; wal.write = eio @ 0 ; ").is_ok());
+        assert!(FaultPlan::parse("").unwrap().rules.is_empty());
+    }
+}

@@ -45,6 +45,7 @@
 pub mod codec;
 pub mod crc;
 pub mod dir;
+pub mod faults;
 pub mod record;
 pub mod snapshot;
 pub mod wal;

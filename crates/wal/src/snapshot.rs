@@ -42,6 +42,7 @@ use std::path::{Path, PathBuf};
 
 use crate::codec::{put_str, put_u32, put_u32s, put_u64, put_u64s, Reader};
 use crate::crc::Crc32;
+use crate::faults::{self, FaultPoint};
 use crate::record::DatasetImage;
 use crate::wal::sync_dir;
 use crate::{FormatError, Result};
@@ -252,9 +253,24 @@ pub fn write_snapshot(dir: &Path, data: &SnapshotData) -> Result<PathBuf> {
         .create(true)
         .truncate(true)
         .open(&tmp_path)?;
+    if let Some(injected) = faults::check(FaultPoint::SnapWrite) {
+        // A partial snapshot write leaves a real truncated tmp file —
+        // exactly what a crash mid-write leaves; recovery ignores and
+        // sweeps it.
+        if let Some(cut) = injected.partial {
+            let _ = f.write_all(&bytes[..cut.min(bytes.len())]);
+        }
+        return Err(injected.error.into());
+    }
     f.write_all(&bytes)?;
+    if let Some(injected) = faults::check(FaultPoint::SnapFsync) {
+        return Err(injected.error.into());
+    }
     f.sync_all()?;
     drop(f);
+    if let Some(injected) = faults::check(FaultPoint::SnapRename) {
+        return Err(injected.error.into());
+    }
     std::fs::rename(&tmp_path, &final_path)?;
     sync_dir(dir)?;
     Ok(final_path)

@@ -36,12 +36,13 @@
 //! never read again and gets deleted with its segment at truncation.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read as _, Write as _};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
 use std::time::Instant;
 
 use crate::crc::Crc32;
+use crate::faults::{self, FaultPoint};
 use crate::record::WalOp;
 use crate::{FormatError, Result};
 
@@ -141,6 +142,9 @@ impl WalWriter {
     /// fsynced before returning, so the segment survives a crash even
     /// under [`FsyncPolicy::Off`].
     pub fn create(dir: &Path, base_lsn: u64) -> Result<WalWriter> {
+        if let Some(injected) = faults::check(FaultPoint::WalCreate) {
+            return Err(injected.error.into());
+        }
         let path = dir.join(segment_file_name(base_lsn));
         let mut file = OpenOptions::new()
             .write(true)
@@ -206,6 +210,16 @@ impl WalWriter {
         frame.extend_from_slice(&crc.finish().to_le_bytes());
         frame.extend_from_slice(&lsn.to_le_bytes());
         frame.extend_from_slice(payload);
+        if let Some(injected) = faults::check(FaultPoint::WalWrite) {
+            // A partial-write fault puts a real frame prefix on disk —
+            // the torn tail a crashed write leaves. The counters below
+            // stay untouched, so `bytes_written` remains the trusted
+            // prefix length and `sanitize` can truncate back to it.
+            if let Some(cut) = injected.partial {
+                let _ = self.file.write_all(&frame[..cut.min(frame.len())]);
+            }
+            return Err(injected.error.into());
+        }
         self.file.write_all(&frame)?;
         self.next_lsn += 1;
         self.bytes_written += frame.len() as u64;
@@ -219,15 +233,57 @@ impl WalWriter {
             self.last_sync = Instant::now();
             return Ok(false);
         }
+        if let Some(injected) = faults::check(FaultPoint::WalFsync) {
+            return Err(injected.error.into());
+        }
         self.file.sync_all()?;
         self.unsynced_bytes = 0;
         self.last_sync = Instant::now();
         Ok(true)
     }
+
+    /// Rolls back the last appended record (`frame_len` bytes) from the
+    /// writer's accounting — next LSN, trusted length, unsynced count.
+    ///
+    /// For a record that reached the file but failed its fsync and was
+    /// therefore never acknowledged: un-counting it keeps it out of the
+    /// trusted prefix, so [`WalWriter::sanitize`] removes its bytes and
+    /// no unacknowledged op can replay on a later boot. The caller must
+    /// not append again until `sanitize` has truncated the file — the
+    /// rolled-back bytes still sit at the write position.
+    pub fn rollback_last(&mut self, frame_len: u64) {
+        self.next_lsn -= 1;
+        self.bytes_written -= frame_len;
+        self.unsynced_bytes = self.unsynced_bytes.saturating_sub(frame_len);
+    }
+
+    /// Truncates the segment back to its trusted prefix and fsyncs it.
+    ///
+    /// `bytes_written` only advances when a whole frame lands (a failed
+    /// or partial append leaves it untouched), so after any append
+    /// failure the file may carry torn bytes past that mark — bytes a
+    /// later boot would read as a torn tail, quarantining every segment
+    /// after this one. The degraded-mode heal path calls this before
+    /// going read-write again: cut the file at `bytes_written`, reset
+    /// the write cursor, and fsync so the clean tail is durable.
+    pub fn sanitize(&mut self) -> Result<()> {
+        if let Some(injected) = faults::check(FaultPoint::WalFsync) {
+            return Err(injected.error.into());
+        }
+        self.file.set_len(self.bytes_written)?;
+        self.file.seek(SeekFrom::Start(self.bytes_written))?;
+        self.file.sync_all()?;
+        self.unsynced_bytes = 0;
+        self.last_sync = Instant::now();
+        Ok(())
+    }
 }
 
 /// Fsyncs a directory so renames/creates within it are durable.
 pub fn sync_dir(dir: &Path) -> Result<()> {
+    if let Some(injected) = faults::check(FaultPoint::DirFsync) {
+        return Err(injected.error.into());
+    }
     // Directory fsync is POSIX-specific; on platforms where opening a
     // directory fails, rely on the file-level syncs alone.
     if let Ok(d) = File::open(dir) {

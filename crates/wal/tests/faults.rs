@@ -1,0 +1,178 @@
+//! End-to-end fault-seam tests: armed plans make the real WAL and
+//! snapshot I/O paths fail the way a failing disk does, and the
+//! sanitize path restores a clean segment.
+//!
+//! These tests install **process-global** plans, so they live in their
+//! own integration-test binary and serialize on a mutex — nothing else
+//! in this process does durability I/O.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use pclabel_wal::faults::{install, FaultPlan};
+use pclabel_wal::record::WalOp;
+use pclabel_wal::snapshot::{write_snapshot, SnapshotData};
+use pclabel_wal::wal::{read_segment, TailState, WalWriter};
+use pclabel_wal::FormatError;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Arms `spec` for the guard's lifetime; disarms on drop (including
+/// panic unwinding, so a failing test cannot poison its successors).
+struct Armed(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+fn arm(spec: &str) -> (Armed, Arc<FaultPlan>) {
+    let guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let plan = Arc::new(FaultPlan::parse(spec).expect("parse plan"));
+    install(Some(Arc::clone(&plan)));
+    (Armed(guard), plan)
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        install(None);
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("pclabel-faults-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn op(i: u64) -> WalOp {
+    WalOp::Remove {
+        name: format!("d{i}"),
+        generation: i,
+    }
+}
+
+fn is_enospc(e: &FormatError) -> bool {
+    matches!(e, FormatError::Io(io) if io.raw_os_error() == Some(28))
+}
+
+#[test]
+fn enospc_window_fails_appends_then_clears() {
+    let dir = temp_dir("enospc");
+    // Occurrences 2..4 of wal.write fail with ENOSPC.
+    let (_armed, plan) = arm("wal.write=enospc@2..4");
+    let mut w = WalWriter::create(&dir, 0).unwrap();
+    assert_eq!(w.append(&op(0)).unwrap(), 1);
+    assert_eq!(w.append(&op(1)).unwrap(), 2);
+    let before = w.bytes_written();
+    for _ in 0..2 {
+        let err = w.append(&op(9)).unwrap_err();
+        assert!(is_enospc(&err), "expected ENOSPC, got {err}");
+    }
+    // Failed appends advance neither the LSN nor the trusted length.
+    assert_eq!(w.next_lsn(), 3);
+    assert_eq!(w.bytes_written(), before);
+    // The window closes by occurrence count; LSNs stay dense.
+    assert_eq!(w.append(&op(2)).unwrap(), 3);
+    w.sync().unwrap();
+    assert_eq!(
+        plan.occurrences(pclabel_wal::faults::FaultPoint::WalWrite),
+        5
+    );
+    let read = read_segment(w.path()).unwrap();
+    assert_eq!(read.tail, TailState::Clean);
+    assert_eq!(read.records.len(), 3);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn partial_write_leaves_torn_tail_and_sanitize_heals_it() {
+    let dir = temp_dir("partial");
+    let (_armed, _plan) = arm("wal.write=partial:9@2");
+    let mut w = WalWriter::create(&dir, 0).unwrap();
+    w.append(&op(0)).unwrap();
+    w.append(&op(1)).unwrap();
+    let err = w.append(&op(2)).unwrap_err();
+    assert!(matches!(&err, FormatError::Io(io) if io.raw_os_error() == Some(5)));
+    w.sync().unwrap();
+
+    // The 9 torn prefix bytes are really on disk: replay trusts the two
+    // whole records and reports a torn tail at the trusted length.
+    let read = read_segment(w.path()).unwrap();
+    assert_eq!(read.records.len(), 2);
+    match &read.tail {
+        TailState::Torn { offset, .. } => assert_eq!(*offset, w.bytes_written()),
+        TailState::Clean => panic!("partial write left no torn tail"),
+    }
+
+    // Sanitize truncates back to the trusted prefix; appends resume on
+    // a clean file with dense LSNs.
+    w.sanitize().unwrap();
+    assert_eq!(
+        std::fs::metadata(w.path()).unwrap().len(),
+        w.bytes_written()
+    );
+    assert_eq!(w.append(&op(2)).unwrap(), 3);
+    w.sync().unwrap();
+    let read = read_segment(w.path()).unwrap();
+    assert_eq!(read.tail, TailState::Clean);
+    assert_eq!(read.records.len(), 3);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fsync_and_create_faults_surface() {
+    let dir = temp_dir("fsync");
+    let (_armed, _plan) = arm("wal.fsync=eio@0;wal.create=enospc@1..2");
+    let mut w = WalWriter::create(&dir, 0).unwrap();
+    w.append(&op(0)).unwrap();
+    let err = w.sync().unwrap_err();
+    assert!(matches!(&err, FormatError::Io(io) if io.raw_os_error() == Some(5)));
+    // The fsync window has passed; the retry drains the pending bytes.
+    assert!(w.sync().unwrap());
+    // Segment rotation hits the create fault exactly once.
+    let err = WalWriter::create(&dir, 1).unwrap_err();
+    assert!(is_enospc(&err));
+    WalWriter::create(&dir, 1).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn snapshot_write_fsync_and_rename_faults_surface() {
+    let dir = temp_dir("snap");
+    let data = SnapshotData {
+        last_lsn: 4,
+        min_required_lsn: 4,
+        entries: vec![],
+        retired: vec![],
+    };
+    let (_armed, _plan) = arm("snap.write=enospc@0;snap.fsync=eio@0;snap.rename=eio@0");
+    for expect_errno in [28, 5, 5] {
+        let err = write_snapshot(&dir, &data).unwrap_err();
+        assert!(
+            matches!(&err, FormatError::Io(io) if io.raw_os_error() == Some(expect_errno)),
+            "expected errno {expect_errno}, got {err}"
+        );
+        // No snapshot was published: only tmp leftovers, never a final
+        // `.snap` the reader would consider.
+        assert!(std::fs::read_dir(&dir).unwrap().all(|e| !e
+            .unwrap()
+            .file_name()
+            .to_string_lossy()
+            .ends_with(".snap")));
+    }
+    // All three windows consumed; the fourth attempt lands.
+    write_snapshot(&dir, &data).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn inert_when_disarmed() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    install(None);
+    let dir = temp_dir("inert");
+    let mut w = WalWriter::create(&dir, 0).unwrap();
+    for i in 0..32 {
+        w.append(&op(i)).unwrap();
+    }
+    w.sync().unwrap();
+    assert_eq!(read_segment(w.path()).unwrap().records.len(), 32);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
